@@ -1,0 +1,32 @@
+//! Criterion bench: the jweb frontend substrate — lexing, parsing,
+//! lowering, model expansion, and SSA construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use taj_webgen::{generate, presets, Scale};
+
+fn bench_frontend(c: &mut Criterion) {
+    let preset = presets().into_iter().find(|p| p.name == "Webgoat").expect("preset");
+    let bench = generate(&preset.spec(Scale::quick()));
+    let src = bench.source;
+
+    let mut group = c.benchmark_group("frontend");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(src.len() as u64));
+    group.bench_with_input(BenchmarkId::new("lex", "Webgoat"), &src, |b, s| {
+        b.iter(|| jir::lexer::lex(s).expect("lexes"))
+    });
+    group.bench_with_input(BenchmarkId::new("parse", "Webgoat"), &src, |b, s| {
+        b.iter(|| jir::parser::parse(s).expect("parses"))
+    });
+    group.bench_with_input(BenchmarkId::new("lower", "Webgoat"), &src, |b, s| {
+        b.iter(|| jir::frontend::parse_program(s).expect("lowers"))
+    });
+    group.bench_with_input(BenchmarkId::new("full_pipeline", "Webgoat"), &src, |b, s| {
+        b.iter(|| jir::frontend::build_program(s).expect("builds"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontend);
+criterion_main!(benches);

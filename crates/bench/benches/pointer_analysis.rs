@@ -1,0 +1,47 @@
+//! Criterion bench: phase-1 pointer analysis & call-graph construction
+//! (§3.1) across benchmark sizes, with the context-policy ablation
+//! (taint-API call-string contexts on/off).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use taj_core::RuleSet;
+use taj_pointer::{analyze, PolicyConfig, SolverConfig};
+use taj_webgen::{generate, presets, Scale};
+
+fn prepared_program(name: &str) -> jir::Program {
+    let preset = presets().into_iter().find(|p| p.name == name).expect("preset");
+    let bench = generate(&preset.spec(Scale::quick()));
+    let mut program = jir::frontend::parse_program(&bench.source).expect("parses");
+    taj_core::frameworks::synthesize_entrypoints(&mut program);
+    taj_core::frameworks::apply_ejb_descriptor(&mut program, &bench.descriptor);
+    let _ = taj_core::exceptions::model_exceptions(&mut program);
+    jir::expand::expand_models(&mut program);
+    jir::ssa::program_to_ssa(&mut program);
+    program
+}
+
+fn bench_pointer_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pointer_analysis");
+    group.sample_size(10);
+    for name in ["I", "Friki", "Webgoat"] {
+        let program = prepared_program(name);
+        let rules = RuleSet::default_rules();
+        let cfg = SolverConfig {
+            policy: PolicyConfig { taint_methods: rules.taint_methods(&program) },
+            source_methods: rules.all_sources(&program),
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("taj_policy", name), &program, |b, p| {
+            b.iter(|| analyze(p, &cfg))
+        });
+        // Ablation: no taint-API call-string contexts.
+        let plain = SolverConfig::default();
+        group.bench_with_input(BenchmarkId::new("no_taint_ctx", name), &program, |b, p| {
+            b.iter(|| analyze(p, &plain))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pointer_analysis);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Regenerates **Figure 4**: classification of reported issues into true
+//! and false positives on the 9 manually-evaluated benchmarks, for all
+//! five configurations — plus the accuracy scores of §7.2.
+
+use taj_bench::svg::{render_figure, BarDatum, Panel};
+use taj_bench::{aggregate, build_benchmark, run_cell, scale_from_args, CellOutcome};
+use taj_core::{Score, TajConfig};
+use taj_webgen::presets;
+
+fn main() {
+    let scale = scale_from_args();
+    let configs = TajConfig::all();
+
+    println!("Figure 4. Classification of Reported Issues into True and False Positives");
+    println!("(the paper's 9 manually-classified benchmarks; TP/FP/FN per configuration)\n");
+    print!("{:<12}", "Application");
+    for c in &configs {
+        print!(" | {:>14}", short(c.name));
+    }
+    println!();
+    println!("{}", "-".repeat(12 + configs.len() * 17));
+
+    let mut agg: Vec<Vec<Score>> = vec![Vec::new(); configs.len()];
+    let mut panels: Vec<Panel> = Vec::new();
+    for preset in presets().into_iter().filter(|p| p.in_figure4) {
+        let bench = build_benchmark(&preset, scale);
+        print!("{:<12}", preset.name);
+        let mut bars = Vec::new();
+        for (i, config) in configs.iter().enumerate() {
+            let label = bar_label(config.name);
+            match run_cell(&bench, config) {
+                CellOutcome::Done { score, .. } => {
+                    print!(
+                        " | {:>4}/{:>4}/{:>3}",
+                        score.true_positives, score.false_positives, score.false_negatives
+                    );
+                    agg[i].push(score);
+                    bars.push(BarDatum {
+                        label,
+                        counts: Some((score.true_positives, score.false_positives)),
+                    });
+                }
+                CellOutcome::OutOfMemory => {
+                    print!(" | {:>14}", "-/-/-");
+                    bars.push(BarDatum { label, counts: None });
+                }
+            }
+        }
+        panels.push(Panel { title: preset.name.to_string(), bars });
+        println!();
+    }
+    if let Some(path) = svg_path() {
+        let svg = render_figure(
+            "Figure 4 — classification of reported issues (TP/FP per configuration)",
+            &panels,
+        );
+        match std::fs::write(&path, svg) {
+            Ok(()) => println!("
+wrote {path}"),
+            Err(e) => eprintln!("
+error: cannot write {path}: {e}"),
+        }
+    }
+
+    println!("{}", "-".repeat(12 + configs.len() * 17));
+    print!("{:<12}", "TOTAL");
+    let mut totals = Vec::new();
+    for scores in &agg {
+        let t = aggregate(scores.iter().copied());
+        print!(" | {:>4}/{:>4}/{:>3}", t.true_positives, t.false_positives, t.false_negatives);
+        totals.push(t);
+    }
+    println!("\n(format: TP/FP/FN)\n");
+
+    println!("—— Accuracy scores (TP / (TP+FP)) ——");
+    for (c, t) in configs.iter().zip(&totals) {
+        println!("{:<20} {:.2}", c.name, t.accuracy());
+    }
+    println!("\nPaper (§7.2): hybrid 0.35, CS 0.54, CI 0.22 — ordering CS > hybrid > CI.");
+    println!("Paper: hybrid and CI agree on true positives on all 9 benchmarks; CS has");
+    println!("false negatives on the multithreaded BlueBlog (2), I (1) and SBM (2).");
+
+    // Per-benchmark CS false negatives on the multithreaded trio.
+    println!("\n—— CS false negatives on multithreaded benchmarks ——");
+    for preset in presets().into_iter().filter(|p| p.threads > 0) {
+        let bench = build_benchmark(&preset, scale);
+        if let CellOutcome::Done { score, .. } = run_cell(&bench, &TajConfig::cs_thin()) {
+            println!(
+                "{:<12} CS false negatives: {} (paper: {})",
+                preset.name, score.false_negatives, preset.threads
+            );
+        } else {
+            println!("{:<12} CS out of memory at this scale", preset.name);
+        }
+    }
+}
+
+/// `--svg <path>` CLI option.
+fn svg_path() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == "--svg").and_then(|i| args.get(i + 1).cloned())
+}
+
+fn bar_label(name: &str) -> String {
+    match name {
+        "Hybrid-Unbounded" => "Unb".into(),
+        "Hybrid-Prioritized" => "Pri".into(),
+        "Hybrid-Optimized" => "Opt".into(),
+        other => other.to_string(),
+    }
+}
+
+fn short(name: &str) -> &str {
+    match name {
+        "Hybrid-Unbounded" => "Unbounded",
+        "Hybrid-Prioritized" => "Prioritized",
+        "Hybrid-Optimized" => "Optimized",
+        other => other,
+    }
+}

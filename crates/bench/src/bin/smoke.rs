@@ -1,0 +1,32 @@
+//! Quick timing smoke test over selected presets.
+
+use std::time::Instant;
+use taj_core::{analyze_source, RuleSet, TajConfig};
+use taj_webgen::{generate, presets, Scale};
+
+fn main() {
+    let scale = Scale::standard();
+    for name in ["I", "Friki", "Webgoat", "GridSphere"] {
+        let preset = presets().into_iter().find(|p| p.name == name).unwrap();
+        let t0 = Instant::now();
+        let bench = generate(&preset.spec(scale));
+        let gen_ms = t0.elapsed().as_millis();
+        let t1 = Instant::now();
+        match analyze_source(
+            &bench.source,
+            Some(&bench.descriptor),
+            RuleSet::default_rules(),
+            &TajConfig::hybrid_unbounded(),
+        ) {
+            Ok(report) => println!(
+                "{name:>12}: {} methods, {} lines | gen {gen_ms}ms, analyze {}ms, {} issues, {} cg nodes",
+                bench.stats.methods,
+                bench.stats.lines,
+                t1.elapsed().as_millis(),
+                report.issue_count(),
+                report.stats.cg_nodes,
+            ),
+            Err(e) => println!("{name:>12}: ERROR {e}"),
+        }
+    }
+}

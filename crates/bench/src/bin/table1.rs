@@ -1,0 +1,36 @@
+//! Regenerates **Table 1**: the settings used by the evaluated
+//! algorithms — which knobs each of the five configurations enables.
+
+use taj_core::TajConfig;
+
+fn main() {
+    println!("Table 1. Settings Used for the Evaluated Algorithms");
+    println!("(✓ = enabled; bounds show the scaled default in parentheses)\n");
+    println!(
+        "{:<20} {:>10} {:>12} {:>12} {:>10} {:>10} {:>12}",
+        "Configuration", "Algorithm", "CG budget", "Heap bound", "Len ≤", "Depth ≤", "CS budget"
+    );
+    println!("{}", "-".repeat(92));
+    for c in TajConfig::all() {
+        println!(
+            "{:<20} {:>10} {:>12} {:>12} {:>10} {:>10} {:>12}",
+            c.name,
+            format!("{:?}", c.algorithm),
+            opt(c.max_cg_nodes.map(|n| format!("✓ ({n})"))),
+            opt(c.max_heap_transitions.map(|n| format!("✓ ({n})"))),
+            opt(c.max_flow_len.map(|n| n.to_string())),
+            opt(c.nested_depth.map(|n| n.to_string())),
+            opt(c.cs_path_edge_budget.map(|n| format!("{n}"))),
+        );
+    }
+    println!();
+    println!("Paper: the prioritized and fully optimized variants bound the call graph");
+    println!("at 20,000 nodes; the fully optimized variant also restricts heap");
+    println!("transitions to 20,000, filters flows longer than 14, and allows at most");
+    println!("2 field dereferences in taint-carrier detection. All configurations use");
+    println!("synthetic models. Our bounds are scaled ~10× down with the benchmarks.");
+}
+
+fn opt(v: Option<String>) -> String {
+    v.unwrap_or_else(|| "—".to_string())
+}

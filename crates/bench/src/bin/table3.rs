@@ -1,0 +1,135 @@
+//! Regenerates **Table 3**: reported issues and running time for the five
+//! configurations on all 22 benchmarks, plus the §7.2 shape summary
+//! (speed ratios, CS failures, false-positive deltas).
+//!
+//! `--quick` shrinks the benchmarks; `--only <name>` runs one benchmark.
+
+use taj_bench::{build_benchmark, only_filter, run_cell, scale_from_args, CellOutcome};
+use taj_core::{Score, TajConfig};
+use taj_webgen::presets;
+
+fn main() {
+    let scale = scale_from_args();
+    let only = only_filter();
+    let configs = TajConfig::all();
+
+    println!("Table 3. Experimental Results Comparing Hybrid Variants and Other Algorithms");
+    println!("(issues = LCP-deduplicated findings; time in ms; `-` = out of memory budget)\n");
+    print!("{:<14} {:>7}", "Application", "paper*");
+    for c in &configs {
+        print!(" | {:>7} {:>8}", short(c.name), "time");
+    }
+    println!();
+    println!("{}", "-".repeat(14 + 8 + configs.len() * 19));
+
+    let mut per_config: Vec<Vec<Option<(usize, u128, Score)>>> =
+        vec![Vec::new(); configs.len()];
+    for preset in presets() {
+        if let Some(f) = &only {
+            if preset.name != f {
+                continue;
+            }
+        }
+        let bench = build_benchmark(&preset, scale);
+        print!("{:<14} {:>7}", preset.name, preset.paper_hybrid_issues);
+        for (i, config) in configs.iter().enumerate() {
+            match run_cell(&bench, config) {
+                CellOutcome::Done { report, ms, score } => {
+                    print!(" | {:>7} {:>8}", report.issue_count(), ms);
+                    per_config[i].push(Some((report.issue_count(), ms, score)));
+                }
+                CellOutcome::OutOfMemory => {
+                    print!(" | {:>7} {:>8}", "-", "-");
+                    per_config[i].push(None);
+                }
+            }
+        }
+        println!();
+    }
+
+    // ---- §7.2 shape summary.
+    println!("\n—— Shape summary (compare with §7.2 of the paper) ——");
+    let avg = |idx: usize| -> Option<f64> {
+        let done: Vec<u128> =
+            per_config[idx].iter().filter_map(|c| c.map(|(_, ms, _)| ms)).collect();
+        if done.is_empty() {
+            None
+        } else {
+            Some(done.iter().sum::<u128>() as f64 / done.len() as f64)
+        }
+    };
+    let names: Vec<&str> = configs.iter().map(|c| c.name).collect();
+    let find = |n: &str| names.iter().position(|&x| x == n).expect("config present");
+    let (h_u, h_p, h_o, cs, ci) = (
+        find("Hybrid-Unbounded"),
+        find("Hybrid-Prioritized"),
+        find("Hybrid-Optimized"),
+        find("CS"),
+        find("CI"),
+    );
+
+    if let (Some(hu), Some(cit)) = (avg(h_u), avg(ci)) {
+        println!(
+            "hybrid-unbounded avg {hu:.0} ms vs CI avg {cit:.0} ms  →  {:.2}× \
+             (paper: hybrid 2.65× slower than CI)",
+            hu / cit
+        );
+    }
+    let cs_done = per_config[cs].iter().filter(|c| c.is_some()).count();
+    let cs_total = per_config[cs].len();
+    println!(
+        "CS completed on {cs_done}/{cs_total} benchmarks (paper: 6/22, rest out of memory)"
+    );
+    // Average hybrid vs CS on the benchmarks CS completed.
+    let mut hu_on_cs = Vec::new();
+    let mut cs_times = Vec::new();
+    for (hc, cc) in per_config[h_u].iter().zip(&per_config[cs]) {
+        if let (Some((_, hms, _)), Some((_, cms, _))) = (hc, cc) {
+            hu_on_cs.push(*hms);
+            cs_times.push(*cms);
+        }
+    }
+    if !cs_times.is_empty() {
+        let hu: f64 = hu_on_cs.iter().sum::<u128>() as f64 / hu_on_cs.len() as f64;
+        let cst: f64 = cs_times.iter().sum::<u128>() as f64 / cs_times.len() as f64;
+        println!(
+            "on CS-completed benchmarks: hybrid {hu:.0} ms vs CS {cst:.0} ms  →  CS {:.1}× \
+             slower (paper: 29×)",
+            cst / hu.max(1.0)
+        );
+    }
+    if let (Some(hp), Some(cit)) = (avg(h_p), avg(ci)) {
+        println!(
+            "prioritized avg {hp:.0} ms vs CI avg {cit:.0} ms  →  {:.2}× \
+             (paper: prioritized 1.8× faster than CI)",
+            cit / hp
+        );
+    }
+    if let (Some(ho), Some(cit)) = (avg(h_o), avg(ci)) {
+        println!(
+            "optimized avg {ho:.0} ms vs CI avg {cit:.0} ms  →  {:.0}% of CI \
+             (paper: optimized 21% faster than CI)",
+            100.0 * ho / cit
+        );
+    }
+    let fp = |idx: usize| -> usize {
+        per_config[idx].iter().filter_map(|c| c.map(|(_, _, s)| s.false_positives)).sum()
+    };
+    println!(
+        "false positives: unbounded {} → prioritized {} → optimized {} \
+         (paper on 9 benchmarks: 556 → 146 → 74)",
+        fp(h_u),
+        fp(h_p),
+        fp(h_o)
+    );
+    println!("\n* paper's Table 3 issue count for the unbounded hybrid configuration.");
+}
+
+fn short(name: &str) -> &str {
+    match name {
+        "Hybrid-Unbounded" => "Unbnd",
+        "Hybrid-Prioritized" => "Prior",
+        "Hybrid-Optimized" => "Optim",
+        other => other,
+    }
+}

@@ -1,0 +1,151 @@
+//! The five analysis configurations of the evaluation (Table 1):
+//! three hybrid variants (unbounded, prioritized, fully optimized) plus
+//! the CS and CI thin-slicing baselines.
+
+use serde::Serialize;
+
+/// Which slicing algorithm drives phase 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub enum Algorithm {
+    /// Hybrid thin slicing (§3.2).
+    Hybrid,
+    /// Context-sensitive thin slicing (baseline).
+    CsThin,
+    /// Context-insensitive thin slicing (baseline).
+    CiThin,
+}
+
+/// A full analysis configuration (one column of Table 1).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct TajConfig {
+    /// Human-readable name as used in the paper's tables.
+    pub name: &'static str,
+    /// Slicing algorithm.
+    pub algorithm: Algorithm,
+    /// Call-graph node budget (§6.1); `None` = unbounded.
+    pub max_cg_nodes: Option<usize>,
+    /// Priority-driven call-graph construction (§6.1).
+    pub priority: bool,
+    /// Heap store→load transition bound during slicing (§6.2.1).
+    pub max_heap_transitions: Option<usize>,
+    /// Flow-length filter: drop flows longer than this (§6.2.2).
+    pub max_flow_len: Option<usize>,
+    /// Nested-taint field-dereference bound for carrier detection
+    /// (§6.2.3); `None` = unbounded (sound) search.
+    pub nested_depth: Option<usize>,
+    /// Path-edge budget for the CS slicer (memory proxy; exceeding it is
+    /// the paper's out-of-memory failure).
+    pub cs_path_edge_budget: Option<usize>,
+}
+
+/// Paper-scale defaults, scaled ~10× down to our synthetic benchmarks:
+/// the paper bounds call graphs at 20 000 nodes, heap transitions at
+/// 20 000, flow length at 14, nested depth at 2.
+pub mod defaults {
+    /// Call-graph node budget for prioritized/optimized runs.
+    pub const MAX_CG_NODES: usize = 3_500;
+    /// Heap-transition budget for the optimized run.
+    pub const MAX_HEAP_TRANSITIONS: usize = 2_000;
+    /// Flow-length filter for the optimized run (same as the paper).
+    pub const MAX_FLOW_LEN: usize = 14;
+    /// Nested-taint depth for the optimized run (same as the paper).
+    pub const NESTED_DEPTH: usize = 2;
+    /// CS slicer path-edge budget (its "3 GB heap").
+    pub const CS_PATH_EDGES: usize = 10_000;
+}
+
+impl TajConfig {
+    /// Hybrid, unbounded: runs to completion, no bounds (Table 1 col. 1).
+    pub fn hybrid_unbounded() -> Self {
+        TajConfig {
+            name: "Hybrid-Unbounded",
+            algorithm: Algorithm::Hybrid,
+            max_cg_nodes: None,
+            priority: false,
+            max_heap_transitions: None,
+            max_flow_len: None,
+            nested_depth: None,
+            cs_path_edge_budget: None,
+        }
+    }
+
+    /// Hybrid, prioritized: priority-driven call-graph construction under
+    /// a node budget (Table 1 col. 2).
+    pub fn hybrid_prioritized() -> Self {
+        TajConfig {
+            name: "Hybrid-Prioritized",
+            max_cg_nodes: Some(defaults::MAX_CG_NODES),
+            priority: true,
+            ..Self::hybrid_unbounded()
+        }
+    }
+
+    /// Hybrid, fully optimized: priority + heap-transition bound +
+    /// flow-length filter + nested-depth bound (Table 1 col. 3).
+    pub fn hybrid_optimized() -> Self {
+        TajConfig {
+            name: "Hybrid-Optimized",
+            max_heap_transitions: Some(defaults::MAX_HEAP_TRANSITIONS),
+            max_flow_len: Some(defaults::MAX_FLOW_LEN),
+            nested_depth: Some(defaults::NESTED_DEPTH),
+            ..Self::hybrid_prioritized()
+        }
+    }
+
+    /// Context-sensitive thin slicing (Table 1 col. 4).
+    pub fn cs_thin() -> Self {
+        TajConfig {
+            name: "CS",
+            algorithm: Algorithm::CsThin,
+            cs_path_edge_budget: Some(defaults::CS_PATH_EDGES),
+            ..Self::hybrid_unbounded()
+        }
+    }
+
+    /// Context-insensitive thin slicing (Table 1 col. 5).
+    pub fn ci_thin() -> Self {
+        TajConfig { name: "CI", algorithm: Algorithm::CiThin, ..Self::hybrid_unbounded() }
+    }
+
+    /// All five configurations in the paper's column order.
+    pub fn all() -> Vec<TajConfig> {
+        vec![
+            Self::hybrid_unbounded(),
+            Self::hybrid_prioritized(),
+            Self::hybrid_optimized(),
+            Self::cs_thin(),
+            Self::ci_thin(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_settings_matrix() {
+        let u = TajConfig::hybrid_unbounded();
+        assert!(!u.priority && u.max_cg_nodes.is_none() && u.max_flow_len.is_none());
+        let p = TajConfig::hybrid_prioritized();
+        assert!(p.priority && p.max_cg_nodes.is_some() && p.max_flow_len.is_none());
+        let o = TajConfig::hybrid_optimized();
+        assert!(
+            o.priority
+                && o.max_cg_nodes.is_some()
+                && o.max_heap_transitions.is_some()
+                && o.max_flow_len == Some(14)
+                && o.nested_depth == Some(2)
+        );
+        let cs = TajConfig::cs_thin();
+        assert_eq!(cs.algorithm, Algorithm::CsThin);
+        assert!(cs.cs_path_edge_budget.is_some());
+        let ci = TajConfig::ci_thin();
+        assert_eq!(ci.algorithm, Algorithm::CiThin);
+    }
+
+    #[test]
+    fn five_configurations() {
+        assert_eq!(TajConfig::all().len(), 5);
+    }
+}

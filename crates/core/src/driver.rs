@@ -1,0 +1,588 @@
+//! The two-phase TAJ driver (§3): frontend + modeling passes, pointer
+//! analysis & call-graph construction, then per-rule slicing, bounds, and
+//! LCP report minimization.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use jir::Program;
+use taj_pointer::{HeapGraph, PointsTo, PolicyConfig, SolverConfig};
+use taj_sdg::{
+    CiSlicer, CsSlicer, Flow, HybridSlicer, ProgramView, SliceBounds, SliceResult, SliceSpec,
+    StmtNode,
+};
+
+use crate::config::{Algorithm, TajConfig};
+use crate::frameworks::DeploymentDescriptor;
+use crate::lcp;
+use crate::rules::{IssueType, RuleSet};
+
+/// A reported flow with human-readable anchors (serializable).
+#[derive(Clone, Debug, Serialize)]
+pub struct AnalyzedFlow {
+    /// Issue type.
+    pub issue: IssueType,
+    /// Source method name.
+    pub source_method: String,
+    /// Sink method name.
+    pub sink_method: String,
+    /// Class containing the statement that calls the sink.
+    pub sink_owner_class: String,
+    /// Class containing the source call statement.
+    pub source_owner_class: String,
+    /// Witness-path length (§6.2.2's flow length).
+    pub flow_len: usize,
+    /// Heap transitions on the witness path.
+    pub heap_transitions: usize,
+}
+
+/// A deduplicated finding (§5): one representative per `(LCP, issue)`.
+#[derive(Clone, Debug, Serialize)]
+pub struct TajFinding {
+    /// The representative flow.
+    #[serde(flatten)]
+    pub flow: AnalyzedFlow,
+    /// Class containing the library call point.
+    pub lcp_owner_class: String,
+    /// Raw flows collapsed into this finding.
+    pub group_size: usize,
+}
+
+/// Run statistics.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct AnalysisStats {
+    /// Call-graph nodes.
+    pub cg_nodes: usize,
+    /// Call edges.
+    pub cg_edges: usize,
+    /// Abstract objects.
+    pub instance_keys: usize,
+    /// Abstract pointers.
+    pub pointer_keys: usize,
+    /// Phase-1 wall time (ms).
+    pub pointer_ms: u128,
+    /// Phase-2 wall time (ms).
+    pub slice_ms: u128,
+    /// Total wall time (ms).
+    pub total_ms: u128,
+    /// Heap store→load transitions performed while slicing.
+    pub heap_transitions: usize,
+    /// Slicer work units (facts processed).
+    pub slicer_work: usize,
+    /// Whether the call-graph node budget was exhausted (§6.1).
+    pub cg_budget_exhausted: bool,
+    /// Whether the slice heap-transition budget was exhausted (§6.2.1).
+    pub slice_budget_exhausted: bool,
+    /// Flows dropped by the flow-length filter (§6.2.2).
+    pub flows_len_filtered: usize,
+}
+
+/// The result of one TAJ run.
+#[derive(Clone, Debug, Serialize)]
+pub struct TajReport {
+    /// Configuration name (Table 1 column).
+    pub config: String,
+    /// Deduplicated findings — the paper's reported "issues" (Table 3).
+    pub findings: Vec<TajFinding>,
+    /// All raw source→sink flows before LCP dedup.
+    pub flows: Vec<AnalyzedFlow>,
+    /// Statistics.
+    pub stats: AnalysisStats,
+}
+
+impl TajReport {
+    /// Number of reported issues (the Table 3 "Issues" column).
+    pub fn issue_count(&self) -> usize {
+        self.findings.len()
+    }
+}
+
+/// Analysis failures.
+#[derive(Debug)]
+pub enum TajError {
+    /// Frontend failure.
+    Parse(jir::parser::ParseError),
+    /// The CS slicer exceeded its memory budget (the paper's OOM runs).
+    OutOfMemory {
+        /// Path edges at failure.
+        path_edges: usize,
+    },
+}
+
+impl std::fmt::Display for TajError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TajError::Parse(e) => write!(f, "frontend error: {e}"),
+            TajError::OutOfMemory { path_edges } => {
+                write!(f, "analysis ran out of memory budget ({path_edges} path edges)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TajError {}
+
+impl From<jir::parser::ParseError> for TajError {
+    fn from(e: jir::parser::ParseError) -> Self {
+        TajError::Parse(e)
+    }
+}
+
+/// A fully prepared program (modeling passes applied, SSA built) plus its
+/// phase-1 results — reusable across configurations.
+#[derive(Debug)]
+pub struct PreparedProgram {
+    /// The analysis-ready program.
+    pub program: Program,
+    /// Synthetic exception-source sites `(method, loc)` (§4.1.2).
+    pub synthetic_sites: Vec<(jir::MethodId, jir::Loc)>,
+    /// The rule set in force.
+    pub rules: RuleSet,
+}
+
+/// Parses and prepares a program: framework entrypoints, EJB descriptor
+/// modeling, exception instrumentation, model expansion, SSA.
+///
+/// # Errors
+/// Returns [`TajError::Parse`] on frontend failures.
+pub fn prepare(
+    src: &str,
+    descriptor: Option<&DeploymentDescriptor>,
+    rules: RuleSet,
+) -> Result<PreparedProgram, TajError> {
+    let mut program = jir::frontend::parse_program(src)?;
+    // Whitelist exclusion (§4.2.1): replace bodies of benign library
+    // classes with no-op models.
+    for name in &rules.whitelist {
+        if let Some(cid) = program.class_by_name(name) {
+            let methods: Vec<jir::MethodId> = program.class(cid).methods.clone();
+            for m in methods {
+                if program.method(m).body().is_some() && program.method(m).name != "<init>" {
+                    program.method_mut(m).kind =
+                        jir::MethodKind::Intrinsic(jir::Intrinsic::Nop);
+                }
+            }
+        }
+    }
+    crate::frameworks::synthesize_entrypoints(&mut program);
+    if let Some(d) = descriptor {
+        crate::frameworks::apply_ejb_descriptor(&mut program, d);
+    }
+    let synthetic_sites = crate::exceptions::model_exceptions(&mut program);
+    jir::expand::expand_models(&mut program);
+    jir::ssa::program_to_ssa(&mut program);
+    // Every pipeline stage must leave the IR well-formed.
+    debug_assert!(
+        jir::validate::validate(&program).is_empty(),
+        "pipeline produced invalid IR: {:?}",
+        jir::validate::validate(&program)
+    );
+    Ok(PreparedProgram { program, synthetic_sites, rules })
+}
+
+/// Runs the full analysis for one configuration.
+///
+/// # Errors
+/// [`TajError::Parse`] on frontend failures, [`TajError::OutOfMemory`]
+/// when the CS slicer exceeds its budget.
+pub fn analyze_source(
+    src: &str,
+    descriptor: Option<&DeploymentDescriptor>,
+    rules: RuleSet,
+    config: &TajConfig,
+) -> Result<TajReport, TajError> {
+    let prepared = prepare(src, descriptor, rules)?;
+    analyze_prepared(&prepared, config)
+}
+
+/// Cached phase-1 results (pointer analysis + heap graph), reusable across
+/// every phase-2 configuration with the same call-graph settings — the
+/// paper's two-phase architecture makes re-analysis under different rules
+/// or slicing bounds incremental (§9 lists full incrementality as future
+/// work; the phase split is the part TAJ already has).
+#[derive(Debug)]
+pub struct Phase1 {
+    /// Points-to solution and call graph.
+    pub pts: PointsTo,
+    /// Heap graph for carrier detection.
+    pub heap: HeapGraph,
+    /// Wall time spent (ms).
+    pub pointer_ms: u128,
+    cg_key: (Option<usize>, bool),
+}
+
+impl Phase1 {
+    /// Whether this phase-1 result is valid for `config` (same call-graph
+    /// budget and priority mode).
+    pub fn matches(&self, config: &TajConfig) -> bool {
+        self.cg_key == (config.max_cg_nodes, config.priority)
+    }
+}
+
+/// Runs phase 1 (pointer analysis & call-graph construction, §3.1/§6.1)
+/// for the given configuration's call-graph settings.
+pub fn run_phase1(prepared: &PreparedProgram, config: &TajConfig) -> Phase1 {
+    let program = &prepared.program;
+    let t0 = Instant::now();
+    let solver_cfg = SolverConfig {
+        policy: PolicyConfig { taint_methods: prepared.rules.taint_methods(program) },
+        max_cg_nodes: config.max_cg_nodes,
+        priority: config.priority,
+        source_methods: prepared.rules.all_sources(program),
+    };
+    let pts = taj_pointer::analyze(program, &solver_cfg);
+    let heap = HeapGraph::build(&pts);
+    Phase1 {
+        pts,
+        heap,
+        pointer_ms: t0.elapsed().as_millis(),
+        cg_key: (config.max_cg_nodes, config.priority),
+    }
+}
+
+/// Runs one configuration over an already-prepared program.
+///
+/// # Errors
+/// [`TajError::OutOfMemory`] when the CS slicer exceeds its budget.
+pub fn analyze_prepared(
+    prepared: &PreparedProgram,
+    config: &TajConfig,
+) -> Result<TajReport, TajError> {
+    let phase1 = run_phase1(prepared, config);
+    analyze_with_phase1(prepared, &phase1, config)
+}
+
+/// Runs phase 2 (slicing, carriers, bounds, LCP) over cached phase-1
+/// results — incremental re-analysis across rule sets or slicing bounds.
+///
+/// # Panics
+/// Panics if `phase1` was computed under different call-graph settings
+/// (check with [`Phase1::matches`]).
+///
+/// # Errors
+/// [`TajError::OutOfMemory`] when the CS slicer exceeds its budget.
+pub fn analyze_with_phase1(
+    prepared: &PreparedProgram,
+    phase1: &Phase1,
+    config: &TajConfig,
+) -> Result<TajReport, TajError> {
+    assert!(
+        phase1.matches(config),
+        "phase-1 results were computed under different call-graph settings"
+    );
+    let program = &prepared.program;
+    let t0 = Instant::now();
+    let pts = &phase1.pts;
+    let heap = &phase1.heap;
+    let pointer_ms = phase1.pointer_ms;
+
+    // ---- Phase 2: per-rule slicing (§3.2) + modeling + bounds (§6.2).
+    let t1 = Instant::now();
+    let resolved = prepared.rules.resolve(program);
+    let mut stats = AnalysisStats {
+        cg_nodes: pts.stats.nodes,
+        cg_edges: pts.stats.call_edges,
+        instance_keys: pts.stats.instance_keys,
+        pointer_keys: pts.stats.pointer_keys,
+        pointer_ms,
+        cg_budget_exhausted: pts.budget_exhausted,
+        ..Default::default()
+    };
+    let mut findings: Vec<TajFinding> = Vec::new();
+    let mut flows_out: Vec<AnalyzedFlow> = Vec::new();
+
+    // The CI slicer's context collapse is rule-independent: build once.
+    let ci_cache = match config.algorithm {
+        Algorithm::CiThin => Some(taj_sdg::ci::CiCache::build(pts, program)),
+        _ => None,
+    };
+
+    for rule in &resolved {
+        let spec = build_spec(prepared, pts, heap, rule, config);
+        let view = ProgramView::build(program, pts, &spec);
+        let bounds = SliceBounds {
+            max_heap_transitions: config.max_heap_transitions,
+            max_path_edges: config.cs_path_edge_budget,
+        };
+        let result: SliceResult = match config.algorithm {
+            Algorithm::Hybrid => HybridSlicer::new(&view, bounds).run(),
+            Algorithm::CiThin => CiSlicer::with_cache(
+                &view,
+                bounds,
+                ci_cache.as_ref().expect("built for CI above"),
+            )
+            .run(),
+            Algorithm::CsThin => match CsSlicer::new(&view, bounds).run() {
+                Ok(r) => r,
+                Err(taj_sdg::SliceError::OutOfBudget { path_edges }) => {
+                    return Err(TajError::OutOfMemory { path_edges })
+                }
+            },
+        };
+        stats.heap_transitions += result.heap_transitions;
+        stats.slicer_work += result.work;
+        stats.slice_budget_exhausted |= result.budget_exhausted;
+
+        // Flow-length filter (§6.2.2).
+        let mut flows: Vec<Flow> = result.flows;
+        if let Some(max) = config.max_flow_len {
+            let before = flows.len();
+            flows.retain(|f| f.len() <= max);
+            stats.flows_len_filtered += before - flows.len();
+        }
+
+        let tagged: Vec<(IssueType, Flow)> =
+            flows.iter().map(|f| (rule.issue, f.clone())).collect();
+        for f in &flows {
+            flows_out.push(describe_flow(program, pts, rule.issue, f));
+        }
+        for finding in lcp::deduplicate(&view, &tagged) {
+            findings.push(TajFinding {
+                flow: describe_flow(program, pts, finding.issue, &finding.flow),
+                lcp_owner_class: stmt_class(program, pts, finding.lcp),
+                group_size: finding.group_size,
+            });
+        }
+    }
+    stats.slice_ms = t1.elapsed().as_millis();
+    stats.total_ms = pointer_ms + t0.elapsed().as_millis();
+
+    Ok(TajReport {
+        config: config.name.to_string(),
+        findings,
+        flows: flows_out,
+        stats,
+    })
+}
+
+fn build_spec(
+    prepared: &PreparedProgram,
+    pts: &PointsTo,
+    heap: &HeapGraph,
+    rule: &crate::rules::ResolvedRule,
+    config: &TajConfig,
+) -> SliceSpec {
+    let program = &prepared.program;
+    let mut spec = SliceSpec::default();
+    let get_message = program
+        .class_by_name("Throwable")
+        .and_then(|c| program.method_by_name(c, "getMessage"));
+    for &s in &rule.sources {
+        // For the InfoLeak rule, `getMessage` is a source only at the
+        // synthesized catch-site calls (§4.1.2), not everywhere.
+        if rule.uses_exception_sources() && Some(s) == get_message {
+            continue;
+        }
+        spec.sources.insert(s);
+    }
+    spec.sanitizers.extend(rule.sanitizers.iter().copied());
+    for (m, pos) in &rule.sinks {
+        spec.sinks.insert(*m, pos.clone());
+    }
+    for (m, pos) in &rule.ref_sources {
+        spec.ref_sources.insert(*m, pos.clone());
+    }
+    if rule.uses_exception_sources() {
+        for &(method, loc) in &prepared.synthetic_sites {
+            for node in pts.callgraph.nodes_of_method(method) {
+                spec.synthetic_source_sites.push(StmtNode { node, loc });
+            }
+        }
+    }
+    spec.carrier_sinks =
+        crate::carriers::build_carrier_index(program, pts, heap, rule, config.nested_depth);
+    spec
+}
+
+fn describe_flow(
+    program: &Program,
+    pts: &PointsTo,
+    issue: IssueType,
+    flow: &Flow,
+) -> AnalyzedFlow {
+    AnalyzedFlow {
+        issue,
+        source_method: program.method(flow.source_method).name.clone(),
+        sink_method: program.method(flow.sink_method).name.clone(),
+        sink_owner_class: stmt_class(program, pts, flow.sink),
+        source_owner_class: stmt_class(program, pts, flow.source),
+        flow_len: flow.len(),
+        heap_transitions: flow.heap_transitions,
+    }
+}
+
+fn stmt_class(program: &Program, pts: &PointsTo, stmt: StmtNode) -> String {
+    let m = pts.callgraph.method_of(stmt.node);
+    program.class(program.method(m).owner).name.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TajConfig;
+    use crate::rules::RuleSet;
+
+    const XSS_SERVLET: &str = r#"
+        class Page extends HttpServlet {
+            method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                String name = req.getParameter("name");
+                PrintWriter w = resp.getWriter();
+                w.println(name);
+            }
+        }
+    "#;
+
+    #[test]
+    fn end_to_end_xss_detected() {
+        let report = analyze_source(
+            XSS_SERVLET,
+            None,
+            RuleSet::default_rules(),
+            &TajConfig::hybrid_unbounded(),
+        )
+        .unwrap();
+        assert_eq!(report.issue_count(), 1, "{report:#?}");
+        assert_eq!(report.findings[0].flow.issue, IssueType::Xss);
+        assert_eq!(report.findings[0].flow.sink_method, "println");
+        assert_eq!(report.findings[0].flow.sink_owner_class, "Page");
+    }
+
+    #[test]
+    fn all_configs_run_the_servlet() {
+        let prepared = prepare(XSS_SERVLET, None, RuleSet::default_rules()).unwrap();
+        for config in TajConfig::all() {
+            let report = analyze_prepared(&prepared, &config).unwrap();
+            assert_eq!(report.issue_count(), 1, "{}", config.name);
+        }
+    }
+
+    #[test]
+    fn exception_leak_detected_via_carrier() {
+        let src = r#"
+            class Page extends HttpServlet {
+                method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                    PrintWriter w = resp.getWriter();
+                    try { this.risky(); } catch (Exception e) { w.println(e); }
+                }
+                method void risky() { throw new RuntimeException("internal"); }
+            }
+        "#;
+        let report = analyze_source(
+            src,
+            None,
+            RuleSet::default_rules(),
+            &TajConfig::hybrid_unbounded(),
+        )
+        .unwrap();
+        let leak = report
+            .findings
+            .iter()
+            .find(|f| f.flow.issue == IssueType::InfoLeak)
+            .unwrap_or_else(|| panic!("expected InfoLeak finding: {report:#?}"));
+        assert_eq!(leak.flow.sink_method, "println");
+    }
+
+    #[test]
+    fn plain_get_message_is_not_a_source() {
+        // getMessage called outside a catch handler must not seed taint.
+        let src = r#"
+            class Page extends HttpServlet {
+                method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                    Exception e = new Exception("static text");
+                    String m = e.getMessage();
+                }
+            }
+        "#;
+        let report = analyze_source(
+            src,
+            None,
+            RuleSet::default_rules(),
+            &TajConfig::hybrid_unbounded(),
+        )
+        .unwrap();
+        assert_eq!(report.issue_count(), 0, "{report:#?}");
+    }
+
+    #[test]
+    fn sqli_and_xss_are_separate_rules() {
+        let src = r#"
+            class Page extends HttpServlet {
+                method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                    String id = req.getParameter("id");
+                    Connection c = DriverManager.getConnection("db");
+                    Statement st = c.createStatement();
+                    st.executeQuery("SELECT " + id);
+                    resp.getWriter().println(id);
+                }
+            }
+        "#;
+        let report = analyze_source(
+            src,
+            None,
+            RuleSet::default_rules(),
+            &TajConfig::hybrid_unbounded(),
+        )
+        .unwrap();
+        let issues: Vec<IssueType> = report.findings.iter().map(|f| f.flow.issue).collect();
+        assert!(issues.contains(&IssueType::Xss), "{issues:?}");
+        assert!(issues.contains(&IssueType::Sqli), "{issues:?}");
+    }
+
+    #[test]
+    fn sanitizer_is_rule_specific() {
+        // HTML-encoding does not fix SQL injection.
+        let src = r#"
+            class Page extends HttpServlet {
+                method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                    String id = req.getParameter("id");
+                    String enc = Encoder.encodeForHTML(id);
+                    Connection c = DriverManager.getConnection("db");
+                    Statement st = c.createStatement();
+                    st.executeQuery(enc);
+                    resp.getWriter().println(enc);
+                }
+            }
+        "#;
+        let report = analyze_source(
+            src,
+            None,
+            RuleSet::default_rules(),
+            &TajConfig::hybrid_unbounded(),
+        )
+        .unwrap();
+        let issues: Vec<IssueType> = report.findings.iter().map(|f| f.flow.issue).collect();
+        assert!(issues.contains(&IssueType::Sqli), "HTML encoding must not stop SQLi: {issues:?}");
+        assert!(!issues.contains(&IssueType::Xss), "XSS is sanitized: {issues:?}");
+    }
+
+    #[test]
+    fn struts_form_flow_detected() {
+        let src = r#"
+            class LoginForm extends ActionForm {
+                field String user;
+                ctor () { }
+            }
+            class LoginAction extends Action {
+                ctor () { }
+                method void execute(ActionMapping m, ActionForm f,
+                                    HttpServletRequest req, HttpServletResponse resp) {
+                    LoginForm lf = (LoginForm) f;
+                    String u = lf.user;
+                    resp.getWriter().println(u);
+                }
+            }
+        "#;
+        let report = analyze_source(
+            src,
+            None,
+            RuleSet::default_rules(),
+            &TajConfig::hybrid_unbounded(),
+        )
+        .unwrap();
+        assert!(
+            report.findings.iter().any(|f| f.flow.issue == IssueType::Xss),
+            "tainted ActionForm field must reach the sink: {report:#?}"
+        );
+    }
+}

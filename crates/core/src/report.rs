@@ -1,0 +1,225 @@
+//! Report rendering: plain text and SARIF 2.1.0 (the interchange format
+//! consumed by modern code-scanning UIs — TAJ's commercial descendant,
+//! AppScan Source, speaks it too).
+
+use serde::Serialize;
+
+use crate::driver::TajReport;
+use crate::rules::IssueType;
+
+/// Renders a human-readable multi-line summary of a report.
+pub fn to_text(report: &TajReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} issue(s) from {} raw flow(s) in {} ms",
+        report.config,
+        report.issue_count(),
+        report.flows.len(),
+        report.stats.total_ms
+    );
+    for f in &report.findings {
+        let _ = writeln!(
+            out,
+            "  [{}] {} -> {} in {} (LCP in {}, {} flow(s))",
+            f.flow.issue,
+            f.flow.source_method,
+            f.flow.sink_method,
+            f.flow.sink_owner_class,
+            f.lcp_owner_class,
+            f.group_size
+        );
+    }
+    out
+}
+
+/// SARIF rule metadata for an issue type.
+fn rule_id(issue: IssueType) -> &'static str {
+    match issue {
+        IssueType::Xss => "taj/xss",
+        IssueType::Sqli => "taj/sql-injection",
+        IssueType::CommandInjection => "taj/command-injection",
+        IssueType::MaliciousFile => "taj/malicious-file",
+        IssueType::InfoLeak => "taj/information-leak",
+    }
+}
+
+#[derive(Serialize)]
+struct Sarif {
+    #[serde(rename = "$schema")]
+    schema: &'static str,
+    version: &'static str,
+    runs: Vec<SarifRun>,
+}
+
+#[derive(Serialize)]
+struct SarifRun {
+    tool: SarifTool,
+    results: Vec<SarifResult>,
+}
+
+#[derive(Serialize)]
+struct SarifTool {
+    driver: SarifDriver,
+}
+
+#[derive(Serialize)]
+struct SarifDriver {
+    name: &'static str,
+    #[serde(rename = "informationUri")]
+    information_uri: &'static str,
+    version: &'static str,
+    rules: Vec<SarifRule>,
+}
+
+#[derive(Serialize)]
+struct SarifRule {
+    id: &'static str,
+    name: String,
+}
+
+#[derive(Serialize)]
+struct SarifResult {
+    #[serde(rename = "ruleId")]
+    rule_id: &'static str,
+    level: &'static str,
+    message: SarifMessage,
+    locations: Vec<SarifLocation>,
+}
+
+#[derive(Serialize)]
+struct SarifMessage {
+    text: String,
+}
+
+#[derive(Serialize)]
+struct SarifLocation {
+    #[serde(rename = "logicalLocations")]
+    logical_locations: Vec<SarifLogicalLocation>,
+}
+
+#[derive(Serialize)]
+struct SarifLogicalLocation {
+    #[serde(rename = "fullyQualifiedName")]
+    fully_qualified_name: String,
+    kind: &'static str,
+}
+
+/// Serializes a report as a SARIF 2.1.0 log.
+///
+/// # Errors
+/// Returns a [`serde_json::Error`] if serialization fails (not expected
+/// for well-formed reports).
+pub fn to_sarif(report: &TajReport) -> Result<String, serde_json::Error> {
+    let mut rules: Vec<SarifRule> = Vec::new();
+    for issue in [
+        IssueType::Xss,
+        IssueType::Sqli,
+        IssueType::CommandInjection,
+        IssueType::MaliciousFile,
+        IssueType::InfoLeak,
+    ] {
+        rules.push(SarifRule { id: rule_id(issue), name: issue.to_string() });
+    }
+    let results = report
+        .findings
+        .iter()
+        .map(|f| SarifResult {
+            rule_id: rule_id(f.flow.issue),
+            level: "error",
+            message: SarifMessage {
+                text: format!(
+                    "tainted data from {} reaches {} ({} flow(s) share this fix point; \
+                     insert a sanitizer at the library call point in {})",
+                    f.flow.source_method,
+                    f.flow.sink_method,
+                    f.group_size,
+                    f.lcp_owner_class
+                ),
+            },
+            locations: vec![SarifLocation {
+                logical_locations: vec![SarifLogicalLocation {
+                    fully_qualified_name: format!(
+                        "{}.{}",
+                        f.flow.sink_owner_class, f.flow.sink_method
+                    ),
+                    kind: "function",
+                }],
+            }],
+        })
+        .collect();
+    let sarif = Sarif {
+        schema: "https://json.schemastore.org/sarif-2.1.0.json",
+        version: "2.1.0",
+        runs: vec![SarifRun {
+            tool: SarifTool {
+                driver: SarifDriver {
+                    name: "taj-rs",
+                    information_uri: "https://doi.org/10.1145/1542476.1542486",
+                    version: env!("CARGO_PKG_VERSION"),
+                    rules,
+                },
+            },
+            results,
+        }],
+    };
+    serde_json::to_string_pretty(&sarif)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze_source, RuleSet, TajConfig};
+
+    fn sample_report() -> TajReport {
+        analyze_source(
+            r#"
+            class Page extends HttpServlet {
+                method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                    resp.getWriter().println(req.getParameter("q"));
+                }
+            }
+            "#,
+            None,
+            RuleSet::default_rules(),
+            &TajConfig::hybrid_unbounded(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn text_rendering_mentions_findings() {
+        let text = to_text(&sample_report());
+        assert!(text.contains("XSS"), "{text}");
+        assert!(text.contains("getParameter"), "{text}");
+        assert!(text.contains("Page"), "{text}");
+    }
+
+    #[test]
+    fn sarif_is_valid_json_with_results() {
+        let sarif = to_sarif(&sample_report()).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&sarif).unwrap();
+        assert_eq!(v["version"], "2.1.0");
+        assert_eq!(v["runs"][0]["tool"]["driver"]["name"], "taj-rs");
+        assert_eq!(v["runs"][0]["results"][0]["ruleId"], "taj/xss");
+        assert!(v["runs"][0]["results"][0]["message"]["text"]
+            .as_str()
+            .unwrap()
+            .contains("getParameter"));
+    }
+
+    #[test]
+    fn sarif_empty_report_has_no_results() {
+        let report = analyze_source(
+            "class Page extends HttpServlet { }",
+            None,
+            RuleSet::default_rules(),
+            &TajConfig::hybrid_unbounded(),
+        )
+        .unwrap();
+        let sarif = to_sarif(&report).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&sarif).unwrap();
+        assert_eq!(v["runs"][0]["results"].as_array().unwrap().len(), 0);
+    }
+}

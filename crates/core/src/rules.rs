@@ -1,0 +1,278 @@
+//! Security rules (§3): triples `(sources, sanitizers, sinks)` per issue
+//! type, resolved against a program's model library.
+//!
+//! The default rule set covers the four OWASP vulnerability classes the
+//! paper targets (§1): cross-site scripting, injection flaws (SQLi and
+//! command injection), malicious file execution, and information
+//! leakage / improper error handling.
+
+use serde::Serialize;
+
+use jir::{MethodId, Program};
+
+/// The vulnerability classes TAJ detects (§1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub enum IssueType {
+    /// Cross-site scripting: user data rendered to a response.
+    Xss,
+    /// SQL injection: user data in a query string.
+    Sqli,
+    /// Command injection: user data in an executed command.
+    CommandInjection,
+    /// Malicious file execution: user data in file paths / stream APIs.
+    MaliciousFile,
+    /// Information leakage & improper error handling (exception text
+    /// rendered to users).
+    InfoLeak,
+}
+
+impl std::fmt::Display for IssueType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            IssueType::Xss => "XSS",
+            IssueType::Sqli => "SQLi",
+            IssueType::CommandInjection => "CmdInjection",
+            IssueType::MaliciousFile => "MaliciousFile",
+            IssueType::InfoLeak => "InfoLeak",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A reference to a method by class and method name (resolved lazily).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MethodRef {
+    /// Declaring class name.
+    pub class: String,
+    /// Method name.
+    pub method: String,
+}
+
+impl MethodRef {
+    /// Creates a reference.
+    pub fn new(class: impl Into<String>, method: impl Into<String>) -> Self {
+        MethodRef { class: class.into(), method: method.into() }
+    }
+
+    /// Resolves against a program (first match across arities).
+    pub fn resolve(&self, program: &Program) -> Option<MethodId> {
+        let c = program.class_by_name(&self.class)?;
+        program.method_by_name(c, &self.method)
+    }
+}
+
+/// One security rule: `(S1, S2, S3)` of §3.
+#[derive(Clone, Debug)]
+pub struct SecurityRule {
+    /// The issue type this rule detects.
+    pub issue: IssueType,
+    /// Source methods (return value tainted).
+    pub sources: Vec<MethodRef>,
+    /// By-reference sources (footnote 2 of the paper): methods that taint
+    /// the internal state of a parameter, with the tainted positions.
+    pub ref_sources: Vec<(MethodRef, Vec<usize>)>,
+    /// Sanitizers neutralizing this issue.
+    pub sanitizers: Vec<MethodRef>,
+    /// Sinks with the 0-based positions of vulnerable parameters.
+    pub sinks: Vec<(MethodRef, Vec<usize>)>,
+}
+
+/// A resolved rule: method ids instead of names.
+#[derive(Clone, Debug)]
+pub struct ResolvedRule {
+    /// Issue type.
+    pub issue: IssueType,
+    /// Resolved sources.
+    pub sources: Vec<MethodId>,
+    /// Resolved by-reference sources with tainted positions.
+    pub ref_sources: Vec<(MethodId, Vec<usize>)>,
+    /// Resolved sanitizers.
+    pub sanitizers: Vec<MethodId>,
+    /// Resolved sinks with positions.
+    pub sinks: Vec<(MethodId, Vec<usize>)>,
+}
+
+/// A full rule set.
+#[derive(Clone, Debug, Default)]
+pub struct RuleSet {
+    /// Rules, one per issue type typically.
+    pub rules: Vec<SecurityRule>,
+    /// Benign library classes excluded from analysis by name (§4.2.1's
+    /// hand-written whitelist): their method bodies are replaced with
+    /// no-op models before analysis.
+    pub whitelist: Vec<String>,
+}
+
+impl RuleSet {
+    /// The default TAJ rule set over the model library.
+    pub fn default_rules() -> RuleSet {
+        let web_sources = vec![
+            MethodRef::new("HttpServletRequest", "getParameter"),
+            MethodRef::new("HttpServletRequest", "getHeader"),
+            MethodRef::new("HttpServletRequest", "getQueryString"),
+            MethodRef::new("Cookie", "getValue"),
+            MethodRef::new("Struts", "taintedInput"),
+        ];
+        RuleSet {
+            whitelist: Vec::new(),
+            rules: vec![
+                SecurityRule {
+                    issue: IssueType::Xss,
+                    sources: web_sources.clone(),
+                    ref_sources: vec![(
+                        MethodRef::new("RandomAccessFile", "readFully"),
+                        vec![0],
+                    )],
+                    sanitizers: vec![
+                        MethodRef::new("URLEncoder", "encode"),
+                        MethodRef::new("Encoder", "encodeForHTML"),
+                    ],
+                    sinks: vec![
+                        (MethodRef::new("PrintWriter", "println"), vec![0]),
+                        (MethodRef::new("PrintWriter", "print"), vec![0]),
+                        (MethodRef::new("PrintWriter", "write"), vec![0]),
+                    ],
+                },
+                SecurityRule {
+                    issue: IssueType::Sqli,
+                    ref_sources: vec![],
+                    sources: web_sources.clone(),
+                    sanitizers: vec![MethodRef::new("Encoder", "encodeForSQL")],
+                    sinks: vec![
+                        (MethodRef::new("Statement", "executeQuery"), vec![0]),
+                        (MethodRef::new("Statement", "executeUpdate"), vec![0]),
+                    ],
+                },
+                SecurityRule {
+                    issue: IssueType::CommandInjection,
+                    ref_sources: vec![],
+                    sources: web_sources.clone(),
+                    sanitizers: vec![MethodRef::new("Encoder", "encodeForOS")],
+                    sinks: vec![(MethodRef::new("Runtime", "exec"), vec![0])],
+                },
+                SecurityRule {
+                    issue: IssueType::MaliciousFile,
+                    ref_sources: vec![],
+                    sources: web_sources.clone(),
+                    sanitizers: vec![MethodRef::new("Encoder", "canonicalize")],
+                    sinks: vec![
+                        (MethodRef::new("File", "<init>"), vec![0]),
+                        (MethodRef::new("FileInputStream", "<init>"), vec![0]),
+                        (MethodRef::new("FileWriter", "<init>"), vec![0]),
+                    ],
+                },
+                SecurityRule {
+                    issue: IssueType::InfoLeak,
+                    ref_sources: vec![],
+                    // InfoLeak sources are the synthesized getMessage call
+                    // sites (§4.1.2); `getMessage` itself is listed so the
+                    // synthesized calls resolve to a source method.
+                    sources: vec![MethodRef::new("Throwable", "getMessage")],
+                    sanitizers: vec![MethodRef::new("Encoder", "encodeForHTML")],
+                    sinks: vec![
+                        (MethodRef::new("PrintWriter", "println"), vec![0]),
+                        (MethodRef::new("PrintWriter", "print"), vec![0]),
+                    ],
+                },
+            ],
+        }
+    }
+
+    /// Resolves every rule against `program`, dropping unresolvable refs.
+    pub fn resolve(&self, program: &Program) -> Vec<ResolvedRule> {
+        self.rules
+            .iter()
+            .map(|r| ResolvedRule {
+                issue: r.issue,
+                sources: r.sources.iter().filter_map(|m| m.resolve(program)).collect(),
+                ref_sources: r
+                    .ref_sources
+                    .iter()
+                    .filter_map(|(m, pos)| m.resolve(program).map(|id| (id, pos.clone())))
+                    .collect(),
+                sanitizers: r.sanitizers.iter().filter_map(|m| m.resolve(program)).collect(),
+                sinks: r
+                    .sinks
+                    .iter()
+                    .filter_map(|(m, pos)| m.resolve(program).map(|id| (id, pos.clone())))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// All source methods across rules (for the context policy and the
+    /// priority scheme).
+    pub fn all_sources(&self, program: &Program) -> std::collections::HashSet<MethodId> {
+        self.rules
+            .iter()
+            .flat_map(|r| r.sources.iter())
+            .filter_map(|m| m.resolve(program))
+            .collect()
+    }
+
+    /// All taint-relevant methods (sources, sinks, sanitizers) — these get
+    /// one level of call-string context in the pointer analysis (§3.1).
+    pub fn taint_methods(&self, program: &Program) -> std::collections::HashSet<MethodId> {
+        let mut out = std::collections::HashSet::new();
+        for r in &self.rules {
+            out.extend(r.sources.iter().filter_map(|m| m.resolve(program)));
+            out.extend(r.sanitizers.iter().filter_map(|m| m.resolve(program)));
+            out.extend(r.sinks.iter().filter_map(|(m, _)| m.resolve(program)));
+        }
+        out
+    }
+}
+
+impl ResolvedRule {
+    /// Whether this rule relies on synthesized exception sources.
+    pub fn uses_exception_sources(&self) -> bool {
+        self.issue == IssueType::InfoLeak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rules_resolve_against_stdlib() {
+        let p = jir::stdlib::stdlib_program();
+        let rules = RuleSet::default_rules();
+        let resolved = rules.resolve(&p);
+        assert_eq!(resolved.len(), 5);
+        for r in &resolved {
+            assert!(!r.sources.is_empty(), "{:?} has no sources", r.issue);
+            assert!(!r.sinks.is_empty(), "{:?} has no sinks", r.issue);
+        }
+    }
+
+    #[test]
+    fn taint_methods_cover_all_roles() {
+        let p = jir::stdlib::stdlib_program();
+        let rules = RuleSet::default_rules();
+        let tm = rules.taint_methods(&p);
+        let req = p.class_by_name("HttpServletRequest").unwrap();
+        let gp = p.method_by_name(req, "getParameter").unwrap();
+        assert!(tm.contains(&gp));
+        let pw = p.class_by_name("PrintWriter").unwrap();
+        let pr = p.method_by_name(pw, "println").unwrap();
+        assert!(tm.contains(&pr));
+    }
+
+    #[test]
+    fn file_constructor_is_a_sink() {
+        let p = jir::stdlib::stdlib_program();
+        let rules = RuleSet::default_rules();
+        let resolved = rules.resolve(&p);
+        let mf = resolved.iter().find(|r| r.issue == IssueType::MaliciousFile).unwrap();
+        let file = p.class_by_name("File").unwrap();
+        let init = p.method_by_name(file, "<init>").unwrap();
+        assert!(mf.sinks.iter().any(|(m, _)| *m == init));
+    }
+
+    #[test]
+    fn issue_type_display() {
+        assert_eq!(IssueType::Xss.to_string(), "XSS");
+        assert_eq!(IssueType::Sqli.to_string(), "SQLi");
+    }
+}

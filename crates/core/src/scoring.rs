@@ -1,0 +1,162 @@
+//! True/false-positive scoring against generated ground truth — the raw
+//! material of Figure 4 and the accuracy discussion of §7.2.
+//!
+//! Ground truth is expressed at the granularity the benchmark generator
+//! controls: each seeded pattern lives in its own class, and is either
+//! *vulnerable* (a real flow reaches the sink) or *benign* (a confusable
+//! pattern with no real flow). A reported issue is matched by the class
+//! containing its sink statement plus the issue type.
+
+use std::collections::HashSet;
+
+use serde::Serialize;
+
+use crate::driver::TajReport;
+use crate::rules::IssueType;
+
+/// Ground truth for one benchmark.
+#[derive(Clone, Debug, Default)]
+pub struct GroundTruth {
+    /// `(sink class, issue)` pairs that are genuinely vulnerable.
+    pub vulnerable: HashSet<(String, IssueType)>,
+    /// `(sink class, issue)` pairs that look suspicious but are safe.
+    pub benign: HashSet<(String, IssueType)>,
+}
+
+impl GroundTruth {
+    /// Registers a vulnerable pattern.
+    pub fn add_vulnerable(&mut self, class: impl Into<String>, issue: IssueType) {
+        self.vulnerable.insert((class.into(), issue));
+    }
+
+    /// Registers a benign (confusable) pattern.
+    pub fn add_benign(&mut self, class: impl Into<String>, issue: IssueType) {
+        self.benign.insert((class.into(), issue));
+    }
+}
+
+/// Classification counts for one report against one ground truth.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct Score {
+    /// Reported and really vulnerable.
+    pub true_positives: usize,
+    /// Reported but not really vulnerable.
+    pub false_positives: usize,
+    /// Vulnerable but not reported.
+    pub false_negatives: usize,
+}
+
+impl Score {
+    /// The paper's accuracy score: `TP / (TP + FP)` (§7.2).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.true_positives + self.false_positives;
+        if total == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / total as f64
+        }
+    }
+
+    /// Total reported issues that were classified.
+    pub fn reported(&self) -> usize {
+        self.true_positives + self.false_positives
+    }
+}
+
+/// Scores a report: detections are the distinct `(sink class, issue)`
+/// pairs among reported findings.
+pub fn score(report: &TajReport, truth: &GroundTruth) -> Score {
+    let mut detected: HashSet<(String, IssueType)> = HashSet::new();
+    for f in &report.findings {
+        detected.insert((f.flow.sink_owner_class.clone(), f.flow.issue));
+    }
+    let mut s = Score::default();
+    for d in &detected {
+        if truth.vulnerable.contains(d) {
+            s.true_positives += 1;
+        } else {
+            s.false_positives += 1;
+        }
+    }
+    for v in &truth.vulnerable {
+        if !detected.contains(v) {
+            s.false_negatives += 1;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{AnalysisStats, AnalyzedFlow, TajFinding, TajReport};
+
+    fn flow(class: &str, issue: IssueType) -> TajFinding {
+        TajFinding {
+            flow: AnalyzedFlow {
+                issue,
+                source_method: "getParameter".into(),
+                sink_method: "println".into(),
+                sink_owner_class: class.into(),
+                source_owner_class: class.into(),
+                flow_len: 3,
+                heap_transitions: 0,
+            },
+            lcp_owner_class: class.into(),
+            group_size: 1,
+        }
+    }
+
+    fn report(findings: Vec<TajFinding>) -> TajReport {
+        TajReport {
+            config: "test".into(),
+            findings,
+            flows: vec![],
+            stats: AnalysisStats::default(),
+        }
+    }
+
+    #[test]
+    fn classification_counts() {
+        let mut truth = GroundTruth::default();
+        truth.add_vulnerable("A", IssueType::Xss);
+        truth.add_vulnerable("B", IssueType::Xss);
+        truth.add_benign("C", IssueType::Xss);
+
+        let r = report(vec![flow("A", IssueType::Xss), flow("C", IssueType::Xss)]);
+        let s = score(&r, &truth);
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.false_positives, 1);
+        assert_eq!(s.false_negatives, 1);
+        assert!((s.accuracy() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_findings_counted_once() {
+        let mut truth = GroundTruth::default();
+        truth.add_vulnerable("A", IssueType::Xss);
+        let r = report(vec![flow("A", IssueType::Xss), flow("A", IssueType::Xss)]);
+        let s = score(&r, &truth);
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.false_positives, 0);
+    }
+
+    #[test]
+    fn issue_type_distinguishes() {
+        let mut truth = GroundTruth::default();
+        truth.add_vulnerable("A", IssueType::Sqli);
+        let r = report(vec![flow("A", IssueType::Xss)]);
+        let s = score(&r, &truth);
+        assert_eq!(s.true_positives, 0);
+        assert_eq!(s.false_positives, 1);
+        assert_eq!(s.false_negatives, 1);
+    }
+
+    #[test]
+    fn empty_report_scores_zero_accuracy() {
+        let truth = GroundTruth::default();
+        let s = score(&report(vec![]), &truth);
+        assert_eq!(s.accuracy(), 0.0);
+        assert_eq!(s.reported(), 0);
+    }
+}

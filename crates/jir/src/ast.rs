@@ -1,0 +1,291 @@
+//! Abstract syntax tree for **jweb**, the miniature Java-like source
+//! language the benchmark generator and tests write programs in.
+//!
+//! jweb is deliberately small but covers everything TAJ's evaluation needs:
+//! classes with inheritance and interfaces, instance/static fields and
+//! methods, constructors, `if`/`while`/`for`, `try`/`catch`/`throw`, casts,
+//! arrays, string concatenation, and calls (virtual, static, constructor).
+
+/// A parsed compilation unit.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramAst {
+    /// Declared classes in source order.
+    pub classes: Vec<ClassDecl>,
+}
+
+/// A class or interface declaration.
+#[derive(Debug, Clone)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: String,
+    /// `extends` clause.
+    pub superclass: Option<String>,
+    /// `implements` clause.
+    pub interfaces: Vec<String>,
+    /// Declared with the `interface` keyword.
+    pub is_interface: bool,
+    /// Declared with the `library` modifier; library classes are excluded
+    /// from application-side reporting (§5) and may be whitelisted away.
+    pub is_library: bool,
+    /// Fields in source order.
+    pub fields: Vec<FieldDecl>,
+    /// Methods (and constructors, named `<init>`) in source order.
+    pub methods: Vec<MethodDecl>,
+    /// Source line of the declaration.
+    pub line: u32,
+}
+
+/// A field declaration: `field String name;`.
+#[derive(Debug, Clone)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeAst,
+    /// `static` modifier.
+    pub is_static: bool,
+}
+
+/// A method or constructor declaration.
+#[derive(Debug, Clone)]
+pub struct MethodDecl {
+    /// Method name; constructors use the reserved name `<init>`.
+    pub name: String,
+    /// Parameters as `(type, name)` pairs.
+    pub params: Vec<(TypeAst, String)>,
+    /// Return type.
+    pub ret: TypeAst,
+    /// `static` modifier.
+    pub is_static: bool,
+    /// Body; `None` for abstract/interface methods.
+    pub body: Option<Block>,
+    /// Source line of the declaration.
+    pub line: u32,
+}
+
+/// A surface type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeAst {
+    /// `void`.
+    Void,
+    /// `int`.
+    Int,
+    /// `boolean`.
+    Boolean,
+    /// `String` (primitive string carrier).
+    Str,
+    /// A class or interface by name.
+    Named(String),
+    /// `T[]`.
+    Array(Box<TypeAst>),
+}
+
+/// A `{ … }` statement list.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `T x = e;` / `T x;`
+    VarDecl {
+        /// Declared type.
+        ty: TypeAst,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `lhs = e;`
+    Assign {
+        /// Assignment target.
+        lhs: LValue,
+        /// Right-hand side.
+        rhs: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// An expression evaluated for effect (usually a call).
+    Expr(Expr),
+    /// `if (c) { … } else { … }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_blk: Block,
+        /// Optional else-branch.
+        else_blk: Option<Block>,
+    },
+    /// `while (c) { … }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `return;` / `return e;`
+    Return(Option<Expr>, u32),
+    /// `throw e;`
+    Throw(Expr, u32),
+    /// `try { … } catch (E e) { … }`
+    Try {
+        /// Protected region.
+        body: Block,
+        /// Caught exception class name.
+        catch_class: String,
+        /// Binder for the caught exception.
+        catch_name: String,
+        /// Handler block.
+        handler: Block,
+    },
+}
+
+/// An assignable place.
+#[derive(Debug, Clone)]
+pub enum LValue {
+    /// A local variable.
+    Var(String),
+    /// `base.f` — also covers `Class.f` for static fields (disambiguated
+    /// during lowering).
+    Field {
+        /// Base expression.
+        base: Expr,
+        /// Field name.
+        name: String,
+    },
+    /// `base[i]`.
+    Index {
+        /// Array expression.
+        base: Expr,
+        /// Index expression (ignored by the index-insensitive IR).
+        index: Expr,
+    },
+}
+
+/// An expression.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// String literal.
+    Str(String),
+    /// `null`.
+    Null,
+    /// A name: local variable, or class name in static-access position.
+    Var(String, u32),
+    /// `this`.
+    This(u32),
+    /// `base.f` (instance or static field read).
+    Field {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Field name.
+        name: String,
+        /// Source line.
+        line: u32,
+    },
+    /// `base[i]`.
+    Index {
+        /// Array expression.
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// A call: `base.m(args)`, `m(args)` (implicit `this`/own class), or
+    /// `Class.m(args)` (static).
+    Call {
+        /// Receiver/class expression; `None` for unqualified calls.
+        base: Option<Box<Expr>>,
+        /// Method name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `new C(args)`.
+    New {
+        /// Class name.
+        class: String,
+        /// Constructor arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `new T[n]` or `new T[] { e1, … }`.
+    NewArray {
+        /// Element type.
+        elem: TypeAst,
+        /// Optional element initializers.
+        init: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `lhs op rhs`.
+    Binary {
+        /// Operator token.
+        op: AstBinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `!e`.
+    Not(Box<Expr>),
+    /// `(T) e`.
+    Cast {
+        /// Target type.
+        ty: TypeAst,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl Expr {
+    /// The source line of this expression, where tracked.
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Var(_, l) | Expr::This(l) => *l,
+            Expr::Field { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::New { line, .. }
+            | Expr::NewArray { line, .. }
+            | Expr::Cast { line, .. } => *line,
+            Expr::Binary { lhs, .. } => lhs.line(),
+            Expr::Not(e) | Expr::Index { base: e, .. } => e.line(),
+            _ => 0,
+        }
+    }
+}
+
+/// Surface binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstBinOp {
+    /// `+` (integer add or string concat, decided by lowering).
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `==`.
+    EqEq,
+    /// `!=`.
+    NotEq,
+    /// `<`.
+    Lt,
+    /// `>`.
+    Gt,
+    /// `&&`.
+    AndAnd,
+    /// `||`.
+    OrOr,
+}

@@ -1,0 +1,150 @@
+//! Control-flow graph views over a [`Body`]: successor/predecessor maps and
+//! reverse postorder, including exceptional edges to handler blocks.
+
+use crate::inst::{BlockId, Inst, Terminator};
+use crate::method::Body;
+
+/// Precomputed CFG adjacency for one body.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successors per block (normal + exceptional).
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessors per block (normal + exceptional).
+    pub preds: Vec<Vec<BlockId>>,
+    /// Blocks in reverse postorder from the entry.
+    pub rpo: Vec<BlockId>,
+    /// Position of each block in `rpo` (`usize::MAX` when unreachable).
+    pub rpo_pos: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG for `body`.
+    ///
+    /// A block gains an exceptional edge to its handler when it contains a
+    /// call (which may throw) or ends in `throw`.
+    pub fn build(body: &Body) -> Cfg {
+        let n = body.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (id, block) in body.iter_blocks() {
+            let mut out = block.term.successors();
+            if let Some(h) = block.handler {
+                let may_throw = block.insts.iter().any(Inst::is_call)
+                    || matches!(block.term, Terminator::Throw(_));
+                if may_throw && !out.contains(&h) {
+                    out.push(h);
+                }
+            }
+            for s in &out {
+                preds[s.index()].push(id);
+            }
+            succs[id.index()] = out;
+        }
+
+        // Reverse postorder via iterative DFS.
+        let mut visited = vec![false; n];
+        let mut postorder = Vec::with_capacity(n);
+        if n > 0 {
+            let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+            visited[0] = true;
+            while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+                let ss = &succs[b.index()];
+                if *next < ss.len() {
+                    let s = ss[*next];
+                    *next += 1;
+                    if !visited[s.index()] {
+                        visited[s.index()] = true;
+                        stack.push((s, 0));
+                    }
+                } else {
+                    postorder.push(b);
+                    stack.pop();
+                }
+            }
+        }
+        postorder.reverse();
+        let mut rpo_pos = vec![usize::MAX; n];
+        for (i, &b) in postorder.iter().enumerate() {
+            rpo_pos[b.index()] = i;
+        }
+        Cfg { succs, preds, rpo: postorder, rpo_pos }
+    }
+
+    /// Whether `block` is reachable from the entry.
+    pub fn is_reachable(&self, block: BlockId) -> bool {
+        self.rpo_pos[block.index()] != usize::MAX
+    }
+
+    /// Number of blocks (including unreachable ones).
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the CFG has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{CallTarget, Var};
+    use crate::method::{BasicBlock, MethodId};
+
+    fn diamond() -> Body {
+        // bb0 -> bb1, bb2; bb1 -> bb3; bb2 -> bb3; bb3 -> return
+        let mut body = Body { num_vars: 1, ..Default::default() };
+        body.blocks = vec![
+            BasicBlock {
+                term: Terminator::If { cond: Var(0), then_bb: BlockId(1), else_bb: BlockId(2) },
+                ..Default::default()
+            },
+            BasicBlock { term: Terminator::Goto(BlockId(3)), ..Default::default() },
+            BasicBlock { term: Terminator::Goto(BlockId(3)), ..Default::default() },
+            BasicBlock { term: Terminator::Return(None), ..Default::default() },
+        ];
+        body
+    }
+
+    #[test]
+    fn diamond_adjacency() {
+        let cfg = Cfg::build(&diamond());
+        assert_eq!(cfg.succs[0], vec![BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds[3], vec![BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.rpo[0], BlockId(0));
+        assert_eq!(*cfg.rpo.last().unwrap(), BlockId(3));
+        assert_eq!(cfg.rpo.len(), 4);
+    }
+
+    #[test]
+    fn handler_edge_added_for_calls() {
+        let mut body = diamond();
+        body.blocks[1].handler = Some(BlockId(2));
+        body.blocks[1].insts.push(Inst::Call {
+            dst: None,
+            target: CallTarget::Static(MethodId(0)),
+            recv: None,
+            args: vec![],
+        });
+        let cfg = Cfg::build(&body);
+        assert!(cfg.succs[1].contains(&BlockId(2)), "exceptional edge to handler");
+    }
+
+    #[test]
+    fn no_handler_edge_without_throwing_insts() {
+        let mut body = diamond();
+        body.blocks[1].handler = Some(BlockId(2));
+        let cfg = Cfg::build(&body);
+        assert_eq!(cfg.succs[1], vec![BlockId(3)]);
+    }
+
+    #[test]
+    fn unreachable_block_detected() {
+        let mut body = diamond();
+        body.blocks.push(BasicBlock { term: Terminator::Return(None), ..Default::default() });
+        let cfg = Cfg::build(&body);
+        assert!(!cfg.is_reachable(BlockId(4)));
+        assert!(cfg.is_reachable(BlockId(3)));
+    }
+}

@@ -1,0 +1,115 @@
+//! Classes, interfaces, fields, and method selectors.
+
+use crate::index_type;
+use crate::types::TypeId;
+
+index_type! {
+    /// Id of a [`Class`] in a [`crate::program::Program`].
+    pub struct ClassId, "C"
+}
+
+index_type! {
+    /// Id of a [`Field`] in a [`crate::program::Program`].
+    pub struct FieldId, "f"
+}
+
+index_type! {
+    /// Id of an interned [`Selector`] (method name + arity).
+    pub struct SelectorId, "sel"
+}
+
+/// A method selector: dispatch key for virtual calls.
+///
+/// jweb does not support overloading on parameter *types*, so a name plus an
+/// arity uniquely identifies a method within a class.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Selector {
+    /// Method name.
+    pub name: String,
+    /// Number of declared (non-receiver) parameters.
+    pub arity: usize,
+}
+
+/// A class or interface declaration.
+#[derive(Clone, Debug)]
+pub struct Class {
+    /// Source-level name, unique within a program.
+    pub name: String,
+    /// Superclass, `None` only for the root `Object` class and interfaces.
+    pub superclass: Option<ClassId>,
+    /// Implemented interfaces.
+    pub interfaces: Vec<ClassId>,
+    /// Declared instance and static fields.
+    pub fields: Vec<FieldId>,
+    /// Declared methods (ids into the program's method table).
+    pub methods: Vec<crate::method::MethodId>,
+    /// Whether this is an interface (no instantiation, abstract methods).
+    pub is_interface: bool,
+    /// Whether this class belongs to *library* code. Drives the LCP
+    /// application/library classification (§5) and whitelist exclusion
+    /// (§4.2.1).
+    pub is_library: bool,
+    /// Whether this class is a collection (`HashMap`, `ArrayList`, …).
+    /// Collections receive unlimited-depth object sensitivity (§3.1).
+    pub is_collection: bool,
+}
+
+impl Class {
+    /// Creates an application class with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Class {
+            name: name.into(),
+            superclass: None,
+            interfaces: Vec::new(),
+            fields: Vec::new(),
+            methods: Vec::new(),
+            is_interface: false,
+            is_library: false,
+            is_collection: false,
+        }
+    }
+}
+
+/// A field declaration.
+#[derive(Clone, Debug)]
+pub struct Field {
+    /// Field name (synthetic model fields start with `$`).
+    pub name: String,
+    /// Declaring class. Synthetic model fields (e.g. `$map$key`) use the
+    /// library `Object` class as a nominal owner.
+    pub owner: ClassId,
+    /// Declared type.
+    pub ty: TypeId,
+    /// Whether the field is static (a single global location).
+    pub is_static: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selector_equality_is_name_and_arity() {
+        let a = Selector { name: "foo".into(), arity: 1 };
+        let b = Selector { name: "foo".into(), arity: 1 };
+        let c = Selector { name: "foo".into(), arity: 2 };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn class_defaults() {
+        let c = Class::new("Widget");
+        assert_eq!(c.name, "Widget");
+        assert!(!c.is_library);
+        assert!(!c.is_interface);
+        assert!(c.fields.is_empty());
+    }
+
+    #[test]
+    fn index_type_roundtrip() {
+        let c = ClassId::new(5);
+        assert_eq!(c.index(), 5);
+        assert_eq!(format!("{c:?}"), "C5");
+    }
+}

@@ -1,0 +1,198 @@
+//! Dominator tree and dominance frontiers (Cooper–Harvey–Kennedy's
+//! "A Simple, Fast Dominance Algorithm"), the substrate for SSA construction.
+
+use crate::cfg::Cfg;
+use crate::inst::BlockId;
+
+/// Immediate-dominator tree plus dominance frontiers for one CFG.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator per block; `idom[entry] == entry`; unreachable
+    /// blocks map to `None`.
+    pub idom: Vec<Option<BlockId>>,
+    /// Dominance frontier per block.
+    pub frontier: Vec<Vec<BlockId>>,
+    /// Children in the dominator tree.
+    pub children: Vec<Vec<BlockId>>,
+}
+
+impl DomTree {
+    /// Computes dominators and frontiers for `cfg`.
+    pub fn build(cfg: &Cfg) -> DomTree {
+        let n = cfg.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if n == 0 {
+            return DomTree { idom, frontier: vec![], children: vec![] };
+        }
+        idom[0] = Some(BlockId(0));
+
+        // Iterate to fixpoint over reverse postorder.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &cfg.preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue; // not yet processed / unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &cfg.rpo_pos, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Dominance frontiers (standard runner algorithm).
+        let mut frontier = vec![Vec::new(); n];
+        for &b in &cfg.rpo {
+            if cfg.preds[b.index()].len() < 2 {
+                continue;
+            }
+            let b_idom = idom[b.index()].expect("reachable join has idom");
+            for &p in &cfg.preds[b.index()] {
+                if idom[p.index()].is_none() {
+                    continue; // unreachable predecessor
+                }
+                let mut runner = p;
+                while runner != b_idom {
+                    if !frontier[runner.index()].contains(&b) {
+                        frontier[runner.index()].push(b);
+                    }
+                    runner = idom[runner.index()].expect("reachable pred has idom");
+                }
+            }
+        }
+
+        // Dominator-tree children.
+        let mut children = vec![Vec::new(); n];
+        for (i, &id) in idom.iter().enumerate() {
+            if let Some(d) = id {
+                if d.index() != i {
+                    children[d.index()].push(BlockId(i as u32));
+                }
+            }
+        }
+
+        DomTree { idom, frontier, children }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_pos: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_pos[a.index()] > rpo_pos[b.index()] {
+            a = idom[a.index()].expect("intersect over processed nodes");
+        }
+        while rpo_pos[b.index()] > rpo_pos[a.index()] {
+            b = idom[b.index()].expect("intersect over processed nodes");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Terminator, Var};
+    use crate::method::{BasicBlock, Body};
+
+    fn body_from_edges(n: usize, edges: &[(u32, u32)]) -> Body {
+        // Encode arbitrary out-degree <= 2 graphs with Goto/If terminators.
+        let mut body = Body { num_vars: 1, ..Default::default() };
+        for i in 0..n {
+            let outs: Vec<u32> =
+                edges.iter().filter(|(s, _)| *s == i as u32).map(|(_, t)| *t).collect();
+            let term = match outs.len() {
+                0 => Terminator::Return(None),
+                1 => Terminator::Goto(BlockId(outs[0])),
+                2 => Terminator::If {
+                    cond: Var(0),
+                    then_bb: BlockId(outs[0]),
+                    else_bb: BlockId(outs[1]),
+                },
+                _ => panic!("out-degree > 2 unsupported in this helper"),
+            };
+            body.blocks.push(BasicBlock { term, ..Default::default() });
+        }
+        body
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        // 0 -> 1,2 ; 1 -> 3 ; 2 -> 3
+        let body = body_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let cfg = Cfg::build(&body);
+        let dom = DomTree::build(&cfg);
+        assert_eq!(dom.idom[1], Some(BlockId(0)));
+        assert_eq!(dom.idom[2], Some(BlockId(0)));
+        assert_eq!(dom.idom[3], Some(BlockId(0)), "join dominated by branch head");
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        // Frontier of 1 and 2 is the join block 3.
+        assert_eq!(dom.frontier[1], vec![BlockId(3)]);
+        assert_eq!(dom.frontier[2], vec![BlockId(3)]);
+        assert!(dom.frontier[0].is_empty());
+    }
+
+    #[test]
+    fn loop_dominators() {
+        // 0 -> 1 ; 1 -> 2,3 ; 2 -> 1 (back edge) ; 3 exit
+        let body = body_from_edges(4, &[(0, 1), (1, 2), (1, 3), (2, 1)]);
+        let cfg = Cfg::build(&body);
+        let dom = DomTree::build(&cfg);
+        assert_eq!(dom.idom[2], Some(BlockId(1)));
+        assert_eq!(dom.idom[3], Some(BlockId(1)));
+        // Loop header is in its own body's frontier.
+        assert!(dom.frontier[2].contains(&BlockId(1)));
+        assert!(dom.frontier[1].contains(&BlockId(1)));
+    }
+
+    #[test]
+    fn nested_ifs() {
+        // 0 -> 1,4 ; 1 -> 2,3 ; 2 -> 5; 3 -> 5; 5 -> 6; 4 -> 6
+        let body =
+            body_from_edges(7, &[(0, 1), (0, 4), (1, 2), (1, 3), (2, 5), (3, 5), (5, 6), (4, 6)]);
+        let cfg = Cfg::build(&body);
+        let dom = DomTree::build(&cfg);
+        assert_eq!(dom.idom[5], Some(BlockId(1)));
+        assert_eq!(dom.idom[6], Some(BlockId(0)));
+        assert!(dom.dominates(BlockId(1), BlockId(5)));
+        assert!(!dom.dominates(BlockId(1), BlockId(6)));
+    }
+
+    #[test]
+    fn children_partition_blocks() {
+        let body = body_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let cfg = Cfg::build(&body);
+        let dom = DomTree::build(&cfg);
+        let mut all: Vec<BlockId> = dom.children.iter().flatten().copied().collect();
+        all.sort();
+        assert_eq!(all, vec![BlockId(1), BlockId(2), BlockId(3)]);
+    }
+}

@@ -1,0 +1,421 @@
+//! Hand-written lexer for jweb source.
+
+use std::fmt;
+
+/// A lexical token kind (with payload for literals and identifiers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword-free name.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (unescaped).
+    Str(String),
+    // Keywords.
+    /// `class`
+    Class,
+    /// `interface`
+    Interface,
+    /// `library`
+    Library,
+    /// `extends`
+    Extends,
+    /// `implements`
+    Implements,
+    /// `field`
+    FieldKw,
+    /// `method`
+    MethodKw,
+    /// `ctor`
+    Ctor,
+    /// `static`
+    Static,
+    /// `void`
+    Void,
+    /// `int`
+    IntKw,
+    /// `boolean`
+    BooleanKw,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `return`
+    Return,
+    /// `throw`
+    Throw,
+    /// `try`
+    Try,
+    /// `catch`
+    Catch,
+    /// `new`
+    New,
+    /// `null`
+    Null,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `this`
+    This,
+    // Punctuation / operators.
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `!`
+    Bang,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(n) => write!(f, "integer `{n}`"),
+            Tok::Str(_) => write!(f, "string literal"),
+            Tok::Eof => write!(f, "end of input"),
+            other => write!(f, "`{other:?}`"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind and payload.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// A lexing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation.
+    pub msg: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src`, appending a trailing [`Tok::Eof`].
+///
+/// # Errors
+/// Returns a [`LexError`] on unterminated strings or unexpected characters.
+/// Line comments (`// …`) and block comments (`/* … */`) are skipped.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tl, tc) = (line, col);
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(),
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            msg: "unterminated block comment".into(),
+                            line: tl,
+                            col: tc,
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            b'"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            msg: "unterminated string literal".into(),
+                            line: tl,
+                            col: tc,
+                        });
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            bump!();
+                            break;
+                        }
+                        b'\\' if i + 1 < bytes.len() => {
+                            let esc = bytes[i + 1];
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'"' => '"',
+                                b'\\' => '\\',
+                                other => other as char,
+                            });
+                            bump!();
+                            bump!();
+                        }
+                        other => {
+                            s.push(other as char);
+                            bump!();
+                        }
+                    }
+                }
+                out.push(Token { tok: Tok::Str(s), line: tl, col: tc });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+                let text = &src[start..i];
+                let n: i64 = text.parse().map_err(|_| LexError {
+                    msg: format!("integer literal `{text}` out of range"),
+                    line: tl,
+                    col: tc,
+                })?;
+                out.push(Token { tok: Tok::Int(n), line: tl, col: tc });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'$' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+                {
+                    bump!();
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "class" => Tok::Class,
+                    "interface" => Tok::Interface,
+                    "library" => Tok::Library,
+                    "extends" => Tok::Extends,
+                    "implements" => Tok::Implements,
+                    "field" => Tok::FieldKw,
+                    "method" => Tok::MethodKw,
+                    "ctor" => Tok::Ctor,
+                    "static" => Tok::Static,
+                    "void" => Tok::Void,
+                    "int" => Tok::IntKw,
+                    "boolean" => Tok::BooleanKw,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "for" => Tok::For,
+                    "return" => Tok::Return,
+                    "throw" => Tok::Throw,
+                    "try" => Tok::Try,
+                    "catch" => Tok::Catch,
+                    "new" => Tok::New,
+                    "null" => Tok::Null,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "this" => Tok::This,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(Token { tok, line: tl, col: tc });
+            }
+            _ => {
+                // Compare raw bytes: slicing `src` here could split a
+                // multi-byte UTF-8 character and panic.
+                let two = if i + 1 < bytes.len() {
+                    Some((bytes[i], bytes[i + 1]))
+                } else {
+                    None
+                };
+                let tok = match two {
+                    Some((b'=', b'=')) => Some(Tok::EqEq),
+                    Some((b'!', b'=')) => Some(Tok::NotEq),
+                    Some((b'&', b'&')) => Some(Tok::AndAnd),
+                    Some((b'|', b'|')) => Some(Tok::OrOr),
+                    _ => None,
+                };
+                if let Some(t) = tok {
+                    bump!();
+                    bump!();
+                    out.push(Token { tok: t, line: tl, col: tc });
+                    continue;
+                }
+                let t = match c {
+                    b'{' => Tok::LBrace,
+                    b'}' => Tok::RBrace,
+                    b'(' => Tok::LParen,
+                    b')' => Tok::RParen,
+                    b'[' => Tok::LBracket,
+                    b']' => Tok::RBracket,
+                    b';' => Tok::Semi,
+                    b',' => Tok::Comma,
+                    b'.' => Tok::Dot,
+                    b'=' => Tok::Assign,
+                    b'!' => Tok::Bang,
+                    b'<' => Tok::Lt,
+                    b'>' => Tok::Gt,
+                    b'+' => Tok::Plus,
+                    b'-' => Tok::Minus,
+                    b'*' => Tok::Star,
+                    other => {
+                        return Err(LexError {
+                            msg: format!("unexpected character `{}`", other as char),
+                            line: tl,
+                            col: tc,
+                        })
+                    }
+                };
+                bump!();
+                out.push(Token { tok: t, line: tl, col: tc });
+            }
+        }
+    }
+    out.push(Token { tok: Tok::Eof, line, col });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("class Foo extends Bar"),
+            vec![
+                Tok::Class,
+                Tok::Ident("Foo".into()),
+                Tok::Extends,
+                Tok::Ident("Bar".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            toks(r#""a\nb\"c""#),
+            vec![Tok::Str("a\nb\"c".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks("a == b != c && d || !e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::EqEq,
+                Tok::Ident("b".into()),
+                Tok::NotEq,
+                Tok::Ident("c".into()),
+                Tok::AndAnd,
+                Tok::Ident("d".into()),
+                Tok::OrOr,
+                Tok::Bang,
+                Tok::Ident("e".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a // comment\n /* block\n comment */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let ts = lex("a\nb").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn dollar_identifiers() {
+        assert_eq!(toks("$map$k"), vec![Tok::Ident("$map$k".into()), Tok::Eof]);
+    }
+}

@@ -1,0 +1,961 @@
+//! AST → IR lowering: names resolved, expressions flattened to registers,
+//! control flow structured into basic blocks, casts and the reflective
+//! method-name-narrowing idiom turned into [`Filter`]ed copies (§4.2.3).
+
+use std::collections::HashMap;
+
+use crate::ast::{self, AstBinOp, Block, Expr, LValue, ProgramAst, Stmt, TypeAst};
+use crate::class::{Class, ClassId, Field, FieldId};
+use crate::inst::{BinOp, BlockId, CallTarget, ConstValue, Filter, Inst, Terminator, Var};
+use crate::method::{BasicBlock, Body, Method, MethodId, MethodKind};
+use crate::parser::ParseError;
+use crate::program::Program;
+use crate::types::{Type, TypeId};
+
+/// Lowers `ast` into `program` (which usually already contains the
+/// intrinsic model library).
+///
+/// # Errors
+/// Returns a [`ParseError`] on unresolved names, arity mismatches, or
+/// malformed constructs.
+pub fn lower(program: &mut Program, ast: &ProgramAst) -> Result<(), ParseError> {
+    // Pass 1: declare classes.
+    let mut declared: Vec<ClassId> = Vec::with_capacity(ast.classes.len());
+    for decl in &ast.classes {
+        if program.class_by_name(&decl.name).is_some() {
+            return Err(ParseError::msg(format!("class `{}` already defined", decl.name)));
+        }
+        let mut class = Class::new(decl.name.clone());
+        class.is_interface = decl.is_interface;
+        class.is_library = decl.is_library;
+        declared.push(program.add_class(class));
+    }
+    // Pass 2: resolve supertypes, declare fields and method signatures.
+    let object = program
+        .class_by_name("Object")
+        .ok_or_else(|| ParseError::msg("model library must define `Object`"))?;
+    let mut method_ids: Vec<Vec<MethodId>> = Vec::with_capacity(ast.classes.len());
+    for (decl, &cid) in ast.classes.iter().zip(&declared) {
+        let superclass = match &decl.superclass {
+            Some(name) => Some(resolve_class(program, name, decl.line)?),
+            None if decl.is_interface => None,
+            None if cid == object => None, // the root has no superclass
+            None => Some(object),
+        };
+        program.class_mut(cid).superclass = superclass;
+        let mut ifaces = Vec::new();
+        for i in &decl.interfaces {
+            ifaces.push(resolve_class(program, i, decl.line)?);
+        }
+        program.class_mut(cid).interfaces = ifaces;
+        for f in &decl.fields {
+            let ty = resolve_type(program, &f.ty, decl.line)?;
+            program.add_field(Field {
+                name: f.name.clone(),
+                owner: cid,
+                ty,
+                is_static: f.is_static,
+            });
+        }
+        let mut mids = Vec::new();
+        for m in &decl.methods {
+            let params = m
+                .params
+                .iter()
+                .map(|(t, _)| resolve_type(program, t, m.line))
+                .collect::<Result<Vec<_>, _>>()?;
+            let ret = resolve_type(program, &m.ret, m.line)?;
+            let kind = if m.body.is_some() {
+                MethodKind::Body(Body::default()) // replaced in pass 3
+            } else {
+                MethodKind::Abstract
+            };
+            mids.push(program.add_method(Method {
+                name: m.name.clone(),
+                owner: cid,
+                params,
+                ret,
+                is_static: m.is_static,
+                kind,
+                is_factory: false,
+            }));
+        }
+        method_ids.push(mids);
+    }
+    // Pass 3: lower bodies.
+    for ((decl, &cid), mids) in ast.classes.iter().zip(&declared).zip(&method_ids) {
+        for (m, &mid) in decl.methods.iter().zip(mids) {
+            if let Some(block) = &m.body {
+                let body = BodyLowerer::new(program, cid, mid, m)?.lower_body(block)?;
+                *program.method_mut(mid).body_mut().expect("declared with body") = body;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn resolve_class(program: &Program, name: &str, line: u32) -> Result<ClassId, ParseError> {
+    program.class_by_name(name).ok_or(ParseError {
+        msg: format!("unknown class `{name}`"),
+        line,
+        col: 0,
+    })
+}
+
+fn resolve_type(program: &mut Program, ty: &TypeAst, line: u32) -> Result<TypeId, ParseError> {
+    Ok(match ty {
+        TypeAst::Void => program.types.void(),
+        TypeAst::Int => program.types.int(),
+        TypeAst::Boolean => program.types.boolean(),
+        TypeAst::Str => program.types.string(),
+        TypeAst::Named(n) => {
+            let c = resolve_class(program, n, line)?;
+            program.types.class(c)
+        }
+        TypeAst::Array(elem) => {
+            let e = resolve_type(program, elem, line)?;
+            program.types.array(e)
+        }
+    })
+}
+
+/// Per-body lowering state.
+struct BodyLowerer<'a> {
+    program: &'a mut Program,
+    class: ClassId,
+    body: Body,
+    cur: BlockId,
+    scopes: Vec<HashMap<String, (Var, TypeId)>>,
+    handlers: Vec<BlockId>,
+    /// Active reflective narrowing facts: `(local name, method name)` from
+    /// enclosing `if (x.getName().equals("m"))` conditions.
+    narrows: Vec<(String, String)>,
+    is_static: bool,
+}
+
+impl<'a> BodyLowerer<'a> {
+    fn new(
+        program: &'a mut Program,
+        class: ClassId,
+        mid: MethodId,
+        decl: &ast::MethodDecl,
+    ) -> Result<Self, ParseError> {
+        let mut body = Body::default();
+        let is_static = decl.is_static;
+        let mut scope = HashMap::new();
+        if !is_static {
+            let this_ty = program.types.class(class);
+            let v = body.fresh_var();
+            body.var_types.push(this_ty);
+            debug_assert_eq!(v, Var(0));
+        }
+        for (i, (t, name)) in decl.params.iter().enumerate() {
+            let ty = resolve_type(program, t, decl.line)?;
+            let v = body.fresh_var();
+            body.var_types.push(ty);
+            debug_assert_eq!(v.index(), i + usize::from(!is_static));
+            scope.insert(name.clone(), (v, ty));
+        }
+        let _ = mid;
+        let mut lowerer = BodyLowerer {
+            program,
+            class,
+            body,
+            cur: BlockId(0),
+            scopes: vec![scope],
+            handlers: Vec::new(),
+            narrows: Vec::new(),
+            is_static,
+        };
+        lowerer.body.blocks.push(BasicBlock::default());
+        Ok(lowerer)
+    }
+
+    fn lower_body(mut self, block: &Block) -> Result<Body, ParseError> {
+        self.lower_block(block)?;
+        // Fall-through return for void methods / unfinished blocks.
+        if matches!(self.body.blocks[self.cur.index()].term, Terminator::Unreachable) {
+            self.body.blocks[self.cur.index()].term = Terminator::Return(None);
+        }
+        Ok(self.body)
+    }
+
+    // ---- block/terminator plumbing ----
+
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.body.blocks.len() as u32);
+        self.body.blocks.push(BasicBlock {
+            handler: self.handlers.last().copied(),
+            ..Default::default()
+        });
+        id
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        self.body.blocks[self.cur.index()].insts.push(inst);
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        let b = &mut self.body.blocks[self.cur.index()];
+        if matches!(b.term, Terminator::Unreachable) {
+            b.term = term;
+        }
+    }
+
+    fn fresh(&mut self, ty: TypeId) -> Var {
+        let v = self.body.fresh_var();
+        self.body.var_types.push(ty);
+        v
+    }
+
+    fn lookup(&self, name: &str) -> Option<(Var, TypeId)> {
+        self.scopes.iter().rev().find_map(|s| s.get(name)).copied()
+    }
+
+    fn declare(&mut self, name: &str, v: Var, ty: TypeId) {
+        self.scopes.last_mut().expect("scope stack nonempty").insert(name.to_string(), (v, ty));
+    }
+
+    // ---- statements ----
+
+    fn lower_block(&mut self, block: &Block) -> Result<(), ParseError> {
+        self.scopes.push(HashMap::new());
+        for stmt in &block.stmts {
+            self.lower_stmt(stmt)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<(), ParseError> {
+        match stmt {
+            Stmt::VarDecl { ty, name, init, line } => {
+                let tyid = resolve_type(self.program, ty, *line)?;
+                let v = self.fresh(tyid);
+                if let Some(e) = init {
+                    let (src, _) = self.lower_expr(e)?;
+                    let filter = self.narrow_filter_for(e);
+                    self.emit(Inst::Assign { dst: v, src, filter });
+                } else {
+                    self.emit(Inst::Const { dst: v, value: default_const(self.program, tyid) });
+                }
+                self.declare(name, v, tyid);
+            }
+            Stmt::Assign { lhs, rhs, line } => match lhs {
+                LValue::Var(name) => {
+                    let (dst, _ty) = self.lookup(name).ok_or(ParseError {
+                        msg: format!("unknown variable `{name}`"),
+                        line: *line,
+                        col: 0,
+                    })?;
+                    let (src, _) = self.lower_expr(rhs)?;
+                    let filter = self.narrow_filter_for(rhs);
+                    self.emit(Inst::Assign { dst, src, filter });
+                }
+                LValue::Field { base, name } => {
+                    let (src, _) = self.lower_expr(rhs)?;
+                    match self.static_class_of(base) {
+                        Some(cid) => {
+                            let f = self.resolve_field(cid, name, *line)?;
+                            self.emit(Inst::StaticStore { field: f, src });
+                        }
+                        None => {
+                            let (b, bty) = self.lower_expr(base)?;
+                            let f = self.field_on(bty, name, *line)?;
+                            self.emit(Inst::Store { base: b, field: f, src });
+                        }
+                    }
+                }
+                LValue::Index { base, index } => {
+                    let (b, _) = self.lower_expr(base)?;
+                    let (idx, _) = self.lower_expr(index)?;
+                    let (src, _) = self.lower_expr(rhs)?;
+                    self.emit(Inst::ArrayStore { base: b, index: Some(idx), src });
+                }
+            },
+            Stmt::Expr(e) => {
+                self.lower_expr(e)?;
+            }
+            Stmt::If { cond, then_blk, else_blk } => {
+                let (c, _) = self.lower_expr(cond)?;
+                let then_bb = self.new_block();
+                let else_bb = self.new_block();
+                let join = self.new_block();
+                self.terminate(Terminator::If { cond: c, then_bb, else_bb });
+                // Reflective narrowing applies in the then-branch only.
+                let narrow = narrow_pattern(cond);
+                self.cur = then_bb;
+                if let Some(n) = &narrow {
+                    self.narrows.push(n.clone());
+                }
+                self.lower_block(then_blk)?;
+                if narrow.is_some() {
+                    self.narrows.pop();
+                }
+                self.terminate(Terminator::Goto(join));
+                self.cur = else_bb;
+                if let Some(eb) = else_blk {
+                    self.lower_block(eb)?;
+                }
+                self.terminate(Terminator::Goto(join));
+                self.cur = join;
+            }
+            Stmt::While { cond, body } => {
+                let header = self.new_block();
+                self.terminate(Terminator::Goto(header));
+                self.cur = header;
+                let (c, _) = self.lower_expr(cond)?;
+                let body_bb = self.new_block();
+                let exit = self.new_block();
+                self.terminate(Terminator::If { cond: c, then_bb: body_bb, else_bb: exit });
+                self.cur = body_bb;
+                self.lower_block(body)?;
+                self.terminate(Terminator::Goto(header));
+                self.cur = exit;
+            }
+            Stmt::Return(value, _line) => {
+                let v = match value {
+                    Some(e) => Some(self.lower_expr(e)?.0),
+                    None => None,
+                };
+                self.terminate(Terminator::Return(v));
+                self.cur = self.new_block(); // dead continuation
+            }
+            Stmt::Throw(e, _line) => {
+                let (v, _) = self.lower_expr(e)?;
+                self.terminate(Terminator::Throw(v));
+                self.cur = self.new_block();
+            }
+            Stmt::Try { body, catch_class, catch_name, handler } => {
+                let exc_class = resolve_class(self.program, catch_class, 0)?;
+                let exc_ty = self.program.types.class(exc_class);
+                let handler_bb = self.new_block(); // handler itself uses outer handler
+                // Protected region.
+                self.handlers.push(handler_bb);
+                let protected = self.new_block();
+                self.terminate(Terminator::Goto(protected));
+                self.cur = protected;
+                self.lower_block(body)?;
+                self.handlers.pop();
+                let join = self.new_block();
+                self.terminate(Terminator::Goto(join));
+                // Handler.
+                self.cur = handler_bb;
+                let evar = self.fresh(exc_ty);
+                self.emit(Inst::CatchBind { dst: evar, class: exc_class });
+                self.scopes.push(HashMap::new());
+                self.declare(catch_name, evar, exc_ty);
+                for s in &handler.stmts {
+                    self.lower_stmt(s)?;
+                }
+                self.scopes.pop();
+                self.terminate(Terminator::Goto(join));
+                self.cur = join;
+            }
+        }
+        Ok(())
+    }
+
+    // ---- expressions ----
+
+    fn lower_expr(&mut self, e: &Expr) -> Result<(Var, TypeId), ParseError> {
+        match e {
+            Expr::Int(n) => {
+                let ty = self.program.types.int();
+                let v = self.fresh(ty);
+                self.emit(Inst::Const { dst: v, value: ConstValue::Int(*n) });
+                Ok((v, ty))
+            }
+            Expr::Bool(b) => {
+                let ty = self.program.types.boolean();
+                let v = self.fresh(ty);
+                self.emit(Inst::Const { dst: v, value: ConstValue::Bool(*b) });
+                Ok((v, ty))
+            }
+            Expr::Str(s) => {
+                let ty = self.program.types.string();
+                let v = self.fresh(ty);
+                self.emit(Inst::Const { dst: v, value: ConstValue::Str(s.clone()) });
+                Ok((v, ty))
+            }
+            Expr::Null => {
+                let ty = self.program.types.null();
+                let v = self.fresh(ty);
+                self.emit(Inst::Const { dst: v, value: ConstValue::Null });
+                Ok((v, ty))
+            }
+            Expr::This(line) => {
+                if self.is_static {
+                    return Err(ParseError {
+                        msg: "`this` in static method".into(),
+                        line: *line,
+                        col: 0,
+                    });
+                }
+                Ok((Var(0), self.program.types.class(self.class)))
+            }
+            Expr::Var(name, line) => self.lookup(name).ok_or(ParseError {
+                msg: format!("unknown variable `{name}`"),
+                line: *line,
+                col: 0,
+            }),
+            Expr::Field { base, name, line } => {
+                // `arr.length` → opaque int.
+                if name == "length" {
+                    let (b, bty) = self.lower_expr(base)?;
+                    if matches!(self.program.types.resolve(bty), Type::Array(_)) {
+                        let ty = self.program.types.int();
+                        let v = self.fresh(ty);
+                        let _ = b;
+                        self.emit(Inst::Const { dst: v, value: ConstValue::Int(0) });
+                        return Ok((v, ty));
+                    }
+                }
+                match self.static_class_of(base) {
+                    Some(cid) => {
+                        let f = self.resolve_field(cid, name, *line)?;
+                        let ty = self.program.field(f).ty;
+                        let v = self.fresh(ty);
+                        self.emit(Inst::StaticLoad { dst: v, field: f });
+                        Ok((v, ty))
+                    }
+                    None => {
+                        let (b, bty) = self.lower_expr(base)?;
+                        let f = self.field_on(bty, name, *line)?;
+                        let ty = self.program.field(f).ty;
+                        let v = self.fresh(ty);
+                        self.emit(Inst::Load { dst: v, base: b, field: f });
+                        Ok((v, ty))
+                    }
+                }
+            }
+            Expr::Index { base, index } => {
+                let (b, bty) = self.lower_expr(base)?;
+                let (idx, _) = self.lower_expr(index)?;
+                let elem_ty = match self.program.types.resolve(bty) {
+                    Type::Array(e) => e,
+                    _ => self.object_type(),
+                };
+                let v = self.fresh(elem_ty);
+                self.emit(Inst::ArrayLoad { dst: v, base: b, index: Some(idx) });
+                Ok((v, elem_ty))
+            }
+            Expr::Call { base, name, args, line } => self.lower_call(base, name, args, *line),
+            Expr::New { class, args, line } => {
+                if class == "String" {
+                    // `new String(x)` is a copy of the string-carrier value.
+                    if let Some(a0) = args.first() {
+                        let (src, _) = self.lower_expr(a0)?;
+                        let ty = self.program.types.string();
+                        let v = self.fresh(ty);
+                        self.emit(Inst::Assign { dst: v, src, filter: None });
+                        return Ok((v, ty));
+                    }
+                    let ty = self.program.types.string();
+                    let v = self.fresh(ty);
+                    self.emit(Inst::Const { dst: v, value: ConstValue::Str(String::new()) });
+                    return Ok((v, ty));
+                }
+                let cid = resolve_class(self.program, class, *line)?;
+                let ty = self.program.types.class(cid);
+                let v = self.fresh(ty);
+                self.emit(Inst::New { dst: v, class: cid });
+                // Find a constructor with matching arity in the chain.
+                let mut lowered = Vec::with_capacity(args.len());
+                for a in args {
+                    lowered.push(self.lower_expr(a)?.0);
+                }
+                if let Some(init) = self.find_ctor(cid, args.len()) {
+                    self.emit(Inst::Call {
+                        dst: None,
+                        target: CallTarget::Special(init),
+                        recv: Some(v),
+                        args: lowered,
+                    });
+                } else if !args.is_empty() {
+                    return Err(ParseError {
+                        msg: format!("no {}-ary constructor on `{class}`", args.len()),
+                        line: *line,
+                        col: 0,
+                    });
+                }
+                Ok((v, ty))
+            }
+            Expr::NewArray { elem, init, line } => {
+                let elem_ty = resolve_type(self.program, elem, *line)?;
+                let arr_ty = self.program.types.array(elem_ty);
+                let v = self.fresh(arr_ty);
+                self.emit(Inst::NewArray { dst: v, elem: elem_ty });
+                for (pos, e) in init.iter().enumerate() {
+                    let (src, _) = self.lower_expr(e)?;
+                    let ity = self.program.types.int();
+                    let iv = self.fresh(ity);
+                    self.emit(Inst::Const { dst: iv, value: ConstValue::Int(pos as i64) });
+                    self.emit(Inst::ArrayStore { base: v, index: Some(iv), src });
+                }
+                Ok((v, arr_ty))
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let (l, lt) = self.lower_expr(lhs)?;
+                let (r, rt) = self.lower_expr(rhs)?;
+                let str_ty = self.program.types.string();
+                let (irop, ty) = match op {
+                    AstBinOp::Plus if lt == str_ty || rt == str_ty => (BinOp::Concat, str_ty),
+                    AstBinOp::Plus => (BinOp::Add, self.program.types.int()),
+                    AstBinOp::Minus => (BinOp::Sub, self.program.types.int()),
+                    AstBinOp::Star => (BinOp::Mul, self.program.types.int()),
+                    AstBinOp::EqEq => (BinOp::Eq, self.program.types.boolean()),
+                    AstBinOp::NotEq => (BinOp::Ne, self.program.types.boolean()),
+                    AstBinOp::Lt => (BinOp::Lt, self.program.types.boolean()),
+                    AstBinOp::Gt => (BinOp::Gt, self.program.types.boolean()),
+                    AstBinOp::AndAnd => (BinOp::And, self.program.types.boolean()),
+                    AstBinOp::OrOr => (BinOp::Or, self.program.types.boolean()),
+                };
+                let v = self.fresh(ty);
+                self.emit(Inst::Binary { dst: v, op: irop, lhs: l, rhs: r });
+                Ok((v, ty))
+            }
+            Expr::Not(inner) => {
+                let (x, _) = self.lower_expr(inner)?;
+                let bty = self.program.types.boolean();
+                let f = self.fresh(bty);
+                self.emit(Inst::Const { dst: f, value: ConstValue::Bool(false) });
+                let v = self.fresh(bty);
+                self.emit(Inst::Binary { dst: v, op: BinOp::Eq, lhs: x, rhs: f });
+                Ok((v, bty))
+            }
+            Expr::Cast { ty, expr, line } => {
+                let (src, _) = self.lower_expr(expr)?;
+                let tyid = resolve_type(self.program, ty, *line)?;
+                let v = self.fresh(tyid);
+                let filter = match self.program.types.resolve(tyid) {
+                    Type::Class(c) => Some(Filter::InstanceOf(c)),
+                    _ => None,
+                };
+                self.emit(Inst::Assign { dst: v, src, filter });
+                Ok((v, tyid))
+            }
+        }
+    }
+
+    fn lower_call(
+        &mut self,
+        base: &Option<Box<Expr>>,
+        name: &str,
+        args: &[Expr],
+        line: u32,
+    ) -> Result<(Var, TypeId), ParseError> {
+        // Static call through a class name?
+        if let Some(b) = base {
+            if let Some(cid) = self.static_class_of(b) {
+                let mid = self
+                    .program
+                    .method_by_name(cid, name)
+                    .filter(|&m| self.program.method(m).params.len() == args.len())
+                    .ok_or(ParseError {
+                        msg: format!(
+                            "no static method `{}.{name}/{}`",
+                            self.program.class(cid).name,
+                            args.len()
+                        ),
+                        line,
+                        col: 0,
+                    })?;
+                if !self.program.method(mid).is_static {
+                    return Err(ParseError {
+                        msg: format!("`{name}` is not static"),
+                        line,
+                        col: 0,
+                    });
+                }
+                let mut lowered = Vec::with_capacity(args.len());
+                for a in args {
+                    lowered.push(self.lower_expr(a)?.0);
+                }
+                let ret = self.program.method(mid).ret;
+                let dst = self.call_dst(ret);
+                self.emit(Inst::Call {
+                    dst,
+                    target: CallTarget::Static(mid),
+                    recv: None,
+                    args: lowered,
+                });
+                return Ok((dst.unwrap_or(Var(0)), ret));
+            }
+        }
+        // Receiver expression (explicit base or implicit `this`).
+        let (recv, recv_ty) = match base {
+            Some(b) => self.lower_expr(b)?,
+            None => {
+                // Unqualified: method on the current class (static or not).
+                if let Some(mid) = self
+                    .program
+                    .method_by_name(self.class, name)
+                    .filter(|&m| self.program.method(m).params.len() == args.len())
+                {
+                    if self.program.method(mid).is_static {
+                        let mut lowered = Vec::with_capacity(args.len());
+                        for a in args {
+                            lowered.push(self.lower_expr(a)?.0);
+                        }
+                        let ret = self.program.method(mid).ret;
+                        let dst = self.call_dst(ret);
+                        self.emit(Inst::Call {
+                            dst,
+                            target: CallTarget::Static(mid),
+                            recv: None,
+                            args: lowered,
+                        });
+                        return Ok((dst.unwrap_or(Var(0)), ret));
+                    }
+                }
+                if self.is_static {
+                    return Err(ParseError {
+                        msg: format!("unqualified call `{name}` in static method"),
+                        line,
+                        col: 0,
+                    });
+                }
+                (Var(0), self.program.types.class(self.class))
+            }
+        };
+        let mut lowered = Vec::with_capacity(args.len());
+        for a in args {
+            lowered.push(self.lower_expr(a)?.0);
+        }
+        let sel = self.program.selector(name, args.len());
+        // Determine a return type from the static receiver type when
+        // possible, else from any program method with this selector.
+        let ret = self
+            .program
+            .types
+            .resolve(recv_ty)
+            .as_class()
+            .and_then(|c| self.program.method_by_name(c, name))
+            .filter(|&m| self.program.method(m).params.len() == args.len())
+            .map(|m| self.program.method(m).ret)
+            .or_else(|| {
+                self.program
+                    .iter_methods()
+                    .find(|(_, m)| m.name == name && m.params.len() == args.len())
+                    .map(|(_, m)| m.ret)
+            })
+            .unwrap_or_else(|| self.object_type());
+        let dst = self.call_dst(ret);
+        self.emit(Inst::Call {
+            dst,
+            target: CallTarget::Virtual(sel),
+            recv: Some(recv),
+            args: lowered,
+        });
+        Ok((dst.unwrap_or(Var(0)), ret))
+    }
+
+    fn call_dst(&mut self, ret: TypeId) -> Option<Var> {
+        if ret == self.program.types.void() {
+            None
+        } else {
+            Some(self.fresh(ret))
+        }
+    }
+
+    // ---- helpers ----
+
+    /// If `e` is a bare identifier naming a class (and not shadowed by a
+    /// local), returns that class: static-access position.
+    fn static_class_of(&self, e: &Expr) -> Option<ClassId> {
+        match e {
+            Expr::Var(name, _) if self.lookup(name).is_none() => {
+                self.program.class_by_name(name)
+            }
+            _ => None,
+        }
+    }
+
+    fn resolve_field(
+        &self,
+        class: ClassId,
+        name: &str,
+        line: u32,
+    ) -> Result<FieldId, ParseError> {
+        self.program.field_by_name(class, name).ok_or(ParseError {
+            msg: format!("no field `{name}` on `{}`", self.program.class(class).name),
+            line,
+            col: 0,
+        })
+    }
+
+    fn field_on(&self, base_ty: TypeId, name: &str, line: u32) -> Result<FieldId, ParseError> {
+        match self.program.types.resolve(base_ty) {
+            Type::Class(c) => self.resolve_field(c, name, line),
+            other => Err(ParseError {
+                msg: format!("field access `{name}` on non-class type {other:?}"),
+                line,
+                col: 0,
+            }),
+        }
+    }
+
+    fn find_ctor(&self, class: ClassId, arity: usize) -> Option<MethodId> {
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            if let Some(m) = self.program.class(c).methods.iter().copied().find(|&m| {
+                let meth = self.program.method(m);
+                meth.name == "<init>" && meth.params.len() == arity
+            }) {
+                return Some(m);
+            }
+            cur = self.program.class(c).superclass;
+        }
+        None
+    }
+
+    fn object_type(&mut self) -> TypeId {
+        let obj = self.program.class_by_name("Object").expect("Object exists");
+        self.program.types.class(obj)
+    }
+
+    /// If `e` is a bare read of a variable with an active reflective
+    /// narrowing fact, produce the corresponding filter.
+    fn narrow_filter_for(&self, e: &Expr) -> Option<Filter> {
+        if let Expr::Var(name, _) = e {
+            for (var, mname) in self.narrows.iter().rev() {
+                if var == name {
+                    return Some(Filter::MethodNameEquals(mname.clone()));
+                }
+            }
+        }
+        None
+    }
+}
+
+fn default_const(program: &Program, ty: TypeId) -> ConstValue {
+    match program.types.resolve(ty) {
+        Type::Int => ConstValue::Int(0),
+        Type::Boolean => ConstValue::Bool(false),
+        Type::Str => ConstValue::Str(String::new()),
+        _ => ConstValue::Null,
+    }
+}
+
+/// Recognizes the reflective narrowing idiom in an `if` condition:
+/// `x.getName().equals("m")` or `x.getName() == "m"`, returning
+/// `(local name, method name)`.
+fn narrow_pattern(cond: &Expr) -> Option<(String, String)> {
+    fn get_name_recv(e: &Expr) -> Option<String> {
+        if let Expr::Call { base: Some(b), name, args, .. } = e {
+            if name == "getName" && args.is_empty() {
+                if let Expr::Var(v, _) = &**b {
+                    return Some(v.clone());
+                }
+            }
+        }
+        None
+    }
+    match cond {
+        Expr::Call { base: Some(b), name, args, .. } if name == "equals" && args.len() == 1 => {
+            let v = get_name_recv(b)?;
+            if let Expr::Str(s) = &args[0] {
+                return Some((v, s.clone()));
+            }
+            None
+        }
+        Expr::Binary { op: AstBinOp::EqEq, lhs, rhs } => {
+            let v = get_name_recv(lhs)?;
+            if let Expr::Str(s) = &**rhs {
+                return Some((v, s.clone()));
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn lower_src(src: &str) -> Program {
+        let mut p = crate::stdlib::stdlib_program();
+        let ast = parse(src).unwrap();
+        lower(&mut p, &ast).unwrap();
+        p
+    }
+
+    #[test]
+    fn lowers_simple_method() {
+        let p = lower_src(
+            r#"
+            class A {
+                field String s;
+                method String get() { return this.s; }
+            }
+            "#,
+        );
+        let a = p.class_by_name("A").unwrap();
+        let m = p.method_by_name(a, "get").unwrap();
+        let body = p.method(m).body().unwrap();
+        assert!(matches!(body.blocks[0].insts[0], Inst::Load { .. }));
+        assert!(matches!(body.blocks[0].term, Terminator::Return(Some(_))));
+    }
+
+    #[test]
+    fn constructor_call_lowered_as_special() {
+        let p = lower_src(
+            r#"
+            class Box {
+                field String v;
+                ctor (String v) { this.v = v; }
+            }
+            class Use {
+                method Box mk(String s) { return new Box(s); }
+            }
+            "#,
+        );
+        let u = p.class_by_name("Use").unwrap();
+        let m = p.method_by_name(u, "mk").unwrap();
+        let body = p.method(m).body().unwrap();
+        let has_special = body.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(i, Inst::Call { target: CallTarget::Special(_), .. })
+        });
+        assert!(has_special, "constructor should lower to a Special call");
+    }
+
+    #[test]
+    fn cast_produces_instanceof_filter() {
+        let p = lower_src(
+            r#"
+            class Widget { }
+            class C {
+                method Widget f(Object o) { return (Widget) o; }
+            }
+            "#,
+        );
+        let c = p.class_by_name("C").unwrap();
+        let m = p.method_by_name(c, "f").unwrap();
+        let body = p.method(m).body().unwrap();
+        let widget = p.class_by_name("Widget").unwrap();
+        let found = body.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(i, Inst::Assign { filter: Some(Filter::InstanceOf(w)), .. } if *w == widget)
+        });
+        assert!(found, "cast should carry an InstanceOf filter");
+    }
+
+    #[test]
+    fn reflective_narrowing_filter_attached() {
+        let p = lower_src(
+            r#"
+            class C {
+                method void pick(Method m) {
+                    Method chosen = null;
+                    if (m.getName().equals("id")) { chosen = m; }
+                }
+            }
+            "#,
+        );
+        let c = p.class_by_name("C").unwrap();
+        let m = p.method_by_name(c, "pick").unwrap();
+        let body = p.method(m).body().unwrap();
+        let found = body.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i,
+                Inst::Assign { filter: Some(Filter::MethodNameEquals(n)), .. } if n == "id"
+            )
+        });
+        assert!(found, "narrowing filter expected, body: {body:#?}");
+    }
+
+    #[test]
+    fn try_catch_sets_handler_and_catchbind() {
+        let p = lower_src(
+            r#"
+            class C {
+                method void f() {
+                    try { this.g(); } catch (Exception e) { this.h(e); }
+                }
+                method void g() { }
+                method void h(Exception e) { }
+            }
+            "#,
+        );
+        let c = p.class_by_name("C").unwrap();
+        let m = p.method_by_name(c, "f").unwrap();
+        let body = p.method(m).body().unwrap();
+        let has_bind =
+            body.blocks.iter().flat_map(|b| &b.insts).any(|i| matches!(i, Inst::CatchBind { .. }));
+        assert!(has_bind);
+        let protected_has_handler = body.blocks.iter().any(|b| {
+            b.handler.is_some() && b.insts.iter().any(Inst::is_call)
+        });
+        assert!(protected_has_handler, "protected call should sit in a handled block");
+    }
+
+    #[test]
+    fn string_concat_lowered() {
+        let p = lower_src(
+            r#"
+            class C { method String f(String a, int b) { return a + b; } }
+            "#,
+        );
+        let c = p.class_by_name("C").unwrap();
+        let m = p.method_by_name(c, "f").unwrap();
+        let body = p.method(m).body().unwrap();
+        let concat = body.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(i, Inst::Binary { op: BinOp::Concat, .. })
+        });
+        assert!(concat);
+    }
+
+    #[test]
+    fn static_call_via_class_name() {
+        let p = lower_src(
+            r#"
+            class Util {
+                static method String id(String s) { return s; }
+            }
+            class C { method String f(String s) { return Util.id(s); } }
+            "#,
+        );
+        let c = p.class_by_name("C").unwrap();
+        let m = p.method_by_name(c, "f").unwrap();
+        let body = p.method(m).body().unwrap();
+        let is_static = body.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(i, Inst::Call { target: CallTarget::Static(_), .. })
+        });
+        assert!(is_static);
+    }
+
+    #[test]
+    fn unknown_variable_is_error() {
+        let mut p = crate::stdlib::stdlib_program();
+        let ast = parse("class C { method void f() { x = 1; } }").unwrap();
+        let err = lower(&mut p, &ast).unwrap_err();
+        assert!(err.msg.contains("unknown variable"), "{err}");
+    }
+
+    #[test]
+    fn while_produces_loop_cfg() {
+        let p = lower_src(
+            r#"
+            class C {
+                method int f(int n) {
+                    int x = 0;
+                    while (n > 0) { x = x + 1; n = n - 1; }
+                    return x;
+                }
+            }
+            "#,
+        );
+        let c = p.class_by_name("C").unwrap();
+        let m = p.method_by_name(c, "f").unwrap();
+        let body = p.method(m).body().unwrap();
+        let cfg = crate::cfg::Cfg::build(body);
+        // Some block must have a back edge to an earlier block.
+        let has_back_edge = cfg
+            .rpo
+            .iter()
+            .any(|&b| cfg.succs[b.index()].iter().any(|s| cfg.rpo_pos[s.index()] <= cfg.rpo_pos[b.index()]));
+        assert!(has_back_edge, "loop should create a back edge");
+    }
+}

@@ -1,0 +1,254 @@
+//! Methods, bodies, basic blocks, and intrinsic (synthetic-model) methods.
+
+use crate::class::ClassId;
+use crate::index_type;
+use crate::inst::{BlockId, Inst, Terminator, Var};
+use crate::types::TypeId;
+
+index_type! {
+    /// Id of a [`Method`] in a [`crate::program::Program`].
+    pub struct MethodId, "m"
+}
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Clone, Debug, Default)]
+pub struct BasicBlock {
+    /// Instructions in execution order; φ-functions first after SSA.
+    pub insts: Vec<Inst>,
+    /// The terminator. Defaults to [`Terminator::Unreachable`] while the
+    /// block is under construction.
+    pub term: Terminator,
+    /// Exception handler covering this block, if any. A call or `throw`
+    /// inside the block may transfer control there.
+    pub handler: Option<BlockId>,
+}
+
+/// An analyzable method body.
+#[derive(Clone, Debug, Default)]
+pub struct Body {
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<BasicBlock>,
+    /// Number of virtual registers (SSA construction grows this).
+    pub num_vars: u32,
+    /// Declared types of registers where known (indexed by register; may be
+    /// shorter than `num_vars` for SSA-introduced registers).
+    pub var_types: Vec<TypeId>,
+    /// Whether SSA construction has run.
+    pub is_ssa: bool,
+}
+
+impl Body {
+    /// Allocates a fresh register.
+    pub fn fresh_var(&mut self) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// The entry block id.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Iterates over `(BlockId, &BasicBlock)` pairs.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Total instruction count across blocks (excludes terminators).
+    pub fn num_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Access a block by id.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block by id.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BasicBlock {
+        &mut self.blocks[id.index()]
+    }
+}
+
+/// Built-in semantics for library methods that TAJ models synthetically
+/// instead of analyzing (§4.2 of the paper).
+///
+/// Most dataflow-relevant intrinsics (`MapPut`, `BuilderAppend`, …) are
+/// *expanded* into ordinary load/store instructions by
+/// [`crate::expand::expand_models`] before any analysis runs; the pointer
+/// analysis only needs special handling for the reflection and allocation
+/// intrinsics that survive expansion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    /// Returns a value derived from the receiver and every argument
+    /// (string operations: `concat`, `substring`, `toLowerCase`, …).
+    Propagate,
+    /// Returns a fresh value unrelated to the inputs (e.g. `Date.getDate`).
+    Fresh,
+    /// Returns a freshly allocated object of the given class; the call site
+    /// acts as the allocation site (library factory methods, `getWriter`).
+    FreshObject(ClassId),
+    /// Returns the receiver unchanged (fluent no-ops).
+    ReturnReceiver,
+    /// `Map.put(key, value)` → store into a synthetic per-key field.
+    MapPut,
+    /// `Map.get(key)` → load from a synthetic per-key field.
+    MapGet,
+    /// `Collection.add(v)` → store into the synthetic `$elems` field.
+    CollAdd,
+    /// `Collection.get(i)` / `Iterator.next()` → load from `$elems`.
+    CollGet,
+    /// `coll.iterator()` → alias of the receiver.
+    IterAlias,
+    /// `StringBuilder.append(v)` → store into `$content`, returns receiver.
+    BuilderAppend,
+    /// `StringBuilder.toString()` → load from `$content`.
+    BuilderToString,
+    /// `Class.forName(name)`: with a constant argument resolves to a class
+    /// literal (§4.2.3).
+    ClassForName,
+    /// `Class.newInstance()`: allocates an object of each pointed-to class.
+    ClassNewInstance,
+    /// `Class.getMethods()`: array of reflective `Method` objects.
+    GetMethods,
+    /// `Class.getMethod(name)`: a single reflective `Method` object when the
+    /// name is constant.
+    GetMethod,
+    /// `Method.getName()`: a string; participates in reflective narrowing.
+    MethodGetName,
+    /// `Method.invoke(recv, argArray)`: reflective dispatch.
+    MethodInvoke,
+    /// `Thread.start()`: invokes `run()` on the receiver.
+    ThreadStart,
+    /// `Throwable.getMessage()`: returns internal message state; marked as an
+    /// information-leakage source by the default rules (§4.1.2).
+    GetMessage,
+    /// No dataflow effect.
+    Nop,
+}
+
+/// How a method's behaviour is specified.
+#[derive(Clone, Debug)]
+pub enum MethodKind {
+    /// An analyzable IR body.
+    Body(Body),
+    /// A synthetic model (§4.2).
+    Intrinsic(Intrinsic),
+    /// Abstract/interface method with no behaviour.
+    Abstract,
+}
+
+/// A method declaration.
+#[derive(Clone, Debug)]
+pub struct Method {
+    /// Method name.
+    pub name: String,
+    /// Declaring class.
+    pub owner: ClassId,
+    /// Declared parameter types, excluding the receiver.
+    pub params: Vec<TypeId>,
+    /// Return type.
+    pub ret: TypeId,
+    /// Whether the method is static (no receiver).
+    pub is_static: bool,
+    /// Behaviour.
+    pub kind: MethodKind,
+    /// Whether this is a library factory method; such methods receive one
+    /// level of call-string context in the pointer analysis (§3.1).
+    pub is_factory: bool,
+}
+
+impl Method {
+    /// Number of registers holding incoming values: receiver (if any)
+    /// followed by the declared parameters.
+    pub fn num_incoming(&self) -> usize {
+        self.params.len() + usize::from(!self.is_static)
+    }
+
+    /// The register holding the receiver, if the method is an instance
+    /// method with a body.
+    pub fn this_var(&self) -> Option<Var> {
+        if self.is_static {
+            None
+        } else {
+            Some(Var(0))
+        }
+    }
+
+    /// The register holding the `i`-th declared parameter.
+    pub fn param_var(&self, i: usize) -> Var {
+        Var((i + usize::from(!self.is_static)) as u32)
+    }
+
+    /// The IR body, if this method has one.
+    pub fn body(&self) -> Option<&Body> {
+        match &self.kind {
+            MethodKind::Body(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Mutable IR body access.
+    pub fn body_mut(&mut self) -> Option<&mut Body> {
+        match &mut self.kind {
+            MethodKind::Body(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The intrinsic model, if any.
+    pub fn intrinsic(&self) -> Option<Intrinsic> {
+        match &self.kind {
+            MethodKind::Intrinsic(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_method(is_static: bool, nparams: usize) -> Method {
+        Method {
+            name: "m".into(),
+            owner: ClassId(0),
+            params: vec![TypeId(1); nparams],
+            ret: TypeId(0),
+            is_static,
+            kind: MethodKind::Abstract,
+            is_factory: false,
+        }
+    }
+
+    #[test]
+    fn incoming_registers_account_for_receiver() {
+        let m = mk_method(false, 2);
+        assert_eq!(m.num_incoming(), 3);
+        assert_eq!(m.this_var(), Some(Var(0)));
+        assert_eq!(m.param_var(0), Var(1));
+        assert_eq!(m.param_var(1), Var(2));
+
+        let s = mk_method(true, 2);
+        assert_eq!(s.num_incoming(), 2);
+        assert_eq!(s.this_var(), None);
+        assert_eq!(s.param_var(0), Var(0));
+    }
+
+    #[test]
+    fn fresh_vars_are_sequential() {
+        let mut b = Body { num_vars: 3, ..Default::default() };
+        assert_eq!(b.fresh_var(), Var(3));
+        assert_eq!(b.fresh_var(), Var(4));
+        assert_eq!(b.num_vars, 5);
+    }
+
+    #[test]
+    fn intrinsic_accessor() {
+        let mut m = mk_method(true, 0);
+        m.kind = MethodKind::Intrinsic(Intrinsic::MapGet);
+        assert_eq!(m.intrinsic(), Some(Intrinsic::MapGet));
+        assert!(m.body().is_none());
+    }
+}

@@ -1,0 +1,235 @@
+//! Human-readable IR printing for debugging, examples, and golden tests.
+
+use std::fmt::Write as _;
+
+use crate::inst::{CallTarget, ConstValue, Inst, Terminator};
+use crate::method::{Method, MethodId, MethodKind};
+use crate::program::Program;
+use crate::types::Type;
+
+/// Renders one method's IR.
+pub fn method_to_string(program: &Program, mid: MethodId) -> String {
+    let m = program.method(mid);
+    let mut out = String::new();
+    let owner = &program.class(m.owner).name;
+    let _ = write!(out, "{}{}.{}(", if m.is_static { "static " } else { "" }, owner, m.name);
+    let params: Vec<String> =
+        m.params.iter().map(|&t| type_name(program, t)).collect();
+    let _ = writeln!(out, "{}) -> {} {{", params.join(", "), type_name(program, m.ret));
+    match &m.kind {
+        MethodKind::Intrinsic(i) => {
+            let _ = writeln!(out, "  <intrinsic {i:?}>");
+        }
+        MethodKind::Abstract => {
+            let _ = writeln!(out, "  <abstract>");
+        }
+        MethodKind::Body(body) => {
+            for (bid, block) in body.iter_blocks() {
+                let handler = match block.handler {
+                    Some(h) => format!("  (handler {h})"),
+                    None => String::new(),
+                };
+                let _ = writeln!(out, "{bid}:{handler}");
+                for inst in &block.insts {
+                    let _ = writeln!(out, "    {}", inst_to_string(program, m, inst));
+                }
+                let _ = writeln!(out, "    {}", term_to_string(&block.term));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a whole program's application classes (library bodies omitted).
+pub fn program_to_string(program: &Program) -> String {
+    let mut out = String::new();
+    for (cid, class) in program.iter_classes() {
+        if class.is_library {
+            continue;
+        }
+        let _ = writeln!(out, "class {} {{", class.name);
+        for &f in &class.fields {
+            let field = program.field(f);
+            let _ = writeln!(out, "  field {}: {}", field.name, type_name(program, field.ty));
+        }
+        for &m in &class.methods {
+            for line in method_to_string(program, m).lines() {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+        let _ = writeln!(out, "}}");
+        let _ = cid;
+    }
+    out
+}
+
+/// Renders one instruction.
+pub fn inst_to_string(program: &Program, method: &Method, inst: &Inst) -> String {
+    let _ = method;
+    match inst {
+        Inst::Const { dst, value } => format!("{dst} = const {}", const_to_string(program, value)),
+        Inst::Assign { dst, src, filter: None } => format!("{dst} = {src}"),
+        Inst::Assign { dst, src, filter: Some(f) } => format!("{dst} = {src} [filter {f:?}]"),
+        Inst::New { dst, class } => {
+            format!("{dst} = new {}", program.class(*class).name)
+        }
+        Inst::NewArray { dst, elem } => {
+            format!("{dst} = new {}[]", type_name(program, *elem))
+        }
+        Inst::Load { dst, base, field } => {
+            format!("{dst} = {base}.{}", program.field(*field).name)
+        }
+        Inst::Store { base, field, src } => {
+            format!("{base}.{} = {src}", program.field(*field).name)
+        }
+        Inst::StaticLoad { dst, field } => {
+            let f = program.field(*field);
+            format!("{dst} = {}.{}", program.class(f.owner).name, f.name)
+        }
+        Inst::StaticStore { field, src } => {
+            let f = program.field(*field);
+            format!("{}.{} = {src}", program.class(f.owner).name, f.name)
+        }
+        Inst::ArrayLoad { dst, base, .. } => format!("{dst} = {base}[*]"),
+        Inst::ArrayStore { base, src, .. } => format!("{base}[*] = {src}"),
+        Inst::Call { dst, target, recv, args } => {
+            let mut s = String::new();
+            if let Some(d) = dst {
+                let _ = write!(s, "{d} = ");
+            }
+            match target {
+                CallTarget::Static(m) => {
+                    let callee = program.method(*m);
+                    let _ = write!(
+                        s,
+                        "call {}.{}",
+                        program.class(callee.owner).name,
+                        callee.name
+                    );
+                }
+                CallTarget::Special(m) => {
+                    let callee = program.method(*m);
+                    let _ = write!(
+                        s,
+                        "special {}.{}",
+                        program.class(callee.owner).name,
+                        callee.name
+                    );
+                }
+                CallTarget::Virtual(sel) => {
+                    let selector = program.resolve_selector(*sel);
+                    let _ = write!(s, "virtual .{}", selector.name);
+                }
+            }
+            let _ = write!(s, "(");
+            let mut first = true;
+            if let Some(r) = recv {
+                let _ = write!(s, "this={r}");
+                first = false;
+            }
+            for a in args {
+                if !first {
+                    let _ = write!(s, ", ");
+                }
+                let _ = write!(s, "{a}");
+                first = false;
+            }
+            let _ = write!(s, ")");
+            s
+        }
+        Inst::Binary { dst, op, lhs, rhs } => format!("{dst} = {lhs} {op:?} {rhs}"),
+        Inst::Phi { dst, srcs } => {
+            let ops: Vec<String> =
+                srcs.iter().map(|(b, v)| format!("{b}: {v}")).collect();
+            format!("{dst} = φ({})", ops.join(", "))
+        }
+        Inst::Select { dst, srcs } => {
+            let ops: Vec<String> = srcs.iter().map(|v| format!("{v}")).collect();
+            format!("{dst} = select({})", ops.join(", "))
+        }
+        Inst::CatchBind { dst, class } => {
+            format!("{dst} = catch {}", program.class(*class).name)
+        }
+    }
+}
+
+fn term_to_string(term: &Terminator) -> String {
+    match term {
+        Terminator::Goto(b) => format!("goto {b}"),
+        Terminator::If { cond, then_bb, else_bb } => {
+            format!("if {cond} then {then_bb} else {else_bb}")
+        }
+        Terminator::Return(Some(v)) => format!("return {v}"),
+        Terminator::Return(None) => "return".into(),
+        Terminator::Throw(v) => format!("throw {v}"),
+        Terminator::Unreachable => "unreachable".into(),
+    }
+}
+
+fn const_to_string(program: &Program, value: &ConstValue) -> String {
+    match value {
+        ConstValue::Int(n) => n.to_string(),
+        ConstValue::Bool(b) => b.to_string(),
+        ConstValue::Str(s) => format!("{s:?}"),
+        ConstValue::Null => "null".into(),
+        ConstValue::ClassLit(c) => format!("class {}", program.class(*c).name),
+    }
+}
+
+/// Renders a type id.
+pub fn type_name(program: &Program, ty: crate::types::TypeId) -> String {
+    match program.types.resolve(ty) {
+        Type::Void => "void".into(),
+        Type::Int => "int".into(),
+        Type::Boolean => "boolean".into(),
+        Type::Str => "String".into(),
+        Type::Null => "null".into(),
+        Type::Class(c) => program.class(c).name.clone(),
+        Type::Array(e) => format!("{}[]", type_name(program, e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend;
+
+    #[test]
+    fn prints_simple_method() {
+        let p = frontend::parse_program(
+            r#"
+            class A {
+                field String s;
+                method String get() { return this.s; }
+            }
+            "#,
+        )
+        .unwrap();
+        let a = p.class_by_name("A").unwrap();
+        let m = p.method_by_name(a, "get").unwrap();
+        let s = method_to_string(&p, m);
+        assert!(s.contains("A.get()"), "{s}");
+        assert!(s.contains("v0.s"), "{s}");
+        assert!(s.contains("return"), "{s}");
+    }
+
+    #[test]
+    fn prints_program_without_library() {
+        let p = frontend::parse_program("class A { }").unwrap();
+        let s = program_to_string(&p);
+        assert!(s.contains("class A"));
+        assert!(!s.contains("HttpServletRequest"), "library classes omitted");
+    }
+
+    #[test]
+    fn type_names() {
+        let mut p = frontend::parse_program("class A { }").unwrap();
+        let a = p.class_by_name("A").unwrap();
+        let t = p.types.class(a);
+        let arr = p.types.array(t);
+        assert_eq!(type_name(&p, arr), "A[]");
+        let s = p.types.string();
+        assert_eq!(type_name(&p, s), "String");
+    }
+}

@@ -1,0 +1,365 @@
+//! Small utilities shared across the workspace: index newtypes, an interner,
+//! and a dense bitset used for points-to sets and worklists.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// Declares a `u32`-backed index newtype with the standard trait surface.
+///
+/// The generated type implements [`Copy`], ordering, hashing, `Debug`
+/// (rendered as `prefix(n)`), and conversions to/from `usize`.
+#[macro_export]
+macro_rules! index_type {
+    ($(#[$meta:meta])* $vis:vis struct $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        $vis struct $name(pub u32);
+
+        impl $name {
+            /// Creates the index from a raw `usize`.
+            ///
+            /// # Panics
+            /// Panics if `idx` exceeds `u32::MAX`.
+            #[inline]
+            pub fn new(idx: usize) -> Self {
+                debug_assert!(idx <= u32::MAX as usize);
+                Self(idx as u32)
+            }
+
+            /// Returns the index as a `usize`.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(idx: usize) -> Self {
+                Self::new(idx)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+/// A deduplicating interner mapping values of type `T` to dense `u32` ids.
+///
+/// Used for contexts, selectors, strings, and every other entity whose
+/// identity must be cheap to compare and hash.
+#[derive(Clone)]
+pub struct Interner<T: Eq + Hash + Clone> {
+    items: Vec<T>,
+    map: HashMap<T, u32>,
+}
+
+impl<T: Eq + Hash + Clone> Default for Interner<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Eq + Hash + Clone> Interner<T> {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Interner { items: Vec::new(), map: HashMap::new() }
+    }
+
+    /// Interns `value`, returning its dense id. Repeated calls with equal
+    /// values return the same id.
+    pub fn intern(&mut self, value: T) -> u32 {
+        if let Some(&id) = self.map.get(&value) {
+            return id;
+        }
+        let id = self.items.len() as u32;
+        self.items.push(value.clone());
+        self.map.insert(value, id);
+        id
+    }
+
+    /// Returns the id for `value` if it has been interned.
+    pub fn lookup(&self, value: &T) -> Option<u32> {
+        self.map.get(value).copied()
+    }
+
+    /// Resolves an id back to its value.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: u32) -> &T {
+        &self.items[id as usize]
+    }
+
+    /// Number of distinct interned values.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over `(id, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.items.iter().enumerate().map(|(i, v)| (i as u32, v))
+    }
+}
+
+impl<T: Eq + Hash + Clone + fmt::Debug> fmt::Debug for Interner<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interner").field("len", &self.items.len()).finish()
+    }
+}
+
+/// A growable dense bitset over `u32` indices.
+///
+/// Points-to sets and reachability marks use this; it grows on demand and
+/// supports fast union with difference reporting (the core operation of
+/// difference propagation in the Andersen solver).
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty bitset.
+    pub fn new() -> Self {
+        BitSet { words: Vec::new(), len: 0 }
+    }
+
+    /// Creates an empty bitset with capacity for `n` elements.
+    pub fn with_capacity(n: usize) -> Self {
+        BitSet { words: Vec::with_capacity(n / 64 + 1), len: 0 }
+    }
+
+    #[inline]
+    fn word_of(idx: u32) -> (usize, u64) {
+        ((idx / 64) as usize, 1u64 << (idx % 64))
+    }
+
+    /// Inserts `idx`, returning `true` if it was newly added.
+    pub fn insert(&mut self, idx: u32) -> bool {
+        let (w, m) = Self::word_of(idx);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let newly = self.words[w] & m == 0;
+        if newly {
+            self.words[w] |= m;
+            self.len += 1;
+        }
+        newly
+    }
+
+    /// Removes `idx`, returning `true` if it was present.
+    pub fn remove(&mut self, idx: u32) -> bool {
+        let (w, m) = Self::word_of(idx);
+        if w < self.words.len() && self.words[w] & m != 0 {
+            self.words[w] &= !m;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, idx: u32) -> bool {
+        let (w, m) = Self::word_of(idx);
+        w < self.words.len() && self.words[w] & m != 0
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Unions `other` into `self`, returning the elements newly added.
+    pub fn union_into(&mut self, other: &BitSet) -> Vec<u32> {
+        let mut added = Vec::new();
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (w, &ow) in other.words.iter().enumerate() {
+            let diff = ow & !self.words[w];
+            if diff != 0 {
+                self.words[w] |= diff;
+                let mut d = diff;
+                while d != 0 {
+                    let bit = d.trailing_zeros();
+                    added.push(w as u32 * 64 + bit);
+                    d &= d - 1;
+                }
+            }
+        }
+        self.len += added.len();
+        added
+    }
+
+    /// Returns `true` iff `self` and `other` share at least one element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(other.words.iter()).any(|(a, b)| a & b != 0)
+    }
+
+    /// Returns `true` iff every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words.iter().enumerate().all(|(w, &a)| {
+            a & !other.words.get(w).copied().unwrap_or(0) == 0
+        })
+    }
+
+    /// Iterates over set bits in ascending order.
+    pub fn iter(&self) -> BitSetIter<'_> {
+        BitSetIter { set: self, word: 0, bits: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<u32> for BitSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut s = BitSet::new();
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+impl Extend<u32> for BitSet {
+    fn extend<I: IntoIterator<Item = u32>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`].
+#[derive(Debug)]
+pub struct BitSetIter<'a> {
+    set: &'a BitSet,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for BitSetIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if self.bits != 0 {
+                let bit = self.bits.trailing_zeros();
+                self.bits &= self.bits - 1;
+                return Some(self.word as u32 * 64 + bit);
+            }
+            self.word += 1;
+            if self.word >= self.set.words.len() {
+                return None;
+            }
+            self.bits = self.set.words[self.word];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_dedups() {
+        let mut i = Interner::new();
+        let a = i.intern("x".to_string());
+        let b = i.intern("y".to_string());
+        let c = i.intern("x".to_string());
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "x");
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.lookup(&"y".to_string()), Some(b));
+        assert_eq!(i.lookup(&"z".to_string()), None);
+    }
+
+    #[test]
+    fn bitset_insert_contains() {
+        let mut s = BitSet::new();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(100));
+        assert!(s.contains(3));
+        assert!(s.contains(100));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 100]);
+    }
+
+    #[test]
+    fn bitset_union_reports_diff() {
+        let mut a: BitSet = [1, 2, 3].into_iter().collect();
+        let b: BitSet = [2, 3, 64, 65].into_iter().collect();
+        let mut added = a.union_into(&b);
+        added.sort_unstable();
+        assert_eq!(added, vec![64, 65]);
+        assert_eq!(a.len(), 5);
+        // Second union adds nothing.
+        assert!(a.union_into(&b).is_empty());
+    }
+
+    #[test]
+    fn bitset_intersects_subset() {
+        let a: BitSet = [1, 5].into_iter().collect();
+        let b: BitSet = [5, 9].into_iter().collect();
+        let c: BitSet = [2, 70].into_iter().collect();
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        let ab: BitSet = [1, 5, 9].into_iter().collect();
+        assert!(a.is_subset(&ab));
+        assert!(!ab.is_subset(&a));
+    }
+
+    #[test]
+    fn bitset_remove() {
+        let mut s: BitSet = [7, 8].into_iter().collect();
+        assert!(s.remove(7));
+        assert!(!s.remove(7));
+        assert!(!s.contains(7));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn bitset_debug_nonempty() {
+        let s: BitSet = [1].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{1}");
+        let e = BitSet::new();
+        assert_eq!(format!("{e:?}"), "{}");
+    }
+}

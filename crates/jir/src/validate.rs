@@ -1,0 +1,266 @@
+//! IR well-formedness validation: used by tests and debug builds to catch
+//! malformed programs after lowering, model expansion, synthesis passes,
+//! and SSA construction.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::cfg::Cfg;
+use crate::inst::{Inst, Terminator, Var};
+use crate::method::MethodKind;
+use crate::program::Program;
+
+/// A single validation problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Offending method's name (`class.method`).
+    pub method: String,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.method, self.message)
+    }
+}
+
+/// Validates every body in `program`; returns all problems found.
+pub fn validate(program: &Program) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    for (mid, m) in program.iter_methods() {
+        let MethodKind::Body(body) = &m.kind else { continue };
+        let name = format!("{}.{}", program.class(m.owner).name, m.name);
+        let push = |errors: &mut Vec<ValidationError>, msg: String| {
+            errors.push(ValidationError { method: name.clone(), message: msg });
+        };
+
+        if body.blocks.is_empty() {
+            push(&mut errors, "empty body".into());
+            continue;
+        }
+        let nblocks = body.blocks.len() as u32;
+        let nvars = body.num_vars;
+        let check_var = |errors: &mut Vec<ValidationError>, v: Var, what: &str| {
+            if v.0 >= nvars {
+                errors.push(ValidationError {
+                    method: name.clone(),
+                    message: format!("{what} register {v:?} out of range (num_vars={nvars})"),
+                });
+            }
+        };
+
+        let mut uses = Vec::new();
+        let mut defs_seen: HashSet<Var> = HashSet::new();
+        for (bid, block) in body.iter_blocks() {
+            // Handler must be a valid block.
+            if let Some(h) = block.handler {
+                if h.0 >= nblocks {
+                    push(&mut errors, format!("{bid:?}: handler {h:?} out of range"));
+                }
+            }
+            let mut past_phis = false;
+            for (i, inst) in block.insts.iter().enumerate() {
+                if matches!(inst, Inst::Phi { .. }) {
+                    if past_phis && body.is_ssa {
+                        push(&mut errors, format!("{bid:?}[{i}]: φ after non-φ"));
+                    }
+                } else {
+                    past_phis = true;
+                }
+                if let Some(d) = inst.def() {
+                    check_var(&mut errors, d, "defined");
+                    if body.is_ssa && !defs_seen.insert(d) {
+                        push(&mut errors, format!("{bid:?}[{i}]: SSA register {d:?} redefined"));
+                    }
+                }
+                uses.clear();
+                inst.uses(&mut uses);
+                for &u in &uses {
+                    check_var(&mut errors, u, "used");
+                }
+                // φ operand blocks must exist.
+                if let Inst::Phi { srcs, .. } = inst {
+                    for (p, _) in srcs {
+                        if p.0 >= nblocks {
+                            push(&mut errors, format!("{bid:?}[{i}]: φ pred {p:?} out of range"));
+                        }
+                    }
+                }
+            }
+            match &block.term {
+                Terminator::Goto(t) => {
+                    if t.0 >= nblocks {
+                        push(&mut errors, format!("{bid:?}: goto {t:?} out of range"));
+                    }
+                }
+                Terminator::If { cond, then_bb, else_bb } => {
+                    check_var(&mut errors, *cond, "branch condition");
+                    for t in [then_bb, else_bb] {
+                        if t.0 >= nblocks {
+                            push(&mut errors, format!("{bid:?}: branch target {t:?} out of range"));
+                        }
+                    }
+                }
+                Terminator::Return(Some(v)) | Terminator::Throw(v) => {
+                    check_var(&mut errors, *v, "terminator operand");
+                }
+                Terminator::Return(None) | Terminator::Unreachable => {}
+            }
+        }
+
+        // Every reachable block must end in a real terminator. (Skip when
+        // structural errors were already found: the CFG builder indexes
+        // block targets directly.)
+        if errors.iter().any(|e| e.method == name) {
+            continue;
+        }
+        let cfg = Cfg::build(body);
+        for (bid, block) in body.iter_blocks() {
+            if cfg.is_reachable(bid) && matches!(block.term, Terminator::Unreachable) {
+                push(&mut errors, format!("{bid:?}: reachable block has no terminator"));
+            }
+        }
+        // var_types must cover the registers it claims to describe.
+        if body.var_types.len() > body.num_vars as usize {
+            push(
+                &mut errors,
+                format!(
+                    "var_types has {} entries for {} registers",
+                    body.var_types.len(),
+                    body.num_vars
+                ),
+            );
+        }
+        let _ = mid;
+    }
+    errors
+}
+
+/// Panics with a readable message if `program` fails validation.
+///
+/// # Panics
+/// On the first validation error (all are printed).
+pub fn assert_valid(program: &Program) {
+    let errors = validate(program);
+    assert!(
+        errors.is_empty(),
+        "IR validation failed:\n{}",
+        errors.iter().map(|e| format!("  {e}")).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BlockId, ConstValue};
+    use crate::method::{BasicBlock, Body, Method};
+
+    #[test]
+    fn frontend_output_is_valid() {
+        let p = crate::frontend::parse_program(
+            r#"
+            class C extends HttpServlet {
+                method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                    String v = req.getParameter("q");
+                    try { this.g(v); } catch (Exception e) { resp.getWriter().println(e); }
+                }
+                method void g(String s) {
+                    HashMap m = new HashMap();
+                    m.put("k", s);
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_valid(&p);
+    }
+
+    #[test]
+    fn full_pipeline_output_is_valid() {
+        let p = crate::frontend::build_program(
+            r#"
+            class C {
+                method int f(int n) {
+                    int acc = 0;
+                    while (n > 0) { acc = acc + n; n = n - 1; }
+                    return acc;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_valid(&p);
+    }
+
+    #[test]
+    fn detects_out_of_range_goto() {
+        let mut p = Program::new();
+        let obj = p.add_class(crate::class::Class::new("Object"));
+        let mut body = Body::default();
+        body.blocks.push(BasicBlock {
+            term: Terminator::Goto(BlockId(9)),
+            ..Default::default()
+        });
+        p.add_method(Method {
+            name: "bad".into(),
+            owner: obj,
+            params: vec![],
+            ret: p.types.void(),
+            is_static: true,
+            kind: MethodKind::Body(body),
+            is_factory: false,
+        });
+        let errors = validate(&p);
+        assert!(errors.iter().any(|e| e.message.contains("out of range")), "{errors:?}");
+    }
+
+    #[test]
+    fn detects_ssa_redefinition() {
+        let mut p = Program::new();
+        let obj = p.add_class(crate::class::Class::new("Object"));
+        let mut body = Body { num_vars: 1, is_ssa: true, ..Default::default() };
+        body.blocks.push(BasicBlock {
+            insts: vec![
+                Inst::Const { dst: Var(0), value: ConstValue::Int(1) },
+                Inst::Const { dst: Var(0), value: ConstValue::Int(2) },
+            ],
+            term: Terminator::Return(None),
+            ..Default::default()
+        });
+        p.add_method(Method {
+            name: "bad".into(),
+            owner: obj,
+            params: vec![],
+            ret: p.types.void(),
+            is_static: true,
+            kind: MethodKind::Body(body),
+            is_factory: false,
+        });
+        let errors = validate(&p);
+        assert!(errors.iter().any(|e| e.message.contains("redefined")), "{errors:?}");
+    }
+
+    #[test]
+    fn detects_out_of_range_register() {
+        let mut p = Program::new();
+        let obj = p.add_class(crate::class::Class::new("Object"));
+        let mut body = Body { num_vars: 1, ..Default::default() };
+        body.blocks.push(BasicBlock {
+            insts: vec![Inst::Assign { dst: Var(0), src: Var(5), filter: None }],
+            term: Terminator::Return(None),
+            ..Default::default()
+        });
+        p.add_method(Method {
+            name: "bad".into(),
+            owner: obj,
+            params: vec![],
+            ret: p.types.void(),
+            is_static: true,
+            kind: MethodKind::Body(body),
+            is_factory: false,
+        });
+        let errors = validate(&p);
+        assert!(errors.iter().any(|e| e.message.contains("out of range")), "{errors:?}");
+    }
+}

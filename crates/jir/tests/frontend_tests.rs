@@ -1,0 +1,279 @@
+//! Frontend integration tests: parser corner cases, lowering shapes, and
+//! golden checks against the jweb language reference (docs/jweb.md).
+
+use jir::frontend::{build_program, parse_program};
+use jir::inst::{BinOp, Inst, Terminator};
+
+fn body_of<'p>(p: &'p jir::Program, class: &str, method: &str) -> &'p jir::Body {
+    let c = p.class_by_name(class).unwrap();
+    let m = p.method_by_name(c, method).unwrap();
+    p.method(m).body().unwrap()
+}
+
+#[test]
+fn comments_everywhere() {
+    let p = parse_program(
+        r#"
+        // leading
+        class C { /* inline */ method void f() { // trailing
+            int x = 1; /* mid */ x = x + 1;
+        } }
+        "#,
+    );
+    assert!(p.is_ok(), "{:?}", p.err());
+}
+
+#[test]
+fn string_escapes_roundtrip() {
+    let p = parse_program(
+        r#"class C { method String f() { return "a\"b\\c\nd\te"; } }"#,
+    )
+    .unwrap();
+    let body = body_of(&p, "C", "f");
+    let found = body.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+        matches!(i, Inst::Const { value: jir::ConstValue::Str(s), .. }
+            if s == "a\"b\\c\nd\te")
+    });
+    assert!(found);
+}
+
+#[test]
+fn empty_class_and_interface() {
+    let p = parse_program("class A { } interface I { }").unwrap();
+    assert!(p.class_by_name("A").is_some());
+    let i = p.class_by_name("I").unwrap();
+    assert!(p.class(i).is_interface);
+}
+
+#[test]
+fn multiple_constructors_by_arity() {
+    let p = parse_program(
+        r#"
+        class Pair {
+            field String a;
+            field String b;
+            ctor () { }
+            ctor (String a) { this.a = a; }
+            ctor (String a, String b) { this.a = a; this.b = b; }
+        }
+        class Use {
+            method Pair f() { return new Pair("x", "y"); }
+            method Pair g() { return new Pair(); }
+        }
+        "#,
+    );
+    assert!(p.is_ok(), "{:?}", p.err());
+}
+
+#[test]
+fn nested_blocks_scope_variables() {
+    // Inner declarations shadow nothing but go out of scope.
+    let err = parse_program(
+        r#"
+        class C {
+            method void f(boolean c) {
+                if (c) { int x = 1; }
+                x = 2;
+            }
+        }
+        "#,
+    )
+    .unwrap_err();
+    assert!(err.msg.contains("unknown variable"), "{err}");
+}
+
+#[test]
+fn while_with_complex_condition() {
+    let p = parse_program(
+        r#"
+        class C {
+            method int f(int a, int b) {
+                int n = 0;
+                while (a > 0 && b > 0 || n == 0) {
+                    n = n + 1;
+                    a = a - 1;
+                    b = b - 1;
+                }
+                return n;
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    let body = body_of(&p, "C", "f");
+    let ops: Vec<BinOp> = body
+        .blocks
+        .iter()
+        .flat_map(|b| &b.insts)
+        .filter_map(|i| match i {
+            Inst::Binary { op, .. } => Some(*op),
+            _ => None,
+        })
+        .collect();
+    assert!(ops.contains(&BinOp::And));
+    assert!(ops.contains(&BinOp::Or));
+    assert!(ops.contains(&BinOp::Gt));
+}
+
+#[test]
+fn not_operator_lowering() {
+    let p = parse_program(
+        r#"class C { method boolean f(boolean b) { return !b; } }"#,
+    )
+    .unwrap();
+    let body = body_of(&p, "C", "f");
+    // `!b` lowers to `b == false`.
+    let eq_count = body
+        .blocks
+        .iter()
+        .flat_map(|b| &b.insts)
+        .filter(|i| matches!(i, Inst::Binary { op: BinOp::Eq, .. }))
+        .count();
+    assert_eq!(eq_count, 1);
+}
+
+#[test]
+fn chained_field_and_array_access() {
+    let p = parse_program(
+        r#"
+        class Inner { field String[] items; ctor () { } }
+        class Outer { field Inner inner; ctor () { } }
+        class C {
+            method String f(Outer o) {
+                return o.inner.items[0];
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    let body = body_of(&p, "C", "f");
+    let loads = body
+        .blocks
+        .iter()
+        .flat_map(|b| &b.insts)
+        .filter(|i| matches!(i, Inst::Load { .. }))
+        .count();
+    let aloads = body
+        .blocks
+        .iter()
+        .flat_map(|b| &b.insts)
+        .filter(|i| matches!(i, Inst::ArrayLoad { .. }))
+        .count();
+    assert_eq!(loads, 2, "o.inner then .items");
+    assert_eq!(aloads, 1, "[0]");
+}
+
+#[test]
+fn return_in_all_branches() {
+    let p = parse_program(
+        r#"
+        class C {
+            method int f(boolean c) {
+                if (c) { return 1; } else { return 2; }
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    let body = body_of(&p, "C", "f");
+    let returns = body
+        .blocks
+        .iter()
+        .filter(|b| matches!(b.term, Terminator::Return(Some(_))))
+        .count();
+    assert_eq!(returns, 2);
+}
+
+#[test]
+fn void_method_fallthrough_return() {
+    let p = parse_program("class C { method void f() { int x = 1; } }").unwrap();
+    let body = body_of(&p, "C", "f");
+    assert!(matches!(body.blocks[0].term, Terminator::Return(None)));
+}
+
+#[test]
+fn full_pipeline_builds_ssa() {
+    let p = build_program(
+        r#"
+        class C {
+            method int f(int n) {
+                int acc = 0;
+                while (n > 0) { acc = acc + n; n = n - 1; }
+                return acc;
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    let body = body_of(&p, "C", "f");
+    assert!(body.is_ssa);
+    let phis = body
+        .blocks
+        .iter()
+        .flat_map(|b| &b.insts)
+        .filter(|i| matches!(i, Inst::Phi { .. }))
+        .count();
+    assert!(phis >= 2, "acc and n need φs at the loop header, got {phis}");
+}
+
+#[test]
+fn error_messages_are_positioned() {
+    for (src, needle) in [
+        ("class C { method void f() { int x = ; } }", "expected expression"),
+        ("class C { method void f( { } }", "expected type"),
+        ("class C extends Missing { }", "unknown class"),
+        ("class C { method void f() { x = 2; } }", "unknown variable"),
+    ] {
+        let err = parse_program(src).unwrap_err();
+        assert!(
+            err.to_string().to_lowercase().contains(&needle.to_lowercase()),
+            "source `{src}`: expected `{needle}` in `{err}`"
+        );
+    }
+}
+
+#[test]
+fn duplicate_class_rejected() {
+    let err = parse_program("class A { } class A { }").unwrap_err();
+    assert!(err.msg.contains("already defined"), "{err}");
+}
+
+#[test]
+fn cannot_redefine_library_class() {
+    let err = parse_program("class HashMap { }").unwrap_err();
+    assert!(err.msg.contains("already defined"), "{err}");
+}
+
+#[test]
+fn pretty_printer_covers_all_instructions() {
+    let p = build_program(
+        r#"
+        class Box { field Object v; ctor (Object v) { this.v = v; } }
+        class C extends HttpServlet {
+            static field String tag;
+            method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                String s = req.getParameter("q");
+                C.tag = s;
+                String t = C.tag;
+                Box b = new Box(s);
+                Object o = b.v;
+                Object[] arr = new Object[] { o };
+                Object first = arr[0];
+                HashMap m = new HashMap();
+                m.put("k", first);
+                Object got = m.get("k");
+                try { this.boom(); } catch (Exception e) { resp.getWriter().println(e); }
+                resp.getWriter().println(s + "!");
+            }
+            method void boom() { throw new RuntimeException("x"); }
+        }
+        "#,
+    )
+    .unwrap();
+    let c = p.class_by_name("C").unwrap();
+    let m = p.method_by_name(c, "doGet").unwrap();
+    let text = jir::pretty::method_to_string(&p, m);
+    for needle in ["= const", "new Box", "select(", "catch", "C.tag", "[*]"] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+}

@@ -1,0 +1,176 @@
+//! Abstract heap entities: instance keys (abstract objects) and pointer
+//! keys (abstract pointers), following WALA's terminology used in the
+//! paper (§4.1.1).
+
+use jir::inst::{Loc, Var};
+use jir::{ClassId, FieldId, MethodId, Program, TypeId};
+
+use crate::context::ContextId;
+use crate::callgraph::CGNodeId;
+
+jir::index_type! {
+    /// Interned id of an [`InstanceKey`].
+    pub struct InstanceKeyId, "ik"
+}
+
+jir::index_type! {
+    /// Interned id of a [`PointerKey`].
+    pub struct PointerKeyId, "pk"
+}
+
+/// A static program location: `(method, loc)` — unique across the program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Site {
+    /// Containing method.
+    pub method: MethodId,
+    /// Position within the method body.
+    pub loc: Loc,
+}
+
+/// An abstract object.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum InstanceKey {
+    /// Objects allocated at `site` under heap context `ctx`.
+    ///
+    /// Normal classes use the empty heap context; collection classes are
+    /// cloned per allocating context — the paper's unlimited-depth object
+    /// sensitivity for collections (§3.1). (After model expansion the
+    /// contents of collections are plain fields of the collection object,
+    /// so per-instance content disambiguation follows structurally.)
+    Alloc {
+        /// Allocation site.
+        site: Site,
+        /// Heap context.
+        ctx: ContextId,
+        /// Allocated class.
+        class: ClassId,
+    },
+    /// Arrays allocated at `site`.
+    AllocArray {
+        /// Allocation site.
+        site: Site,
+        /// Element type.
+        elem: TypeId,
+    },
+    /// The reflective `Class` object for a class (`Class.forName`).
+    ClassObj(ClassId),
+    /// A reflective `Method` object (`Class.getMethods`/`getMethod`).
+    MethodObj(ClassId, MethodId),
+    /// The array returned by `Class.getMethods` for a class.
+    MethodArray(ClassId),
+    /// A synthesizer-created object (framework entrypoint environments).
+    Synthetic {
+        /// Discriminating label.
+        label: u32,
+        /// Modeled class.
+        class: ClassId,
+    },
+}
+
+impl InstanceKey {
+    /// The runtime class used for dispatch and cast filtering, if this key
+    /// models a class instance.
+    pub fn class_of(&self, program: &Program) -> Option<ClassId> {
+        match self {
+            InstanceKey::Alloc { class, .. } | InstanceKey::Synthetic { class, .. } => {
+                Some(*class)
+            }
+            InstanceKey::ClassObj(_) => program.class_by_name("Class"),
+            InstanceKey::MethodObj(..) => program.class_by_name("Method"),
+            InstanceKey::AllocArray { .. } | InstanceKey::MethodArray(_) => None,
+        }
+    }
+
+    /// Whether this key passes a flow [`jir::Filter`].
+    pub fn passes(&self, program: &Program, filter: &jir::Filter) -> bool {
+        match filter {
+            jir::Filter::InstanceOf(target) => {
+                match self.class_of(program) {
+                    Some(c) => program.is_subtype(c, *target),
+                    // Arrays only pass casts to the root object class.
+                    None => Some(*target) == program.class_by_name("Object"),
+                }
+            }
+            jir::Filter::MethodNameEquals(name) => match self {
+                InstanceKey::MethodObj(_, m) => program.method(*m).name == *name,
+                _ => false,
+            },
+        }
+    }
+}
+
+/// An abstract pointer: a set of concrete pointers whose points-to sets the
+/// analysis merges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PointerKey {
+    /// A local register of a call-graph node (method × context).
+    Local {
+        /// Owning node.
+        node: CGNodeId,
+        /// Register.
+        var: Var,
+    },
+    /// The return value of a node.
+    Ret(CGNodeId),
+    /// The exceptional (thrown) value escaping a node.
+    Exc(CGNodeId),
+    /// An instance field of an abstract object (field-sensitive heap).
+    Field {
+        /// Base object.
+        ik: InstanceKeyId,
+        /// Field.
+        field: FieldId,
+    },
+    /// The merged contents of an abstract array.
+    ArrayElem(InstanceKeyId),
+    /// A static field.
+    Static(FieldId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jir::frontend;
+
+    #[test]
+    fn alloc_key_class_and_filter() {
+        let p = frontend::parse_program("class A { } class B extends A { }").unwrap();
+        let a = p.class_by_name("A").unwrap();
+        let b = p.class_by_name("B").unwrap();
+        let ik = InstanceKey::Alloc {
+            site: Site { method: MethodId(0), loc: Loc::new(jir::BlockId(0), 0) },
+            ctx: ContextId(0),
+            class: b,
+        };
+        assert_eq!(ik.class_of(&p), Some(b));
+        assert!(ik.passes(&p, &jir::Filter::InstanceOf(a)));
+        assert!(ik.passes(&p, &jir::Filter::InstanceOf(b)));
+        let obj = p.class_by_name("Object").unwrap();
+        assert!(ik.passes(&p, &jir::Filter::InstanceOf(obj)));
+    }
+
+    #[test]
+    fn method_name_filter() {
+        let p = frontend::parse_program("class A { method void id() { } method void other() { } }")
+            .unwrap();
+        let a = p.class_by_name("A").unwrap();
+        let id = p.method_by_name(a, "id").unwrap();
+        let ik = InstanceKey::MethodObj(a, id);
+        assert!(ik.passes(&p, &jir::Filter::MethodNameEquals("id".into())));
+        assert!(!ik.passes(&p, &jir::Filter::MethodNameEquals("other".into())));
+        // Non-method keys never pass a method-name filter.
+        let cls = InstanceKey::ClassObj(a);
+        assert!(!cls.passes(&p, &jir::Filter::MethodNameEquals("id".into())));
+    }
+
+    #[test]
+    fn arrays_fail_narrow_casts() {
+        let p = frontend::parse_program("class A { }").unwrap();
+        let a = p.class_by_name("A").unwrap();
+        let arr = InstanceKey::AllocArray {
+            site: Site { method: MethodId(0), loc: Loc::new(jir::BlockId(0), 0) },
+            elem: p.types.string(),
+        };
+        assert!(!arr.passes(&p, &jir::Filter::InstanceOf(a)));
+    }
+}

@@ -1,0 +1,160 @@
+//! The pending-node queue driving constraint adding: FIFO (chaotic
+//! iteration) or the taint-locality priority scheme of §6.1.
+//!
+//! Priorities: a freshly created node gets `π = 0` if its method is a taint
+//! source, else `π = maxNodes`. When a node `n` is processed, its
+//! neighborhood `Tn` receives `π(t) := min(π(t), π(n)+1)`, propagated to a
+//! fixpoint (the solver drives that part). Lower `π` pops first, so the
+//! analysis explores code near taint sources before anything else.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::callgraph::CGNodeId;
+
+/// Pending-node queue (see module docs).
+#[derive(Debug)]
+pub struct NodeQueue {
+    priority_mode: bool,
+    default_priority: usize,
+    pi: Vec<usize>,
+    heap: BinaryHeap<Reverse<(usize, u32)>>,
+    fifo: VecDeque<CGNodeId>,
+    popped: Vec<bool>,
+}
+
+impl NodeQueue {
+    /// Creates a queue. `max_nodes` is the initial priority of non-source
+    /// nodes in priority mode.
+    pub fn new(priority_mode: bool, max_nodes: usize) -> Self {
+        NodeQueue {
+            priority_mode,
+            default_priority: max_nodes,
+            pi: Vec::new(),
+            heap: BinaryHeap::new(),
+            fifo: VecDeque::new(),
+            popped: Vec::new(),
+        }
+    }
+
+    /// Registers a new node and enqueues it. `is_source` seeds π = 0.
+    pub fn push(&mut self, node: CGNodeId, is_source: bool) {
+        let idx = node.index();
+        if idx >= self.pi.len() {
+            self.pi.resize(idx + 1, self.default_priority);
+            self.popped.resize(idx + 1, false);
+        }
+        self.pi[idx] = if is_source { 0 } else { self.default_priority };
+        if self.priority_mode {
+            self.heap.push(Reverse((self.pi[idx], node.0)));
+        } else {
+            self.fifo.push_back(node);
+        }
+    }
+
+    /// Dequeues the next node to process, or `None` when drained.
+    pub fn pop(&mut self) -> Option<CGNodeId> {
+        if self.priority_mode {
+            while let Some(Reverse((p, raw))) = self.heap.pop() {
+                let node = CGNodeId(raw);
+                if self.popped[node.index()] {
+                    continue; // stale duplicate
+                }
+                if p != self.pi[node.index()] {
+                    continue; // superseded by a lower priority entry
+                }
+                self.popped[node.index()] = true;
+                return Some(node);
+            }
+            None
+        } else {
+            let node = self.fifo.pop_front()?;
+            self.popped[node.index()] = true;
+            Some(node)
+        }
+    }
+
+    /// Current priority of `node`.
+    pub fn priority_of(&self, node: CGNodeId) -> usize {
+        self.pi.get(node.index()).copied().unwrap_or(self.default_priority)
+    }
+
+    /// Applies `π(node) := min(π(node), p)`; returns whether it decreased.
+    /// Re-enqueues pending nodes whose priority improved.
+    pub fn lower_priority(&mut self, node: CGNodeId, p: usize) -> bool {
+        let idx = node.index();
+        if idx >= self.pi.len() {
+            return false; // unknown node (dropped by budget)
+        }
+        if p < self.pi[idx] {
+            self.pi[idx] = p;
+            if self.priority_mode && !self.popped[idx] {
+                self.heap.push(Reverse((p, node.0)));
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of nodes ever registered.
+    pub fn len(&self) -> usize {
+        self.pi.len()
+    }
+
+    /// Whether no node was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.pi.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = NodeQueue::new(false, 100);
+        q.push(CGNodeId(0), false);
+        q.push(CGNodeId(1), true);
+        assert_eq!(q.pop(), Some(CGNodeId(0)));
+        assert_eq!(q.pop(), Some(CGNodeId(1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn sources_pop_first_in_priority_mode() {
+        let mut q = NodeQueue::new(true, 100);
+        q.push(CGNodeId(0), false);
+        q.push(CGNodeId(1), true);
+        q.push(CGNodeId(2), false);
+        assert_eq!(q.pop(), Some(CGNodeId(1)), "source has π=0");
+    }
+
+    #[test]
+    fn lowering_priority_reorders() {
+        let mut q = NodeQueue::new(true, 100);
+        q.push(CGNodeId(0), false);
+        q.push(CGNodeId(1), false);
+        assert!(q.lower_priority(CGNodeId(1), 5));
+        assert!(!q.lower_priority(CGNodeId(1), 7), "only decreases");
+        assert_eq!(q.pop(), Some(CGNodeId(1)));
+        assert_eq!(q.pop(), Some(CGNodeId(0)));
+    }
+
+    #[test]
+    fn stale_entries_skipped() {
+        let mut q = NodeQueue::new(true, 100);
+        q.push(CGNodeId(0), false);
+        q.lower_priority(CGNodeId(0), 3);
+        q.lower_priority(CGNodeId(0), 1);
+        assert_eq!(q.pop(), Some(CGNodeId(0)));
+        assert_eq!(q.pop(), None, "duplicates are skipped");
+    }
+
+    #[test]
+    fn priority_of_unknown_node_is_default() {
+        let q = NodeQueue::new(true, 42);
+        assert_eq!(q.priority_of(CGNodeId(9)), 42);
+    }
+}

@@ -1,0 +1,192 @@
+//! Tests pinning down the §3.1 context-sensitivity policy: call-string
+//! contexts for factories and taint APIs, object-sensitive instance
+//! methods, context-insensitive statics, and collection heap cloning.
+
+use taj_pointer::{analyze, InstanceKey, PolicyConfig, SolverConfig};
+
+fn build(src: &str) -> (jir::Program, taj_pointer::PointsTo) {
+    let mut p = jir::frontend::build_program(src).expect("builds");
+    let c = p.class_by_name("Main").expect("Main");
+    p.entrypoints.push(p.method_by_name(c, "main").expect("main"));
+    let pts = analyze(&p, &SolverConfig::default());
+    (p, pts)
+}
+
+/// Counts allocation instance keys of `class_name`.
+fn allocs_of(p: &jir::Program, pts: &taj_pointer::PointsTo, class_name: &str) -> usize {
+    let cid = p.class_by_name(class_name).unwrap();
+    pts.iter_instance_keys()
+        .filter(|(_, k)| matches!(k, InstanceKey::Alloc { class, .. } if *class == cid))
+        .count()
+}
+
+#[test]
+fn factory_methods_get_per_site_objects() {
+    // `getWriter` is a library factory (1-call-string): two call sites on
+    // one response object must yield two distinct PrintWriter objects.
+    let (p, pts) = build(
+        r#"
+        class Main {
+            static method void main() {
+                HttpServletResponse resp = new HttpServletResponse();
+                PrintWriter a = resp.getWriter();
+                PrintWriter b = resp.getWriter();
+            }
+        }
+        "#,
+    );
+    assert_eq!(
+        allocs_of(&p, &pts, "PrintWriter"),
+        2,
+        "factory call-string context separates the two sites"
+    );
+}
+
+#[test]
+fn instance_methods_are_object_sensitive() {
+    // One method, two receivers: two call-graph nodes.
+    let (p, pts) = build(
+        r#"
+        class Worker {
+            ctor () { }
+            method Object work() { return new Object(); }
+        }
+        class Main {
+            static method void main() {
+                Worker w1 = new Worker();
+                Worker w2 = new Worker();
+                w1.work();
+                w2.work();
+            }
+        }
+        "#,
+    );
+    let worker = p.class_by_name("Worker").unwrap();
+    let work = p.method_by_name(worker, "work").unwrap();
+    assert_eq!(
+        pts.callgraph.nodes_of_method(work).len(),
+        2,
+        "1-object-sensitivity clones per receiver"
+    );
+}
+
+#[test]
+fn static_methods_are_context_insensitive() {
+    let (p, pts) = build(
+        r#"
+        class Util {
+            static method Object mk() { return new Object(); }
+        }
+        class Main {
+            static method void main() {
+                Util.mk();
+                Util.mk();
+            }
+        }
+        "#,
+    );
+    let util = p.class_by_name("Util").unwrap();
+    let mk = p.method_by_name(util, "mk").unwrap();
+    assert_eq!(
+        pts.callgraph.nodes_of_method(mk).len(),
+        1,
+        "plain statics share one context"
+    );
+}
+
+#[test]
+fn taint_api_contexts_from_config() {
+    // With getParameter marked as a taint API, the policy chooses
+    // call-site contexts for it — observable through the PolicyConfig.
+    let p = jir::frontend::build_program("class Main { static method void main() { } }")
+        .unwrap();
+    let req = p.class_by_name("HttpServletRequest").unwrap();
+    let gp = p.method_by_name(req, "getParameter").unwrap();
+    let mut policy = PolicyConfig::default();
+    policy.taint_methods.insert(gp);
+    assert_eq!(
+        policy.choose(&p, gp, true),
+        taj_pointer::context::ContextChoice::CallSite
+    );
+}
+
+#[test]
+fn collections_clone_per_allocating_context() {
+    // A map allocated inside an object-sensitive method: two holders give
+    // two map objects (unlimited-depth object sensitivity, §3.1).
+    let (p, pts) = build(
+        r#"
+        class Holder {
+            field HashMap map;
+            ctor () { this.map = new HashMap(); }
+        }
+        class Main {
+            static method void main() {
+                Holder h1 = new Holder();
+                Holder h2 = new Holder();
+            }
+        }
+        "#,
+    );
+    assert_eq!(
+        allocs_of(&p, &pts, "HashMap"),
+        2,
+        "collection allocations are cloned per context"
+    );
+}
+
+#[test]
+fn normal_classes_share_per_site_objects() {
+    // Contrast: a *non*-collection allocated in the same shape merges
+    // (site-based heap abstraction for normal classes).
+    let (p, pts) = build(
+        r#"
+        class Inner { ctor () { } }
+        class Holder {
+            field Inner inner;
+            ctor () { this.inner = new Inner(); }
+        }
+        class Main {
+            static method void main() {
+                Holder h1 = new Holder();
+                Holder h2 = new Holder();
+            }
+        }
+        "#,
+    );
+    assert_eq!(
+        allocs_of(&p, &pts, "Inner"),
+        1,
+        "normal classes use the site-based heap abstraction"
+    );
+}
+
+#[test]
+fn exception_filter_respects_hierarchy() {
+    // An IOException is not caught by a RuntimeException handler.
+    let (p, pts) = build(
+        r#"
+        class Main {
+            static method void main() {
+                try { Main.boom(); } catch (RuntimeException e) { Object o = e; }
+            }
+            static method void boom() { throw new IOException("x"); }
+        }
+        "#,
+    );
+    let c = p.class_by_name("Main").unwrap();
+    let m = p.method_by_name(c, "main").unwrap();
+    let body = p.method(m).body().unwrap();
+    let bind = body
+        .blocks
+        .iter()
+        .flat_map(|b| &b.insts)
+        .find_map(|i| match i {
+            jir::Inst::CatchBind { dst, .. } => Some(*dst),
+            _ => None,
+        })
+        .expect("catch binder");
+    let node = pts.callgraph.nodes_of_method(m)[0];
+    let caught = pts.local(node, bind).map(|s| s.len()).unwrap_or(0);
+    assert_eq!(caught, 0, "IOException must not pass the RuntimeException filter");
+}

@@ -1,0 +1,120 @@
+//! Precise tests for the heap graph's bounded reachability (§4.1.1 +
+//! §6.2.3): a three-level ownership chain must unfold one level per
+//! dereference bound.
+
+use jir::util::BitSet;
+use taj_pointer::{analyze, HeapGraph, InstanceKey, SolverConfig};
+
+fn chain_program() -> (jir::Program, taj_pointer::PointsTo) {
+    let src = r#"
+        class L3 { ctor () { } }
+        class L2 { field L3 c; ctor (L3 c) { this.c = c; } }
+        class L1 { field L2 c; ctor (L2 c) { this.c = c; } }
+        class Main {
+            static method void main() {
+                L3 l3 = new L3();
+                L2 l2 = new L2(l3);
+                L1 l1 = new L1(l2);
+            }
+        }
+    "#;
+    let mut p = jir::frontend::build_program(src).unwrap();
+    let c = p.class_by_name("Main").unwrap();
+    p.entrypoints.push(p.method_by_name(c, "main").unwrap());
+    let pts = analyze(&p, &SolverConfig::default());
+    (p, pts)
+}
+
+fn alloc_of(p: &jir::Program, pts: &taj_pointer::PointsTo, class: &str) -> u32 {
+    let cid = p.class_by_name(class).unwrap();
+    pts.iter_instance_keys()
+        .find_map(|(id, k)| match k {
+            InstanceKey::Alloc { class, .. } if *class == cid => Some(id.0),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no allocation of {class}"))
+}
+
+#[test]
+fn reachability_unfolds_one_level_per_depth() {
+    let (p, pts) = chain_program();
+    let hg = HeapGraph::build(&pts);
+    let l1 = alloc_of(&p, &pts, "L1");
+    let l2 = alloc_of(&p, &pts, "L2");
+    let l3 = alloc_of(&p, &pts, "L3");
+    let roots: BitSet = [l1].into_iter().collect();
+
+    let d0 = hg.reachable(&roots, Some(0));
+    assert!(d0.contains(l1) && !d0.contains(l2) && !d0.contains(l3));
+
+    let d1 = hg.reachable(&roots, Some(1));
+    assert!(d1.contains(l1) && d1.contains(l2) && !d1.contains(l3));
+
+    let d2 = hg.reachable(&roots, Some(2));
+    assert!(d2.contains(l1) && d2.contains(l2) && d2.contains(l3));
+
+    let unbounded = hg.reachable(&roots, None);
+    assert_eq!(unbounded.len(), 3);
+}
+
+#[test]
+fn reachability_is_monotone_in_depth() {
+    let (_p, pts) = chain_program();
+    let hg = HeapGraph::build(&pts);
+    let roots: BitSet = pts.iter_instance_keys().map(|(id, _)| id.0).collect();
+    let mut prev = hg.reachable(&roots, Some(0));
+    for d in 1..5 {
+        let cur = hg.reachable(&roots, Some(d));
+        assert!(prev.is_subset(&cur), "depth {d} shrank the set");
+        prev = cur;
+    }
+}
+
+#[test]
+fn cyclic_structures_terminate() {
+    let src = r#"
+        class Node { field Node next; ctor () { } }
+        class Main {
+            static method void main() {
+                Node a = new Node();
+                Node b = new Node();
+                a.next = b;
+                b.next = a;
+            }
+        }
+    "#;
+    let mut p = jir::frontend::build_program(src).unwrap();
+    let c = p.class_by_name("Main").unwrap();
+    p.entrypoints.push(p.method_by_name(c, "main").unwrap());
+    let pts = analyze(&p, &SolverConfig::default());
+    let hg = HeapGraph::build(&pts);
+    let roots: BitSet = [alloc_of(&p, &pts, "Node")].into_iter().collect();
+    let all = hg.reachable(&roots, None);
+    assert!(all.len() >= 2, "both nodes reachable through the cycle");
+}
+
+#[test]
+fn succs_follow_fields_and_arrays() {
+    let src = r#"
+        class Item { ctor () { } }
+        class Main {
+            static method void main() {
+                Item[] arr = new Item[1];
+                arr[0] = new Item();
+            }
+        }
+    "#;
+    let mut p = jir::frontend::build_program(src).unwrap();
+    let c = p.class_by_name("Main").unwrap();
+    p.entrypoints.push(p.method_by_name(c, "main").unwrap());
+    let pts = analyze(&p, &SolverConfig::default());
+    let hg = HeapGraph::build(&pts);
+    let arr_ik = pts
+        .iter_instance_keys()
+        .find_map(|(id, k)| matches!(k, InstanceKey::AllocArray { .. }).then_some(id.0))
+        .expect("array allocated");
+    let item = alloc_of(&p, &pts, "Item");
+    let roots: BitSet = [arr_ik].into_iter().collect();
+    let d1 = hg.reachable(&roots, Some(1));
+    assert!(d1.contains(item), "array contents are one dereference away");
+}

@@ -1,0 +1,496 @@
+//! Context-insensitive (CI) thin slicing [Sridharan et al., PLDI'07],
+//! the cheap-and-imprecise baseline of the paper's evaluation.
+//!
+//! All calling contexts of a method are collapsed: facts are
+//! `(method, register)` pairs, call returns flow to *every* call site, and
+//! heap direct edges match on points-to sets unioned across contexts.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use jir::inst::{Loc, Var};
+use jir::util::BitSet;
+use jir::MethodId;
+use taj_pointer::CGNodeId;
+
+use crate::spec::{Flow, FlowStep, SliceBounds, SliceResult, StepKind, StmtNode};
+use crate::view::{FieldKey, ProgramView, Use};
+
+type Fact = (MethodId, Var);
+/// Per-seed provenance: predecessor fact plus the steps taken.
+type Parents = HashMap<Fact, (Option<Fact>, Vec<FlowStep>)>;
+/// Method-level load inventory entries.
+type MethodLoad = (MethodId, Loc, Option<Var>, Var);
+
+/// The rule-independent part of the context collapse: representative
+/// nodes, merged points-to sets, call plumbing, and load inventories.
+/// Build it once per analysis and share it across every rule's
+/// [`CiSlicer`] (the per-rule part is only the `uses` classification).
+#[derive(Debug)]
+pub struct CiCache {
+    /// Representative node per method (for reporting statements).
+    repr: HashMap<MethodId, CGNodeId>,
+    /// Merged register points-to sets across contexts.
+    merged_pts: HashMap<Fact, BitSet>,
+    /// Method-level call targets per call site.
+    site_targets: HashMap<(MethodId, Loc), Vec<MethodId>>,
+    /// Method-level return plumbing: callee → (caller, loc, dst).
+    return_sites: HashMap<MethodId, Vec<(MethodId, Loc, Option<Var>)>>,
+    /// Loads by field, method level.
+    loads_by_field: HashMap<FieldKey, Vec<MethodLoad>>,
+    static_loads: HashMap<jir::FieldId, Vec<(MethodId, Loc, Var)>>,
+    /// Invoke bindings method level: (caller, loc, array var, callee).
+    invoke_bindings: Vec<(MethodId, Loc, Var, MethodId)>,
+}
+
+impl CiCache {
+    /// Builds the rule-independent collapse from phase-1 results.
+    pub fn build(pts: &taj_pointer::PointsTo, program: &jir::Program) -> Self {
+        let cg = &pts.callgraph;
+        let mut repr: HashMap<MethodId, CGNodeId> = HashMap::new();
+        let mut merged_pts: HashMap<Fact, BitSet> = HashMap::new();
+        let mut site_targets: HashMap<(MethodId, Loc), Vec<MethodId>> = HashMap::new();
+        let mut return_sites: HashMap<MethodId, Vec<(MethodId, Loc, Option<Var>)>> =
+            HashMap::new();
+        for node in cg.iter_nodes() {
+            repr.entry(cg.method_of(node)).or_insert(node);
+        }
+        // Merge points-to sets across contexts (single pass).
+        for (_, key, set) in pts.iter_pointer_keys() {
+            if let taj_pointer::PointerKey::Local { node: kn, var } = key {
+                let m = cg.method_of(*kn);
+                merged_pts.entry((m, *var)).or_default().extend(set.iter());
+            }
+        }
+        for e in &cg.edges {
+            let cm = cg.method_of(e.caller);
+            let tm = cg.method_of(e.callee);
+            let entry = site_targets.entry((cm, e.loc)).or_default();
+            if !entry.contains(&tm) {
+                entry.push(tm);
+            }
+            let dst = call_dst(program, cg, e.caller, e.loc);
+            let rentry = return_sites.entry(tm).or_default();
+            if !rentry.iter().any(|&(c, l, _)| c == cm && l == e.loc) {
+                rentry.push((cm, e.loc, dst));
+            }
+        }
+        // Method-level load inventory straight from the bodies (identical
+        // across contexts), plus pseudo-loads for container intrinsics
+        // that survived model expansion (interface-typed receivers).
+        let mut loads_by_field: HashMap<FieldKey, Vec<MethodLoad>> = HashMap::new();
+        let mut static_loads: HashMap<jir::FieldId, Vec<(MethodId, Loc, Var)>> = HashMap::new();
+        for (&m, &node) in &repr {
+            let Some(body) = program.method(m).body() else { continue };
+            for (bid, block) in body.iter_blocks() {
+                for (i, inst) in block.insts.iter().enumerate() {
+                    let loc = Loc::new(bid, i);
+                    match inst {
+                        jir::Inst::Load { dst, base, field } => loads_by_field
+                            .entry(FieldKey::Field(*field))
+                            .or_default()
+                            .push((m, loc, Some(*base), *dst)),
+                        jir::Inst::ArrayLoad { dst, base, .. } => loads_by_field
+                            .entry(FieldKey::Array)
+                            .or_default()
+                            .push((m, loc, Some(*base), *dst)),
+                        jir::Inst::StaticLoad { dst, field } => {
+                            static_loads.entry(*field).or_default().push((m, loc, *dst))
+                        }
+                        jir::Inst::Call { dst: Some(d), recv: Some(r), .. } => {
+                            for &(_, intr) in pts.intrinsics_at(node, loc) {
+                                let names: &[&str] = match intr {
+                                    jir::Intrinsic::CollGet => {
+                                        &[jir::expand::fields::ELEMS]
+                                    }
+                                    jir::Intrinsic::BuilderToString => {
+                                        &[jir::expand::fields::CONTENT]
+                                    }
+                                    jir::Intrinsic::MapGet => {
+                                        &[jir::expand::fields::MAP_UNKNOWN]
+                                    }
+                                    _ => continue,
+                                };
+                                for fname in names {
+                                    if let Some(f) = program.find_synthetic_field(fname) {
+                                        loads_by_field
+                                            .entry(FieldKey::Field(f))
+                                            .or_default()
+                                            .push((m, loc, Some(*r), *d));
+                                    }
+                                }
+                                if intr == jir::Intrinsic::MapGet {
+                                    for f in program.map_key_fields() {
+                                        loads_by_field
+                                            .entry(FieldKey::Field(f))
+                                            .or_default()
+                                            .push((m, loc, Some(*r), *d));
+                                    }
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        let invoke_bindings = pts
+            .invoke_bindings
+            .iter()
+            .map(|b| (cg.method_of(b.caller), b.loc, b.arg_array, cg.method_of(b.callee)))
+            .collect();
+        CiCache {
+            repr,
+            merged_pts,
+            site_targets,
+            return_sites,
+            loads_by_field,
+            static_loads,
+            invoke_bindings,
+        }
+    }
+}
+
+fn call_dst(
+    program: &jir::Program,
+    cg: &taj_pointer::CallGraph,
+    node: CGNodeId,
+    loc: Loc,
+) -> Option<Var> {
+    let body = program.method(cg.method_of(node)).body()?;
+    match body.blocks.get(loc.block.index())?.insts.get(loc.idx as usize)? {
+        jir::Inst::Call { dst, .. } => *dst,
+        _ => None,
+    }
+}
+
+/// The context-insensitive thin slicer.
+#[derive(Debug)]
+pub struct CiSlicer<'a> {
+    view: &'a ProgramView<'a>,
+    bounds: SliceBounds,
+    cache: std::borrow::Cow<'a, CiCache>,
+    /// Merged uses across contexts (rule-dependent: sink/sanitizer roles).
+    merged_uses: HashMap<Fact, Vec<Use>>,
+}
+
+impl Clone for CiCache {
+    fn clone(&self) -> Self {
+        CiCache {
+            repr: self.repr.clone(),
+            merged_pts: self.merged_pts.clone(),
+            site_targets: self.site_targets.clone(),
+            return_sites: self.return_sites.clone(),
+            loads_by_field: self.loads_by_field.clone(),
+            static_loads: self.static_loads.clone(),
+            invoke_bindings: self.invoke_bindings.clone(),
+        }
+    }
+}
+
+impl<'a> CiSlicer<'a> {
+    /// Builds the collapsed (context-insensitive) indices from scratch.
+    pub fn new(view: &'a ProgramView<'a>, bounds: SliceBounds) -> Self {
+        let cache = CiCache::build(view.pts, view.program);
+        Self::with_cache_owned(view, bounds, cache)
+    }
+
+    /// Builds a slicer reusing a shared rule-independent [`CiCache`].
+    pub fn with_cache(
+        view: &'a ProgramView<'a>,
+        bounds: SliceBounds,
+        cache: &'a CiCache,
+    ) -> Self {
+        Self::assemble(view, bounds, std::borrow::Cow::Borrowed(cache))
+    }
+
+    fn with_cache_owned(view: &'a ProgramView<'a>, bounds: SliceBounds, cache: CiCache) -> Self {
+        Self::assemble(view, bounds, std::borrow::Cow::Owned(cache))
+    }
+
+    fn assemble(
+        view: &'a ProgramView<'a>,
+        bounds: SliceBounds,
+        cache: std::borrow::Cow<'a, CiCache>,
+    ) -> Self {
+        let cg = &view.pts.callgraph;
+        let mut merged_uses: HashMap<Fact, Vec<Use>> = HashMap::new();
+        for node in cg.iter_nodes() {
+            let m = cg.method_of(node);
+            for (&var, uses) in &view.node(node).uses {
+                let entry = merged_uses.entry((m, var)).or_default();
+                for u in uses {
+                    if !entry.contains(u) {
+                        entry.push(u.clone());
+                    }
+                }
+            }
+        }
+        CiSlicer { view, bounds, cache, merged_uses }
+    }
+
+    fn stmt(&self, m: MethodId, loc: Loc) -> StmtNode {
+        StmtNode { node: self.cache.repr.get(&m).copied().unwrap_or(CGNodeId(0)), loc }
+    }
+
+    fn pts_of(&self, m: MethodId, v: Var) -> Option<&BitSet> {
+        self.cache.merged_pts.get(&(m, v))
+    }
+
+    /// Runs the slice from every source.
+    pub fn run(&mut self) -> SliceResult {
+        let seeds = self.view.seeds();
+        let mut result = SliceResult::default();
+        let mut seen_flows: HashSet<(StmtNode, StmtNode, usize)> = HashSet::new();
+        let mut heap_used = 0usize;
+        for (stmt, sc) in seeds {
+            let seed_method = self.view.pts.callgraph.method_of(stmt.node);
+            let seed_fact: Fact = (seed_method, sc.dst);
+            let mut visited: HashSet<Fact> = HashSet::new();
+            let mut parents: Parents = HashMap::new();
+            let mut queue: VecDeque<Fact> = VecDeque::new();
+            let mut processed_stores: HashSet<(MethodId, Loc)> = HashSet::new();
+            visited.insert(seed_fact);
+            parents.insert(
+                seed_fact,
+                (None, vec![FlowStep { stmt, kind: StepKind::Seed }]),
+            );
+            queue.push_back(seed_fact);
+
+            let reconstruct =
+                |parents: &Parents, fact: Fact| {
+                    let mut rev = Vec::new();
+                    let mut cur = Some(fact);
+                    while let Some(f) = cur {
+                        let Some((prev, steps)) = parents.get(&f) else { break };
+                        rev.extend(steps.iter().rev().copied());
+                        cur = *prev;
+                    }
+                    rev.reverse();
+                    rev
+                };
+
+            while let Some((m, v)) = queue.pop_front() {
+                result.work += 1;
+                let uses = match self.merged_uses.get(&(m, v)) {
+                    Some(u) => u.clone(),
+                    None => continue,
+                };
+                let fact = (m, v);
+                let push = |queue: &mut VecDeque<Fact>,
+                                visited: &mut HashSet<Fact>,
+                                parents: &mut Parents,
+                                nf: Fact,
+                                steps: Vec<FlowStep>| {
+                    if visited.insert(nf) {
+                        parents.insert(nf, (Some(fact), steps));
+                        queue.push_back(nf);
+                    }
+                };
+                for u in uses {
+                    match u {
+                        Use::Flow { to, loc } => {
+                            let st = self.stmt(m, loc);
+                            push(
+                                &mut queue,
+                                &mut visited,
+                                &mut parents,
+                                (m, to),
+                                vec![FlowStep { stmt: st, kind: StepKind::Local }],
+                            );
+                        }
+                        Use::Store { loc, base, field } => {
+                            if !processed_stores.insert((m, loc)) {
+                                continue;
+                            }
+                            let store_stmt = self.stmt(m, loc);
+                            let base_pts = match self.pts_of(m, base) {
+                                Some(s) => s.clone(),
+                                None => continue,
+                            };
+                            let pre =
+                                vec![FlowStep { stmt: store_stmt, kind: StepKind::Local }];
+                            // Carrier edges.
+                            for ik in base_pts.iter() {
+                                if let Some(sinks) = self.view.spec.carrier_sinks.get(&ik) {
+                                    for cs in sinks.clone() {
+                                        if seen_flows.insert((stmt, cs.stmt, cs.pos)) {
+                                            let mut path = reconstruct(&parents, fact);
+                                            path.extend(pre.iter().copied());
+                                            path.push(FlowStep {
+                                                stmt: cs.stmt,
+                                                kind: StepKind::CarrierEdge,
+                                            });
+                                            let ht = count_heap(&path);
+                                            result.flows.push(Flow {
+                                                source: stmt,
+                                                source_method: sc.method,
+                                                sink: cs.stmt,
+                                                sink_method: cs.method,
+                                                sink_pos: cs.pos,
+                                                path,
+                                                heap_transitions: ht,
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                            // Direct edges (context-collapsed aliasing).
+                            if let Some(loads) = self.cache.loads_by_field.get(&field) {
+                                for (lm, lloc, lbase, ldst) in loads.clone() {
+                                    let Some(lb) = lbase else { continue };
+                                    let alias = self
+                                        .pts_of(lm, lb)
+                                        .map(|s| s.intersects(&base_pts))
+                                        .unwrap_or(false);
+                                    if alias {
+                                        heap_used += 1;
+                                        if let Some(max) = self.bounds.max_heap_transitions {
+                                            if heap_used >= max {
+                                                result.budget_exhausted = true;
+                                                break;
+                                            }
+                                        }
+                                        let mut steps = pre.clone();
+                                        steps.push(FlowStep {
+                                            stmt: self.stmt(lm, lloc),
+                                            kind: StepKind::HeapEdge,
+                                        });
+                                        push(
+                                            &mut queue,
+                                            &mut visited,
+                                            &mut parents,
+                                            (lm, ldst),
+                                            steps,
+                                        );
+                                    }
+                                }
+                            }
+                            if field == FieldKey::Array {
+                                for (im, iloc, arr, callee) in self.cache.invoke_bindings.clone() {
+                                    let alias = self
+                                        .pts_of(im, arr)
+                                        .map(|s| s.intersects(&base_pts))
+                                        .unwrap_or(false);
+                                    if alias {
+                                        heap_used += 1;
+                                        let cm = self.view.program.method(callee);
+                                        let off = usize::from(!cm.is_static);
+                                        for i in 0..cm.params.len() {
+                                            let mut steps = pre.clone();
+                                            steps.push(FlowStep {
+                                                stmt: self.stmt(im, iloc),
+                                                kind: StepKind::HeapEdge,
+                                            });
+                                            push(
+                                                &mut queue,
+                                                &mut visited,
+                                                &mut parents,
+                                                (callee, Var((i + off) as u32)),
+                                                steps,
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        Use::StaticStore { loc, field } => {
+                            if !processed_stores.insert((m, loc)) {
+                                continue;
+                            }
+                            let store_stmt = self.stmt(m, loc);
+                            if let Some(loads) = self.cache.static_loads.get(&field) {
+                                for (lm, lloc, ldst) in loads.clone() {
+                                    heap_used += 1;
+                                    let steps = vec![
+                                        FlowStep { stmt: store_stmt, kind: StepKind::Local },
+                                        FlowStep {
+                                            stmt: self.stmt(lm, lloc),
+                                            kind: StepKind::HeapEdge,
+                                        },
+                                    ];
+                                    push(
+                                        &mut queue,
+                                        &mut visited,
+                                        &mut parents,
+                                        (lm, ldst),
+                                        steps,
+                                    );
+                                }
+                            }
+                        }
+                        Use::Arg { loc, pos } => {
+                            let call_stmt = self.stmt(m, loc);
+                            let targets =
+                                self.cache.site_targets.get(&(m, loc)).cloned().unwrap_or_default();
+                            for t in targets {
+                                if self.view.spec.sanitizers.contains(&t)
+                                    || self.view.spec.sources.contains(&t)
+                                    || self.view.spec.sinks.contains_key(&t)
+                                {
+                                    continue;
+                                }
+                                let tm = self.view.program.method(t);
+                                let off = usize::from(!tm.is_static);
+                                if pos + off >= tm.num_incoming() {
+                                    continue;
+                                }
+                                push(
+                                    &mut queue,
+                                    &mut visited,
+                                    &mut parents,
+                                    (t, Var((pos + off) as u32)),
+                                    vec![FlowStep { stmt: call_stmt, kind: StepKind::CallArg }],
+                                );
+                            }
+                        }
+                        Use::Ret { .. } => {
+                            // Return to every call site (context-insensitive).
+                            if let Some(sites) = self.cache.return_sites.get(&m) {
+                                for (cm, cloc, cdst) in sites.clone() {
+                                    if let Some(d) = cdst {
+                                        push(
+                                            &mut queue,
+                                            &mut visited,
+                                            &mut parents,
+                                            (cm, d),
+                                            vec![FlowStep {
+                                                stmt: self.stmt(cm, cloc),
+                                                kind: StepKind::ReturnTo,
+                                            }],
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        Use::SinkArg { loc, method, pos } => {
+                            let sink_stmt = self.stmt(m, loc);
+                            if seen_flows.insert((stmt, sink_stmt, pos)) {
+                                let mut path = reconstruct(&parents, fact);
+                                path.push(FlowStep { stmt: sink_stmt, kind: StepKind::Local });
+                                let ht = count_heap(&path);
+                                result.flows.push(Flow {
+                                    source: stmt,
+                                    source_method: sc.method,
+                                    sink: sink_stmt,
+                                    sink_method: method,
+                                    sink_pos: pos,
+                                    path,
+                                    heap_transitions: ht,
+                                });
+                            }
+                        }
+                        Use::Sanitized { .. } => {}
+                    }
+                }
+            }
+        }
+        result.heap_transitions = heap_used;
+        result
+    }
+}
+
+fn count_heap(path: &[FlowStep]) -> usize {
+    path.iter()
+        .filter(|s| matches!(s.kind, StepKind::HeapEdge | StepKind::CarrierEdge))
+        .count()
+}

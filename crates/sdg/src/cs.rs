@@ -1,0 +1,672 @@
+//! Context-sensitive (CS) thin slicing [Sridharan et al., PLDI'07]: heap
+//! dependencies are threaded through the call structure ("additional
+//! method parameters and return values") instead of direct store→load
+//! edges.
+//!
+//! This reproduces the paper's two observations about CS thin slicing
+//! (§3.2, §7.2):
+//!
+//! 1. **It does not scale**: heap facts multiply against contexts, so the
+//!    fact space explodes. We model the paper's out-of-memory failures
+//!    with a deterministic path-edge budget ([`SliceBounds::max_path_edges`]);
+//!    exceeding it aborts with [`SliceError::OutOfBudget`].
+//! 2. **It is unsound for multi-threaded programs**: a heap write
+//!    performed by a spawned thread never returns to the spawner, so heap
+//!    facts do not propagate back across `Thread.start` edges — exactly
+//!    the false negatives the paper reports on BlueBlog, I, and SBM.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use jir::inst::{Loc, Var};
+use jir::method::Intrinsic;
+use taj_pointer::CGNodeId;
+
+use crate::spec::{
+    Flow, FlowStep, SliceBounds, SliceError, SliceResult, StepKind, StmtNode,
+};
+use crate::view::{FieldKey, ProgramView, Use};
+
+/// Direction discipline for heap facts: a fact that has descended into a
+/// callee must not return upward through an unrelated call site (that
+/// would be an unrealizable down-then-up path, e.g. through a shared
+/// static factory). Facts at or above their origin node may still return.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Dir {
+    /// At or above the originating store: may return to callers.
+    Up,
+    /// Below a call edge: may only descend further or feed loads.
+    Down,
+}
+
+/// A CS slicing fact at a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum CsFact {
+    /// A register carries taint.
+    Var(Var),
+    /// An abstract heap location `(instance key, field)` carries taint.
+    Heap(u32, FieldKey, Dir),
+    /// A static field carries taint.
+    Static(jir::FieldId, Dir),
+}
+
+type Fact = (CGNodeId, CsFact);
+/// Per-seed provenance: predecessor fact plus the steps taken.
+type Parents = HashMap<Fact, (Option<Fact>, Vec<FlowStep>)>;
+
+/// The context-sensitive thin slicer.
+#[derive(Debug)]
+pub struct CsSlicer<'a> {
+    view: &'a ProgramView<'a>,
+    bounds: SliceBounds,
+    /// Call sites per node (for pushing heap facts into callees).
+    callees_of: HashMap<CGNodeId, Vec<(Loc, CGNodeId)>>,
+    /// Spawn edges `(caller, loc)` — `Thread.start` sites whose heap
+    /// effects never return.
+    spawn_sites: HashSet<(CGNodeId, Loc)>,
+}
+
+impl<'a> CsSlicer<'a> {
+    /// Creates a CS slicer.
+    pub fn new(view: &'a ProgramView<'a>, bounds: SliceBounds) -> Self {
+        let mut callees_of: HashMap<CGNodeId, Vec<(Loc, CGNodeId)>> = HashMap::new();
+        let mut spawn_sites: HashSet<(CGNodeId, Loc)> = HashSet::new();
+        for e in &view.pts.callgraph.edges {
+            callees_of.entry(e.caller).or_default().push((e.loc, e.callee));
+            if view
+                .pts
+                .intrinsics_at(e.caller, e.loc)
+                .iter()
+                .any(|&(_, i)| i == Intrinsic::ThreadStart)
+            {
+                spawn_sites.insert((e.caller, e.loc));
+            }
+        }
+        CsSlicer { view, bounds, callees_of, spawn_sites }
+    }
+
+    /// Runs the slice from every source.
+    ///
+    /// # Errors
+    /// Returns [`SliceError::OutOfBudget`] when the path-edge budget is
+    /// exhausted — the analogue of the paper's CS out-of-memory runs.
+    pub fn run(&mut self) -> Result<SliceResult, SliceError> {
+        let seeds = self.view.seeds();
+        let mut result = SliceResult::default();
+        let mut seen_flows: HashSet<(StmtNode, StmtNode, usize)> = HashSet::new();
+        let mut total_path_edges = 0usize;
+        // CS thin slicing materializes heap dependencies as extra
+        // parameters and returns of the SDG — for *every* heap location,
+        // not only tainted ones. Building that closure is the paper's
+        // scalability bottleneck (§3.2: "this treatment is a scalability
+        // bottleneck"), so we charge it against the same budget.
+        self.build_heap_dependence_closure(&mut total_path_edges, &mut result)?;
+        for (stmt, sc) in seeds {
+            let mut visited: HashSet<Fact> = HashSet::new();
+            let mut parents: Parents = HashMap::new();
+            let mut queue: VecDeque<Fact> = VecDeque::new();
+            let seed_fact: Fact = (stmt.node, CsFact::Var(sc.dst));
+            visited.insert(seed_fact);
+            parents.insert(seed_fact, (None, vec![FlowStep { stmt, kind: StepKind::Seed }]));
+            queue.push_back(seed_fact);
+
+            while let Some(fact) = queue.pop_front() {
+                result.work += 1;
+                total_path_edges += 1;
+                if let Some(max) = self.bounds.max_path_edges {
+                    if total_path_edges > max {
+                        return Err(SliceError::OutOfBudget { path_edges: total_path_edges });
+                    }
+                }
+                let (node, cs) = fact;
+                match cs {
+                    CsFact::Var(v) => self.process_var(
+                        node,
+                        v,
+                        fact,
+                        stmt,
+                        sc.method,
+                        &mut visited,
+                        &mut parents,
+                        &mut queue,
+                        &mut seen_flows,
+                        &mut result,
+                    ),
+                    CsFact::Heap(ik, field, dir) => self.process_heap(
+                        node,
+                        ik,
+                        field,
+                        dir,
+                        fact,
+                        &mut visited,
+                        &mut parents,
+                        &mut queue,
+                    ),
+                    CsFact::Static(f, dir) => self.process_static(
+                        node,
+                        f,
+                        dir,
+                        fact,
+                        &mut visited,
+                        &mut parents,
+                        &mut queue,
+                    ),
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// Computes the heap-as-parameters dependence closure: every store in
+    /// the program injects a heap fact, which is then propagated along the
+    /// call structure exactly like during slicing. The result is the set
+    /// of summary param/return positions the CS SDG must materialize; the
+    /// work is charged against the path-edge budget.
+    fn build_heap_dependence_closure(
+        &self,
+        total_path_edges: &mut usize,
+        result: &mut SliceResult,
+    ) -> Result<(), SliceError> {
+        let mut visited: HashSet<Fact> = HashSet::new();
+        let mut queue: VecDeque<Fact> = VecDeque::new();
+        // Seed: all stores (heap and static), program-wide.
+        for node in self.view.pts.callgraph.iter_nodes() {
+            for uses in self.view.node(node).uses.values() {
+                for u in uses {
+                    match u {
+                        Use::Store { base, field, .. } => {
+                            for ik in self.view.local_pts(node, *base).iter() {
+                                let f = (node, CsFact::Heap(ik, *field, Dir::Up));
+                                if visited.insert(f) {
+                                    queue.push_back(f);
+                                }
+                            }
+                        }
+                        Use::StaticStore { field, .. } => {
+                            let f = (node, CsFact::Static(*field, Dir::Up));
+                            if visited.insert(f) {
+                                queue.push_back(f);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // Propagate to a fixpoint under the budget.
+        while let Some(fact) = queue.pop_front() {
+            result.work += 1;
+            *total_path_edges += 1;
+            if let Some(max) = self.bounds.max_path_edges {
+                if *total_path_edges > max {
+                    return Err(SliceError::OutOfBudget { path_edges: *total_path_edges });
+                }
+            }
+            let (node, cs) = fact;
+            let push_plain = |f: Fact, q: &mut VecDeque<Fact>, v: &mut HashSet<Fact>| {
+                if v.insert(f) {
+                    q.push_back(f);
+                }
+            };
+            match cs {
+                CsFact::Var(v) => {
+                    let Some(uses) = self.view.node(node).uses.get(&v) else { continue };
+                    for u in uses.clone() {
+                        match u {
+                            Use::Flow { to, .. } => {
+                                push_plain((node, CsFact::Var(to)), &mut queue, &mut visited)
+                            }
+                            Use::Store { base, field, .. } => {
+                                for ik in self.view.local_pts(node, base).iter() {
+                                    push_plain(
+                                        (node, CsFact::Heap(ik, field, Dir::Up)),
+                                        &mut queue,
+                                        &mut visited,
+                                    );
+                                }
+                            }
+                            Use::StaticStore { field, .. } => push_plain(
+                                (node, CsFact::Static(field, Dir::Up)),
+                                &mut queue,
+                                &mut visited,
+                            ),
+                            Use::Arg { loc, pos } => {
+                                for &t in self.view.pts.callgraph.targets(node, loc) {
+                                    let cm = self.view.pts.callgraph.method_of(t);
+                                    let m = self.view.program.method(cm);
+                                    let off = usize::from(!m.is_static);
+                                    if pos + off < m.num_incoming() {
+                                        push_plain(
+                                            (t, CsFact::Var(Var((pos + off) as u32))),
+                                            &mut queue,
+                                            &mut visited,
+                                        );
+                                    }
+                                }
+                            }
+                            Use::Ret { .. } => {
+                                if let Some(sites) = self.view.return_sites.get(&node) {
+                                    for &(caller, _, cdst) in sites {
+                                        if let Some(d) = cdst {
+                                            push_plain(
+                                                (caller, CsFact::Var(d)),
+                                                &mut queue,
+                                                &mut visited,
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                            Use::SinkArg { .. } | Use::Sanitized { .. } => {}
+                        }
+                    }
+                }
+                CsFact::Heap(ik, field, dir) => {
+                    for l in &self.view.node(node).loads {
+                        if l.field == Some(field) {
+                            if let Some(lb) = l.base {
+                                if self.view.local_pts(node, lb).contains(ik) {
+                                    push_plain(
+                                        (node, CsFact::Var(l.dst)),
+                                        &mut queue,
+                                        &mut visited,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    if let Some(callees) = self.callees_of.get(&node) {
+                        for &(_, callee) in callees {
+                            push_plain(
+                                (callee, CsFact::Heap(ik, field, Dir::Down)),
+                                &mut queue,
+                                &mut visited,
+                            );
+                        }
+                    }
+                    if dir == Dir::Up {
+                        if let Some(sites) = self.view.return_sites.get(&node) {
+                            for &(caller, cloc, _) in sites {
+                                if !self.spawn_sites.contains(&(caller, cloc)) {
+                                    push_plain(
+                                        (caller, CsFact::Heap(ik, field, Dir::Up)),
+                                        &mut queue,
+                                        &mut visited,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                CsFact::Static(field, dir) => {
+                    for l in &self.view.node(node).loads {
+                        if l.static_field == Some(field) {
+                            push_plain((node, CsFact::Var(l.dst)), &mut queue, &mut visited);
+                        }
+                    }
+                    if let Some(callees) = self.callees_of.get(&node) {
+                        for &(_, callee) in callees {
+                            push_plain(
+                                (callee, CsFact::Static(field, Dir::Down)),
+                                &mut queue,
+                                &mut visited,
+                            );
+                        }
+                    }
+                    if dir == Dir::Up {
+                        if let Some(sites) = self.view.return_sites.get(&node) {
+                            for &(caller, cloc, _) in sites {
+                                if !self.spawn_sites.contains(&(caller, cloc)) {
+                                    push_plain(
+                                        (caller, CsFact::Static(field, Dir::Up)),
+                                        &mut queue,
+                                        &mut visited,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process_var(
+        &self,
+        node: CGNodeId,
+        v: Var,
+        fact: Fact,
+        seed_stmt: StmtNode,
+        seed_method: jir::MethodId,
+        visited: &mut HashSet<Fact>,
+        parents: &mut Parents,
+        queue: &mut VecDeque<Fact>,
+        seen_flows: &mut HashSet<(StmtNode, StmtNode, usize)>,
+        result: &mut SliceResult,
+    ) {
+        let uses = match self.view.node(node).uses.get(&v) {
+            Some(u) => u.clone(),
+            None => return,
+        };
+        for u in uses {
+            match u {
+                Use::Flow { to, loc } => push(
+                    visited,
+                    parents,
+                    queue,
+                    (node, CsFact::Var(to)),
+                    fact,
+                    vec![FlowStep { stmt: StmtNode { node, loc }, kind: StepKind::Local }],
+                ),
+                Use::Store { loc, base, field } => {
+                    let store_stmt = StmtNode { node, loc };
+                    let base_pts = self.view.local_pts(node, base);
+                    // Carrier detection applies in CS too (§4.1.1).
+                    for ik in base_pts.iter() {
+                        if let Some(sinks) = self.view.spec.carrier_sinks.get(&ik) {
+                            for cs_sink in sinks.clone() {
+                                if seen_flows.insert((seed_stmt, cs_sink.stmt, cs_sink.pos)) {
+                                    let mut path = reconstruct(parents, fact);
+                                    path.push(FlowStep {
+                                        stmt: store_stmt,
+                                        kind: StepKind::Local,
+                                    });
+                                    path.push(FlowStep {
+                                        stmt: cs_sink.stmt,
+                                        kind: StepKind::CarrierEdge,
+                                    });
+                                    result.flows.push(Flow {
+                                        source: seed_stmt,
+                                        source_method: seed_method,
+                                        sink: cs_sink.stmt,
+                                        sink_method: cs_sink.method,
+                                        sink_pos: cs_sink.pos,
+                                        heap_transitions: count_heap(&path),
+                                        path,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    // Heap facts instead of direct edges.
+                    for ik in base_pts.iter() {
+                        push(
+                            visited,
+                            parents,
+                            queue,
+                            (node, CsFact::Heap(ik, field, Dir::Up)),
+                            fact,
+                            vec![FlowStep { stmt: store_stmt, kind: StepKind::Local }],
+                        );
+                    }
+                }
+                Use::StaticStore { loc, field } => push(
+                    visited,
+                    parents,
+                    queue,
+                    (node, CsFact::Static(field, Dir::Up)),
+                    fact,
+                    vec![FlowStep { stmt: StmtNode { node, loc }, kind: StepKind::Local }],
+                ),
+                Use::Arg { loc, pos } => {
+                    let call_stmt = StmtNode { node, loc };
+                    for &t in self.view.pts.callgraph.targets(node, loc) {
+                        let callee_method = self.view.pts.callgraph.method_of(t);
+                        if self.view.spec.sanitizers.contains(&callee_method)
+                            || self.view.spec.sources.contains(&callee_method)
+                            || self.view.spec.sinks.contains_key(&callee_method)
+                        {
+                            continue;
+                        }
+                        let m = self.view.program.method(callee_method);
+                        let off = usize::from(!m.is_static);
+                        if pos + off >= m.num_incoming() {
+                            continue;
+                        }
+                        push(
+                            visited,
+                            parents,
+                            queue,
+                            (t, CsFact::Var(Var((pos + off) as u32))),
+                            fact,
+                            vec![FlowStep { stmt: call_stmt, kind: StepKind::CallArg }],
+                        );
+                    }
+                }
+                Use::Ret { .. } => {
+                    if let Some(sites) = self.view.return_sites.get(&node) {
+                        for &(caller, cloc, cdst) in &sites.clone() {
+                            if let Some(d) = cdst {
+                                push(
+                                    visited,
+                                    parents,
+                                    queue,
+                                    (caller, CsFact::Var(d)),
+                                    fact,
+                                    vec![FlowStep {
+                                        stmt: StmtNode { node: caller, loc: cloc },
+                                        kind: StepKind::ReturnTo,
+                                    }],
+                                );
+                            }
+                        }
+                    }
+                }
+                Use::SinkArg { loc, method, pos } => {
+                    let sink_stmt = StmtNode { node, loc };
+                    if seen_flows.insert((seed_stmt, sink_stmt, pos)) {
+                        let mut path = reconstruct(parents, fact);
+                        path.push(FlowStep { stmt: sink_stmt, kind: StepKind::Local });
+                        result.flows.push(Flow {
+                            source: seed_stmt,
+                            source_method: seed_method,
+                            sink: sink_stmt,
+                            sink_method: method,
+                            sink_pos: pos,
+                            heap_transitions: count_heap(&path),
+                            path,
+                        });
+                    }
+                }
+                Use::Sanitized { .. } => {}
+            }
+        }
+    }
+
+    /// A heap fact travels with the call structure: it reaches loads in
+    /// the current node, flows into callees, and returns to callers —
+    /// except across spawn edges (thread unsoundness, see module docs).
+    #[allow(clippy::too_many_arguments)]
+    fn process_heap(
+        &self,
+        node: CGNodeId,
+        ik: u32,
+        field: FieldKey,
+        dir: Dir,
+        fact: Fact,
+        visited: &mut HashSet<Fact>,
+        parents: &mut Parents,
+        queue: &mut VecDeque<Fact>,
+    ) {
+        // Loads in this node.
+        for l in &self.view.node(node).loads {
+            let (Some(lf), Some(lbase)) = (l.field, l.base) else { continue };
+            if lf != field {
+                continue;
+            }
+            if self.view.local_pts(node, lbase).contains(ik) {
+                push(
+                    visited,
+                    parents,
+                    queue,
+                    (node, CsFact::Var(l.dst)),
+                    fact,
+                    vec![FlowStep {
+                        stmt: StmtNode { node, loc: l.loc },
+                        kind: StepKind::HeapEdge,
+                    }],
+                );
+            }
+        }
+        // Reflective invoke: the argument array's contents bind to the
+        // invoked method's parameters.
+        if field == FieldKey::Array {
+            for &(inode, iloc, arr, callee) in &self.view.invoke_bindings {
+                if inode != node {
+                    continue; // call-structure consistency
+                }
+                if self.view.local_pts(inode, arr).contains(ik) {
+                    let callee_method = self.view.pts.callgraph.method_of(callee);
+                    let m = self.view.program.method(callee_method);
+                    let off = usize::from(!m.is_static);
+                    for i in 0..m.params.len() {
+                        push(
+                            visited,
+                            parents,
+                            queue,
+                            (callee, CsFact::Var(Var((i + off) as u32))),
+                            fact,
+                            vec![FlowStep {
+                                stmt: StmtNode { node: inode, loc: iloc },
+                                kind: StepKind::HeapEdge,
+                            }],
+                        );
+                    }
+                }
+            }
+        }
+        // Into callees ("heap as extra parameter") — the fact is now below
+        // a call edge and loses the right to return upward.
+        if let Some(callees) = self.callees_of.get(&node) {
+            for &(loc, callee) in callees {
+                push(
+                    visited,
+                    parents,
+                    queue,
+                    (callee, CsFact::Heap(ik, field, Dir::Down)),
+                    fact,
+                    vec![FlowStep { stmt: StmtNode { node, loc }, kind: StepKind::CallArg }],
+                );
+            }
+        }
+        // Back to callers ("heap as extra return value"): only for facts
+        // at or above their origin (realizable paths), and never across
+        // spawn edges (the CS thread unsoundness).
+        if dir == Dir::Up {
+            if let Some(sites) = self.view.return_sites.get(&node) {
+                for &(caller, cloc, _) in &sites.clone() {
+                    if self.spawn_sites.contains(&(caller, cloc)) {
+                        continue; // CS thread unsoundness
+                    }
+                    push(
+                        visited,
+                        parents,
+                        queue,
+                        (caller, CsFact::Heap(ik, field, Dir::Up)),
+                        fact,
+                        vec![FlowStep {
+                            stmt: StmtNode { node: caller, loc: cloc },
+                            kind: StepKind::ReturnTo,
+                        }],
+                    );
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process_static(
+        &self,
+        node: CGNodeId,
+        field: jir::FieldId,
+        dir: Dir,
+        fact: Fact,
+        visited: &mut HashSet<Fact>,
+        parents: &mut Parents,
+        queue: &mut VecDeque<Fact>,
+    ) {
+        for l in &self.view.node(node).loads {
+            if l.static_field == Some(field) {
+                push(
+                    visited,
+                    parents,
+                    queue,
+                    (node, CsFact::Var(l.dst)),
+                    fact,
+                    vec![FlowStep {
+                        stmt: StmtNode { node, loc: l.loc },
+                        kind: StepKind::HeapEdge,
+                    }],
+                );
+            }
+        }
+        if let Some(callees) = self.callees_of.get(&node) {
+            for &(loc, callee) in callees {
+                push(
+                    visited,
+                    parents,
+                    queue,
+                    (callee, CsFact::Static(field, Dir::Down)),
+                    fact,
+                    vec![FlowStep { stmt: StmtNode { node, loc }, kind: StepKind::CallArg }],
+                );
+            }
+        }
+        if dir == Dir::Up {
+            if let Some(sites) = self.view.return_sites.get(&node) {
+                for &(caller, cloc, _) in &sites.clone() {
+                    if self.spawn_sites.contains(&(caller, cloc)) {
+                        continue;
+                    }
+                    push(
+                        visited,
+                        parents,
+                        queue,
+                        (caller, CsFact::Static(field, Dir::Up)),
+                        fact,
+                        vec![FlowStep {
+                            stmt: StmtNode { node: caller, loc: cloc },
+                            kind: StepKind::ReturnTo,
+                        }],
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn push(
+    visited: &mut HashSet<Fact>,
+    parents: &mut Parents,
+    queue: &mut VecDeque<Fact>,
+    nf: Fact,
+    from: Fact,
+    steps: Vec<FlowStep>,
+) {
+    if visited.insert(nf) {
+        parents.insert(nf, (Some(from), steps));
+        queue.push_back(nf);
+    }
+}
+
+fn reconstruct(
+    parents: &Parents,
+    fact: Fact,
+) -> Vec<FlowStep> {
+    let mut rev = Vec::new();
+    let mut cur = Some(fact);
+    while let Some(f) = cur {
+        let Some((prev, steps)) = parents.get(&f) else { break };
+        rev.extend(steps.iter().rev().copied());
+        cur = *prev;
+    }
+    rev.reverse();
+    rev
+}
+
+fn count_heap(path: &[FlowStep]) -> usize {
+    path.iter()
+        .filter(|s| matches!(s.kind, StepKind::HeapEdge | StepKind::CarrierEdge))
+        .count()
+}

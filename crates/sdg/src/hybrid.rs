@@ -1,0 +1,664 @@
+//! Hybrid thin slicing (§3.2): demand-driven traversal of the Hybrid SDG.
+//!
+//! Flow through **locals** is tracked flow- and context-sensitively via
+//! summary edges computed by RHS tabulation over the no-heap SDG (facts are
+//! SSA registers of context-qualified call-graph nodes; summaries map a
+//! callee's entry register to the stores/sinks it reaches and whether it
+//! reaches the return). Flow through the **heap** uses flow-insensitive
+//! direct store→load edges derived from the phase-1 points-to solution, as
+//! in CI thin slicing. Sanitizer returns and sink calls have no successors.
+//!
+//! ## Relation to refinement-based pointer analysis (§3.2 of the paper)
+//!
+//! The direct store→load edges correspond to *match edges* in
+//! refinement-based pointer analysis (Sridharan & Bodík, PLDI'06), with
+//! two differences the paper calls out: (1) our initial match edges come
+//! from the phase-1 points-to solution rather than from field types alone
+//! — the analysis starts precise and never refines; and (2) because match
+//! edges are never refined, recursion on match-edge-free subpaths is
+//! handled precisely (the RHS summaries below iterate recursive cycles to
+//! a fixpoint instead of collapsing strongly-connected call-graph
+//! components).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use jir::inst::{Loc, Var};
+use jir::MethodId;
+use taj_pointer::CGNodeId;
+
+use crate::spec::{
+    Flow, FlowStep, SliceBounds, SliceResult, StepKind, StmtNode,
+};
+use crate::view::{FieldKey, ProgramView, Use};
+
+/// A local-flow fact: a register of a call-graph node carries taint.
+type Fact = (CGNodeId, Var);
+
+/// What a callee does with taint entering through one register (an RHS
+/// endpoint summary over the no-heap SDG).
+#[derive(Clone, Debug, Default, PartialEq)]
+struct Summary {
+    /// Heap stores reached (statement, base register, field).
+    stores: Vec<(StmtNode, Var, FieldKey)>,
+    /// Static stores reached.
+    static_stores: Vec<(StmtNode, jir::FieldId)>,
+    /// Sink arguments reached `(stmt, sink method, position)`.
+    sinks: Vec<(StmtNode, MethodId, usize)>,
+    /// Whether the taint reaches the method's return value.
+    reaches_ret: bool,
+}
+
+/// The hybrid thin slicer.
+#[derive(Debug)]
+pub struct HybridSlicer<'a> {
+    view: &'a ProgramView<'a>,
+    bounds: SliceBounds,
+    summaries: HashMap<Fact, Summary>,
+    /// Reverse dependencies: when `key`'s summary grows, recompute these.
+    dependents: HashMap<Fact, HashSet<Fact>>,
+    work: usize,
+}
+
+impl<'a> HybridSlicer<'a> {
+    /// Creates a slicer over a program view.
+    pub fn new(view: &'a ProgramView<'a>, bounds: SliceBounds) -> Self {
+        HybridSlicer {
+            view,
+            bounds,
+            summaries: HashMap::new(),
+            dependents: HashMap::new(),
+            work: 0,
+        }
+    }
+
+    /// Runs the slice from every source and returns the tainted flows.
+    pub fn run(&mut self) -> SliceResult {
+        let seeds = self.view.seeds();
+        let mut result = SliceResult::default();
+        let mut seen_flows: HashSet<(StmtNode, StmtNode, usize)> = HashSet::new();
+        let mut heap_budget = 0usize;
+        for (stmt, sc) in seeds {
+            let mut run = SeedRun {
+                seed_stmt: stmt,
+                seed_method: sc.method,
+                visited: HashSet::new(),
+                parents: HashMap::new(),
+                queue: VecDeque::new(),
+                processed_stores: HashSet::new(),
+            };
+            let seed_fact = (stmt.node, sc.dst);
+            run.visited.insert(seed_fact);
+            run.parents.insert(
+                seed_fact,
+                Parent { prev: None, steps: vec![FlowStep { stmt, kind: StepKind::Seed }] },
+            );
+            run.queue.push_back(seed_fact);
+            self.slice_one(&mut run, &mut result, &mut seen_flows, &mut heap_budget);
+        }
+        // By-reference sources (footnote 2): the argument object's state is
+        // tainted — loads reading it become seeds, and the object itself is
+        // an immediate taint carrier.
+        for rs in self.view.ref_seeds() {
+            let mut run = SeedRun {
+                seed_stmt: rs.stmt,
+                seed_method: rs.method,
+                visited: HashSet::new(),
+                parents: HashMap::new(),
+                queue: VecDeque::new(),
+                processed_stores: HashSet::new(),
+            };
+            for &fact in &rs.facts {
+                if run.visited.insert(fact) {
+                    run.parents.insert(
+                        fact,
+                        Parent {
+                            prev: None,
+                            steps: vec![FlowStep { stmt: rs.stmt, kind: StepKind::Seed }],
+                        },
+                    );
+                    run.queue.push_back(fact);
+                }
+            }
+            // The object itself may carry the taint straight to a sink.
+            for ik in rs.arg_pts.iter() {
+                if let Some(sinks) = self.view.spec.carrier_sinks.get(&ik) {
+                    for cs in sinks.clone() {
+                        if seen_flows.insert((rs.stmt, cs.stmt, cs.pos)) {
+                            result.flows.push(Flow {
+                                source: rs.stmt,
+                                source_method: rs.method,
+                                sink: cs.stmt,
+                                sink_method: cs.method,
+                                sink_pos: cs.pos,
+                                path: vec![
+                                    FlowStep { stmt: rs.stmt, kind: StepKind::Seed },
+                                    FlowStep { stmt: cs.stmt, kind: StepKind::CarrierEdge },
+                                ],
+                                heap_transitions: 1,
+                            });
+                        }
+                    }
+                }
+            }
+            self.slice_one(&mut run, &mut result, &mut seen_flows, &mut heap_budget);
+        }
+        result.heap_transitions = heap_budget;
+        result.work = self.work;
+        result
+    }
+
+    fn slice_one(
+        &mut self,
+        run: &mut SeedRun,
+        result: &mut SliceResult,
+        seen_flows: &mut HashSet<(StmtNode, StmtNode, usize)>,
+        heap_budget: &mut usize,
+    ) {
+        while let Some((node, var)) = run.queue.pop_front() {
+            self.work += 1;
+            let uses = match self.view.node(node).uses.get(&var) {
+                Some(u) => u.clone(),
+                None => continue,
+            };
+            let fact = (node, var);
+            for u in uses {
+                match u {
+                    Use::Flow { to, loc } => {
+                        run.push(
+                            (node, to),
+                            fact,
+                            vec![FlowStep {
+                                stmt: StmtNode { node, loc },
+                                kind: StepKind::Local,
+                            }],
+                        );
+                    }
+                    Use::Store { loc, base, field } => {
+                        let store_stmt = StmtNode { node, loc };
+                        self.process_store(
+                            run,
+                            result,
+                            seen_flows,
+                            heap_budget,
+                            store_stmt,
+                            node,
+                            base,
+                            field,
+                            fact,
+                            vec![],
+                        );
+                    }
+                    Use::StaticStore { loc, field } => {
+                        let store_stmt = StmtNode { node, loc };
+                        self.process_static_store(
+                            run,
+                            heap_budget,
+                            result,
+                            store_stmt,
+                            field,
+                            fact,
+                            vec![],
+                        );
+                    }
+                    Use::Arg { loc, pos } => {
+                        self.process_arg(run, result, seen_flows, heap_budget, node, loc, pos, fact);
+                    }
+                    Use::Ret { loc } => {
+                        let _ = loc;
+                        if let Some(sites) = self.view.return_sites.get(&node) {
+                            for &(caller, cloc, cdst) in &sites.clone() {
+                                if let Some(d) = cdst {
+                                    run.push(
+                                        (caller, d),
+                                        fact,
+                                        vec![FlowStep {
+                                            stmt: StmtNode { node: caller, loc: cloc },
+                                            kind: StepKind::ReturnTo,
+                                        }],
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    Use::SinkArg { loc, method, pos } => {
+                        let sink_stmt = StmtNode { node, loc };
+                        self.emit_flow(
+                            run,
+                            result,
+                            seen_flows,
+                            fact,
+                            vec![],
+                            sink_stmt,
+                            method,
+                            pos,
+                            StepKind::Local,
+                        );
+                    }
+                    Use::Sanitized { .. } => {}
+                }
+            }
+        }
+    }
+
+    /// Handles a reached heap store: taint-carrier edges (§4.1.1) and
+    /// direct store→load edges (§3.2), plus reflective-invoke bindings.
+    #[allow(clippy::too_many_arguments)]
+    fn process_store(
+        &mut self,
+        run: &mut SeedRun,
+        result: &mut SliceResult,
+        seen_flows: &mut HashSet<(StmtNode, StmtNode, usize)>,
+        heap_budget: &mut usize,
+        store_stmt: StmtNode,
+        store_node: CGNodeId,
+        base: Var,
+        field: FieldKey,
+        parent: Fact,
+        pre_steps: Vec<FlowStep>,
+    ) {
+        if !run.processed_stores.insert(store_stmt) {
+            return;
+        }
+        let base_pts = self.view.local_pts(store_node, base);
+        let mut steps = pre_steps;
+        steps.push(FlowStep { stmt: store_stmt, kind: StepKind::Local });
+
+        // Taint carriers: the stored-into object may reach a sink argument.
+        for ik in base_pts.iter() {
+            if let Some(sinks) = self.view.spec.carrier_sinks.get(&ik) {
+                for cs in sinks.clone() {
+                    self.emit_flow(
+                        run,
+                        result,
+                        seen_flows,
+                        parent,
+                        steps.clone(),
+                        cs.stmt,
+                        cs.method,
+                        cs.pos,
+                        StepKind::CarrierEdge,
+                    );
+                }
+            }
+        }
+
+        // Direct edges to aliased loads.
+        if self.heap_budget_exhausted(*heap_budget) {
+            result.budget_exhausted = true;
+            return;
+        }
+        if let Some(loads) = self.view.loads_by_field.get(&field) {
+            for (lnode, load) in loads.clone() {
+                let Some(lbase) = load.base else { continue };
+                let lpts = self.view.local_pts(lnode, lbase);
+                if lpts.intersects(&base_pts) {
+                    *heap_budget += 1;
+                    if self.heap_budget_exhausted(*heap_budget) {
+                        result.budget_exhausted = true;
+                        return;
+                    }
+                    let mut s = steps.clone();
+                    s.push(FlowStep {
+                        stmt: StmtNode { node: lnode, loc: load.loc },
+                        kind: StepKind::HeapEdge,
+                    });
+                    run.push((lnode, load.dst), parent, s);
+                }
+            }
+        }
+        // Reflective invoke: array stores feed the invoked method's params.
+        if field == FieldKey::Array {
+            for (inode, iloc, arr, callee) in self.view.invoke_bindings.clone() {
+                let apts = self.view.local_pts(inode, arr);
+                if apts.intersects(&base_pts) {
+                    *heap_budget += 1;
+                    let callee_method = self.view.pts.callgraph.method_of(callee);
+                    let m = self.view.program.method(callee_method);
+                    let off = usize::from(!m.is_static);
+                    for i in 0..m.params.len() {
+                        let mut s = steps.clone();
+                        s.push(FlowStep {
+                            stmt: StmtNode { node: inode, loc: iloc },
+                            kind: StepKind::HeapEdge,
+                        });
+                        run.push((callee, Var((i + off) as u32)), parent, s);
+                    }
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process_static_store(
+        &mut self,
+        run: &mut SeedRun,
+        heap_budget: &mut usize,
+        result: &mut SliceResult,
+        store_stmt: StmtNode,
+        field: jir::FieldId,
+        parent: Fact,
+        pre_steps: Vec<FlowStep>,
+    ) {
+        if !run.processed_stores.insert(store_stmt) {
+            return;
+        }
+        let mut steps = pre_steps;
+        steps.push(FlowStep { stmt: store_stmt, kind: StepKind::Local });
+        if let Some(loads) = self.view.static_loads.get(&field) {
+            for (lnode, load) in loads.clone() {
+                *heap_budget += 1;
+                if self.heap_budget_exhausted(*heap_budget) {
+                    result.budget_exhausted = true;
+                    return;
+                }
+                let mut s = steps.clone();
+                s.push(FlowStep {
+                    stmt: StmtNode { node: lnode, loc: load.loc },
+                    kind: StepKind::HeapEdge,
+                });
+                run.push((lnode, load.dst), parent, s);
+            }
+        }
+    }
+
+    /// Taint passed into a body callee: apply (or compute) the RHS summary.
+    #[allow(clippy::too_many_arguments)]
+    fn process_arg(
+        &mut self,
+        run: &mut SeedRun,
+        result: &mut SliceResult,
+        seen_flows: &mut HashSet<(StmtNode, StmtNode, usize)>,
+        heap_budget: &mut usize,
+        node: CGNodeId,
+        loc: Loc,
+        pos: usize,
+        parent: Fact,
+    ) {
+        let call_stmt = StmtNode { node, loc };
+        let targets: Vec<CGNodeId> = self.view.pts.callgraph.targets(node, loc).to_vec();
+        for t in targets {
+            let callee_method = self.view.pts.callgraph.method_of(t);
+            let m = self.view.program.method(callee_method);
+            if self.view.spec.sanitizers.contains(&callee_method)
+                || self.view.spec.sources.contains(&callee_method)
+                || self.view.spec.sinks.contains_key(&callee_method)
+            {
+                continue; // handled via dedicated roles
+            }
+            let off = usize::from(!m.is_static);
+            if pos + off >= m.num_incoming() {
+                continue;
+            }
+            let entry: Fact = (t, Var((pos + off) as u32));
+            let summary = self.summary(entry).clone();
+            let call_step =
+                FlowStep { stmt: call_stmt, kind: StepKind::CallArg };
+            for (st, base, field) in summary.stores {
+                self.process_store(
+                    run,
+                    result,
+                    seen_flows,
+                    heap_budget,
+                    st,
+                    st.node,
+                    base,
+                    field,
+                    parent,
+                    vec![call_step],
+                );
+            }
+            for (st, field) in summary.static_stores {
+                self.process_static_store(
+                    run,
+                    heap_budget,
+                    result,
+                    st,
+                    field,
+                    parent,
+                    vec![call_step],
+                );
+            }
+            for (st, method, spos) in summary.sinks {
+                self.emit_flow(
+                    run,
+                    result,
+                    seen_flows,
+                    parent,
+                    vec![call_step],
+                    st,
+                    method,
+                    spos,
+                    StepKind::CallArg,
+                );
+            }
+            if summary.reaches_ret {
+                if let Some(d) = call_dst(self.view, node, loc) {
+                    run.push(
+                        (node, d),
+                        parent,
+                        vec![
+                            call_step,
+                            FlowStep { stmt: call_stmt, kind: StepKind::ReturnTo },
+                        ],
+                    );
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_flow(
+        &mut self,
+        run: &SeedRun,
+        result: &mut SliceResult,
+        seen_flows: &mut HashSet<(StmtNode, StmtNode, usize)>,
+        parent: Fact,
+        mid_steps: Vec<FlowStep>,
+        sink: StmtNode,
+        sink_method: MethodId,
+        sink_pos: usize,
+        final_kind: StepKind,
+    ) {
+        if !seen_flows.insert((run.seed_stmt, sink, sink_pos)) {
+            return;
+        }
+        let mut path = run.reconstruct(parent);
+        path.extend(mid_steps);
+        path.push(FlowStep { stmt: sink, kind: final_kind });
+        let heap_transitions = path
+            .iter()
+            .filter(|s| matches!(s.kind, StepKind::HeapEdge | StepKind::CarrierEdge))
+            .count();
+        result.flows.push(Flow {
+            source: run.seed_stmt,
+            source_method: run.seed_method,
+            sink,
+            sink_method,
+            sink_pos,
+            path,
+            heap_transitions,
+        });
+    }
+
+    fn heap_budget_exhausted(&self, used: usize) -> bool {
+        matches!(self.bounds.max_heap_transitions, Some(max) if used >= max)
+    }
+
+    // ---- RHS endpoint summaries over the no-heap SDG ----
+
+    /// Returns the summary for taint entering `entry`, computing it (and
+    /// every transitive callee summary) to a fixpoint on first demand.
+    fn summary(&mut self, entry: Fact) -> &Summary {
+        if !self.summaries.contains_key(&entry) {
+            let mut queue: VecDeque<Fact> = VecDeque::new();
+            queue.push_back(entry);
+            while let Some(key) = queue.pop_front() {
+                let computed = self.compute_summary(key, &mut queue);
+                let changed = match self.summaries.get(&key) {
+                    Some(old) => *old != computed,
+                    None => true,
+                };
+                if changed {
+                    self.summaries.insert(key, computed);
+                    if let Some(deps) = self.dependents.get(&key) {
+                        for d in deps.clone() {
+                            queue.push_back(d);
+                        }
+                    }
+                }
+            }
+        }
+        self.summaries.get(&entry).expect("computed above")
+    }
+
+    /// One monotone evaluation of a summary from the current table.
+    fn compute_summary(&mut self, entry: Fact, queue: &mut VecDeque<Fact>) -> Summary {
+        let (node, entry_var) = entry;
+        let mut out = Summary::default();
+        let mut visited: HashSet<Var> = HashSet::new();
+        let mut local_queue = vec![entry_var];
+        visited.insert(entry_var);
+        while let Some(v) = local_queue.pop() {
+            self.work += 1;
+            let uses = match self.view.node(node).uses.get(&v) {
+                Some(u) => u.clone(),
+                None => continue,
+            };
+            for u in uses {
+                match u {
+                    Use::Flow { to, .. } => {
+                        if visited.insert(to) {
+                            local_queue.push(to);
+                        }
+                    }
+                    Use::Store { loc, base, field } => {
+                        let st = (StmtNode { node, loc }, base, field);
+                        if !out.stores.contains(&st) {
+                            out.stores.push(st);
+                        }
+                    }
+                    Use::StaticStore { loc, field } => {
+                        let st = (StmtNode { node, loc }, field);
+                        if !out.static_stores.contains(&st) {
+                            out.static_stores.push(st);
+                        }
+                    }
+                    Use::SinkArg { loc, method, pos } => {
+                        let sk = (StmtNode { node, loc }, method, pos);
+                        if !out.sinks.contains(&sk) {
+                            out.sinks.push(sk);
+                        }
+                    }
+                    Use::Ret { .. } => out.reaches_ret = true,
+                    Use::Sanitized { .. } => {}
+                    Use::Arg { loc, pos } => {
+                        let targets: Vec<CGNodeId> =
+                            self.view.pts.callgraph.targets(node, loc).to_vec();
+                        for t in targets {
+                            let callee_method = self.view.pts.callgraph.method_of(t);
+                            let m = self.view.program.method(callee_method);
+                            if self.view.spec.sanitizers.contains(&callee_method)
+                                || self.view.spec.sources.contains(&callee_method)
+                                || self.view.spec.sinks.contains_key(&callee_method)
+                            {
+                                continue;
+                            }
+                            let off = usize::from(!m.is_static);
+                            if pos + off >= m.num_incoming() {
+                                continue;
+                            }
+                            let sub_key: Fact = (t, Var((pos + off) as u32));
+                            self.dependents.entry(sub_key).or_default().insert(entry);
+                            let sub = match self.summaries.get(&sub_key) {
+                                Some(s) => s.clone(),
+                                None => {
+                                    // Schedule computation; use ⊥ for now.
+                                    queue.push_back(sub_key);
+                                    Summary::default()
+                                }
+                            };
+                            for st in sub.stores {
+                                if !out.stores.contains(&st) {
+                                    out.stores.push(st);
+                                }
+                            }
+                            for st in sub.static_stores {
+                                if !out.static_stores.contains(&st) {
+                                    out.static_stores.push(st);
+                                }
+                            }
+                            for sk in sub.sinks {
+                                if !out.sinks.contains(&sk) {
+                                    out.sinks.push(sk);
+                                }
+                            }
+                            if sub.reaches_ret {
+                                if let Some(d) = call_dst(self.view, node, loc) {
+                                    if visited.insert(d) {
+                                        local_queue.push(d);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Per-seed traversal state with provenance for flow reconstruction.
+#[derive(Debug)]
+struct SeedRun {
+    seed_stmt: StmtNode,
+    seed_method: MethodId,
+    visited: HashSet<Fact>,
+    parents: HashMap<Fact, Parent>,
+    queue: VecDeque<Fact>,
+    processed_stores: HashSet<StmtNode>,
+}
+
+#[derive(Debug, Clone)]
+struct Parent {
+    prev: Option<Fact>,
+    steps: Vec<FlowStep>,
+}
+
+impl SeedRun {
+    fn push(&mut self, fact: Fact, from: Fact, steps: Vec<FlowStep>) {
+        if self.visited.insert(fact) {
+            self.parents.insert(fact, Parent { prev: Some(from), steps });
+            self.queue.push_back(fact);
+        }
+    }
+
+    /// Rebuilds the witness path from the seed to `fact`.
+    fn reconstruct(&self, fact: Fact) -> Vec<FlowStep> {
+        let mut rev: Vec<FlowStep> = Vec::new();
+        let mut cur = Some(fact);
+        let mut guard = 0usize;
+        while let Some(f) = cur {
+            let Some(p) = self.parents.get(&f) else { break };
+            for s in p.steps.iter().rev() {
+                rev.push(*s);
+            }
+            cur = p.prev;
+            guard += 1;
+            if guard > 100_000 {
+                break; // defensive: provenance cycles should not happen
+            }
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+fn call_dst(view: &ProgramView<'_>, node: CGNodeId, loc: Loc) -> Option<Var> {
+    let method = view.pts.callgraph.method_of(node);
+    let body = view.program.method(method).body()?;
+    match body.blocks.get(loc.block.index())?.insts.get(loc.idx as usize)? {
+        jir::Inst::Call { dst, .. } => *dst,
+        _ => None,
+    }
+}

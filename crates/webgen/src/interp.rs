@@ -1,0 +1,891 @@
+//! A concrete, taint-tracking interpreter for jweb programs.
+//!
+//! This is the dynamic oracle of the test suite: it executes a program's
+//! entrypoints with concrete values (tainting everything a source
+//! returns), records every sink invocation that receives tainted data,
+//! and the property tests assert that the *sound* static configurations
+//! (hybrid unbounded, CI) report a superset of the dynamically observed
+//! flows.
+//!
+//! The interpreter runs on the *unexpanded* IR (container intrinsics are
+//! executed with real maps/lists), threads execute synchronously at
+//! `start()`, loops and calls are bounded by a global step budget, and
+//! exceptions unwind to the innermost handler.
+
+use std::collections::HashMap;
+
+use jir::inst::{BinOp, CallTarget, ConstValue, Filter, Inst, Terminator};
+use jir::method::Intrinsic;
+use jir::{BlockId, ClassId, FieldId, MethodId, Program};
+
+/// A dynamically observed tainted sink invocation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct DynHit {
+    /// The sink method's name.
+    pub sink_method: String,
+    /// The class containing the calling statement.
+    pub caller_class: String,
+}
+
+/// Interpreter limits.
+#[derive(Clone, Copy, Debug)]
+pub struct InterpConfig {
+    /// Total instruction budget across the run.
+    pub max_steps: usize,
+    /// Maximum call depth.
+    pub max_depth: usize,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig { max_steps: 200_000, max_depth: 128 }
+    }
+}
+
+/// A runtime value.
+#[derive(Clone, Debug)]
+enum Value {
+    Null,
+    Int(i64),
+    Bool(bool),
+    Str { text: String, taint: bool },
+    Ref(usize),
+    ClassV(ClassId),
+    /// Reflective method handle; the class is retained for Debug output
+    /// even though dispatch only needs the method id.
+    MethodV(#[allow(dead_code)] ClassId, MethodId),
+}
+
+impl Value {
+    fn truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(n) => *n != 0,
+            Value::Null => false,
+            _ => true,
+        }
+    }
+}
+
+/// A heap object (also used for arrays, maps, lists, builders).
+#[derive(Debug, Default)]
+struct Object {
+    class: Option<ClassId>,
+    fields: HashMap<FieldId, Value>,
+    /// Dictionary contents for map intrinsics.
+    map: HashMap<String, Value>,
+    /// Array / list elements.
+    elems: Vec<Value>,
+    /// Builder buffer.
+    buffer: String,
+    buffer_taint: bool,
+}
+
+/// Thrown-exception signal.
+struct Thrown(Value);
+
+enum Flow {
+    Normal(Value),
+    Thrown(Thrown),
+}
+
+/// Runs every entrypoint of `program` and collects tainted sink hits.
+pub fn run_program(program: &Program, config: InterpConfig) -> Vec<DynHit> {
+    let mut interp = Interp {
+        program,
+        config,
+        heap: Vec::new(),
+        statics: HashMap::new(),
+        steps: 0,
+        hits: Vec::new(),
+        sinks: sink_methods(program),
+        sources: source_methods(program),
+        sanitizers: sanitizer_methods(program),
+    };
+    for &entry in &program.entrypoints {
+        // Fresh heap per entrypoint: entries are independent requests.
+        let _ = interp.call_method(entry, None, &[], 0);
+    }
+    let mut hits = interp.hits;
+    hits.dedup();
+    hits
+}
+
+fn method_set(program: &Program, pairs: &[(&str, &str)]) -> Vec<MethodId> {
+    pairs
+        .iter()
+        .filter_map(|(c, m)| {
+            program.class_by_name(c).and_then(|cid| program.method_by_name(cid, m))
+        })
+        .collect()
+}
+
+fn sink_methods(program: &Program) -> Vec<MethodId> {
+    method_set(
+        program,
+        &[
+            ("PrintWriter", "println"),
+            ("PrintWriter", "print"),
+            ("PrintWriter", "write"),
+            ("Statement", "executeQuery"),
+            ("Statement", "executeUpdate"),
+            ("Runtime", "exec"),
+            ("File", "<init>"),
+            ("FileInputStream", "<init>"),
+            ("FileWriter", "<init>"),
+        ],
+    )
+}
+
+fn source_methods(program: &Program) -> Vec<MethodId> {
+    method_set(
+        program,
+        &[
+            ("HttpServletRequest", "getParameter"),
+            ("HttpServletRequest", "getHeader"),
+            ("HttpServletRequest", "getQueryString"),
+            ("Cookie", "getValue"),
+            ("Struts", "taintedInput"),
+        ],
+    )
+}
+
+fn sanitizer_methods(program: &Program) -> Vec<MethodId> {
+    method_set(
+        program,
+        &[
+            ("URLEncoder", "encode"),
+            ("Encoder", "encodeForHTML"),
+            ("Encoder", "encodeForSQL"),
+            ("Encoder", "encodeForOS"),
+            ("Encoder", "canonicalize"),
+        ],
+    )
+}
+
+struct Interp<'p> {
+    program: &'p Program,
+    config: InterpConfig,
+    heap: Vec<Object>,
+    statics: HashMap<FieldId, Value>,
+    steps: usize,
+    hits: Vec<DynHit>,
+    sinks: Vec<MethodId>,
+    sources: Vec<MethodId>,
+    sanitizers: Vec<MethodId>,
+}
+
+impl<'p> Interp<'p> {
+    fn alloc(&mut self, class: Option<ClassId>) -> usize {
+        self.heap.push(Object { class, ..Default::default() });
+        self.heap.len() - 1
+    }
+
+    /// Deep taint check: strings carry taint directly; objects are tainted
+    /// when any reachable part is (bounded).
+    fn tainted(&self, v: &Value, depth: usize) -> bool {
+        if depth > 4 {
+            return false;
+        }
+        match v {
+            Value::Str { taint, .. } => *taint,
+            Value::Ref(r) => {
+                let o = &self.heap[*r];
+                // Printing an exception leaks its internals (§4.1.2).
+                if let Some(c) = o.class {
+                    if let Some(thr) = self.program.class_by_name("Throwable") {
+                        if self.program.is_subtype(c, thr) {
+                            return true;
+                        }
+                    }
+                }
+                o.buffer_taint
+                    || o.fields.values().any(|f| self.tainted(f, depth + 1))
+                    || o.map.values().any(|f| self.tainted(f, depth + 1))
+                    || o.elems.iter().any(|f| self.tainted(f, depth + 1))
+            }
+            _ => false,
+        }
+    }
+
+    fn call_method(
+        &mut self,
+        method: MethodId,
+        recv: Option<Value>,
+        args: &[Value],
+        depth: usize,
+    ) -> Flow {
+        if depth > self.config.max_depth || self.steps > self.config.max_steps {
+            return Flow::Normal(Value::Null);
+        }
+        let m = self.program.method(method);
+        let Some(body) = m.body() else {
+            return Flow::Normal(Value::Null);
+        };
+        let mut locals: Vec<Value> = vec![Value::Null; body.num_vars as usize];
+        let mut idx = 0usize;
+        if let Some(r) = recv {
+            locals[0] = r;
+            idx = 1;
+        }
+        for (i, a) in args.iter().enumerate() {
+            if idx + i < locals.len() {
+                locals[idx + i] = a.clone();
+            }
+        }
+        self.exec_body(method, body, locals, depth)
+    }
+
+    fn exec_body(
+        &mut self,
+        method: MethodId,
+        body: &jir::Body,
+        mut locals: Vec<Value>,
+        depth: usize,
+    ) -> Flow {
+        let mut block = BlockId(0);
+        let mut prev: Option<BlockId> = None;
+        // Per-run loop guard: limit visits per block.
+        let mut visits: HashMap<BlockId, usize> = HashMap::new();
+        loop {
+            let v = visits.entry(block).or_insert(0);
+            *v += 1;
+            if *v > 16 || self.steps > self.config.max_steps {
+                return Flow::Normal(Value::Null);
+            }
+            let b = &body.blocks[block.index()];
+            let mut thrown: Option<Thrown> = None;
+            for inst in &b.insts {
+                self.steps += 1;
+                match self.exec_inst(method, inst, &mut locals, prev, depth) {
+                    Ok(()) => {}
+                    Err(t) => {
+                        thrown = Some(t);
+                        break;
+                    }
+                }
+            }
+            if let Some(t) = thrown {
+                // Unwind to this block's handler, or out of the method.
+                if let Some(h) = b.handler {
+                    if let Some(bind) = body.blocks[h.index()]
+                        .insts
+                        .iter()
+                        .find_map(|i| match i {
+                            Inst::CatchBind { dst, .. } => Some(*dst),
+                            _ => None,
+                        })
+                    {
+                        locals[bind.index()] = t.0.clone();
+                    }
+                    prev = Some(block);
+                    block = h;
+                    continue;
+                }
+                return Flow::Thrown(t);
+            }
+            match &b.term {
+                Terminator::Goto(t) => {
+                    prev = Some(block);
+                    block = *t;
+                }
+                Terminator::If { cond, then_bb, else_bb } => {
+                    let c = locals[cond.index()].truthy();
+                    prev = Some(block);
+                    block = if c { *then_bb } else { *else_bb };
+                }
+                Terminator::Return(v) => {
+                    return Flow::Normal(
+                        v.map(|v| locals[v.index()].clone()).unwrap_or(Value::Null),
+                    );
+                }
+                Terminator::Throw(v) => {
+                    let val = locals[v.index()].clone();
+                    if let Some(h) = b.handler {
+                        if let Some(bind) = body.blocks[h.index()]
+                            .insts
+                            .iter()
+                            .find_map(|i| match i {
+                                Inst::CatchBind { dst, .. } => Some(*dst),
+                                _ => None,
+                            })
+                        {
+                            locals[bind.index()] = val.clone();
+                        }
+                        prev = Some(block);
+                        block = h;
+                        continue;
+                    }
+                    return Flow::Thrown(Thrown(val));
+                }
+                Terminator::Unreachable => return Flow::Normal(Value::Null),
+            }
+        }
+    }
+
+    fn exec_inst(
+        &mut self,
+        method: MethodId,
+        inst: &Inst,
+        locals: &mut [Value],
+        prev: Option<BlockId>,
+        depth: usize,
+    ) -> Result<(), Thrown> {
+        match inst {
+            Inst::Const { dst, value } => {
+                locals[dst.index()] = match value {
+                    ConstValue::Int(n) => Value::Int(*n),
+                    ConstValue::Bool(b) => Value::Bool(*b),
+                    ConstValue::Str(s) => Value::Str { text: s.clone(), taint: false },
+                    ConstValue::Null => Value::Null,
+                    ConstValue::ClassLit(c) => Value::ClassV(*c),
+                };
+            }
+            Inst::Assign { dst, src, filter } => {
+                let v = locals[src.index()].clone();
+                let passes = match filter {
+                    None => true,
+                    Some(Filter::InstanceOf(c)) => match &v {
+                        Value::Ref(r) => self.heap[*r]
+                            .class
+                            .map(|rc| self.program.is_subtype(rc, *c))
+                            .unwrap_or(false),
+                        Value::Str { .. } | Value::Null => true,
+                        _ => true,
+                    },
+                    Some(Filter::MethodNameEquals(n)) => match &v {
+                        Value::MethodV(_, m) => self.program.method(*m).name == *n,
+                        _ => false,
+                    },
+                };
+                if passes {
+                    locals[dst.index()] = v;
+                }
+            }
+            Inst::New { dst, class } => {
+                let r = self.alloc(Some(*class));
+                locals[dst.index()] = Value::Ref(r);
+            }
+            Inst::NewArray { dst, .. } => {
+                let r = self.alloc(None);
+                locals[dst.index()] = Value::Ref(r);
+            }
+            Inst::Load { dst, base, field } => {
+                if let Value::Ref(r) = locals[base.index()] {
+                    locals[dst.index()] =
+                        self.heap[r].fields.get(field).cloned().unwrap_or(Value::Null);
+                } else {
+                    locals[dst.index()] = Value::Null;
+                }
+            }
+            Inst::Store { base, field, src } => {
+                if let Value::Ref(r) = locals[base.index()] {
+                    let v = locals[src.index()].clone();
+                    self.heap[r].fields.insert(*field, v);
+                }
+            }
+            Inst::StaticLoad { dst, field } => {
+                locals[dst.index()] =
+                    self.statics.get(field).cloned().unwrap_or(Value::Null);
+            }
+            Inst::StaticStore { field, src } => {
+                let v = locals[src.index()].clone();
+                self.statics.insert(*field, v);
+            }
+            Inst::ArrayLoad { dst, base, index } => {
+                if let Value::Ref(r) = locals[base.index()] {
+                    let i = index
+                        .map(|iv| self.as_int(&locals[iv.index()]).max(0) as usize)
+                        .unwrap_or(0);
+                    locals[dst.index()] =
+                        self.heap[r].elems.get(i).cloned().unwrap_or(Value::Null);
+                } else {
+                    locals[dst.index()] = Value::Null;
+                }
+            }
+            Inst::ArrayStore { base, index, src } => {
+                if let Value::Ref(r) = locals[base.index()] {
+                    let v = locals[src.index()].clone();
+                    let i = index
+                        .map(|iv| self.as_int(&locals[iv.index()]).max(0) as usize)
+                        .unwrap_or(self.heap[r].elems.len());
+                    if self.heap[r].elems.len() <= i {
+                        self.heap[r].elems.resize(i + 1, Value::Null);
+                    }
+                    self.heap[r].elems[i] = v;
+                }
+            }
+            Inst::Binary { dst, op, lhs, rhs } => {
+                locals[dst.index()] =
+                    self.binop(*op, &locals[lhs.index()], &locals[rhs.index()]);
+            }
+            Inst::Phi { dst, srcs } => {
+                if let Some(p) = prev {
+                    if let Some((_, v)) = srcs.iter().find(|(b, _)| *b == p) {
+                        locals[dst.index()] = locals[v.index()].clone();
+                    }
+                }
+            }
+            Inst::Select { dst, srcs } => {
+                if let Some(v) = srcs.first() {
+                    locals[dst.index()] = locals[v.index()].clone();
+                }
+            }
+            Inst::CatchBind { .. } => {} // bound during unwinding
+            Inst::Call { dst, target, recv, args } => {
+                let recv_v = recv.map(|r| locals[r.index()].clone());
+                let args_v: Vec<Value> =
+                    args.iter().map(|a| locals[a.index()].clone()).collect();
+                let result = self.dispatch(method, target, recv_v, &args_v, depth)?;
+                if let Some(d) = dst {
+                    locals[d.index()] = result;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn binop(&self, op: BinOp, l: &Value, r: &Value) -> Value {
+        use Value::*;
+        match op {
+            BinOp::Concat => {
+                let (lt, ltaint) = self.to_text(l);
+                let (rt, rtaint) = self.to_text(r);
+                Str { text: format!("{lt}{rt}"), taint: ltaint || rtaint }
+            }
+            BinOp::Add => Int(self.as_int(l) + self.as_int(r)),
+            BinOp::Sub => Int(self.as_int(l) - self.as_int(r)),
+            BinOp::Mul => Int(self.as_int(l) * self.as_int(r)),
+            BinOp::Eq => Bool(self.value_eq(l, r)),
+            BinOp::Ne => Bool(!self.value_eq(l, r)),
+            BinOp::Lt => Bool(self.as_int(l) < self.as_int(r)),
+            BinOp::Gt => Bool(self.as_int(l) > self.as_int(r)),
+            BinOp::And => Bool(l.truthy() && r.truthy()),
+            BinOp::Or => Bool(l.truthy() || r.truthy()),
+        }
+    }
+
+    fn to_text(&self, v: &Value) -> (String, bool) {
+        match v {
+            Value::Str { text, taint } => (text.clone(), *taint),
+            Value::Int(n) => (n.to_string(), false),
+            Value::Bool(b) => (b.to_string(), false),
+            Value::Null => ("null".into(), false),
+            Value::Ref(r) => ("obj".into(), self.tainted(&Value::Ref(*r), 0)),
+            Value::ClassV(_) | Value::MethodV(..) => ("meta".into(), false),
+        }
+    }
+
+    fn as_int(&self, v: &Value) -> i64 {
+        match v {
+            Value::Int(n) => *n,
+            Value::Bool(b) => i64::from(*b),
+            _ => 0,
+        }
+    }
+
+    fn value_eq(&self, l: &Value, r: &Value) -> bool {
+        match (l, r) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str { text: a, .. }, Value::Str { text: b, .. }) => a == b,
+            (Value::Null, Value::Null) => true,
+            (Value::Ref(a), Value::Ref(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        caller: MethodId,
+        target: &CallTarget,
+        recv: Option<Value>,
+        args: &[Value],
+        depth: usize,
+    ) -> Result<Value, Thrown> {
+        let callee = match target {
+            CallTarget::Static(m) | CallTarget::Special(m) => Some(*m),
+            CallTarget::Virtual(sel) => match &recv {
+                Some(Value::Ref(r)) => self.heap[*r]
+                    .class
+                    .and_then(|c| self.program.resolve_virtual(c, *sel)),
+                Some(Value::ClassV(_)) => self
+                    .program
+                    .class_by_name("Class")
+                    .and_then(|c| self.program.resolve_virtual(c, *sel)),
+                Some(Value::MethodV(..)) => self
+                    .program
+                    .class_by_name("Method")
+                    .and_then(|c| self.program.resolve_virtual(c, *sel)),
+                _ => None,
+            },
+        };
+        let Some(callee) = callee else { return Ok(Value::Null) };
+
+        // Sink check (before execution).
+        if self.sinks.contains(&callee) {
+            let any_tainted = args.iter().any(|a| self.tainted(a, 0))
+                || recv
+                    .as_ref()
+                    .map(|r| matches!(r, Value::Str { taint: true, .. }))
+                    .unwrap_or(false);
+            if any_tainted {
+                let cls = self.program.class(self.program.method(caller).owner).name.clone();
+                let hit = DynHit {
+                    sink_method: self.program.method(callee).name.clone(),
+                    caller_class: cls,
+                };
+                if !self.hits.contains(&hit) {
+                    self.hits.push(hit);
+                }
+            }
+        }
+        // Sanitizer: return a clean copy.
+        if self.sanitizers.contains(&callee) {
+            let (t, _) = args
+                .first()
+                .map(|a| self.to_text(a))
+                .unwrap_or_else(|| ("".into(), false));
+            return Ok(Value::Str { text: t, taint: false });
+        }
+        // Source: fresh tainted value.
+        if self.sources.contains(&callee) {
+            return Ok(Value::Str { text: "<user-input>".into(), taint: true });
+        }
+
+        let m = self.program.method(callee);
+        if let Some(intr) = m.intrinsic() {
+            return self.intrinsic(callee, intr, recv, args, depth);
+        }
+        if m.body().is_some() {
+            return match self.call_method(callee, recv, args, depth + 1) {
+                Flow::Normal(v) => Ok(v),
+                Flow::Thrown(t) => Err(t),
+            };
+        }
+        Ok(Value::Null)
+    }
+
+    fn intrinsic(
+        &mut self,
+        _callee: MethodId,
+        intr: Intrinsic,
+        recv: Option<Value>,
+        args: &[Value],
+        depth: usize,
+    ) -> Result<Value, Thrown> {
+        match intr {
+            Intrinsic::Propagate => {
+                // Value derived from receiver + args.
+                let mut taint = false;
+                let mut text = String::new();
+                if let Some(r) = &recv {
+                    let (t, tt) = self.to_text(r);
+                    text.push_str(&t);
+                    taint |= tt;
+                }
+                for a in args {
+                    let (t, tt) = self.to_text(a);
+                    text.push_str(&t);
+                    taint |= tt;
+                }
+                // `narrow`-style reference propagation: pass through refs.
+                if let Some(Value::Ref(r)) = args.first() {
+                    return Ok(Value::Ref(*r));
+                }
+                Ok(Value::Str { text, taint })
+            }
+            Intrinsic::Fresh => Ok(Value::Str { text: "fresh".into(), taint: false }),
+            Intrinsic::FreshObject(c) => {
+                let r = self.alloc(Some(c));
+                Ok(Value::Ref(r))
+            }
+            Intrinsic::ReturnReceiver | Intrinsic::IterAlias => {
+                Ok(recv.unwrap_or(Value::Null))
+            }
+            Intrinsic::MapPut => {
+                if let (Some(Value::Ref(r)), Some(k), Some(v)) =
+                    (recv, args.first(), args.get(1))
+                {
+                    let (key, _) = self.to_text(k);
+                    self.heap[r].map.insert(key, v.clone());
+                }
+                Ok(Value::Null)
+            }
+            Intrinsic::MapGet => {
+                if let (Some(Value::Ref(r)), Some(k)) = (recv, args.first()) {
+                    let (key, _) = self.to_text(k);
+                    return Ok(self.heap[r].map.get(&key).cloned().unwrap_or(Value::Null));
+                }
+                Ok(Value::Null)
+            }
+            Intrinsic::CollAdd => {
+                if let (Some(Value::Ref(r)), Some(v)) = (recv, args.first()) {
+                    self.heap[r].elems.push(v.clone());
+                }
+                Ok(Value::Null)
+            }
+            Intrinsic::CollGet => {
+                if let Some(Value::Ref(r)) = recv {
+                    return Ok(self.heap[r].elems.first().cloned().unwrap_or(Value::Null));
+                }
+                Ok(Value::Null)
+            }
+            Intrinsic::BuilderAppend => {
+                if let Some(Value::Ref(r)) = &recv {
+                    if let Some(a) = args.first() {
+                        let (t, taint) = self.to_text(a);
+                        self.heap[*r].buffer.push_str(&t);
+                        self.heap[*r].buffer_taint |= taint;
+                    }
+                }
+                Ok(recv.unwrap_or(Value::Null))
+            }
+            Intrinsic::BuilderToString => {
+                if let Some(Value::Ref(r)) = recv {
+                    return Ok(Value::Str {
+                        text: self.heap[r].buffer.clone(),
+                        taint: self.heap[r].buffer_taint,
+                    });
+                }
+                Ok(Value::Null)
+            }
+            Intrinsic::ClassForName => {
+                if let Some(a) = args.first() {
+                    let (name, _) = self.to_text(a);
+                    if let Some(c) = self.program.class_by_name(&name) {
+                        return Ok(Value::ClassV(c));
+                    }
+                }
+                Ok(Value::Null)
+            }
+            Intrinsic::ClassNewInstance => {
+                if let Some(Value::ClassV(c)) = recv {
+                    let r = self.alloc(Some(c));
+                    return Ok(Value::Ref(r));
+                }
+                Ok(Value::Null)
+            }
+            Intrinsic::GetMethods => {
+                if let Some(Value::ClassV(c)) = recv {
+                    let methods: Vec<Value> = self
+                        .program
+                        .class(c)
+                        .methods
+                        .iter()
+                        .filter(|&&m| {
+                            let meth = self.program.method(m);
+                            !meth.is_static && meth.name != "<init>" && meth.body().is_some()
+                        })
+                        .map(|&m| Value::MethodV(c, m))
+                        .collect();
+                    let r = self.alloc(None);
+                    self.heap[r].elems = methods;
+                    return Ok(Value::Ref(r));
+                }
+                Ok(Value::Null)
+            }
+            Intrinsic::GetMethod => {
+                if let (Some(Value::ClassV(c)), Some(a)) = (recv, args.first()) {
+                    let (name, _) = self.to_text(a);
+                    if let Some(m) = self.program.method_by_name(c, &name) {
+                        return Ok(Value::MethodV(c, m));
+                    }
+                }
+                Ok(Value::Null)
+            }
+            Intrinsic::MethodGetName => {
+                if let Some(Value::MethodV(_, m)) = recv {
+                    return Ok(Value::Str {
+                        text: self.program.method(m).name.clone(),
+                        taint: false,
+                    });
+                }
+                Ok(Value::Str { text: String::new(), taint: false })
+            }
+            Intrinsic::MethodInvoke => {
+                if let Some(Value::MethodV(_, m)) = recv {
+                    let target_obj = args.first().cloned();
+                    let call_args: Vec<Value> = match args.get(1) {
+                        Some(Value::Ref(r)) => self.heap[*r].elems.clone(),
+                        _ => vec![],
+                    };
+                    return match self.call_method(m, target_obj, &call_args, depth + 1) {
+                        Flow::Normal(v) => Ok(v),
+                        Flow::Thrown(t) => Err(t),
+                    };
+                }
+                Ok(Value::Null)
+            }
+            Intrinsic::ThreadStart => {
+                // Execute the spawned thread synchronously: one concrete
+                // interleaving in which the cross-thread flow manifests.
+                if let Some(Value::Ref(r)) = &recv {
+                    if let Some(c) = self.heap[*r].class {
+                        if let Some(sel) = self.program.find_selector("run", 0) {
+                            if let Some(run) = self.program.resolve_virtual(c, sel) {
+                                return match self.call_method(
+                                    run,
+                                    recv.clone(),
+                                    &[],
+                                    depth + 1,
+                                ) {
+                                    Flow::Normal(_) => Ok(Value::Null),
+                                    Flow::Thrown(t) => Err(t),
+                                };
+                            }
+                        }
+                    }
+                }
+                Ok(Value::Null)
+            }
+            Intrinsic::GetMessage => {
+                // Exception internals are sensitive (§4.1.2).
+                Ok(Value::Str { text: "<exception-detail>".into(), taint: true })
+            }
+            Intrinsic::Nop => Ok(Value::Null),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<DynHit> {
+        let mut program = jir::frontend::parse_program(src).expect("parses");
+        taj_core::frameworks::synthesize_entrypoints(&mut program);
+        run_program(&program, InterpConfig::default())
+    }
+
+    #[test]
+    fn direct_flow_observed() {
+        let hits = run(
+            r#"
+            class Page extends HttpServlet {
+                method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                    String v = req.getParameter("q");
+                    resp.getWriter().println(v);
+                }
+            }
+            "#,
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].sink_method, "println");
+        assert_eq!(hits[0].caller_class, "Page");
+    }
+
+    #[test]
+    fn sanitized_flow_not_observed() {
+        let hits = run(
+            r#"
+            class Page extends HttpServlet {
+                method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                    String v = URLEncoder.encode(req.getParameter("q"));
+                    resp.getWriter().println(v);
+                }
+            }
+            "#,
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn map_keys_are_concrete() {
+        let hits = run(
+            r#"
+            class Page extends HttpServlet {
+                method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                    HashMap m = new HashMap();
+                    m.put("a", req.getParameter("q"));
+                    m.put("b", "safe");
+                    resp.getWriter().println(m.get("b"));
+                }
+            }
+            "#,
+        );
+        assert!(hits.is_empty(), "reading key b must be clean: {hits:?}");
+    }
+
+    #[test]
+    fn reflection_executes() {
+        let hits = run(
+            r#"
+            class Target {
+                method String id(String x) { return x; }
+            }
+            class Page extends HttpServlet {
+                method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                    Class k = Class.forName("Target");
+                    Method m = k.getMethod("id");
+                    Target t = new Target();
+                    Object r = m.invoke(t, new Object[] { req.getParameter("q") });
+                    resp.getWriter().println(r);
+                }
+            }
+            "#,
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+    }
+
+    #[test]
+    fn thread_flow_manifests() {
+        let hits = run(
+            r#"
+            class Shared { field String v; ctor () { } }
+            class Worker implements Runnable {
+                field Shared s;
+                field HttpServletRequest r;
+                ctor (Shared s, HttpServletRequest r) { this.s = s; this.r = r; }
+                method void run() {
+                    Shared sh = this.s;
+                    HttpServletRequest rq = this.r;
+                    sh.v = rq.getParameter("q");
+                }
+            }
+            class Page extends HttpServlet {
+                method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                    Shared s = new Shared();
+                    Thread t = new Thread(new Worker(s, req));
+                    t.start();
+                    resp.getWriter().println(s.v);
+                }
+            }
+            "#,
+        );
+        assert_eq!(hits.len(), 1, "cross-thread flow must manifest: {hits:?}");
+    }
+
+    #[test]
+    fn exception_leak_observed() {
+        let hits = run(
+            r#"
+            class Page extends HttpServlet {
+                method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                    PrintWriter w = resp.getWriter();
+                    try { this.boom(); } catch (Exception e) { w.println(e); }
+                }
+                method void boom() { throw new RuntimeException("secret"); }
+            }
+            "#,
+        );
+        assert_eq!(hits.len(), 1, "printing the exception leaks: {hits:?}");
+    }
+
+    #[test]
+    fn loops_terminate() {
+        let hits = run(
+            r#"
+            class Page extends HttpServlet {
+                method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                    int i = 0;
+                    while (i < 1000000) { i = i + 1; }
+                    resp.getWriter().println(req.getParameter("q"));
+                }
+            }
+            "#,
+        );
+        // The loop guard abandons the hot loop; the run still terminates.
+        let _ = hits;
+    }
+}

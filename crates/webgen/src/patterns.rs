@@ -1,0 +1,745 @@
+//! The vulnerability/confusable pattern library.
+//!
+//! Each pattern emits a self-contained jweb class group with a unique name
+//! prefix, plus its ground-truth classification. Patterns are engineered
+//! so that the five analysis configurations (Table 1) separate exactly as
+//! the paper's evaluation observes:
+//!
+//! - plain vulnerable patterns: found by every sound configuration;
+//! - sanitized variants: reported by none;
+//! - `TwoBoxContext` / `CollectionContext`: context-merging false
+//!   positives for CI only;
+//! - `FactoryAlias`: a statically-aliased but dynamically-disjoint heap
+//!   flow — false positive for the flow-insensitive heap treatments
+//!   (hybrid, CI) but not for CS (heap-through-calls);
+//! - `ArrayConfusion` / `UnknownKeyMap`: conservative false positives for
+//!   every configuration;
+//! - `ThreadShared`: a real cross-thread flow that CS misses (its §7.2
+//!   false negatives on multithreaded benchmarks);
+//! - `DeepNested` / `LongChain`: real flows lost only by the fully
+//!   optimized configuration's §6.2 bounds;
+//! - `FarFalsePositive`: a spurious flow routed through a long helper
+//!   chain, pruned by the §6.1 call-graph budget (prioritized runs report
+//!   fewer false positives, as in the paper).
+
+use taj_core::{GroundTruth, IssueType};
+
+/// One pattern kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// Reflected XSS: `getParameter` → `println`.
+    XssReflected,
+    /// XSS neutralized by `URLEncoder.encode`.
+    XssSanitized,
+    /// SQL injection via string concatenation.
+    SqliConcat,
+    /// SQLi neutralized by `encodeForSQL`.
+    SqliSanitized,
+    /// Command injection via `Runtime.exec`.
+    CommandInjection,
+    /// Malicious file execution via `new FileInputStream(tainted)`.
+    MaliciousFile,
+    /// Information leakage: `catch (Exception e) { out.println(e); }`.
+    InfoLeak,
+    /// XSS through an object field (heap flow).
+    XssHeap,
+    /// Nested taint: tainted string two fields deep, sink gets the outer
+    /// wrapper object.
+    NestedCarrier,
+    /// Nested taint at dereference depth 3 — lost by the optimized
+    /// configuration's depth-2 bound (§6.2.3).
+    DeepNested,
+    /// Real flow with a witness path longer than 14 — filtered by the
+    /// optimized configuration (§6.2.2).
+    LongChain,
+    /// Two wrapper objects, only one tainted: CI merges contexts (FP).
+    TwoBoxContext,
+    /// Two maps from one allocation site in an object-sensitive helper:
+    /// distinguished by hybrid/CS, merged by CI (FP).
+    CollectionContext,
+    /// Statically aliased, dynamically disjoint heap flow: FP for hybrid
+    /// and CI (flow-insensitive heap), clean for CS.
+    FactoryAlias,
+    /// Index-insensitive array modeling: FP for every configuration.
+    ArrayConfusion,
+    /// Non-constant map keys: conservative FP for every configuration.
+    UnknownKeyMap,
+    /// Cross-thread flow through a shared object: CS false negative.
+    ThreadShared,
+    /// Session attribute flow with distinct constant keys (vulnerable
+    /// under key "u", benign read under key "v").
+    SessionAttr,
+    /// Taint through `StringBuilder`.
+    BuilderFlow,
+    /// Reflective dispatch with method-name narrowing (Figure 1 style).
+    ReflectInvoke,
+    /// Struts action with a tainted `ActionForm` field.
+    StrutsForm,
+    /// EJB remote call carrying taint (requires the deployment
+    /// descriptor).
+    EjbFlow,
+    /// A spurious (FactoryAlias-style) flow routed through a deep helper
+    /// chain: pruned by the §6.1 node budget.
+    FarFalsePositive,
+    /// A spurious flow whose witness path exceeds the §6.2.2 length bound:
+    /// reported by unbounded/prioritized runs, filtered by the optimized
+    /// one (the paper's "longer flows are less likely true positives").
+    LongSpurious,
+}
+
+impl Pattern {
+    /// All patterns, in a stable order.
+    pub fn all() -> &'static [Pattern] {
+        use Pattern::*;
+        &[
+            XssReflected,
+            XssSanitized,
+            SqliConcat,
+            SqliSanitized,
+            CommandInjection,
+            MaliciousFile,
+            InfoLeak,
+            XssHeap,
+            NestedCarrier,
+            DeepNested,
+            LongChain,
+            TwoBoxContext,
+            CollectionContext,
+            FactoryAlias,
+            ArrayConfusion,
+            UnknownKeyMap,
+            ThreadShared,
+            SessionAttr,
+            BuilderFlow,
+            ReflectInvoke,
+            StrutsForm,
+            EjbFlow,
+            FarFalsePositive,
+            LongSpurious,
+        ]
+    }
+
+    /// Short name used in class-name prefixes.
+    pub fn tag(self) -> &'static str {
+        use Pattern::*;
+        match self {
+            XssReflected => "XssRefl",
+            XssSanitized => "XssSan",
+            SqliConcat => "Sqli",
+            SqliSanitized => "SqliSan",
+            CommandInjection => "Cmd",
+            MaliciousFile => "MalFile",
+            InfoLeak => "Leak",
+            XssHeap => "XssHeap",
+            NestedCarrier => "Nested",
+            DeepNested => "Deep",
+            LongChain => "Long",
+            TwoBoxContext => "TwoBox",
+            CollectionContext => "CollCtx",
+            FactoryAlias => "FactAlias",
+            ArrayConfusion => "ArrConf",
+            UnknownKeyMap => "UnkKey",
+            ThreadShared => "Thread",
+            SessionAttr => "Session",
+            BuilderFlow => "Builder",
+            ReflectInvoke => "Reflect",
+            StrutsForm => "Struts",
+            EjbFlow => "Ejb",
+            FarFalsePositive => "FarFp",
+            LongSpurious => "LongFp",
+        }
+    }
+}
+
+/// Emits one instance of `pattern` with unique suffix `id` into `out`,
+/// recording ground truth. Returns the EJB descriptor entry when the
+/// pattern needs one.
+pub fn emit(
+    pattern: Pattern,
+    id: usize,
+    out: &mut String,
+    truth: &mut GroundTruth,
+) -> Option<taj_core::EjbEntry> {
+    let p = format!("{}{}", pattern.tag(), id);
+    match pattern {
+        Pattern::XssReflected => {
+            out.push_str(&format!(
+                r#"
+class {p}Page extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        String v = req.getParameter("q{id}");
+        PrintWriter w = resp.getWriter();
+        w.println(v);
+    }}
+}}
+"#
+            ));
+            truth.add_vulnerable(format!("{p}Page"), IssueType::Xss);
+        }
+        Pattern::XssSanitized => {
+            out.push_str(&format!(
+                r#"
+class {p}Page extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        String v = req.getParameter("q{id}");
+        String clean = URLEncoder.encode(v);
+        resp.getWriter().println(clean);
+    }}
+}}
+"#
+            ));
+            truth.add_benign(format!("{p}Page"), IssueType::Xss);
+        }
+        Pattern::SqliConcat => {
+            out.push_str(&format!(
+                r#"
+class {p}Page extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        String uid = req.getParameter("id{id}");
+        Connection c = DriverManager.getConnection("jdbc:app");
+        Statement st = c.createStatement();
+        st.executeQuery("SELECT * FROM t WHERE id=" + uid);
+    }}
+}}
+"#
+            ));
+            truth.add_vulnerable(format!("{p}Page"), IssueType::Sqli);
+        }
+        Pattern::SqliSanitized => {
+            out.push_str(&format!(
+                r#"
+class {p}Page extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        String uid = Encoder.encodeForSQL(req.getParameter("id{id}"));
+        Connection c = DriverManager.getConnection("jdbc:app");
+        Statement st = c.createStatement();
+        st.executeQuery("SELECT * FROM t WHERE id=" + uid);
+    }}
+}}
+"#
+            ));
+            truth.add_benign(format!("{p}Page"), IssueType::Sqli);
+        }
+        Pattern::CommandInjection => {
+            out.push_str(&format!(
+                r#"
+class {p}Page extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        String cmd = req.getParameter("cmd{id}");
+        Runtime r = Runtime.getRuntime();
+        r.exec("convert " + cmd);
+    }}
+}}
+"#
+            ));
+            truth.add_vulnerable(format!("{p}Page"), IssueType::CommandInjection);
+        }
+        Pattern::MaliciousFile => {
+            out.push_str(&format!(
+                r#"
+class {p}Page extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        String path = req.getParameter("f{id}");
+        FileInputStream in = new FileInputStream(path);
+        resp.getWriter().println("ok");
+    }}
+}}
+"#
+            ));
+            truth.add_vulnerable(format!("{p}Page"), IssueType::MaliciousFile);
+        }
+        Pattern::InfoLeak => {
+            out.push_str(&format!(
+                r#"
+class {p}Page extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        PrintWriter w = resp.getWriter();
+        try {{ this.work(); }} catch (Exception e) {{ w.println(e); }}
+    }}
+    method void work() {{ throw new RuntimeException("internal state"); }}
+}}
+"#
+            ));
+            truth.add_vulnerable(format!("{p}Page"), IssueType::InfoLeak);
+        }
+        Pattern::XssHeap => {
+            out.push_str(&format!(
+                r#"
+class {p}Bean {{
+    field String value;
+    ctor () {{ }}
+}}
+class {p}Page extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        {p}Bean bean = new {p}Bean();
+        bean.value = req.getParameter("v{id}");
+        String out = bean.value;
+        resp.getWriter().println(out);
+    }}
+}}
+"#
+            ));
+            truth.add_vulnerable(format!("{p}Page"), IssueType::Xss);
+        }
+        Pattern::NestedCarrier => {
+            out.push_str(&format!(
+                r#"
+class {p}Inner {{
+    field String s;
+    ctor (String s) {{ this.s = s; }}
+}}
+class {p}Outer {{
+    field {p}Inner inner;
+    ctor ({p}Inner i) {{ this.inner = i; }}
+}}
+class {p}Page extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        {p}Inner inner = new {p}Inner(req.getParameter("n{id}"));
+        {p}Outer outer = new {p}Outer(inner);
+        resp.getWriter().println(outer);
+    }}
+}}
+"#
+            ));
+            truth.add_vulnerable(format!("{p}Page"), IssueType::Xss);
+        }
+        Pattern::DeepNested => {
+            // The tainted string lives in an object 3 dereferences below
+            // the sink argument — beyond the optimized configuration's
+            // depth-2 bound (§6.2.3), within reach of the unbounded one.
+            out.push_str(&format!(
+                r#"
+class {p}L4 {{ field String s; ctor (String s) {{ this.s = s; }} }}
+class {p}L3 {{ field {p}L4 c; ctor ({p}L4 c) {{ this.c = c; }} }}
+class {p}L2 {{ field {p}L3 c; ctor ({p}L3 c) {{ this.c = c; }} }}
+class {p}L1 {{ field {p}L2 c; ctor ({p}L2 c) {{ this.c = c; }} }}
+class {p}Page extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        {p}L4 l4 = new {p}L4(req.getParameter("d{id}"));
+        {p}L3 l3 = new {p}L3(l4);
+        {p}L2 l2 = new {p}L2(l3);
+        {p}L1 l1 = new {p}L1(l2);
+        resp.getWriter().println(l1);
+    }}
+}}
+"#
+            ));
+            truth.add_vulnerable(format!("{p}Page"), IssueType::Xss);
+        }
+        Pattern::LongChain => {
+            // Chain 18 local transformations so the witness path exceeds
+            // the optimized configuration's flow-length bound of 14
+            // (summary edges keep *interprocedural* paths short, so the
+            // length must accumulate in straight-line dataflow).
+            let mut chain = String::new();
+            for i in 0..18 {
+                let prev = if i == 0 { "v".to_string() } else { format!("v{}", i - 1) };
+                chain.push_str(&format!("        String v{i} = \"s\" + {prev};\n"));
+            }
+            out.push_str(&format!(
+                r#"
+class {p}Page extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        String v = req.getParameter("l{id}");
+{chain}        resp.getWriter().println(v17);
+    }}
+}}
+"#
+            ));
+            truth.add_vulnerable(format!("{p}Page"), IssueType::Xss);
+        }
+        Pattern::TwoBoxContext => {
+            out.push_str(&format!(
+                r#"
+class {p}Box {{
+    field String v;
+    ctor (String v) {{ this.v = v; }}
+    method String get() {{ return this.v; }}
+}}
+class {p}Page extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        {p}Box dirty = new {p}Box(req.getParameter("t{id}"));
+        {p}Box clean = new {p}Box("static");
+        PrintWriter w = resp.getWriter();
+        w.println(dirty.get());
+    }}
+}}
+class {p}CleanPage extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        String seed = req.getParameter("t{id}b");
+        {p}Box poison = new {p}Box(seed);
+        {p}Box clean = new {p}Box("constant");
+        resp.getWriter().println(clean.get());
+    }}
+}}
+"#
+            ));
+            truth.add_vulnerable(format!("{p}Page"), IssueType::Xss);
+            truth.add_benign(format!("{p}CleanPage"), IssueType::Xss);
+        }
+        Pattern::CollectionContext => {
+            // Maps allocated inside an object-sensitive holder: collection
+            // heap cloning separates them for hybrid/CS; CI merges.
+            out.push_str(&format!(
+                r#"
+class {p}Holder {{
+    field HashMap map;
+    ctor () {{ this.map = new HashMap(); }}
+    method void set(String v) {{
+        HashMap m = this.map;
+        m.put("k", v);
+    }}
+    method Object get() {{
+        HashMap m = this.map;
+        return m.get("k");
+    }}
+}}
+class {p}Page extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        {p}Holder dirty = new {p}Holder();
+        dirty.set(req.getParameter("c{id}"));
+        {p}Holder clean = new {p}Holder();
+        clean.set("static");
+        resp.getWriter().println(dirty.get());
+    }}
+}}
+class {p}CleanPage extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        {p}Holder poison = new {p}Holder();
+        poison.set(req.getParameter("c{id}b"));
+        {p}Holder clean = new {p}Holder();
+        clean.set("constant");
+        resp.getWriter().println(clean.get());
+    }}
+}}
+"#
+            ));
+            truth.add_vulnerable(format!("{p}Page"), IssueType::Xss);
+            truth.add_benign(format!("{p}CleanPage"), IssueType::Xss);
+        }
+        Pattern::FactoryAlias => {
+            // One allocation site produces widgets for two disjoint pages:
+            // flow-insensitive direct edges connect them (hybrid/CI FP);
+            // CS needs a call path and stays clean.
+            out.push_str(&format!(
+                r#"
+class {p}Widget {{
+    field String data;
+    ctor () {{ }}
+}}
+class {p}Factory {{
+    static method {p}Widget make() {{ return new {p}Widget(); }}
+}}
+class {p}WriterPage extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        {p}Widget w = {p}Factory.make();
+        w.data = req.getParameter("w{id}");
+    }}
+}}
+class {p}ReaderPage extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        {p}Widget w = {p}Factory.make();
+        String v = w.data;
+        resp.getWriter().println(v);
+    }}
+}}
+"#
+            ));
+            truth.add_benign(format!("{p}ReaderPage"), IssueType::Xss);
+        }
+        Pattern::ArrayConfusion => {
+            out.push_str(&format!(
+                r#"
+class {p}Page extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        String[] slots = new String[2];
+        slots[0] = req.getParameter("a{id}");
+        slots[1] = "static";
+        String v = slots[1];
+        resp.getWriter().println(v);
+    }}
+}}
+"#
+            ));
+            truth.add_benign(format!("{p}Page"), IssueType::Xss);
+        }
+        Pattern::UnknownKeyMap => {
+            out.push_str(&format!(
+                r#"
+class {p}Page extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        HashMap m = new HashMap();
+        String k = req.getHeader("which{id}");
+        m.put(k, req.getParameter("u{id}"));
+        Object v = m.get("fixed{id}");
+        resp.getWriter().println(v);
+    }}
+}}
+"#
+            ));
+            truth.add_benign(format!("{p}Page"), IssueType::Xss);
+        }
+        Pattern::ThreadShared => {
+            out.push_str(&format!(
+                r#"
+class {p}Shared {{ field String v; ctor () {{ }} }}
+class {p}Worker implements Runnable {{
+    field {p}Shared shared;
+    field HttpServletRequest req;
+    ctor ({p}Shared s, HttpServletRequest r) {{ this.shared = s; this.req = r; }}
+    method void run() {{
+        {p}Shared s = this.shared;
+        HttpServletRequest r = this.req;
+        s.v = r.getParameter("th{id}");
+    }}
+}}
+class {p}Page extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        {p}Shared s = new {p}Shared();
+        Thread t = new Thread(new {p}Worker(s, req));
+        t.start();
+        String out = s.v;
+        resp.getWriter().println(out);
+    }}
+}}
+"#
+            ));
+            truth.add_vulnerable(format!("{p}Page"), IssueType::Xss);
+        }
+        Pattern::SessionAttr => {
+            out.push_str(&format!(
+                r#"
+class {p}Page extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        HttpSession s = req.getSession();
+        s.setAttribute("user{id}", req.getParameter("s{id}"));
+        Object v = s.getAttribute("user{id}");
+        resp.getWriter().println(v);
+    }}
+}}
+class {p}CleanPage extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        HttpSession s = req.getSession();
+        s.setAttribute("poison{id}", req.getParameter("sc{id}"));
+        s.setAttribute("fine{id}", "constant");
+        Object v = s.getAttribute("fine{id}");
+        resp.getWriter().println(v);
+    }}
+}}
+"#
+            ));
+            truth.add_vulnerable(format!("{p}Page"), IssueType::Xss);
+            truth.add_benign(format!("{p}CleanPage"), IssueType::Xss);
+        }
+        Pattern::BuilderFlow => {
+            out.push_str(&format!(
+                r#"
+class {p}Page extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        StringBuilder sb = new StringBuilder();
+        sb.append("<div>");
+        sb.append(req.getParameter("b{id}"));
+        sb.append("</div>");
+        resp.getWriter().println(sb.toString());
+    }}
+}}
+"#
+            ));
+            truth.add_vulnerable(format!("{p}Page"), IssueType::Xss);
+        }
+        Pattern::ReflectInvoke => {
+            out.push_str(&format!(
+                r#"
+class {p}Target {{
+    method String id(String x) {{ return x; }}
+    method String version(String x) {{ return "1.0"; }}
+}}
+class {p}Page extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        String v = req.getParameter("r{id}");
+        Class k = Class.forName("{p}Target");
+        Method[] ms = k.getMethods();
+        Method idm = null;
+        for (int i = 0; i < ms.length; i = i + 1) {{
+            Method cand = ms[i];
+            if (cand.getName().equals("id")) {{ idm = cand; }}
+        }}
+        {p}Target t = new {p}Target();
+        Object r = idm.invoke(t, new Object[] {{ v }});
+        resp.getWriter().println(r);
+    }}
+}}
+"#
+            ));
+            truth.add_vulnerable(format!("{p}Page"), IssueType::Xss);
+        }
+        Pattern::StrutsForm => {
+            out.push_str(&format!(
+                r#"
+class {p}Form extends ActionForm {{
+    field String username;
+    ctor () {{ }}
+}}
+class {p}Action extends Action {{
+    ctor () {{ }}
+    method void execute(ActionMapping m, ActionForm f,
+                        HttpServletRequest req, HttpServletResponse resp) {{
+        {p}Form form = ({p}Form) f;
+        String u = form.username;
+        resp.getWriter().println(u);
+    }}
+}}
+"#
+            ));
+            truth.add_vulnerable(format!("{p}Action"), IssueType::Xss);
+        }
+        Pattern::EjbFlow => {
+            out.push_str(&format!(
+                r#"
+interface {p}Home {{ method {p}Bean create(); }}
+class {p}Bean {{
+    ctor () {{ }}
+    method String echo(String s) {{ return s; }}
+}}
+class {p}Page extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        String v = req.getParameter("e{id}");
+        InitialContext ctx = new InitialContext();
+        Object ref = ctx.lookup("java:comp/env/ejb/{p}");
+        {p}Home home = ({p}Home) PortableRemoteObject.narrow(ref, null);
+        {p}Bean bean = home.create();
+        String out = bean.echo(v);
+        resp.getWriter().println(out);
+    }}
+}}
+"#
+            ));
+            truth.add_vulnerable(format!("{p}Page"), IssueType::Xss);
+            return Some(taj_core::EjbEntry {
+                jndi_name: format!("java:comp/env/ejb/{p}"),
+                home_interface: format!("{p}Home"),
+                bean_class: format!("{p}Bean"),
+            });
+        }
+        Pattern::FarFalsePositive => {
+            // FactoryAlias through a 25-deep helper chain: under the §6.1
+            // node budget the chain ranks far from taint and is pruned.
+            let mut chain = String::new();
+            for i in 0..25 {
+                let inner = if i == 24 {
+                    format!("{p}Factory.make()")
+                } else {
+                    format!("{p}Chain.c{}()", i + 1)
+                };
+                chain.push_str(&format!(
+                    "    static method {p}Widget c{i}() {{ return {inner}; }}\n"
+                ));
+            }
+            out.push_str(&format!(
+                r#"
+class {p}Widget {{
+    field String data;
+    ctor () {{ }}
+}}
+class {p}Factory {{
+    static method {p}Widget make() {{ return new {p}Widget(); }}
+}}
+class {p}Chain {{
+{chain}}}
+class {p}WriterPage extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        {p}Widget w = {p}Chain.c0();
+        w.data = req.getParameter("fw{id}");
+    }}
+}}
+class {p}ReaderPage extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        {p}Widget w = {p}Chain.c0();
+        String v = w.data;
+        resp.getWriter().println(v);
+    }}
+}}
+"#
+            ));
+            truth.add_benign(format!("{p}ReaderPage"), IssueType::Xss);
+        }
+        Pattern::LongSpurious => {
+            // Statically-aliased widgets (as in FactoryAlias) plus an
+            // 18-step local concat chain in the reader: the spurious
+            // witness path exceeds the optimized flow-length bound, so
+            // only the unbounded and prioritized runs report it. The
+            // reader touches a source so the §6.1 priority scheme keeps
+            // it within budget.
+            let mut chain = String::new();
+            for i in 0..18 {
+                let prev = if i == 0 { "v".to_string() } else { format!("v{}", i - 1) };
+                chain.push_str(&format!("        String v{i} = \"x\" + {prev};\n"));
+            }
+            out.push_str(&format!(
+                r#"
+class {p}Widget {{
+    field String data;
+    ctor () {{ }}
+}}
+class {p}Factory {{
+    static method {p}Widget make() {{ return new {p}Widget(); }}
+}}
+class {p}WriterPage extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        {p}Widget w = {p}Factory.make();
+        w.data = req.getParameter("lw{id}");
+    }}
+}}
+class {p}ReaderPage extends HttpServlet {{
+    method void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+        String probe = req.getParameter("probe{id}");
+        {p}Widget w = {p}Factory.make();
+        String v = w.data;
+{chain}        resp.getWriter().println(v17);
+    }}
+}}
+"#
+            ));
+            truth.add_benign(format!("{p}ReaderPage"), IssueType::Xss);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_pattern_emits_parseable_code() {
+        for (i, &p) in Pattern::all().iter().enumerate() {
+            let mut out = String::new();
+            let mut truth = GroundTruth::default();
+            emit(p, i, &mut out, &mut truth);
+            let parsed = jir::frontend::parse_program(&out);
+            assert!(parsed.is_ok(), "pattern {p:?} fails to parse: {:?}\n{out}", parsed.err());
+            assert!(
+                !truth.vulnerable.is_empty() || !truth.benign.is_empty(),
+                "pattern {p:?} records no ground truth"
+            );
+        }
+    }
+
+    #[test]
+    fn instances_are_disjoint() {
+        let mut out = String::new();
+        let mut truth = GroundTruth::default();
+        emit(Pattern::XssReflected, 0, &mut out, &mut truth);
+        emit(Pattern::XssReflected, 1, &mut out, &mut truth);
+        assert!(jir::frontend::parse_program(&out).is_ok(), "two instances must coexist");
+        assert_eq!(truth.vulnerable.len(), 2);
+    }
+
+    #[test]
+    fn ejb_pattern_returns_descriptor_entry() {
+        let mut out = String::new();
+        let mut truth = GroundTruth::default();
+        let entry = emit(Pattern::EjbFlow, 0, &mut out, &mut truth);
+        assert!(entry.is_some());
+    }
+}

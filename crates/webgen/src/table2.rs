@@ -1,0 +1,154 @@
+//! The 22 benchmark presets of Table 2, scaled ~10× down.
+//!
+//! Sizes (application method counts) and seeded-issue volumes are scaled
+//! from Table 2 / Table 3 of the paper so that *relative* benchmark
+//! difficulty is preserved: GridSphere and ST are the giants, I and
+//! BlueBlog the midgets, and the multithreaded trio (BlueBlog, I, SBM)
+//! carries exactly the cross-thread flows behind the paper's CS false
+//! negatives (2, 1, and 2 respectively).
+
+use crate::generate::{standard_mix, BenchmarkSpec};
+
+/// One Table 2 row: paper-reported statistics plus our scaled parameters.
+#[derive(Clone, Debug)]
+pub struct BenchmarkPreset {
+    /// Benchmark name (anonymized ones keep their paper letters).
+    pub name: &'static str,
+    /// Paper: application class count.
+    pub paper_classes: usize,
+    /// Paper: application method count.
+    pub paper_methods: usize,
+    /// Paper: total (app + libraries) method count.
+    pub paper_total_methods: usize,
+    /// Paper: Table 3 issue count for the unbounded hybrid run.
+    pub paper_hybrid_issues: usize,
+    /// Cross-thread flows to seed (the paper's CS false-negative counts).
+    pub threads: usize,
+    /// Whether to include bound-sensitive patterns (deep nesting, long
+    /// chains) — the Webgoat-style behaviours of §7.2.
+    pub hard: bool,
+    /// Part of the 9 manually-classified benchmarks of Figure 4.
+    pub in_figure4: bool,
+}
+
+/// All 22 presets in Table 2 order.
+pub fn presets() -> Vec<BenchmarkPreset> {
+    // (name, classes, app methods, total methods, hybrid issues, threads, hard, fig4)
+    type Row = (&'static str, usize, usize, usize, usize, usize, bool, bool);
+    let rows: [Row; 22] = [
+        ("A", 43, 2057, 150339, 54, 0, false, true),
+        ("B", 246, 9252, 328941, 25, 0, false, true),
+        ("Blojsom", 254, 7216, 354114, 238, 0, false, false),
+        ("BlueBlog", 38, 1044, 269056, 19, 2, false, true),
+        ("Dlog", 268, 12957, 284808, 21, 0, false, false),
+        ("Friki", 35, 1133, 116480, 60, 0, false, true),
+        ("GestCV", 124, 5139, 473574, 21, 0, false, true),
+        ("Ginp", 73, 2941, 277680, 67, 0, false, false),
+        ("GridSphere", 676, 32134, 385609, 803, 0, false, false),
+        ("I", 25, 996, 149278, 3, 1, false, true),
+        ("JSPWiki", 429, 13087, 335828, 68, 0, false, false),
+        ("Lutece", 467, 12398, 237137, 3, 0, false, false),
+        ("MVNForum", 608, 19722, 315527, 260, 0, false, false),
+        ("PersonalBlog", 38, 1644, 157794, 454, 0, false, false),
+        ("Roller", 251, 9786, 246390, 650, 0, false, false),
+        ("S", 100, 10965, 393204, 395, 0, false, true),
+        ("SBM", 143, 6506, 283069, 154, 2, false, true),
+        ("SnipSnap", 571, 17960, 455410, 91, 0, false, false),
+        ("SPLC", 69, 3526, 229417, 40, 0, false, false),
+        ("ST", 594, 31309, 822362, 731, 0, false, false),
+        ("VQWiki", 185, 6164, 152341, 888, 0, false, false),
+        ("Webgoat", 192, 14309, 254726, 48, 0, true, true),
+    ];
+    rows.iter()
+        .map(|&(name, c, m, tm, issues, threads, hard, fig4)| BenchmarkPreset {
+            name,
+            paper_classes: c,
+            paper_methods: m,
+            paper_total_methods: tm,
+            paper_hybrid_issues: issues,
+            threads,
+            hard,
+            in_figure4: fig4,
+        })
+        .collect()
+}
+
+/// The scale factors applied to paper sizes.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Divide paper method counts by this for filler sizing.
+    pub method_divisor: usize,
+    /// Divide paper issue counts by this for pattern seeding.
+    pub issue_divisor: usize,
+}
+
+impl Scale {
+    /// The default ~10× reduction used by the benchmark harnesses.
+    pub fn standard() -> Scale {
+        Scale { method_divisor: 10, issue_divisor: 6 }
+    }
+
+    /// A further-reduced scale for quick runs and CI.
+    pub fn quick() -> Scale {
+        Scale { method_divisor: 60, issue_divisor: 12 }
+    }
+}
+
+impl BenchmarkPreset {
+    /// Builds the generator spec for this preset under `scale`.
+    pub fn spec(&self, scale: Scale) -> BenchmarkSpec {
+        let seeded_issues = (self.paper_hybrid_issues / scale.issue_divisor).max(2);
+        let filler_methods = self.paper_methods / scale.method_divisor;
+        let methods_per_class = 8;
+        BenchmarkSpec {
+            name: self.name.to_string(),
+            pattern_counts: standard_mix(seeded_issues, self.threads, self.hard),
+            filler_classes: (filler_methods / methods_per_class).max(1),
+            methods_per_class,
+            seed: 0x7A9_u64.wrapping_add(fxhash(self.name)),
+        }
+    }
+}
+
+fn fxhash(s: &str) -> u64 {
+    // Tiny deterministic string hash (FNV-1a) for stable per-name seeds.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_two_presets() {
+        let p = presets();
+        assert_eq!(p.len(), 22);
+        assert_eq!(p.iter().filter(|b| b.in_figure4).count(), 9, "Figure 4 classifies 9");
+        let threads: usize = p.iter().map(|b| b.threads).sum();
+        assert_eq!(threads, 5, "2 + 1 + 2 cross-thread flows (BlueBlog, I, SBM)");
+    }
+
+    #[test]
+    fn specs_scale_with_paper_sizes() {
+        let p = presets();
+        let scale = Scale::standard();
+        let grid = p.iter().find(|b| b.name == "GridSphere").unwrap().spec(scale);
+        let small = p.iter().find(|b| b.name == "I").unwrap().spec(scale);
+        assert!(grid.filler_classes > small.filler_classes * 5);
+    }
+
+    #[test]
+    fn quick_scale_is_smaller() {
+        let p = presets();
+        let grid = p.iter().find(|b| b.name == "GridSphere").unwrap();
+        assert!(
+            grid.spec(Scale::quick()).filler_classes
+                < grid.spec(Scale::standard()).filler_classes
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Generation robustness: all 22 Table 2 presets must produce programs
+//! that parse, lower, expand, convert to SSA, and validate.
+
+use taj_webgen::{generate, presets, Scale};
+
+#[test]
+fn all_presets_build_valid_programs_quick_scale() {
+    for preset in presets() {
+        let bench = generate(&preset.spec(Scale::quick()));
+        let program = jir::frontend::build_program(&bench.source)
+            .unwrap_or_else(|e| panic!("{}: {e}", preset.name));
+        let errors = jir::validate::validate(&program);
+        assert!(errors.is_empty(), "{}: invalid IR: {errors:?}", preset.name);
+        assert!(
+            !bench.truth.vulnerable.is_empty(),
+            "{}: no vulnerable patterns seeded",
+            preset.name
+        );
+    }
+}
+
+#[test]
+fn standard_scale_sizes_track_paper_order() {
+    // Relative benchmark sizes must preserve the paper's ordering for the
+    // extremes.
+    let sizes: Vec<(String, usize)> = presets()
+        .into_iter()
+        .map(|p| {
+            let b = generate(&p.spec(Scale::standard()));
+            (p.name.to_string(), b.stats.methods)
+        })
+        .collect();
+    let get = |n: &str| sizes.iter().find(|(name, _)| name == n).unwrap().1;
+    assert!(get("GridSphere") > get("Webgoat"));
+    assert!(get("Webgoat") > get("BlueBlog"));
+    assert!(get("ST") > get("I"));
+    let (largest, _) =
+        sizes.iter().max_by_key(|(_, m)| *m).unwrap();
+    assert!(
+        largest == "GridSphere" || largest == "ST",
+        "paper's giants stay the giants, got {largest}"
+    );
+}
+
+#[test]
+fn ejb_descriptors_resolve_against_generated_code() {
+    for preset in presets().into_iter().take(6) {
+        let bench = generate(&preset.spec(Scale::quick()));
+        let program = jir::frontend::parse_program(&bench.source).unwrap();
+        for entry in &bench.descriptor.entries {
+            assert!(
+                program.class_by_name(&entry.bean_class).is_some(),
+                "{}: descriptor bean `{}` missing",
+                preset.name,
+                entry.bean_class
+            );
+            assert!(
+                program.class_by_name(&entry.home_interface).is_some(),
+                "{}: descriptor home `{}` missing",
+                preset.name,
+                entry.home_interface
+            );
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Library-call-point report minimization (§5, Figure 3): many raw
+//! source→sink flows collapse into few actionable findings, grouped by
+//! the last application→library crossing and the required remediation.
+//!
+//! Run with: `cargo run --example report_dedup`
+
+use taj::{analyze_source, RuleSet, TajConfig};
+
+fn main() -> Result<(), taj::TajError> {
+    // Three parameters funnel through one rendering helper: one fix (a
+    // sanitizer at the helper call) remedies all three flows. A fourth
+    // flow prints directly and needs its own fix; a fifth reaches a SQL
+    // sink and needs a *different* remediation even though it shares the
+    // source.
+    let source = r#"
+        library class Render {
+            static method void emit(PrintWriter w, String s) { w.println(s); }
+        }
+
+        class ReportPage extends HttpServlet {
+            method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                PrintWriter w = resp.getWriter();
+                String a = req.getParameter("a");
+                String b = req.getParameter("b");
+                String c = req.getParameter("c");
+
+                String merged = a + "|" + b + "|" + c;
+                Render.emit(w, merged);      // LCP #1: one fix, three flows
+
+                String d = req.getParameter("d");
+                w.println(d);                 // LCP #2: direct sink call
+
+                Connection conn = DriverManager.getConnection("jdbc:app");
+                Statement st = conn.createStatement();
+                st.executeQuery("SELECT " + d); // LCP #3: different issue type
+            }
+        }
+    "#;
+
+    let report = analyze_source(
+        source,
+        None,
+        RuleSet::default_rules(),
+        &TajConfig::hybrid_unbounded(),
+    )?;
+
+    println!("raw source→sink flows : {}", report.flows.len());
+    println!("deduplicated findings : {}\n", report.issue_count());
+    for f in &report.findings {
+        println!(
+            "  [{}] fix at the {} call in {} — remedies {} flow(s)",
+            f.flow.issue, f.flow.sink_method, f.lcp_owner_class, f.group_size
+        );
+    }
+    println!();
+    println!("The three getParameter flows through Render.emit share one library");
+    println!("call point: inserting a sanitizer there fixes all of them, so TAJ");
+    println!("reports one representative (§5). The direct println and the");
+    println!("executeQuery flows need different remediations and stay separate.");
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! # taj — Rust reproduction of *TAJ: Effective Taint Analysis of Web
+//! Applications* (PLDI 2009)
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! - [`jir`] — the Java-like IR, SSA machinery, and jweb frontend;
+//! - [`mod@pointer`] — context-sensitive Andersen pointer analysis (§3.1);
+//! - [`sdg`] — no-heap SDG, RHS tabulation, and the hybrid/CI/CS thin
+//!   slicers (§3.2);
+//! - [`core`] — rules, code modeling, LCP reports, bounded configs, and
+//!   the end-to-end driver;
+//! - [`webgen`] — the synthetic benchmark generator reproducing the
+//!   paper's evaluation setup.
+//!
+//! See `examples/` for runnable scenarios (start with
+//! `cargo run --example quickstart`).
+//!
+//! ```
+//! use taj::{analyze_source, RuleSet, TajConfig};
+//!
+//! let report = analyze_source(
+//!     r#"
+//!     class Page extends HttpServlet {
+//!         method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+//!             String name = req.getParameter("name");
+//!             resp.getWriter().println(name);       // reflected XSS
+//!         }
+//!     }
+//!     "#,
+//!     None,
+//!     RuleSet::default_rules(),
+//!     &TajConfig::hybrid_unbounded(),
+//! )?;
+//! assert_eq!(report.issue_count(), 1);
+//! # Ok::<(), taj::TajError>(())
+//! ```
+
+pub use jir;
+pub use taj_core as core;
+pub use taj_pointer as pointer;
+pub use taj_sdg as sdg;
+pub use taj_webgen as webgen;
+
+pub use taj_core::{analyze_source, IssueType, RuleSet, TajConfig, TajError, TajReport};

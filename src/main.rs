@@ -1,0 +1,187 @@
+//! `taj` — command-line front door to the analysis.
+//!
+//! ```text
+//! taj analyze <file.jweb> [--config NAME] [--json] [--flows] [--ir]
+//! taj configs
+//! taj demo
+//! ```
+
+use std::process::ExitCode;
+
+use taj::core::{analyze_source, RuleSet, TajConfig, TajError};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze_cmd(&args[1..]),
+        Some("configs") => {
+            for c in TajConfig::all() {
+                println!("{:<20} {:?}", c.name, c.algorithm);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("demo") => {
+            let demo = taj::webgen::motivating();
+            run_analysis(
+                &demo.source,
+                RuleSet::default_rules(),
+                &TajConfig::hybrid_unbounded(),
+                false,
+                false,
+                true,
+                false,
+            )
+        }
+        _ => {
+            eprintln!(
+            "usage: taj analyze <file.jweb> [--config NAME] [--rules FILE] [--json] [--sarif] [--flows] [--ir]"
+        );
+            eprintln!("       taj configs          list configuration names");
+            eprintln!("       taj demo             analyze the paper's Figure 1 program");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn analyze_cmd(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("error: missing input file");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config_name = args
+        .iter()
+        .position(|a| a == "--config")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("hybrid");
+    let config = match config_name {
+        "hybrid" | "unbounded" => TajConfig::hybrid_unbounded(),
+        "prioritized" => TajConfig::hybrid_prioritized(),
+        "optimized" => TajConfig::hybrid_optimized(),
+        "cs" => TajConfig::cs_thin(),
+        "ci" => TajConfig::ci_thin(),
+        other => {
+            eprintln!("error: unknown config `{other}` (see `taj configs`)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rules = match args.iter().position(|a| a == "--rules").and_then(|i| args.get(i + 1))
+    {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read rules file `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match taj::core::parse_rules(&text) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => RuleSet::default_rules(),
+    };
+    let json = args.iter().any(|a| a == "--json");
+    let sarif = args.iter().any(|a| a == "--sarif");
+    let flows = args.iter().any(|a| a == "--flows");
+    let ir = args.iter().any(|a| a == "--ir");
+    run_analysis(&source, rules, &config, json, sarif, flows, ir)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_analysis(
+    source: &str,
+    rules: RuleSet,
+    config: &TajConfig,
+    json: bool,
+    sarif: bool,
+    flows: bool,
+    ir: bool,
+) -> ExitCode {
+    if ir {
+        match jir::frontend::build_program(source) {
+            Ok(program) => print!("{}", jir::pretty::program_to_string(&program)),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match analyze_source(source, None, rules, config) {
+        Ok(report) => {
+            if sarif {
+                match taj::core::to_sarif(&report) {
+                    Ok(s) => println!("{s}"),
+                    Err(e) => {
+                        eprintln!("error: SARIF serialization failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else if json {
+                match serde_json::to_string_pretty(&report) {
+                    Ok(s) => println!("{s}"),
+                    Err(e) => {
+                        eprintln!("error: serialization failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                println!(
+                    "{}: {} issue(s), {} raw flow(s), {} ms",
+                    report.config,
+                    report.issue_count(),
+                    report.flows.len(),
+                    report.stats.total_ms
+                );
+                for f in &report.findings {
+                    println!(
+                        "  [{:>13}] {} → {}  in {} (×{})",
+                        f.flow.issue.to_string(),
+                        f.flow.source_method,
+                        f.flow.sink_method,
+                        f.flow.sink_owner_class,
+                        f.group_size
+                    );
+                }
+                if flows {
+                    println!("\nraw flows:");
+                    for fl in &report.flows {
+                        println!(
+                            "  [{:>13}] {} → {} in {} (len {}, {} heap hops)",
+                            fl.issue.to_string(),
+                            fl.source_method,
+                            fl.sink_method,
+                            fl.sink_owner_class,
+                            fl.flow_len,
+                            fl.heap_transitions
+                        );
+                    }
+                }
+            }
+            if report.issue_count() > 0 {
+                ExitCode::from(2) // findings present: CI-friendly exit code
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(TajError::Parse(e)) => {
+            eprintln!("parse error: {e}");
+            ExitCode::FAILURE
+        }
+        Err(TajError::OutOfMemory { path_edges }) => {
+            eprintln!("analysis ran out of memory budget ({path_edges} path edges)");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Runs the SecuriBench-Micro-style suite through the analysis
+//! configurations and checks the engineered per-configuration outcomes:
+//! which patterns each algorithm detects, which confusable patterns fool
+//! it, and which real flows it misses.
+
+use taj::core::{analyze_source, score, RuleSet, Score, TajConfig};
+use taj::webgen::{micro_suite, motivating, MicroTest, Pattern};
+
+fn run(t: &MicroTest, config: &TajConfig) -> Score {
+    let report = analyze_source(
+        &t.source,
+        Some(&t.descriptor),
+        RuleSet::default_rules(),
+        config,
+    )
+    .unwrap_or_else(|e| panic!("{} under {}: {e}", t.name, config.name));
+    score(&report, &t.truth)
+}
+
+fn case(p: Pattern) -> MicroTest {
+    micro_suite()
+        .into_iter()
+        .find(|t| t.name == format!("Micro_{}", p.tag()))
+        .expect("pattern present in suite")
+}
+
+/// Patterns every sound configuration must fully detect (TP, no FN).
+const ALWAYS_DETECTED: &[Pattern] = &[
+    Pattern::XssReflected,
+    Pattern::SqliConcat,
+    Pattern::CommandInjection,
+    Pattern::MaliciousFile,
+    Pattern::InfoLeak,
+    Pattern::XssHeap,
+    Pattern::NestedCarrier,
+    Pattern::SessionAttr,
+    Pattern::BuilderFlow,
+    Pattern::ReflectInvoke,
+    Pattern::StrutsForm,
+    Pattern::EjbFlow,
+    Pattern::TwoBoxContext,
+    Pattern::CollectionContext,
+];
+
+/// Sanitized patterns no configuration may report.
+const NEVER_REPORTED: &[Pattern] = &[Pattern::XssSanitized, Pattern::SqliSanitized];
+
+#[test]
+fn hybrid_detects_all_true_flows() {
+    let cfg = TajConfig::hybrid_unbounded();
+    for &p in ALWAYS_DETECTED {
+        let s = run(&case(p), &cfg);
+        assert_eq!(s.false_negatives, 0, "hybrid misses {p:?}: {s:?}");
+        assert!(s.true_positives >= 1, "hybrid finds nothing for {p:?}: {s:?}");
+    }
+    // Thread flows and deep/long flows too (unbounded = sound).
+    for p in [Pattern::ThreadShared, Pattern::DeepNested, Pattern::LongChain] {
+        let s = run(&case(p), &cfg);
+        assert_eq!(s.false_negatives, 0, "hybrid unbounded misses {p:?}: {s:?}");
+    }
+}
+
+#[test]
+fn sanitized_flows_never_reported() {
+    for config in TajConfig::all() {
+        for &p in NEVER_REPORTED {
+            let s = run(&case(p), &config);
+            assert_eq!(
+                s.false_positives, 0,
+                "{} wrongly reports sanitized {p:?}: {s:?}",
+                config.name
+            );
+        }
+    }
+}
+
+#[test]
+fn context_patterns_fool_only_ci() {
+    for p in [Pattern::TwoBoxContext, Pattern::CollectionContext] {
+        let t = case(p);
+        let hybrid = run(&t, &TajConfig::hybrid_unbounded());
+        assert_eq!(hybrid.false_positives, 0, "hybrid FP on {p:?}: {hybrid:?}");
+        let cs = run(&t, &TajConfig::cs_thin());
+        assert_eq!(cs.false_positives, 0, "cs FP on {p:?}: {cs:?}");
+        let ci = run(&t, &TajConfig::ci_thin());
+        assert!(ci.false_positives >= 1, "ci should FP on {p:?}: {ci:?}");
+    }
+}
+
+#[test]
+fn factory_alias_fools_flow_insensitive_heap() {
+    let t = case(Pattern::FactoryAlias);
+    let hybrid = run(&t, &TajConfig::hybrid_unbounded());
+    assert!(hybrid.false_positives >= 1, "hybrid should FP on FactoryAlias: {hybrid:?}");
+    let ci = run(&t, &TajConfig::ci_thin());
+    assert!(ci.false_positives >= 1, "ci should FP on FactoryAlias: {ci:?}");
+    let cs = run(&t, &TajConfig::cs_thin());
+    assert_eq!(cs.false_positives, 0, "cs must stay clean on FactoryAlias: {cs:?}");
+}
+
+#[test]
+fn conservative_patterns_fool_everyone() {
+    for p in [Pattern::ArrayConfusion, Pattern::UnknownKeyMap] {
+        let t = case(p);
+        for config in
+            [TajConfig::hybrid_unbounded(), TajConfig::cs_thin(), TajConfig::ci_thin()]
+        {
+            let s = run(&t, &config);
+            assert!(
+                s.false_positives >= 1,
+                "{} should conservatively FP on {p:?}: {s:?}",
+                config.name
+            );
+        }
+    }
+}
+
+#[test]
+fn cross_thread_flow_is_cs_false_negative() {
+    let t = case(Pattern::ThreadShared);
+    let hybrid = run(&t, &TajConfig::hybrid_unbounded());
+    assert_eq!(hybrid.false_negatives, 0, "hybrid sound for threads: {hybrid:?}");
+    let ci = run(&t, &TajConfig::ci_thin());
+    assert_eq!(ci.false_negatives, 0, "ci sound for threads: {ci:?}");
+    let cs = run(&t, &TajConfig::cs_thin());
+    assert_eq!(cs.false_negatives, 1, "cs must miss the cross-thread flow: {cs:?}");
+}
+
+#[test]
+fn optimized_bounds_trade_recall() {
+    // Depth-2 nested-taint bound misses the depth-3 flow (§6.2.3)…
+    let deep = run(&case(Pattern::DeepNested), &TajConfig::hybrid_optimized());
+    assert_eq!(deep.false_negatives, 1, "depth bound should miss DeepNested: {deep:?}");
+    // …and the flow-length filter drops the >14-step witness (§6.2.2).
+    let long = run(&case(Pattern::LongChain), &TajConfig::hybrid_optimized());
+    assert_eq!(long.false_negatives, 1, "length filter should miss LongChain: {long:?}");
+    // While the unbounded variant finds both (checked in
+    // `hybrid_detects_all_true_flows`).
+}
+
+#[test]
+fn motivating_example_all_algorithms() {
+    let t = motivating();
+    for config in TajConfig::all() {
+        let s = run(&t, &config);
+        assert_eq!(
+            s.false_negatives, 0,
+            "{} must find the Figure 1 flow: {s:?}",
+            config.name
+        );
+    }
+}
+
+#[test]
+fn figure4_accuracy_ordering_on_micro_aggregate() {
+    // Aggregated over the full suite, accuracy must order CS > hybrid > CI
+    // (the paper's 0.54 / 0.35 / 0.22, §7.2).
+    let mut totals = std::collections::HashMap::new();
+    for config in [TajConfig::cs_thin(), TajConfig::hybrid_unbounded(), TajConfig::ci_thin()]
+    {
+        let mut agg = Score::default();
+        for t in micro_suite() {
+            let s = run(&t, &config);
+            agg.true_positives += s.true_positives;
+            agg.false_positives += s.false_positives;
+            agg.false_negatives += s.false_negatives;
+        }
+        totals.insert(config.name, agg);
+    }
+    let cs = totals["CS"].accuracy();
+    let hybrid = totals["Hybrid-Unbounded"].accuracy();
+    let ci = totals["CI"].accuracy();
+    assert!(
+        cs > hybrid && hybrid > ci,
+        "accuracy ordering CS({cs:.2}) > hybrid({hybrid:.2}) > CI({ci:.2}) violated: {totals:#?}"
+    );
+    // Hybrid and CI agree on true positives (both sound, §7.2).
+    assert_eq!(
+        totals["Hybrid-Unbounded"].true_positives, totals["CI"].true_positives,
+        "hybrid and CI are both sound and must agree on TPs"
+    );
+    // CS has strictly fewer TPs (thread false negatives).
+    assert!(
+        totals["CS"].true_positives < totals["CI"].true_positives,
+        "CS must lose the cross-thread flows"
+    );
+}
