@@ -26,17 +26,13 @@ fn bench_priority(c: &mut Criterion) {
             max_cg_nodes: Some(budget),
             priority: false,
         };
-        group.bench_with_input(
-            BenchmarkId::new("chaotic", budget),
-            &program,
-            |b, p| b.iter(|| analyze(p, &base)),
-        );
+        group.bench_with_input(BenchmarkId::new("chaotic", budget), &program, |b, p| {
+            b.iter(|| analyze(p, &base))
+        });
         let prio = SolverConfig { priority: true, ..base.clone() };
-        group.bench_with_input(
-            BenchmarkId::new("prioritized", budget),
-            &program,
-            |b, p| b.iter(|| analyze(p, &prio)),
-        );
+        group.bench_with_input(BenchmarkId::new("prioritized", budget), &program, |b, p| {
+            b.iter(|| analyze(p, &prio))
+        });
     }
     group.finish();
 }

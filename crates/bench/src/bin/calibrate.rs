@@ -6,13 +6,23 @@ use taj_webgen::{presets, Scale};
 
 fn main() {
     let scale = Scale::standard();
-    println!("{:<14} {:>18} {:>18} {:>18} {:>14}", "bench", "unbnd TP/FP/FN", "prior TP/FP/FN", "optim TP/FP/FN", "CS work");
+    println!(
+        "{:<14} {:>18} {:>18} {:>18} {:>14}",
+        "bench", "unbnd TP/FP/FN", "prior TP/FP/FN", "optim TP/FP/FN", "CS work"
+    );
     for preset in presets() {
         let bench = build_benchmark(&preset, scale);
         let mut cells = Vec::new();
-        for c in [TajConfig::hybrid_unbounded(), TajConfig::hybrid_prioritized(), TajConfig::hybrid_optimized()] {
+        for c in [
+            TajConfig::hybrid_unbounded(),
+            TajConfig::hybrid_prioritized(),
+            TajConfig::hybrid_optimized(),
+        ] {
             match run_cell(&bench, &c) {
-                CellOutcome::Done { score, .. } => cells.push(format!("{}/{}/{}", score.true_positives, score.false_positives, score.false_negatives)),
+                CellOutcome::Done { score, .. } => cells.push(format!(
+                    "{}/{}/{}",
+                    score.true_positives, score.false_positives, score.false_negatives
+                )),
                 CellOutcome::OutOfMemory => cells.push("-".into()),
             }
         }
@@ -20,6 +30,9 @@ fn main() {
             CellOutcome::Done { report, .. } => report.stats.slicer_work.to_string(),
             CellOutcome::OutOfMemory => "OOM".into(),
         };
-        println!("{:<14} {:>18} {:>18} {:>18} {:>14}", preset.name, cells[0], cells[1], cells[2], cs_work);
+        println!(
+            "{:<14} {:>18} {:>18} {:>18} {:>14}",
+            preset.name, cells[0], cells[1], cells[2], cs_work
+        );
     }
 }

@@ -44,10 +44,7 @@ fn main() {
         },
     );
     let resolved = rules.resolve(&program);
-    let xss = resolved
-        .iter()
-        .find(|r| r.issue == taj_core::IssueType::Xss)
-        .expect("xss rule");
+    let xss = resolved.iter().find(|r| r.issue == taj_core::IssueType::Xss).expect("xss rule");
     let mut spec = SliceSpec::default();
     spec.sources.extend(xss.sources.iter().copied());
     spec.sanitizers.extend(xss.sanitizers.iter().copied());
@@ -82,10 +79,7 @@ fn main() {
                     StepKind::HeapEdge | StepKind::CarrierEdge => ("solid", "black"),
                     _ => ("dashed", "gray40"),
                 };
-                println!(
-                    "  f{fi}_s{} -> f{fi}_s{i} [style={style}, color={color}];",
-                    i - 1
-                );
+                println!("  f{fi}_s{} -> f{fi}_s{i} [style={style}, color={color}];", i - 1);
             }
         }
     }

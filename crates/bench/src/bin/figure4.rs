@@ -1,6 +1,7 @@
 //! Regenerates **Figure 4**: classification of reported issues into true
 //! and false positives on the 9 manually-evaluated benchmarks, for all
-//! five configurations — plus the accuracy scores of §7.2.
+//! five paper configurations plus the escape-repaired `CS-Escape` mode —
+//! and the accuracy scores of §7.2.
 
 use taj_bench::svg::{render_figure, BarDatum, Panel};
 use taj_bench::{aggregate, build_benchmark, run_cell, scale_from_args, CellOutcome};
@@ -55,10 +56,14 @@ fn main() {
             &panels,
         );
         match std::fs::write(&path, svg) {
-            Ok(()) => println!("
-wrote {path}"),
-            Err(e) => eprintln!("
-error: cannot write {path}: {e}"),
+            Ok(()) => println!(
+                "
+wrote {path}"
+            ),
+            Err(e) => eprintln!(
+                "
+error: cannot write {path}: {e}"
+            ),
         }
     }
 
@@ -80,17 +85,25 @@ error: cannot write {path}: {e}"),
     println!("Paper: hybrid and CI agree on true positives on all 9 benchmarks; CS has");
     println!("false negatives on the multithreaded BlueBlog (2), I (1) and SBM (2).");
 
-    // Per-benchmark CS false negatives on the multithreaded trio.
+    // Per-benchmark CS false negatives on the multithreaded trio, and the
+    // escape-analysis repair that recovers them (CS-Escape).
     println!("\n—— CS false negatives on multithreaded benchmarks ——");
     for preset in presets().into_iter().filter(|p| p.threads > 0) {
         let bench = build_benchmark(&preset, scale);
-        if let CellOutcome::Done { score, .. } = run_cell(&bench, &TajConfig::cs_thin()) {
-            println!(
-                "{:<12} CS false negatives: {} (paper: {})",
-                preset.name, score.false_negatives, preset.threads
-            );
-        } else {
-            println!("{:<12} CS out of memory at this scale", preset.name);
+        let cs = run_cell(&bench, &TajConfig::cs_thin());
+        let ce = run_cell(&bench, &TajConfig::cs_escape());
+        match (cs, ce) {
+            (CellOutcome::Done { score: cs, .. }, CellOutcome::Done { score: ce, .. }) => {
+                println!(
+                    "{:<12} CS false negatives: {} (paper: {}) | CS-Escape recovers {} -> {} remaining",
+                    preset.name,
+                    cs.false_negatives,
+                    preset.threads,
+                    cs.false_negatives.saturating_sub(ce.false_negatives),
+                    ce.false_negatives
+                );
+            }
+            _ => println!("{:<12} out of memory at this scale", preset.name),
         }
     }
 }
@@ -106,6 +119,7 @@ fn bar_label(name: &str) -> String {
         "Hybrid-Unbounded" => "Unb".into(),
         "Hybrid-Prioritized" => "Pri".into(),
         "Hybrid-Optimized" => "Opt".into(),
+        "CS-Escape" => "CS-E".into(),
         other => other.to_string(),
     }
 }

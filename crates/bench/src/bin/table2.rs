@@ -10,14 +10,7 @@ fn main() {
     println!("(paper columns, then the generated synthetic equivalents)\n");
     println!(
         "{:<14} {:>9} {:>9} {:>10} | {:>9} {:>9} {:>9} {:>8}",
-        "Application",
-        "classes*",
-        "methods*",
-        "total m.*",
-        "classes",
-        "methods",
-        "lines",
-        "seeds"
+        "Application", "classes*", "methods*", "total m.*", "classes", "methods", "lines", "seeds"
     );
     println!("{}", "-".repeat(88));
     let mut tot_methods = 0usize;
@@ -45,6 +38,8 @@ fn main() {
         "TOTAL", "", "", "", "", tot_methods, tot_lines
     );
     println!("\n* paper-reported application-side numbers (Table 2 of the paper).");
-    println!("Generated sizes are scaled ~{}× down; relative ordering is preserved.",
-        if std::env::args().any(|a| a == "--quick") { 60 } else { 10 });
+    println!(
+        "Generated sizes are scaled ~{}× down; relative ordering is preserved.",
+        if std::env::args().any(|a| a == "--quick") { 60 } else { 10 }
+    );
 }

@@ -22,8 +22,7 @@ fn main() {
     println!();
     println!("{}", "-".repeat(14 + 8 + configs.len() * 19));
 
-    let mut per_config: Vec<Vec<Option<(usize, u128, Score)>>> =
-        vec![Vec::new(); configs.len()];
+    let mut per_config: Vec<Vec<Option<(usize, u128, Score)>>> = vec![Vec::new(); configs.len()];
     for preset in presets() {
         if let Some(f) = &only {
             if preset.name != f {
@@ -77,9 +76,7 @@ fn main() {
     }
     let cs_done = per_config[cs].iter().filter(|c| c.is_some()).count();
     let cs_total = per_config[cs].len();
-    println!(
-        "CS completed on {cs_done}/{cs_total} benchmarks (paper: 6/22, rest out of memory)"
-    );
+    println!("CS completed on {cs_done}/{cs_total} benchmarks (paper: 6/22, rest out of memory)");
     // Average hybrid vs CS on the benchmarks CS completed.
     let mut hu_on_cs = Vec::new();
     let mut cs_times = Vec::new();

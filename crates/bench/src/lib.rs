@@ -18,8 +18,7 @@ pub mod svg;
 use std::time::Instant;
 
 use taj_core::{
-    analyze_prepared, prepare, score, GroundTruth, RuleSet, Score, TajConfig, TajError,
-    TajReport,
+    analyze_prepared, prepare, score, GroundTruth, RuleSet, Score, TajConfig, TajError, TajReport,
 };
 use taj_webgen::{generate, BenchmarkPreset, GeneratedBenchmark, Scale};
 
@@ -70,11 +69,7 @@ impl CellOutcome {
 /// Runs one configuration over a generated benchmark.
 pub fn run_cell(bench: &GeneratedBenchmark, config: &TajConfig) -> CellOutcome {
     let t0 = Instant::now();
-    let prepared = match prepare(
-        &bench.source,
-        Some(&bench.descriptor),
-        RuleSet::default_rules(),
-    ) {
+    let prepared = match prepare(&bench.source, Some(&bench.descriptor), RuleSet::default_rules()) {
         Ok(p) => p,
         Err(e) => panic!("generated benchmark `{}` must prepare: {e}", bench.name),
     };

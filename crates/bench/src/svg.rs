@@ -100,15 +100,7 @@ pub fn render_figure(title: &str, panels: &[Panel]) -> String {
     s
 }
 
-fn render_panel(
-    s: &mut String,
-    panel: &Panel,
-    x0: f64,
-    y0: f64,
-    w: f64,
-    h: f64,
-    max_total: usize,
-) {
+fn render_panel(s: &mut String, panel: &Panel, x0: f64, y0: f64, w: f64, h: f64, max_total: usize) {
     let _ = writeln!(
         s,
         r#"<text x="{x0}" y="{y}" font-size="12" font-weight="600" fill="{INK}">{t}</text>"#,

@@ -63,11 +63,8 @@ pub fn build_carrier_index(
                             continue;
                         }
                         let reachable: BitSet = heap.reachable(arg_pts, nested_depth);
-                        let sink = CarrierSink {
-                            stmt: StmtNode { node, loc },
-                            method: callee,
-                            pos,
-                        };
+                        let sink =
+                            CarrierSink { stmt: StmtNode { node, loc }, method: callee, pos };
                         for ik in reachable.iter() {
                             let entry = index.entry(ik).or_default();
                             if !entry.contains(&sink) {

@@ -1,6 +1,7 @@
-//! The five analysis configurations of the evaluation (Table 1):
-//! three hybrid variants (unbounded, prioritized, fully optimized) plus
-//! the CS and CI thin-slicing baselines.
+//! The analysis configurations of the evaluation (Table 1): three hybrid
+//! variants (unbounded, prioritized, fully optimized), the CS and CI
+//! thin-slicing baselines, plus the concurrency-aware CS-Escape repair
+//! (CS with thread-escape analysis closing the §7.2 soundness gap).
 
 use serde::Serialize;
 
@@ -36,6 +37,13 @@ pub struct TajConfig {
     /// Path-edge budget for the CS slicer (memory proxy; exceeding it is
     /// the paper's out-of-memory failure).
     pub cs_path_edge_budget: Option<usize>,
+    /// Concurrency awareness: run the thread-escape + MHP analyses and
+    /// use them in phase 2. For the CS slicer this reinstates heap-fact
+    /// propagation across `Thread.start` edges for escaping objects
+    /// (closing the §7.2 soundness gap); for the hybrid slicers it drops
+    /// store→load edges that would require a cross-thread dependence on
+    /// a non-escaping object (strictly a false-positive filter).
+    pub escape_analysis: bool,
 }
 
 /// Paper-scale defaults, scaled ~10× down to our synthetic benchmarks:
@@ -66,6 +74,7 @@ impl TajConfig {
             max_flow_len: None,
             nested_depth: None,
             cs_path_edge_budget: None,
+            escape_analysis: false,
         }
     }
 
@@ -107,7 +116,16 @@ impl TajConfig {
         TajConfig { name: "CI", algorithm: Algorithm::CiThin, ..Self::hybrid_unbounded() }
     }
 
-    /// All five configurations in the paper's column order.
+    /// CS thin slicing with the thread-escape repair (the sixth, post-paper
+    /// configuration): identical to [`Self::cs_thin`] except that heap
+    /// facts on escaping objects may cross `Thread.start` edges, recovering
+    /// the multithreading false negatives of §7.2 / Figure 4.
+    pub fn cs_escape() -> Self {
+        TajConfig { name: "CS-Escape", escape_analysis: true, ..Self::cs_thin() }
+    }
+
+    /// All six configurations: the paper's five columns in order, then the
+    /// CS-Escape repair.
     pub fn all() -> Vec<TajConfig> {
         vec![
             Self::hybrid_unbounded(),
@@ -115,6 +133,7 @@ impl TajConfig {
             Self::hybrid_optimized(),
             Self::cs_thin(),
             Self::ci_thin(),
+            Self::cs_escape(),
         ]
     }
 }
@@ -140,12 +159,25 @@ mod tests {
         let cs = TajConfig::cs_thin();
         assert_eq!(cs.algorithm, Algorithm::CsThin);
         assert!(cs.cs_path_edge_budget.is_some());
+        assert!(!cs.escape_analysis);
         let ci = TajConfig::ci_thin();
         assert_eq!(ci.algorithm, Algorithm::CiThin);
+        let ce = TajConfig::cs_escape();
+        assert_eq!(ce.algorithm, Algorithm::CsThin);
+        assert!(ce.escape_analysis);
+        assert_eq!(ce.cs_path_edge_budget, cs.cs_path_edge_budget);
     }
 
     #[test]
-    fn five_configurations() {
-        assert_eq!(TajConfig::all().len(), 5);
+    fn six_configurations() {
+        let all = TajConfig::all();
+        assert_eq!(all.len(), 6);
+        // Only the repair configuration is concurrency-aware by default.
+        assert_eq!(
+            all.iter().filter(|c| c.escape_analysis).count(),
+            1,
+            "exactly one escape-enabled default configuration"
+        );
+        assert_eq!(all[5].name, "CS-Escape");
     }
 }

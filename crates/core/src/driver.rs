@@ -7,10 +7,10 @@ use std::time::Instant;
 use serde::Serialize;
 
 use jir::Program;
-use taj_pointer::{HeapGraph, PointsTo, PolicyConfig, SolverConfig};
+use taj_pointer::{EscapeAnalysis, HeapGraph, PointsTo, PolicyConfig, SolverConfig};
 use taj_sdg::{
-    CiSlicer, CsSlicer, Flow, HybridSlicer, ProgramView, SliceBounds, SliceResult, SliceSpec,
-    StmtNode,
+    CiSlicer, CsSlicer, Flow, HybridSlicer, MhpRelation, ProgramView, SliceBounds, SliceResult,
+    SliceSpec, StmtNode,
 };
 
 use crate::config::{Algorithm, TajConfig};
@@ -78,6 +78,28 @@ pub struct AnalysisStats {
     pub flows_len_filtered: usize,
 }
 
+/// Concurrency facts derived from the thread-escape and MHP analyses:
+/// how much of the program is multithreaded, and which reported flows
+/// actually cross a thread boundary.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct ConcurrencyReport {
+    /// Distinct `Thread.start` call sites in the call graph.
+    pub spawn_sites: usize,
+    /// Abstract objects that may be shared between threads.
+    pub escaping_objects: usize,
+    /// All abstract objects (denominator for `escaping_objects`).
+    pub total_objects: usize,
+    /// Call-graph nodes that may execute on a spawned thread.
+    pub parallel_nodes: usize,
+    /// Store→load edges the hybrid concurrency filter dropped (0 unless
+    /// the configuration enables `escape_analysis` with a hybrid slicer).
+    pub cross_thread_edges_dropped: usize,
+    /// Raw flows whose witness path crosses a thread boundary — taint
+    /// that travels through an escaping object from one thread to
+    /// another. Exactly the flows plain CS slicing misses.
+    pub cross_thread_flows: Vec<AnalyzedFlow>,
+}
+
 /// The result of one TAJ run.
 #[derive(Clone, Debug, Serialize)]
 pub struct TajReport {
@@ -89,6 +111,9 @@ pub struct TajReport {
     pub flows: Vec<AnalyzedFlow>,
     /// Statistics.
     pub stats: AnalysisStats,
+    /// Concurrency section (escaping objects, MHP partition sizes, and
+    /// cross-thread taint flows).
+    pub concurrency: ConcurrencyReport,
 }
 
 impl TajReport {
@@ -159,8 +184,7 @@ pub fn prepare(
             let methods: Vec<jir::MethodId> = program.class(cid).methods.clone();
             for m in methods {
                 if program.method(m).body().is_some() && program.method(m).name != "<init>" {
-                    program.method_mut(m).kind =
-                        jir::MethodKind::Intrinsic(jir::Intrinsic::Nop);
+                    program.method_mut(m).kind = jir::MethodKind::Intrinsic(jir::Intrinsic::Nop);
                 }
             }
         }
@@ -207,6 +231,11 @@ pub struct Phase1 {
     pub pts: PointsTo,
     /// Heap graph for carrier detection.
     pub heap: HeapGraph,
+    /// Thread-escape solution (which objects may be shared across
+    /// threads).
+    pub escape: EscapeAnalysis,
+    /// May-happen-in-parallel relation over call-graph nodes.
+    pub mhp: MhpRelation,
     /// Wall time spent (ms).
     pub pointer_ms: u128,
     cg_key: (Option<usize>, bool),
@@ -233,9 +262,15 @@ pub fn run_phase1(prepared: &PreparedProgram, config: &TajConfig) -> Phase1 {
     };
     let pts = taj_pointer::analyze(program, &solver_cfg);
     let heap = HeapGraph::build(&pts);
+    // Escape + MHP are cheap post-passes over the solution; compute them
+    // unconditionally so every phase-2 run can report concurrency facts.
+    let escape = EscapeAnalysis::compute(&pts, &heap);
+    let mhp = MhpRelation::compute(&pts);
     Phase1 {
         pts,
         heap,
+        escape,
+        mhp,
         pointer_ms: t0.elapsed().as_millis(),
         cg_key: (config.max_cg_nodes, config.priority),
     }
@@ -291,6 +326,8 @@ pub fn analyze_with_phase1(
     };
     let mut findings: Vec<TajFinding> = Vec::new();
     let mut flows_out: Vec<AnalyzedFlow> = Vec::new();
+    let mut cross_thread_flows: Vec<AnalyzedFlow> = Vec::new();
+    let mut edges_dropped = 0usize;
 
     // The CI slicer's context collapse is rule-independent: build once.
     let ci_cache = match config.algorithm {
@@ -306,19 +343,33 @@ pub fn analyze_with_phase1(
             max_path_edges: config.cs_path_edge_budget,
         };
         let result: SliceResult = match config.algorithm {
-            Algorithm::Hybrid => HybridSlicer::new(&view, bounds).run(),
-            Algorithm::CiThin => CiSlicer::with_cache(
-                &view,
-                bounds,
-                ci_cache.as_ref().expect("built for CI above"),
-            )
-            .run(),
-            Algorithm::CsThin => match CsSlicer::new(&view, bounds).run() {
-                Ok(r) => r,
-                Err(taj_sdg::SliceError::OutOfBudget { path_edges }) => {
-                    return Err(TajError::OutOfMemory { path_edges })
+            Algorithm::Hybrid => {
+                let mut slicer = if config.escape_analysis {
+                    HybridSlicer::with_concurrency(&view, bounds, &phase1.escape, &phase1.mhp)
+                } else {
+                    HybridSlicer::new(&view, bounds)
+                };
+                let r = slicer.run();
+                edges_dropped += slicer.edges_dropped();
+                r
+            }
+            Algorithm::CiThin => {
+                CiSlicer::with_cache(&view, bounds, ci_cache.as_ref().expect("built for CI above"))
+                    .run()
+            }
+            Algorithm::CsThin => {
+                let run = if config.escape_analysis {
+                    CsSlicer::with_escape(&view, bounds, &phase1.escape).run()
+                } else {
+                    CsSlicer::new(&view, bounds).run()
+                };
+                match run {
+                    Ok(r) => r,
+                    Err(taj_sdg::SliceError::OutOfBudget { path_edges }) => {
+                        return Err(TajError::OutOfMemory { path_edges })
+                    }
                 }
-            },
+            }
         };
         stats.heap_transitions += result.heap_transitions;
         stats.slicer_work += result.work;
@@ -336,6 +387,9 @@ pub fn analyze_with_phase1(
             flows.iter().map(|f| (rule.issue, f.clone())).collect();
         for f in &flows {
             flows_out.push(describe_flow(program, pts, rule.issue, f));
+            if flow_crosses_threads(&phase1.mhp, f) {
+                cross_thread_flows.push(describe_flow(program, pts, rule.issue, f));
+            }
         }
         for finding in lcp::deduplicate(&view, &tagged) {
             findings.push(TajFinding {
@@ -348,11 +402,21 @@ pub fn analyze_with_phase1(
     stats.slice_ms = t1.elapsed().as_millis();
     stats.total_ms = pointer_ms + t0.elapsed().as_millis();
 
+    let concurrency = ConcurrencyReport {
+        spawn_sites: phase1.escape.num_spawn_sites(),
+        escaping_objects: phase1.escape.num_escaping(),
+        total_objects: phase1.escape.total_objects(),
+        parallel_nodes: phase1.mhp.num_parallel_nodes(),
+        cross_thread_edges_dropped: edges_dropped,
+        cross_thread_flows,
+    };
+
     Ok(TajReport {
         config: config.name.to_string(),
         findings,
         flows: flows_out,
         stats,
+        concurrency,
     })
 }
 
@@ -365,9 +429,8 @@ fn build_spec(
 ) -> SliceSpec {
     let program = &prepared.program;
     let mut spec = SliceSpec::default();
-    let get_message = program
-        .class_by_name("Throwable")
-        .and_then(|c| program.method_by_name(c, "getMessage"));
+    let get_message =
+        program.class_by_name("Throwable").and_then(|c| program.method_by_name(c, "getMessage"));
     for &s in &rule.sources {
         // For the InfoLeak rule, `getMessage` is a source only at the
         // synthesized catch-site calls (§4.1.2), not everywhere.
@@ -395,12 +458,7 @@ fn build_spec(
     spec
 }
 
-fn describe_flow(
-    program: &Program,
-    pts: &PointsTo,
-    issue: IssueType,
-    flow: &Flow,
-) -> AnalyzedFlow {
+fn describe_flow(program: &Program, pts: &PointsTo, issue: IssueType, flow: &Flow) -> AnalyzedFlow {
     AnalyzedFlow {
         issue,
         source_method: program.method(flow.source_method).name.clone(),
@@ -415,6 +473,13 @@ fn describe_flow(
 fn stmt_class(program: &Program, pts: &PointsTo, stmt: StmtNode) -> String {
     let m = pts.callgraph.method_of(stmt.node);
     program.class(program.method(m).owner).name.clone()
+}
+
+/// Does the flow's witness path hop between statements that can never
+/// execute on the same thread? That is the signature of taint traveling
+/// through an escaping object from one thread to another.
+fn flow_crosses_threads(mhp: &MhpRelation, flow: &Flow) -> bool {
+    flow.path.windows(2).any(|w| !mhp.same_thread_possible(w[0].stmt.node, w[1].stmt.node))
 }
 
 #[cfg(test)]
@@ -468,13 +533,9 @@ mod tests {
                 method void risky() { throw new RuntimeException("internal"); }
             }
         "#;
-        let report = analyze_source(
-            src,
-            None,
-            RuleSet::default_rules(),
-            &TajConfig::hybrid_unbounded(),
-        )
-        .unwrap();
+        let report =
+            analyze_source(src, None, RuleSet::default_rules(), &TajConfig::hybrid_unbounded())
+                .unwrap();
         let leak = report
             .findings
             .iter()
@@ -494,13 +555,9 @@ mod tests {
                 }
             }
         "#;
-        let report = analyze_source(
-            src,
-            None,
-            RuleSet::default_rules(),
-            &TajConfig::hybrid_unbounded(),
-        )
-        .unwrap();
+        let report =
+            analyze_source(src, None, RuleSet::default_rules(), &TajConfig::hybrid_unbounded())
+                .unwrap();
         assert_eq!(report.issue_count(), 0, "{report:#?}");
     }
 
@@ -517,13 +574,9 @@ mod tests {
                 }
             }
         "#;
-        let report = analyze_source(
-            src,
-            None,
-            RuleSet::default_rules(),
-            &TajConfig::hybrid_unbounded(),
-        )
-        .unwrap();
+        let report =
+            analyze_source(src, None, RuleSet::default_rules(), &TajConfig::hybrid_unbounded())
+                .unwrap();
         let issues: Vec<IssueType> = report.findings.iter().map(|f| f.flow.issue).collect();
         assert!(issues.contains(&IssueType::Xss), "{issues:?}");
         assert!(issues.contains(&IssueType::Sqli), "{issues:?}");
@@ -544,13 +597,9 @@ mod tests {
                 }
             }
         "#;
-        let report = analyze_source(
-            src,
-            None,
-            RuleSet::default_rules(),
-            &TajConfig::hybrid_unbounded(),
-        )
-        .unwrap();
+        let report =
+            analyze_source(src, None, RuleSet::default_rules(), &TajConfig::hybrid_unbounded())
+                .unwrap();
         let issues: Vec<IssueType> = report.findings.iter().map(|f| f.flow.issue).collect();
         assert!(issues.contains(&IssueType::Sqli), "HTML encoding must not stop SQLi: {issues:?}");
         assert!(!issues.contains(&IssueType::Xss), "XSS is sanitized: {issues:?}");
@@ -573,13 +622,9 @@ mod tests {
                 }
             }
         "#;
-        let report = analyze_source(
-            src,
-            None,
-            RuleSet::default_rules(),
-            &TajConfig::hybrid_unbounded(),
-        )
-        .unwrap();
+        let report =
+            analyze_source(src, None, RuleSet::default_rules(), &TajConfig::hybrid_unbounded())
+                .unwrap();
         assert!(
             report.findings.iter().any(|f| f.flow.issue == IssueType::Xss),
             "tainted ActionForm field must reach the sink: {report:#?}"

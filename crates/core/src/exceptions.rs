@@ -126,10 +126,7 @@ mod tests {
 
     #[test]
     fn no_catch_no_change() {
-        let mut p = jir::frontend::parse_program(
-            "class C { method void f() { } }",
-        )
-        .unwrap();
+        let mut p = jir::frontend::parse_program("class C { method void f() { } }").unwrap();
         let before: usize =
             p.iter_methods().filter_map(|(_, m)| m.body()).map(|b| b.num_insts()).sum();
         let sites = model_exceptions(&mut p);

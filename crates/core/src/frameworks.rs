@@ -210,9 +210,7 @@ fn synthesize_struts_entrypoints(p: &mut Program) {
         let cast_targets = cast_constraints(p, execute, form_base);
         let forms: Vec<ClassId> = if cast_targets.is_empty() {
             p.iter_classes()
-                .filter(|(id, c)| {
-                    !c.is_interface && !c.is_library && p.is_subtype(*id, form_base)
-                })
+                .filter(|(id, c)| !c.is_interface && !c.is_library && p.is_subtype(*id, form_base))
                 .map(|(id, _)| id)
                 .collect()
         } else {
@@ -436,10 +434,8 @@ mod tests {
 
     #[test]
     fn main_method_is_entrypoint() {
-        let mut p = jir::frontend::parse_program(
-            "class App { static method void main() { } }",
-        )
-        .unwrap();
+        let mut p =
+            jir::frontend::parse_program("class App { static method void main() { } }").unwrap();
         synthesize_entrypoints(&mut p);
         assert_eq!(p.entrypoints.len(), 1);
         assert_eq!(p.method(p.entrypoints[0]).name, "main");

@@ -54,10 +54,7 @@ pub fn lcp_of(view: &ProgramView<'_>, flow: &Flow) -> StmtNode {
 
 /// Groups raw flows into findings by `(LCP, issue)` equivalence (§5),
 /// keeping the shortest flow of each class as its representative.
-pub fn deduplicate(
-    view: &ProgramView<'_>,
-    flows: &[(IssueType, Flow)],
-) -> Vec<Finding> {
+pub fn deduplicate(view: &ProgramView<'_>, flows: &[(IssueType, Flow)]) -> Vec<Finding> {
     let mut groups: HashMap<(StmtNode, IssueType), Vec<&Flow>> = HashMap::new();
     for (issue, flow) in flows {
         let lcp = lcp_of(view, flow);
@@ -66,19 +63,11 @@ pub fn deduplicate(
     let mut findings: Vec<Finding> = groups
         .into_iter()
         .map(|((lcp, issue), group)| {
-            let representative =
-                group.iter().min_by_key(|f| f.path.len()).expect("nonempty group");
-            Finding {
-                issue,
-                lcp,
-                flow: (*representative).clone(),
-                group_size: group.len(),
-            }
+            let representative = group.iter().min_by_key(|f| f.path.len()).expect("nonempty group");
+            Finding { issue, lcp, flow: (*representative).clone(), group_size: group.len() }
         })
         .collect();
-    findings.sort_by(|a, b| {
-        (a.issue, a.lcp.node, a.lcp.loc).cmp(&(b.issue, b.lcp.node, b.lcp.loc))
-    });
+    findings.sort_by_key(|f| (f.issue, f.lcp.node, f.lcp.loc));
     findings
 }
 
@@ -153,10 +142,7 @@ mod tests {
     /// (different remediation actions, §5's p4/p5 example).
     #[test]
     fn different_issue_types_stay_separate() {
-        let a = StmtNode {
-            node: taj_pointer::CGNodeId(0),
-            loc: jir::Loc::new(jir::BlockId(0), 0),
-        };
+        let a = StmtNode { node: taj_pointer::CGNodeId(0), loc: jir::Loc::new(jir::BlockId(0), 0) };
         let flow = Flow {
             source: a,
             source_method: jir::MethodId(0),
@@ -167,8 +153,8 @@ mod tests {
             heap_transitions: 0,
         };
         // Build a trivial view over an empty program for classification.
-        let mut p = jir::frontend::build_program("class Main { static method void main() { } }")
-            .unwrap();
+        let mut p =
+            jir::frontend::build_program("class Main { static method void main() { } }").unwrap();
         let c = p.class_by_name("Main").unwrap();
         p.entrypoints.push(p.method_by_name(c, "main").unwrap());
         let pts = analyze(&p, &SolverConfig::default());

@@ -53,11 +53,11 @@ pub mod scoring;
 pub use config::{Algorithm, TajConfig};
 pub use driver::{
     analyze_prepared, analyze_source, analyze_with_phase1, prepare, run_phase1, AnalysisStats,
-    AnalyzedFlow, Phase1, PreparedProgram, TajError, TajFinding, TajReport,
+    AnalyzedFlow, ConcurrencyReport, Phase1, PreparedProgram, TajError, TajFinding, TajReport,
 };
 pub use frameworks::{DeploymentDescriptor, EjbEntry};
 pub use lcp::Finding;
-pub use report::{to_sarif, to_text};
+pub use report::{concurrency_text, to_sarif, to_text};
 pub use rulefile::{parse_rules, RuleParseError};
 pub use rules::{IssueType, MethodRef, ResolvedRule, RuleSet, SecurityRule};
 pub use scoring::{score, GroundTruth, Score};

@@ -34,6 +34,44 @@ pub fn to_text(report: &TajReport) -> String {
     out
 }
 
+/// Renders the concurrency section: escape/MHP statistics and the
+/// cross-thread taint flows (the `--concurrency` report section).
+pub fn concurrency_text(report: &TajReport) -> String {
+    use std::fmt::Write as _;
+    let c = &report.concurrency;
+    let mut out = String::new();
+    let _ = writeln!(out, "concurrency ({}):", report.config);
+    let _ = writeln!(
+        out,
+        "  {} spawn site(s); {}/{} object(s) escape; {} call-graph node(s) may run in parallel",
+        c.spawn_sites, c.escaping_objects, c.total_objects, c.parallel_nodes
+    );
+    if c.cross_thread_edges_dropped > 0 {
+        let _ = writeln!(
+            out,
+            "  {} impossible cross-thread store->load edge(s) dropped",
+            c.cross_thread_edges_dropped
+        );
+    }
+    if c.cross_thread_flows.is_empty() {
+        let _ = writeln!(out, "  no cross-thread taint flows");
+    } else {
+        let _ = writeln!(
+            out,
+            "  {} cross-thread taint flow(s) through escaping objects:",
+            c.cross_thread_flows.len()
+        );
+        for f in &c.cross_thread_flows {
+            let _ = writeln!(
+                out,
+                "    [{}] {} -> {} in {} ({} heap transition(s))",
+                f.issue, f.source_method, f.sink_method, f.sink_owner_class, f.heap_transitions
+            );
+        }
+    }
+    out
+}
+
 /// SARIF rule metadata for an issue type.
 fn rule_id(issue: IssueType) -> &'static str {
     match issue {
@@ -57,6 +95,28 @@ struct Sarif {
 struct SarifRun {
     tool: SarifTool,
     results: Vec<SarifResult>,
+    properties: SarifProperties,
+}
+
+#[derive(Serialize)]
+struct SarifProperties {
+    concurrency: SarifConcurrency,
+}
+
+#[derive(Serialize)]
+struct SarifConcurrency {
+    #[serde(rename = "spawnSites")]
+    spawn_sites: usize,
+    #[serde(rename = "escapingObjects")]
+    escaping_objects: usize,
+    #[serde(rename = "totalObjects")]
+    total_objects: usize,
+    #[serde(rename = "parallelNodes")]
+    parallel_nodes: usize,
+    #[serde(rename = "crossThreadEdgesDropped")]
+    cross_thread_edges_dropped: usize,
+    #[serde(rename = "crossThreadFlows")]
+    cross_thread_flows: Vec<String>,
 }
 
 #[derive(Serialize)]
@@ -132,10 +192,7 @@ pub fn to_sarif(report: &TajReport) -> Result<String, serde_json::Error> {
                 text: format!(
                     "tainted data from {} reaches {} ({} flow(s) share this fix point; \
                      insert a sanitizer at the library call point in {})",
-                    f.flow.source_method,
-                    f.flow.sink_method,
-                    f.group_size,
-                    f.lcp_owner_class
+                    f.flow.source_method, f.flow.sink_method, f.group_size, f.lcp_owner_class
                 ),
             },
             locations: vec![SarifLocation {
@@ -149,6 +206,26 @@ pub fn to_sarif(report: &TajReport) -> Result<String, serde_json::Error> {
             }],
         })
         .collect();
+    let c = &report.concurrency;
+    let properties = SarifProperties {
+        concurrency: SarifConcurrency {
+            spawn_sites: c.spawn_sites,
+            escaping_objects: c.escaping_objects,
+            total_objects: c.total_objects,
+            parallel_nodes: c.parallel_nodes,
+            cross_thread_edges_dropped: c.cross_thread_edges_dropped,
+            cross_thread_flows: c
+                .cross_thread_flows
+                .iter()
+                .map(|f| {
+                    format!(
+                        "[{}] {} -> {} in {}",
+                        f.issue, f.source_method, f.sink_method, f.sink_owner_class
+                    )
+                })
+                .collect(),
+        },
+    };
     let sarif = Sarif {
         schema: "https://json.schemastore.org/sarif-2.1.0.json",
         version: "2.1.0",
@@ -162,6 +239,7 @@ pub fn to_sarif(report: &TajReport) -> Result<String, serde_json::Error> {
                 },
             },
             results,
+            properties,
         }],
     };
     serde_json::to_string_pretty(&sarif)
@@ -207,6 +285,58 @@ mod tests {
             .as_str()
             .unwrap()
             .contains("getParameter"));
+    }
+
+    #[test]
+    fn concurrency_section_reports_cross_thread_flow() {
+        let src = r#"
+            class Shared { field String v; ctor () { } }
+            class Worker implements Runnable {
+                field Shared s;
+                field String in;
+                ctor (Shared s, String in) { this.s = s; this.in = in; }
+                method void run() {
+                    Shared sh = this.s;
+                    String x = this.in;
+                    sh.v = x;
+                }
+            }
+            class Page extends HttpServlet {
+                method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                    String p = req.getParameter("q");
+                    Shared s = new Shared();
+                    Worker w = new Worker(s, p);
+                    Thread t = new Thread(w);
+                    t.start();
+                    String out = s.v;
+                    resp.getWriter().println(out);
+                }
+            }
+        "#;
+        let report =
+            analyze_source(src, None, RuleSet::default_rules(), &TajConfig::cs_escape()).unwrap();
+        assert!(report.issue_count() >= 1, "escape repair finds the flow: {report:#?}");
+        assert!(report.concurrency.spawn_sites >= 1);
+        assert!(report.concurrency.escaping_objects >= 1);
+        assert!(!report.concurrency.cross_thread_flows.is_empty());
+
+        let text = concurrency_text(&report);
+        assert!(text.contains("cross-thread taint flow"), "{text}");
+        assert!(text.contains("println"), "{text}");
+
+        let sarif = to_sarif(&report).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&sarif).unwrap();
+        let conc = &v["runs"][0]["properties"]["concurrency"];
+        assert!(conc["spawnSites"].as_u64().unwrap() >= 1, "{sarif}");
+        assert!(conc["escapingObjects"].as_u64().unwrap() >= 1);
+        assert!(!conc["crossThreadFlows"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn concurrency_section_is_quiet_for_single_threaded_code() {
+        let text = concurrency_text(&sample_report());
+        assert!(text.contains("0 spawn site(s)"), "{text}");
+        assert!(text.contains("no cross-thread taint flows"), "{text}");
     }
 
     #[test]

@@ -45,10 +45,7 @@ fn issue_from(name: &str, line: usize) -> Result<IssueType, RuleParseError> {
         "cmdinjection" | "command-injection" => Ok(IssueType::CommandInjection),
         "maliciousfile" | "malicious-file" => Ok(IssueType::MaliciousFile),
         "infoleak" | "information-leak" => Ok(IssueType::InfoLeak),
-        other => Err(RuleParseError {
-            line,
-            message: format!("unknown issue type `{other}`"),
-        }),
+        other => Err(RuleParseError { line, message: format!("unknown issue type `{other}`") }),
     }
 }
 
@@ -143,9 +140,7 @@ pub fn parse_rules(text: &str) -> Result<RuleSet, RuleParseError> {
                     "source" => rule.sources.push(mref),
                     "sanitizer" => rule.sanitizers.push(mref),
                     "sink" => rule.sinks.push((mref, positions(&parts[2..], lineno)?)),
-                    _ => rule
-                        .ref_sources
-                        .push((mref, positions(&parts[2..], lineno)?)),
+                    _ => rule.ref_sources.push((mref, positions(&parts[2..], lineno)?)),
                 }
             }
             other => {
@@ -203,8 +198,7 @@ end
             }
         "#;
         let rules = parse_rules(SAMPLE).unwrap();
-        let report =
-            analyze_source(src, None, rules, &TajConfig::hybrid_unbounded()).unwrap();
+        let report = analyze_source(src, None, rules, &TajConfig::hybrid_unbounded()).unwrap();
         assert_eq!(report.issue_count(), 1, "{report:#?}");
         assert_eq!(report.findings[0].flow.source_method, "getHeader");
     }
@@ -243,8 +237,7 @@ end
 
     #[test]
     fn multi_position_sink() {
-        let set =
-            parse_rules("rule SQLi\n  sink Db.query 0 2\nend\n").unwrap();
+        let set = parse_rules("rule SQLi\n  sink Db.query 0 2\nend\n").unwrap();
         assert_eq!(set.rules[0].sinks[0].1, vec![0, 2]);
     }
 }

@@ -119,10 +119,7 @@ impl RuleSet {
                 SecurityRule {
                     issue: IssueType::Xss,
                     sources: web_sources.clone(),
-                    ref_sources: vec![(
-                        MethodRef::new("RandomAccessFile", "readFully"),
-                        vec![0],
-                    )],
+                    ref_sources: vec![(MethodRef::new("RandomAccessFile", "readFully"), vec![0])],
                     sanitizers: vec![
                         MethodRef::new("URLEncoder", "encode"),
                         MethodRef::new("Encoder", "encodeForHTML"),

@@ -21,6 +21,11 @@ pub struct GroundTruth {
     pub vulnerable: HashSet<(String, IssueType)>,
     /// `(sink class, issue)` pairs that look suspicious but are safe.
     pub benign: HashSet<(String, IssueType)>,
+    /// The subset of `vulnerable` whose real flow crosses a thread
+    /// boundary (taint handed from one thread to another through a
+    /// shared object) — the flows plain CS slicing is known to miss
+    /// (§7.2).
+    pub cross_thread: HashSet<(String, IssueType)>,
 }
 
 impl GroundTruth {
@@ -32,6 +37,14 @@ impl GroundTruth {
     /// Registers a benign (confusable) pattern.
     pub fn add_benign(&mut self, class: impl Into<String>, issue: IssueType) {
         self.benign.insert((class.into(), issue));
+    }
+
+    /// Registers a vulnerable pattern whose flow crosses threads. Also
+    /// records it as vulnerable.
+    pub fn add_cross_thread(&mut self, class: impl Into<String>, issue: IssueType) {
+        let class = class.into();
+        self.vulnerable.insert((class.clone(), issue));
+        self.cross_thread.insert((class, issue));
     }
 }
 
@@ -113,6 +126,7 @@ mod tests {
             findings,
             flows: vec![],
             stats: AnalysisStats::default(),
+            concurrency: Default::default(),
         }
     }
 

@@ -90,10 +90,8 @@ mod tests {
 
     #[test]
     fn resolves_direct_literal() {
-        let b = body_with(
-            vec![Inst::Const { dst: Var(0), value: ConstValue::Str("key".into()) }],
-            1,
-        );
+        let b =
+            body_with(vec![Inst::Const { dst: Var(0), value: ConstValue::Str("key".into()) }], 1);
         assert_eq!(constant_string(&b, Var(0)).as_deref(), Some("key"));
     }
 

@@ -72,9 +72,8 @@ pub fn expand_models(program: &mut Program) {
         if program.methods[mid].body().is_none() {
             continue;
         }
-        let mut body = std::mem::take(
-            program.methods[mid].body_mut().expect("checked body presence"),
-        );
+        let mut body =
+            std::mem::take(program.methods[mid].body_mut().expect("checked body presence"));
         rewrite_body(
             program,
             &mut body,

@@ -292,11 +292,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             _ => {
                 // Compare raw bytes: slicing `src` here could split a
                 // multi-byte UTF-8 character and panic.
-                let two = if i + 1 < bytes.len() {
-                    Some((bytes[i], bytes[i + 1]))
-                } else {
-                    None
-                };
+                let two = if i + 1 < bytes.len() { Some((bytes[i], bytes[i + 1])) } else { None };
                 let tok = match two {
                     Some((b'=', b'=')) => Some(Tok::EqEq),
                     Some((b'!', b'=')) => Some(Tok::NotEq),
@@ -368,10 +364,7 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(
-            toks(r#""a\nb\"c""#),
-            vec![Tok::Str("a\nb\"c".into()), Tok::Eof]
-        );
+        assert_eq!(toks(r#""a\nb\"c""#), vec![Tok::Str("a\nb\"c".into()), Tok::Eof]);
     }
 
     #[test]

@@ -184,10 +184,9 @@ impl<'a> BodyLowerer<'a> {
 
     fn new_block(&mut self) -> BlockId {
         let id = BlockId(self.body.blocks.len() as u32);
-        self.body.blocks.push(BasicBlock {
-            handler: self.handlers.last().copied(),
-            ..Default::default()
-        });
+        self.body
+            .blocks
+            .push(BasicBlock { handler: self.handlers.last().copied(), ..Default::default() });
         id
     }
 
@@ -330,7 +329,7 @@ impl<'a> BodyLowerer<'a> {
                 let exc_class = resolve_class(self.program, catch_class, 0)?;
                 let exc_ty = self.program.types.class(exc_class);
                 let handler_bb = self.new_block(); // handler itself uses outer handler
-                // Protected region.
+                                                   // Protected region.
                 self.handlers.push(handler_bb);
                 let protected = self.new_block();
                 self.terminate(Terminator::Goto(protected));
@@ -665,19 +664,12 @@ impl<'a> BodyLowerer<'a> {
     /// local), returns that class: static-access position.
     fn static_class_of(&self, e: &Expr) -> Option<ClassId> {
         match e {
-            Expr::Var(name, _) if self.lookup(name).is_none() => {
-                self.program.class_by_name(name)
-            }
+            Expr::Var(name, _) if self.lookup(name).is_none() => self.program.class_by_name(name),
             _ => None,
         }
     }
 
-    fn resolve_field(
-        &self,
-        class: ClassId,
-        name: &str,
-        line: u32,
-    ) -> Result<FieldId, ParseError> {
+    fn resolve_field(&self, class: ClassId, name: &str, line: u32) -> Result<FieldId, ParseError> {
         self.program.field_by_name(class, name).ok_or(ParseError {
             msg: format!("no field `{name}` on `{}`", self.program.class(class).name),
             line,
@@ -816,9 +808,11 @@ mod tests {
         let u = p.class_by_name("Use").unwrap();
         let m = p.method_by_name(u, "mk").unwrap();
         let body = p.method(m).body().unwrap();
-        let has_special = body.blocks.iter().flat_map(|b| &b.insts).any(|i| {
-            matches!(i, Inst::Call { target: CallTarget::Special(_), .. })
-        });
+        let has_special = body
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::Call { target: CallTarget::Special(_), .. }));
         assert!(has_special, "constructor should lower to a Special call");
     }
 
@@ -885,9 +879,8 @@ mod tests {
         let has_bind =
             body.blocks.iter().flat_map(|b| &b.insts).any(|i| matches!(i, Inst::CatchBind { .. }));
         assert!(has_bind);
-        let protected_has_handler = body.blocks.iter().any(|b| {
-            b.handler.is_some() && b.insts.iter().any(Inst::is_call)
-        });
+        let protected_has_handler =
+            body.blocks.iter().any(|b| b.handler.is_some() && b.insts.iter().any(Inst::is_call));
         assert!(protected_has_handler, "protected call should sit in a handled block");
     }
 
@@ -901,9 +894,11 @@ mod tests {
         let c = p.class_by_name("C").unwrap();
         let m = p.method_by_name(c, "f").unwrap();
         let body = p.method(m).body().unwrap();
-        let concat = body.blocks.iter().flat_map(|b| &b.insts).any(|i| {
-            matches!(i, Inst::Binary { op: BinOp::Concat, .. })
-        });
+        let concat = body
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::Binary { op: BinOp::Concat, .. }));
         assert!(concat);
     }
 
@@ -920,9 +915,11 @@ mod tests {
         let c = p.class_by_name("C").unwrap();
         let m = p.method_by_name(c, "f").unwrap();
         let body = p.method(m).body().unwrap();
-        let is_static = body.blocks.iter().flat_map(|b| &b.insts).any(|i| {
-            matches!(i, Inst::Call { target: CallTarget::Static(_), .. })
-        });
+        let is_static = body
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::Call { target: CallTarget::Static(_), .. }));
         assert!(is_static);
     }
 
@@ -952,10 +949,9 @@ mod tests {
         let body = p.method(m).body().unwrap();
         let cfg = crate::cfg::Cfg::build(body);
         // Some block must have a back edge to an earlier block.
-        let has_back_edge = cfg
-            .rpo
-            .iter()
-            .any(|&b| cfg.succs[b.index()].iter().any(|s| cfg.rpo_pos[s.index()] <= cfg.rpo_pos[b.index()]));
+        let has_back_edge = cfg.rpo.iter().any(|&b| {
+            cfg.succs[b.index()].iter().any(|s| cfg.rpo_pos[s.index()] <= cfg.rpo_pos[b.index()])
+        });
         assert!(has_back_edge, "loop should create a back edge");
     }
 }

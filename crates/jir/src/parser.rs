@@ -191,9 +191,9 @@ impl Parser {
                     });
                 }
                 other => {
-                    return Err(self.err(format!(
-                        "expected `field`, `method` or `ctor`, found {other}"
-                    )))
+                    return Err(
+                        self.err(format!("expected `field`, `method` or `ctor`, found {other}"))
+                    )
                 }
             }
         }
@@ -367,9 +367,7 @@ impl Parser {
                 Expr::Var(name, _) => LValue::Var(name),
                 Expr::Field { base, name, .. } => LValue::Field { base: *base, name },
                 Expr::Index { base, index } => LValue::Index { base: *base, index: *index },
-                other => {
-                    return Err(self.err(format!("invalid assignment target: {other:?}")))
-                }
+                other => return Err(self.err(format!("invalid assignment target: {other:?}"))),
             };
             out.push(Stmt::Assign { lhs, rhs, line });
         } else {
@@ -632,11 +630,9 @@ impl Parser {
                     Err(self.err("expected `(` or `[` after `new T`".into()))
                 }
             }
-            other => Err(ParseError {
-                msg: format!("expected expression, found {other}"),
-                line,
-                col: 0,
-            }),
+            other => {
+                Err(ParseError { msg: format!("expected expression, found {other}"), line, col: 0 })
+            }
         }
     }
 

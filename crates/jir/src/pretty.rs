@@ -13,8 +13,7 @@ pub fn method_to_string(program: &Program, mid: MethodId) -> String {
     let mut out = String::new();
     let owner = &program.class(m.owner).name;
     let _ = write!(out, "{}{}.{}(", if m.is_static { "static " } else { "" }, owner, m.name);
-    let params: Vec<String> =
-        m.params.iter().map(|&t| type_name(program, t)).collect();
+    let params: Vec<String> = m.params.iter().map(|&t| type_name(program, t)).collect();
     let _ = writeln!(out, "{}) -> {} {{", params.join(", "), type_name(program, m.ret));
     match &m.kind {
         MethodKind::Intrinsic(i) => {
@@ -101,21 +100,12 @@ pub fn inst_to_string(program: &Program, method: &Method, inst: &Inst) -> String
             match target {
                 CallTarget::Static(m) => {
                     let callee = program.method(*m);
-                    let _ = write!(
-                        s,
-                        "call {}.{}",
-                        program.class(callee.owner).name,
-                        callee.name
-                    );
+                    let _ = write!(s, "call {}.{}", program.class(callee.owner).name, callee.name);
                 }
                 CallTarget::Special(m) => {
                     let callee = program.method(*m);
-                    let _ = write!(
-                        s,
-                        "special {}.{}",
-                        program.class(callee.owner).name,
-                        callee.name
-                    );
+                    let _ =
+                        write!(s, "special {}.{}", program.class(callee.owner).name, callee.name);
                 }
                 CallTarget::Virtual(sel) => {
                     let selector = program.resolve_selector(*sel);
@@ -140,8 +130,7 @@ pub fn inst_to_string(program: &Program, method: &Method, inst: &Inst) -> String
         }
         Inst::Binary { dst, op, lhs, rhs } => format!("{dst} = {lhs} {op:?} {rhs}"),
         Inst::Phi { dst, srcs } => {
-            let ops: Vec<String> =
-                srcs.iter().map(|(b, v)| format!("{b}: {v}")).collect();
+            let ops: Vec<String> = srcs.iter().map(|(b, v)| format!("{b}: {v}")).collect();
             format!("{dst} = φ({})", ops.join(", "))
         }
         Inst::Select { dst, srcs } => {

@@ -42,11 +42,7 @@ impl Program {
     /// # Panics
     /// Panics if a class with the same name already exists.
     pub fn add_class(&mut self, class: Class) -> ClassId {
-        assert!(
-            !self.class_by_name.contains_key(&class.name),
-            "duplicate class `{}`",
-            class.name
-        );
+        assert!(!self.class_by_name.contains_key(&class.name), "duplicate class `{}`", class.name);
         let id = ClassId::new(self.classes.len());
         self.class_by_name.insert(class.name.clone(), id);
         self.classes.push(class);
@@ -111,12 +107,7 @@ impl Program {
             return f;
         }
         let owner = ClassId::new(0); // root object class by convention
-        let f = self.add_field(Field {
-            name: name.to_string(),
-            owner,
-            ty,
-            is_static: false,
-        });
+        let f = self.add_field(Field { name: name.to_string(), owner, ty, is_static: false });
         self.synthetic_fields.insert(name.to_string(), f);
         f
     }
@@ -181,14 +172,10 @@ impl Program {
     /// (no superclass search).
     pub fn declared_method(&self, class: ClassId, selector: SelectorId) -> Option<MethodId> {
         let sel = self.resolve_selector(selector);
-        self.class(class)
-            .methods
-            .iter()
-            .copied()
-            .find(|&m| {
-                let meth = self.method(m);
-                meth.name == sel.name && meth.params.len() == sel.arity
-            })
+        self.class(class).methods.iter().copied().find(|&m| {
+            let meth = self.method(m);
+            meth.name == sel.name && meth.params.len() == sel.arity
+        })
     }
 
     /// Resolves virtual dispatch: walks from `class` up the superclass chain
@@ -394,12 +381,8 @@ mod tests {
     fn field_lookup_walks_superclasses() {
         let (mut p, obj, _animal, dog) = prog_with_hierarchy();
         let str_ty = p.types.string();
-        let f = p.add_field(Field {
-            name: "name".into(),
-            owner: obj,
-            ty: str_ty,
-            is_static: false,
-        });
+        let f =
+            p.add_field(Field { name: "name".into(), owner: obj, ty: str_ty, is_static: false });
         assert_eq!(p.field_by_name(dog, "name"), Some(f));
         assert_eq!(p.field_by_name(dog, "missing"), None);
     }

@@ -165,9 +165,7 @@ pub fn to_ssa(body: &mut Body, num_incoming: usize) {
                     let is_phi = matches!(body.blocks[b.index()].insts[i], Inst::Phi { .. });
                     if !is_phi {
                         let inst = &mut body.blocks[b.index()].insts[i];
-                        inst.rewrite_uses(|v| {
-                            stacks[v.index()].last().copied().unwrap_or(v)
-                        });
+                        inst.rewrite_uses(|v| stacks[v.index()].last().copied().unwrap_or(v));
                     }
                     let def = body.blocks[b.index()].insts[i].def();
                     if let Some(d) = def {
@@ -260,12 +258,7 @@ mod tests {
                 ..Default::default()
             },
             BasicBlock {
-                insts: vec![Inst::Binary {
-                    dst: Var(2),
-                    op: BinOp::Add,
-                    lhs: Var(1),
-                    rhs: Var(1),
-                }],
+                insts: vec![Inst::Binary { dst: Var(2), op: BinOp::Add, lhs: Var(1), rhs: Var(1) }],
                 term: Terminator::Return(Some(Var(2))),
                 ..Default::default()
             },
@@ -353,19 +346,11 @@ mod tests {
                 ..Default::default()
             },
             BasicBlock {
-                insts: vec![Inst::Binary {
-                    dst: Var(1),
-                    op: BinOp::Add,
-                    lhs: Var(1),
-                    rhs: Var(1),
-                }],
+                insts: vec![Inst::Binary { dst: Var(1), op: BinOp::Add, lhs: Var(1), rhs: Var(1) }],
                 term: Terminator::Goto(BlockId(1)),
                 ..Default::default()
             },
-            BasicBlock {
-                term: Terminator::Return(Some(Var(1))),
-                ..Default::default()
-            },
+            BasicBlock { term: Terminator::Return(Some(Var(1))), ..Default::default() },
         ];
         to_ssa(&mut body, 1);
         assert!(

@@ -353,7 +353,13 @@ pub fn stdlib_program() -> Program {
     let statement = p.class_by_name("Statement").expect("Statement");
     patch_intrinsic(&mut p, "Connection", "createStatement", 0, Intrinsic::FreshObject(statement));
     let connection = p.class_by_name("Connection").expect("Connection");
-    patch_intrinsic(&mut p, "DriverManager", "getConnection", 1, Intrinsic::FreshObject(connection));
+    patch_intrinsic(
+        &mut p,
+        "DriverManager",
+        "getConnection",
+        1,
+        Intrinsic::FreshObject(connection),
+    );
     let runtime = p.class_by_name("Runtime").expect("Runtime");
     patch_intrinsic(&mut p, "Runtime", "getRuntime", 0, Intrinsic::FreshObject(runtime));
     let process = p.class_by_name("Process").expect("Process");
@@ -414,7 +420,10 @@ mod tests {
         let hm = p.class_by_name("HashMap").unwrap();
         assert!(p.class(hm).is_collection);
         let sb = p.class_by_name("StringBuilder").unwrap();
-        assert!(!p.class(sb).is_collection, "builders are modeled via $content, not as collections");
+        assert!(
+            !p.class(sb).is_collection,
+            "builders are modeled via $content, not as collections"
+        );
     }
 
     #[test]

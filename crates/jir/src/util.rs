@@ -223,9 +223,10 @@ impl BitSet {
 
     /// Returns `true` iff every element of `self` is in `other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
-        self.words.iter().enumerate().all(|(w, &a)| {
-            a & !other.words.get(w).copied().unwrap_or(0) == 0
-        })
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(w, &a)| a & !other.words.get(w).copied().unwrap_or(0) == 0)
     }
 
     /// Iterates over set bits in ascending order.

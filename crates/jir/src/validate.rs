@@ -198,10 +198,7 @@ mod tests {
         let mut p = Program::new();
         let obj = p.add_class(crate::class::Class::new("Object"));
         let mut body = Body::default();
-        body.blocks.push(BasicBlock {
-            term: Terminator::Goto(BlockId(9)),
-            ..Default::default()
-        });
+        body.blocks.push(BasicBlock { term: Terminator::Goto(BlockId(9)), ..Default::default() });
         p.add_method(Method {
             name: "bad".into(),
             owner: obj,

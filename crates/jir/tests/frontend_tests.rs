@@ -25,10 +25,7 @@ fn comments_everywhere() {
 
 #[test]
 fn string_escapes_roundtrip() {
-    let p = parse_program(
-        r#"class C { method String f() { return "a\"b\\c\nd\te"; } }"#,
-    )
-    .unwrap();
+    let p = parse_program(r#"class C { method String f() { return "a\"b\\c\nd\te"; } }"#).unwrap();
     let body = body_of(&p, "C", "f");
     let found = body.blocks.iter().flat_map(|b| &b.insts).any(|i| {
         matches!(i, Inst::Const { value: jir::ConstValue::Str(s), .. }
@@ -117,10 +114,7 @@ fn while_with_complex_condition() {
 
 #[test]
 fn not_operator_lowering() {
-    let p = parse_program(
-        r#"class C { method boolean f(boolean b) { return !b; } }"#,
-    )
-    .unwrap();
+    let p = parse_program(r#"class C { method boolean f(boolean b) { return !b; } }"#).unwrap();
     let body = body_of(&p, "C", "f");
     // `!b` lowers to `b == false`.
     let eq_count = body
@@ -176,11 +170,8 @@ fn return_in_all_branches() {
     )
     .unwrap();
     let body = body_of(&p, "C", "f");
-    let returns = body
-        .blocks
-        .iter()
-        .filter(|b| matches!(b.term, Terminator::Return(Some(_))))
-        .count();
+    let returns =
+        body.blocks.iter().filter(|b| matches!(b.term, Terminator::Return(Some(_)))).count();
     assert_eq!(returns, 2);
 }
 
@@ -207,12 +198,8 @@ fn full_pipeline_builds_ssa() {
     .unwrap();
     let body = body_of(&p, "C", "f");
     assert!(body.is_ssa);
-    let phis = body
-        .blocks
-        .iter()
-        .flat_map(|b| &b.insts)
-        .filter(|i| matches!(i, Inst::Phi { .. }))
-        .count();
+    let phis =
+        body.blocks.iter().flat_map(|b| &b.insts).filter(|i| matches!(i, Inst::Phi { .. })).count();
     assert!(phis >= 2, "acc and n need φs at the loop header, got {phis}");
 }
 

@@ -23,17 +23,10 @@ struct BodySpec {
 
 fn body_spec() -> impl Strategy<Value = BodySpec> {
     (2usize..10, 2u32..8).prop_flat_map(|(nblocks, nvars)| {
-        let code = proptest::collection::vec(
-            (0..nblocks, 0..nvars, any::<bool>()),
-            0..24,
-        );
-        let terms = proptest::collection::vec(
-            (0u8..3, 0..nblocks, 0..nblocks),
-            nblocks,
-        );
-        (Just(nblocks), Just(nvars), code, terms).prop_map(
-            |(nblocks, nvars, code, terms)| BodySpec { nblocks, nvars, code, terms },
-        )
+        let code = proptest::collection::vec((0..nblocks, 0..nvars, any::<bool>()), 0..24);
+        let terms = proptest::collection::vec((0u8..3, 0..nblocks, 0..nblocks), nblocks);
+        (Just(nblocks), Just(nvars), code, terms)
+            .prop_map(|(nblocks, nvars, code, terms)| BodySpec { nblocks, nvars, code, terms })
     })
 }
 

@@ -103,8 +103,7 @@ mod tests {
 
     #[test]
     fn statics_are_insensitive() {
-        let p =
-            frontend::parse_program("class A { static method void f() { } }").unwrap();
+        let p = frontend::parse_program("class A { static method void f() { } }").unwrap();
         let a = p.class_by_name("A").unwrap();
         let f = p.method_by_name(a, "f").unwrap();
         let cfg = PolicyConfig::default();

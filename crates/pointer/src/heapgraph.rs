@@ -23,8 +23,7 @@ pub struct HeapGraph {
 impl HeapGraph {
     /// Builds the heap graph from a points-to solution.
     pub fn build(pts: &PointsTo) -> HeapGraph {
-        let mut fields_of: HashMap<InstanceKeyId, Vec<(Option<FieldId>, BitSet)>> =
-            HashMap::new();
+        let mut fields_of: HashMap<InstanceKeyId, Vec<(Option<FieldId>, BitSet)>> = HashMap::new();
         for (_, key, set) in pts.iter_pointer_keys() {
             match key {
                 PointerKey::Field { ik, field } => {

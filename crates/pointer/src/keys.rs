@@ -5,8 +5,8 @@
 use jir::inst::{Loc, Var};
 use jir::{ClassId, FieldId, MethodId, Program, TypeId};
 
-use crate::context::ContextId;
 use crate::callgraph::CGNodeId;
+use crate::context::ContextId;
 
 jir::index_type! {
     /// Interned id of an [`InstanceKey`].
@@ -72,9 +72,7 @@ impl InstanceKey {
     /// models a class instance.
     pub fn class_of(&self, program: &Program) -> Option<ClassId> {
         match self {
-            InstanceKey::Alloc { class, .. } | InstanceKey::Synthetic { class, .. } => {
-                Some(*class)
-            }
+            InstanceKey::Alloc { class, .. } | InstanceKey::Synthetic { class, .. } => Some(*class),
             InstanceKey::ClassObj(_) => program.class_by_name("Class"),
             InstanceKey::MethodObj(..) => program.class_by_name("Method"),
             InstanceKey::AllocArray { .. } | InstanceKey::MethodArray(_) => None,

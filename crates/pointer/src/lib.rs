@@ -36,6 +36,7 @@
 
 pub mod callgraph;
 pub mod context;
+pub mod escape;
 pub mod heapgraph;
 pub mod keys;
 pub mod priority;
@@ -43,6 +44,7 @@ pub mod solver;
 
 pub use callgraph::{CGNodeId, CallEdge, CallGraph};
 pub use context::{ContextElem, ContextId, PolicyConfig, ROOT_CONTEXT};
+pub use escape::{spawn_edges, EscapeAnalysis, SpawnEdge};
 pub use heapgraph::HeapGraph;
 pub use keys::{InstanceKey, InstanceKeyId, PointerKey, PointerKeyId, Site};
 pub use solver::{analyze, InvokeBinding, PointsTo, SolverConfig, SolverStats};

@@ -127,9 +127,7 @@ impl PointsTo {
     }
 
     /// Iterates `(id, key, pts)` over all pointer keys.
-    pub fn iter_pointer_keys(
-        &self,
-    ) -> impl Iterator<Item = (PointerKeyId, &PointerKey, &BitSet)> {
+    pub fn iter_pointer_keys(&self) -> impl Iterator<Item = (PointerKeyId, &PointerKey, &BitSet)> {
         self.pkeys.iter().map(|(i, k)| (PointerKeyId(i), k, &self.pts[i as usize]))
     }
 
@@ -254,9 +252,7 @@ impl<'p> Solver<'p> {
                         jir::CallTarget::Virtual(sel) => {
                             let s = program.resolve_selector(*sel);
                             let _ = args;
-                            source_selectors
-                                .iter()
-                                .any(|(n, a)| *n == s.name && *a == s.arity)
+                            source_selectors.iter().any(|(n, a)| *n == s.name && *a == s.arity)
                         }
                     }
                 } else {
@@ -328,8 +324,7 @@ impl<'p> Solver<'p> {
             propagations: self.propagations,
             nodes_dropped: self.nodes_dropped,
         };
-        let callgraph =
-            CallGraph::from_parts(nodes, self.call_edges, self.entry_nodes);
+        let callgraph = CallGraph::from_parts(nodes, self.call_edges, self.entry_nodes);
         PointsTo {
             callgraph,
             stats,
@@ -604,10 +599,8 @@ impl<'p> Solver<'p> {
                 self.add_to_pts(d, ik);
             }
             Inst::NewArray { dst, elem } => {
-                let ik = self.ikey(InstanceKey::AllocArray {
-                    site: Site { method, loc },
-                    elem: *elem,
-                });
+                let ik =
+                    self.ikey(InstanceKey::AllocArray { site: Site { method, loc }, elem: *elem });
                 let d = self.local(node, *dst);
                 self.add_to_pts(d, ik);
             }
@@ -817,9 +810,7 @@ impl<'p> Solver<'p> {
             Some(m) => Some(m),
             None => {
                 let sel = sel.expect("virtual dispatch has a selector");
-                ik_val
-                    .class_of(self.program)
-                    .and_then(|c| self.program.resolve_virtual(c, sel))
+                ik_val.class_of(self.program).and_then(|c| self.program.resolve_virtual(c, sel))
             }
         };
         let Some(callee) = callee else { return };
@@ -1004,8 +995,7 @@ impl<'p> Solver<'p> {
                     (dst, recv_ik.map(|ik| self.ikeys.resolve(ik.0).clone()))
                 {
                     let site = Site { method: caller_method, loc };
-                    let ik =
-                        self.ikey(InstanceKey::Alloc { site, ctx: ROOT_CONTEXT, class: c });
+                    let ik = self.ikey(InstanceKey::Alloc { site, ctx: ROOT_CONTEXT, class: c });
                     let dp = self.local(node, d);
                     self.add_to_pts(dp, ik);
                 }

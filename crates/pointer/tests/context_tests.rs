@@ -87,27 +87,19 @@ fn static_methods_are_context_insensitive() {
     );
     let util = p.class_by_name("Util").unwrap();
     let mk = p.method_by_name(util, "mk").unwrap();
-    assert_eq!(
-        pts.callgraph.nodes_of_method(mk).len(),
-        1,
-        "plain statics share one context"
-    );
+    assert_eq!(pts.callgraph.nodes_of_method(mk).len(), 1, "plain statics share one context");
 }
 
 #[test]
 fn taint_api_contexts_from_config() {
     // With getParameter marked as a taint API, the policy chooses
     // call-site contexts for it — observable through the PolicyConfig.
-    let p = jir::frontend::build_program("class Main { static method void main() { } }")
-        .unwrap();
+    let p = jir::frontend::build_program("class Main { static method void main() { } }").unwrap();
     let req = p.class_by_name("HttpServletRequest").unwrap();
     let gp = p.method_by_name(req, "getParameter").unwrap();
     let mut policy = PolicyConfig::default();
     policy.taint_methods.insert(gp);
-    assert_eq!(
-        policy.choose(&p, gp, true),
-        taj_pointer::context::ContextChoice::CallSite
-    );
+    assert_eq!(policy.choose(&p, gp, true), taj_pointer::context::ContextChoice::CallSite);
 }
 
 #[test]
@@ -128,11 +120,7 @@ fn collections_clone_per_allocating_context() {
         }
         "#,
     );
-    assert_eq!(
-        allocs_of(&p, &pts, "HashMap"),
-        2,
-        "collection allocations are cloned per context"
-    );
+    assert_eq!(allocs_of(&p, &pts, "HashMap"), 2, "collection allocations are cloned per context");
 }
 
 #[test]

@@ -88,19 +88,11 @@ fn virtual_dispatch_reaches_override() {
     );
     let dog = p.class_by_name("Dog").unwrap();
     let speak_dog = p.method_by_name(dog, "speak").unwrap();
-    assert!(
-        !pts.callgraph.nodes_of_method(speak_dog).is_empty(),
-        "Dog.speak must be reachable"
-    );
+    assert!(!pts.callgraph.nodes_of_method(speak_dog).is_empty(), "Dog.speak must be reachable");
     // And Animal.speak must NOT be invoked (receiver is exactly a Dog).
     let animal = p.class_by_name("Animal").unwrap();
-    let speak_animal = p
-        .class(animal)
-        .methods
-        .iter()
-        .copied()
-        .find(|&m| p.method(m).name == "speak")
-        .unwrap();
+    let speak_animal =
+        p.class(animal).methods.iter().copied().find(|&m| p.method(m).name == "speak").unwrap();
     assert!(
         pts.callgraph.nodes_of_method(speak_animal).is_empty(),
         "precise dispatch: Animal.speak unreachable"
@@ -157,9 +149,7 @@ fn two_boxes_do_not_merge() {
         .iter()
         .flat_map(|b| &b.insts)
         .filter_map(|i| match i {
-            jir::Inst::Call { dst: Some(d), target: jir::CallTarget::Virtual(_), .. } => {
-                Some(*d)
-            }
+            jir::Inst::Call { dst: Some(d), target: jir::CallTarget::Virtual(_), .. } => Some(*d),
             _ => None,
         })
         .collect();
@@ -394,10 +384,7 @@ fn node_budget_underapproximates() {
     let c = p.class_by_name("Chain").unwrap();
     p.entrypoints.push(p.method_by_name(c, "main").unwrap());
     let full = analyze(&p, &SolverConfig::default());
-    let bounded = analyze(
-        &p,
-        &SolverConfig { max_cg_nodes: Some(2), ..Default::default() },
-    );
+    let bounded = analyze(&p, &SolverConfig { max_cg_nodes: Some(2), ..Default::default() });
     assert!(full.stats.nodes > bounded.stats.nodes);
     assert!(bounded.budget_exhausted);
     assert!(!full.budget_exhausted);

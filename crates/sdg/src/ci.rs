@@ -49,8 +49,7 @@ impl CiCache {
         let mut repr: HashMap<MethodId, CGNodeId> = HashMap::new();
         let mut merged_pts: HashMap<Fact, BitSet> = HashMap::new();
         let mut site_targets: HashMap<(MethodId, Loc), Vec<MethodId>> = HashMap::new();
-        let mut return_sites: HashMap<MethodId, Vec<(MethodId, Loc, Option<Var>)>> =
-            HashMap::new();
+        let mut return_sites: HashMap<MethodId, Vec<(MethodId, Loc, Option<Var>)>> = HashMap::new();
         for node in cg.iter_nodes() {
             repr.entry(cg.method_of(node)).or_insert(node);
         }
@@ -99,15 +98,11 @@ impl CiCache {
                         jir::Inst::Call { dst: Some(d), recv: Some(r), .. } => {
                             for &(_, intr) in pts.intrinsics_at(node, loc) {
                                 let names: &[&str] = match intr {
-                                    jir::Intrinsic::CollGet => {
-                                        &[jir::expand::fields::ELEMS]
-                                    }
+                                    jir::Intrinsic::CollGet => &[jir::expand::fields::ELEMS],
                                     jir::Intrinsic::BuilderToString => {
                                         &[jir::expand::fields::CONTENT]
                                     }
-                                    jir::Intrinsic::MapGet => {
-                                        &[jir::expand::fields::MAP_UNKNOWN]
-                                    }
+                                    jir::Intrinsic::MapGet => &[jir::expand::fields::MAP_UNKNOWN],
                                     _ => continue,
                                 };
                                 for fname in names {
@@ -195,11 +190,7 @@ impl<'a> CiSlicer<'a> {
     }
 
     /// Builds a slicer reusing a shared rule-independent [`CiCache`].
-    pub fn with_cache(
-        view: &'a ProgramView<'a>,
-        bounds: SliceBounds,
-        cache: &'a CiCache,
-    ) -> Self {
+    pub fn with_cache(view: &'a ProgramView<'a>, bounds: SliceBounds, cache: &'a CiCache) -> Self {
         Self::assemble(view, bounds, std::borrow::Cow::Borrowed(cache))
     }
 
@@ -250,24 +241,20 @@ impl<'a> CiSlicer<'a> {
             let mut queue: VecDeque<Fact> = VecDeque::new();
             let mut processed_stores: HashSet<(MethodId, Loc)> = HashSet::new();
             visited.insert(seed_fact);
-            parents.insert(
-                seed_fact,
-                (None, vec![FlowStep { stmt, kind: StepKind::Seed }]),
-            );
+            parents.insert(seed_fact, (None, vec![FlowStep { stmt, kind: StepKind::Seed }]));
             queue.push_back(seed_fact);
 
-            let reconstruct =
-                |parents: &Parents, fact: Fact| {
-                    let mut rev = Vec::new();
-                    let mut cur = Some(fact);
-                    while let Some(f) = cur {
-                        let Some((prev, steps)) = parents.get(&f) else { break };
-                        rev.extend(steps.iter().rev().copied());
-                        cur = *prev;
-                    }
-                    rev.reverse();
-                    rev
-                };
+            let reconstruct = |parents: &Parents, fact: Fact| {
+                let mut rev = Vec::new();
+                let mut cur = Some(fact);
+                while let Some(f) = cur {
+                    let Some((prev, steps)) = parents.get(&f) else { break };
+                    rev.extend(steps.iter().rev().copied());
+                    cur = *prev;
+                }
+                rev.reverse();
+                rev
+            };
 
             while let Some((m, v)) = queue.pop_front() {
                 result.work += 1;
@@ -277,10 +264,10 @@ impl<'a> CiSlicer<'a> {
                 };
                 let fact = (m, v);
                 let push = |queue: &mut VecDeque<Fact>,
-                                visited: &mut HashSet<Fact>,
-                                parents: &mut Parents,
-                                nf: Fact,
-                                steps: Vec<FlowStep>| {
+                            visited: &mut HashSet<Fact>,
+                            parents: &mut Parents,
+                            nf: Fact,
+                            steps: Vec<FlowStep>| {
                     if visited.insert(nf) {
                         parents.insert(nf, (Some(fact), steps));
                         queue.push_back(nf);
@@ -307,8 +294,7 @@ impl<'a> CiSlicer<'a> {
                                 Some(s) => s.clone(),
                                 None => continue,
                             };
-                            let pre =
-                                vec![FlowStep { stmt: store_stmt, kind: StepKind::Local }];
+                            let pre = vec![FlowStep { stmt: store_stmt, kind: StepKind::Local }];
                             // Carrier edges.
                             for ik in base_pts.iter() {
                                 if let Some(sinks) = self.view.spec.carrier_sinks.get(&ik) {
@@ -408,13 +394,7 @@ impl<'a> CiSlicer<'a> {
                                             kind: StepKind::HeapEdge,
                                         },
                                     ];
-                                    push(
-                                        &mut queue,
-                                        &mut visited,
-                                        &mut parents,
-                                        (lm, ldst),
-                                        steps,
-                                    );
+                                    push(&mut queue, &mut visited, &mut parents, (lm, ldst), steps);
                                 }
                             }
                         }
@@ -490,7 +470,5 @@ impl<'a> CiSlicer<'a> {
 }
 
 fn count_heap(path: &[FlowStep]) -> usize {
-    path.iter()
-        .filter(|s| matches!(s.kind, StepKind::HeapEdge | StepKind::CarrierEdge))
-        .count()
+    path.iter().filter(|s| matches!(s.kind, StepKind::HeapEdge | StepKind::CarrierEdge)).count()
 }

@@ -14,16 +14,20 @@
 //!    performed by a spawned thread never returns to the spawner, so heap
 //!    facts do not propagate back across `Thread.start` edges — exactly
 //!    the false negatives the paper reports on BlueBlog, I, and SBM.
+//!
+//! The second defect is repairable: [`CsSlicer::with_escape`] reinstates
+//! heap-fact returns across spawn edges, but *only* for abstract objects
+//! the thread-escape analysis proves shared (and for statics, which are
+//! shared by definition). Thread-local heap facts still stop at the spawn
+//! edge, so the repair recovers the multithreading false negatives
+//! without readmitting the full fact explosion.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use jir::inst::{Loc, Var};
-use jir::method::Intrinsic;
-use taj_pointer::CGNodeId;
+use taj_pointer::{spawn_edges, CGNodeId, EscapeAnalysis};
 
-use crate::spec::{
-    Flow, FlowStep, SliceBounds, SliceError, SliceResult, StepKind, StmtNode,
-};
+use crate::spec::{Flow, FlowStep, SliceBounds, SliceError, SliceResult, StepKind, StmtNode};
 use crate::view::{FieldKey, ProgramView, Use};
 
 /// Direction discipline for heap facts: a fact that has descended into a
@@ -60,28 +64,74 @@ pub struct CsSlicer<'a> {
     bounds: SliceBounds,
     /// Call sites per node (for pushing heap facts into callees).
     callees_of: HashMap<CGNodeId, Vec<(Loc, CGNodeId)>>,
-    /// Spawn edges `(caller, loc)` — `Thread.start` sites whose heap
-    /// effects never return.
-    spawn_sites: HashSet<(CGNodeId, Loc)>,
+    /// Spawn edges keyed by the full `(caller, loc, callee)` triple —
+    /// `Thread.start` edges whose heap effects never return. Keying on
+    /// the callee too means an ordinary return from a *different* callee
+    /// invoked at the same call site is never mistaken for a spawn
+    /// return.
+    spawn_sites: HashSet<(CGNodeId, Loc, CGNodeId)>,
+    /// When set, the CS-Escape repair: heap facts on escaping objects
+    /// (and all static facts) may return across spawn edges after all.
+    escape: Option<&'a EscapeAnalysis>,
 }
 
 impl<'a> CsSlicer<'a> {
-    /// Creates a CS slicer.
+    /// Creates a plain CS slicer, reproducing the paper's thread
+    /// unsoundness.
     pub fn new(view: &'a ProgramView<'a>, bounds: SliceBounds) -> Self {
+        Self::build(view, bounds, None)
+    }
+
+    /// Creates a CS slicer in the escape-repair mode: spawn edges stay
+    /// closed for thread-local heap facts but open for facts on objects
+    /// that `escape` proves shared between threads.
+    pub fn with_escape(
+        view: &'a ProgramView<'a>,
+        bounds: SliceBounds,
+        escape: &'a EscapeAnalysis,
+    ) -> Self {
+        Self::build(view, bounds, Some(escape))
+    }
+
+    fn build(
+        view: &'a ProgramView<'a>,
+        bounds: SliceBounds,
+        escape: Option<&'a EscapeAnalysis>,
+    ) -> Self {
         let mut callees_of: HashMap<CGNodeId, Vec<(Loc, CGNodeId)>> = HashMap::new();
-        let mut spawn_sites: HashSet<(CGNodeId, Loc)> = HashSet::new();
         for e in &view.pts.callgraph.edges {
             callees_of.entry(e.caller).or_default().push((e.loc, e.callee));
-            if view
-                .pts
-                .intrinsics_at(e.caller, e.loc)
-                .iter()
-                .any(|&(_, i)| i == Intrinsic::ThreadStart)
-            {
-                spawn_sites.insert((e.caller, e.loc));
-            }
         }
-        CsSlicer { view, bounds, callees_of, spawn_sites }
+        let spawn_sites =
+            spawn_edges(view.pts).into_iter().map(|e| (e.caller, e.loc, e.callee)).collect();
+        CsSlicer { view, bounds, callees_of, spawn_sites, escape }
+    }
+
+    /// The spawn-edge triples this slicer treats as thread boundaries.
+    pub fn spawn_sites(&self) -> &HashSet<(CGNodeId, Loc, CGNodeId)> {
+        &self.spawn_sites
+    }
+
+    /// Should the return of a heap/static fact from `callee` to `caller`
+    /// at `cloc` be blocked? Plain CS blocks every spawn-edge return
+    /// (the thread unsoundness); escape mode re-opens spawn edges for
+    /// escaping objects (`ik = Some(..)`) and for statics (`ik = None`),
+    /// which are shared by definition.
+    fn blocks_return(
+        &self,
+        caller: CGNodeId,
+        cloc: Loc,
+        callee: CGNodeId,
+        ik: Option<u32>,
+    ) -> bool {
+        if !self.spawn_sites.contains(&(caller, cloc, callee)) {
+            return false;
+        }
+        match (self.escape, ik) {
+            (Some(esc), Some(ik)) => !esc.escapes(ik),
+            (Some(_), None) => false,
+            (None, _) => true,
+        }
     }
 
     /// Runs the slice from every source.
@@ -286,7 +336,7 @@ impl<'a> CsSlicer<'a> {
                     if dir == Dir::Up {
                         if let Some(sites) = self.view.return_sites.get(&node) {
                             for &(caller, cloc, _) in sites {
-                                if !self.spawn_sites.contains(&(caller, cloc)) {
+                                if !self.blocks_return(caller, cloc, node, Some(ik)) {
                                     push_plain(
                                         (caller, CsFact::Heap(ik, field, Dir::Up)),
                                         &mut queue,
@@ -315,7 +365,7 @@ impl<'a> CsSlicer<'a> {
                     if dir == Dir::Up {
                         if let Some(sites) = self.view.return_sites.get(&node) {
                             for &(caller, cloc, _) in sites {
-                                if !self.spawn_sites.contains(&(caller, cloc)) {
+                                if !self.blocks_return(caller, cloc, node, None) {
                                     push_plain(
                                         (caller, CsFact::Static(field, Dir::Up)),
                                         &mut queue,
@@ -368,10 +418,7 @@ impl<'a> CsSlicer<'a> {
                             for cs_sink in sinks.clone() {
                                 if seen_flows.insert((seed_stmt, cs_sink.stmt, cs_sink.pos)) {
                                     let mut path = reconstruct(parents, fact);
-                                    path.push(FlowStep {
-                                        stmt: store_stmt,
-                                        kind: StepKind::Local,
-                                    });
+                                    path.push(FlowStep { stmt: store_stmt, kind: StepKind::Local });
                                     path.push(FlowStep {
                                         stmt: cs_sink.stmt,
                                         kind: StepKind::CarrierEdge,
@@ -556,7 +603,7 @@ impl<'a> CsSlicer<'a> {
         if dir == Dir::Up {
             if let Some(sites) = self.view.return_sites.get(&node) {
                 for &(caller, cloc, _) in &sites.clone() {
-                    if self.spawn_sites.contains(&(caller, cloc)) {
+                    if self.blocks_return(caller, cloc, node, Some(ik)) {
                         continue; // CS thread unsoundness
                     }
                     push(
@@ -616,7 +663,7 @@ impl<'a> CsSlicer<'a> {
         if dir == Dir::Up {
             if let Some(sites) = self.view.return_sites.get(&node) {
                 for &(caller, cloc, _) in &sites.clone() {
-                    if self.spawn_sites.contains(&(caller, cloc)) {
+                    if self.blocks_return(caller, cloc, node, None) {
                         continue;
                     }
                     push(
@@ -650,10 +697,7 @@ fn push(
     }
 }
 
-fn reconstruct(
-    parents: &Parents,
-    fact: Fact,
-) -> Vec<FlowStep> {
+fn reconstruct(parents: &Parents, fact: Fact) -> Vec<FlowStep> {
     let mut rev = Vec::new();
     let mut cur = Some(fact);
     while let Some(f) = cur {
@@ -666,7 +710,129 @@ fn reconstruct(
 }
 
 fn count_heap(path: &[FlowStep]) -> usize {
-    path.iter()
-        .filter(|s| matches!(s.kind, StepKind::HeapEdge | StepKind::CarrierEdge))
-        .count()
+    path.iter().filter(|s| matches!(s.kind, StepKind::HeapEdge | StepKind::CarrierEdge)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SliceSpec;
+    use taj_pointer::{analyze, PointsTo, SolverConfig};
+
+    fn build(src: &str) -> (jir::Program, PointsTo) {
+        let mut program = jir::frontend::build_program(src).expect("builds");
+        let mains: Vec<jir::MethodId> = program
+            .iter_classes()
+            .map(|(cid, _)| cid)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .filter_map(|cid| program.method_by_name(cid, "main"))
+            .collect();
+        program.entrypoints.extend(mains);
+        let pts = analyze(&program, &SolverConfig::default());
+        (program, pts)
+    }
+
+    const TWO_SPAWNS: &str = r#"
+        class A implements Runnable { ctor () { } method void run() { } }
+        class B implements Runnable { ctor () { } method void run() { } }
+        class Main {
+            static method void main() {
+                A a = new A();
+                Thread t = new Thread(a);
+                t.start();
+                B b = new B();
+                Thread u = new Thread(b);
+                u.start();
+                Main.helper();
+            }
+            static method void helper() { }
+        }
+    "#;
+
+    #[test]
+    fn spawn_sites_are_keyed_by_full_edge_triple() {
+        let (program, pts) = build(TWO_SPAWNS);
+        let spec = SliceSpec::default();
+        let view = ProgramView::build(&program, &pts, &spec);
+        let slicer = CsSlicer::new(&view, SliceBounds::default());
+
+        let sites = slicer.spawn_sites();
+        assert_eq!(sites.len(), 2, "one triple per Thread.start edge: {sites:?}");
+        // Each triple matches the canonical spawn-edge list exactly.
+        let canonical: HashSet<(CGNodeId, Loc, CGNodeId)> =
+            spawn_edges(&pts).into_iter().map(|e| (e.caller, e.loc, e.callee)).collect();
+        assert_eq!(sites, &canonical);
+        // The callees are distinct run() nodes (A.run and B.run), each at
+        // a distinct call-site location of the same caller.
+        let callees: HashSet<CGNodeId> = sites.iter().map(|&(_, _, c)| c).collect();
+        assert_eq!(callees.len(), 2, "distinct spawned run() nodes");
+        let locs: HashSet<(CGNodeId, Loc)> = sites.iter().map(|&(n, l, _)| (n, l)).collect();
+        assert_eq!(locs.len(), 2, "distinct spawn call sites");
+    }
+
+    #[test]
+    fn ordinary_calls_are_not_spawn_sites() {
+        let (program, pts) = build(TWO_SPAWNS);
+        let spec = SliceSpec::default();
+        let view = ProgramView::build(&program, &pts, &spec);
+        let slicer = CsSlicer::new(&view, SliceBounds::default());
+
+        // Main.helper() is a plain call edge: it must not appear in
+        // spawn_sites even though it shares the caller node.
+        let helper_class = program.class_by_name("Main").unwrap();
+        let helper = program.method_by_name(helper_class, "helper").unwrap();
+        for node in pts.callgraph.nodes_of_method(helper) {
+            assert!(
+                !slicer.spawn_sites().iter().any(|&(_, _, c)| c == node),
+                "helper() must not be a spawn callee"
+            );
+        }
+        assert!(!slicer.spawn_sites().is_empty());
+    }
+
+    #[test]
+    fn single_threaded_program_has_no_spawn_sites() {
+        let (program, pts) = build(
+            r#"
+            class Main { static method void main() { Object o = new Object(); } }
+        "#,
+        );
+        let spec = SliceSpec::default();
+        let view = ProgramView::build(&program, &pts, &spec);
+        let slicer = CsSlicer::new(&view, SliceBounds::default());
+        assert!(slicer.spawn_sites().is_empty());
+    }
+
+    #[test]
+    fn blocks_return_respects_escape_mode() {
+        let (program, pts) = build(TWO_SPAWNS);
+        let spec = SliceSpec::default();
+        let view = ProgramView::build(&program, &pts, &spec);
+        let heap = taj_pointer::HeapGraph::build(&pts);
+        let esc = EscapeAnalysis::compute(&pts, &heap);
+
+        let plain = CsSlicer::new(&view, SliceBounds::default());
+        let repaired = CsSlicer::with_escape(&view, SliceBounds::default(), &esc);
+        let &(caller, loc, callee) = plain.spawn_sites().iter().next().unwrap();
+
+        // The spawned runnable itself escapes; a heap fact on it returns
+        // only in escape mode. Statics always return in escape mode.
+        let escaping_ik = esc.escaping().iter().next().expect("receiver escapes");
+        assert!(plain.blocks_return(caller, loc, callee, Some(escaping_ik)));
+        assert!(plain.blocks_return(caller, loc, callee, None));
+        assert!(!repaired.blocks_return(caller, loc, callee, Some(escaping_ik)));
+        assert!(!repaired.blocks_return(caller, loc, callee, None));
+
+        // A thread-local object still may not return across the spawn.
+        let local_ik = (0..pts.num_instance_keys() as u32).find(|&ik| !esc.escapes(ik));
+        if let Some(ik) = local_ik {
+            assert!(repaired.blocks_return(caller, loc, callee, Some(ik)));
+        }
+
+        // A non-spawn (caller, loc, callee) combination never blocks: the
+        // same caller and loc with the *wrong* callee is not a spawn edge.
+        assert!(!plain.blocks_return(caller, loc, caller, Some(escaping_ik)));
+        let _ = program;
+    }
 }

@@ -23,12 +23,12 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use jir::inst::{Loc, Var};
+use jir::util::BitSet;
 use jir::MethodId;
-use taj_pointer::CGNodeId;
+use taj_pointer::{CGNodeId, EscapeAnalysis};
 
-use crate::spec::{
-    Flow, FlowStep, SliceBounds, SliceResult, StepKind, StmtNode,
-};
+use crate::mhp::MhpRelation;
+use crate::spec::{Flow, FlowStep, SliceBounds, SliceResult, StepKind, StmtNode};
 use crate::view::{FieldKey, ProgramView, Use};
 
 /// A local-flow fact: a register of a call-graph node carries taint.
@@ -57,6 +57,12 @@ pub struct HybridSlicer<'a> {
     /// Reverse dependencies: when `key`'s summary grows, recompute these.
     dependents: HashMap<Fact, HashSet<Fact>>,
     work: usize,
+    /// Concurrency refinement (escape + MHP): when present, direct
+    /// store→load edges between nodes that can only execute on different
+    /// threads are kept only if the aliased object actually escapes.
+    concurrency: Option<(&'a EscapeAnalysis, &'a MhpRelation)>,
+    /// Store→load edges dropped by the concurrency refinement.
+    edges_dropped: usize,
 }
 
 impl<'a> HybridSlicer<'a> {
@@ -68,7 +74,51 @@ impl<'a> HybridSlicer<'a> {
             summaries: HashMap::new(),
             dependents: HashMap::new(),
             work: 0,
+            concurrency: None,
+            edges_dropped: 0,
         }
+    }
+
+    /// Creates a slicer with the concurrency refinement: a store→load
+    /// heap edge whose endpoints can never execute on the same thread is
+    /// real only if the object it travels through escapes; all other
+    /// such edges are dropped. This is strictly a false-positive filter —
+    /// edges between same-thread-possible nodes and edges through
+    /// escaping objects are untouched.
+    pub fn with_concurrency(
+        view: &'a ProgramView<'a>,
+        bounds: SliceBounds,
+        escape: &'a EscapeAnalysis,
+        mhp: &'a MhpRelation,
+    ) -> Self {
+        let mut s = Self::new(view, bounds);
+        s.concurrency = Some((escape, mhp));
+        s
+    }
+
+    /// How many store→load edges the concurrency refinement dropped.
+    pub fn edges_dropped(&self) -> usize {
+        self.edges_dropped
+    }
+
+    /// Is the store→load edge `store_node → load_node`, witnessed by the
+    /// overlap of `base_pts` and `load_pts`, impossible? Only when the
+    /// two statements can never share a thread *and* no overlapping
+    /// abstract object escapes.
+    fn edge_impossible(
+        &self,
+        store_node: CGNodeId,
+        load_node: CGNodeId,
+        base_pts: &BitSet,
+        load_pts: &BitSet,
+    ) -> bool {
+        let Some((esc, mhp)) = self.concurrency else {
+            return false;
+        };
+        if mhp.same_thread_possible(store_node, load_node) {
+            return false;
+        }
+        !base_pts.iter().any(|ik| load_pts.contains(ik) && esc.escapes(ik))
     }
 
     /// Runs the slice from every source and returns the tainted flows.
@@ -167,10 +217,7 @@ impl<'a> HybridSlicer<'a> {
                         run.push(
                             (node, to),
                             fact,
-                            vec![FlowStep {
-                                stmt: StmtNode { node, loc },
-                                kind: StepKind::Local,
-                            }],
+                            vec![FlowStep { stmt: StmtNode { node, loc }, kind: StepKind::Local }],
                         );
                     }
                     Use::Store { loc, base, field } => {
@@ -201,7 +248,16 @@ impl<'a> HybridSlicer<'a> {
                         );
                     }
                     Use::Arg { loc, pos } => {
-                        self.process_arg(run, result, seen_flows, heap_budget, node, loc, pos, fact);
+                        self.process_arg(
+                            run,
+                            result,
+                            seen_flows,
+                            heap_budget,
+                            node,
+                            loc,
+                            pos,
+                            fact,
+                        );
                     }
                     Use::Ret { loc } => {
                         let _ = loc;
@@ -292,6 +348,10 @@ impl<'a> HybridSlicer<'a> {
                 let Some(lbase) = load.base else { continue };
                 let lpts = self.view.local_pts(lnode, lbase);
                 if lpts.intersects(&base_pts) {
+                    if self.edge_impossible(store_node, lnode, &base_pts, &lpts) {
+                        self.edges_dropped += 1;
+                        continue;
+                    }
                     *heap_budget += 1;
                     if self.heap_budget_exhausted(*heap_budget) {
                         result.budget_exhausted = true;
@@ -311,6 +371,10 @@ impl<'a> HybridSlicer<'a> {
             for (inode, iloc, arr, callee) in self.view.invoke_bindings.clone() {
                 let apts = self.view.local_pts(inode, arr);
                 if apts.intersects(&base_pts) {
+                    if self.edge_impossible(store_node, inode, &base_pts, &apts) {
+                        self.edges_dropped += 1;
+                        continue;
+                    }
                     *heap_budget += 1;
                     let callee_method = self.view.pts.callgraph.method_of(callee);
                     let m = self.view.program.method(callee_method);
@@ -391,8 +455,7 @@ impl<'a> HybridSlicer<'a> {
             }
             let entry: Fact = (t, Var((pos + off) as u32));
             let summary = self.summary(entry).clone();
-            let call_step =
-                FlowStep { stmt: call_stmt, kind: StepKind::CallArg };
+            let call_step = FlowStep { stmt: call_stmt, kind: StepKind::CallArg };
             for (st, base, field) in summary.stores {
                 self.process_store(
                     run,
@@ -436,10 +499,7 @@ impl<'a> HybridSlicer<'a> {
                     run.push(
                         (node, d),
                         parent,
-                        vec![
-                            call_step,
-                            FlowStep { stmt: call_stmt, kind: StepKind::ReturnTo },
-                        ],
+                        vec![call_step, FlowStep { stmt: call_stmt, kind: StepKind::ReturnTo }],
                     );
                 }
             }

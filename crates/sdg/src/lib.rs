@@ -25,12 +25,14 @@
 pub mod ci;
 pub mod cs;
 pub mod hybrid;
+pub mod mhp;
 pub mod spec;
 pub mod view;
 
 pub use ci::{CiCache, CiSlicer};
 pub use cs::CsSlicer;
 pub use hybrid::HybridSlicer;
+pub use mhp::MhpRelation;
 pub use spec::{
     CarrierSink, Flow, FlowStep, SliceBounds, SliceError, SliceResult, SliceSpec, StepKind,
     StmtNode,

@@ -167,17 +167,13 @@ impl<'a> ProgramView<'a> {
                 }
             }
         }
-        let mut return_sites: HashMap<CGNodeId, Vec<(CGNodeId, Loc, Option<Var>)>> =
-            HashMap::new();
+        let mut return_sites: HashMap<CGNodeId, Vec<(CGNodeId, Loc, Option<Var>)>> = HashMap::new();
         for e in &pts.callgraph.edges {
             let dst = call_dst_at(program, pts, e.caller, e.loc);
             return_sites.entry(e.callee).or_default().push((e.caller, e.loc, dst));
         }
-        let invoke_bindings = pts
-            .invoke_bindings
-            .iter()
-            .map(|b| (b.caller, b.loc, b.arg_array, b.callee))
-            .collect();
+        let invoke_bindings =
+            pts.invoke_bindings.iter().map(|b| (b.caller, b.loc, b.arg_array, b.callee)).collect();
         ProgramView {
             program,
             pts,
@@ -309,12 +305,7 @@ impl<'a> ProgramView<'a> {
     }
 }
 
-fn call_dst_at(
-    program: &Program,
-    pts: &PointsTo,
-    node: CGNodeId,
-    loc: Loc,
-) -> Option<Var> {
+fn call_dst_at(program: &Program, pts: &PointsTo, node: CGNodeId, loc: Loc) -> Option<Var> {
     let method = pts.callgraph.method_of(node);
     let body = program.method(method).body()?;
     let inst = body.blocks.get(loc.block.index())?.insts.get(loc.idx as usize)?;
@@ -390,10 +381,7 @@ fn build_node_view(
                     });
                 }
                 Inst::Store { base, field, src } => {
-                    add_use(
-                        *src,
-                        Use::Store { loc, base: *base, field: FieldKey::Field(*field) },
-                    );
+                    add_use(*src, Use::Store { loc, base: *base, field: FieldKey::Field(*field) });
                 }
                 Inst::ArrayStore { base, src, .. } => {
                     add_use(*src, Use::Store { loc, base: *base, field: FieldKey::Array });
@@ -421,9 +409,7 @@ fn build_node_view(
                     for &(_, intr) in pts.intrinsics_at(node, loc) {
                         let field_names: &[&str] = match intr {
                             Intrinsic::CollGet => &[jir::expand::fields::ELEMS],
-                            Intrinsic::BuilderToString => {
-                                &[jir::expand::fields::CONTENT]
-                            }
+                            Intrinsic::BuilderToString => &[jir::expand::fields::CONTENT],
                             Intrinsic::MapGet => &[jir::expand::fields::MAP_UNKNOWN],
                             _ => continue,
                         };
@@ -642,11 +628,7 @@ mod tests {
         let spec = default_spec(&p);
         let view = ProgramView::build(&p, &pts, &spec);
         let has_sink = pts.callgraph.iter_nodes().any(|n| {
-            view.node(n)
-                .uses
-                .values()
-                .flatten()
-                .any(|u| matches!(u, Use::SinkArg { .. }))
+            view.node(n).uses.values().flatten().any(|u| matches!(u, Use::SinkArg { .. }))
         });
         assert!(has_sink, "println argument should be a SinkArg");
     }
@@ -667,11 +649,7 @@ mod tests {
         let spec = default_spec(&p);
         let view = ProgramView::build(&p, &pts, &spec);
         let has_sanitized = pts.callgraph.iter_nodes().any(|n| {
-            view.node(n)
-                .uses
-                .values()
-                .flatten()
-                .any(|u| matches!(u, Use::Sanitized { .. }))
+            view.node(n).uses.values().flatten().any(|u| matches!(u, Use::Sanitized { .. }))
         });
         assert!(has_sanitized);
         // And no Flow use may exist at the same statement as the
@@ -687,9 +665,12 @@ mod tests {
                     _ => None,
                 })
                 .collect();
-            let flows_at_sanitizer = view.node(n).uses.values().flatten().any(|u| {
-                matches!(u, Use::Flow { loc, .. } if sanitized_locs.contains(loc))
-            });
+            let flows_at_sanitizer = view
+                .node(n)
+                .uses
+                .values()
+                .flatten()
+                .any(|u| matches!(u, Use::Flow { loc, .. } if sanitized_locs.contains(loc)));
             assert!(!flows_at_sanitizer, "sanitized arg must not also flow");
         }
     }

@@ -81,15 +81,10 @@ fn down_then_up_is_rejected() {
         "#,
     );
     // Also drive Other's entrypoint.
-    let mut program = p;
-    let _ = program; // (entrypoints already synthesized for Main only)
+    let program = p; // (entrypoints already synthesized for Main only)
     let view = ProgramView::build(&program, &pts, &spec);
     let flows = CsSlicer::new(&view, SliceBounds::default()).run().unwrap().flows;
-    assert_eq!(
-        flows.len(),
-        0,
-        "heap fact must not return through the unrelated factory call site"
-    );
+    assert_eq!(flows.len(), 0, "heap fact must not return through the unrelated factory call site");
 }
 
 /// The path-edge budget fails deterministically at the same count.

@@ -93,9 +93,6 @@ fn library_classification_is_queryable_per_step() {
     let flows = HybridSlicer::new(&view, SliceBounds::default()).run().flows;
     // Every step of this flow is in application code ($Entrypoints/Main).
     for step in &flows[0].path {
-        assert!(
-            !view.is_library_stmt(step.stmt),
-            "unexpected library step: {step:?}"
-        );
+        assert!(!view.is_library_stmt(step.stmt), "unexpected library step: {step:?}");
     }
 }

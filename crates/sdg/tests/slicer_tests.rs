@@ -2,9 +2,7 @@
 //! programs engineered to separate their precision/soundness behaviours.
 
 use taj_pointer::{analyze, SolverConfig};
-use taj_sdg::{
-    CiSlicer, CsSlicer, HybridSlicer, ProgramView, SliceBounds, SliceResult, SliceSpec,
-};
+use taj_sdg::{CiSlicer, CsSlicer, HybridSlicer, ProgramView, SliceBounds, SliceResult, SliceSpec};
 
 struct Setup {
     program: jir::Program,

@@ -127,9 +127,7 @@ class {name} extends HttpServlet {{
         } else {
             "        return depth;\n".to_string()
         };
-        out.push_str(&format!(
-            "    method int m{m}(int depth) {{\n{body}{call_next}    }}\n"
-        ));
+        out.push_str(&format!("    method int m{m}(int depth) {{\n{body}{call_next}    }}\n"));
     }
     out.push_str("}\n");
 }
@@ -231,11 +229,8 @@ mod tests {
     #[test]
     fn standard_mix_covers_thread_request() {
         let mix = standard_mix(10, 2, false);
-        let threads: usize = mix
-            .iter()
-            .filter(|(p, _)| *p == Pattern::ThreadShared)
-            .map(|&(_, n)| n)
-            .sum();
+        let threads: usize =
+            mix.iter().filter(|(p, _)| *p == Pattern::ThreadShared).map(|&(_, n)| n).sum();
         assert_eq!(threads, 2);
     }
 }

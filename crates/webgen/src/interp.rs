@@ -8,9 +8,16 @@
 //! flows.
 //!
 //! The interpreter runs on the *unexpanded* IR (container intrinsics are
-//! executed with real maps/lists), threads execute synchronously at
-//! `start()`, loops and calls are bounded by a global step budget, and
-//! exceptions unwind to the innermost handler.
+//! executed with real maps/lists), loops and calls are bounded by a
+//! global step budget, and exceptions unwind to the innermost handler.
+//!
+//! Threads execute **interleaved-serially**: each spawned runnable's
+//! `run()` body executes once synchronously at `start()` (the
+//! spawn-before-read interleaving) and once more after the entrypoint
+//! returns (the read-before-spawn interleaving). Together the two passes
+//! observe every cross-thread flow that a single serial schedule would
+//! miss, which is what lets the dynamic oracle confirm the inter-thread
+//! flows of the multithreaded presets.
 
 use std::collections::HashMap;
 
@@ -48,7 +55,10 @@ enum Value {
     Null,
     Int(i64),
     Bool(bool),
-    Str { text: String, taint: bool },
+    Str {
+        text: String,
+        taint: bool,
+    },
     Ref(usize),
     ClassV(ClassId),
     /// Reflective method handle; the class is retained for Debug output
@@ -101,10 +111,25 @@ pub fn run_program(program: &Program, config: InterpConfig) -> Vec<DynHit> {
         sinks: sink_methods(program),
         sources: source_methods(program),
         sanitizers: sanitizer_methods(program),
+        pending_runnables: Vec::new(),
     };
     for &entry in &program.entrypoints {
         // Fresh heap per entrypoint: entries are independent requests.
         let _ = interp.call_method(entry, None, &[], 0);
+        // Second serial pass: re-run every thread spawned by this entry
+        // against the post-entry heap, so writes the entry performed
+        // *after* `start()` are visible to the spawned body (and vice
+        // versa via the first, synchronous pass). Threads spawned by
+        // spawned threads join the same queue; the pass is bounded by
+        // the global step budget.
+        let mut reruns = 0usize;
+        while let Some((recv, run)) = interp.pending_runnables.pop() {
+            reruns += 1;
+            if reruns > 1_000 {
+                break; // runaway spawn loop; the step budget also guards
+            }
+            let _ = interp.call_method(run, Some(recv), &[], 0);
+        }
     }
     let mut hits = interp.hits;
     hits.dedup();
@@ -173,6 +198,9 @@ struct Interp<'p> {
     sinks: Vec<MethodId>,
     sources: Vec<MethodId>,
     sanitizers: Vec<MethodId>,
+    /// Spawned runnables awaiting their second, post-entry run (the
+    /// "interleaved-serial" schedule — see [`run_program`]).
+    pending_runnables: Vec<(Value, MethodId)>,
 }
 
 impl<'p> Interp<'p> {
@@ -268,14 +296,10 @@ impl<'p> Interp<'p> {
             if let Some(t) = thrown {
                 // Unwind to this block's handler, or out of the method.
                 if let Some(h) = b.handler {
-                    if let Some(bind) = body.blocks[h.index()]
-                        .insts
-                        .iter()
-                        .find_map(|i| match i {
-                            Inst::CatchBind { dst, .. } => Some(*dst),
-                            _ => None,
-                        })
-                    {
+                    if let Some(bind) = body.blocks[h.index()].insts.iter().find_map(|i| match i {
+                        Inst::CatchBind { dst, .. } => Some(*dst),
+                        _ => None,
+                    }) {
                         locals[bind.index()] = t.0.clone();
                     }
                     prev = Some(block);
@@ -302,10 +326,8 @@ impl<'p> Interp<'p> {
                 Terminator::Throw(v) => {
                     let val = locals[v.index()].clone();
                     if let Some(h) = b.handler {
-                        if let Some(bind) = body.blocks[h.index()]
-                            .insts
-                            .iter()
-                            .find_map(|i| match i {
+                        if let Some(bind) =
+                            body.blocks[h.index()].insts.iter().find_map(|i| match i {
                                 Inst::CatchBind { dst, .. } => Some(*dst),
                                 _ => None,
                             })
@@ -385,8 +407,7 @@ impl<'p> Interp<'p> {
                 }
             }
             Inst::StaticLoad { dst, field } => {
-                locals[dst.index()] =
-                    self.statics.get(field).cloned().unwrap_or(Value::Null);
+                locals[dst.index()] = self.statics.get(field).cloned().unwrap_or(Value::Null);
             }
             Inst::StaticStore { field, src } => {
                 let v = locals[src.index()].clone();
@@ -397,8 +418,7 @@ impl<'p> Interp<'p> {
                     let i = index
                         .map(|iv| self.as_int(&locals[iv.index()]).max(0) as usize)
                         .unwrap_or(0);
-                    locals[dst.index()] =
-                        self.heap[r].elems.get(i).cloned().unwrap_or(Value::Null);
+                    locals[dst.index()] = self.heap[r].elems.get(i).cloned().unwrap_or(Value::Null);
                 } else {
                     locals[dst.index()] = Value::Null;
                 }
@@ -416,8 +436,7 @@ impl<'p> Interp<'p> {
                 }
             }
             Inst::Binary { dst, op, lhs, rhs } => {
-                locals[dst.index()] =
-                    self.binop(*op, &locals[lhs.index()], &locals[rhs.index()]);
+                locals[dst.index()] = self.binop(*op, &locals[lhs.index()], &locals[rhs.index()]);
             }
             Inst::Phi { dst, srcs } => {
                 if let Some(p) = prev {
@@ -434,8 +453,7 @@ impl<'p> Interp<'p> {
             Inst::CatchBind { .. } => {} // bound during unwinding
             Inst::Call { dst, target, recv, args } => {
                 let recv_v = recv.map(|r| locals[r.index()].clone());
-                let args_v: Vec<Value> =
-                    args.iter().map(|a| locals[a.index()].clone()).collect();
+                let args_v: Vec<Value> = args.iter().map(|a| locals[a.index()].clone()).collect();
                 let result = self.dispatch(method, target, recv_v, &args_v, depth)?;
                 if let Some(d) = dst {
                     locals[d.index()] = result;
@@ -506,9 +524,9 @@ impl<'p> Interp<'p> {
         let callee = match target {
             CallTarget::Static(m) | CallTarget::Special(m) => Some(*m),
             CallTarget::Virtual(sel) => match &recv {
-                Some(Value::Ref(r)) => self.heap[*r]
-                    .class
-                    .and_then(|c| self.program.resolve_virtual(c, *sel)),
+                Some(Value::Ref(r)) => {
+                    self.heap[*r].class.and_then(|c| self.program.resolve_virtual(c, *sel))
+                }
                 Some(Value::ClassV(_)) => self
                     .program
                     .class_by_name("Class")
@@ -542,10 +560,8 @@ impl<'p> Interp<'p> {
         }
         // Sanitizer: return a clean copy.
         if self.sanitizers.contains(&callee) {
-            let (t, _) = args
-                .first()
-                .map(|a| self.to_text(a))
-                .unwrap_or_else(|| ("".into(), false));
+            let (t, _) =
+                args.first().map(|a| self.to_text(a)).unwrap_or_else(|| ("".into(), false));
             return Ok(Value::Str { text: t, taint: false });
         }
         // Source: fresh tainted value.
@@ -600,13 +616,9 @@ impl<'p> Interp<'p> {
                 let r = self.alloc(Some(c));
                 Ok(Value::Ref(r))
             }
-            Intrinsic::ReturnReceiver | Intrinsic::IterAlias => {
-                Ok(recv.unwrap_or(Value::Null))
-            }
+            Intrinsic::ReturnReceiver | Intrinsic::IterAlias => Ok(recv.unwrap_or(Value::Null)),
             Intrinsic::MapPut => {
-                if let (Some(Value::Ref(r)), Some(k), Some(v)) =
-                    (recv, args.first(), args.get(1))
-                {
+                if let (Some(Value::Ref(r)), Some(k), Some(v)) = (recv, args.first(), args.get(1)) {
                     let (key, _) = self.to_text(k);
                     self.heap[r].map.insert(key, v.clone());
                 }
@@ -718,18 +730,17 @@ impl<'p> Interp<'p> {
                 Ok(Value::Null)
             }
             Intrinsic::ThreadStart => {
-                // Execute the spawned thread synchronously: one concrete
-                // interleaving in which the cross-thread flow manifests.
+                // First interleaving: execute the spawned thread
+                // synchronously at the spawn point. The runnable is also
+                // queued for a second run after the entrypoint returns
+                // (see `run_program`), covering interleavings where the
+                // spawner keeps mutating shared state after `start()`.
                 if let Some(Value::Ref(r)) = &recv {
                     if let Some(c) = self.heap[*r].class {
                         if let Some(sel) = self.program.find_selector("run", 0) {
                             if let Some(run) = self.program.resolve_virtual(c, sel) {
-                                return match self.call_method(
-                                    run,
-                                    recv.clone(),
-                                    &[],
-                                    depth + 1,
-                                ) {
+                                self.pending_runnables.push((Value::Ref(*r), run));
+                                return match self.call_method(run, recv.clone(), &[], depth + 1) {
                                     Flow::Normal(_) => Ok(Value::Null),
                                     Flow::Thrown(t) => Err(t),
                                 };
@@ -760,40 +771,102 @@ mod tests {
 
     #[test]
     fn direct_flow_observed() {
-        let hits = run(
-            r#"
+        let hits = run(r#"
             class Page extends HttpServlet {
                 method void doGet(HttpServletRequest req, HttpServletResponse resp) {
                     String v = req.getParameter("q");
                     resp.getWriter().println(v);
                 }
             }
-            "#,
-        );
+            "#);
         assert_eq!(hits.len(), 1, "{hits:?}");
         assert_eq!(hits[0].sink_method, "println");
         assert_eq!(hits[0].caller_class, "Page");
     }
 
     #[test]
+    fn spawned_thread_flow_observed_at_start() {
+        // Write before spawn, read inside the spawned body: the first
+        // (synchronous-at-start) pass observes it.
+        let hits = run(r#"
+            class Shared { field String v; ctor () { } }
+            class Worker implements Runnable {
+                field Shared s;
+                field PrintWriter w;
+                ctor (Shared s, PrintWriter w) { this.s = s; this.w = w; }
+                method void run() {
+                    Shared sh = this.s;
+                    String x = sh.v;
+                    PrintWriter pw = this.w;
+                    pw.println(x);
+                }
+            }
+            class Page extends HttpServlet {
+                method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                    Shared s = new Shared();
+                    s.v = req.getParameter("q");
+                    Worker k = new Worker(s, resp.getWriter());
+                    Thread t = new Thread(k);
+                    t.start();
+                }
+            }
+            "#);
+        assert!(
+            hits.iter().any(|h| h.sink_method == "println" && h.caller_class == "Worker"),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn spawned_thread_rerun_sees_post_start_writes() {
+        // The spawner taints the shared object only AFTER start(): the
+        // synchronous first pass reads a clean value, so only the second
+        // (post-entry) serial pass can observe the flow.
+        let hits = run(r#"
+            class Shared { field String v; ctor () { } }
+            class Worker implements Runnable {
+                field Shared s;
+                field PrintWriter w;
+                ctor (Shared s, PrintWriter w) { this.s = s; this.w = w; }
+                method void run() {
+                    Shared sh = this.s;
+                    String x = sh.v;
+                    PrintWriter pw = this.w;
+                    pw.println(x);
+                }
+            }
+            class Page extends HttpServlet {
+                method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                    Shared s = new Shared();
+                    Worker k = new Worker(s, resp.getWriter());
+                    Thread t = new Thread(k);
+                    t.start();
+                    s.v = req.getParameter("q");
+                }
+            }
+            "#);
+        assert!(
+            hits.iter().any(|h| h.sink_method == "println" && h.caller_class == "Worker"),
+            "the interleaved-serial second pass must observe the flow: {hits:?}"
+        );
+    }
+
+    #[test]
     fn sanitized_flow_not_observed() {
-        let hits = run(
-            r#"
+        let hits = run(r#"
             class Page extends HttpServlet {
                 method void doGet(HttpServletRequest req, HttpServletResponse resp) {
                     String v = URLEncoder.encode(req.getParameter("q"));
                     resp.getWriter().println(v);
                 }
             }
-            "#,
-        );
+            "#);
         assert!(hits.is_empty(), "{hits:?}");
     }
 
     #[test]
     fn map_keys_are_concrete() {
-        let hits = run(
-            r#"
+        let hits = run(r#"
             class Page extends HttpServlet {
                 method void doGet(HttpServletRequest req, HttpServletResponse resp) {
                     HashMap m = new HashMap();
@@ -802,15 +875,13 @@ mod tests {
                     resp.getWriter().println(m.get("b"));
                 }
             }
-            "#,
-        );
+            "#);
         assert!(hits.is_empty(), "reading key b must be clean: {hits:?}");
     }
 
     #[test]
     fn reflection_executes() {
-        let hits = run(
-            r#"
+        let hits = run(r#"
             class Target {
                 method String id(String x) { return x; }
             }
@@ -823,15 +894,13 @@ mod tests {
                     resp.getWriter().println(r);
                 }
             }
-            "#,
-        );
+            "#);
         assert_eq!(hits.len(), 1, "{hits:?}");
     }
 
     #[test]
     fn thread_flow_manifests() {
-        let hits = run(
-            r#"
+        let hits = run(r#"
             class Shared { field String v; ctor () { } }
             class Worker implements Runnable {
                 field Shared s;
@@ -851,15 +920,13 @@ mod tests {
                     resp.getWriter().println(s.v);
                 }
             }
-            "#,
-        );
+            "#);
         assert_eq!(hits.len(), 1, "cross-thread flow must manifest: {hits:?}");
     }
 
     #[test]
     fn exception_leak_observed() {
-        let hits = run(
-            r#"
+        let hits = run(r#"
             class Page extends HttpServlet {
                 method void doGet(HttpServletRequest req, HttpServletResponse resp) {
                     PrintWriter w = resp.getWriter();
@@ -867,15 +934,13 @@ mod tests {
                 }
                 method void boom() { throw new RuntimeException("secret"); }
             }
-            "#,
-        );
+            "#);
         assert_eq!(hits.len(), 1, "printing the exception leaks: {hits:?}");
     }
 
     #[test]
     fn loops_terminate() {
-        let hits = run(
-            r#"
+        let hits = run(r#"
             class Page extends HttpServlet {
                 method void doGet(HttpServletRequest req, HttpServletResponse resp) {
                     int i = 0;
@@ -883,8 +948,7 @@ mod tests {
                     resp.getWriter().println(req.getParameter("q"));
                 }
             }
-            "#,
-        );
+            "#);
         // The loop guard abandons the hot loop; the run still terminates.
         let _ = hits;
     }

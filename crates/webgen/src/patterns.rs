@@ -504,7 +504,10 @@ class {p}Page extends HttpServlet {{
 }}
 "#
             ));
-            truth.add_vulnerable(format!("{p}Page"), IssueType::Xss);
+            // The real flow crosses the spawned thread: record it in the
+            // cross-thread subset so harnesses can check which configs
+            // recover it.
+            truth.add_cross_thread(format!("{p}Page"), IssueType::Xss);
         }
         Pattern::SessionAttr => {
             out.push_str(&format!(

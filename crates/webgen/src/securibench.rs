@@ -62,18 +62,9 @@ impl CaseBuilder {
         } else {
             truth.add_benign(name, IssueType::Xss);
         }
-        let expected_false_alarms = if false_alarm {
-            vec![(name.to_string(), IssueType::Xss)]
-        } else {
-            vec![]
-        };
-        self.cases.push(SecuriCase {
-            name,
-            category,
-            source,
-            truth,
-            expected_false_alarms,
-        });
+        let expected_false_alarms =
+            if false_alarm { vec![(name.to_string(), IssueType::Xss)] } else { vec![] };
+        self.cases.push(SecuriCase { name, category, source, truth, expected_false_alarms });
     }
 }
 

@@ -147,8 +147,7 @@ mod tests {
         let p = presets();
         let grid = p.iter().find(|b| b.name == "GridSphere").unwrap();
         assert!(
-            grid.spec(Scale::quick()).filler_classes
-                < grid.spec(Scale::standard()).filler_classes
+            grid.spec(Scale::quick()).filler_classes < grid.spec(Scale::standard()).filler_classes
         );
     }
 }

@@ -34,8 +34,7 @@ fn standard_scale_sizes_track_paper_order() {
     assert!(get("GridSphere") > get("Webgoat"));
     assert!(get("Webgoat") > get("BlueBlog"));
     assert!(get("ST") > get("I"));
-    let (largest, _) =
-        sizes.iter().max_by_key(|(_, m)| *m).unwrap();
+    let (largest, _) = sizes.iter().max_by_key(|(_, m)| *m).unwrap();
     assert!(
         largest == "GridSphere" || largest == "ST",
         "paper's giants stay the giants, got {largest}"

@@ -17,18 +17,9 @@ fn main() -> Result<(), taj::TajError> {
     let program = motivating();
     println!("—— Figure 1 program ——\n{}\n", program.source.trim());
 
-    for config in [
-        TajConfig::hybrid_unbounded(),
-        TajConfig::cs_thin(),
-        TajConfig::ci_thin(),
-    ] {
-        let report =
-            analyze_source(&program.source, None, RuleSet::default_rules(), &config)?;
-        println!(
-            "{:<18} reports {} issue(s):",
-            config.name,
-            report.issue_count()
-        );
+    for config in [TajConfig::hybrid_unbounded(), TajConfig::cs_thin(), TajConfig::ci_thin()] {
+        let report = analyze_source(&program.source, None, RuleSet::default_rules(), &config)?;
+        println!("{:<18} reports {} issue(s):", config.name, report.issue_count());
         for f in &report.findings {
             println!(
                 "    [{}] {} → {} in {} (flow length {}, {} heap hops)",

@@ -26,12 +26,8 @@ fn main() -> Result<(), taj::TajError> {
         }
     "#;
 
-    let report = analyze_source(
-        source,
-        None,
-        RuleSet::default_rules(),
-        &TajConfig::hybrid_unbounded(),
-    )?;
+    let report =
+        analyze_source(source, None, RuleSet::default_rules(), &TajConfig::hybrid_unbounded())?;
 
     println!("TAJ found {} issue(s):\n", report.issue_count());
     for (i, finding) in report.findings.iter().enumerate() {

@@ -37,12 +37,8 @@ fn main() -> Result<(), taj::TajError> {
         }
     "#;
 
-    let report = analyze_source(
-        source,
-        None,
-        RuleSet::default_rules(),
-        &TajConfig::hybrid_unbounded(),
-    )?;
+    let report =
+        analyze_source(source, None, RuleSet::default_rules(), &TajConfig::hybrid_unbounded())?;
 
     println!("raw source→sink flows : {}", report.flows.len());
     println!("deduplicated findings : {}\n", report.issue_count());

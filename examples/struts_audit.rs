@@ -46,12 +46,8 @@ fn main() -> Result<(), taj::TajError> {
         }
     "#;
 
-    let report = analyze_source(
-        source,
-        None,
-        RuleSet::default_rules(),
-        &TajConfig::hybrid_unbounded(),
-    )?;
+    let report =
+        analyze_source(source, None, RuleSet::default_rules(), &TajConfig::hybrid_unbounded())?;
 
     println!("Struts audit: {} issue(s) found.\n", report.issue_count());
     for f in &report.findings {

@@ -1,7 +1,7 @@
 //! `taj` — command-line front door to the analysis.
 //!
 //! ```text
-//! taj analyze <file.jweb> [--config NAME] [--json] [--flows] [--ir]
+//! taj analyze <file.jweb> [--config NAME] [--json] [--flows] [--concurrency] [--ir]
 //! taj configs
 //! taj demo
 //! ```
@@ -26,15 +26,12 @@ fn main() -> ExitCode {
                 &demo.source,
                 RuleSet::default_rules(),
                 &TajConfig::hybrid_unbounded(),
-                false,
-                false,
-                true,
-                false,
+                &OutputOpts { flows: true, ..OutputOpts::default() },
             )
         }
         _ => {
             eprintln!(
-            "usage: taj analyze <file.jweb> [--config NAME] [--rules FILE] [--json] [--sarif] [--flows] [--ir]"
+            "usage: taj analyze <file.jweb> [--config NAME] [--rules FILE] [--json] [--sarif] [--flows] [--concurrency] [--ir]"
         );
             eprintln!("       taj configs          list configuration names");
             eprintln!("       taj demo             analyze the paper's Figure 1 program");
@@ -67,13 +64,13 @@ fn analyze_cmd(args: &[String]) -> ExitCode {
         "optimized" => TajConfig::hybrid_optimized(),
         "cs" => TajConfig::cs_thin(),
         "ci" => TajConfig::ci_thin(),
+        "cs_escape" | "cs-escape" | "escape" => TajConfig::cs_escape(),
         other => {
             eprintln!("error: unknown config `{other}` (see `taj configs`)");
             return ExitCode::FAILURE;
         }
     };
-    let rules = match args.iter().position(|a| a == "--rules").and_then(|i| args.get(i + 1))
-    {
+    let rules = match args.iter().position(|a| a == "--rules").and_then(|i| args.get(i + 1)) {
         Some(path) => {
             let text = match std::fs::read_to_string(path) {
                 Ok(t) => t,
@@ -92,23 +89,28 @@ fn analyze_cmd(args: &[String]) -> ExitCode {
         }
         None => RuleSet::default_rules(),
     };
-    let json = args.iter().any(|a| a == "--json");
-    let sarif = args.iter().any(|a| a == "--sarif");
-    let flows = args.iter().any(|a| a == "--flows");
-    let ir = args.iter().any(|a| a == "--ir");
-    run_analysis(&source, rules, &config, json, sarif, flows, ir)
+    let opts = OutputOpts {
+        json: args.iter().any(|a| a == "--json"),
+        sarif: args.iter().any(|a| a == "--sarif"),
+        flows: args.iter().any(|a| a == "--flows"),
+        concurrency: args.iter().any(|a| a == "--concurrency"),
+        ir: args.iter().any(|a| a == "--ir"),
+    };
+    run_analysis(&source, rules, &config, &opts)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_analysis(
-    source: &str,
-    rules: RuleSet,
-    config: &TajConfig,
+/// Output selection for `run_analysis`.
+#[derive(Default)]
+struct OutputOpts {
     json: bool,
     sarif: bool,
     flows: bool,
+    concurrency: bool,
     ir: bool,
-) -> ExitCode {
+}
+
+fn run_analysis(source: &str, rules: RuleSet, config: &TajConfig, opts: &OutputOpts) -> ExitCode {
+    let &OutputOpts { json, sarif, flows, concurrency, ir } = opts;
     if ir {
         match jir::frontend::build_program(source) {
             Ok(program) => print!("{}", jir::pretty::program_to_string(&program)),
@@ -167,6 +169,10 @@ fn run_analysis(
                             fl.heap_transitions
                         );
                     }
+                }
+                if concurrency {
+                    println!();
+                    print!("{}", taj::core::concurrency_text(&report));
                 }
             }
             if report.issue_count() > 0 {

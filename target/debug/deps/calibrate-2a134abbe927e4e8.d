@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-2a134abbe927e4e8.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-2a134abbe927e4e8: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-9d4fefcd7259b1f9.d: tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-9d4fefcd7259b1f9: tests/concurrency.rs
+
+tests/concurrency.rs:

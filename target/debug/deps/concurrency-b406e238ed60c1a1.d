@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency-b406e238ed60c1a1.d: tests/concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency-b406e238ed60c1a1.rmeta: tests/concurrency.rs Cargo.toml
+
+tests/concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

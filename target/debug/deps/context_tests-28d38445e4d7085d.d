@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/context_tests-28d38445e4d7085d.d: crates/pointer/tests/context_tests.rs
+
+/root/repo/target/debug/deps/context_tests-28d38445e4d7085d: crates/pointer/tests/context_tests.rs
+
+crates/pointer/tests/context_tests.rs:

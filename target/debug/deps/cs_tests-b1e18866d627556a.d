@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cs_tests-b1e18866d627556a.d: crates/sdg/tests/cs_tests.rs
+
+/root/repo/target/debug/deps/cs_tests-b1e18866d627556a: crates/sdg/tests/cs_tests.rs
+
+crates/sdg/tests/cs_tests.rs:

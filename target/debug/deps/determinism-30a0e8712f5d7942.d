@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-30a0e8712f5d7942.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-30a0e8712f5d7942.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

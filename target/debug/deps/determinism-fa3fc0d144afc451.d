@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-fa3fc0d144afc451.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-fa3fc0d144afc451: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynamic_soundness-05bddacd2aa6af80.d: tests/dynamic_soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamic_soundness-05bddacd2aa6af80.rmeta: tests/dynamic_soundness.rs Cargo.toml
+
+tests/dynamic_soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

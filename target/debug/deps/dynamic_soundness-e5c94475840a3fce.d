@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_soundness-e5c94475840a3fce.d: tests/dynamic_soundness.rs
+
+/root/repo/target/debug/deps/dynamic_soundness-e5c94475840a3fce: tests/dynamic_soundness.rs
+
+tests/dynamic_soundness.rs:

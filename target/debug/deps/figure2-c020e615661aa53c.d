@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-c020e615661aa53c.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-c020e615661aa53c: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4-2292b5b8e3ddf01d.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/debug/deps/figure4-2292b5b8e3ddf01d: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frontend_tests-d76b54c44821f866.d: crates/jir/tests/frontend_tests.rs
+
+/root/repo/target/debug/deps/frontend_tests-d76b54c44821f866: crates/jir/tests/frontend_tests.rs
+
+crates/jir/tests/frontend_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generation_tests-53dc512694ff8d5d.d: crates/webgen/tests/generation_tests.rs
+
+/root/repo/target/debug/deps/generation_tests-53dc512694ff8d5d: crates/webgen/tests/generation_tests.rs
+
+crates/webgen/tests/generation_tests.rs:

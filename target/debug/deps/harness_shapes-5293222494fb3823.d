@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness_shapes-5293222494fb3823.d: tests/harness_shapes.rs
+
+/root/repo/target/debug/deps/harness_shapes-5293222494fb3823: tests/harness_shapes.rs
+
+tests/harness_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harness_shapes-cac4500c7f65b3db.d: tests/harness_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharness_shapes-cac4500c7f65b3db.rmeta: tests/harness_shapes.rs Cargo.toml
+
+tests/harness_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

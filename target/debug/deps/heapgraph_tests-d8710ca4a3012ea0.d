@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heapgraph_tests-d8710ca4a3012ea0.d: crates/pointer/tests/heapgraph_tests.rs
+
+/root/repo/target/debug/deps/heapgraph_tests-d8710ca4a3012ea0: crates/pointer/tests/heapgraph_tests.rs
+
+crates/pointer/tests/heapgraph_tests.rs:

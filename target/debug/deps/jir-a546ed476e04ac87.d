@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/jir-a546ed476e04ac87.d: crates/jir/src/lib.rs crates/jir/src/ast.rs crates/jir/src/cfg.rs crates/jir/src/class.rs crates/jir/src/constprop.rs crates/jir/src/dom.rs crates/jir/src/expand.rs crates/jir/src/inst.rs crates/jir/src/lexer.rs crates/jir/src/lower.rs crates/jir/src/method.rs crates/jir/src/parser.rs crates/jir/src/pretty.rs crates/jir/src/program.rs crates/jir/src/ssa.rs crates/jir/src/stdlib.rs crates/jir/src/types.rs crates/jir/src/util.rs crates/jir/src/validate.rs
+
+/root/repo/target/debug/deps/libjir-a546ed476e04ac87.rlib: crates/jir/src/lib.rs crates/jir/src/ast.rs crates/jir/src/cfg.rs crates/jir/src/class.rs crates/jir/src/constprop.rs crates/jir/src/dom.rs crates/jir/src/expand.rs crates/jir/src/inst.rs crates/jir/src/lexer.rs crates/jir/src/lower.rs crates/jir/src/method.rs crates/jir/src/parser.rs crates/jir/src/pretty.rs crates/jir/src/program.rs crates/jir/src/ssa.rs crates/jir/src/stdlib.rs crates/jir/src/types.rs crates/jir/src/util.rs crates/jir/src/validate.rs
+
+/root/repo/target/debug/deps/libjir-a546ed476e04ac87.rmeta: crates/jir/src/lib.rs crates/jir/src/ast.rs crates/jir/src/cfg.rs crates/jir/src/class.rs crates/jir/src/constprop.rs crates/jir/src/dom.rs crates/jir/src/expand.rs crates/jir/src/inst.rs crates/jir/src/lexer.rs crates/jir/src/lower.rs crates/jir/src/method.rs crates/jir/src/parser.rs crates/jir/src/pretty.rs crates/jir/src/program.rs crates/jir/src/ssa.rs crates/jir/src/stdlib.rs crates/jir/src/types.rs crates/jir/src/util.rs crates/jir/src/validate.rs
+
+crates/jir/src/lib.rs:
+crates/jir/src/ast.rs:
+crates/jir/src/cfg.rs:
+crates/jir/src/class.rs:
+crates/jir/src/constprop.rs:
+crates/jir/src/dom.rs:
+crates/jir/src/expand.rs:
+crates/jir/src/inst.rs:
+crates/jir/src/lexer.rs:
+crates/jir/src/lower.rs:
+crates/jir/src/method.rs:
+crates/jir/src/parser.rs:
+crates/jir/src/pretty.rs:
+crates/jir/src/program.rs:
+crates/jir/src/ssa.rs:
+crates/jir/src/stdlib.rs:
+crates/jir/src/types.rs:
+crates/jir/src/util.rs:
+crates/jir/src/validate.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/jir-fce5e26e0be7ff58.d: crates/jir/src/lib.rs crates/jir/src/ast.rs crates/jir/src/cfg.rs crates/jir/src/class.rs crates/jir/src/constprop.rs crates/jir/src/dom.rs crates/jir/src/expand.rs crates/jir/src/inst.rs crates/jir/src/lexer.rs crates/jir/src/lower.rs crates/jir/src/method.rs crates/jir/src/parser.rs crates/jir/src/pretty.rs crates/jir/src/program.rs crates/jir/src/ssa.rs crates/jir/src/stdlib.rs crates/jir/src/types.rs crates/jir/src/util.rs crates/jir/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjir-fce5e26e0be7ff58.rmeta: crates/jir/src/lib.rs crates/jir/src/ast.rs crates/jir/src/cfg.rs crates/jir/src/class.rs crates/jir/src/constprop.rs crates/jir/src/dom.rs crates/jir/src/expand.rs crates/jir/src/inst.rs crates/jir/src/lexer.rs crates/jir/src/lower.rs crates/jir/src/method.rs crates/jir/src/parser.rs crates/jir/src/pretty.rs crates/jir/src/program.rs crates/jir/src/ssa.rs crates/jir/src/stdlib.rs crates/jir/src/types.rs crates/jir/src/util.rs crates/jir/src/validate.rs Cargo.toml
+
+crates/jir/src/lib.rs:
+crates/jir/src/ast.rs:
+crates/jir/src/cfg.rs:
+crates/jir/src/class.rs:
+crates/jir/src/constprop.rs:
+crates/jir/src/dom.rs:
+crates/jir/src/expand.rs:
+crates/jir/src/inst.rs:
+crates/jir/src/lexer.rs:
+crates/jir/src/lower.rs:
+crates/jir/src/method.rs:
+crates/jir/src/parser.rs:
+crates/jir/src/pretty.rs:
+crates/jir/src/program.rs:
+crates/jir/src/ssa.rs:
+crates/jir/src/stdlib.rs:
+crates/jir/src/types.rs:
+crates/jir/src/util.rs:
+crates/jir/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

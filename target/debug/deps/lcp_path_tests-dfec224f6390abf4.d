@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lcp_path_tests-dfec224f6390abf4.d: crates/sdg/tests/lcp_path_tests.rs
+
+/root/repo/target/debug/deps/lcp_path_tests-dfec224f6390abf4: crates/sdg/tests/lcp_path_tests.rs
+
+crates/sdg/tests/lcp_path_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_suite-63fc5bf7156ec84f.d: tests/micro_suite.rs
+
+/root/repo/target/debug/deps/micro_suite-63fc5bf7156ec84f: tests/micro_suite.rs
+
+tests/micro_suite.rs:

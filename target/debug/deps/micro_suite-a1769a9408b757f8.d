@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_suite-a1769a9408b757f8.d: tests/micro_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_suite-a1769a9408b757f8.rmeta: tests/micro_suite.rs Cargo.toml
+
+tests/micro_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/modeling_features-c5481d793137386e.d: tests/modeling_features.rs
+
+/root/repo/target/debug/deps/modeling_features-c5481d793137386e: tests/modeling_features.rs
+
+tests/modeling_features.rs:

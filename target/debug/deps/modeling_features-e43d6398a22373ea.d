@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/modeling_features-e43d6398a22373ea.d: tests/modeling_features.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodeling_features-e43d6398a22373ea.rmeta: tests/modeling_features.rs Cargo.toml
+
+tests/modeling_features.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/motivating-149bf23e6454b84c.d: tests/motivating.rs
+
+/root/repo/target/debug/deps/motivating-149bf23e6454b84c: tests/motivating.rs
+
+tests/motivating.rs:

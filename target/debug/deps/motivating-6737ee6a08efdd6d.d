@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/motivating-6737ee6a08efdd6d.d: tests/motivating.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmotivating-6737ee6a08efdd6d.rmeta: tests/motivating.rs Cargo.toml
+
+tests/motivating.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_end2end-5a124a3c8a378310.d: tests/proptest_end2end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_end2end-5a124a3c8a378310.rmeta: tests/proptest_end2end.rs Cargo.toml
+
+tests/proptest_end2end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_end2end-7f65f88841576c17.d: tests/proptest_end2end.rs
+
+/root/repo/target/debug/deps/proptest_end2end-7f65f88841576c17: tests/proptest_end2end.rs
+
+tests/proptest_end2end.rs:

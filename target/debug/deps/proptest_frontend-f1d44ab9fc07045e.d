@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_frontend-f1d44ab9fc07045e.d: crates/jir/tests/proptest_frontend.rs
+
+/root/repo/target/debug/deps/proptest_frontend-f1d44ab9fc07045e: crates/jir/tests/proptest_frontend.rs
+
+crates/jir/tests/proptest_frontend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_ssa-98b2124cd6d57c48.d: crates/jir/tests/proptest_ssa.rs
+
+/root/repo/target/debug/deps/proptest_ssa-98b2124cd6d57c48: crates/jir/tests/proptest_ssa.rs
+
+crates/jir/tests/proptest_ssa.rs:

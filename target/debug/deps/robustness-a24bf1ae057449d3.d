@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-a24bf1ae057449d3.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-a24bf1ae057449d3: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-b0ef1161efe7d29d.d: tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-b0ef1161efe7d29d.rmeta: tests/robustness.rs Cargo.toml
+
+tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/securibench-81333d0840d6e85a.d: tests/securibench.rs
+
+/root/repo/target/debug/deps/securibench-81333d0840d6e85a: tests/securibench.rs
+
+tests/securibench.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/securibench-ee59ed96b7612996.d: tests/securibench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecuribench-ee59ed96b7612996.rmeta: tests/securibench.rs Cargo.toml
+
+tests/securibench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

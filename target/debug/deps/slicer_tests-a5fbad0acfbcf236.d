@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slicer_tests-a5fbad0acfbcf236.d: crates/sdg/tests/slicer_tests.rs
+
+/root/repo/target/debug/deps/slicer_tests-a5fbad0acfbcf236: crates/sdg/tests/slicer_tests.rs
+
+crates/sdg/tests/slicer_tests.rs:

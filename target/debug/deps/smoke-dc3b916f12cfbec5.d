@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-dc3b916f12cfbec5.d: crates/bench/src/bin/smoke.rs
+
+/root/repo/target/debug/deps/smoke-dc3b916f12cfbec5: crates/bench/src/bin/smoke.rs
+
+crates/bench/src/bin/smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_tests-fdaaedfd41a436ad.d: crates/pointer/tests/solver_tests.rs
+
+/root/repo/target/debug/deps/solver_tests-fdaaedfd41a436ad: crates/pointer/tests/solver_tests.rs
+
+crates/pointer/tests/solver_tests.rs:

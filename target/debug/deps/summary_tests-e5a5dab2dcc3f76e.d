@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary_tests-e5a5dab2dcc3f76e.d: crates/sdg/tests/summary_tests.rs
+
+/root/repo/target/debug/deps/summary_tests-e5a5dab2dcc3f76e: crates/sdg/tests/summary_tests.rs
+
+crates/sdg/tests/summary_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-c503d98e5554ed48.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-c503d98e5554ed48: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

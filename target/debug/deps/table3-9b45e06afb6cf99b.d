@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-9b45e06afb6cf99b.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-9b45e06afb6cf99b: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/taj-034f1ba58867fb8d.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtaj-034f1ba58867fb8d.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

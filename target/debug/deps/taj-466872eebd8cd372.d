@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/taj-466872eebd8cd372.d: src/main.rs
+
+/root/repo/target/debug/deps/taj-466872eebd8cd372: src/main.rs
+
+src/main.rs:

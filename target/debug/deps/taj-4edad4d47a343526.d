@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/taj-4edad4d47a343526.d: src/main.rs
+
+/root/repo/target/debug/deps/taj-4edad4d47a343526: src/main.rs
+
+src/main.rs:

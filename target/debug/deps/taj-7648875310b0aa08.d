@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/taj-7648875310b0aa08.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtaj-7648875310b0aa08.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

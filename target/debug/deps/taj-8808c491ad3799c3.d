@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/taj-8808c491ad3799c3.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtaj-8808c491ad3799c3.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/taj-c67d803bff0c1576.d: src/lib.rs
+
+/root/repo/target/debug/deps/taj-c67d803bff0c1576: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/taj-f1ddbd86d5e02102.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtaj-f1ddbd86d5e02102.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/taj-f97bf8fb3973a036.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtaj-f97bf8fb3973a036.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtaj-f97bf8fb3973a036.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/taj_bench-95ceb583dc0c21fd.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/libtaj_bench-95ceb583dc0c21fd.rlib: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/libtaj_bench-95ceb583dc0c21fd.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:

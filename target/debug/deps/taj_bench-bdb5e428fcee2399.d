@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/taj_bench-bdb5e428fcee2399.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/taj_bench-bdb5e428fcee2399: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:

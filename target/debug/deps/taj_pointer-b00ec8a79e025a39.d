@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/taj_pointer-b00ec8a79e025a39.d: crates/pointer/src/lib.rs crates/pointer/src/callgraph.rs crates/pointer/src/context.rs crates/pointer/src/escape.rs crates/pointer/src/heapgraph.rs crates/pointer/src/keys.rs crates/pointer/src/priority.rs crates/pointer/src/solver.rs
+
+/root/repo/target/debug/deps/taj_pointer-b00ec8a79e025a39: crates/pointer/src/lib.rs crates/pointer/src/callgraph.rs crates/pointer/src/context.rs crates/pointer/src/escape.rs crates/pointer/src/heapgraph.rs crates/pointer/src/keys.rs crates/pointer/src/priority.rs crates/pointer/src/solver.rs
+
+crates/pointer/src/lib.rs:
+crates/pointer/src/callgraph.rs:
+crates/pointer/src/context.rs:
+crates/pointer/src/escape.rs:
+crates/pointer/src/heapgraph.rs:
+crates/pointer/src/keys.rs:
+crates/pointer/src/priority.rs:
+crates/pointer/src/solver.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/taj_pointer-d398288a7fe6f461.d: crates/pointer/src/lib.rs crates/pointer/src/callgraph.rs crates/pointer/src/context.rs crates/pointer/src/escape.rs crates/pointer/src/heapgraph.rs crates/pointer/src/keys.rs crates/pointer/src/priority.rs crates/pointer/src/solver.rs
+
+/root/repo/target/debug/deps/libtaj_pointer-d398288a7fe6f461.rlib: crates/pointer/src/lib.rs crates/pointer/src/callgraph.rs crates/pointer/src/context.rs crates/pointer/src/escape.rs crates/pointer/src/heapgraph.rs crates/pointer/src/keys.rs crates/pointer/src/priority.rs crates/pointer/src/solver.rs
+
+/root/repo/target/debug/deps/libtaj_pointer-d398288a7fe6f461.rmeta: crates/pointer/src/lib.rs crates/pointer/src/callgraph.rs crates/pointer/src/context.rs crates/pointer/src/escape.rs crates/pointer/src/heapgraph.rs crates/pointer/src/keys.rs crates/pointer/src/priority.rs crates/pointer/src/solver.rs
+
+crates/pointer/src/lib.rs:
+crates/pointer/src/callgraph.rs:
+crates/pointer/src/context.rs:
+crates/pointer/src/escape.rs:
+crates/pointer/src/heapgraph.rs:
+crates/pointer/src/keys.rs:
+crates/pointer/src/priority.rs:
+crates/pointer/src/solver.rs:

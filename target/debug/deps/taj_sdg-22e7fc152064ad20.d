@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/taj_sdg-22e7fc152064ad20.d: crates/sdg/src/lib.rs crates/sdg/src/ci.rs crates/sdg/src/cs.rs crates/sdg/src/hybrid.rs crates/sdg/src/mhp.rs crates/sdg/src/spec.rs crates/sdg/src/view.rs
+
+/root/repo/target/debug/deps/libtaj_sdg-22e7fc152064ad20.rlib: crates/sdg/src/lib.rs crates/sdg/src/ci.rs crates/sdg/src/cs.rs crates/sdg/src/hybrid.rs crates/sdg/src/mhp.rs crates/sdg/src/spec.rs crates/sdg/src/view.rs
+
+/root/repo/target/debug/deps/libtaj_sdg-22e7fc152064ad20.rmeta: crates/sdg/src/lib.rs crates/sdg/src/ci.rs crates/sdg/src/cs.rs crates/sdg/src/hybrid.rs crates/sdg/src/mhp.rs crates/sdg/src/spec.rs crates/sdg/src/view.rs
+
+crates/sdg/src/lib.rs:
+crates/sdg/src/ci.rs:
+crates/sdg/src/cs.rs:
+crates/sdg/src/hybrid.rs:
+crates/sdg/src/mhp.rs:
+crates/sdg/src/spec.rs:
+crates/sdg/src/view.rs:

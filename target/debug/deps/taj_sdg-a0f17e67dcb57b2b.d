@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/taj_sdg-a0f17e67dcb57b2b.d: crates/sdg/src/lib.rs crates/sdg/src/ci.rs crates/sdg/src/cs.rs crates/sdg/src/hybrid.rs crates/sdg/src/mhp.rs crates/sdg/src/spec.rs crates/sdg/src/view.rs
+
+/root/repo/target/debug/deps/taj_sdg-a0f17e67dcb57b2b: crates/sdg/src/lib.rs crates/sdg/src/ci.rs crates/sdg/src/cs.rs crates/sdg/src/hybrid.rs crates/sdg/src/mhp.rs crates/sdg/src/spec.rs crates/sdg/src/view.rs
+
+crates/sdg/src/lib.rs:
+crates/sdg/src/ci.rs:
+crates/sdg/src/cs.rs:
+crates/sdg/src/hybrid.rs:
+crates/sdg/src/mhp.rs:
+crates/sdg/src/spec.rs:
+crates/sdg/src/view.rs:

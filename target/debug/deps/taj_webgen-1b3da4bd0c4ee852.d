@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/taj_webgen-1b3da4bd0c4ee852.d: crates/webgen/src/lib.rs crates/webgen/src/generate.rs crates/webgen/src/interp.rs crates/webgen/src/micro.rs crates/webgen/src/patterns.rs crates/webgen/src/securibench.rs crates/webgen/src/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtaj_webgen-1b3da4bd0c4ee852.rmeta: crates/webgen/src/lib.rs crates/webgen/src/generate.rs crates/webgen/src/interp.rs crates/webgen/src/micro.rs crates/webgen/src/patterns.rs crates/webgen/src/securibench.rs crates/webgen/src/table2.rs Cargo.toml
+
+crates/webgen/src/lib.rs:
+crates/webgen/src/generate.rs:
+crates/webgen/src/interp.rs:
+crates/webgen/src/micro.rs:
+crates/webgen/src/patterns.rs:
+crates/webgen/src/securibench.rs:
+crates/webgen/src/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/taj_webgen-77bc697e79892743.d: crates/webgen/src/lib.rs crates/webgen/src/generate.rs crates/webgen/src/interp.rs crates/webgen/src/micro.rs crates/webgen/src/patterns.rs crates/webgen/src/securibench.rs crates/webgen/src/table2.rs
+
+/root/repo/target/debug/deps/libtaj_webgen-77bc697e79892743.rlib: crates/webgen/src/lib.rs crates/webgen/src/generate.rs crates/webgen/src/interp.rs crates/webgen/src/micro.rs crates/webgen/src/patterns.rs crates/webgen/src/securibench.rs crates/webgen/src/table2.rs
+
+/root/repo/target/debug/deps/libtaj_webgen-77bc697e79892743.rmeta: crates/webgen/src/lib.rs crates/webgen/src/generate.rs crates/webgen/src/interp.rs crates/webgen/src/micro.rs crates/webgen/src/patterns.rs crates/webgen/src/securibench.rs crates/webgen/src/table2.rs
+
+crates/webgen/src/lib.rs:
+crates/webgen/src/generate.rs:
+crates/webgen/src/interp.rs:
+crates/webgen/src/micro.rs:
+crates/webgen/src/patterns.rs:
+crates/webgen/src/securibench.rs:
+crates/webgen/src/table2.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/taj_webgen-facdd944281cda62.d: crates/webgen/src/lib.rs crates/webgen/src/generate.rs crates/webgen/src/interp.rs crates/webgen/src/micro.rs crates/webgen/src/patterns.rs crates/webgen/src/securibench.rs crates/webgen/src/table2.rs
+
+/root/repo/target/debug/deps/taj_webgen-facdd944281cda62: crates/webgen/src/lib.rs crates/webgen/src/generate.rs crates/webgen/src/interp.rs crates/webgen/src/micro.rs crates/webgen/src/patterns.rs crates/webgen/src/securibench.rs crates/webgen/src/table2.rs
+
+crates/webgen/src/lib.rs:
+crates/webgen/src/generate.rs:
+crates/webgen/src/interp.rs:
+crates/webgen/src/micro.rs:
+crates/webgen/src/patterns.rs:
+crates/webgen/src/securibench.rs:
+crates/webgen/src/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zz_probe-a74252e86e74d99f.d: tests/zz_probe.rs
+
+/root/repo/target/debug/deps/zz_probe-a74252e86e74d99f: tests/zz_probe.rs
+
+tests/zz_probe.rs:

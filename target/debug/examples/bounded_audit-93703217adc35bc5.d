@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bounded_audit-93703217adc35bc5.d: examples/bounded_audit.rs
+
+/root/repo/target/debug/examples/bounded_audit-93703217adc35bc5: examples/bounded_audit.rs
+
+examples/bounded_audit.rs:

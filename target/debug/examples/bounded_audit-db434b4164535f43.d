@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bounded_audit-db434b4164535f43.d: examples/bounded_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbounded_audit-db434b4164535f43.rmeta: examples/bounded_audit.rs Cargo.toml
+
+examples/bounded_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

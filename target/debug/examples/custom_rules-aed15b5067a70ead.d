@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_rules-aed15b5067a70ead.d: examples/custom_rules.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_rules-aed15b5067a70ead.rmeta: examples/custom_rules.rs Cargo.toml
+
+examples/custom_rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

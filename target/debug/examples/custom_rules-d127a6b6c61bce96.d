@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_rules-d127a6b6c61bce96.d: examples/custom_rules.rs
+
+/root/repo/target/debug/examples/custom_rules-d127a6b6c61bce96: examples/custom_rules.rs
+
+examples/custom_rules.rs:

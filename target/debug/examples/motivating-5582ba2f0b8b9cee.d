@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/motivating-5582ba2f0b8b9cee.d: examples/motivating.rs
+
+/root/repo/target/debug/examples/motivating-5582ba2f0b8b9cee: examples/motivating.rs
+
+examples/motivating.rs:

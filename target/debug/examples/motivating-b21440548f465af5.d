@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/motivating-b21440548f465af5.d: examples/motivating.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmotivating-b21440548f465af5.rmeta: examples/motivating.rs Cargo.toml
+
+examples/motivating.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

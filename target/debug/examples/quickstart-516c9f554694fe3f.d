@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-516c9f554694fe3f.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-516c9f554694fe3f.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

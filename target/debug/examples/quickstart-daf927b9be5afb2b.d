@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-daf927b9be5afb2b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-daf927b9be5afb2b: examples/quickstart.rs
+
+examples/quickstart.rs:

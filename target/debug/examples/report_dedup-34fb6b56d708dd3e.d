@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/report_dedup-34fb6b56d708dd3e.d: examples/report_dedup.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreport_dedup-34fb6b56d708dd3e.rmeta: examples/report_dedup.rs Cargo.toml
+
+examples/report_dedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/report_dedup-75c07daf6ff3749d.d: examples/report_dedup.rs
+
+/root/repo/target/debug/examples/report_dedup-75c07daf6ff3749d: examples/report_dedup.rs
+
+examples/report_dedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/struts_audit-4dfa1263d5f71267.d: examples/struts_audit.rs
+
+/root/repo/target/debug/examples/struts_audit-4dfa1263d5f71267: examples/struts_audit.rs
+
+examples/struts_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/struts_audit-e5077f37ffaaf341.d: examples/struts_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstruts_audit-e5077f37ffaaf341.rmeta: examples/struts_audit.rs Cargo.toml
+
+examples/struts_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

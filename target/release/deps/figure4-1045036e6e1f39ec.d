@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure4-1045036e6e1f39ec.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/release/deps/figure4-1045036e6e1f39ec: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-aeec2f68460bb9e9.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-aeec2f68460bb9e9: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

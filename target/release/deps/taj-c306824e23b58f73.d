@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/taj-c306824e23b58f73.d: src/main.rs
+
+/root/repo/target/release/deps/taj-c306824e23b58f73: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/taj-ce3aeb1ee6ed2bf2.d: src/lib.rs
+
+/root/repo/target/release/deps/libtaj-ce3aeb1ee6ed2bf2.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtaj-ce3aeb1ee6ed2bf2.rmeta: src/lib.rs
+
+src/lib.rs:

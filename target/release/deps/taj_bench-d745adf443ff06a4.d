@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/taj_bench-d745adf443ff06a4.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/release/deps/libtaj_bench-d745adf443ff06a4.rlib: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/release/deps/libtaj_bench-d745adf443ff06a4.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/taj_core-ad5b2166af7ac4a1.d: crates/core/src/lib.rs crates/core/src/carriers.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/exceptions.rs crates/core/src/frameworks.rs crates/core/src/lcp.rs crates/core/src/report.rs crates/core/src/rulefile.rs crates/core/src/rules.rs crates/core/src/scoring.rs
+
+/root/repo/target/release/deps/libtaj_core-ad5b2166af7ac4a1.rlib: crates/core/src/lib.rs crates/core/src/carriers.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/exceptions.rs crates/core/src/frameworks.rs crates/core/src/lcp.rs crates/core/src/report.rs crates/core/src/rulefile.rs crates/core/src/rules.rs crates/core/src/scoring.rs
+
+/root/repo/target/release/deps/libtaj_core-ad5b2166af7ac4a1.rmeta: crates/core/src/lib.rs crates/core/src/carriers.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/exceptions.rs crates/core/src/frameworks.rs crates/core/src/lcp.rs crates/core/src/report.rs crates/core/src/rulefile.rs crates/core/src/rules.rs crates/core/src/scoring.rs
+
+crates/core/src/lib.rs:
+crates/core/src/carriers.rs:
+crates/core/src/config.rs:
+crates/core/src/driver.rs:
+crates/core/src/exceptions.rs:
+crates/core/src/frameworks.rs:
+crates/core/src/lcp.rs:
+crates/core/src/report.rs:
+crates/core/src/rulefile.rs:
+crates/core/src/rules.rs:
+crates/core/src/scoring.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

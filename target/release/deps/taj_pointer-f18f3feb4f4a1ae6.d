@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/taj_pointer-f18f3feb4f4a1ae6.d: crates/pointer/src/lib.rs crates/pointer/src/callgraph.rs crates/pointer/src/context.rs crates/pointer/src/escape.rs crates/pointer/src/heapgraph.rs crates/pointer/src/keys.rs crates/pointer/src/priority.rs crates/pointer/src/solver.rs
+
+/root/repo/target/release/deps/libtaj_pointer-f18f3feb4f4a1ae6.rlib: crates/pointer/src/lib.rs crates/pointer/src/callgraph.rs crates/pointer/src/context.rs crates/pointer/src/escape.rs crates/pointer/src/heapgraph.rs crates/pointer/src/keys.rs crates/pointer/src/priority.rs crates/pointer/src/solver.rs
+
+/root/repo/target/release/deps/libtaj_pointer-f18f3feb4f4a1ae6.rmeta: crates/pointer/src/lib.rs crates/pointer/src/callgraph.rs crates/pointer/src/context.rs crates/pointer/src/escape.rs crates/pointer/src/heapgraph.rs crates/pointer/src/keys.rs crates/pointer/src/priority.rs crates/pointer/src/solver.rs
+
+crates/pointer/src/lib.rs:
+crates/pointer/src/callgraph.rs:
+crates/pointer/src/context.rs:
+crates/pointer/src/escape.rs:
+crates/pointer/src/heapgraph.rs:
+crates/pointer/src/keys.rs:
+crates/pointer/src/priority.rs:
+crates/pointer/src/solver.rs:

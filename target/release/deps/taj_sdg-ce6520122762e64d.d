@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/taj_sdg-ce6520122762e64d.d: crates/sdg/src/lib.rs crates/sdg/src/ci.rs crates/sdg/src/cs.rs crates/sdg/src/hybrid.rs crates/sdg/src/mhp.rs crates/sdg/src/spec.rs crates/sdg/src/view.rs
+
+/root/repo/target/release/deps/libtaj_sdg-ce6520122762e64d.rlib: crates/sdg/src/lib.rs crates/sdg/src/ci.rs crates/sdg/src/cs.rs crates/sdg/src/hybrid.rs crates/sdg/src/mhp.rs crates/sdg/src/spec.rs crates/sdg/src/view.rs
+
+/root/repo/target/release/deps/libtaj_sdg-ce6520122762e64d.rmeta: crates/sdg/src/lib.rs crates/sdg/src/ci.rs crates/sdg/src/cs.rs crates/sdg/src/hybrid.rs crates/sdg/src/mhp.rs crates/sdg/src/spec.rs crates/sdg/src/view.rs
+
+crates/sdg/src/lib.rs:
+crates/sdg/src/ci.rs:
+crates/sdg/src/cs.rs:
+crates/sdg/src/hybrid.rs:
+crates/sdg/src/mhp.rs:
+crates/sdg/src/spec.rs:
+crates/sdg/src/view.rs:

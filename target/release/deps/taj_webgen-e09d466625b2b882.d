@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/taj_webgen-e09d466625b2b882.d: crates/webgen/src/lib.rs crates/webgen/src/generate.rs crates/webgen/src/interp.rs crates/webgen/src/micro.rs crates/webgen/src/patterns.rs crates/webgen/src/securibench.rs crates/webgen/src/table2.rs
+
+/root/repo/target/release/deps/libtaj_webgen-e09d466625b2b882.rlib: crates/webgen/src/lib.rs crates/webgen/src/generate.rs crates/webgen/src/interp.rs crates/webgen/src/micro.rs crates/webgen/src/patterns.rs crates/webgen/src/securibench.rs crates/webgen/src/table2.rs
+
+/root/repo/target/release/deps/libtaj_webgen-e09d466625b2b882.rmeta: crates/webgen/src/lib.rs crates/webgen/src/generate.rs crates/webgen/src/interp.rs crates/webgen/src/micro.rs crates/webgen/src/patterns.rs crates/webgen/src/securibench.rs crates/webgen/src/table2.rs
+
+crates/webgen/src/lib.rs:
+crates/webgen/src/generate.rs:
+crates/webgen/src/interp.rs:
+crates/webgen/src/micro.rs:
+crates/webgen/src/patterns.rs:
+crates/webgen/src/securibench.rs:
+crates/webgen/src/table2.rs:

@@ -12,11 +12,7 @@ fn finding_set(report: &taj::core::TajReport) -> Vec<(String, String, String)> {
         .findings
         .iter()
         .map(|f| {
-            (
-                f.flow.issue.to_string(),
-                f.flow.sink_owner_class.clone(),
-                f.flow.sink_method.clone(),
-            )
+            (f.flow.issue.to_string(), f.flow.sink_owner_class.clone(), f.flow.sink_method.clone())
         })
         .collect();
     v.sort();
@@ -32,19 +28,14 @@ fn repeated_runs_agree_on_findings() {
         let mut results = Vec::new();
         for _ in 0..2 {
             let prepared =
-                prepare(&bench.source, Some(&bench.descriptor), RuleSet::default_rules())
-                    .unwrap();
+                prepare(&bench.source, Some(&bench.descriptor), RuleSet::default_rules()).unwrap();
             match analyze_prepared(&prepared, &config) {
                 Ok(r) => results.push(Some(finding_set(&r))),
                 Err(taj::core::TajError::OutOfMemory { .. }) => results.push(None),
                 Err(e) => panic!("{e}"),
             }
         }
-        assert_eq!(
-            results[0], results[1],
-            "{}: two runs disagree on findings",
-            config.name
-        );
+        assert_eq!(results[0], results[1], "{}: two runs disagree on findings", config.name);
     }
 }
 

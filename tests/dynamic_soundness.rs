@@ -20,13 +20,9 @@ fn sound_configs_cover_all_dynamic_flows() {
         let hits = run_program(&prepared_src, InterpConfig::default());
 
         for config in [TajConfig::hybrid_unbounded(), TajConfig::ci_thin()] {
-            let report = analyze_source(
-                &t.source,
-                Some(&t.descriptor),
-                RuleSet::default_rules(),
-                &config,
-            )
-            .unwrap_or_else(|e| panic!("{} under {}: {e}", t.name, config.name));
+            let report =
+                analyze_source(&t.source, Some(&t.descriptor), RuleSet::default_rules(), &config)
+                    .unwrap_or_else(|e| panic!("{} under {}: {e}", t.name, config.name));
             for hit in &hits {
                 let covered = report.findings.iter().any(|f| {
                     f.flow.sink_owner_class == hit.caller_class
@@ -60,8 +56,8 @@ fn dynamic_oracle_sees_most_vulnerable_patterns() {
                 observed += 1;
             }
         }
-        let _ = prepare(&t.source, Some(&t.descriptor), RuleSet::default_rules())
-            .expect("prepares");
+        let _ =
+            prepare(&t.source, Some(&t.descriptor), RuleSet::default_rules()).expect("prepares");
     }
     assert!(
         observed * 2 >= vulnerable,

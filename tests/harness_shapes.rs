@@ -5,10 +5,7 @@
 use taj::core::{analyze_prepared, prepare, score, RuleSet, Score, TajConfig, TajError};
 use taj::webgen::{generate, presets, Scale};
 
-fn run(
-    bench: &taj::webgen::GeneratedBenchmark,
-    config: &TajConfig,
-) -> Option<(usize, Score)> {
+fn run(bench: &taj::webgen::GeneratedBenchmark, config: &TajConfig) -> Option<(usize, Score)> {
     let prepared =
         prepare(&bench.source, Some(&bench.descriptor), RuleSet::default_rules()).unwrap();
     match analyze_prepared(&prepared, config) {
@@ -28,11 +25,7 @@ fn figure4_presets_no_false_negatives_for_sound_configs() {
         let bench = generate(&preset.spec(Scale::quick()));
         for config in [TajConfig::hybrid_unbounded(), TajConfig::ci_thin()] {
             let (_, s) = run(&bench, &config).expect("unbounded configs complete");
-            assert_eq!(
-                s.false_negatives, 0,
-                "{} on {}: {s:?}",
-                config.name, preset.name
-            );
+            assert_eq!(s.false_negatives, 0, "{} on {}: {s:?}", config.name, preset.name);
         }
     }
 }

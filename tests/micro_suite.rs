@@ -7,13 +7,8 @@ use taj::core::{analyze_source, score, RuleSet, Score, TajConfig};
 use taj::webgen::{micro_suite, motivating, MicroTest, Pattern};
 
 fn run(t: &MicroTest, config: &TajConfig) -> Score {
-    let report = analyze_source(
-        &t.source,
-        Some(&t.descriptor),
-        RuleSet::default_rules(),
-        config,
-    )
-    .unwrap_or_else(|e| panic!("{} under {}: {e}", t.name, config.name));
+    let report = analyze_source(&t.source, Some(&t.descriptor), RuleSet::default_rules(), config)
+        .unwrap_or_else(|e| panic!("{} under {}: {e}", t.name, config.name));
     score(&report, &t.truth)
 }
 
@@ -102,9 +97,7 @@ fn factory_alias_fools_flow_insensitive_heap() {
 fn conservative_patterns_fool_everyone() {
     for p in [Pattern::ArrayConfusion, Pattern::UnknownKeyMap] {
         let t = case(p);
-        for config in
-            [TajConfig::hybrid_unbounded(), TajConfig::cs_thin(), TajConfig::ci_thin()]
-        {
+        for config in [TajConfig::hybrid_unbounded(), TajConfig::cs_thin(), TajConfig::ci_thin()] {
             let s = run(&t, &config);
             assert!(
                 s.false_positives >= 1,
@@ -143,11 +136,7 @@ fn motivating_example_all_algorithms() {
     let t = motivating();
     for config in TajConfig::all() {
         let s = run(&t, &config);
-        assert_eq!(
-            s.false_negatives, 0,
-            "{} must find the Figure 1 flow: {s:?}",
-            config.name
-        );
+        assert_eq!(s.false_negatives, 0, "{} must find the Figure 1 flow: {s:?}", config.name);
     }
 }
 
@@ -156,8 +145,7 @@ fn figure4_accuracy_ordering_on_micro_aggregate() {
     // Aggregated over the full suite, accuracy must order CS > hybrid > CI
     // (the paper's 0.54 / 0.35 / 0.22, §7.2).
     let mut totals = std::collections::HashMap::new();
-    for config in [TajConfig::cs_thin(), TajConfig::hybrid_unbounded(), TajConfig::ci_thin()]
-    {
+    for config in [TajConfig::cs_thin(), TajConfig::hybrid_unbounded(), TajConfig::ci_thin()] {
         let mut agg = Score::default();
         for t in micro_suite() {
             let s = run(&t, &config);

@@ -19,17 +19,14 @@ fn by_reference_source_taints_argument_state() {
             }
         }
     "#;
-    let report = analyze_source(
-        src,
-        None,
-        RuleSet::default_rules(),
-        &TajConfig::hybrid_unbounded(),
-    )
-    .unwrap();
+    let report =
+        analyze_source(src, None, RuleSet::default_rules(), &TajConfig::hybrid_unbounded())
+            .unwrap();
     assert!(
-        report.findings.iter().any(|f| {
-            f.flow.issue == IssueType::Xss && f.flow.source_method == "readFully"
-        }),
+        report
+            .findings
+            .iter()
+            .any(|f| { f.flow.issue == IssueType::Xss && f.flow.source_method == "readFully" }),
         "by-reference source flow must be reported: {report:#?}"
     );
 }
@@ -48,13 +45,9 @@ fn by_reference_source_object_is_a_carrier() {
             }
         }
     "#;
-    let report = analyze_source(
-        src,
-        None,
-        RuleSet::default_rules(),
-        &TajConfig::hybrid_unbounded(),
-    )
-    .unwrap();
+    let report =
+        analyze_source(src, None, RuleSet::default_rules(), &TajConfig::hybrid_unbounded())
+            .unwrap();
     assert!(
         report.findings.iter().any(|f| f.flow.source_method == "readFully"),
         "tainted buffer passed to sink must be flagged: {report:#?}"
@@ -72,13 +65,9 @@ fn untouched_buffer_is_clean() {
             }
         }
     "#;
-    let report = analyze_source(
-        src,
-        None,
-        RuleSet::default_rules(),
-        &TajConfig::hybrid_unbounded(),
-    )
-    .unwrap();
+    let report =
+        analyze_source(src, None, RuleSet::default_rules(), &TajConfig::hybrid_unbounded())
+            .unwrap();
     assert_eq!(report.issue_count(), 0, "{report:#?}");
 }
 
@@ -97,24 +86,14 @@ fn whitelisted_class_is_excluded() {
             }
         }
     "#;
-    let with = analyze_source(
-        src,
-        None,
-        RuleSet::default_rules(),
-        &TajConfig::hybrid_unbounded(),
-    )
-    .unwrap();
+    let with = analyze_source(src, None, RuleSet::default_rules(), &TajConfig::hybrid_unbounded())
+        .unwrap();
     assert_eq!(with.issue_count(), 1, "flow present without whitelist: {with:#?}");
 
     let mut rules = RuleSet::default_rules();
     rules.whitelist.push("Relay".into());
-    let without =
-        analyze_source(src, None, rules, &TajConfig::hybrid_unbounded()).unwrap();
-    assert_eq!(
-        without.issue_count(),
-        0,
-        "whitelisting Relay must sever the flow: {without:#?}"
-    );
+    let without = analyze_source(src, None, rules, &TajConfig::hybrid_unbounded()).unwrap();
+    assert_eq!(without.issue_count(), 0, "whitelisting Relay must sever the flow: {without:#?}");
 }
 
 #[test]
@@ -137,13 +116,8 @@ fn ejb_flow_requires_descriptor() {
         }
     "#;
     // Without a descriptor the lookup stays opaque: no flow.
-    let blind = analyze_source(
-        src,
-        None,
-        RuleSet::default_rules(),
-        &TajConfig::hybrid_unbounded(),
-    )
-    .unwrap();
+    let blind = analyze_source(src, None, RuleSet::default_rules(), &TajConfig::hybrid_unbounded())
+        .unwrap();
     assert_eq!(blind.issue_count(), 0, "{blind:#?}");
 
     // With the descriptor, the container is bypassed and the flow appears.
@@ -181,13 +155,9 @@ fn numeric_validation_severs_string_taint() {
             }
         }
     "#;
-    let report = analyze_source(
-        src,
-        None,
-        RuleSet::default_rules(),
-        &TajConfig::hybrid_unbounded(),
-    )
-    .unwrap();
+    let report =
+        analyze_source(src, None, RuleSet::default_rules(), &TajConfig::hybrid_unbounded())
+            .unwrap();
     assert_eq!(report.issue_count(), 0, "parseInt kills the payload: {report:#?}");
 }
 

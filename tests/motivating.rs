@@ -54,20 +54,11 @@ class Motivating extends HttpServlet {
 
 #[test]
 fn figure1_exactly_one_vulnerable_println() {
-    let report = analyze_source(
-        MOTIVATING,
-        None,
-        RuleSet::default_rules(),
-        &TajConfig::hybrid_unbounded(),
-    )
-    .expect("analysis runs");
-    let xss: Vec<_> =
-        report.findings.iter().filter(|f| f.flow.issue == IssueType::Xss).collect();
-    assert_eq!(
-        xss.len(),
-        1,
-        "exactly one of the three println calls is vulnerable; got {xss:#?}"
-    );
+    let report =
+        analyze_source(MOTIVATING, None, RuleSet::default_rules(), &TajConfig::hybrid_unbounded())
+            .expect("analysis runs");
+    let xss: Vec<_> = report.findings.iter().filter(|f| f.flow.issue == IssueType::Xss).collect();
+    assert_eq!(xss.len(), 1, "exactly one of the three println calls is vulnerable; got {xss:#?}");
     assert_eq!(xss[0].flow.sink_method, "println");
     assert_eq!(xss[0].flow.sink_owner_class, "Motivating");
     assert_eq!(xss[0].flow.source_method, "getParameter");
@@ -80,10 +71,8 @@ fn figure1_all_hybrid_variants_agree() {
         TajConfig::hybrid_prioritized(),
         TajConfig::hybrid_optimized(),
     ] {
-        let report =
-            analyze_source(MOTIVATING, None, RuleSet::default_rules(), &config).unwrap();
-        let xss =
-            report.findings.iter().filter(|f| f.flow.issue == IssueType::Xss).count();
+        let report = analyze_source(MOTIVATING, None, RuleSet::default_rules(), &config).unwrap();
+        let xss = report.findings.iter().filter(|f| f.flow.issue == IssueType::Xss).count();
         assert_eq!(xss, 1, "{} must flag exactly the BAD println", config.name);
     }
 }
@@ -92,13 +81,8 @@ fn figure1_all_hybrid_variants_agree() {
 fn figure1_ci_is_less_precise() {
     // CI merges the three reflective invocations and the map keys, so it
     // must report at least the true flow — and typically spurious ones.
-    let report = analyze_source(
-        MOTIVATING,
-        None,
-        RuleSet::default_rules(),
-        &TajConfig::ci_thin(),
-    )
-    .unwrap();
+    let report =
+        analyze_source(MOTIVATING, None, RuleSet::default_rules(), &TajConfig::ci_thin()).unwrap();
     let xss = report.findings.iter().filter(|f| f.flow.issue == IssueType::Xss).count();
     assert!(xss >= 1, "CI is sound: the true flow must be reported");
 }

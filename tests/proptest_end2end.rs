@@ -33,12 +33,8 @@ fn detectable() -> Vec<Pattern> {
 
 fn spec_strategy() -> impl Strategy<Value = BenchmarkSpec> {
     let pats = detectable();
-    (
-        proptest::collection::vec((0..pats.len(), 1usize..3), 1..5),
-        0usize..3,
-        any::<u64>(),
-    )
-        .prop_map(move |(choices, filler, seed)| {
+    (proptest::collection::vec((0..pats.len(), 1usize..3), 1..5), 0usize..3, any::<u64>()).prop_map(
+        move |(choices, filler, seed)| {
             let mut counts: Vec<(Pattern, usize)> = Vec::new();
             for (i, n) in choices {
                 counts.push((pats[i], n));
@@ -50,7 +46,8 @@ fn spec_strategy() -> impl Strategy<Value = BenchmarkSpec> {
                 methods_per_class: 4,
                 seed,
             }
-        })
+        },
+    )
 }
 
 proptest! {

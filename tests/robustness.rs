@@ -91,13 +91,9 @@ fn inherited_do_get_is_driven() {
         class ChildPage extends BasePage {
         }
     "#;
-    let report = analyze_source(
-        src,
-        None,
-        RuleSet::default_rules(),
-        &TajConfig::hybrid_unbounded(),
-    )
-    .unwrap();
+    let report =
+        analyze_source(src, None, RuleSet::default_rules(), &TajConfig::hybrid_unbounded())
+            .unwrap();
     assert!(
         report.findings.iter().any(|f| f.flow.issue == IssueType::Xss),
         "inherited lifecycle must be analyzed: {report:#?}"
@@ -133,13 +129,9 @@ fn interface_dispatch_flows() {
             }
         }
     "#;
-    let report = analyze_source(
-        src,
-        None,
-        RuleSet::default_rules(),
-        &TajConfig::hybrid_unbounded(),
-    )
-    .unwrap();
+    let report =
+        analyze_source(src, None, RuleSet::default_rules(), &TajConfig::hybrid_unbounded())
+            .unwrap();
     let classes: Vec<&str> =
         report.findings.iter().map(|f| f.flow.sink_owner_class.as_str()).collect();
     assert!(classes.contains(&"Page"), "raw formatter leaks: {classes:?}");
@@ -167,13 +159,9 @@ fn static_field_flow() {
             }
         }
     "#;
-    let report = analyze_source(
-        src,
-        None,
-        RuleSet::default_rules(),
-        &TajConfig::hybrid_unbounded(),
-    )
-    .unwrap();
+    let report =
+        analyze_source(src, None, RuleSet::default_rules(), &TajConfig::hybrid_unbounded())
+            .unwrap();
     assert!(
         report
             .findings
@@ -199,13 +187,9 @@ fn nested_try_catch() {
             method void rethrow(RuntimeException r) { throw r; }
         }
     "#;
-    let report = analyze_source(
-        src,
-        None,
-        RuleSet::default_rules(),
-        &TajConfig::hybrid_unbounded(),
-    )
-    .unwrap();
+    let report =
+        analyze_source(src, None, RuleSet::default_rules(), &TajConfig::hybrid_unbounded())
+            .unwrap();
     assert!(
         report.findings.iter().any(|f| f.flow.issue == IssueType::InfoLeak),
         "rethrown exception still leaks: {report:#?}"
@@ -247,9 +231,7 @@ fn deep_static_call_chain() {
     );
     for i in 0..60 {
         if i == 59 {
-            src.push_str(&format!(
-                "    static method String h{i}(String s) {{ return s; }}\n"
-            ));
+            src.push_str(&format!("    static method String h{i}(String s) {{ return s; }}\n"));
         } else {
             src.push_str(&format!(
                 "    static method String h{i}(String s) {{ return Chain.h{}(s); }}\n",

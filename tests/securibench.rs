@@ -12,9 +12,8 @@ fn securibench_hybrid_exact_expectations() {
     let config = TajConfig::hybrid_unbounded();
     let mut failures = Vec::new();
     for case in securibench_cases() {
-        let report =
-            analyze_source(&case.source, None, RuleSet::default_rules(), &config)
-                .unwrap_or_else(|e| panic!("{}: {e}", case.name));
+        let report = analyze_source(&case.source, None, RuleSet::default_rules(), &config)
+            .unwrap_or_else(|e| panic!("{}: {e}", case.name));
         let s = score(&report, &case.truth);
         // Soundness: no real flow missed.
         if s.false_negatives != 0 {
@@ -36,9 +35,8 @@ fn securibench_hybrid_exact_expectations() {
 fn securibench_ci_is_sound() {
     let config = TajConfig::ci_thin();
     for case in securibench_cases() {
-        let report =
-            analyze_source(&case.source, None, RuleSet::default_rules(), &config)
-                .unwrap_or_else(|e| panic!("{}: {e}", case.name));
+        let report = analyze_source(&case.source, None, RuleSet::default_rules(), &config)
+            .unwrap_or_else(|e| panic!("{}: {e}", case.name));
         let s = score(&report, &case.truth);
         assert_eq!(s.false_negatives, 0, "{}: CI missed a real flow ({s:?})", case.name);
     }
@@ -50,14 +48,10 @@ fn securibench_strong_updates_separate_cs() {
     // emulation is only partially flow-sensitive (like the paper's) and
     // reports it too — but *local* strong updates (StrongUpdates2) are
     // free under SSA for every algorithm.
-    let su2 = securibench_cases()
-        .into_iter()
-        .find(|c| c.name == "StrongUpdates2")
-        .unwrap();
+    let su2 = securibench_cases().into_iter().find(|c| c.name == "StrongUpdates2").unwrap();
     for config in TajConfig::all() {
-        let report =
-            analyze_source(&su2.source, None, RuleSet::default_rules(), &config)
-                .unwrap_or_else(|e| panic!("{}: {e}", config.name));
+        let report = analyze_source(&su2.source, None, RuleSet::default_rules(), &config)
+            .unwrap_or_else(|e| panic!("{}: {e}", config.name));
         let s = score(&report, &su2.truth);
         assert_eq!(
             s.false_positives, 0,

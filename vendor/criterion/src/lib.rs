@@ -1,0 +1,209 @@
+//! Offline stand-in for the `criterion` crate: the same authoring API
+//! (`criterion_group!`, `criterion_main!`, `benchmark_group`,
+//! `bench_with_input`, `Throughput`) backed by a simple wall-clock
+//! timer. It prints median per-iteration times instead of criterion's
+//! statistical analysis, which is enough to compare hot paths locally.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier built from a function name and a parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Throughput annotation; recorded and echoed, not analyzed.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// Per-iteration timer handed to `iter` closures.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call, then the timed iterations.
+        let _ = f();
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            let _ = std::hint::black_box(f());
+        }
+        self.total = start.elapsed();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        let samples = self.run_samples(|b| f(b, input));
+        report(&label, &samples, self.throughput);
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        let samples = self.run_samples(&mut f);
+        report(&label, &samples, self.throughput);
+    }
+
+    fn run_samples<F: FnMut(&mut Bencher)>(&mut self, mut f: F) -> Vec<Duration> {
+        let iters = self.criterion.iters_per_sample;
+        (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher { iters, total: Duration::ZERO };
+                f(&mut b);
+                b.total / iters as u32
+            })
+            .collect()
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    iters_per_sample: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { iters_per_sample: 1 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10, throughput: None }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut samples = Vec::new();
+        for _ in 0..10 {
+            let mut b = Bencher { iters: self.iters_per_sample, total: Duration::ZERO };
+            f(&mut b);
+            samples.push(b.total / self.iters_per_sample as u32);
+        }
+        report(&name, &samples, None);
+        self
+    }
+}
+
+fn report(label: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted.first().copied().unwrap_or_default();
+    let max = sorted.last().copied().unwrap_or_default();
+    let rate = match throughput {
+        Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) => {
+            let secs = median.as_secs_f64();
+            if secs > 0.0 {
+                format!("  ({:.1} MiB/s)", n as f64 / secs / (1024.0 * 1024.0))
+            } else {
+                String::new()
+            }
+        }
+        Some(Throughput::Elements(n)) => {
+            let secs = median.as_secs_f64();
+            if secs > 0.0 {
+                format!("  ({:.0} elem/s)", n as f64 / secs)
+            } else {
+                String::new()
+            }
+        }
+        None => String::new(),
+    };
+    println!("{label:<60} median {median:>12.2?}  [{min:.2?} .. {max:.2?}]{rate}");
+}
+
+/// Re-export point used by generated harness code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,553 @@
+//! Offline stand-in for the `proptest` crate. It keeps the same authoring
+//! surface (`proptest!`, strategies, `prop_map`/`prop_flat_map`,
+//! `prop_oneof!`, `proptest::collection::vec`, `any::<T>()`,
+//! `ProptestConfig`) but runs each case from a deterministic per-test
+//! seed and reports failures through plain `assert!` panics — no
+//! shrinking, no persistence files.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Deterministic case-level RNG handed to strategies.
+    pub struct TestRng {
+        pub(crate) inner: StdRng,
+    }
+
+    impl TestRng {
+        pub fn deterministic(seed: u64) -> TestRng {
+            TestRng { inner: StdRng::seed_from_u64(seed) }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        pub(crate) fn below(&mut self, bound: usize) -> usize {
+            if bound == 0 {
+                0
+            } else {
+                (self.next_u64() % bound as u64) as usize
+            }
+        }
+    }
+
+    /// Runner configuration; only `cases` is honored.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod strategy {
+    use std::rc::Rc;
+
+    use rand::{Rng, SampleUniform};
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+        where
+            Self: Sized + 'static,
+            F: Fn(Self::Value) -> U + 'static,
+        {
+            let inner = self;
+            BoxedStrategy::new(move |rng| f(inner.generate(rng)))
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> BoxedStrategy<S2::Value>
+        where
+            Self: Sized + 'static,
+            S2: Strategy + 'static,
+            F: Fn(Self::Value) -> S2 + 'static,
+        {
+            let inner = self;
+            BoxedStrategy::new(move |rng| {
+                let mid = inner.generate(rng);
+                f(mid).generate(rng)
+            })
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let inner = self;
+            BoxedStrategy::new(move |rng| inner.generate(rng))
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Type-erased strategy; cheap to clone.
+    pub struct BoxedStrategy<T> {
+        gen_fn: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy { gen_fn: Rc::clone(&self.gen_fn) }
+        }
+    }
+
+    impl<T> BoxedStrategy<T> {
+        pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+            BoxedStrategy { gen_fn: Rc::new(f) }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.gen_fn)(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    impl<T: SampleUniform + 'static> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.inner.gen_range(self.start..self.end)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// String literals act as (very small) regex-like string strategies:
+    /// `.` is any printable char, `[a-z]`-style classes, `\x` escapes,
+    /// and the `{m,n}` / `{n}` / `*` / `+` / `?` quantifiers.
+    impl Strategy for str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    #[derive(Clone)]
+    enum Atom {
+        Any,
+        Lit(char),
+        Class(Vec<(char, char)>),
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<(Atom, usize, usize)> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms: Vec<(Atom, usize, usize)> = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '\\' => {
+                    i += 1;
+                    let c = chars.get(i).copied().unwrap_or('\\');
+                    i += 1;
+                    match c {
+                        'n' => Atom::Lit('\n'),
+                        't' => Atom::Lit('\t'),
+                        'd' => Atom::Class(vec![('0', '9')]),
+                        'w' => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                        c => Atom::Lit(c),
+                    }
+                }
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if chars.get(i + 1) == Some(&'-')
+                            && chars.get(i + 2).is_some_and(|&c| c != ']')
+                        {
+                            ranges.push((lo, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    i += 1; // closing `]`
+                    Atom::Class(ranges)
+                }
+                c => {
+                    i += 1;
+                    Atom::Lit(c)
+                }
+            };
+            // Quantifier?
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| p + i)
+                        .expect("unterminated {} quantifier");
+                    let spec: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    if let Some((lo, hi)) = spec.split_once(',') {
+                        (lo.parse().expect("bad quantifier"), hi.parse().expect("bad quantifier"))
+                    } else {
+                        let n = spec.parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            atoms.push((atom, min, max));
+        }
+        atoms
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, min, max) in parse_pattern(pattern) {
+            let count = min + rng.below(max - min + 1);
+            for _ in 0..count {
+                match &atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Any => {
+                        // Mostly printable ASCII, sometimes control or
+                        // non-ASCII to keep parsers honest.
+                        match rng.below(16) {
+                            0 => out.push('\n'),
+                            1 => out.push('\u{0}'),
+                            2 => out.push('λ'),
+                            3 => out.push('"'),
+                            _ => out.push(char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap()),
+                        }
+                    }
+                    Atom::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.below(ranges.len())];
+                        let span = hi as u32 - lo as u32 + 1;
+                        out.push(
+                            char::from_u32(lo as u32 + rng.below(span as usize) as u32).unwrap(),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Element-count specification for [`vec`]: an exact length or a
+    /// half-open range of lengths.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max_exclusive: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max_exclusive: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { min: *r.start(), max_exclusive: *r.end() + 1 }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`: a vector whose length is drawn from
+    /// `size` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max_exclusive - self.size.min;
+            let len =
+                self.size.min + if span == 0 { 0 } else { (rng.next_u64() % span as u64) as usize };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use std::marker::PhantomData;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    /// `any::<T>()`: the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {
+            $(impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            })*
+        };
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// The test-block macro. Each contained `fn name(pat in strategy, ...)`
+/// becomes a `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident(
+        $($p:pat in $s:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __name_hash: u64 = 0xcbf29ce484222325;
+                for __b in stringify!($name).bytes() {
+                    __name_hash ^= __b as u64;
+                    __name_hash = __name_hash.wrapping_mul(0x100000001b3);
+                }
+                for __case in 0..__cfg.cases as u64 {
+                    let mut __rng = $crate::test_runner::TestRng::deterministic(
+                        __name_hash ^ __case.wrapping_mul(0x9e3779b97f4a7c15),
+                    );
+                    $(
+                        let $p = $crate::strategy::Strategy::generate(
+                            &($s),
+                            &mut __rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let strat = (2usize..10, 0u8..3, any::<bool>());
+        let mut rng = TestRng::deterministic(42);
+        for _ in 0..64 {
+            let (a, b, _) = strat.generate(&mut rng);
+            assert!((2..10).contains(&a));
+            assert!(b < 3);
+        }
+    }
+
+    #[test]
+    fn vec_respects_sizes() {
+        let mut rng = TestRng::deterministic(7);
+        let exact = crate::collection::vec(0usize..5, 4usize);
+        assert_eq!(exact.generate(&mut rng).len(), 4);
+        let ranged = crate::collection::vec(0usize..5, 1..3);
+        for _ in 0..32 {
+            let v = ranged.generate(&mut rng);
+            assert!((1..3).contains(&v.len()), "{}", v.len());
+        }
+    }
+
+    #[test]
+    fn string_pattern_quantifier() {
+        let mut rng = TestRng::deterministic(3);
+        for _ in 0..32 {
+            let s = ".{0,200}".generate(&mut rng);
+            assert!(s.chars().count() <= 200);
+        }
+        let lit = "ab{2}c".generate(&mut rng);
+        assert_eq!(lit, "abbc");
+    }
+
+    #[test]
+    fn flat_map_and_oneof_compose() {
+        let strat = (1usize..4)
+            .prop_flat_map(|n| crate::collection::vec(prop_oneof![Just("x"), Just("y")], n));
+        let mut rng = TestRng::deterministic(11);
+        for _ in 0..32 {
+            let v = strat.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < 4);
+            assert!(v.iter().all(|&s| s == "x" || s == "y"));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: bindings, patterns, and bodies.
+        #[test]
+        fn macro_smoke((a, b) in (0usize..5, 0usize..5), flip in any::<bool>()) {
+            prop_assert!(a < 5 && b < 5);
+            let _ = flip;
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Offline stand-in for the `serde` crate, providing exactly the surface
+//! this workspace uses: a `Serialize` trait that renders values into an
+//! order-preserving JSON [`Value`], plus a derive macro (behind the
+//! `derive` feature) mirroring `#[derive(Serialize)]` with support for
+//! `#[serde(rename = "...")]` and `#[serde(flatten)]`.
+//!
+//! The container registry is unreachable in the build environment, so the
+//! workspace vendors minimal implementations of its external dependencies
+//! rather than pulling them from crates.io.
+
+use std::collections::{BTreeMap, HashMap};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// An order-preserving JSON document tree.
+///
+/// Object keys keep insertion order so serialized reports are
+/// deterministic and diffable, matching what the real `serde_json`
+/// produces with its `preserve_order` feature.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Unsigned integers (covers `u8`..`u128` and `usize`).
+    UInt(u128),
+    /// Signed integers that do not fit the unsigned arm.
+    Int(i128),
+    Float(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty JSON object.
+    pub fn object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// Inserts (or replaces) a key in an object value. No-op on other
+    /// variants.
+    pub fn insert(&mut self, key: &str, value: Value) {
+        if let Value::Object(entries) = self {
+            if let Some(slot) = entries.iter_mut().find(|(k, _)| k == key) {
+                slot.1 = value;
+            } else {
+                entries.push((key.to_string(), value));
+            }
+        }
+    }
+
+    /// Merges the entries of another object into this one (used by
+    /// `#[serde(flatten)]`). Non-object arguments are ignored.
+    pub fn merge(&mut self, other: Value) {
+        if let Value::Object(entries) = other {
+            for (k, v) in entries {
+                self.insert(&k, v);
+            }
+        }
+    }
+
+    /// Member lookup on objects; `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => u64::try_from(*n).ok(),
+            Value::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::UInt(n) => i64::try_from(*n).ok(),
+            Value::Int(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::UInt(n) => Some(*n as f64),
+            Value::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+static NULL_VALUE: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL_VALUE)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL_VALUE),
+            _ => &NULL_VALUE,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        self.as_i64() == Some(*other as i64)
+    }
+}
+
+impl PartialEq<usize> for Value {
+    fn eq(&self, other: &usize) -> bool {
+        self.as_u64().map(|n| n as usize) == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+/// Serialization into a [`Value`] tree. The derive macro produces
+/// implementations of this trait.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u128)
+            }
+        })*
+    };
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i128;
+                if n >= 0 {
+                    Value::UInt(n as u128)
+                } else {
+                    Value::Int(n)
+                }
+            }
+        })*
+    };
+}
+
+impl_serialize_uint!(u8, u16, u32, u64, u128, usize);
+impl_serialize_int!(i8, i16, i32, i64, i128, isize);
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<K: ToString, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output: HashMap iteration order varies.
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_insert_preserves_order_and_replaces() {
+        let mut v = Value::object();
+        v.insert("b", Value::UInt(1));
+        v.insert("a", Value::UInt(2));
+        v.insert("b", Value::UInt(3));
+        assert_eq!(
+            v,
+            Value::Object(vec![("b".into(), Value::UInt(3)), ("a".into(), Value::UInt(2)),])
+        );
+    }
+
+    #[test]
+    fn index_missing_is_null() {
+        let v = Value::object();
+        assert!(v["nope"].is_null());
+        assert!(v[3].is_null());
+    }
+
+    #[test]
+    fn flatten_merge() {
+        let mut outer = Value::object();
+        outer.insert("kept", Value::Bool(true));
+        let mut inner = Value::object();
+        inner.insert("from_inner", Value::UInt(7));
+        outer.merge(inner);
+        assert_eq!(outer["from_inner"], 7u64);
+        assert_eq!(outer["kept"], true);
+    }
+
+    #[test]
+    fn primitive_serialize() {
+        assert_eq!("hi".to_value(), Value::String("hi".into()));
+        assert_eq!(5usize.to_value(), Value::UInt(5));
+        assert_eq!((-3i64).to_value(), Value::Int(-3));
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+        assert_eq!(vec![1u8, 2].to_value(), Value::Array(vec![Value::UInt(1), Value::UInt(2)]));
+    }
+}

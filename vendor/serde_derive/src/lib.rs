@@ -1,0 +1,240 @@
+//! Offline stand-in for `serde_derive`, written against `proc_macro`
+//! alone (no `syn`/`quote`). It supports the shapes this workspace
+//! derives on: structs with named fields and enums with unit variants,
+//! honoring `#[serde(rename = "...")]` and `#[serde(flatten)]` field
+//! attributes. Anything else fails loudly at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct FieldAttrs {
+    rename: Option<String>,
+    flatten: bool,
+    skip: bool,
+}
+
+/// Parses the tokens of one `#[...]` attribute group, updating `attrs`
+/// if it is a `serde(...)` attribute.
+fn parse_attr_group(group: &proc_macro::Group, attrs: &mut FieldAttrs) {
+    let mut it = group.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(inner)) = it.next() else { return };
+    let toks: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                if name == "flatten" {
+                    attrs.flatten = true;
+                    i += 1;
+                } else if name == "skip" || name == "skip_serializing" {
+                    attrs.skip = true;
+                    i += 1;
+                } else if name == "rename" {
+                    // rename = "literal"
+                    if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                        (toks.get(i + 1), toks.get(i + 2))
+                    {
+                        if eq.as_char() == '=' {
+                            attrs.rename = Some(unquote(&lit.to_string()));
+                        }
+                    }
+                    i += 3;
+                } else {
+                    // Unknown serde attribute (e.g. skip_serializing_if):
+                    // skip the ident and any `= value` that follows.
+                    i += 1;
+                    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                        i += 2;
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Strips the surrounding quotes from a string-literal token.
+fn unquote(lit: &str) -> String {
+    let inner = lit.trim_start_matches('"').trim_end_matches('"');
+    // Un-escape the couple of sequences that can appear in our keys.
+    inner.replace("\\\"", "\"").replace("\\\\", "\\")
+}
+
+/// Emits a string as a Rust string literal.
+fn quote_str(s: &str) -> String {
+    format!("{s:?}")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility ahead of `struct`/`enum`.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(
+                    tokens.get(i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                i += 1;
+                break id.to_string();
+            }
+            Some(other) => {
+                panic!("derive(Serialize) shim: unexpected token `{other}`")
+            }
+            None => panic!("derive(Serialize) shim: ran out of tokens"),
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize) shim: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize) shim: generic types are not supported ({name})");
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("derive(Serialize) shim: expected braced body for {name}, got {other:?}"),
+    };
+
+    let code = if kind == "struct" { derive_struct(&name, body) } else { derive_enum(&name, body) };
+    code.parse().expect("derive(Serialize) shim: generated code parses")
+}
+
+fn derive_struct(name: &str, body: &proc_macro::Group) -> String {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut i = 0;
+    let mut lines = String::new();
+
+    while i < toks.len() {
+        let mut attrs = FieldAttrs::default();
+        // Field attributes.
+        while matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                parse_attr_group(g, &mut attrs);
+            }
+            i += 2;
+        }
+        // Visibility.
+        if matches!(toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(
+                toks.get(i),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                i += 1;
+            }
+        }
+        let Some(TokenTree::Ident(field)) = toks.get(i) else {
+            break;
+        };
+        let field = field.to_string();
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("derive(Serialize) shim: {name} must use named fields (at `{field}`)"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(t) = toks.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+
+        if attrs.skip {
+            continue;
+        }
+        if attrs.flatten {
+            lines.push_str(&format!("__obj.merge(::serde::Serialize::to_value(&self.{field}));\n"));
+        } else {
+            let key = attrs.rename.unwrap_or_else(|| field.clone());
+            lines.push_str(&format!(
+                "__obj.insert({}, ::serde::Serialize::to_value(&self.{field}));\n",
+                quote_str(&key)
+            ));
+        }
+    }
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::Value {{\n\
+             let mut __obj = ::serde::Value::object();\n\
+             {lines}\
+             __obj\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn derive_enum(name: &str, body: &proc_macro::Group) -> String {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut i = 0;
+    let mut arms = String::new();
+
+    while i < toks.len() {
+        let mut attrs = FieldAttrs::default();
+        while matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                parse_attr_group(g, &mut attrs);
+            }
+            i += 2;
+        }
+        let Some(TokenTree::Ident(variant)) = toks.get(i) else {
+            break;
+        };
+        let variant = variant.to_string();
+        i += 1;
+        if let Some(TokenTree::Group(_)) = toks.get(i) {
+            panic!(
+                "derive(Serialize) shim: enum {name} must have unit variants only \
+                 (at `{variant}`)"
+            );
+        }
+        // Skip a possible `= discriminant`.
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 2;
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        let key = attrs.rename.unwrap_or_else(|| variant.clone());
+        arms.push_str(&format!("{name}::{variant} => {},\n", quote_str(&key)));
+    }
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::Value {{\n\
+             ::serde::Value::String(String::from(match self {{\n\
+               {arms}\
+             }}))\n\
+           }}\n\
+         }}"
+    )
+}
