@@ -124,6 +124,23 @@ impl TajConfig {
         TajConfig { name: "CS-Escape", escape_analysis: true, ..Self::cs_thin() }
     }
 
+    /// Looks a configuration up by name: either the Table 1 name
+    /// (`Hybrid-Unbounded`, `CS`, ...) or the short CLI/protocol alias
+    /// (`hybrid`, `cs`, `cs-escape`, ...). The single source of truth for
+    /// every front door — the one-shot CLI, the daemon protocol, and the
+    /// client all resolve names here, so they cannot drift.
+    pub fn by_name(name: &str) -> Option<TajConfig> {
+        Some(match name {
+            "hybrid" | "unbounded" | "Hybrid-Unbounded" => Self::hybrid_unbounded(),
+            "prioritized" | "Hybrid-Prioritized" => Self::hybrid_prioritized(),
+            "optimized" | "Hybrid-Optimized" => Self::hybrid_optimized(),
+            "cs" | "CS" => Self::cs_thin(),
+            "ci" | "CI" => Self::ci_thin(),
+            "cs_escape" | "cs-escape" | "escape" | "CS-Escape" => Self::cs_escape(),
+            _ => return None,
+        })
+    }
+
     /// All six configurations: the paper's five columns in order, then the
     /// CS-Escape repair.
     pub fn all() -> Vec<TajConfig> {
@@ -166,6 +183,18 @@ mod tests {
         assert_eq!(ce.algorithm, Algorithm::CsThin);
         assert!(ce.escape_analysis);
         assert_eq!(ce.cs_path_edge_budget, cs.cs_path_edge_budget);
+    }
+
+    #[test]
+    fn by_name_resolves_table_names_and_aliases() {
+        for c in TajConfig::all() {
+            let resolved = TajConfig::by_name(c.name).expect("Table 1 name resolves");
+            assert_eq!(resolved.name, c.name);
+        }
+        assert_eq!(TajConfig::by_name("hybrid").unwrap().name, "Hybrid-Unbounded");
+        assert_eq!(TajConfig::by_name("cs-escape").unwrap().name, "CS-Escape");
+        assert!(TajConfig::by_name("nope").is_none());
+        assert!(TajConfig::by_name("").is_none());
     }
 
     #[test]

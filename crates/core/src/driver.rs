@@ -2,6 +2,7 @@
 //! analysis & call-graph construction, then per-rule slicing, bounds, and
 //! LCP report minimization.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use serde::Serialize;
@@ -274,6 +275,28 @@ pub fn run_phase1(prepared: &PreparedProgram, config: &TajConfig) -> Phase1 {
         pointer_ms: t0.elapsed().as_millis(),
         cg_key: (config.max_cg_nodes, config.priority),
     }
+}
+
+/// [`prepare`], but returning the program behind an [`Arc`] for callers
+/// that hand it to caches or across threads. `PreparedProgram` and
+/// [`Phase1`] deliberately do **not** implement `Clone`: phase-1 products
+/// are multi-megabyte and must be shared by pointer, never deep-copied —
+/// a cache hit is an `Arc` bump.
+///
+/// # Errors
+/// Returns [`TajError::Parse`] on frontend failures.
+pub fn prepare_shared(
+    src: &str,
+    descriptor: Option<&DeploymentDescriptor>,
+    rules: RuleSet,
+) -> Result<Arc<PreparedProgram>, TajError> {
+    prepare(src, descriptor, rules).map(Arc::new)
+}
+
+/// [`run_phase1`], but returning the result behind an [`Arc`] — the
+/// cache-friendly entry point (see [`prepare_shared`]).
+pub fn run_phase1_shared(prepared: &PreparedProgram, config: &TajConfig) -> Arc<Phase1> {
+    Arc::new(run_phase1(prepared, config))
 }
 
 /// Runs one configuration over an already-prepared program.

@@ -52,8 +52,9 @@ pub mod scoring;
 
 pub use config::{Algorithm, TajConfig};
 pub use driver::{
-    analyze_prepared, analyze_source, analyze_with_phase1, prepare, run_phase1, AnalysisStats,
-    AnalyzedFlow, ConcurrencyReport, Phase1, PreparedProgram, TajError, TajFinding, TajReport,
+    analyze_prepared, analyze_source, analyze_with_phase1, prepare, prepare_shared, run_phase1,
+    run_phase1_shared, AnalysisStats, AnalyzedFlow, ConcurrencyReport, Phase1, PreparedProgram,
+    TajError, TajFinding, TajReport,
 };
 pub use frameworks::{DeploymentDescriptor, EjbEntry};
 pub use lcp::Finding;

@@ -1,0 +1,208 @@
+//! A pure-std client for the daemon protocol: one socket, sequential
+//! request/response lines. Used by `taj client` and the integration
+//! tests; doubles as the reference implementation of the wire format.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use serde::Value;
+
+use crate::server::BoundAddr;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket error (or server closed the connection mid-response).
+    Io(io::Error),
+    /// The server's reply was not a valid response object.
+    Protocol(String),
+    /// A structured error response from the server.
+    Remote {
+        /// `error.code` from the response.
+        code: String,
+        /// `error.message` from the response.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Remote { code, message } => write!(f, "server error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Options for [`Client::analyze`].
+#[derive(Clone, Debug, Default)]
+pub struct AnalyzeOpts {
+    /// Named configuration (`None` → server default, `hybrid`).
+    pub config: Option<String>,
+    /// Rules-file text overriding the default rule set.
+    pub rules: Option<String>,
+    /// Request SARIF instead of the report JSON.
+    pub sarif: bool,
+    /// Per-request deadline (ms).
+    pub timeout_ms: Option<u64>,
+}
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects over TCP (`host:port`).
+    ///
+    /// # Errors
+    /// Propagates connection failures.
+    pub fn connect_tcp(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(Box::new(read_half)),
+            writer: Box::new(stream),
+            next_id: 1,
+        })
+    }
+
+    /// Connects over a Unix domain socket.
+    ///
+    /// # Errors
+    /// Propagates connection failures.
+    pub fn connect_unix(path: &Path) -> io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(Box::new(read_half)),
+            writer: Box::new(stream),
+            next_id: 1,
+        })
+    }
+
+    /// Connects to a server handle's bound address (test convenience).
+    ///
+    /// # Errors
+    /// Propagates connection failures.
+    pub fn connect(addr: &BoundAddr) -> io::Result<Client> {
+        match addr {
+            BoundAddr::Tcp(a) => Self::connect_tcp(&a.to_string()),
+            BoundAddr::Unix(p) => Self::connect_unix(p),
+        }
+    }
+
+    /// Sends one raw line (no trailing newline needed) and returns the raw
+    /// response line — the escape hatch for malformed-input tests and
+    /// byte-identity assertions.
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] on socket failures or a closed connection.
+    pub fn request_raw(&mut self, line: &str) -> Result<String, ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Ok(response.trim_end_matches('\n').to_string())
+    }
+
+    /// Sends a request object and returns the `result` payload, mapping
+    /// `ok:false` responses to [`ClientError::Remote`]. An `id` is
+    /// auto-assigned when the object lacks one.
+    ///
+    /// # Errors
+    /// [`ClientError`] on socket, framing, or server-reported failures.
+    pub fn request(&mut self, mut request: Value) -> Result<Value, ClientError> {
+        if request.get("id").is_none() {
+            request.insert("id", Value::UInt(u128::from(self.next_id)));
+            self.next_id += 1;
+        }
+        let line = serde_json::to_string(&request)
+            .map_err(|e| ClientError::Protocol(format!("cannot serialize request: {e}")))?;
+        let raw = self.request_raw(&line)?;
+        let response = serde_json::from_str(&raw)
+            .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))?;
+        match response.get("ok").and_then(Value::as_bool) {
+            Some(true) => Ok(response.get("result").cloned().unwrap_or(Value::Null)),
+            Some(false) => {
+                let code = response["error"]["code"].as_str().unwrap_or("unknown").to_string();
+                let message = response["error"]["message"].as_str().unwrap_or("").to_string();
+                Err(ClientError::Remote { code, message })
+            }
+            None => Err(ClientError::Protocol("response missing `ok` field".to_string())),
+        }
+    }
+
+    /// Runs an analysis; returns the report (or SARIF) JSON value.
+    ///
+    /// # Errors
+    /// [`ClientError`] on socket, framing, or server-reported failures.
+    pub fn analyze(&mut self, source: &str, opts: &AnalyzeOpts) -> Result<Value, ClientError> {
+        let mut req = Value::object();
+        req.insert("cmd", Value::String("analyze".to_string()));
+        req.insert("source", Value::String(source.to_string()));
+        if let Some(c) = &opts.config {
+            req.insert("config", Value::String(c.clone()));
+        }
+        if let Some(r) = &opts.rules {
+            req.insert("rules", Value::String(r.clone()));
+        }
+        if opts.sarif {
+            req.insert("format", Value::String("sarif".to_string()));
+        }
+        if let Some(t) = opts.timeout_ms {
+            req.insert("timeout_ms", Value::UInt(u128::from(t)));
+        }
+        self.request(req)
+    }
+
+    /// Lists the server's configurations.
+    ///
+    /// # Errors
+    /// [`ClientError`] on socket, framing, or server-reported failures.
+    pub fn configs(&mut self) -> Result<Value, ClientError> {
+        self.simple("configs")
+    }
+
+    /// Fetches daemon + cache counters.
+    ///
+    /// # Errors
+    /// [`ClientError`] on socket, framing, or server-reported failures.
+    pub fn stats(&mut self) -> Result<Value, ClientError> {
+        self.simple("stats")
+    }
+
+    /// Asks the daemon to drain and exit.
+    ///
+    /// # Errors
+    /// [`ClientError`] on socket, framing, or server-reported failures.
+    pub fn shutdown(&mut self) -> Result<Value, ClientError> {
+        self.simple("shutdown")
+    }
+
+    fn simple(&mut self, cmd: &str) -> Result<Value, ClientError> {
+        let mut req = Value::object();
+        req.insert("cmd", Value::String(cmd.to_string()));
+        self.request(req)
+    }
+}

@@ -1,0 +1,40 @@
+//! # taj-service — the TAJ analysis daemon
+//!
+//! TAJ's pipeline is deliberately staged: an expensive phase-1 pointer
+//! analysis / call-graph construction feeds a cheap, demand-driven
+//! phase-2 hybrid slicing (paper §1, §3). A one-shot CLI pays the
+//! dominant phase-1 cost on every invocation; this crate adds the serving
+//! layer that pays it **once**: a long-running daemon (`taj serve`)
+//! accepting newline-delimited JSON requests over a Unix domain socket or
+//! TCP, dispatching them to a fixed `std::thread` worker pool, and
+//! answering from a content-addressed cache of `PreparedProgram`,
+//! `Phase1`, and serialized-report artifacts with LRU byte-budget
+//! eviction.
+//!
+//! Std-only by construction: the workspace is offline (vendored serde
+//! shims, no tokio/hyper), so networking is `std::net` + `std::os::unix`
+//! and concurrency is threads + channels.
+//!
+//! - [`protocol`] — the strict NDJSON wire format (`analyze`, `configs`,
+//!   `stats`, `shutdown`) and error codes;
+//! - [`cache`] — the content-addressed LRU artifact cache;
+//! - [`pool`] — the MPMC worker pool with per-job panic isolation;
+//! - [`server`] — the daemon itself;
+//! - [`client`] — a pure-std client library (used by `taj client` and
+//!   the integration tests).
+//!
+//! See `docs/service.md` for the wire protocol and cache semantics.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{content_hash, Artifact, ArtifactCache, ArtifactKey, CacheStats};
+pub use client::{AnalyzeOpts, Client, ClientError};
+pub use pool::WorkerPool;
+pub use protocol::{ErrorCode, OutputFormat, PROTOCOL_VERSION};
+pub use server::{serve, Bind, BoundAddr, ServeOptions, ServerHandle};

@@ -1,0 +1,189 @@
+//! A fixed `std::thread` worker pool fed by an MPMC job queue.
+//!
+//! The queue is a plain `mpsc` channel whose receiver is shared behind a
+//! `Mutex` — the standard std-only MPMC construction: any idle worker
+//! locks the receiver, takes one job, releases, runs. Panics inside a job
+//! are caught per-job so a poisoned analysis never kills its worker (let
+//! alone the daemon); the panic is counted and the job's result channel
+//! simply drops, which the submitter observes as a disconnect.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work. Jobs communicate results over their own channels.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Submission error: the pool has been shut down.
+#[derive(Debug)]
+pub struct PoolClosed;
+
+/// The worker pool. Dropping it without [`WorkerPool::shutdown`] detaches
+/// the workers (they drain the queue and exit).
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    completed: Arc<AtomicU64>,
+    panicked: Arc<AtomicU64>,
+}
+
+impl WorkerPool {
+    /// Spawns `size.max(1)` workers.
+    pub fn new(size: usize) -> WorkerPool {
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let completed = Arc::new(AtomicU64::new(0));
+        let panicked = Arc::new(AtomicU64::new(0));
+        let workers = (0..size.max(1))
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let completed = Arc::clone(&completed);
+                let panicked = Arc::clone(&panicked);
+                std::thread::Builder::new()
+                    .name(format!("taj-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver, &completed, &panicked))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { sender: Some(sender), workers, completed, panicked }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job for the next idle worker.
+    ///
+    /// # Errors
+    /// [`PoolClosed`] after [`WorkerPool::shutdown`].
+    pub fn submit(&self, job: Job) -> Result<(), PoolClosed> {
+        match &self.sender {
+            Some(s) => s.send(job).map_err(|_| PoolClosed),
+            None => Err(PoolClosed),
+        }
+    }
+
+    /// Jobs run to completion (including ones whose body panicked).
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::SeqCst)
+    }
+
+    /// Jobs whose body panicked.
+    pub fn panicked(&self) -> u64 {
+        self.panicked.load(Ordering::SeqCst)
+    }
+
+    /// Shared handle to the panic counter (for server stats).
+    pub fn panic_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.panicked)
+    }
+
+    /// Closes the queue and joins every worker after it drains: queued and
+    /// in-flight jobs all complete — the daemon's graceful-drain
+    /// primitive.
+    pub fn shutdown(mut self) {
+        self.sender = None; // disconnect: workers exit once the queue is empty
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(
+    receiver: &Arc<Mutex<Receiver<Job>>>,
+    completed: &Arc<AtomicU64>,
+    panicked: &Arc<AtomicU64>,
+) {
+    loop {
+        let job = {
+            let guard = match receiver.lock() {
+                Ok(g) => g,
+                Err(_) => return, // queue mutex poisoned: no more work is coming
+            };
+            guard.recv()
+        };
+        match job {
+            Ok(job) => {
+                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                    panicked.fetch_add(1, Ordering::SeqCst);
+                }
+                completed.fetch_add(1, Ordering::SeqCst);
+            }
+            Err(_) => return, // sender dropped and queue drained
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::RecvTimeoutError;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_jobs_on_multiple_workers() {
+        let pool = WorkerPool::new(4);
+        let (tx, rx) = channel();
+        for i in 0..32u64 {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || tx.send(i).unwrap())).unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<u64> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_workers() {
+        let pool = WorkerPool::new(1);
+        let completed = Arc::clone(&pool.completed);
+        let panicked = pool.panic_counter();
+        pool.submit(Box::new(|| panic!("job goes boom"))).unwrap();
+        let (tx, rx) = channel();
+        pool.submit(Box::new(move || tx.send(41u8).unwrap())).unwrap();
+        // The single worker survived the panic and ran the next job.
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(41));
+        // Counters are only final once the worker is joined — `send`
+        // happens inside the job, before its completion accounting.
+        pool.shutdown();
+        assert_eq!(panicked.load(Ordering::SeqCst), 1);
+        assert_eq!(completed.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = channel();
+        for _ in 0..8 {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                tx.send(()).unwrap();
+            }))
+            .unwrap();
+        }
+        drop(tx);
+        pool.shutdown(); // must block until all 8 ran
+        assert_eq!(rx.try_iter().count(), 8);
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails() {
+        let pool = WorkerPool::new(1);
+        let counter = pool.panic_counter();
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 0);
+        // A fresh pool that is immediately closed rejects submissions.
+        let mut pool = WorkerPool::new(1);
+        pool.sender = None;
+        assert!(pool.submit(Box::new(|| {})).is_err());
+        let (tx, rx) = channel::<()>();
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Disconnected));
+    }
+}

@@ -1,0 +1,310 @@
+//! The wire protocol: newline-delimited JSON (NDJSON) requests and
+//! responses.
+//!
+//! Every request is one JSON object on one line with a `cmd` field and an
+//! optional `id` the server echoes back. The protocol is **strict**:
+//! unknown commands and unknown fields are rejected with `bad_request`
+//! rather than silently ignored, so client typos cannot change semantics.
+//!
+//! See `docs/service.md` for the full request/response schemas.
+
+use serde::Value;
+
+/// Protocol version reported by `stats`.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Machine-readable error categories carried in `error.code`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed JSON, missing/mistyped fields, or unknown fields.
+    BadRequest,
+    /// `cmd` is not one the server accepts.
+    UnknownCommand,
+    /// `config` does not name a known configuration.
+    UnknownConfig,
+    /// The `rules` text failed to parse.
+    BadRules,
+    /// The submitted source failed the jweb frontend.
+    ParseError,
+    /// The CS slicer exceeded its path-edge (memory) budget.
+    OutOfMemory,
+    /// The request exceeded its deadline; the job may still be running.
+    Timeout,
+    /// The analysis worker panicked; the daemon itself survives.
+    WorkerPanic,
+    /// The daemon is draining after `shutdown` and takes no new work.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// Stable string form used on the wire.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownCommand => "unknown_command",
+            ErrorCode::UnknownConfig => "unknown_config",
+            ErrorCode::BadRules => "bad_rules",
+            ErrorCode::ParseError => "parse_error",
+            ErrorCode::OutOfMemory => "out_of_memory",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::WorkerPanic => "worker_panic",
+            ErrorCode::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// Result rendering for `analyze`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OutputFormat {
+    /// The full [`taj_core::TajReport`] as JSON (default).
+    Report,
+    /// SARIF 2.1.0, as a JSON document.
+    Sarif,
+}
+
+impl OutputFormat {
+    fn from_wire(s: &str) -> Option<OutputFormat> {
+        match s {
+            "report" => Some(OutputFormat::Report),
+            "sarif" => Some(OutputFormat::Sarif),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed `analyze` request.
+#[derive(Clone, Debug)]
+pub struct AnalyzeRequest {
+    /// jweb source text to analyze.
+    pub source: String,
+    /// Named configuration (see `taj configs`); defaults to `hybrid`.
+    pub config: String,
+    /// Optional rules-file text replacing the default rule set.
+    pub rules: Option<String>,
+    /// Result rendering.
+    pub format: OutputFormat,
+    /// Per-request deadline override (ms).
+    pub timeout_ms: Option<u64>,
+}
+
+/// One decoded request command.
+#[derive(Clone, Debug)]
+pub enum Command {
+    /// Run (or serve from cache) a taint analysis.
+    Analyze(AnalyzeRequest),
+    /// List the available configuration names.
+    Configs,
+    /// Report daemon + cache counters.
+    Stats,
+    /// Drain in-flight jobs and exit.
+    Shutdown,
+    /// Debug only: a worker job that sleeps `ms` (for timeout tests).
+    DebugSleep {
+        /// Sleep duration in milliseconds.
+        ms: u64,
+        /// Per-request deadline override (ms).
+        timeout_ms: Option<u64>,
+    },
+    /// Debug only: a worker job that panics (for isolation tests).
+    DebugPanic,
+}
+
+/// A full request: client-chosen `id` (echoed back) plus the command.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The client's correlation id (`null` when absent).
+    pub id: Value,
+    /// The decoded command.
+    pub command: Command,
+}
+
+/// A protocol-level rejection: code plus human-readable message.
+pub type ProtocolError = (ErrorCode, String);
+
+fn bad(msg: impl Into<String>) -> ProtocolError {
+    (ErrorCode::BadRequest, msg.into())
+}
+
+fn get_str(obj: &Value, key: &str) -> Result<Option<String>, ProtocolError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Value::String(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(bad(format!("field `{key}` must be a string"))),
+    }
+}
+
+fn get_u64(obj: &Value, key: &str) -> Result<Option<u64>, ProtocolError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => match v.as_u64() {
+            Some(n) => Ok(Some(n)),
+            None => Err(bad(format!("field `{key}` must be a non-negative integer"))),
+        },
+    }
+}
+
+/// Rejects any top-level key outside `allowed` — the strictness that lets
+/// clients trust a typo'd field will fail loudly instead of being dropped.
+fn check_fields(obj: &Value, allowed: &[&str]) -> Result<(), ProtocolError> {
+    if let Value::Object(entries) = obj {
+        for (k, _) in entries {
+            if !allowed.contains(&k.as_str()) {
+                return Err(bad(format!("unknown field `{k}`")));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses one request line. `debug` enables the `debug_*` commands.
+///
+/// # Errors
+/// Returns a [`ProtocolError`] on malformed JSON, a non-object payload,
+/// unknown commands/fields, or mistyped field values.
+pub fn parse_request(line: &str, debug: bool) -> Result<Request, ProtocolError> {
+    let value = serde_json::from_str(line).map_err(|e| bad(format!("malformed JSON: {e}")))?;
+    if !matches!(value, Value::Object(_)) {
+        return Err(bad("request must be a JSON object"));
+    }
+    let id = value.get("id").cloned().unwrap_or(Value::Null);
+    let cmd = get_str(&value, "cmd")?.ok_or_else(|| bad("missing `cmd` field"))?;
+    let command = match cmd.as_str() {
+        "analyze" => {
+            check_fields(
+                &value,
+                &["id", "cmd", "source", "config", "rules", "format", "timeout_ms"],
+            )?;
+            let source = get_str(&value, "source")?.ok_or_else(|| bad("missing `source`"))?;
+            let config = get_str(&value, "config")?.unwrap_or_else(|| "hybrid".to_string());
+            let rules = get_str(&value, "rules")?;
+            let format = match get_str(&value, "format")? {
+                None => OutputFormat::Report,
+                Some(f) => OutputFormat::from_wire(&f)
+                    .ok_or_else(|| bad(format!("unknown format `{f}` (report|sarif)")))?,
+            };
+            let timeout_ms = get_u64(&value, "timeout_ms")?;
+            Command::Analyze(AnalyzeRequest { source, config, rules, format, timeout_ms })
+        }
+        "configs" => {
+            check_fields(&value, &["id", "cmd"])?;
+            Command::Configs
+        }
+        "stats" => {
+            check_fields(&value, &["id", "cmd"])?;
+            Command::Stats
+        }
+        "shutdown" => {
+            check_fields(&value, &["id", "cmd"])?;
+            Command::Shutdown
+        }
+        "debug_sleep" if debug => {
+            check_fields(&value, &["id", "cmd", "ms", "timeout_ms"])?;
+            let ms = get_u64(&value, "ms")?.ok_or_else(|| bad("missing `ms`"))?;
+            Command::DebugSleep { ms, timeout_ms: get_u64(&value, "timeout_ms")? }
+        }
+        "debug_panic" if debug => {
+            check_fields(&value, &["id", "cmd"])?;
+            Command::DebugPanic
+        }
+        other => return Err((ErrorCode::UnknownCommand, format!("unknown command `{other}`"))),
+    };
+    Ok(Request { id, command })
+}
+
+fn id_json(id: &Value) -> String {
+    serde_json::to_string(id).unwrap_or_else(|_| "null".to_string())
+}
+
+/// Builds a success response embedding `raw_result`, an already-serialized
+/// JSON fragment. Splicing the raw bytes (instead of re-parsing) is what
+/// makes cache hits byte-identical to the miss that populated them.
+pub fn ok_response_raw(id: &Value, raw_result: &str) -> String {
+    format!("{{\"id\":{},\"ok\":true,\"result\":{}}}", id_json(id), raw_result)
+}
+
+/// Builds a success response from a [`Value`] result.
+pub fn ok_response(id: &Value, result: &Value) -> String {
+    let raw = serde_json::to_string(result).unwrap_or_else(|_| "null".to_string());
+    ok_response_raw(id, &raw)
+}
+
+/// Builds an error response: `{"id":..,"ok":false,"error":{code,message}}`.
+pub fn err_response(id: &Value, code: ErrorCode, message: &str) -> String {
+    let mut error = Value::object();
+    error.insert("code", Value::String(code.as_str().to_string()));
+    error.insert("message", Value::String(message.to_string()));
+    let mut obj = Value::object();
+    obj.insert("id", id.clone());
+    obj.insert("ok", Value::Bool(false));
+    obj.insert("error", error);
+    serde_json::to_string(&obj).unwrap_or_else(|_| {
+        "{\"id\":null,\"ok\":false,\"error\":{\"code\":\"bad_request\",\"message\":\"\"}}"
+            .to_string()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_analyze() {
+        let r = parse_request(r#"{"id": 7, "cmd": "analyze", "source": "class A {}"}"#, false)
+            .expect("parses");
+        assert_eq!(r.id.as_u64(), Some(7));
+        match r.command {
+            Command::Analyze(a) => {
+                assert_eq!(a.config, "hybrid");
+                assert_eq!(a.format, OutputFormat::Report);
+                assert!(a.rules.is_none() && a.timeout_ms.is_none());
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_fields_and_commands() {
+        let e = parse_request(r#"{"cmd": "stats", "bogus": 1}"#, false).unwrap_err();
+        assert_eq!(e.0, ErrorCode::BadRequest);
+        let e = parse_request(r#"{"cmd": "frobnicate"}"#, false).unwrap_err();
+        assert_eq!(e.0, ErrorCode::UnknownCommand);
+        let e = parse_request("{oops", false).unwrap_err();
+        assert_eq!(e.0, ErrorCode::BadRequest);
+        let e = parse_request("[1,2]", false).unwrap_err();
+        assert_eq!(e.0, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn debug_commands_gated() {
+        let e = parse_request(r#"{"cmd": "debug_panic"}"#, false).unwrap_err();
+        assert_eq!(e.0, ErrorCode::UnknownCommand);
+        let r = parse_request(r#"{"cmd": "debug_panic"}"#, true).expect("debug mode accepts");
+        assert!(matches!(r.command, Command::DebugPanic));
+        let r = parse_request(r#"{"cmd": "debug_sleep", "ms": 50}"#, true).unwrap();
+        assert!(matches!(r.command, Command::DebugSleep { ms: 50, timeout_ms: None }));
+    }
+
+    #[test]
+    fn mistyped_fields_rejected() {
+        let e = parse_request(r#"{"cmd": "analyze", "source": 5}"#, false).unwrap_err();
+        assert_eq!(e.0, ErrorCode::BadRequest);
+        let e = parse_request(r#"{"cmd": "analyze", "source": "x", "timeout_ms": "soon"}"#, false)
+            .unwrap_err();
+        assert_eq!(e.0, ErrorCode::BadRequest);
+        let e = parse_request(r#"{"cmd": "analyze", "source": "x", "format": "xml"}"#, false)
+            .unwrap_err();
+        assert_eq!(e.0, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let ok = ok_response_raw(&Value::UInt(3), "{\"a\":1}");
+        let v = serde_json::from_str(&ok).unwrap();
+        assert_eq!(v["ok"], true);
+        assert_eq!(v["result"]["a"], 1u64);
+        let err = err_response(&Value::Null, ErrorCode::Timeout, "too slow");
+        let v = serde_json::from_str(&err).unwrap();
+        assert_eq!(v["ok"], false);
+        assert_eq!(v["error"]["code"], "timeout");
+    }
+}

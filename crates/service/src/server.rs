@@ -1,0 +1,534 @@
+//! The daemon: socket listener, connection handlers, job dispatch.
+//!
+//! One handler thread per connection reads NDJSON requests sequentially;
+//! `analyze` (and the debug jobs) are dispatched to the shared worker
+//! pool, so parallelism comes from concurrent connections, bounded by the
+//! pool size. Networking is std-only: `TcpListener`/`UnixListener` set to
+//! non-blocking accept with a short poll so the accept loop can observe
+//! the shutdown flag without needing an async runtime.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use serde::Value;
+use taj_core::{
+    analyze_with_phase1, parse_rules, prepare, run_phase1, RuleSet, TajConfig, TajError,
+};
+
+use crate::cache::{
+    content_hash, phase1_bytes, prepared_bytes, Artifact, ArtifactCache, ArtifactKey,
+};
+use crate::pool::{Job, WorkerPool};
+use crate::protocol::{
+    err_response, ok_response_raw, parse_request, AnalyzeRequest, Command, ErrorCode, OutputFormat,
+    ProtocolError, PROTOCOL_VERSION,
+};
+
+/// Where the daemon listens.
+#[derive(Clone, Debug)]
+pub enum Bind {
+    /// A Unix domain socket at this path (created on bind, removed on
+    /// shutdown).
+    Unix(PathBuf),
+    /// A TCP address such as `127.0.0.1:0` (port 0 picks an ephemeral
+    /// port, reported by [`ServerHandle::addr`]).
+    Tcp(String),
+}
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Listen address.
+    pub bind: Bind,
+    /// Worker threads (0 means "pick from available parallelism").
+    pub workers: usize,
+    /// Cache byte budget.
+    pub cache_bytes: usize,
+    /// Default per-request deadline; `None` waits indefinitely.
+    pub default_timeout_ms: Option<u64>,
+    /// Enables the `debug_sleep`/`debug_panic` test commands.
+    pub debug: bool,
+}
+
+impl ServeOptions {
+    /// Sensible defaults on a TCP ephemeral port: workers from available
+    /// parallelism (clamped to 2..=8), a 64 MiB cache, no timeout.
+    pub fn tcp_ephemeral() -> ServeOptions {
+        ServeOptions {
+            bind: Bind::Tcp("127.0.0.1:0".to_string()),
+            workers: 0,
+            cache_bytes: 64 << 20,
+            default_timeout_ms: None,
+            debug: false,
+        }
+    }
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(2, |n| n.get()).clamp(2, 8)
+}
+
+/// The address actually bound.
+#[derive(Clone, Debug)]
+pub enum BoundAddr {
+    /// Unix socket path.
+    Unix(PathBuf),
+    /// Resolved TCP address (ephemeral port filled in).
+    Tcp(SocketAddr),
+}
+
+impl std::fmt::Display for BoundAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoundAddr::Unix(p) => write!(f, "unix:{}", p.display()),
+            BoundAddr::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+/// Counters shared by every connection handler.
+#[derive(Default)]
+struct ServiceCounters {
+    requests: AtomicU64,
+    analyze_requests: AtomicU64,
+    errors: AtomicU64,
+    timeouts: AtomicU64,
+    prepare_runs: AtomicU64,
+    phase1_runs: AtomicU64,
+    phase2_runs: AtomicU64,
+}
+
+/// Server state shared between the accept loop, handlers, and workers.
+struct ServiceState {
+    cache: Mutex<ArtifactCache>,
+    jobs: Mutex<Option<Sender<Job>>>,
+    shutdown: AtomicBool,
+    counters: ServiceCounters,
+    panicked: Arc<AtomicU64>,
+    workers: usize,
+    default_timeout_ms: Option<u64>,
+    debug: bool,
+    started: Instant,
+}
+
+/// A running daemon.
+pub struct ServerHandle {
+    addr: BoundAddr,
+    state: Arc<ServiceState>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with any ephemeral TCP port resolved).
+    pub fn addr(&self) -> &BoundAddr {
+        &self.addr
+    }
+
+    /// Asks the daemon to drain and exit, as if a `shutdown` request
+    /// arrived.
+    pub fn request_shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the accept loop to exit and the worker pool to drain.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+/// Binds and starts the daemon, returning once it is accepting.
+///
+/// # Errors
+/// Propagates bind/listen failures.
+pub fn serve(options: ServeOptions) -> io::Result<ServerHandle> {
+    let workers = if options.workers == 0 { default_workers() } else { options.workers };
+    let (listener, addr) = match &options.bind {
+        Bind::Tcp(spec) => {
+            let l = TcpListener::bind(spec.as_str())?;
+            let a = l.local_addr()?;
+            (Listener::Tcp(l), BoundAddr::Tcp(a))
+        }
+        Bind::Unix(path) => {
+            // A stale socket file from a crashed daemon would fail bind.
+            if path.exists() {
+                let _ = std::fs::remove_file(path);
+            }
+            let l = UnixListener::bind(path)?;
+            (Listener::Unix(l), BoundAddr::Unix(path.clone()))
+        }
+    };
+    match &listener {
+        Listener::Tcp(l) => l.set_nonblocking(true)?,
+        Listener::Unix(l) => l.set_nonblocking(true)?,
+    }
+    let pool = WorkerPool::new(workers);
+    let state = Arc::new(ServiceState {
+        cache: Mutex::new(ArtifactCache::new(options.cache_bytes)),
+        jobs: Mutex::new(None),
+        shutdown: AtomicBool::new(false),
+        counters: ServiceCounters::default(),
+        panicked: pool.panic_counter(),
+        workers: pool.size(),
+        default_timeout_ms: options.default_timeout_ms,
+        debug: options.debug,
+        started: Instant::now(),
+    });
+    // Handlers submit through a dedicated channel forwarded to the pool,
+    // so the accept loop can cut off new submissions (drop the forwarder)
+    // while queued jobs still drain.
+    let (job_tx, job_rx) = channel::<Job>();
+    *state.jobs.lock().expect("jobs lock") = Some(job_tx);
+    let forward_pool = pool;
+    let forwarder = std::thread::Builder::new()
+        .name("taj-job-forwarder".to_string())
+        .spawn(move || {
+            while let Ok(job) = job_rx.recv() {
+                if forward_pool.submit(job).is_err() {
+                    break;
+                }
+            }
+            forward_pool.shutdown();
+        })
+        .expect("spawn forwarder");
+
+    let accept_state = Arc::clone(&state);
+    let accept_addr = addr.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("taj-accept".to_string())
+        .spawn(move || {
+            accept_loop(&listener, &accept_state);
+            // Stop accepting new jobs, then wait for the queue to drain.
+            accept_state.jobs.lock().expect("jobs lock").take();
+            let _ = forwarder.join();
+            if let BoundAddr::Unix(path) = &accept_addr {
+                let _ = std::fs::remove_file(path);
+            }
+        })
+        .expect("spawn accept loop");
+
+    Ok(ServerHandle { addr, state, accept_thread: Some(accept_thread) })
+}
+
+fn accept_loop(listener: &Listener, state: &Arc<ServiceState>) {
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let accepted: io::Result<Box<dyn Conn>> = match listener {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Box::new(s) as Box<dyn Conn>),
+            Listener::Unix(l) => l.accept().map(|(s, _)| Box::new(s) as Box<dyn Conn>),
+        };
+        match accepted {
+            Ok(conn) => {
+                let state = Arc::clone(state);
+                let _ = std::thread::Builder::new()
+                    .name("taj-conn".to_string())
+                    .spawn(move || handle_conn(conn, &state));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Minimal duplex-stream abstraction over TCP and Unix sockets.
+trait Conn: Read + Write + Send {
+    fn reader(&self) -> io::Result<Box<dyn Read + Send>>;
+}
+
+impl Conn for TcpStream {
+    fn reader(&self) -> io::Result<Box<dyn Read + Send>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+impl Conn for UnixStream {
+    fn reader(&self) -> io::Result<Box<dyn Read + Send>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+fn handle_conn(mut conn: Box<dyn Conn>, state: &Arc<ServiceState>) {
+    let Ok(read_half) = conn.reader() else { return };
+    let mut lines = BufReader::new(read_half).lines();
+    while let Some(Ok(line)) = lines.next() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, close_after) = handle_line(&line, state);
+        if conn.write_all(response.as_bytes()).is_err() || conn.write_all(b"\n").is_err() {
+            return;
+        }
+        let _ = conn.flush();
+        if close_after {
+            return;
+        }
+    }
+}
+
+/// Processes one request line; returns the response and whether the
+/// connection should close afterwards (shutdown acknowledged).
+fn handle_line(line: &str, state: &Arc<ServiceState>) -> (String, bool) {
+    state.counters.requests.fetch_add(1, Ordering::SeqCst);
+    let request = match parse_request(line, state.debug) {
+        Ok(r) => r,
+        Err((code, msg)) => {
+            state.counters.errors.fetch_add(1, Ordering::SeqCst);
+            return (err_response(&Value::Null, code, &msg), false);
+        }
+    };
+    let id = request.id;
+    let outcome = match request.command {
+        Command::Configs => Ok(configs_value()),
+        Command::Stats => stats_raw(state),
+        Command::Shutdown => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            return (ok_response_raw(&id, "{\"draining\":true}"), true);
+        }
+        Command::Analyze(req) => {
+            state.counters.analyze_requests.fetch_add(1, Ordering::SeqCst);
+            let timeout_ms = req.timeout_ms.or(state.default_timeout_ms);
+            dispatch(state, timeout_ms, {
+                let state = Arc::clone(state);
+                move || run_analyze(&state, &req)
+            })
+        }
+        Command::DebugSleep { ms, timeout_ms } => {
+            let timeout_ms = timeout_ms.or(state.default_timeout_ms);
+            dispatch(state, timeout_ms, move || {
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok("{\"slept_ms\":".to_string() + &ms.to_string() + "}")
+            })
+        }
+        Command::DebugPanic => {
+            dispatch(state, state.default_timeout_ms, || panic!("debug_panic requested"))
+        }
+    };
+    match outcome {
+        Ok(raw) => (ok_response_raw(&id, &raw), false),
+        Err((code, msg)) => {
+            state.counters.errors.fetch_add(1, Ordering::SeqCst);
+            if code == ErrorCode::Timeout {
+                state.counters.timeouts.fetch_add(1, Ordering::SeqCst);
+            }
+            (err_response(&id, code, &msg), false)
+        }
+    }
+}
+
+/// Submits `work` to the pool and waits for its result, applying the
+/// per-request deadline. A worker panic surfaces as `worker_panic` (the
+/// result channel drops without a message); the deadline as `timeout`.
+fn dispatch<F>(
+    state: &Arc<ServiceState>,
+    timeout_ms: Option<u64>,
+    work: F,
+) -> Result<String, ProtocolError>
+where
+    F: FnOnce() -> Result<String, ProtocolError> + Send + 'static,
+{
+    if state.shutdown.load(Ordering::SeqCst) {
+        return Err((ErrorCode::ShuttingDown, "daemon is draining".to_string()));
+    }
+    let (tx, rx) = channel::<Result<String, ProtocolError>>();
+    // This catch runs before the pool's own per-job catch, so count the
+    // panic here — the shared counter backs the `worker_panics` stat.
+    let panicked = Arc::clone(&state.panicked);
+    let job: Job = Box::new(move || {
+        let result = catch_unwind(AssertUnwindSafe(work)).unwrap_or_else(|_| {
+            panicked.fetch_add(1, Ordering::SeqCst);
+            Err((ErrorCode::WorkerPanic, "analysis worker panicked".into()))
+        });
+        let _ = tx.send(result);
+    });
+    {
+        let jobs = state.jobs.lock().map_err(|_| poisoned())?;
+        match jobs.as_ref() {
+            Some(sender) => {
+                sender
+                    .send(job)
+                    .map_err(|_| (ErrorCode::ShuttingDown, "daemon is draining".to_string()))?;
+            }
+            None => return Err((ErrorCode::ShuttingDown, "daemon is draining".to_string())),
+        }
+    }
+    let received = match timeout_ms {
+        Some(ms) => rx.recv_timeout(Duration::from_millis(ms)),
+        None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+    };
+    match received {
+        Ok(result) => result,
+        Err(RecvTimeoutError::Timeout) => Err((
+            ErrorCode::Timeout,
+            format!("request exceeded its {}ms deadline", timeout_ms.unwrap_or(0)),
+        )),
+        // The job dropped its sender without replying: the closure itself
+        // panicked outside our catch (should be unreachable, but stay
+        // structured rather than hanging).
+        Err(RecvTimeoutError::Disconnected) => {
+            Err((ErrorCode::WorkerPanic, "analysis worker panicked".to_string()))
+        }
+    }
+}
+
+fn poisoned() -> ProtocolError {
+    (ErrorCode::WorkerPanic, "server state poisoned".to_string())
+}
+
+/// The cache-aware analysis pipeline: report cache → prepared cache →
+/// phase-1 cache → phase 2. Artifacts are built outside the cache lock
+/// and shared via `Arc`, so hits are pointer copies.
+fn run_analyze(state: &Arc<ServiceState>, req: &AnalyzeRequest) -> Result<String, ProtocolError> {
+    let config = TajConfig::by_name(&req.config)
+        .ok_or_else(|| (ErrorCode::UnknownConfig, format!("unknown config `{}`", req.config)))?;
+    let src = content_hash(req.source.as_bytes());
+    let rules_hash = req.rules.as_ref().map_or(0, |r| content_hash(r.as_bytes()));
+
+    let report_key = ArtifactKey::Report {
+        src,
+        rules: rules_hash,
+        config: config.name.to_string(),
+        format: req.format,
+    };
+    // NB: every lookup is bound to a local before matching — a `match`
+    // on `lock_cache(..)?.get(..)` would keep the MutexGuard temporary
+    // alive across the miss arm's re-lock and self-deadlock.
+    let cached_report = lock_cache(state)?.get(&report_key);
+    if let Some(Artifact::Report(cached)) = cached_report {
+        return Ok((*cached).clone());
+    }
+
+    // Prepared program (parse + modeling + SSA).
+    let prepared_key = ArtifactKey::Prepared { src, rules: rules_hash };
+    let cached_prepared = lock_cache(state)?.get(&prepared_key);
+    let prepared = match cached_prepared {
+        Some(Artifact::Prepared(p)) => p,
+        _ => {
+            let rules = match &req.rules {
+                Some(text) => {
+                    parse_rules(text).map_err(|e| (ErrorCode::BadRules, e.to_string()))?
+                }
+                None => RuleSet::default_rules(),
+            };
+            let p = prepare(&req.source, None, rules).map_err(|e| match e {
+                TajError::Parse(p) => (ErrorCode::ParseError, p.to_string()),
+                other => (ErrorCode::ParseError, other.to_string()),
+            })?;
+            state.counters.prepare_runs.fetch_add(1, Ordering::SeqCst);
+            let p = Arc::new(p);
+            lock_cache(state)?.insert(
+                prepared_key,
+                Artifact::Prepared(Arc::clone(&p)),
+                prepared_bytes(req.source.len()),
+            );
+            p
+        }
+    };
+
+    // Phase 1, keyed by the call-graph settings it is valid for.
+    let phase1_key = ArtifactKey::Phase1 {
+        src,
+        rules: rules_hash,
+        max_cg_nodes: config.max_cg_nodes,
+        priority: config.priority,
+    };
+    let cached_phase1 = lock_cache(state)?.get(&phase1_key);
+    let phase1 = match cached_phase1 {
+        Some(Artifact::Phase1(p)) if p.matches(&config) => p,
+        _ => {
+            let p = Arc::new(run_phase1(&prepared, &config));
+            state.counters.phase1_runs.fetch_add(1, Ordering::SeqCst);
+            let bytes = phase1_bytes(&p);
+            lock_cache(state)?.insert(phase1_key, Artifact::Phase1(Arc::clone(&p)), bytes);
+            p
+        }
+    };
+
+    // Phase 2 (always runs on a report-cache miss; it is the cheap half).
+    let report = analyze_with_phase1(&prepared, &phase1, &config).map_err(|e| match e {
+        TajError::OutOfMemory { path_edges } => (
+            ErrorCode::OutOfMemory,
+            format!("analysis ran out of memory budget ({path_edges} path edges)"),
+        ),
+        other => (ErrorCode::ParseError, other.to_string()),
+    })?;
+    state.counters.phase2_runs.fetch_add(1, Ordering::SeqCst);
+
+    let serialized = match req.format {
+        OutputFormat::Report => serde_json::to_string(&report)
+            .map_err(|e| (ErrorCode::BadRequest, format!("serialization failed: {e}")))?,
+        // `to_sarif` pretty-prints; recompact it so the response stays a
+        // single NDJSON line.
+        OutputFormat::Sarif => taj_core::to_sarif(&report)
+            .and_then(|s| serde_json::from_str(&s))
+            .and_then(|v| serde_json::to_string(&v))
+            .map_err(|e| (ErrorCode::BadRequest, format!("SARIF serialization failed: {e}")))?,
+    };
+    let bytes = serialized.len();
+    lock_cache(state)?.insert(report_key, Artifact::Report(Arc::new(serialized.clone())), bytes);
+    Ok(serialized)
+}
+
+fn lock_cache(
+    state: &Arc<ServiceState>,
+) -> Result<std::sync::MutexGuard<'_, ArtifactCache>, ProtocolError> {
+    state.cache.lock().map_err(|_| poisoned())
+}
+
+fn configs_value() -> String {
+    let mut items = Vec::new();
+    for c in TajConfig::all() {
+        let mut o = Value::object();
+        o.insert("name", Value::String(c.name.to_string()));
+        o.insert("algorithm", Value::String(format!("{:?}", c.algorithm)));
+        o.insert("escape_analysis", Value::Bool(c.escape_analysis));
+        items.push(o);
+    }
+    serde_json::to_string(&Value::Array(items)).unwrap_or_else(|_| "[]".to_string())
+}
+
+fn stats_raw(state: &Arc<ServiceState>) -> Result<String, ProtocolError> {
+    let c = &state.counters;
+    let cache = lock_cache(state)?.stats();
+    let mut o = Value::object();
+    o.insert("protocol_version", Value::UInt(u128::from(PROTOCOL_VERSION)));
+    o.insert("uptime_ms", Value::UInt(state.started.elapsed().as_millis()));
+    o.insert("workers", Value::UInt(state.workers as u128));
+    o.insert("requests", Value::UInt(u128::from(c.requests.load(Ordering::SeqCst))));
+    o.insert(
+        "analyze_requests",
+        Value::UInt(u128::from(c.analyze_requests.load(Ordering::SeqCst))),
+    );
+    o.insert("errors", Value::UInt(u128::from(c.errors.load(Ordering::SeqCst))));
+    o.insert("timeouts", Value::UInt(u128::from(c.timeouts.load(Ordering::SeqCst))));
+    o.insert("worker_panics", Value::UInt(u128::from(state.panicked.load(Ordering::SeqCst))));
+    o.insert("prepare_runs", Value::UInt(u128::from(c.prepare_runs.load(Ordering::SeqCst))));
+    o.insert("phase1_runs", Value::UInt(u128::from(c.phase1_runs.load(Ordering::SeqCst))));
+    o.insert("phase2_runs", Value::UInt(u128::from(c.phase2_runs.load(Ordering::SeqCst))));
+    let mut cache_o = Value::object();
+    cache_o.insert("hits", Value::UInt(u128::from(cache.hits)));
+    cache_o.insert("misses", Value::UInt(u128::from(cache.misses)));
+    cache_o.insert("evictions", Value::UInt(u128::from(cache.evictions)));
+    cache_o.insert("bytes_used", Value::UInt(cache.bytes_used as u128));
+    cache_o.insert("bytes_budget", Value::UInt(cache.bytes_budget as u128));
+    cache_o.insert("entries", Value::UInt(cache.entries as u128));
+    o.insert("cache", cache_o);
+    serde_json::to_string(&o).map_err(|e| (ErrorCode::BadRequest, e.to_string()))
+}

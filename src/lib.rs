@@ -39,6 +39,7 @@ pub use jir;
 pub use taj_core as core;
 pub use taj_pointer as pointer;
 pub use taj_sdg as sdg;
+pub use taj_service as service;
 pub use taj_webgen as webgen;
 
 pub use taj_core::{analyze_source, IssueType, RuleSet, TajConfig, TajError, TajReport};

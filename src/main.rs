@@ -4,99 +4,359 @@
 //! taj analyze <file.jweb> [--config NAME] [--json] [--flows] [--concurrency] [--ir]
 //! taj configs
 //! taj demo
+//! taj serve [--socket PATH | --tcp ADDR] [--workers N] [--cache-mb N] [--timeout-ms N]
+//! taj client (--socket PATH | --tcp ADDR) analyze <file.jweb> [--config NAME] [--sarif]
+//! taj client (--socket PATH | --tcp ADDR) configs|stats|shutdown
 //! ```
+//!
+//! Argument handling is strict: unknown `--flags` are rejected with an
+//! error instead of silently ignored, matching the daemon protocol's
+//! strictness (a typo must fail loudly, not change semantics).
 
 use std::process::ExitCode;
 
 use taj::core::{analyze_source, RuleSet, TajConfig, TajError};
+use taj::service::{AnalyzeOpts, Bind, Client, ServeOptions};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("analyze") => analyze_cmd(&args[1..]),
-        Some("configs") => {
-            for c in TajConfig::all() {
-                println!("{:<20} {:?}", c.name, c.algorithm);
+        Some("configs") => match parse_args(&args[1..], &[], 0) {
+            Ok(_) => {
+                for c in TajConfig::all() {
+                    println!("{:<20} {:?}", c.name, c.algorithm);
+                }
+                ExitCode::SUCCESS
             }
-            ExitCode::SUCCESS
-        }
-        Some("demo") => {
-            let demo = taj::webgen::motivating();
-            run_analysis(
-                &demo.source,
-                RuleSet::default_rules(),
-                &TajConfig::hybrid_unbounded(),
-                &OutputOpts { flows: true, ..OutputOpts::default() },
-            )
-        }
+            Err(e) => usage_error(&e),
+        },
+        Some("demo") => match parse_args(&args[1..], &[], 0) {
+            Ok(_) => {
+                let demo = taj::webgen::motivating();
+                run_analysis(
+                    &demo.source,
+                    RuleSet::default_rules(),
+                    &TajConfig::hybrid_unbounded(),
+                    &OutputOpts { flows: true, ..OutputOpts::default() },
+                )
+            }
+            Err(e) => usage_error(&e),
+        },
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("client") => client_cmd(&args[1..]),
         _ => {
             eprintln!(
-            "usage: taj analyze <file.jweb> [--config NAME] [--rules FILE] [--json] [--sarif] [--flows] [--concurrency] [--ir]"
-        );
+                "usage: taj analyze <file.jweb> [--config NAME] [--rules FILE] [--json] [--sarif] [--flows] [--concurrency] [--ir]"
+            );
             eprintln!("       taj configs          list configuration names");
             eprintln!("       taj demo             analyze the paper's Figure 1 program");
+            eprintln!(
+                "       taj serve [--socket PATH | --tcp ADDR] [--workers N] [--cache-mb N] [--timeout-ms N] [--debug]"
+            );
+            eprintln!(
+                "       taj client (--socket PATH | --tcp ADDR) analyze <file.jweb> [--config NAME] [--rules FILE] [--sarif] [--timeout-ms N]"
+            );
+            eprintln!("       taj client (--socket PATH | --tcp ADDR) configs|stats|shutdown");
             ExitCode::FAILURE
         }
     }
 }
 
+/// One accepted flag: its name and whether it consumes a value.
+struct FlagSpec {
+    name: &'static str,
+    takes_value: bool,
+}
+
+const fn flag(name: &'static str) -> FlagSpec {
+    FlagSpec { name, takes_value: false }
+}
+
+const fn opt(name: &'static str) -> FlagSpec {
+    FlagSpec { name, takes_value: true }
+}
+
+/// Parsed command line: positionals in order, plus flag lookups.
+#[derive(Debug)]
+struct Parsed {
+    positionals: Vec<String>,
+    present: Vec<&'static str>,
+    values: Vec<(&'static str, String)>,
+}
+
+impl Parsed {
+    fn has(&self, name: &str) -> bool {
+        self.present.contains(&name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.values.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Strict parse: every `--flag` must be in `spec` (unknown flags are
+/// errors, not no-ops), value flags must have a value, and at most
+/// `max_positionals` bare arguments are accepted.
+fn parse_args(
+    args: &[String],
+    spec: &[FlagSpec],
+    max_positionals: usize,
+) -> Result<Parsed, String> {
+    let mut parsed = Parsed { positionals: Vec::new(), present: Vec::new(), values: Vec::new() };
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(stripped) = a.strip_prefix("--") {
+            let (name, inline) = match stripped.split_once('=') {
+                Some((n, v)) => (n, Some(v.to_string())),
+                None => (stripped, None),
+            };
+            let Some(s) = spec.iter().find(|s| s.name == name) else {
+                return Err(format!("unknown flag `--{name}`"));
+            };
+            if s.takes_value {
+                let value = match inline {
+                    Some(v) => v,
+                    None => {
+                        i += 1;
+                        args.get(i)
+                            .filter(|v| !v.starts_with("--"))
+                            .cloned()
+                            .ok_or_else(|| format!("flag `--{name}` requires a value"))?
+                    }
+                };
+                parsed.values.push((s.name, value));
+            } else {
+                if inline.is_some() {
+                    return Err(format!("flag `--{name}` takes no value"));
+                }
+                parsed.present.push(s.name);
+            }
+        } else {
+            if parsed.positionals.len() >= max_positionals {
+                return Err(format!("unexpected argument `{a}`"));
+            }
+            parsed.positionals.push(a.clone());
+        }
+        i += 1;
+    }
+    Ok(parsed)
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("error: {message} (run `taj` for usage)");
+    ExitCode::FAILURE
+}
+
+fn read_file(path: &str, what: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("error: cannot read {what} `{path}`: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn load_rules(parsed: &Parsed) -> Result<RuleSet, ExitCode> {
+    match parsed.value("rules") {
+        Some(path) => {
+            let text = read_file(path, "rules file")?;
+            taj::core::parse_rules(&text).map_err(|e| {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            })
+        }
+        None => Ok(RuleSet::default_rules()),
+    }
+}
+
 fn analyze_cmd(args: &[String]) -> ExitCode {
-    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
-        eprintln!("error: missing input file");
+    const SPEC: &[FlagSpec] = &[
+        opt("config"),
+        opt("rules"),
+        flag("json"),
+        flag("sarif"),
+        flag("flows"),
+        flag("concurrency"),
+        flag("ir"),
+    ];
+    let parsed = match parse_args(args, SPEC, 1) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    let Some(path) = parsed.positionals.first() else {
+        return usage_error("missing input file");
+    };
+    let source = match read_file(path, "input") {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let config_name = parsed.value("config").unwrap_or("hybrid");
+    let Some(config) = TajConfig::by_name(config_name) else {
+        eprintln!("error: unknown config `{config_name}` (see `taj configs`)");
         return ExitCode::FAILURE;
     };
-    let source = match std::fs::read_to_string(path) {
-        Ok(s) => s,
+    let rules = match load_rules(&parsed) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let opts = OutputOpts {
+        json: parsed.has("json"),
+        sarif: parsed.has("sarif"),
+        flows: parsed.has("flows"),
+        concurrency: parsed.has("concurrency"),
+        ir: parsed.has("ir"),
+    };
+    run_analysis(&source, rules, &config, &opts)
+}
+
+fn serve_cmd(args: &[String]) -> ExitCode {
+    const SPEC: &[FlagSpec] = &[
+        opt("socket"),
+        opt("tcp"),
+        opt("workers"),
+        opt("cache-mb"),
+        opt("timeout-ms"),
+        flag("debug"),
+    ];
+    let parsed = match parse_args(args, SPEC, 0) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    let bind = match (parsed.value("socket"), parsed.value("tcp")) {
+        (Some(_), Some(_)) => return usage_error("`--socket` and `--tcp` are mutually exclusive"),
+        (Some(path), None) => Bind::Unix(path.into()),
+        (None, Some(addr)) => Bind::Tcp(addr.to_string()),
+        (None, None) => Bind::Tcp("127.0.0.1:7411".to_string()),
+    };
+    let workers = match parse_num(&parsed, "workers", 0) {
+        Ok(n) => n as usize,
+        Err(code) => return code,
+    };
+    let cache_mb = match parse_num(&parsed, "cache-mb", 64) {
+        Ok(n) => n,
+        Err(code) => return code,
+    };
+    let timeout_ms = match parsed.value("timeout-ms") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => return usage_error("`--timeout-ms` must be a non-negative integer"),
+        },
+        None => None,
+    };
+    let options = ServeOptions {
+        bind,
+        workers,
+        cache_bytes: (cache_mb as usize) << 20,
+        default_timeout_ms: timeout_ms,
+        debug: parsed.has("debug"),
+    };
+    match taj::service::serve(options) {
+        Ok(handle) => {
+            println!("taj-service listening on {}", handle.addr());
+            handle.join(); // runs until a `shutdown` request drains the pool
+            println!("taj-service stopped");
+            ExitCode::SUCCESS
+        }
         Err(e) => {
-            eprintln!("error: cannot read `{path}`: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("error: cannot start server: {e}");
+            ExitCode::FAILURE
         }
+    }
+}
+
+fn parse_num(parsed: &Parsed, name: &str, default: u64) -> Result<u64, ExitCode> {
+    match parsed.value(name) {
+        Some(v) => v.parse::<u64>().map_err(|_| {
+            eprintln!("error: `--{name}` must be a non-negative integer (run `taj` for usage)");
+            ExitCode::FAILURE
+        }),
+        None => Ok(default),
+    }
+}
+
+fn client_cmd(args: &[String]) -> ExitCode {
+    const SPEC: &[FlagSpec] =
+        &[opt("socket"), opt("tcp"), opt("config"), opt("rules"), flag("sarif"), opt("timeout-ms")];
+    let parsed = match parse_args(args, SPEC, 2) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
     };
-    let config_name = args
-        .iter()
-        .position(|a| a == "--config")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-        .unwrap_or("hybrid");
-    let config = match config_name {
-        "hybrid" | "unbounded" => TajConfig::hybrid_unbounded(),
-        "prioritized" => TajConfig::hybrid_prioritized(),
-        "optimized" => TajConfig::hybrid_optimized(),
-        "cs" => TajConfig::cs_thin(),
-        "ci" => TajConfig::ci_thin(),
-        "cs_escape" | "cs-escape" | "escape" => TajConfig::cs_escape(),
-        other => {
-            eprintln!("error: unknown config `{other}` (see `taj configs`)");
-            return ExitCode::FAILURE;
-        }
+    let mut client = match (parsed.value("socket"), parsed.value("tcp")) {
+        (Some(_), Some(_)) => return usage_error("`--socket` and `--tcp` are mutually exclusive"),
+        (Some(path), None) => match Client::connect_unix(std::path::Path::new(path)) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: cannot connect to `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, Some(addr)) => match Client::connect_tcp(addr) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: cannot connect to `{addr}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, None) => return usage_error("`taj client` needs `--socket PATH` or `--tcp ADDR`"),
     };
-    let rules = match args.iter().position(|a| a == "--rules").and_then(|i| args.get(i + 1)) {
-        Some(path) => {
-            let text = match std::fs::read_to_string(path) {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("error: cannot read rules file `{path}`: {e}");
-                    return ExitCode::FAILURE;
-                }
+    let result = match parsed.positionals.first().map(String::as_str) {
+        Some("analyze") => {
+            let Some(path) = parsed.positionals.get(1) else {
+                return usage_error("missing input file for `taj client analyze`");
             };
-            match taj::core::parse_rules(&text) {
-                Ok(r) => r,
+            let source = match read_file(path, "input") {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            let rules = match parsed.value("rules") {
+                Some(p) => match read_file(p, "rules file") {
+                    Ok(t) => Some(t),
+                    Err(code) => return code,
+                },
+                None => None,
+            };
+            let timeout_ms = match parsed.value("timeout-ms") {
+                Some(v) => match v.parse::<u64>() {
+                    Ok(n) => Some(n),
+                    Err(_) => return usage_error("`--timeout-ms` must be a non-negative integer"),
+                },
+                None => None,
+            };
+            let opts = AnalyzeOpts {
+                config: parsed.value("config").map(str::to_string),
+                rules,
+                sarif: parsed.has("sarif"),
+                timeout_ms,
+            };
+            client.analyze(&source, &opts)
+        }
+        Some("configs") => client.configs(),
+        Some("stats") => client.stats(),
+        Some("shutdown") => client.shutdown(),
+        Some(other) => return usage_error(&format!("unknown client command `{other}`")),
+        None => return usage_error("missing client command (analyze|configs|stats|shutdown)"),
+    };
+    match result {
+        Ok(value) => {
+            match serde_json::to_string_pretty(&value) {
+                Ok(s) => println!("{s}"),
                 Err(e) => {
-                    eprintln!("error: {e}");
+                    eprintln!("error: cannot render response: {e}");
                     return ExitCode::FAILURE;
                 }
             }
+            // CI-friendly: nonempty findings in an analyze report exit 2,
+            // like the one-shot `taj analyze`.
+            match value.get("findings").and_then(|f| f.as_array()) {
+                Some(findings) if !findings.is_empty() => ExitCode::from(2),
+                _ => ExitCode::SUCCESS,
+            }
         }
-        None => RuleSet::default_rules(),
-    };
-    let opts = OutputOpts {
-        json: args.iter().any(|a| a == "--json"),
-        sarif: args.iter().any(|a| a == "--sarif"),
-        flows: args.iter().any(|a| a == "--flows"),
-        concurrency: args.iter().any(|a| a == "--concurrency"),
-        ir: args.iter().any(|a| a == "--ir"),
-    };
-    run_analysis(&source, rules, &config, &opts)
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Output selection for `run_analysis`.
@@ -189,5 +449,51 @@ fn run_analysis(source: &str, rules: RuleSet, config: &TajConfig, opts: &OutputO
             eprintln!("analysis ran out of memory budget ({path_edges} path edges)");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    const ANALYZE_SPEC: &[FlagSpec] = &[opt("config"), opt("rules"), flag("json"), flag("flows")];
+
+    #[test]
+    fn unknown_flags_are_rejected_not_ignored() {
+        let e = parse_args(&argv(&["file.jweb", "--jsno"]), ANALYZE_SPEC, 1).unwrap_err();
+        assert!(e.contains("--jsno"), "{e}");
+        let e = parse_args(&argv(&["--config"]), ANALYZE_SPEC, 0).unwrap_err();
+        assert!(e.contains("requires a value"), "{e}");
+        let e = parse_args(&argv(&["a", "b"]), ANALYZE_SPEC, 1).unwrap_err();
+        assert!(e.contains("unexpected argument"), "{e}");
+        let e = parse_args(&argv(&["--json=yes"]), ANALYZE_SPEC, 0).unwrap_err();
+        assert!(e.contains("takes no value"), "{e}");
+    }
+
+    #[test]
+    fn known_flags_parse() {
+        let p = parse_args(
+            &argv(&["file.jweb", "--config", "cs", "--json", "--flows"]),
+            ANALYZE_SPEC,
+            1,
+        )
+        .unwrap();
+        assert_eq!(p.positionals, vec!["file.jweb"]);
+        assert_eq!(p.value("config"), Some("cs"));
+        assert!(p.has("json") && p.has("flows"));
+        assert!(!p.has("ir"));
+        let p = parse_args(&argv(&["--config=ci"]), ANALYZE_SPEC, 0).unwrap();
+        assert_eq!(p.value("config"), Some("ci"));
+    }
+
+    #[test]
+    fn value_flag_will_not_eat_a_flag() {
+        // `--config --json` must fail, not treat `--json` as the value.
+        let e = parse_args(&argv(&["--config", "--json"]), ANALYZE_SPEC, 0).unwrap_err();
+        assert!(e.contains("requires a value"), "{e}");
     }
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-4eb76968ca26aab8.d: tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-4eb76968ca26aab8: tests/concurrency.rs
+
+tests/concurrency.rs:

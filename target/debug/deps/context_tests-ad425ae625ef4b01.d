@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/context_tests-ad425ae625ef4b01.d: crates/pointer/tests/context_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontext_tests-ad425ae625ef4b01.rmeta: crates/pointer/tests/context_tests.rs Cargo.toml
+
+crates/pointer/tests/context_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cs_tests-301bd9844a042c23.d: crates/sdg/tests/cs_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcs_tests-301bd9844a042c23.rmeta: crates/sdg/tests/cs_tests.rs Cargo.toml
+
+crates/sdg/tests/cs_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-183f25d11af0a5d4.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-183f25d11af0a5d4: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynamic_soundness-ac524b3b35da3934.d: tests/dynamic_soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamic_soundness-ac524b3b35da3934.rmeta: tests/dynamic_soundness.rs Cargo.toml
+
+tests/dynamic_soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

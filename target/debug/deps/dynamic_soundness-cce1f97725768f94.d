@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_soundness-cce1f97725768f94.d: tests/dynamic_soundness.rs
+
+/root/repo/target/debug/deps/dynamic_soundness-cce1f97725768f94: tests/dynamic_soundness.rs
+
+tests/dynamic_soundness.rs:

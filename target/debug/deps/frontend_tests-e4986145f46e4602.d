@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/frontend_tests-e4986145f46e4602.d: crates/jir/tests/frontend_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfrontend_tests-e4986145f46e4602.rmeta: crates/jir/tests/frontend_tests.rs Cargo.toml
+
+crates/jir/tests/frontend_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

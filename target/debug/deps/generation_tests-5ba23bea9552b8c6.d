@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generation_tests-5ba23bea9552b8c6.d: crates/webgen/tests/generation_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeneration_tests-5ba23bea9552b8c6.rmeta: crates/webgen/tests/generation_tests.rs Cargo.toml
+
+crates/webgen/tests/generation_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

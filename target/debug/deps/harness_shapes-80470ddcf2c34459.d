@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness_shapes-80470ddcf2c34459.d: tests/harness_shapes.rs
+
+/root/repo/target/debug/deps/harness_shapes-80470ddcf2c34459: tests/harness_shapes.rs
+
+tests/harness_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harness_shapes-a1d33449f85245ee.d: tests/harness_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharness_shapes-a1d33449f85245ee.rmeta: tests/harness_shapes.rs Cargo.toml
+
+tests/harness_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

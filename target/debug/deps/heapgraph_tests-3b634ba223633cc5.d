@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/heapgraph_tests-3b634ba223633cc5.d: crates/pointer/tests/heapgraph_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheapgraph_tests-3b634ba223633cc5.rmeta: crates/pointer/tests/heapgraph_tests.rs Cargo.toml
+
+crates/pointer/tests/heapgraph_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/jir-cf3684bfe04c9886.d: crates/jir/src/lib.rs crates/jir/src/ast.rs crates/jir/src/cfg.rs crates/jir/src/class.rs crates/jir/src/constprop.rs crates/jir/src/dom.rs crates/jir/src/expand.rs crates/jir/src/inst.rs crates/jir/src/lexer.rs crates/jir/src/lower.rs crates/jir/src/method.rs crates/jir/src/parser.rs crates/jir/src/pretty.rs crates/jir/src/program.rs crates/jir/src/ssa.rs crates/jir/src/stdlib.rs crates/jir/src/types.rs crates/jir/src/util.rs crates/jir/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjir-cf3684bfe04c9886.rmeta: crates/jir/src/lib.rs crates/jir/src/ast.rs crates/jir/src/cfg.rs crates/jir/src/class.rs crates/jir/src/constprop.rs crates/jir/src/dom.rs crates/jir/src/expand.rs crates/jir/src/inst.rs crates/jir/src/lexer.rs crates/jir/src/lower.rs crates/jir/src/method.rs crates/jir/src/parser.rs crates/jir/src/pretty.rs crates/jir/src/program.rs crates/jir/src/ssa.rs crates/jir/src/stdlib.rs crates/jir/src/types.rs crates/jir/src/util.rs crates/jir/src/validate.rs Cargo.toml
+
+crates/jir/src/lib.rs:
+crates/jir/src/ast.rs:
+crates/jir/src/cfg.rs:
+crates/jir/src/class.rs:
+crates/jir/src/constprop.rs:
+crates/jir/src/dom.rs:
+crates/jir/src/expand.rs:
+crates/jir/src/inst.rs:
+crates/jir/src/lexer.rs:
+crates/jir/src/lower.rs:
+crates/jir/src/method.rs:
+crates/jir/src/parser.rs:
+crates/jir/src/pretty.rs:
+crates/jir/src/program.rs:
+crates/jir/src/ssa.rs:
+crates/jir/src/stdlib.rs:
+crates/jir/src/types.rs:
+crates/jir/src/util.rs:
+crates/jir/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lcp_path_tests-2b44cab43a2def79.d: crates/sdg/tests/lcp_path_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblcp_path_tests-2b44cab43a2def79.rmeta: crates/sdg/tests/lcp_path_tests.rs Cargo.toml
+
+crates/sdg/tests/lcp_path_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_suite-32630fb6088d25ce.d: tests/micro_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_suite-32630fb6088d25ce.rmeta: tests/micro_suite.rs Cargo.toml
+
+tests/micro_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_suite-cb29cf161cc0e0d8.d: tests/micro_suite.rs
+
+/root/repo/target/debug/deps/micro_suite-cb29cf161cc0e0d8: tests/micro_suite.rs
+
+tests/micro_suite.rs:

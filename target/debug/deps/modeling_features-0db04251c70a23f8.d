@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/modeling_features-0db04251c70a23f8.d: tests/modeling_features.rs
+
+/root/repo/target/debug/deps/modeling_features-0db04251c70a23f8: tests/modeling_features.rs
+
+tests/modeling_features.rs:

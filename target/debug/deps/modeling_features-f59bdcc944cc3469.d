@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/modeling_features-f59bdcc944cc3469.d: tests/modeling_features.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodeling_features-f59bdcc944cc3469.rmeta: tests/modeling_features.rs Cargo.toml
+
+tests/modeling_features.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/motivating-0c1ab10d66657530.d: tests/motivating.rs
+
+/root/repo/target/debug/deps/motivating-0c1ab10d66657530: tests/motivating.rs
+
+tests/motivating.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/motivating-bd64f3c91f18a046.d: tests/motivating.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmotivating-bd64f3c91f18a046.rmeta: tests/motivating.rs Cargo.toml
+
+tests/motivating.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_end2end-2a748d5489b7483e.d: tests/proptest_end2end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_end2end-2a748d5489b7483e.rmeta: tests/proptest_end2end.rs Cargo.toml
+
+tests/proptest_end2end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

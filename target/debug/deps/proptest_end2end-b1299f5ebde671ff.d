@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_end2end-b1299f5ebde671ff.d: tests/proptest_end2end.rs
+
+/root/repo/target/debug/deps/proptest_end2end-b1299f5ebde671ff: tests/proptest_end2end.rs
+
+tests/proptest_end2end.rs:

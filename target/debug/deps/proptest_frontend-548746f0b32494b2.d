@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_frontend-548746f0b32494b2.d: crates/jir/tests/proptest_frontend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_frontend-548746f0b32494b2.rmeta: crates/jir/tests/proptest_frontend.rs Cargo.toml
+
+crates/jir/tests/proptest_frontend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_ssa-9861c5f673b491f1.d: crates/jir/tests/proptest_ssa.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_ssa-9861c5f673b491f1.rmeta: crates/jir/tests/proptest_ssa.rs Cargo.toml
+
+crates/jir/tests/proptest_ssa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

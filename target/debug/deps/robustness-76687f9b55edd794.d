@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-76687f9b55edd794.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-76687f9b55edd794: tests/robustness.rs
+
+tests/robustness.rs:

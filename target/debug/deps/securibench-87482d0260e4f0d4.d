@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/securibench-87482d0260e4f0d4.d: tests/securibench.rs
+
+/root/repo/target/debug/deps/securibench-87482d0260e4f0d4: tests/securibench.rs
+
+tests/securibench.rs:

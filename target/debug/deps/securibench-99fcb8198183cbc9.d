@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/securibench-99fcb8198183cbc9.d: tests/securibench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecuribench-99fcb8198183cbc9.rmeta: tests/securibench.rs Cargo.toml
+
+tests/securibench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/service_cache-4f98d0f7174b4c5b.d: tests/service_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservice_cache-4f98d0f7174b4c5b.rmeta: tests/service_cache.rs Cargo.toml
+
+tests/service_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service_cache-5caa6f464ebc9841.d: tests/service_cache.rs
+
+/root/repo/target/debug/deps/service_cache-5caa6f464ebc9841: tests/service_cache.rs
+
+tests/service_cache.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/service_robustness-409211329fe2adcd.d: tests/service_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservice_robustness-409211329fe2adcd.rmeta: tests/service_robustness.rs Cargo.toml
+
+tests/service_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

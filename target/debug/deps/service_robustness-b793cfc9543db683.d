@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service_robustness-b793cfc9543db683.d: tests/service_robustness.rs
+
+/root/repo/target/debug/deps/service_robustness-b793cfc9543db683: tests/service_robustness.rs
+
+tests/service_robustness.rs:

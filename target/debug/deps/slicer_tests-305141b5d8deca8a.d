@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slicer_tests-305141b5d8deca8a.d: crates/sdg/tests/slicer_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslicer_tests-305141b5d8deca8a.rmeta: crates/sdg/tests/slicer_tests.rs Cargo.toml
+
+crates/sdg/tests/slicer_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smoke-ebc74d160b3e11fe.d: crates/bench/src/bin/smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmoke-ebc74d160b3e11fe.rmeta: crates/bench/src/bin/smoke.rs Cargo.toml
+
+crates/bench/src/bin/smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

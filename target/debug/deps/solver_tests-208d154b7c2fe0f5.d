@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver_tests-208d154b7c2fe0f5.d: crates/pointer/tests/solver_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver_tests-208d154b7c2fe0f5.rmeta: crates/pointer/tests/solver_tests.rs Cargo.toml
+
+crates/pointer/tests/solver_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

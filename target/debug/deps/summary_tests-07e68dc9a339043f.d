@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/summary_tests-07e68dc9a339043f.d: crates/sdg/tests/summary_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsummary_tests-07e68dc9a339043f.rmeta: crates/sdg/tests/summary_tests.rs Cargo.toml
+
+crates/sdg/tests/summary_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/taj-22f29499e3cdbd9e.d: src/main.rs
+
+/root/repo/target/debug/deps/taj-22f29499e3cdbd9e: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/taj-259d1262759f105d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtaj-259d1262759f105d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtaj-259d1262759f105d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/taj-2f684d4b6fae40b0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtaj-2f684d4b6fae40b0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/taj-bfab9a964868fe7d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtaj-bfab9a964868fe7d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

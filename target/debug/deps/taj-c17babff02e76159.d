@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/taj-c17babff02e76159.d: src/lib.rs
+
+/root/repo/target/debug/deps/taj-c17babff02e76159: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/taj-e6a6ebf77137ffe7.d: src/main.rs
+
+/root/repo/target/debug/deps/taj-e6a6ebf77137ffe7: src/main.rs
+
+src/main.rs:

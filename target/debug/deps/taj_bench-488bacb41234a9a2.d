@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/taj_bench-488bacb41234a9a2.d: crates/bench/src/lib.rs crates/bench/src/svg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtaj_bench-488bacb41234a9a2.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

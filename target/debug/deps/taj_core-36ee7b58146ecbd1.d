@@ -16,5 +16,5 @@ crates/core/src/scoring.rs:
 Cargo.toml:
 
 # env-dep:CARGO_PKG_VERSION=0.1.0
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

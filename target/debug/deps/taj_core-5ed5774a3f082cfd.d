@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/taj_core-5ed5774a3f082cfd.d: crates/core/src/lib.rs crates/core/src/carriers.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/exceptions.rs crates/core/src/frameworks.rs crates/core/src/lcp.rs crates/core/src/report.rs crates/core/src/rulefile.rs crates/core/src/rules.rs crates/core/src/scoring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtaj_core-5ed5774a3f082cfd.rmeta: crates/core/src/lib.rs crates/core/src/carriers.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/exceptions.rs crates/core/src/frameworks.rs crates/core/src/lcp.rs crates/core/src/report.rs crates/core/src/rulefile.rs crates/core/src/rules.rs crates/core/src/scoring.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/carriers.rs:
+crates/core/src/config.rs:
+crates/core/src/driver.rs:
+crates/core/src/exceptions.rs:
+crates/core/src/frameworks.rs:
+crates/core/src/lcp.rs:
+crates/core/src/report.rs:
+crates/core/src/rulefile.rs:
+crates/core/src/rules.rs:
+crates/core/src/scoring.rs:
+Cargo.toml:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/taj_pointer-c476b777e3eb346c.d: crates/pointer/src/lib.rs crates/pointer/src/callgraph.rs crates/pointer/src/context.rs crates/pointer/src/escape.rs crates/pointer/src/heapgraph.rs crates/pointer/src/keys.rs crates/pointer/src/priority.rs crates/pointer/src/solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtaj_pointer-c476b777e3eb346c.rmeta: crates/pointer/src/lib.rs crates/pointer/src/callgraph.rs crates/pointer/src/context.rs crates/pointer/src/escape.rs crates/pointer/src/heapgraph.rs crates/pointer/src/keys.rs crates/pointer/src/priority.rs crates/pointer/src/solver.rs Cargo.toml
+
+crates/pointer/src/lib.rs:
+crates/pointer/src/callgraph.rs:
+crates/pointer/src/context.rs:
+crates/pointer/src/escape.rs:
+crates/pointer/src/heapgraph.rs:
+crates/pointer/src/keys.rs:
+crates/pointer/src/priority.rs:
+crates/pointer/src/solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

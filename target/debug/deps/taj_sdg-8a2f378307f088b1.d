@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/taj_sdg-8a2f378307f088b1.d: crates/sdg/src/lib.rs crates/sdg/src/ci.rs crates/sdg/src/cs.rs crates/sdg/src/hybrid.rs crates/sdg/src/mhp.rs crates/sdg/src/spec.rs crates/sdg/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtaj_sdg-8a2f378307f088b1.rmeta: crates/sdg/src/lib.rs crates/sdg/src/ci.rs crates/sdg/src/cs.rs crates/sdg/src/hybrid.rs crates/sdg/src/mhp.rs crates/sdg/src/spec.rs crates/sdg/src/view.rs Cargo.toml
+
+crates/sdg/src/lib.rs:
+crates/sdg/src/ci.rs:
+crates/sdg/src/cs.rs:
+crates/sdg/src/hybrid.rs:
+crates/sdg/src/mhp.rs:
+crates/sdg/src/spec.rs:
+crates/sdg/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/taj_service-3c4ea742e77f1365.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/pool.rs crates/service/src/protocol.rs crates/service/src/server.rs
+
+/root/repo/target/debug/deps/taj_service-3c4ea742e77f1365: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/pool.rs crates/service/src/protocol.rs crates/service/src/server.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/client.rs:
+crates/service/src/pool.rs:
+crates/service/src/protocol.rs:
+crates/service/src/server.rs:

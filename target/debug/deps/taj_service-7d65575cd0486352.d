@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/taj_service-7d65575cd0486352.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/pool.rs crates/service/src/protocol.rs crates/service/src/server.rs
+
+/root/repo/target/debug/deps/libtaj_service-7d65575cd0486352.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/pool.rs crates/service/src/protocol.rs crates/service/src/server.rs
+
+/root/repo/target/debug/deps/libtaj_service-7d65575cd0486352.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/pool.rs crates/service/src/protocol.rs crates/service/src/server.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/client.rs:
+crates/service/src/pool.rs:
+crates/service/src/protocol.rs:
+crates/service/src/server.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/taj_service-f3f49b4a64bddcae.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/pool.rs crates/service/src/protocol.rs crates/service/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtaj_service-f3f49b4a64bddcae.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/pool.rs crates/service/src/protocol.rs crates/service/src/server.rs Cargo.toml
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/client.rs:
+crates/service/src/pool.rs:
+crates/service/src/protocol.rs:
+crates/service/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/taj_webgen-114edd5c37240ce2.d: crates/webgen/src/lib.rs crates/webgen/src/generate.rs crates/webgen/src/interp.rs crates/webgen/src/micro.rs crates/webgen/src/patterns.rs crates/webgen/src/securibench.rs crates/webgen/src/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtaj_webgen-114edd5c37240ce2.rmeta: crates/webgen/src/lib.rs crates/webgen/src/generate.rs crates/webgen/src/interp.rs crates/webgen/src/micro.rs crates/webgen/src/patterns.rs crates/webgen/src/securibench.rs crates/webgen/src/table2.rs Cargo.toml
+
+crates/webgen/src/lib.rs:
+crates/webgen/src/generate.rs:
+crates/webgen/src/interp.rs:
+crates/webgen/src/micro.rs:
+crates/webgen/src/patterns.rs:
+crates/webgen/src/securibench.rs:
+crates/webgen/src/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bounded_audit-21082a7b9951375e.d: examples/bounded_audit.rs
+
+/root/repo/target/debug/examples/bounded_audit-21082a7b9951375e: examples/bounded_audit.rs
+
+examples/bounded_audit.rs:

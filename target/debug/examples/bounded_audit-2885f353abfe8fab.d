@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bounded_audit-2885f353abfe8fab.d: examples/bounded_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbounded_audit-2885f353abfe8fab.rmeta: examples/bounded_audit.rs Cargo.toml
+
+examples/bounded_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

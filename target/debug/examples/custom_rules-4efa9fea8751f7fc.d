@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_rules-4efa9fea8751f7fc.d: examples/custom_rules.rs
+
+/root/repo/target/debug/examples/custom_rules-4efa9fea8751f7fc: examples/custom_rules.rs
+
+examples/custom_rules.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_rules-b7b3075ce4a7e0b1.d: examples/custom_rules.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_rules-b7b3075ce4a7e0b1.rmeta: examples/custom_rules.rs Cargo.toml
+
+examples/custom_rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/motivating-937d36820eae55a8.d: examples/motivating.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmotivating-937d36820eae55a8.rmeta: examples/motivating.rs Cargo.toml
+
+examples/motivating.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

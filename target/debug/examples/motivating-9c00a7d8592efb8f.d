@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/motivating-9c00a7d8592efb8f.d: examples/motivating.rs
+
+/root/repo/target/debug/examples/motivating-9c00a7d8592efb8f: examples/motivating.rs
+
+examples/motivating.rs:

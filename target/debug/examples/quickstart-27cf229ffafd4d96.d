@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-27cf229ffafd4d96.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-27cf229ffafd4d96: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/report_dedup-03a440315c8b9bd4.d: examples/report_dedup.rs
+
+/root/repo/target/debug/examples/report_dedup-03a440315c8b9bd4: examples/report_dedup.rs
+
+examples/report_dedup.rs:

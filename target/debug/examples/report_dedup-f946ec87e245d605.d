@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/report_dedup-f946ec87e245d605.d: examples/report_dedup.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreport_dedup-f946ec87e245d605.rmeta: examples/report_dedup.rs Cargo.toml
+
+examples/report_dedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

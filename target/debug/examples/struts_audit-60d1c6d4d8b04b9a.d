@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/struts_audit-60d1c6d4d8b04b9a.d: examples/struts_audit.rs
+
+/root/repo/target/debug/examples/struts_audit-60d1c6d4d8b04b9a: examples/struts_audit.rs
+
+examples/struts_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/struts_audit-920cf34350647c34.d: examples/struts_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstruts_audit-920cf34350647c34.rmeta: examples/struts_audit.rs Cargo.toml
+
+examples/struts_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

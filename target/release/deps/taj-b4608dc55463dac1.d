@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/taj-b4608dc55463dac1.d: src/main.rs
+
+/root/repo/target/release/deps/taj-b4608dc55463dac1: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/taj-e0d9b0bc7255b07c.d: src/lib.rs
+
+/root/repo/target/release/deps/libtaj-e0d9b0bc7255b07c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtaj-e0d9b0bc7255b07c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/taj_service-f41c400bb415ebf5.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/pool.rs crates/service/src/protocol.rs crates/service/src/server.rs
+
+/root/repo/target/release/deps/libtaj_service-f41c400bb415ebf5.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/pool.rs crates/service/src/protocol.rs crates/service/src/server.rs
+
+/root/repo/target/release/deps/libtaj_service-f41c400bb415ebf5.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/pool.rs crates/service/src/protocol.rs crates/service/src/server.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/client.rs:
+crates/service/src/pool.rs:
+crates/service/src/protocol.rs:
+crates/service/src/server.rs:

@@ -1,0 +1,193 @@
+//! End-to-end cache semantics of the analysis daemon: repeat requests are
+//! byte-identical and phase 1 runs exactly once per (source, rules,
+//! call-graph settings) — the two-phase split of the paper (§1, §3)
+//! turned into a serving-layer guarantee.
+
+use serde::Value;
+use taj::service::{serve, AnalyzeOpts, Client, ServeOptions};
+
+const XSS_SERVLET: &str = r#"
+    class Page extends HttpServlet {
+        method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+            String name = req.getParameter("name");
+            PrintWriter w = resp.getWriter();
+            w.println(name);
+        }
+    }
+"#;
+
+const SAFE_SERVLET: &str = r#"
+    class Quiet extends HttpServlet {
+        method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+            PrintWriter w = resp.getWriter();
+            w.println("static");
+        }
+    }
+"#;
+
+fn start(options: ServeOptions) -> (taj::service::ServerHandle, Client) {
+    let handle = serve(options).expect("server starts");
+    let client = Client::connect(handle.addr()).expect("client connects");
+    (handle, client)
+}
+
+fn default_options() -> ServeOptions {
+    ServeOptions { workers: 2, ..ServeOptions::tcp_ephemeral() }
+}
+
+fn stat(stats: &Value, key: &str) -> u64 {
+    stats[key].as_u64().unwrap_or_else(|| panic!("stats missing `{key}`: {stats:?}"))
+}
+
+fn shutdown_and_join(mut client: Client, handle: taj::service::ServerHandle) {
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join();
+}
+
+#[test]
+fn repeat_request_is_byte_identical_with_one_phase1_run() {
+    let (handle, mut client) = start(default_options());
+    // Same id both times so the *entire* response line must match.
+    let req = format!(
+        "{{\"id\":1,\"cmd\":\"analyze\",\"source\":{},\"config\":\"hybrid\"}}",
+        serde_json::to_string(&Value::String(XSS_SERVLET.to_string())).unwrap()
+    );
+    let first = client.request_raw(&req).expect("first analyze");
+    let second = client.request_raw(&req).expect("second analyze");
+    assert_eq!(first, second, "cache hit must serve byte-identical bytes");
+    assert!(first.contains("\"ok\":true"), "{first}");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat(&stats, "phase1_runs"), 1, "second request must not re-run phase 1");
+    assert_eq!(stat(&stats, "prepare_runs"), 1);
+    assert_eq!(stat(&stats, "phase2_runs"), 1, "report cache also skips phase 2");
+    assert!(stat(&stats["cache"], "hits") >= 1, "{stats:?}");
+    shutdown_and_join(client, handle);
+}
+
+#[test]
+fn mixed_configs_share_one_phase1() {
+    let (handle, mut client) = start(default_options());
+    // hybrid, cs, ci all use unbounded, non-prioritized call-graph
+    // settings — the same phase-1 validity domain — so three requests
+    // must trigger exactly one phase-1 run.
+    for config in ["hybrid", "cs", "ci"] {
+        let opts = AnalyzeOpts { config: Some(config.to_string()), ..AnalyzeOpts::default() };
+        let report = client.analyze(XSS_SERVLET, &opts).expect("analyze succeeds");
+        assert_eq!(
+            report["findings"].as_array().map(Vec::len),
+            Some(1),
+            "{config} finds the XSS: {report:?}"
+        );
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat(&stats, "phase1_runs"), 1, "N=3 mixed-config requests, one phase 1");
+    assert_eq!(stat(&stats, "phase2_runs"), 3, "each config still runs its own phase 2");
+    assert_eq!(stat(&stats, "prepare_runs"), 1);
+
+    // A prioritized config has different call-graph settings: its phase-1
+    // result lives under a different key (collision-free keying).
+    let opts = AnalyzeOpts { config: Some("optimized".to_string()), ..AnalyzeOpts::default() };
+    client.analyze(XSS_SERVLET, &opts).expect("optimized analyze");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat(&stats, "phase1_runs"), 2, "different cg settings → second phase-1 run");
+    shutdown_and_join(client, handle);
+}
+
+#[test]
+fn different_sources_and_formats_get_distinct_entries() {
+    let (handle, mut client) = start(default_options());
+    let opts = AnalyzeOpts::default();
+    let a = client.analyze(XSS_SERVLET, &opts).expect("first source");
+    let b = client.analyze(SAFE_SERVLET, &opts).expect("second source");
+    assert_ne!(
+        a["findings"].as_array().map(Vec::len),
+        b["findings"].as_array().map(Vec::len),
+        "distinct sources must not share cached results"
+    );
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat(&stats, "phase1_runs"), 2);
+    assert_eq!(stat(&stats, "prepare_runs"), 2);
+
+    // Same source, SARIF rendering: report-cache miss (different format
+    // key) but phase-1 and prepared hits.
+    let sarif_opts = AnalyzeOpts { sarif: true, ..AnalyzeOpts::default() };
+    let sarif = client.analyze(XSS_SERVLET, &sarif_opts).expect("sarif analyze");
+    assert_eq!(sarif["version"].as_str(), Some("2.1.0"), "{sarif:?}");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat(&stats, "phase1_runs"), 2, "format change must not re-run phase 1");
+    shutdown_and_join(client, handle);
+}
+
+#[test]
+fn eviction_under_tiny_budget_is_counted_and_recovered_from() {
+    // A budget far below one artifact forces evictions on every insert;
+    // correctness must not depend on the cache retaining anything.
+    let (handle, mut client) =
+        start(ServeOptions { cache_bytes: 64, workers: 1, ..ServeOptions::tcp_ephemeral() });
+    let opts = AnalyzeOpts::default();
+    let first = client.analyze(XSS_SERVLET, &opts).expect("first");
+    let stats = client.stats().expect("stats");
+    // Every artifact here dwarfs the 64-byte budget, so each insert
+    // displaces everything else: only the newest entry (the report)
+    // survives each analyze.
+    assert!(stat(&stats["cache"], "evictions") >= 2, "tiny budget must evict: {stats:?}");
+    assert_eq!(stat(&stats["cache"], "entries"), 1, "{stats:?}");
+
+    // The surviving report still serves a repeat request...
+    let again = client.analyze(XSS_SERVLET, &opts).expect("repeat");
+    assert_eq!(serde_json::to_string(&first).unwrap(), serde_json::to_string(&again).unwrap());
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat(&stats, "phase1_runs"), 1, "report hit: no rebuild yet");
+
+    // ...but a different config displaces it and — with prepared and
+    // phase-1 artifacts long evicted — must rebuild everything.
+    let cs = AnalyzeOpts { config: Some("cs".to_string()), ..AnalyzeOpts::default() };
+    client.analyze(XSS_SERVLET, &cs).expect("cs analyze");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat(&stats, "phase1_runs"), 2, "evicted phase 1 is rebuilt: {stats:?}");
+    assert_eq!(stat(&stats, "prepare_runs"), 2);
+
+    // And the original request, its report now displaced, rebuilds to the
+    // same findings (only `stats` timing fields may differ across runs).
+    let rebuilt = client.analyze(XSS_SERVLET, &opts).expect("rebuilt");
+    assert_eq!(
+        serde_json::to_string(&first["findings"]).unwrap(),
+        serde_json::to_string(&rebuilt["findings"]).unwrap(),
+        "evicted artifacts rebuild deterministically"
+    );
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat(&stats, "phase1_runs"), 3, "{stats:?}");
+    shutdown_and_join(client, handle);
+}
+
+#[test]
+fn custom_rules_are_part_of_the_cache_key() {
+    let (handle, mut client) = start(default_options());
+    let report = client.analyze(XSS_SERVLET, &AnalyzeOpts::default()).expect("default rules");
+    assert_eq!(report["findings"].as_array().map(Vec::len), Some(1));
+
+    // An empty rule file (no rules at all) must not be served the default
+    // rule set's cached report.
+    let empty_rules = AnalyzeOpts { rules: Some(String::new()), ..AnalyzeOpts::default() };
+    let quiet = client.analyze(XSS_SERVLET, &empty_rules).expect("empty rules analyze");
+    assert_eq!(
+        quiet["findings"].as_array().map(Vec::len),
+        Some(0),
+        "empty rule set finds nothing: {quiet:?}"
+    );
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat(&stats, "prepare_runs"), 2, "different rules → different prepared program");
+    shutdown_and_join(client, handle);
+}
+
+#[test]
+fn configs_command_lists_all_six() {
+    let (handle, mut client) = start(default_options());
+    let configs = client.configs().expect("configs");
+    let items = configs.as_array().expect("array of configs");
+    assert_eq!(items.len(), 6, "{configs:?}");
+    let names: Vec<&str> = items.iter().filter_map(|c| c["name"].as_str()).collect();
+    assert!(names.contains(&"Hybrid-Unbounded") && names.contains(&"CS-Escape"), "{names:?}");
+    shutdown_and_join(client, handle);
+}

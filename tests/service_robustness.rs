@@ -1,0 +1,209 @@
+//! Daemon robustness: malformed input, strict protocol fields, request
+//! timeouts, worker-panic isolation, graceful shutdown drain, and the
+//! Unix-domain-socket transport.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::channel;
+use std::time::Duration;
+
+use serde::Value;
+use taj::service::{serve, AnalyzeOpts, Bind, Client, ClientError, ServeOptions, ServerHandle};
+
+const SERVLET: &str = r#"
+    class Page extends HttpServlet {
+        method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+            String name = req.getParameter("name");
+            resp.getWriter().println(name);
+        }
+    }
+"#;
+
+fn start_debug() -> (ServerHandle, Client) {
+    let options = ServeOptions { workers: 2, debug: true, ..ServeOptions::tcp_ephemeral() };
+    let handle = serve(options).expect("server starts");
+    let client = Client::connect(handle.addr()).expect("client connects");
+    (handle, client)
+}
+
+fn error_code(raw: &str) -> String {
+    let v = serde_json::from_str(raw).expect("response parses");
+    assert_eq!(v["ok"].as_bool(), Some(false), "expected an error response: {raw}");
+    v["error"]["code"].as_str().expect("error.code present").to_string()
+}
+
+#[test]
+fn malformed_json_gets_structured_error() {
+    let (handle, mut client) = start_debug();
+    let raw = client.request_raw("{this is not json").expect("server still responds");
+    assert_eq!(error_code(&raw), "bad_request");
+    let v = serde_json::from_str(&raw).unwrap();
+    assert!(v["id"].is_null(), "unparseable request has no id to echo: {raw}");
+
+    // Valid JSON but not an object / unknown fields / unknown command.
+    let raw = client.request_raw("[1,2,3]").expect("responds");
+    assert_eq!(error_code(&raw), "bad_request");
+    let raw = client.request_raw(r#"{"cmd":"stats","bogus":true}"#).expect("responds");
+    assert_eq!(error_code(&raw), "bad_request");
+    let raw = client.request_raw(r#"{"cmd":"launch_missiles"}"#).expect("responds");
+    assert_eq!(error_code(&raw), "unknown_command");
+
+    // The connection survives all of the above.
+    client.stats().expect("connection still usable");
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn analysis_errors_are_structured() {
+    let (handle, mut client) = start_debug();
+    let bad_config =
+        AnalyzeOpts { config: Some("warp-speed".to_string()), ..AnalyzeOpts::default() };
+    match client.analyze(SERVLET, &bad_config) {
+        Err(ClientError::Remote { code, .. }) => assert_eq!(code, "unknown_config"),
+        other => panic!("expected unknown_config, got {other:?}"),
+    }
+    match client.analyze("class {{{ not jweb", &AnalyzeOpts::default()) {
+        Err(ClientError::Remote { code, .. }) => assert_eq!(code, "parse_error"),
+        other => panic!("expected parse_error, got {other:?}"),
+    }
+    let bad_rules =
+        AnalyzeOpts { rules: Some("rule Xss\nrule Sqli".to_string()), ..AnalyzeOpts::default() };
+    match client.analyze(SERVLET, &bad_rules) {
+        Err(ClientError::Remote { code, .. }) => assert_eq!(code, "bad_rules"),
+        other => panic!("expected bad_rules, got {other:?}"),
+    }
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn request_timeout_fires_and_daemon_survives() {
+    let (handle, mut client) = start_debug();
+    let raw = client
+        .request_raw(r#"{"id":9,"cmd":"debug_sleep","ms":5000,"timeout_ms":50}"#)
+        .expect("timeout response arrives");
+    assert_eq!(error_code(&raw), "timeout");
+    let v = serde_json::from_str(&raw).unwrap();
+    assert_eq!(v["id"].as_u64(), Some(9), "timeout response echoes the request id");
+
+    // The daemon keeps serving while the abandoned job finishes in the
+    // background; a real analysis still works.
+    let report = client.analyze(SERVLET, &AnalyzeOpts::default()).expect("analyze after timeout");
+    assert_eq!(report["findings"].as_array().map(Vec::len), Some(1));
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats["timeouts"].as_u64(), Some(1), "{stats:?}");
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn worker_panic_is_isolated() {
+    let (handle, mut client) = start_debug();
+    let raw = client.request_raw(r#"{"id":1,"cmd":"debug_panic"}"#).expect("panic response");
+    assert_eq!(error_code(&raw), "worker_panic");
+
+    // The worker survived (panic caught per-job): the pool still has
+    // capacity and subsequent analyses succeed on the same daemon.
+    for _ in 0..3 {
+        let report = client.analyze(SERVLET, &AnalyzeOpts::default()).expect("analyze runs");
+        assert_eq!(report["findings"].as_array().map(Vec::len), Some(1));
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats["worker_panics"].as_u64(), Some(1), "{stats:?}");
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn shutdown_drains_in_flight_jobs() {
+    let (handle, mut busy) = start_debug();
+    let mut controller = Client::connect(handle.addr()).expect("second connection");
+
+    // Connection A parks a slow job in the pool...
+    let (tx, rx) = channel();
+    let worker = std::thread::spawn(move || {
+        let raw = busy
+            .request_raw(r#"{"id":"slow","cmd":"debug_sleep","ms":400}"#)
+            .expect("in-flight job completes despite shutdown");
+        tx.send(raw).unwrap();
+    });
+    std::thread::sleep(Duration::from_millis(100)); // let the job get queued
+
+    // ...while connection B asks the daemon to shut down.
+    let ack = controller.shutdown().expect("shutdown acknowledged");
+    assert_eq!(ack["draining"].as_bool(), Some(true), "{ack:?}");
+
+    // The in-flight job still completes and its response is delivered.
+    let raw = rx.recv_timeout(Duration::from_secs(10)).expect("drained job responded");
+    let v = serde_json::from_str(&raw).unwrap();
+    assert_eq!(v["ok"].as_bool(), Some(true), "{raw}");
+    assert_eq!(v["result"]["slept_ms"].as_u64(), Some(400), "{raw}");
+    worker.join().unwrap();
+
+    // join() returns: accept loop exited and the pool drained.
+    handle.join();
+}
+
+#[test]
+fn requests_after_shutdown_are_refused() {
+    let (handle, mut client) = start_debug();
+    client.shutdown().expect("shutdown ok");
+    // Give the accept loop a moment to observe the flag and drain.
+    handle.join();
+    // New connections are refused once the listener is gone; an already
+    // half-open client errors out rather than hanging.
+    match client.stats() {
+        Err(_) => {}
+        Ok(v) => panic!("daemon answered after shutdown: {v:?}"),
+    }
+}
+
+#[test]
+fn unix_socket_round_trip() {
+    static UNIQUE: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "taj-service-test-{}-{}.sock",
+        std::process::id(),
+        UNIQUE.fetch_add(1, Ordering::SeqCst)
+    ));
+    let options = ServeOptions {
+        bind: Bind::Unix(path.clone()),
+        workers: 1,
+        ..ServeOptions::tcp_ephemeral()
+    };
+    let handle = serve(options).expect("unix server starts");
+    let mut client = Client::connect_unix(&path).expect("unix client connects");
+    let report = client.analyze(SERVLET, &AnalyzeOpts::default()).expect("analyze over unix");
+    assert_eq!(report["findings"].as_array().map(Vec::len), Some(1), "{report:?}");
+    let stats = client.stats().expect("stats over unix");
+    assert_eq!(stats["phase1_runs"].as_u64(), Some(1));
+    client.shutdown().expect("shutdown over unix");
+    handle.join();
+    assert!(!path.exists(), "socket file removed on shutdown");
+}
+
+#[test]
+fn strict_protocol_rejects_typoed_analyze_fields() {
+    let (handle, mut client) = start_debug();
+    // `sources` instead of `source`: must fail loudly, not analyze "".
+    let raw = client.request_raw(r#"{"cmd":"analyze","sources":"class A {}"}"#).expect("responds");
+    assert_eq!(error_code(&raw), "bad_request");
+    // Mistyped value types are rejected too.
+    let raw = client
+        .request_raw(r#"{"cmd":"analyze","source":"class A {}","timeout_ms":"fast"}"#)
+        .expect("responds");
+    assert_eq!(error_code(&raw), "bad_request");
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn empty_value_is_ignored_not_fatal() {
+    let (handle, mut client) = start_debug();
+    // Blank lines between requests are tolerated (keepalive-style).
+    let raw = client.request_raw("\n{\"cmd\":\"stats\"}").expect("responds");
+    let v: Value = serde_json::from_str(&raw).unwrap();
+    assert_eq!(v["ok"].as_bool(), Some(true), "{raw}");
+    client.shutdown().unwrap();
+    handle.join();
+}
