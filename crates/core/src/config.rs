@@ -124,6 +124,16 @@ impl TajConfig {
         TajConfig { name: "CS-Escape", escape_analysis: true, ..Self::cs_thin() }
     }
 
+    /// A deliberately starved CS configuration (`cs-tiny`): a path-edge
+    /// budget so small that any non-trivial program exhausts it. Exists
+    /// to exercise the paper's out-of-memory failure mode — and the
+    /// degradation ladder that replaces it — deterministically from
+    /// every front door. Not a Table 1 column, so it is resolvable by
+    /// name but absent from [`Self::all`].
+    pub fn cs_tiny() -> Self {
+        TajConfig { name: "CS-Tiny", cs_path_edge_budget: Some(4), ..Self::cs_thin() }
+    }
+
     /// Looks a configuration up by name: either the Table 1 name
     /// (`Hybrid-Unbounded`, `CS`, ...) or the short CLI/protocol alias
     /// (`hybrid`, `cs`, `cs-escape`, ...). The single source of truth for
@@ -137,6 +147,7 @@ impl TajConfig {
             "cs" | "CS" => Self::cs_thin(),
             "ci" | "CI" => Self::ci_thin(),
             "cs_escape" | "cs-escape" | "escape" | "CS-Escape" => Self::cs_escape(),
+            "cs_tiny" | "cs-tiny" | "CS-Tiny" => Self::cs_tiny(),
             _ => return None,
         })
     }

@@ -13,6 +13,7 @@ use taj_sdg::{
     CiSlicer, CsSlicer, Flow, HybridSlicer, MhpRelation, ProgramView, SliceBounds, SliceResult,
     SliceSpec, StmtNode,
 };
+use taj_supervise::{InterruptReason, Supervisor};
 
 use crate::config::{Algorithm, TajConfig};
 use crate::frameworks::DeploymentDescriptor;
@@ -101,6 +102,53 @@ pub struct ConcurrencyReport {
     pub cross_thread_flows: Vec<AnalyzedFlow>,
 }
 
+/// One rung-to-rung fall (or partial delivery) on the degradation
+/// ladder: what stage tripped, what the driver fell back to, why, and
+/// what the result may consequently be missing.
+#[derive(Clone, Debug, Serialize)]
+pub struct DegradationStep {
+    /// Pipeline stage the interrupt hit (`phase1` or `slice`).
+    pub stage: String,
+    /// Configuration/rung the stage was running under.
+    pub from: String,
+    /// Rung fallen to, or `partial` when partial results were delivered.
+    pub to: String,
+    /// What tripped: an [`InterruptReason`] string or a budget message.
+    pub reason: String,
+    /// Soundness caveat describing what the degraded result may miss.
+    pub caveat: String,
+}
+
+/// Degradation provenance for a run: empty and `degraded == false` for a
+/// clean run.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct DegradationReport {
+    /// Whether any stage degraded.
+    pub degraded: bool,
+    /// Every fall taken, in order.
+    pub steps: Vec<DegradationStep>,
+}
+
+impl DegradationReport {
+    fn push(&mut self, step: DegradationStep) {
+        self.degraded = true;
+        self.steps.push(step);
+    }
+}
+
+/// Supervision and degradation options for a run. The default — an
+/// unbounded supervisor and no degradation — reproduces the historical
+/// fail-hard behavior exactly.
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Supervision handle threaded through every fixpoint loop.
+    pub supervisor: Supervisor,
+    /// When a budget trips mid-stage, fall down the degradation ladder
+    /// (CS → hybrid → bounded hybrid) instead of returning
+    /// [`TajError::OutOfMemory`].
+    pub degrade: bool,
+}
+
 /// The result of one TAJ run.
 #[derive(Clone, Debug, Serialize)]
 pub struct TajReport {
@@ -115,6 +163,9 @@ pub struct TajReport {
     /// Concurrency section (escaping objects, MHP partition sizes, and
     /// cross-thread taint flows).
     pub concurrency: ConcurrencyReport,
+    /// Degradation provenance: which stages fell back or delivered
+    /// partial results, and why.
+    pub degradation: DegradationReport,
 }
 
 impl TajReport {
@@ -239,6 +290,11 @@ pub struct Phase1 {
     pub mhp: MhpRelation,
     /// Wall time spent (ms).
     pub pointer_ms: u128,
+    /// Why phase 1 stopped early, if it was interrupted. An interrupted
+    /// phase 1 is a *consistent truncation* (like an exhausted
+    /// `max_cg_nodes` budget) with escape/MHP replaced by their
+    /// conservative top elements — usable, but not cacheable.
+    pub interrupted: Option<InterruptReason>,
     cg_key: (Option<usize>, bool),
 }
 
@@ -253,6 +309,21 @@ impl Phase1 {
 /// Runs phase 1 (pointer analysis & call-graph construction, §3.1/§6.1)
 /// for the given configuration's call-graph settings.
 pub fn run_phase1(prepared: &PreparedProgram, config: &TajConfig) -> Phase1 {
+    run_phase1_supervised(prepared, config, &Supervisor::new())
+}
+
+/// [`run_phase1`] under a supervision handle. An interrupt truncates the
+/// call graph consistently (exactly like an exhausted `max_cg_nodes`
+/// budget) and replaces escape/MHP with their conservative top elements
+/// (everything escapes; single-threaded), so downstream slicing stays
+/// sound with respect to the truncated graph. The interrupt reason is
+/// recorded in [`Phase1::interrupted`]; interrupted results must not be
+/// cached.
+pub fn run_phase1_supervised(
+    prepared: &PreparedProgram,
+    config: &TajConfig,
+    supervisor: &Supervisor,
+) -> Phase1 {
     let program = &prepared.program;
     let t0 = Instant::now();
     let solver_cfg = SolverConfig {
@@ -260,19 +331,25 @@ pub fn run_phase1(prepared: &PreparedProgram, config: &TajConfig) -> Phase1 {
         max_cg_nodes: config.max_cg_nodes,
         priority: config.priority,
         source_methods: prepared.rules.all_sources(program),
+        supervisor: supervisor.clone(),
     };
     let pts = taj_pointer::analyze(program, &solver_cfg);
+    let mut interrupted = pts.interrupted;
     let heap = HeapGraph::build(&pts);
     // Escape + MHP are cheap post-passes over the solution; compute them
     // unconditionally so every phase-2 run can report concurrency facts.
-    let escape = EscapeAnalysis::compute(&pts, &heap);
-    let mhp = MhpRelation::compute(&pts);
+    // Under an already-tripped supervisor they immediately return their
+    // conservative fallbacks.
+    let (escape, esc_int) = EscapeAnalysis::compute_supervised(&pts, &heap, supervisor);
+    let (mhp, mhp_int) = MhpRelation::compute_supervised(&pts, supervisor);
+    interrupted = interrupted.or(esc_int).or(mhp_int);
     Phase1 {
         pts,
         heap,
         escape,
         mhp,
         pointer_ms: t0.elapsed().as_millis(),
+        interrupted,
         cg_key: (config.max_cg_nodes, config.priority),
     }
 }
@@ -311,6 +388,36 @@ pub fn analyze_prepared(
     analyze_with_phase1(prepared, &phase1, config)
 }
 
+/// [`analyze_prepared`] under supervision/degradation options.
+///
+/// # Errors
+/// [`TajError::OutOfMemory`] when the CS slicer exceeds its budget and
+/// degradation is off (or the ladder is exhausted).
+pub fn analyze_prepared_opts(
+    prepared: &PreparedProgram,
+    config: &TajConfig,
+    opts: &RunOptions,
+) -> Result<TajReport, TajError> {
+    let phase1 = run_phase1_supervised(prepared, config, &opts.supervisor);
+    analyze_with_phase1_opts(prepared, &phase1, config, opts)
+}
+
+/// [`analyze_source`] under supervision/degradation options.
+///
+/// # Errors
+/// [`TajError::Parse`] on frontend failures; [`TajError::OutOfMemory`]
+/// as for [`analyze_prepared_opts`].
+pub fn analyze_source_opts(
+    src: &str,
+    descriptor: Option<&DeploymentDescriptor>,
+    rules: RuleSet,
+    config: &TajConfig,
+    opts: &RunOptions,
+) -> Result<TajReport, TajError> {
+    let prepared = prepare(src, descriptor, rules)?;
+    analyze_prepared_opts(&prepared, config, opts)
+}
+
 /// Runs phase 2 (slicing, carriers, bounds, LCP) over cached phase-1
 /// results — incremental re-analysis across rule sets or slicing bounds.
 ///
@@ -325,6 +432,164 @@ pub fn analyze_with_phase1(
     phase1: &Phase1,
     config: &TajConfig,
 ) -> Result<TajReport, TajError> {
+    analyze_with_phase1_opts(prepared, phase1, config, &RunOptions::default())
+}
+
+/// The next rung down the degradation ladder from `config`, if any. Each
+/// rung preserves the call-graph settings (`max_cg_nodes`, `priority`)
+/// so the phase-1 result stays reusable — the whole point of degrading
+/// mid-run instead of restarting.
+fn next_rung(config: &TajConfig) -> Option<(TajConfig, &'static str)> {
+    match config.algorithm {
+        // CS exploded: the paper's answer is the hybrid slicer, which
+        // trades per-call-string facts for summarized flow functions.
+        Algorithm::CsThin => Some((
+            TajConfig {
+                name: "Hybrid-Unbounded",
+                algorithm: Algorithm::Hybrid,
+                cs_path_edge_budget: None,
+                ..*config
+            },
+            "hybrid slicing collapses calling contexts: reported flows \
+             may include context-infeasible paths (precision loss only)",
+        )),
+        // Unbounded hybrid exploded too: apply the §6.2 bounds.
+        Algorithm::Hybrid
+            if config.max_heap_transitions.is_none() || config.max_flow_len.is_none() =>
+        {
+            Some((
+                TajConfig {
+                    name: "Hybrid-Optimized",
+                    max_heap_transitions: Some(crate::config::defaults::MAX_HEAP_TRANSITIONS),
+                    max_flow_len: Some(crate::config::defaults::MAX_FLOW_LEN),
+                    nested_depth: Some(crate::config::defaults::NESTED_DEPTH),
+                    ..*config
+                },
+                "bounded slicing may drop flows exceeding the heap-transition, \
+                 flow-length, or nested-taint bounds (under-approximation)",
+            ))
+        }
+        // Bounded hybrid / CI: bottom of the ladder.
+        _ => None,
+    }
+}
+
+/// [`analyze_with_phase1`] under supervision/degradation options: the
+/// degradation ladder. Budget-class interrupts (the CS path-edge budget
+/// or a supervisor step/memory budget) fall down [`next_rung`] when
+/// `opts.degrade` is set, reusing the same phase-1 artifacts; deadline
+/// and cancellation interrupts deliver whatever partial results exist.
+/// Every fall is recorded in [`TajReport::degradation`].
+///
+/// # Panics
+/// Panics if `phase1` was computed under different call-graph settings
+/// (check with [`Phase1::matches`]).
+///
+/// # Errors
+/// [`TajError::OutOfMemory`] when the CS slicer exceeds its budget and
+/// `opts.degrade` is off.
+pub fn analyze_with_phase1_opts(
+    prepared: &PreparedProgram,
+    phase1: &Phase1,
+    config: &TajConfig,
+    opts: &RunOptions,
+) -> Result<TajReport, TajError> {
+    let mut degradation = DegradationReport::default();
+    let mut supervisor = opts.supervisor.clone();
+    if let Some(reason) = phase1.interrupted {
+        degradation.push(DegradationStep {
+            stage: "phase1".to_string(),
+            from: "pointer-analysis".to_string(),
+            to: "truncated-callgraph".to_string(),
+            reason: reason.as_str().to_string(),
+            caveat: "call graph truncated at the interrupt: methods not yet \
+                     visited are unanalyzed, and escape/MHP use conservative \
+                     fallbacks (under-approximation of flows)"
+                .to_string(),
+        });
+        // Phase 2 over a truncated graph is cheap; run it under a
+        // finishing handle so it can actually deliver (an explicit
+        // cancel still stops it).
+        supervisor = supervisor.finishing();
+    }
+    let mut current = *config;
+    loop {
+        match run_phase2(prepared, phase1, &current, &supervisor) {
+            Ok((mut report, interrupted)) => match interrupted {
+                Some(reason) if reason.is_budget() && opts.degrade => {
+                    match next_rung(&current) {
+                        Some((next, caveat)) => {
+                            degradation.push(DegradationStep {
+                                stage: "slice".to_string(),
+                                from: current.name.to_string(),
+                                to: next.name.to_string(),
+                                reason: reason.as_str().to_string(),
+                                caveat: caveat.to_string(),
+                            });
+                            current = next;
+                            supervisor = supervisor.fresh_meters();
+                        }
+                        None => {
+                            // Ladder exhausted: deliver the partial result.
+                            degradation.push(partial_step(&current, reason.as_str()));
+                            report.degradation = degradation;
+                            return Ok(report);
+                        }
+                    }
+                }
+                Some(reason) => {
+                    // Deadline/cancel (or budget without degradation):
+                    // deliver partial results with provenance.
+                    degradation.push(partial_step(&current, reason.as_str()));
+                    report.degradation = degradation;
+                    return Ok(report);
+                }
+                None => {
+                    report.degradation = degradation;
+                    return Ok(report);
+                }
+            },
+            Err(TajError::OutOfMemory { path_edges }) if opts.degrade => {
+                match next_rung(&current) {
+                    Some((next, caveat)) => {
+                        degradation.push(DegradationStep {
+                            stage: "slice".to_string(),
+                            from: current.name.to_string(),
+                            to: next.name.to_string(),
+                            reason: format!("path-edge budget exhausted ({path_edges} path edges)"),
+                            caveat: caveat.to_string(),
+                        });
+                        current = next;
+                        supervisor = supervisor.fresh_meters();
+                    }
+                    None => return Err(TajError::OutOfMemory { path_edges }),
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn partial_step(config: &TajConfig, reason: &str) -> DegradationStep {
+    DegradationStep {
+        stage: "slice".to_string(),
+        from: config.name.to_string(),
+        to: "partial".to_string(),
+        reason: reason.to_string(),
+        caveat: "slicing stopped early: flows completed before the interrupt \
+                 are reported, later ones may be missing (under-approximation)"
+            .to_string(),
+    }
+}
+
+/// One phase-2 pass under a fixed configuration. Returns the report plus
+/// the supervisor interrupt that stopped it early, if any.
+fn run_phase2(
+    prepared: &PreparedProgram,
+    phase1: &Phase1,
+    config: &TajConfig,
+    supervisor: &Supervisor,
+) -> Result<(TajReport, Option<InterruptReason>), TajError> {
     assert!(
         phase1.matches(config),
         "phase-1 results were computed under different call-graph settings"
@@ -351,6 +616,7 @@ pub fn analyze_with_phase1(
     let mut flows_out: Vec<AnalyzedFlow> = Vec::new();
     let mut cross_thread_flows: Vec<AnalyzedFlow> = Vec::new();
     let mut edges_dropped = 0usize;
+    let mut interrupted: Option<InterruptReason> = None;
 
     // The CI slicer's context collapse is rule-independent: build once.
     let ci_cache = match config.algorithm {
@@ -371,21 +637,25 @@ pub fn analyze_with_phase1(
                     HybridSlicer::with_concurrency(&view, bounds, &phase1.escape, &phase1.mhp)
                 } else {
                     HybridSlicer::new(&view, bounds)
-                };
+                }
+                .with_supervisor(supervisor.clone());
                 let r = slicer.run();
                 edges_dropped += slicer.edges_dropped();
                 r
             }
             Algorithm::CiThin => {
                 CiSlicer::with_cache(&view, bounds, ci_cache.as_ref().expect("built for CI above"))
+                    .with_supervisor(supervisor.clone())
                     .run()
             }
             Algorithm::CsThin => {
                 let run = if config.escape_analysis {
-                    CsSlicer::with_escape(&view, bounds, &phase1.escape).run()
+                    CsSlicer::with_escape(&view, bounds, &phase1.escape)
                 } else {
-                    CsSlicer::new(&view, bounds).run()
-                };
+                    CsSlicer::new(&view, bounds)
+                }
+                .with_supervisor(supervisor.clone())
+                .run();
                 match run {
                     Ok(r) => r,
                     Err(taj_sdg::SliceError::OutOfBudget { path_edges }) => {
@@ -421,6 +691,13 @@ pub fn analyze_with_phase1(
                 group_size: finding.group_size,
             });
         }
+        if result.interrupted.is_some() {
+            // The supervisor tripped mid-slice: the flows above are the
+            // sound partial result for this rule; remaining rules would
+            // trip immediately, so stop here.
+            interrupted = result.interrupted;
+            break;
+        }
     }
     stats.slice_ms = t1.elapsed().as_millis();
     stats.total_ms = pointer_ms + t0.elapsed().as_millis();
@@ -434,13 +711,17 @@ pub fn analyze_with_phase1(
         cross_thread_flows,
     };
 
-    Ok(TajReport {
-        config: config.name.to_string(),
-        findings,
-        flows: flows_out,
-        stats,
-        concurrency,
-    })
+    Ok((
+        TajReport {
+            config: config.name.to_string(),
+            findings,
+            flows: flows_out,
+            stats,
+            concurrency,
+            degradation: DegradationReport::default(),
+        },
+        interrupted,
+    ))
 }
 
 fn build_spec(

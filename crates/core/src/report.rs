@@ -31,6 +31,13 @@ pub fn to_text(report: &TajReport) -> String {
             f.group_size
         );
     }
+    if report.degradation.degraded {
+        let _ = writeln!(out, "  DEGRADED run:");
+        for s in &report.degradation.steps {
+            let _ = writeln!(out, "    [{}] {} -> {} ({})", s.stage, s.from, s.to, s.reason);
+            let _ = writeln!(out, "      caveat: {}", s.caveat);
+        }
+    }
     out
 }
 
@@ -101,6 +108,7 @@ struct SarifRun {
 #[derive(Serialize)]
 struct SarifProperties {
     concurrency: SarifConcurrency,
+    degradation: crate::driver::DegradationReport,
 }
 
 #[derive(Serialize)]
@@ -225,6 +233,7 @@ pub fn to_sarif(report: &TajReport) -> Result<String, serde_json::Error> {
                 })
                 .collect(),
         },
+        degradation: report.degradation.clone(),
     };
     let sarif = Sarif {
         schema: "https://json.schemastore.org/sarif-2.1.0.json",

@@ -127,6 +127,7 @@ mod tests {
             flows: vec![],
             stats: AnalysisStats::default(),
             concurrency: Default::default(),
+            degradation: Default::default(),
         }
     }
 

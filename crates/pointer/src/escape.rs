@@ -24,6 +24,7 @@
 use jir::inst::{Loc, Var};
 use jir::method::Intrinsic;
 use jir::util::BitSet;
+use taj_supervise::{InterruptReason, Supervisor};
 
 use crate::callgraph::CGNodeId;
 use crate::heapgraph::HeapGraph;
@@ -92,6 +93,37 @@ impl EscapeAnalysis {
         }
         let escaping = heap.reachable(&roots, None);
         EscapeAnalysis { spawn_edges, roots, escaping, total_objects: pts.num_instance_keys() }
+    }
+
+    /// Supervised variant of [`EscapeAnalysis::compute`] (site
+    /// `escape.compute`). On an interrupt the *conservative*
+    /// everything-escapes solution is returned: consumers treat escaping
+    /// objects as shared, so over-approximating loses precision but
+    /// never soundness.
+    pub fn compute_supervised(
+        pts: &PointsTo,
+        heap: &HeapGraph,
+        supervisor: &Supervisor,
+    ) -> (EscapeAnalysis, Option<InterruptReason>) {
+        if let Err(reason) = supervisor.check("escape.compute") {
+            return (Self::all_escaping(pts), Some(reason));
+        }
+        (Self::compute(pts, heap), None)
+    }
+
+    /// The conservative top element: every object is considered shared
+    /// across threads.
+    pub fn all_escaping(pts: &PointsTo) -> EscapeAnalysis {
+        let mut escaping = BitSet::new();
+        for ik in 0..pts.num_instance_keys() as u32 {
+            escaping.insert(ik);
+        }
+        EscapeAnalysis {
+            spawn_edges: spawn_edges(pts),
+            roots: escaping.clone(),
+            escaping,
+            total_objects: pts.num_instance_keys(),
+        }
     }
 
     /// An escape analysis for a single-threaded program with no statics:

@@ -14,6 +14,7 @@ use jir::inst::{CallTarget, ConstValue, Filter, Inst, Loc, Terminator, Var};
 use jir::method::Intrinsic;
 use jir::util::{BitSet, Interner};
 use jir::{FieldId, MethodId, Program};
+use taj_supervise::{InterruptReason, Supervisor};
 
 use crate::callgraph::{CGNodeId, CallEdge, CallGraph};
 use crate::context::{ContextChoice, ContextElem, ContextId, PolicyConfig, ROOT_CONTEXT};
@@ -34,6 +35,9 @@ pub struct SolverConfig {
     /// Methods considered taint sources (π = 0 seeds of the priority
     /// scheme).
     pub source_methods: HashSet<MethodId>,
+    /// Cooperative supervision handle, checked at both fixpoint loops.
+    /// The default is unbounded, so unsupervised callers never trip.
+    pub supervisor: Supervisor,
 }
 
 /// Aggregate statistics of one solver run.
@@ -79,6 +83,11 @@ pub struct PointsTo {
     pub stats: SolverStats,
     /// Whether the node budget was exhausted (result is under-approximate).
     pub budget_exhausted: bool,
+    /// Why the solver stopped early, if it was interrupted by its
+    /// supervisor. The call graph and points-to sets are still
+    /// internally consistent, just under-approximate — the same shape
+    /// as a `max_cg_nodes` truncation.
+    pub interrupted: Option<InterruptReason>,
     /// Reflective invoke bindings for SDG construction.
     pub invoke_bindings: Vec<InvokeBinding>,
     pub(crate) ikeys: Interner<InstanceKey>,
@@ -191,6 +200,7 @@ struct Solver<'p> {
     invoke_bindings: Vec<InvokeBinding>,
     entry_nodes: Vec<CGNodeId>,
     budget_exhausted: bool,
+    interrupted: Option<InterruptReason>,
     nodes_dropped: usize,
     propagations: usize,
     /// Cached per-(node, block) exception targets.
@@ -286,6 +296,7 @@ impl<'p> Solver<'p> {
             invoke_bindings: Vec::new(),
             entry_nodes: Vec::new(),
             budget_exhausted: false,
+            interrupted: None,
             nodes_dropped: 0,
             propagations: 0,
             exc_targets: HashMap::new(),
@@ -306,12 +317,22 @@ impl<'p> Solver<'p> {
             }
         }
         // Main §6.1 loop: add constraints for one node, then solve.
+        // A supervisor interrupt stops between nodes (or mid-propagation,
+        // via the check inside `solve`), leaving the same consistent
+        // under-approximation a `max_cg_nodes` truncation would.
         while let Some(node) = self.pending.pop() {
+            if let Err(reason) = self.config.supervisor.check("pointer.run.node") {
+                self.interrupted = Some(reason);
+                break;
+            }
             self.add_node_constraints(node);
             if self.config.priority {
                 self.update_neighborhood_priorities(node);
             }
             self.solve();
+            if self.interrupted.is_some() {
+                break;
+            }
         }
         let nodes: Vec<(MethodId, ContextId)> =
             self.node_ids.iter().map(|(_, &(m, c))| (m, c)).collect();
@@ -329,6 +350,7 @@ impl<'p> Solver<'p> {
             callgraph,
             stats,
             budget_exhausted: self.budget_exhausted,
+            interrupted: self.interrupted,
             invoke_bindings: self.invoke_bindings,
             ikeys: self.ikeys,
             pkeys: self.pkeys,
@@ -435,6 +457,17 @@ impl<'p> Solver<'p> {
 
     fn solve(&mut self) {
         while let Some(p) = self.wl.pop_front() {
+            if self.interrupted.is_none() {
+                if let Err(reason) = self.config.supervisor.check("pointer.solve") {
+                    self.interrupted = Some(reason);
+                }
+            }
+            if self.interrupted.is_some() {
+                // Drain the worklist without doing further propagation so
+                // the `on_wl` bookkeeping stays consistent.
+                self.on_wl[p.index()] = false;
+                continue;
+            }
             self.on_wl[p.index()] = false;
             let d: Vec<u32> = std::mem::take(&mut self.delta[p.index()]).iter().collect();
             if d.is_empty() {

@@ -11,6 +11,7 @@ use jir::inst::{Loc, Var};
 use jir::util::BitSet;
 use jir::MethodId;
 use taj_pointer::CGNodeId;
+use taj_supervise::Supervisor;
 
 use crate::spec::{Flow, FlowStep, SliceBounds, SliceResult, StepKind, StmtNode};
 use crate::view::{FieldKey, ProgramView, Use};
@@ -166,6 +167,8 @@ pub struct CiSlicer<'a> {
     cache: std::borrow::Cow<'a, CiCache>,
     /// Merged uses across contexts (rule-dependent: sink/sanitizer roles).
     merged_uses: HashMap<Fact, Vec<Use>>,
+    /// Cooperative supervision handle (default: unbounded).
+    supervisor: Supervisor,
 }
 
 impl Clone for CiCache {
@@ -216,7 +219,15 @@ impl<'a> CiSlicer<'a> {
                 }
             }
         }
-        CiSlicer { view, bounds, cache, merged_uses }
+        CiSlicer { view, bounds, cache, merged_uses, supervisor: Supervisor::new() }
+    }
+
+    /// Attaches a supervisor; its checks run at the traversal loop
+    /// (`ci.slice` site). On an interrupt the slicer reports the flows
+    /// found so far with [`SliceResult::interrupted`] set.
+    pub fn with_supervisor(mut self, supervisor: Supervisor) -> Self {
+        self.supervisor = supervisor;
+        self
     }
 
     fn stmt(&self, m: MethodId, loc: Loc) -> StmtNode {
@@ -233,7 +244,7 @@ impl<'a> CiSlicer<'a> {
         let mut result = SliceResult::default();
         let mut seen_flows: HashSet<(StmtNode, StmtNode, usize)> = HashSet::new();
         let mut heap_used = 0usize;
-        for (stmt, sc) in seeds {
+        'seeds: for (stmt, sc) in seeds {
             let seed_method = self.view.pts.callgraph.method_of(stmt.node);
             let seed_fact: Fact = (seed_method, sc.dst);
             let mut visited: HashSet<Fact> = HashSet::new();
@@ -257,6 +268,10 @@ impl<'a> CiSlicer<'a> {
             };
 
             while let Some((m, v)) = queue.pop_front() {
+                if let Err(reason) = self.supervisor.check("ci.slice") {
+                    result.interrupted = Some(reason);
+                    break 'seeds;
+                }
                 result.work += 1;
                 let uses = match self.merged_uses.get(&(m, v)) {
                     Some(u) => u.clone(),

@@ -26,6 +26,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use jir::inst::{Loc, Var};
 use taj_pointer::{spawn_edges, CGNodeId, EscapeAnalysis};
+use taj_supervise::Supervisor;
 
 use crate::spec::{Flow, FlowStep, SliceBounds, SliceError, SliceResult, StepKind, StmtNode};
 use crate::view::{FieldKey, ProgramView, Use};
@@ -73,6 +74,8 @@ pub struct CsSlicer<'a> {
     /// When set, the CS-Escape repair: heap facts on escaping objects
     /// (and all static facts) may return across spawn edges after all.
     escape: Option<&'a EscapeAnalysis>,
+    /// Cooperative supervision handle (default: unbounded).
+    supervisor: Supervisor,
 }
 
 impl<'a> CsSlicer<'a> {
@@ -104,7 +107,16 @@ impl<'a> CsSlicer<'a> {
         }
         let spawn_sites =
             spawn_edges(view.pts).into_iter().map(|e| (e.caller, e.loc, e.callee)).collect();
-        CsSlicer { view, bounds, callees_of, spawn_sites, escape }
+        CsSlicer { view, bounds, callees_of, spawn_sites, escape, supervisor: Supervisor::new() }
+    }
+
+    /// Attaches a supervisor; its checks run at both tabulation loops
+    /// (`cs.tabulate` and `cs.heap_closure` sites). On an interrupt the
+    /// slicer returns `Ok` with the flows found so far and
+    /// [`SliceResult::interrupted`] set.
+    pub fn with_supervisor(mut self, supervisor: Supervisor) -> Self {
+        self.supervisor = supervisor;
+        self
     }
 
     /// The spawn-edge triples this slicer treats as thread boundaries.
@@ -150,7 +162,10 @@ impl<'a> CsSlicer<'a> {
         // scalability bottleneck (§3.2: "this treatment is a scalability
         // bottleneck"), so we charge it against the same budget.
         self.build_heap_dependence_closure(&mut total_path_edges, &mut result)?;
-        for (stmt, sc) in seeds {
+        if result.interrupted.is_some() {
+            return Ok(result);
+        }
+        'seeds: for (stmt, sc) in seeds {
             let mut visited: HashSet<Fact> = HashSet::new();
             let mut parents: Parents = HashMap::new();
             let mut queue: VecDeque<Fact> = VecDeque::new();
@@ -160,6 +175,10 @@ impl<'a> CsSlicer<'a> {
             queue.push_back(seed_fact);
 
             while let Some(fact) = queue.pop_front() {
+                if let Err(reason) = self.supervisor.check("cs.tabulate") {
+                    result.interrupted = Some(reason);
+                    break 'seeds;
+                }
                 result.work += 1;
                 total_path_edges += 1;
                 if let Some(max) = self.bounds.max_path_edges {
@@ -244,6 +263,10 @@ impl<'a> CsSlicer<'a> {
         }
         // Propagate to a fixpoint under the budget.
         while let Some(fact) = queue.pop_front() {
+            if let Err(reason) = self.supervisor.check("cs.heap_closure") {
+                result.interrupted = Some(reason);
+                return Ok(());
+            }
             result.work += 1;
             *total_path_edges += 1;
             if let Some(max) = self.bounds.max_path_edges {

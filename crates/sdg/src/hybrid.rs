@@ -26,6 +26,7 @@ use jir::inst::{Loc, Var};
 use jir::util::BitSet;
 use jir::MethodId;
 use taj_pointer::{CGNodeId, EscapeAnalysis};
+use taj_supervise::{InterruptReason, Supervisor};
 
 use crate::mhp::MhpRelation;
 use crate::spec::{Flow, FlowStep, SliceBounds, SliceResult, StepKind, StmtNode};
@@ -63,6 +64,10 @@ pub struct HybridSlicer<'a> {
     concurrency: Option<(&'a EscapeAnalysis, &'a MhpRelation)>,
     /// Store→load edges dropped by the concurrency refinement.
     edges_dropped: usize,
+    /// Cooperative supervision handle (default: unbounded).
+    supervisor: Supervisor,
+    /// First supervisor interrupt observed, if any.
+    interrupted: Option<InterruptReason>,
 }
 
 impl<'a> HybridSlicer<'a> {
@@ -76,7 +81,18 @@ impl<'a> HybridSlicer<'a> {
             work: 0,
             concurrency: None,
             edges_dropped: 0,
+            supervisor: Supervisor::new(),
+            interrupted: None,
         }
+    }
+
+    /// Attaches a supervisor; its checks run at the per-seed traversal
+    /// (`hybrid.slice` site) and summary tabulation (`hybrid.summary`
+    /// site). On an interrupt the slicer stops taking work and reports
+    /// the flows found so far with [`SliceResult::interrupted`] set.
+    pub fn with_supervisor(mut self, supervisor: Supervisor) -> Self {
+        self.supervisor = supervisor;
+        self
     }
 
     /// Creates a slicer with the concurrency refinement: a store→load
@@ -144,11 +160,17 @@ impl<'a> HybridSlicer<'a> {
             );
             run.queue.push_back(seed_fact);
             self.slice_one(&mut run, &mut result, &mut seen_flows, &mut heap_budget);
+            if self.interrupted.is_some() {
+                break;
+            }
         }
         // By-reference sources (footnote 2): the argument object's state is
         // tainted — loads reading it become seeds, and the object itself is
         // an immediate taint carrier.
         for rs in self.view.ref_seeds() {
+            if self.interrupted.is_some() {
+                break;
+            }
             let mut run = SeedRun {
                 seed_stmt: rs.stmt,
                 seed_method: rs.method,
@@ -194,6 +216,7 @@ impl<'a> HybridSlicer<'a> {
         }
         result.heap_transitions = heap_budget;
         result.work = self.work;
+        result.interrupted = self.interrupted;
         result
     }
 
@@ -205,6 +228,13 @@ impl<'a> HybridSlicer<'a> {
         heap_budget: &mut usize,
     ) {
         while let Some((node, var)) = run.queue.pop_front() {
+            if self.interrupted.is_some() {
+                return;
+            }
+            if let Err(reason) = self.supervisor.check("hybrid.slice") {
+                self.interrupted = Some(reason);
+                return;
+            }
             self.work += 1;
             let uses = match self.view.node(node).uses.get(&var) {
                 Some(u) => u.clone(),
@@ -553,6 +583,14 @@ impl<'a> HybridSlicer<'a> {
             let mut queue: VecDeque<Fact> = VecDeque::new();
             queue.push_back(entry);
             while let Some(key) = queue.pop_front() {
+                if let Err(reason) = self.supervisor.check("hybrid.summary") {
+                    self.interrupted = Some(reason);
+                    // An incomplete summary is an under-approximation;
+                    // the interrupt flag tells the driver the result is
+                    // partial.
+                    self.summaries.entry(entry).or_default();
+                    break;
+                }
                 let computed = self.compute_summary(key, &mut queue);
                 let changed = match self.summaries.get(&key) {
                     Some(old) => *old != computed,

@@ -24,6 +24,7 @@
 
 use jir::inst::Loc;
 use taj_pointer::{spawn_edges, CGNodeId, PointsTo, SpawnEdge};
+use taj_supervise::{InterruptReason, Supervisor};
 
 /// The computed MHP relation.
 #[derive(Clone, Debug)]
@@ -39,6 +40,18 @@ pub struct MhpRelation {
 impl MhpRelation {
     /// Derives the MHP relation from the phase-1 call graph.
     pub fn compute(pts: &PointsTo) -> MhpRelation {
+        Self::compute_supervised(pts, &Supervisor::new()).0
+    }
+
+    /// Supervised variant of [`MhpRelation::compute`]: checks run at the
+    /// reachability loops (`mhp.reach` site). On an interrupt the
+    /// *conservative* single-threaded relation is returned — it never
+    /// lets the hybrid concurrency filter drop an edge, so a truncated
+    /// MHP can only lose precision, never soundness.
+    pub fn compute_supervised(
+        pts: &PointsTo,
+        supervisor: &Supervisor,
+    ) -> (MhpRelation, Option<InterruptReason>) {
         let cg = &pts.callgraph;
         let n = cg.len();
         let edges = spawn_edges(pts);
@@ -68,6 +81,9 @@ impl MhpRelation {
             }
         }
         while let Some(node) = stack.pop() {
+            if let Err(reason) = supervisor.check("mhp.reach") {
+                return (MhpRelation::single_threaded(n), Some(reason));
+            }
             for &succ in cg.succs(node) {
                 if spawn_only.contains(&(node, succ)) {
                     continue;
@@ -86,6 +102,9 @@ impl MhpRelation {
             let mut stack = vec![edge.callee];
             reach[edge.callee.index()] = true;
             while let Some(node) = stack.pop() {
+                if let Err(reason) = supervisor.check("mhp.reach") {
+                    return (MhpRelation::single_threaded(n), Some(reason));
+                }
                 for &succ in cg.succs(node) {
                     if !reach[succ.index()] {
                         reach[succ.index()] = true;
@@ -101,7 +120,7 @@ impl MhpRelation {
             spawned_reach.push((edge, reach));
         }
 
-        MhpRelation { main, spawned_any, spawned_reach }
+        (MhpRelation { main, spawned_any, spawned_reach }, None)
     }
 
     /// An MHP relation for a single-threaded program: everything is main.

@@ -7,6 +7,7 @@ use std::collections::{HashMap, HashSet};
 use jir::inst::Loc;
 use jir::MethodId;
 use taj_pointer::CGNodeId;
+use taj_supervise::InterruptReason;
 
 /// A statement identified globally: call-graph node + location.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -130,6 +131,10 @@ pub struct SliceResult {
     /// Path edges / facts processed (work measure; the CS slicer's memory
     /// proxy).
     pub work: usize,
+    /// Why the slicer stopped early, if its supervisor interrupted it.
+    /// `flows` then holds every flow completed before the interrupt
+    /// (a sound-but-partial under-approximation).
+    pub interrupted: Option<InterruptReason>,
 }
 
 /// Failure modes of a slicer run.

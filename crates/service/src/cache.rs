@@ -68,6 +68,10 @@ pub enum ArtifactKey {
         config: String,
         /// Output rendering.
         format: OutputFormat,
+        /// Whether the request allowed ladder degradation — a degraded
+        /// report and a hard `out_of_memory` failure for the same input
+        /// must not share a slot.
+        degrade: bool,
     },
 }
 
@@ -215,6 +219,7 @@ mod tests {
             rules: 0,
             config: config.to_string(),
             format: OutputFormat::Report,
+            degrade: false,
         }
     }
 
@@ -247,6 +252,7 @@ mod tests {
             rules: 0,
             config: "hybrid".to_string(),
             format: OutputFormat::Sarif,
+            degrade: false,
         };
         c.insert(k_sarif.clone(), report("c"), 10);
         let p1 = ArtifactKey::Phase1 { src: 1, rules: 0, max_cg_nodes: None, priority: false };

@@ -56,6 +56,9 @@ pub struct AnalyzeOpts {
     pub sarif: bool,
     /// Per-request deadline (ms).
     pub timeout_ms: Option<u64>,
+    /// Allow the server to degrade down the precision ladder on budget
+    /// exhaustion instead of failing with `out_of_memory`.
+    pub degrade: bool,
 }
 
 /// A connected protocol client.
@@ -172,6 +175,9 @@ impl Client {
         }
         if let Some(t) = opts.timeout_ms {
             req.insert("timeout_ms", Value::UInt(u128::from(t)));
+        }
+        if opts.degrade {
+            req.insert("degrade", Value::Bool(true));
         }
         self.request(req)
     }

@@ -13,8 +13,17 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use taj_supervise::Supervisor;
+
 /// A unit of work. Jobs communicate results over their own channels.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// What travels down the queue: a plain job, or a job paired with the
+/// supervision handle its submitter can cancel it through.
+enum Task {
+    Plain(Job),
+    Supervised(Job, Supervisor),
+}
 
 /// Submission error: the pool has been shut down.
 #[derive(Debug)]
@@ -23,31 +32,34 @@ pub struct PoolClosed;
 /// The worker pool. Dropping it without [`WorkerPool::shutdown`] detaches
 /// the workers (they drain the queue and exit).
 pub struct WorkerPool {
-    sender: Option<Sender<Job>>,
+    sender: Option<Sender<Task>>,
     workers: Vec<JoinHandle<()>>,
     completed: Arc<AtomicU64>,
     panicked: Arc<AtomicU64>,
+    reclaimed: Arc<AtomicU64>,
 }
 
 impl WorkerPool {
     /// Spawns `size.max(1)` workers.
     pub fn new(size: usize) -> WorkerPool {
-        let (sender, receiver) = channel::<Job>();
+        let (sender, receiver) = channel::<Task>();
         let receiver = Arc::new(Mutex::new(receiver));
         let completed = Arc::new(AtomicU64::new(0));
         let panicked = Arc::new(AtomicU64::new(0));
+        let reclaimed = Arc::new(AtomicU64::new(0));
         let workers = (0..size.max(1))
             .map(|i| {
                 let receiver = Arc::clone(&receiver);
                 let completed = Arc::clone(&completed);
                 let panicked = Arc::clone(&panicked);
+                let reclaimed = Arc::clone(&reclaimed);
                 std::thread::Builder::new()
                     .name(format!("taj-worker-{i}"))
-                    .spawn(move || worker_loop(&receiver, &completed, &panicked))
+                    .spawn(move || worker_loop(&receiver, &completed, &panicked, &reclaimed))
                     .expect("spawn worker thread")
             })
             .collect();
-        WorkerPool { sender: Some(sender), workers, completed, panicked }
+        WorkerPool { sender: Some(sender), workers, completed, panicked, reclaimed }
     }
 
     /// Number of worker threads.
@@ -61,7 +73,22 @@ impl WorkerPool {
     /// [`PoolClosed`] after [`WorkerPool::shutdown`].
     pub fn submit(&self, job: Job) -> Result<(), PoolClosed> {
         match &self.sender {
-            Some(s) => s.send(job).map_err(|_| PoolClosed),
+            Some(s) => s.send(Task::Plain(job)).map_err(|_| PoolClosed),
+            None => Err(PoolClosed),
+        }
+    }
+
+    /// Enqueues a cancellable job. When it finishes with its supervisor
+    /// cancelled — the submitter gave up on it (deadline) and the
+    /// cooperative checks brought it home early — the reclaim counter is
+    /// bumped: that worker would have been leaked to the abandoned job
+    /// until it ran to natural completion.
+    ///
+    /// # Errors
+    /// [`PoolClosed`] after [`WorkerPool::shutdown`].
+    pub fn submit_supervised(&self, job: Job, supervisor: Supervisor) -> Result<(), PoolClosed> {
+        match &self.sender {
+            Some(s) => s.send(Task::Supervised(job, supervisor)).map_err(|_| PoolClosed),
             None => Err(PoolClosed),
         }
     }
@@ -81,6 +108,17 @@ impl WorkerPool {
         Arc::clone(&self.panicked)
     }
 
+    /// Supervised jobs that finished after their supervisor was cancelled
+    /// (workers returned to the pool instead of leaking to abandoned work).
+    pub fn reclaimed(&self) -> u64 {
+        self.reclaimed.load(Ordering::SeqCst)
+    }
+
+    /// Shared handle to the reclaim counter (for server stats).
+    pub fn reclaim_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.reclaimed)
+    }
+
     /// Closes the queue and joins every worker after it drains: queued and
     /// in-flight jobs all complete — the daemon's graceful-drain
     /// primitive.
@@ -93,22 +131,30 @@ impl WorkerPool {
 }
 
 fn worker_loop(
-    receiver: &Arc<Mutex<Receiver<Job>>>,
+    receiver: &Arc<Mutex<Receiver<Task>>>,
     completed: &Arc<AtomicU64>,
     panicked: &Arc<AtomicU64>,
+    reclaimed: &Arc<AtomicU64>,
 ) {
     loop {
-        let job = {
+        let task = {
             let guard = match receiver.lock() {
                 Ok(g) => g,
                 Err(_) => return, // queue mutex poisoned: no more work is coming
             };
             guard.recv()
         };
-        match job {
-            Ok(job) => {
+        match task {
+            Ok(task) => {
+                let (job, supervisor) = match task {
+                    Task::Plain(job) => (job, None),
+                    Task::Supervised(job, sup) => (job, Some(sup)),
+                };
                 if catch_unwind(AssertUnwindSafe(job)).is_err() {
                     panicked.fetch_add(1, Ordering::SeqCst);
+                }
+                if supervisor.is_some_and(|s| s.is_cancelled()) {
+                    reclaimed.fetch_add(1, Ordering::SeqCst);
                 }
                 completed.fetch_add(1, Ordering::SeqCst);
             }
@@ -170,6 +216,26 @@ mod tests {
         drop(tx);
         pool.shutdown(); // must block until all 8 ran
         assert_eq!(rx.try_iter().count(), 8);
+    }
+
+    #[test]
+    fn cancelled_supervised_job_counts_as_reclaimed() {
+        let pool = WorkerPool::new(1);
+        let reclaimed = pool.reclaim_counter();
+        // A supervised job whose submitter gave up (cancelled) before it
+        // finished: the worker comes back and is counted as reclaimed.
+        let cancelled = taj_supervise::Supervisor::new();
+        cancelled.cancel();
+        let (tx, rx) = channel();
+        let tx2 = tx.clone();
+        pool.submit_supervised(Box::new(move || tx.send(1u8).unwrap()), cancelled).unwrap();
+        // A supervised job that completes normally is not "reclaimed".
+        pool.submit_supervised(Box::new(move || tx2.send(2u8).unwrap()), Supervisor::new())
+            .unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(1));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(2));
+        pool.shutdown();
+        assert_eq!(reclaimed.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -85,6 +85,9 @@ pub struct AnalyzeRequest {
     pub format: OutputFormat,
     /// Per-request deadline override (ms).
     pub timeout_ms: Option<u64>,
+    /// Degrade down the precision ladder on budget exhaustion instead of
+    /// failing with `out_of_memory`.
+    pub degrade: bool,
 }
 
 /// One decoded request command.
@@ -133,6 +136,14 @@ fn get_str(obj: &Value, key: &str) -> Result<Option<String>, ProtocolError> {
     }
 }
 
+fn get_bool(obj: &Value, key: &str) -> Result<Option<bool>, ProtocolError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Value::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(bad(format!("field `{key}` must be a boolean"))),
+    }
+}
+
 fn get_u64(obj: &Value, key: &str) -> Result<Option<u64>, ProtocolError> {
     match obj.get(key) {
         None => Ok(None),
@@ -172,7 +183,7 @@ pub fn parse_request(line: &str, debug: bool) -> Result<Request, ProtocolError> 
         "analyze" => {
             check_fields(
                 &value,
-                &["id", "cmd", "source", "config", "rules", "format", "timeout_ms"],
+                &["id", "cmd", "source", "config", "rules", "format", "timeout_ms", "degrade"],
             )?;
             let source = get_str(&value, "source")?.ok_or_else(|| bad("missing `source`"))?;
             let config = get_str(&value, "config")?.unwrap_or_else(|| "hybrid".to_string());
@@ -183,7 +194,8 @@ pub fn parse_request(line: &str, debug: bool) -> Result<Request, ProtocolError> 
                     .ok_or_else(|| bad(format!("unknown format `{f}` (report|sarif)")))?,
             };
             let timeout_ms = get_u64(&value, "timeout_ms")?;
-            Command::Analyze(AnalyzeRequest { source, config, rules, format, timeout_ms })
+            let degrade = get_bool(&value, "degrade")?.unwrap_or(false);
+            Command::Analyze(AnalyzeRequest { source, config, rules, format, timeout_ms, degrade })
         }
         "configs" => {
             check_fields(&value, &["id", "cmd"])?;
@@ -257,9 +269,21 @@ mod tests {
                 assert_eq!(a.config, "hybrid");
                 assert_eq!(a.format, OutputFormat::Report);
                 assert!(a.rules.is_none() && a.timeout_ms.is_none());
+                assert!(!a.degrade, "degradation is opt-in");
             }
             other => panic!("wrong command: {other:?}"),
         }
+    }
+
+    #[test]
+    fn degrade_flag_parses_and_rejects_non_bool() {
+        let r = parse_request(r#"{"cmd":"analyze","source":"x","degrade":true}"#, false).unwrap();
+        match r.command {
+            Command::Analyze(a) => assert!(a.degrade),
+            other => panic!("wrong command: {other:?}"),
+        }
+        let e = parse_request(r#"{"cmd":"analyze","source":"x","degrade":1}"#, false).unwrap_err();
+        assert_eq!(e.0, ErrorCode::BadRequest);
     }
 
     #[test]

@@ -20,7 +20,8 @@ use std::time::{Duration, Instant};
 
 use serde::Value;
 use taj_core::{
-    analyze_with_phase1, parse_rules, prepare, run_phase1, RuleSet, TajConfig, TajError,
+    analyze_with_phase1_opts, parse_rules, prepare, run_phase1_supervised, RuleSet, RunOptions,
+    Supervisor, TajConfig, TajError,
 };
 
 use crate::cache::{
@@ -104,15 +105,17 @@ struct ServiceCounters {
     prepare_runs: AtomicU64,
     phase1_runs: AtomicU64,
     phase2_runs: AtomicU64,
+    degraded_runs: AtomicU64,
 }
 
 /// Server state shared between the accept loop, handlers, and workers.
 struct ServiceState {
     cache: Mutex<ArtifactCache>,
-    jobs: Mutex<Option<Sender<Job>>>,
+    jobs: Mutex<Option<Sender<(Job, Supervisor)>>>,
     shutdown: AtomicBool,
     counters: ServiceCounters,
     panicked: Arc<AtomicU64>,
+    reclaimed: Arc<AtomicU64>,
     workers: usize,
     default_timeout_ms: Option<u64>,
     debug: bool,
@@ -183,6 +186,7 @@ pub fn serve(options: ServeOptions) -> io::Result<ServerHandle> {
         shutdown: AtomicBool::new(false),
         counters: ServiceCounters::default(),
         panicked: pool.panic_counter(),
+        reclaimed: pool.reclaim_counter(),
         workers: pool.size(),
         default_timeout_ms: options.default_timeout_ms,
         debug: options.debug,
@@ -191,14 +195,14 @@ pub fn serve(options: ServeOptions) -> io::Result<ServerHandle> {
     // Handlers submit through a dedicated channel forwarded to the pool,
     // so the accept loop can cut off new submissions (drop the forwarder)
     // while queued jobs still drain.
-    let (job_tx, job_rx) = channel::<Job>();
+    let (job_tx, job_rx) = channel::<(Job, Supervisor)>();
     *state.jobs.lock().expect("jobs lock") = Some(job_tx);
     let forward_pool = pool;
     let forwarder = std::thread::Builder::new()
         .name("taj-job-forwarder".to_string())
         .spawn(move || {
-            while let Ok(job) = job_rx.recv() {
-                if forward_pool.submit(job).is_err() {
+            while let Ok((job, supervisor)) = job_rx.recv() {
+                if forward_pool.submit_supervised(job, supervisor).is_err() {
                     break;
                 }
             }
@@ -307,19 +311,16 @@ fn handle_line(line: &str, state: &Arc<ServiceState>) -> (String, bool) {
             let timeout_ms = req.timeout_ms.or(state.default_timeout_ms);
             dispatch(state, timeout_ms, {
                 let state = Arc::clone(state);
-                move || run_analyze(&state, &req)
+                move |sup: &Supervisor| run_analyze(&state, &req, sup)
             })
         }
         Command::DebugSleep { ms, timeout_ms } => {
             let timeout_ms = timeout_ms.or(state.default_timeout_ms);
-            dispatch(state, timeout_ms, move || {
-                std::thread::sleep(Duration::from_millis(ms));
-                Ok("{\"slept_ms\":".to_string() + &ms.to_string() + "}")
-            })
+            dispatch(state, timeout_ms, move |sup: &Supervisor| debug_sleep(ms, sup))
         }
-        Command::DebugPanic => {
-            dispatch(state, state.default_timeout_ms, || panic!("debug_panic requested"))
-        }
+        Command::DebugPanic => dispatch(state, state.default_timeout_ms, |_: &Supervisor| {
+            panic!("debug_panic requested")
+        }),
     };
     match outcome {
         Ok(raw) => (ok_response_raw(&id, &raw), false),
@@ -334,25 +335,35 @@ fn handle_line(line: &str, state: &Arc<ServiceState>) -> (String, bool) {
 }
 
 /// Submits `work` to the pool and waits for its result, applying the
-/// per-request deadline. A worker panic surfaces as `worker_panic` (the
-/// result channel drops without a message); the deadline as `timeout`.
+/// per-request deadline. The job runs under a [`Supervisor`] carrying
+/// that deadline; when the wait times out, the supervisor is *cancelled*
+/// so the cooperative checks inside the analysis bring the worker home
+/// within one check interval instead of leaking it to the orphaned job
+/// (the pool counts the reclaim). A worker panic surfaces as
+/// `worker_panic` (the result channel drops without a message); the
+/// deadline as `timeout`.
 fn dispatch<F>(
     state: &Arc<ServiceState>,
     timeout_ms: Option<u64>,
     work: F,
 ) -> Result<String, ProtocolError>
 where
-    F: FnOnce() -> Result<String, ProtocolError> + Send + 'static,
+    F: FnOnce(&Supervisor) -> Result<String, ProtocolError> + Send + 'static,
 {
     if state.shutdown.load(Ordering::SeqCst) {
         return Err((ErrorCode::ShuttingDown, "daemon is draining".to_string()));
     }
+    let supervisor = match timeout_ms {
+        Some(ms) => Supervisor::new().with_deadline(Duration::from_millis(ms)),
+        None => Supervisor::new(),
+    };
     let (tx, rx) = channel::<Result<String, ProtocolError>>();
     // This catch runs before the pool's own per-job catch, so count the
     // panic here — the shared counter backs the `worker_panics` stat.
     let panicked = Arc::clone(&state.panicked);
+    let job_sup = supervisor.clone();
     let job: Job = Box::new(move || {
-        let result = catch_unwind(AssertUnwindSafe(work)).unwrap_or_else(|_| {
+        let result = catch_unwind(AssertUnwindSafe(|| work(&job_sup))).unwrap_or_else(|_| {
             panicked.fetch_add(1, Ordering::SeqCst);
             Err((ErrorCode::WorkerPanic, "analysis worker panicked".into()))
         });
@@ -363,7 +374,7 @@ where
         match jobs.as_ref() {
             Some(sender) => {
                 sender
-                    .send(job)
+                    .send((job, supervisor.clone()))
                     .map_err(|_| (ErrorCode::ShuttingDown, "daemon is draining".to_string()))?;
             }
             None => return Err((ErrorCode::ShuttingDown, "daemon is draining".to_string())),
@@ -375,10 +386,15 @@ where
     };
     match received {
         Ok(result) => result,
-        Err(RecvTimeoutError::Timeout) => Err((
-            ErrorCode::Timeout,
-            format!("request exceeded its {}ms deadline", timeout_ms.unwrap_or(0)),
-        )),
+        Err(RecvTimeoutError::Timeout) => {
+            // Nobody is listening for the result any more: tell the job
+            // to stop so its worker is reclaimed instead of leaked.
+            supervisor.cancel();
+            Err((
+                ErrorCode::Timeout,
+                format!("request exceeded its {}ms deadline", timeout_ms.unwrap_or(0)),
+            ))
+        }
         // The job dropped its sender without replying: the closure itself
         // panicked outside our catch (should be unreachable, but stay
         // structured rather than hanging).
@@ -388,6 +404,25 @@ where
     }
 }
 
+/// The `debug_sleep` job body: sleeps in short cancellation-aware chunks
+/// so an abandoned sleeper frees its worker quickly, while an undisturbed
+/// one still reports the full requested duration (the drain tests rely on
+/// that).
+fn debug_sleep(ms: u64, supervisor: &Supervisor) -> Result<String, ProtocolError> {
+    let deadline = Instant::now() + Duration::from_millis(ms);
+    loop {
+        if supervisor.is_cancelled() {
+            return Err((ErrorCode::Timeout, "sleep cancelled".to_string()));
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        std::thread::sleep((deadline - now).min(Duration::from_millis(10)));
+    }
+    Ok(format!("{{\"slept_ms\":{ms}}}"))
+}
+
 fn poisoned() -> ProtocolError {
     (ErrorCode::WorkerPanic, "server state poisoned".to_string())
 }
@@ -395,7 +430,18 @@ fn poisoned() -> ProtocolError {
 /// The cache-aware analysis pipeline: report cache → prepared cache →
 /// phase-1 cache → phase 2. Artifacts are built outside the cache lock
 /// and shared via `Arc`, so hits are pointer copies.
-fn run_analyze(state: &Arc<ServiceState>, req: &AnalyzeRequest) -> Result<String, ProtocolError> {
+fn run_analyze(
+    state: &Arc<ServiceState>,
+    req: &AnalyzeRequest,
+    supervisor: &Supervisor,
+) -> Result<String, ProtocolError> {
+    // Fault-injection site at the service boundary (no-op in default
+    // builds): lets tests fail an analyze job before it touches the
+    // cache or pipeline.
+    if let Some(reason) = taj_supervise::fail_hook("service.run_analyze") {
+        let code = if reason.is_budget() { ErrorCode::OutOfMemory } else { ErrorCode::Timeout };
+        return Err((code, format!("failpoint interrupt: {}", reason.as_str())));
+    }
     let config = TajConfig::by_name(&req.config)
         .ok_or_else(|| (ErrorCode::UnknownConfig, format!("unknown config `{}`", req.config)))?;
     let src = content_hash(req.source.as_bytes());
@@ -406,6 +452,7 @@ fn run_analyze(state: &Arc<ServiceState>, req: &AnalyzeRequest) -> Result<String
         rules: rules_hash,
         config: config.name.to_string(),
         format: req.format,
+        degrade: req.degrade,
     };
     // NB: every lookup is bound to a local before matching — a `match`
     // on `lock_cache(..)?.get(..)` would keep the MutexGuard temporary
@@ -453,23 +500,33 @@ fn run_analyze(state: &Arc<ServiceState>, req: &AnalyzeRequest) -> Result<String
     let phase1 = match cached_phase1 {
         Some(Artifact::Phase1(p)) if p.matches(&config) => p,
         _ => {
-            let p = Arc::new(run_phase1(&prepared, &config));
+            let p = Arc::new(run_phase1_supervised(&prepared, &config, supervisor));
             state.counters.phase1_runs.fetch_add(1, Ordering::SeqCst);
-            let bytes = phase1_bytes(&p);
-            lock_cache(state)?.insert(phase1_key, Artifact::Phase1(Arc::clone(&p)), bytes);
+            // An interrupted phase 1 is a deadline artifact, not a
+            // property of the input: caching it would poison every later
+            // request for this source.
+            if p.interrupted.is_none() {
+                let bytes = phase1_bytes(&p);
+                lock_cache(state)?.insert(phase1_key, Artifact::Phase1(Arc::clone(&p)), bytes);
+            }
             p
         }
     };
 
     // Phase 2 (always runs on a report-cache miss; it is the cheap half).
-    let report = analyze_with_phase1(&prepared, &phase1, &config).map_err(|e| match e {
-        TajError::OutOfMemory { path_edges } => (
-            ErrorCode::OutOfMemory,
-            format!("analysis ran out of memory budget ({path_edges} path edges)"),
-        ),
-        other => (ErrorCode::ParseError, other.to_string()),
-    })?;
+    let opts = RunOptions { supervisor: supervisor.clone(), degrade: req.degrade };
+    let report =
+        analyze_with_phase1_opts(&prepared, &phase1, &config, &opts).map_err(|e| match e {
+            TajError::OutOfMemory { path_edges } => (
+                ErrorCode::OutOfMemory,
+                format!("analysis ran out of memory budget ({path_edges} path edges)"),
+            ),
+            other => (ErrorCode::ParseError, other.to_string()),
+        })?;
     state.counters.phase2_runs.fetch_add(1, Ordering::SeqCst);
+    if report.degradation.degraded {
+        state.counters.degraded_runs.fetch_add(1, Ordering::SeqCst);
+    }
 
     let serialized = match req.format {
         OutputFormat::Report => serde_json::to_string(&report)
@@ -481,8 +538,20 @@ fn run_analyze(state: &Arc<ServiceState>, req: &AnalyzeRequest) -> Result<String
             .and_then(|v| serde_json::to_string(&v))
             .map_err(|e| (ErrorCode::BadRequest, format!("SARIF serialization failed: {e}")))?,
     };
-    let bytes = serialized.len();
-    lock_cache(state)?.insert(report_key, Artifact::Report(Arc::new(serialized.clone())), bytes);
+    // Budget-driven degradation is deterministic (same input → same
+    // ladder) and safe to cache; deadline/cancel degradation depends on
+    // wall-clock luck, so serving it from cache would pin a transient
+    // truncation forever.
+    let deterministic = !report.degradation.degraded
+        || report.degradation.steps.iter().all(|s| s.reason.contains("budget"));
+    if deterministic {
+        let bytes = serialized.len();
+        lock_cache(state)?.insert(
+            report_key,
+            Artifact::Report(Arc::new(serialized.clone())),
+            bytes,
+        );
+    }
     Ok(serialized)
 }
 
@@ -519,9 +588,11 @@ fn stats_raw(state: &Arc<ServiceState>) -> Result<String, ProtocolError> {
     o.insert("errors", Value::UInt(u128::from(c.errors.load(Ordering::SeqCst))));
     o.insert("timeouts", Value::UInt(u128::from(c.timeouts.load(Ordering::SeqCst))));
     o.insert("worker_panics", Value::UInt(u128::from(state.panicked.load(Ordering::SeqCst))));
+    o.insert("workers_reclaimed", Value::UInt(u128::from(state.reclaimed.load(Ordering::SeqCst))));
     o.insert("prepare_runs", Value::UInt(u128::from(c.prepare_runs.load(Ordering::SeqCst))));
     o.insert("phase1_runs", Value::UInt(u128::from(c.phase1_runs.load(Ordering::SeqCst))));
     o.insert("phase2_runs", Value::UInt(u128::from(c.phase2_runs.load(Ordering::SeqCst))));
+    o.insert("degraded_runs", Value::UInt(u128::from(c.degraded_runs.load(Ordering::SeqCst))));
     let mut cache_o = Value::object();
     cache_o.insert("hits", Value::UInt(u128::from(cache.hits)));
     cache_o.insert("misses", Value::UInt(u128::from(cache.misses)));

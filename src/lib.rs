@@ -40,6 +40,7 @@ pub use taj_core as core;
 pub use taj_pointer as pointer;
 pub use taj_sdg as sdg;
 pub use taj_service as service;
+pub use taj_supervise as supervise;
 pub use taj_webgen as webgen;
 
 pub use taj_core::{analyze_source, IssueType, RuleSet, TajConfig, TajError, TajReport};

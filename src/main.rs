@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! taj analyze <file.jweb> [--config NAME] [--json] [--flows] [--concurrency] [--ir]
+//!             [--deadline-ms N] [--degrade]
 //! taj configs
 //! taj demo
 //! taj serve [--socket PATH | --tcp ADDR] [--workers N] [--cache-mb N] [--timeout-ms N]
 //! taj client (--socket PATH | --tcp ADDR) analyze <file.jweb> [--config NAME] [--sarif]
+//!            [--timeout-ms N] [--degrade]
 //! taj client (--socket PATH | --tcp ADDR) configs|stats|shutdown
 //! ```
 //!
@@ -15,7 +17,9 @@
 
 use std::process::ExitCode;
 
-use taj::core::{analyze_source, RuleSet, TajConfig, TajError};
+use std::time::Duration;
+
+use taj::core::{analyze_source_opts, RuleSet, RunOptions, Supervisor, TajConfig, TajError};
 use taj::service::{AnalyzeOpts, Bind, Client, ServeOptions};
 
 fn main() -> ExitCode {
@@ -39,6 +43,7 @@ fn main() -> ExitCode {
                     RuleSet::default_rules(),
                     &TajConfig::hybrid_unbounded(),
                     &OutputOpts { flows: true, ..OutputOpts::default() },
+                    &RunOptions::default(),
                 )
             }
             Err(e) => usage_error(&e),
@@ -47,7 +52,7 @@ fn main() -> ExitCode {
         Some("client") => client_cmd(&args[1..]),
         _ => {
             eprintln!(
-                "usage: taj analyze <file.jweb> [--config NAME] [--rules FILE] [--json] [--sarif] [--flows] [--concurrency] [--ir]"
+                "usage: taj analyze <file.jweb> [--config NAME] [--rules FILE] [--json] [--sarif] [--flows] [--concurrency] [--ir] [--deadline-ms N] [--degrade]"
             );
             eprintln!("       taj configs          list configuration names");
             eprintln!("       taj demo             analyze the paper's Figure 1 program");
@@ -55,7 +60,7 @@ fn main() -> ExitCode {
                 "       taj serve [--socket PATH | --tcp ADDR] [--workers N] [--cache-mb N] [--timeout-ms N] [--debug]"
             );
             eprintln!(
-                "       taj client (--socket PATH | --tcp ADDR) analyze <file.jweb> [--config NAME] [--rules FILE] [--sarif] [--timeout-ms N]"
+                "       taj client (--socket PATH | --tcp ADDR) analyze <file.jweb> [--config NAME] [--rules FILE] [--sarif] [--timeout-ms N] [--degrade]"
             );
             eprintln!("       taj client (--socket PATH | --tcp ADDR) configs|stats|shutdown");
             ExitCode::FAILURE
@@ -178,6 +183,8 @@ fn analyze_cmd(args: &[String]) -> ExitCode {
         flag("flows"),
         flag("concurrency"),
         flag("ir"),
+        opt("deadline-ms"),
+        flag("degrade"),
     ];
     let parsed = match parse_args(args, SPEC, 1) {
         Ok(p) => p,
@@ -206,7 +213,15 @@ fn analyze_cmd(args: &[String]) -> ExitCode {
         concurrency: parsed.has("concurrency"),
         ir: parsed.has("ir"),
     };
-    run_analysis(&source, rules, &config, &opts)
+    let mut supervisor = Supervisor::new();
+    if let Some(v) = parsed.value("deadline-ms") {
+        match v.parse::<u64>() {
+            Ok(ms) => supervisor = supervisor.with_deadline(Duration::from_millis(ms)),
+            Err(_) => return usage_error("`--deadline-ms` must be a non-negative integer"),
+        }
+    }
+    let run = RunOptions { supervisor, degrade: parsed.has("degrade") };
+    run_analysis(&source, rules, &config, &opts, &run)
 }
 
 fn serve_cmd(args: &[String]) -> ExitCode {
@@ -275,8 +290,15 @@ fn parse_num(parsed: &Parsed, name: &str, default: u64) -> Result<u64, ExitCode>
 }
 
 fn client_cmd(args: &[String]) -> ExitCode {
-    const SPEC: &[FlagSpec] =
-        &[opt("socket"), opt("tcp"), opt("config"), opt("rules"), flag("sarif"), opt("timeout-ms")];
+    const SPEC: &[FlagSpec] = &[
+        opt("socket"),
+        opt("tcp"),
+        opt("config"),
+        opt("rules"),
+        flag("sarif"),
+        opt("timeout-ms"),
+        flag("degrade"),
+    ];
     let parsed = match parse_args(args, SPEC, 2) {
         Ok(p) => p,
         Err(e) => return usage_error(&e),
@@ -327,6 +349,7 @@ fn client_cmd(args: &[String]) -> ExitCode {
                 rules,
                 sarif: parsed.has("sarif"),
                 timeout_ms,
+                degrade: parsed.has("degrade"),
             };
             client.analyze(&source, &opts)
         }
@@ -369,7 +392,13 @@ struct OutputOpts {
     ir: bool,
 }
 
-fn run_analysis(source: &str, rules: RuleSet, config: &TajConfig, opts: &OutputOpts) -> ExitCode {
+fn run_analysis(
+    source: &str,
+    rules: RuleSet,
+    config: &TajConfig,
+    opts: &OutputOpts,
+    run: &RunOptions,
+) -> ExitCode {
     let &OutputOpts { json, sarif, flows, concurrency, ir } = opts;
     if ir {
         match jir::frontend::build_program(source) {
@@ -380,7 +409,7 @@ fn run_analysis(source: &str, rules: RuleSet, config: &TajConfig, opts: &OutputO
             }
         }
     }
-    match analyze_source(source, None, rules, config) {
+    match analyze_source_opts(source, None, rules, config, run) {
         Ok(report) => {
             if sarif {
                 match taj::core::to_sarif(&report) {
@@ -433,6 +462,16 @@ fn run_analysis(source: &str, rules: RuleSet, config: &TajConfig, opts: &OutputO
                 if concurrency {
                     println!();
                     print!("{}", taj::core::concurrency_text(&report));
+                }
+                if report.degradation.degraded {
+                    println!("\nDEGRADED run:");
+                    for step in &report.degradation.steps {
+                        println!(
+                            "  [{}] {} -> {} ({})",
+                            step.stage, step.from, step.to, step.reason
+                        );
+                        println!("    caveat: {}", step.caveat);
+                    }
                 }
             }
             if report.issue_count() > 0 {

@@ -97,6 +97,83 @@ fn request_timeout_fires_and_daemon_survives() {
 }
 
 #[test]
+fn deeply_nested_request_is_an_error_not_a_crash() {
+    let (handle, mut client) = start_debug();
+    // 100k unclosed brackets would blow the recursive-descent parser's
+    // stack (an abort, not a catchable panic) without a depth limit.
+    let hostile = "[".repeat(100_000);
+    let raw = client.request_raw(&hostile).expect("server still responds");
+    assert_eq!(error_code(&raw), "bad_request");
+    // Same for deeply nested objects smuggled inside a valid envelope.
+    let nested = format!(r#"{{"cmd":"stats","id":{}1{}}}"#, "[".repeat(500), "]".repeat(500));
+    let raw = client.request_raw(&nested).expect("responds");
+    assert_eq!(error_code(&raw), "bad_request");
+    // The connection and the daemon both survive.
+    client.stats().expect("connection still usable");
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn timed_out_job_releases_its_worker() {
+    let (handle, mut client) = start_debug();
+    // Nominally a 60s sleep; the 50ms deadline cancels its supervisor and
+    // the cooperative sleeper frees the worker within one check interval.
+    let raw = client
+        .request_raw(r#"{"id":7,"cmd":"debug_sleep","ms":60000,"timeout_ms":50}"#)
+        .expect("timeout response arrives");
+    assert_eq!(error_code(&raw), "timeout");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = client.stats().expect("stats");
+        if stats["workers_reclaimed"].as_u64().unwrap_or(0) >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "worker never reclaimed after cancellation: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // The reclaimed worker is genuinely reusable.
+    let report = client.analyze(SERVLET, &AnalyzeOpts::default()).expect("analyze after reclaim");
+    assert_eq!(report["findings"].as_array().map(Vec::len), Some(1));
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn degrade_turns_budget_exhaustion_into_hybrid_report() {
+    let (handle, mut client) = start_debug();
+    // Without degrade, the starved CS budget is the paper's hard failure.
+    let starved = AnalyzeOpts { config: Some("cs-tiny".to_string()), ..AnalyzeOpts::default() };
+    match client.analyze(SERVLET, &starved) {
+        Err(ClientError::Remote { code, .. }) => assert_eq!(code, "out_of_memory"),
+        other => panic!("expected out_of_memory, got {other:?}"),
+    }
+    // With degrade, the same request falls down the ladder to hybrid and
+    // still reports the flow, annotated with provenance.
+    let report = client
+        .analyze(SERVLET, &AnalyzeOpts { degrade: true, ..starved })
+        .expect("degraded analyze succeeds");
+    assert_eq!(report["findings"].as_array().map(Vec::len), Some(1), "{report:?}");
+    assert_eq!(report["config"].as_str(), Some("Hybrid-Unbounded"), "{report:?}");
+    assert_eq!(report["degradation"]["degraded"].as_bool(), Some(true), "{report:?}");
+    let steps = report["degradation"]["steps"].as_array().expect("degradation steps");
+    assert!(
+        steps.iter().any(|s| s["reason"].as_str().unwrap_or("").contains("path-edge budget")),
+        "{report:?}"
+    );
+    let stats = client.stats().expect("stats");
+    // The degraded request reused the cached phase-1 from the failed one:
+    // no second pointer analysis anywhere down the ladder.
+    assert_eq!(stats["phase1_runs"].as_u64(), Some(1), "{stats:?}");
+    assert_eq!(stats["degraded_runs"].as_u64(), Some(1), "{stats:?}");
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
 fn worker_panic_is_isolated() {
     let (handle, mut client) = start_debug();
     let raw = client.request_raw(r#"{"id":1,"cmd":"debug_panic"}"#).expect("panic response");

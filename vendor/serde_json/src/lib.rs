@@ -132,9 +132,15 @@ fn write_value(v: &Value, depth: usize, pretty: bool, out: &mut String) {
     }
 }
 
+/// Maximum container nesting the parser accepts. The parser is
+/// recursive-descent, so unbounded nesting would let a hostile input
+/// (`[[[[…`) overflow the stack — an abort, not a catchable panic.
+/// 128 is far beyond any legitimate protocol message.
+const MAX_DEPTH: usize = 128;
+
 /// Parses JSON text into a [`Value`].
 pub fn from_str(input: &str) -> Result<Value, Error> {
-    let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut parser = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
     parser.skip_ws();
     let v = parser.parse_value()?;
     parser.skip_ws();
@@ -147,6 +153,7 @@ pub fn from_str(input: &str) -> Result<Value, Error> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -216,12 +223,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error::new(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn parse_object(&mut self) -> Result<Value, Error> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut entries = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(entries));
         }
         loop {
@@ -234,7 +251,10 @@ impl Parser<'_> {
             self.skip_ws();
             match self.bump() {
                 Some(b',') => continue,
-                Some(b'}') => return Ok(Value::Object(entries)),
+                Some(b'}') => {
+                    self.depth -= 1;
+                    return Ok(Value::Object(entries));
+                }
                 _ => {
                     return Err(Error::new(format!(
                         "expected `,` or `}}` at byte {}",
@@ -247,10 +267,12 @@ impl Parser<'_> {
 
     fn parse_array(&mut self) -> Result<Value, Error> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -258,7 +280,10 @@ impl Parser<'_> {
             self.skip_ws();
             match self.bump() {
                 Some(b',') => continue,
-                Some(b']') => return Ok(Value::Array(items)),
+                Some(b']') => {
+                    self.depth -= 1;
+                    return Ok(Value::Array(items));
+                }
                 _ => {
                     return Err(Error::new(format!(
                         "expected `,` or `]` at byte {}",
@@ -404,6 +429,23 @@ mod tests {
         assert!(from_str("{").is_err());
         assert!(from_str("[1,]").is_err());
         assert!(from_str("12 34").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        // 100k unclosed brackets must come back as Err, not abort the
+        // process by blowing the recursive-descent parser's stack.
+        let hostile = "[".repeat(100_000);
+        let e = from_str(&hostile).unwrap_err();
+        assert!(e.to_string().contains("nesting"), "{e}");
+        let hostile_obj = "{\"a\":".repeat(100_000);
+        assert!(from_str(&hostile_obj).is_err());
+        // Reasonable nesting still parses, and depth resets between
+        // siblings (close brackets must decrement the counter).
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(from_str(&ok).is_ok());
+        let siblings = "[[[1]],[[2]],[[3]]]";
+        assert!(from_str(siblings).is_ok());
     }
 
     #[test]
