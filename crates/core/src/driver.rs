@@ -2,6 +2,9 @@
 //! analysis & call-graph construction, then per-rule slicing, bounds, and
 //! LCP report minimization.
 
+use std::collections::HashSet;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -18,6 +21,7 @@ use taj_supervise::{InterruptReason, Supervisor};
 use crate::config::{Algorithm, TajConfig};
 use crate::frameworks::DeploymentDescriptor;
 use crate::lcp;
+use crate::parallel;
 use crate::rules::{IssueType, RuleSet};
 
 /// A reported flow with human-readable anchors (serializable).
@@ -147,6 +151,14 @@ pub struct RunOptions {
     /// (CS → hybrid → bounded hybrid) instead of returning
     /// [`TajError::OutOfMemory`].
     pub degrade: bool,
+    /// Phase-2 worker threads: `0` (the default) means one per available
+    /// core, `1` runs the work units inline on the calling thread, any
+    /// other value spawns exactly that many workers. The thread count is
+    /// an *execution* parameter, never an *analysis* parameter: reports
+    /// are byte-identical at every value, which is why it lives here and
+    /// not in [`TajConfig`] (and therefore cannot leak into any cache
+    /// validity domain — see [`Phase1::matches`]).
+    pub threads: usize,
 }
 
 /// The result of one TAJ run.
@@ -514,7 +526,7 @@ pub fn analyze_with_phase1_opts(
     }
     let mut current = *config;
     loop {
-        match run_phase2(prepared, phase1, &current, &supervisor) {
+        match run_phase2(prepared, phase1, &current, &supervisor, opts.threads) {
             Ok((mut report, interrupted)) => match interrupted {
                 Some(reason) if reason.is_budget() && opts.degrade => {
                     match next_rung(&current) {
@@ -582,13 +594,103 @@ fn partial_step(config: &TajConfig, reason: &str) -> DegradationStep {
     }
 }
 
+/// One parallel work unit: which part of one rule's seed lists to slice.
+///
+/// Rules whose slicer couples seeds through a shared budget (the CS
+/// path-edge budget, the bounded hybrid's heap-transition budget) stay
+/// whole; unbounded hybrid/CI rules split into contiguous seed chunks of
+/// [`parallel::SEED_CHUNK`]. The plan depends only on the configuration
+/// and the phase-1 artifacts — never on the thread count — so the unit
+/// list (and therefore the merged output) is thread-count-invariant.
+#[derive(Clone, Debug)]
+enum UnitKind {
+    /// The rule's full seed lists in one run (budget-coupled slicers).
+    Whole,
+    /// A chunk of the rule's regular seed list.
+    Seeds(Range<usize>),
+    /// A chunk of the rule's by-reference seed list (hybrid only).
+    RefSeeds(Range<usize>),
+}
+
+/// A planned unit: rule index plus seed partition.
+#[derive(Clone, Debug)]
+struct Unit {
+    rule: usize,
+    kind: UnitKind,
+}
+
+/// What one executed unit produced.
+struct UnitOut {
+    result: SliceResult,
+    edges_dropped: usize,
+}
+
+/// A unit's outcome as seen by the deterministic merge.
+enum UnitStatus {
+    /// Ran to completion (possibly interrupted mid-run).
+    Done(UnitOut),
+    /// The CS slicer exceeded its path-edge budget.
+    Oom { path_edges: usize },
+    /// Never started: an earlier unit (by index) already went abnormal.
+    /// Skipped units are always behind the first abnormal unit, so the
+    /// prefix merge drops them regardless — skipping only saves work,
+    /// it cannot change output.
+    Skipped,
+}
+
+/// Splits `0..len` into [`parallel::SEED_CHUNK`]-sized chunk units.
+fn push_chunks(
+    units: &mut Vec<Unit>,
+    rule: usize,
+    len: usize,
+    make: impl Fn(Range<usize>) -> UnitKind,
+) {
+    let mut start = 0;
+    while start < len {
+        let end = (start + parallel::SEED_CHUNK).min(len);
+        units.push(Unit { rule, kind: make(start..end) });
+        start = end;
+    }
+}
+
+/// Plans the unit list for one configuration over built rule views.
+fn plan_units(config: &TajConfig, views: &[ProgramView<'_>]) -> Vec<Unit> {
+    // Seed-splitting is valid only when seeds are independent: the CS
+    // slicer tabulates all seeds jointly under one path-edge budget, and
+    // a heap-transition bound couples seeds through the shared counter.
+    let splittable = config.max_heap_transitions.is_none()
+        && matches!(config.algorithm, Algorithm::Hybrid | Algorithm::CiThin);
+    let mut units = Vec::new();
+    for (rule, view) in views.iter().enumerate() {
+        if !splittable {
+            units.push(Unit { rule, kind: UnitKind::Whole });
+            continue;
+        }
+        push_chunks(&mut units, rule, view.seeds().len(), UnitKind::Seeds);
+        if matches!(config.algorithm, Algorithm::Hybrid) {
+            push_chunks(&mut units, rule, view.ref_seeds().len(), UnitKind::RefSeeds);
+        }
+    }
+    units
+}
+
 /// One phase-2 pass under a fixed configuration. Returns the report plus
 /// the supervisor interrupt that stopped it early, if any.
+///
+/// Work is fanned out over `threads` scoped workers (see
+/// [`parallel::par_map`]); each unit runs under its own
+/// [`Supervisor::fresh_meters`] handle so cancellation and deadlines
+/// still interrupt every worker while budget meters stay per-unit
+/// deterministic. Results merge by unit index: the prefix of units up to
+/// and including the first abnormal one (interrupt or out-of-budget) is
+/// kept, the rest dropped — the sequential break semantics, which makes
+/// the report byte-identical at every thread count.
 fn run_phase2(
     prepared: &PreparedProgram,
     phase1: &Phase1,
     config: &TajConfig,
     supervisor: &Supervisor,
+    threads: usize,
 ) -> Result<(TajReport, Option<InterruptReason>), TajError> {
     assert!(
         phase1.matches(config),
@@ -599,6 +701,7 @@ fn run_phase2(
     let pts = &phase1.pts;
     let heap = &phase1.heap;
     let pointer_ms = phase1.pointer_ms;
+    let threads = parallel::resolve_threads(threads);
 
     // ---- Phase 2: per-rule slicing (§3.2) + modeling + bounds (§6.2).
     let t1 = Instant::now();
@@ -624,58 +727,131 @@ fn run_phase2(
         _ => None,
     };
 
-    for rule in &resolved {
-        let spec = build_spec(prepared, pts, heap, rule, config);
-        let view = ProgramView::build(program, pts, &spec);
-        let bounds = SliceBounds {
-            max_heap_transitions: config.max_heap_transitions,
-            max_path_edges: config.cs_path_edge_budget,
-        };
-        let result: SliceResult = match config.algorithm {
+    // Stage A: per-rule slice specs and program views, built in parallel
+    // (views borrow their spec, hence the two indexed maps).
+    let specs: Vec<SliceSpec> = parallel::par_map(threads, resolved.len(), |i| {
+        build_spec(prepared, pts, heap, &resolved[i], config)
+    });
+    let views: Vec<ProgramView<'_>> =
+        parallel::par_map(threads, resolved.len(), |i| ProgramView::build(program, pts, &specs[i]));
+
+    // Stage B: slice the planned units over the work-stealing queue.
+    let units = plan_units(config, &views);
+    let bounds = SliceBounds {
+        max_heap_transitions: config.max_heap_transitions,
+        max_path_edges: config.cs_path_edge_budget,
+    };
+    let run_unit = |unit: &Unit| -> UnitStatus {
+        let view = &views[unit.rule];
+        let unit_supervisor = supervisor.fresh_meters();
+        match config.algorithm {
             Algorithm::Hybrid => {
                 let mut slicer = if config.escape_analysis {
-                    HybridSlicer::with_concurrency(&view, bounds, &phase1.escape, &phase1.mhp)
+                    HybridSlicer::with_concurrency(view, bounds, &phase1.escape, &phase1.mhp)
                 } else {
-                    HybridSlicer::new(&view, bounds)
+                    HybridSlicer::new(view, bounds)
                 }
-                .with_supervisor(supervisor.clone());
-                let r = slicer.run();
-                edges_dropped += slicer.edges_dropped();
-                r
+                .with_supervisor(unit_supervisor);
+                let result = match &unit.kind {
+                    UnitKind::Whole => slicer.run(),
+                    UnitKind::Seeds(r) => slicer.run_partition(r.clone(), 0..0),
+                    UnitKind::RefSeeds(r) => slicer.run_partition(0..0, r.clone()),
+                };
+                UnitStatus::Done(UnitOut { edges_dropped: slicer.edges_dropped(), result })
             }
             Algorithm::CiThin => {
-                CiSlicer::with_cache(&view, bounds, ci_cache.as_ref().expect("built for CI above"))
-                    .with_supervisor(supervisor.clone())
-                    .run()
+                let mut slicer = CiSlicer::with_cache(
+                    view,
+                    bounds,
+                    ci_cache.as_ref().expect("built for CI above"),
+                )
+                .with_supervisor(unit_supervisor);
+                let result = match &unit.kind {
+                    UnitKind::Whole => slicer.run(),
+                    UnitKind::Seeds(r) => slicer.run_partition(r.clone()),
+                    UnitKind::RefSeeds(_) => unreachable!("CI plans no by-reference units"),
+                };
+                UnitStatus::Done(UnitOut { edges_dropped: 0, result })
             }
             Algorithm::CsThin => {
                 let run = if config.escape_analysis {
-                    CsSlicer::with_escape(&view, bounds, &phase1.escape)
+                    CsSlicer::with_escape(view, bounds, &phase1.escape)
                 } else {
-                    CsSlicer::new(&view, bounds)
+                    CsSlicer::new(view, bounds)
                 }
-                .with_supervisor(supervisor.clone())
+                .with_supervisor(unit_supervisor)
                 .run();
                 match run {
-                    Ok(r) => r,
+                    Ok(result) => UnitStatus::Done(UnitOut { edges_dropped: 0, result }),
                     Err(taj_sdg::SliceError::OutOfBudget { path_edges }) => {
-                        return Err(TajError::OutOfMemory { path_edges })
+                        UnitStatus::Oom { path_edges }
                     }
                 }
             }
-        };
-        stats.heap_transitions += result.heap_transitions;
-        stats.slicer_work += result.work;
-        stats.slice_budget_exhausted |= result.budget_exhausted;
+        }
+    };
+    // Units queued behind the first abnormal one are dead weight — the
+    // prefix merge will drop them — so workers skip them once any unit
+    // goes abnormal (`fetch_min` keeps the floor at the lowest index).
+    let abort_floor = AtomicUsize::new(usize::MAX);
+    let statuses = parallel::par_map(threads, units.len(), |i| {
+        if i > abort_floor.load(Ordering::Relaxed) {
+            return UnitStatus::Skipped;
+        }
+        let status = run_unit(&units[i]);
+        let abnormal = matches!(&status, UnitStatus::Oom { .. })
+            || matches!(&status, UnitStatus::Done(o) if o.result.interrupted.is_some());
+        if abnormal {
+            abort_floor.fetch_min(i, Ordering::Relaxed);
+        }
+        status
+    });
 
-        // Flow-length filter (§6.2.2).
-        let mut flows: Vec<Flow> = result.flows;
+    // Deterministic merge, in unit-index order: keep everything up to and
+    // including the first abnormal unit, drop the rest.
+    let mut rule_flows: Vec<Vec<Flow>> = resolved.iter().map(|_| Vec::new()).collect();
+    let mut seen: Vec<HashSet<(StmtNode, StmtNode, usize)>> =
+        resolved.iter().map(|_| HashSet::new()).collect();
+    for (unit, status) in units.iter().zip(statuses) {
+        match status {
+            // Skipped units are strictly behind an abnormal unit, which
+            // this in-order scan reaches first; defensive break.
+            UnitStatus::Skipped => break,
+            UnitStatus::Oom { path_edges } => return Err(TajError::OutOfMemory { path_edges }),
+            UnitStatus::Done(out) => {
+                stats.heap_transitions += out.result.heap_transitions;
+                stats.slicer_work += out.result.work;
+                stats.slice_budget_exhausted |= out.result.budget_exhausted;
+                edges_dropped += out.edges_dropped;
+                for f in out.result.flows {
+                    // Replays the sequential engine's `seen_flows` dedup
+                    // across partitions of the same rule: its key is
+                    // exactly `(seed stmt, sink, position)`.
+                    if seen[unit.rule].insert((f.source, f.sink, f.sink_pos)) {
+                        rule_flows[unit.rule].push(f);
+                    }
+                }
+                if out.result.interrupted.is_some() {
+                    interrupted = out.result.interrupted;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Per-rule post-processing in rule order: flow-length filter
+    // (§6.2.2), flow description, and LCP dedup — all over the merged,
+    // order-stable flow lists.
+    for (i, rule) in resolved.iter().enumerate() {
+        let mut flows: Vec<Flow> = std::mem::take(&mut rule_flows[i]);
+        if flows.is_empty() {
+            continue;
+        }
         if let Some(max) = config.max_flow_len {
             let before = flows.len();
             flows.retain(|f| f.len() <= max);
             stats.flows_len_filtered += before - flows.len();
         }
-
         let tagged: Vec<(IssueType, Flow)> =
             flows.iter().map(|f| (rule.issue, f.clone())).collect();
         for f in &flows {
@@ -684,19 +860,12 @@ fn run_phase2(
                 cross_thread_flows.push(describe_flow(program, pts, rule.issue, f));
             }
         }
-        for finding in lcp::deduplicate(&view, &tagged) {
+        for finding in lcp::deduplicate(&views[i], &tagged) {
             findings.push(TajFinding {
                 flow: describe_flow(program, pts, finding.issue, &finding.flow),
                 lcp_owner_class: stmt_class(program, pts, finding.lcp),
                 group_size: finding.group_size,
             });
-        }
-        if result.interrupted.is_some() {
-            // The supervisor tripped mid-slice: the flows above are the
-            // sound partial result for this rule; remaining rules would
-            // trip immediately, so stop here.
-            interrupted = result.interrupted;
-            break;
         }
     }
     stats.slice_ms = t1.elapsed().as_millis();
@@ -824,6 +993,46 @@ mod tests {
             let report = analyze_prepared(&prepared, &config).unwrap();
             assert_eq!(report.issue_count(), 1, "{}", config.name);
         }
+    }
+
+    /// Pins the field list of [`Phase1`] and the validity domain of
+    /// [`Phase1::matches`]. `Phase1` is shared read-only across phase-2
+    /// worker threads and keyed in the daemon's artifact cache purely by
+    /// `(max_cg_nodes, priority)` — so it must never grow state that
+    /// depends on the thread count (or any other execution parameter).
+    /// Adding a field to `Phase1` breaks this destructuring on purpose:
+    /// whoever adds one must decide here whether it belongs in the cache
+    /// validity domain.
+    #[test]
+    fn phase1_matches_pins_the_validity_domain() {
+        let prepared = prepare(XSS_SERVLET, None, RuleSet::default_rules()).unwrap();
+        let config = TajConfig::hybrid_unbounded();
+        let phase1 = run_phase1(&prepared, &config);
+
+        // Exhaustive destructuring: a new `Phase1` field fails to compile
+        // until it is audited for thread-count independence.
+        let Phase1 { pts: _, heap: _, escape: _, mhp: _, pointer_ms: _, interrupted, cg_key } =
+            &phase1;
+        assert!(interrupted.is_none());
+        assert_eq!(*cg_key, (config.max_cg_nodes, config.priority));
+
+        // `matches` accepts every config with the same call-graph
+        // settings and rejects any config that differs in either
+        // component of the key.
+        for other in TajConfig::all() {
+            assert_eq!(
+                phase1.matches(&other),
+                other.max_cg_nodes == config.max_cg_nodes && other.priority == config.priority,
+                "matches() must compare exactly (max_cg_nodes, priority) for {}",
+                other.name
+            );
+        }
+        let mut prioritized = config;
+        prioritized.priority = !config.priority;
+        assert!(!phase1.matches(&prioritized));
+        let mut budgeted = config;
+        budgeted.max_cg_nodes = Some(usize::MAX);
+        assert!(!phase1.matches(&budgeted));
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! The parallel phase-2 engine: fans the driver's per-rule/per-seed
+//! slice loop out over scoped worker threads pulling from a shared
+//! work queue, then merges results deterministically.
+//!
+//! TAJ's phase 2 is embarrassingly parallel: every seed→sink slice is an
+//! independent demand-driven traversal over the shared, immutable
+//! phase-1 artifacts (points-to solution, call graph, heap graph,
+//! escape/MHP). The engine here is deliberately `std`-only — scoped
+//! threads (`std::thread::scope`), an `AtomicUsize` chunk cursor as the
+//! work queue, and an `mpsc` channel to collect results — so the
+//! workspace keeps building offline from `vendor/` with no new
+//! dependencies.
+//!
+//! ## Determinism contract
+//!
+//! The engine never lets scheduling order reach the output:
+//!
+//! 1. The **unit list is fixed before any worker starts**, computed only
+//!    from the configuration and the phase-1 artifacts — never from the
+//!    thread count.
+//! 2. Workers **steal unit indices** from a shared atomic cursor; each
+//!    unit runs under its own [`Supervisor::fresh_meters`] handle
+//!    (shared cancellation token and deadline, private step/memory
+//!    meters), so budget trips are a per-unit-deterministic function of
+//!    the unit's input.
+//! 3. Results are **merged by unit index**, not completion order. The
+//!    merge in `driver::run_phase2` keeps the prefix of units up to and
+//!    including the first abnormal one (supervisor interrupt or
+//!    out-of-budget error) and drops the rest — exactly the sequential
+//!    engine's "stop at the first interrupt" break semantics.
+//!
+//! See `docs/parallel.md` for the full argument, including why the
+//! report byte-stream is identical at every thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+#[cfg(doc)]
+use taj_supervise::Supervisor;
+
+/// Seeds per chunk when a rule's seed list is split into parallel units.
+/// Small enough that a seed-heavy rule (the common shape: one dominant
+/// rule per application) yields many units; large enough to amortize the
+/// per-unit slicer construction and summary recomputation.
+pub const SEED_CHUNK: usize = 4;
+
+/// Resolves a requested thread count: `0` means auto — the `TAJ_THREADS`
+/// environment variable if set to a positive integer (CI's thread-matrix
+/// job uses this to force every `RunOptions::default()` run onto a given
+/// count), else one worker per available core (falling back to 1 when
+/// parallelism cannot be queried). Any other value is taken literally.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested != 0 {
+        return requested;
+    }
+    if let Some(n) = std::env::var("TAJ_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        if n != 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Order-preserving parallel indexed map: computes `f(0..len)` on up to
+/// `threads` scoped workers and returns the results in index order.
+///
+/// Workers self-schedule by stealing the next index from a shared atomic
+/// cursor, so a slow unit never blocks the queue behind it. With
+/// `threads <= 1` (or a single element) the closure runs inline on the
+/// caller's thread — the sequential reference path is the same code that
+/// feeds the merge, not a separate engine.
+///
+/// A panicking closure propagates out of the scope after the remaining
+/// workers drain, preserving the sequential engine's panic behavior
+/// (relevant for `taj_failpoints`' `Panic` action).
+pub fn par_map<T, F>(threads: usize, len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let workers = threads.min(len);
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let mut out: Vec<Option<T>> = Vec::with_capacity(len);
+    out.resize_with(len, || None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                // A closed channel means the collector stopped listening
+                // (it only stops after receiving everything or a panic);
+                // either way there is nothing left to do.
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        // Collect on the calling thread; the loop ends when every worker
+        // has dropped its sender (normally or by panicking).
+        for (i, v) in rx {
+            out[i] = Some(v);
+        }
+    });
+    out.into_iter().map(|v| v.expect("every unit completed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        for threads in [1, 2, 4, 8] {
+            let got = par_map(threads, 100, |i| i * i);
+            assert_eq!(got, (0..100).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert_eq!(par_map(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(4, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn par_map_caps_workers_at_len() {
+        // More threads than work must not deadlock or drop results.
+        assert_eq!(par_map(64, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn par_map_propagates_panics() {
+        let r = std::panic::catch_unwind(|| {
+            par_map(4, 16, |i| {
+                if i == 5 {
+                    panic!("unit 5 failed");
+                }
+                i
+            })
+        });
+        assert!(r.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn resolve_threads_zero_is_auto() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

@@ -139,11 +139,36 @@ impl<'a> HybridSlicer<'a> {
 
     /// Runs the slice from every source and returns the tainted flows.
     pub fn run(&mut self) -> SliceResult {
-        let seeds = self.view.seeds();
+        self.run_partition(0..usize::MAX, 0..usize::MAX)
+    }
+
+    /// Runs the slice over a contiguous partition of the seed lists:
+    /// `seed_range` indexes into [`ProgramView::seeds`] and `ref_range`
+    /// into [`ProgramView::ref_seeds`] (both clamped to the list length).
+    ///
+    /// This is the unit of work the parallel engine dispatches. Each
+    /// [`SeedRun`] is independent traversal state, and `seen_flows` keys
+    /// carry the seed statement, so the flow set of a whole run equals
+    /// the ordered union of its partitions' flow sets. The summary memo
+    /// table is private to one slicer: splitting a rule across slicers
+    /// recomputes summaries per partition, which changes the `work`
+    /// accounting (a function of the partitioning, never of the thread
+    /// count) but not the flows — summaries are unique fixpoints. Heap
+    /// budgets are also per-slicer, which is why bounded configurations
+    /// must keep a rule in one partition (see `taj_core::parallel`).
+    pub fn run_partition(
+        &mut self,
+        seed_range: std::ops::Range<usize>,
+        ref_range: std::ops::Range<usize>,
+    ) -> SliceResult {
+        let all_seeds = self.view.seeds();
+        let all_refs = self.view.ref_seeds();
+        let seeds = &all_seeds[clamp_range(&seed_range, all_seeds.len())];
+        let ref_seeds = &all_refs[clamp_range(&ref_range, all_refs.len())];
         let mut result = SliceResult::default();
         let mut seen_flows: HashSet<(StmtNode, StmtNode, usize)> = HashSet::new();
         let mut heap_budget = 0usize;
-        for (stmt, sc) in seeds {
+        for &(stmt, sc) in seeds {
             let mut run = SeedRun {
                 seed_stmt: stmt,
                 seed_method: sc.method,
@@ -167,7 +192,7 @@ impl<'a> HybridSlicer<'a> {
         // By-reference sources (footnote 2): the argument object's state is
         // tainted — loads reading it become seeds, and the object itself is
         // an immediate taint carrier.
-        for rs in self.view.ref_seeds() {
+        for rs in ref_seeds {
             if self.interrupted.is_some() {
                 break;
             }
@@ -750,6 +775,12 @@ impl SeedRun {
         rev.reverse();
         rev
     }
+}
+
+/// Clamps a requested partition range to a list of `len` elements.
+pub(crate) fn clamp_range(r: &std::ops::Range<usize>, len: usize) -> std::ops::Range<usize> {
+    let start = r.start.min(len);
+    start..r.end.min(len).max(start)
 }
 
 fn call_dst(view: &ProgramView<'_>, node: CGNodeId, loc: Loc) -> Option<Var> {

@@ -59,6 +59,9 @@ pub struct AnalyzeOpts {
     /// Allow the server to degrade down the precision ladder on budget
     /// exhaustion instead of failing with `out_of_memory`.
     pub degrade: bool,
+    /// Phase-2 worker threads (`None`/`0` = one per server core). Never
+    /// affects the report bytes, only how fast they are produced.
+    pub threads: Option<u64>,
 }
 
 /// A connected protocol client.
@@ -175,6 +178,9 @@ impl Client {
         }
         if let Some(t) = opts.timeout_ms {
             req.insert("timeout_ms", Value::UInt(u128::from(t)));
+        }
+        if let Some(t) = opts.threads {
+            req.insert("threads", Value::UInt(u128::from(t)));
         }
         if opts.degrade {
             req.insert("degrade", Value::Bool(true));

@@ -88,6 +88,10 @@ pub struct AnalyzeRequest {
     /// Degrade down the precision ladder on budget exhaustion instead of
     /// failing with `out_of_memory`.
     pub degrade: bool,
+    /// Phase-2 worker threads (`0`/absent = one per core). An execution
+    /// parameter only: reports are byte-identical at every value, so it
+    /// is deliberately *not* part of the report-cache key.
+    pub threads: Option<u64>,
 }
 
 /// One decoded request command.
@@ -183,7 +187,17 @@ pub fn parse_request(line: &str, debug: bool) -> Result<Request, ProtocolError> 
         "analyze" => {
             check_fields(
                 &value,
-                &["id", "cmd", "source", "config", "rules", "format", "timeout_ms", "degrade"],
+                &[
+                    "id",
+                    "cmd",
+                    "source",
+                    "config",
+                    "rules",
+                    "format",
+                    "timeout_ms",
+                    "degrade",
+                    "threads",
+                ],
             )?;
             let source = get_str(&value, "source")?.ok_or_else(|| bad("missing `source`"))?;
             let config = get_str(&value, "config")?.unwrap_or_else(|| "hybrid".to_string());
@@ -195,7 +209,16 @@ pub fn parse_request(line: &str, debug: bool) -> Result<Request, ProtocolError> 
             };
             let timeout_ms = get_u64(&value, "timeout_ms")?;
             let degrade = get_bool(&value, "degrade")?.unwrap_or(false);
-            Command::Analyze(AnalyzeRequest { source, config, rules, format, timeout_ms, degrade })
+            let threads = get_u64(&value, "threads")?;
+            Command::Analyze(AnalyzeRequest {
+                source,
+                config,
+                rules,
+                format,
+                timeout_ms,
+                degrade,
+                threads,
+            })
         }
         "configs" => {
             check_fields(&value, &["id", "cmd"])?;

@@ -514,7 +514,11 @@ fn run_analyze(
     };
 
     // Phase 2 (always runs on a report-cache miss; it is the cheap half).
-    let opts = RunOptions { supervisor: supervisor.clone(), degrade: req.degrade };
+    let opts = RunOptions {
+        supervisor: supervisor.clone(),
+        degrade: req.degrade,
+        threads: req.threads.map_or(0, |n| n as usize),
+    };
     let report =
         analyze_with_phase1_opts(&prepared, &phase1, &config, &opts).map_err(|e| match e {
             TajError::OutOfMemory { path_edges } => (

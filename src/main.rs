@@ -2,12 +2,12 @@
 //!
 //! ```text
 //! taj analyze <file.jweb> [--config NAME] [--json] [--flows] [--concurrency] [--ir]
-//!             [--deadline-ms N] [--degrade]
+//!             [--deadline-ms N] [--degrade] [--threads N]
 //! taj configs
 //! taj demo
 //! taj serve [--socket PATH | --tcp ADDR] [--workers N] [--cache-mb N] [--timeout-ms N]
 //! taj client (--socket PATH | --tcp ADDR) analyze <file.jweb> [--config NAME] [--sarif]
-//!            [--timeout-ms N] [--degrade]
+//!            [--timeout-ms N] [--degrade] [--threads N]
 //! taj client (--socket PATH | --tcp ADDR) configs|stats|shutdown
 //! ```
 //!
@@ -52,7 +52,7 @@ fn main() -> ExitCode {
         Some("client") => client_cmd(&args[1..]),
         _ => {
             eprintln!(
-                "usage: taj analyze <file.jweb> [--config NAME] [--rules FILE] [--json] [--sarif] [--flows] [--concurrency] [--ir] [--deadline-ms N] [--degrade]"
+                "usage: taj analyze <file.jweb> [--config NAME] [--rules FILE] [--json] [--sarif] [--flows] [--concurrency] [--ir] [--deadline-ms N] [--degrade] [--threads N]"
             );
             eprintln!("       taj configs          list configuration names");
             eprintln!("       taj demo             analyze the paper's Figure 1 program");
@@ -60,7 +60,7 @@ fn main() -> ExitCode {
                 "       taj serve [--socket PATH | --tcp ADDR] [--workers N] [--cache-mb N] [--timeout-ms N] [--debug]"
             );
             eprintln!(
-                "       taj client (--socket PATH | --tcp ADDR) analyze <file.jweb> [--config NAME] [--rules FILE] [--sarif] [--timeout-ms N] [--degrade]"
+                "       taj client (--socket PATH | --tcp ADDR) analyze <file.jweb> [--config NAME] [--rules FILE] [--sarif] [--timeout-ms N] [--degrade] [--threads N]"
             );
             eprintln!("       taj client (--socket PATH | --tcp ADDR) configs|stats|shutdown");
             ExitCode::FAILURE
@@ -185,6 +185,7 @@ fn analyze_cmd(args: &[String]) -> ExitCode {
         flag("ir"),
         opt("deadline-ms"),
         flag("degrade"),
+        opt("threads"),
     ];
     let parsed = match parse_args(args, SPEC, 1) {
         Ok(p) => p,
@@ -220,7 +221,14 @@ fn analyze_cmd(args: &[String]) -> ExitCode {
             Err(_) => return usage_error("`--deadline-ms` must be a non-negative integer"),
         }
     }
-    let run = RunOptions { supervisor, degrade: parsed.has("degrade") };
+    let threads = match parsed.value("threads") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return usage_error("`--threads` must be a non-negative integer (0 = auto)"),
+        },
+        None => 0,
+    };
+    let run = RunOptions { supervisor, degrade: parsed.has("degrade"), threads };
     run_analysis(&source, rules, &config, &opts, &run)
 }
 
@@ -298,6 +306,7 @@ fn client_cmd(args: &[String]) -> ExitCode {
         flag("sarif"),
         opt("timeout-ms"),
         flag("degrade"),
+        opt("threads"),
     ];
     let parsed = match parse_args(args, SPEC, 2) {
         Ok(p) => p,
@@ -344,12 +353,22 @@ fn client_cmd(args: &[String]) -> ExitCode {
                 },
                 None => None,
             };
+            let threads = match parsed.value("threads") {
+                Some(v) => match v.parse::<u64>() {
+                    Ok(n) => Some(n),
+                    Err(_) => {
+                        return usage_error("`--threads` must be a non-negative integer (0 = auto)")
+                    }
+                },
+                None => None,
+            };
             let opts = AnalyzeOpts {
                 config: parsed.value("config").map(str::to_string),
                 rules,
                 sarif: parsed.has("sarif"),
                 timeout_ms,
                 degrade: parsed.has("degrade"),
+                threads,
             };
             client.analyze(&source, &opts)
         }

@@ -50,7 +50,7 @@ fn starved_cs_with_degrade_falls_to_hybrid_with_provenance() {
 fn expired_deadline_delivers_partial_with_provenance() {
     let supervisor = Supervisor::new().with_deadline(std::time::Duration::from_millis(0));
     std::thread::sleep(std::time::Duration::from_millis(2));
-    let opts = RunOptions { supervisor, degrade: false };
+    let opts = RunOptions { supervisor, ..RunOptions::default() };
     let report = run(&TajConfig::hybrid_unbounded(), &opts).expect("partial, not an error");
     assert!(report.degradation.degraded);
     let step = &report.degradation.steps[0];
@@ -60,7 +60,8 @@ fn expired_deadline_delivers_partial_with_provenance() {
 
 #[test]
 fn step_budget_in_phase1_truncates_and_annotates() {
-    let opts = RunOptions { supervisor: Supervisor::new().with_max_steps(5), degrade: false };
+    let opts =
+        RunOptions { supervisor: Supervisor::new().with_max_steps(5), ..RunOptions::default() };
     let report = run(&TajConfig::hybrid_unbounded(), &opts).expect("partial, not an error");
     assert!(report.degradation.degraded);
     let step = &report.degradation.steps[0];

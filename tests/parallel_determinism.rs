@@ -1,0 +1,266 @@
+//! Differential determinism harness for the parallel phase-2 engine:
+//! the report byte-stream (JSON, text, SARIF) must be identical at every
+//! thread count — for all six configurations, for budget-degraded runs,
+//! for cancelled runs, and (under `--features taj_failpoints`) for runs
+//! interrupted at injected supervisor sites.
+//!
+//! The thread count is an *execution* parameter, never an *analysis*
+//! parameter; this file is the enforcement of that contract. Timing
+//! counters (`pointer_ms`/`slice_ms`/`total_ms`) are zeroed before
+//! comparison, exactly as the daemon's report cache ignores them.
+
+use taj::core::{
+    analyze_prepared_opts, prepare, to_sarif, to_text, PreparedProgram, RuleSet, RunOptions,
+    Supervisor, TajConfig, TajError, TajReport,
+};
+use taj::webgen::{generate, standard_mix, BenchmarkSpec};
+
+/// Thread counts every scenario is differenced across. `1` is the inline
+/// sequential reference path; the rest fan out over scoped workers.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// A web application big enough that every rule's seed list splits into
+/// multiple parallel units (the chunk size is 4): the standard webgen
+/// pattern mix, twice over, plus filler classes.
+fn big_app() -> PreparedProgram {
+    let spec = BenchmarkSpec {
+        name: "parallel-determinism".into(),
+        pattern_counts: standard_mix(2, 1, true),
+        filler_classes: 3,
+        methods_per_class: 4,
+        seed: 0xD17E,
+    };
+    let bench = generate(&spec);
+    prepare(&bench.source, Some(&bench.descriptor), RuleSet::default_rules())
+        .expect("generated benchmark prepares")
+}
+
+/// A report with the timing counters zeroed — wall-clock is the one
+/// legitimately run-dependent part of the output, and every rendering
+/// (JSON, text, SARIF) is compared over this normalized form.
+fn normalized(report: &TajReport) -> TajReport {
+    let mut report = report.clone();
+    report.stats.pointer_ms = 0;
+    report.stats.slice_ms = 0;
+    report.stats.total_ms = 0;
+    report
+}
+
+/// Serializes a normalized report — the byte-stream under comparison.
+fn normalized_json(report: &TajReport) -> String {
+    serde_json::to_string_pretty(&normalized(report)).expect("report serializes")
+}
+
+/// Runs `prepared` under `config`/`opts` at each thread count and
+/// asserts all three renderings are byte-identical to the single-thread
+/// reference run.
+fn assert_thread_invariant(
+    prepared: &PreparedProgram,
+    config: &TajConfig,
+    make_opts: impl Fn(usize) -> RunOptions,
+    label: &str,
+) {
+    let run = |threads: usize| -> Result<TajReport, TajError> {
+        analyze_prepared_opts(prepared, config, &make_opts(threads))
+    };
+    let reference = run(1);
+    for threads in &THREADS[1..] {
+        let got = run(*threads);
+        match (&reference, &got) {
+            (Ok(want), Ok(got)) => {
+                let (want, got) = (normalized(want), normalized(got));
+                assert_eq!(
+                    normalized_json(&want),
+                    normalized_json(&got),
+                    "[{label}] JSON diverges at {threads} threads"
+                );
+                assert_eq!(
+                    to_text(&want),
+                    to_text(&got),
+                    "[{label}] text report diverges at {threads} threads"
+                );
+                assert_eq!(
+                    to_sarif(&want).expect("sarif renders"),
+                    to_sarif(&got).expect("sarif renders"),
+                    "[{label}] SARIF diverges at {threads} threads"
+                );
+            }
+            (
+                Err(TajError::OutOfMemory { path_edges: want }),
+                Err(TajError::OutOfMemory { path_edges: got }),
+            ) => {
+                assert_eq!(want, got, "[{label}] OutOfMemory count diverges at {threads} threads");
+            }
+            (want, got) => {
+                panic!("[{label}] outcome diverges at {threads} threads: {want:?} vs {got:?}")
+            }
+        }
+    }
+}
+
+#[test]
+fn all_six_configurations_are_thread_invariant() {
+    let prepared = big_app();
+    for config in TajConfig::all() {
+        assert_thread_invariant(
+            &prepared,
+            &config,
+            |threads| RunOptions { threads, ..RunOptions::default() },
+            config.name,
+        );
+    }
+}
+
+#[test]
+fn budget_degraded_runs_are_thread_invariant() {
+    // The starved CS config exhausts its path-edge budget and falls down
+    // the degradation ladder; the fall (and the report it produces at
+    // the cheaper rung) must not depend on the thread count.
+    let prepared = big_app();
+    assert_thread_invariant(
+        &prepared,
+        &TajConfig::cs_tiny(),
+        |threads| RunOptions { degrade: true, threads, ..RunOptions::default() },
+        "CS-Tiny degraded",
+    );
+}
+
+#[test]
+fn starved_cs_without_degrade_fails_identically_at_every_thread_count() {
+    // Without the ladder, budget exhaustion is a hard error carrying the
+    // path-edge count — which must also be thread-invariant.
+    let prepared = big_app();
+    assert_thread_invariant(
+        &prepared,
+        &TajConfig::cs_tiny(),
+        |threads| RunOptions { threads, ..RunOptions::default() },
+        "CS-Tiny hard-fail",
+    );
+}
+
+#[test]
+fn pre_cancelled_runs_are_thread_invariant() {
+    // A cancellation that lands before phase 2 starts must stop every
+    // worker and deliver the same (empty-slice, provenance-annotated)
+    // partial report at every thread count.
+    let prepared = big_app();
+    assert_thread_invariant(
+        &prepared,
+        &TajConfig::hybrid_unbounded(),
+        |threads| {
+            let supervisor = Supervisor::new();
+            supervisor.cancel();
+            RunOptions { supervisor, threads, ..RunOptions::default() }
+        },
+        "pre-cancelled",
+    );
+}
+
+#[test]
+fn expired_deadline_runs_are_thread_invariant() {
+    // An already-expired deadline trips at the first supervisor check in
+    // every worker; the merged partial report must not depend on which
+    // worker tripped first.
+    let prepared = big_app();
+    assert_thread_invariant(
+        &prepared,
+        &TajConfig::hybrid_unbounded(),
+        |threads| {
+            let supervisor = Supervisor::new().with_deadline(std::time::Duration::from_millis(0));
+            RunOptions { supervisor, threads, ..RunOptions::default() }
+        },
+        "expired-deadline",
+    );
+}
+
+/// Failpoint-injected interrupts. Only `after = 0` actions are used:
+/// failpoint hit counters are global (shared across workers), so an
+/// `after = N` trigger would fire on a scheduling-dependent unit — a
+/// nondeterminism of the *injection site*, not of the engine under test.
+/// Serialized via `FailScenario::setup`'s global lock.
+#[cfg(feature = "taj_failpoints")]
+mod failpoint_scenarios {
+    use super::*;
+    use taj::supervise::failpoints::{self, FailAction, FailScenario};
+
+    /// Like [`assert_thread_invariant`], but re-arms the failpoint
+    /// before every run (scenario state is global and runs reset it).
+    fn assert_invariant_with_failpoint(
+        config: &TajConfig,
+        site: &str,
+        action: FailAction,
+        degrade: bool,
+        label: &str,
+    ) {
+        let prepared = big_app();
+        let run = |threads: usize| {
+            let _scenario = FailScenario::setup();
+            failpoints::configure(site, action.clone());
+            analyze_prepared_opts(
+                &prepared,
+                config,
+                &RunOptions { degrade, threads, ..RunOptions::default() },
+            )
+            .map(|r| (normalized_json(&r), to_text(&normalized(&r))))
+        };
+        let want = run(1);
+        for threads in &THREADS[1..] {
+            let got = run(*threads);
+            match (&want, &got) {
+                (Ok(w), Ok(g)) => {
+                    assert_eq!(w, g, "[{label}] diverges at {threads} threads")
+                }
+                (w, g) => panic!("[{label}] outcome diverges at {threads}: {w:?} vs {g:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn injected_cancel_mid_slice_is_thread_invariant() {
+        assert_invariant_with_failpoint(
+            &TajConfig::hybrid_unbounded(),
+            "hybrid.slice",
+            FailAction::Cancel,
+            false,
+            "failpoint hybrid.slice=Cancel",
+        );
+    }
+
+    #[test]
+    fn injected_step_budget_with_degradation_is_thread_invariant() {
+        // Every hybrid rung trips immediately, so the ladder walks to
+        // the bottom and delivers a partial report — identically at
+        // every thread count.
+        assert_invariant_with_failpoint(
+            &TajConfig::hybrid_unbounded(),
+            "hybrid.slice",
+            FailAction::StepBudget,
+            true,
+            "failpoint hybrid.slice=StepBudget degrade",
+        );
+    }
+
+    #[test]
+    fn injected_deadline_in_cs_tabulation_is_thread_invariant() {
+        assert_invariant_with_failpoint(
+            &TajConfig::cs_thin(),
+            "cs.tabulate",
+            FailAction::Deadline,
+            false,
+            "failpoint cs.tabulate=Deadline",
+        );
+    }
+
+    #[test]
+    fn injected_cs_budget_degrades_thread_invariantly() {
+        // CS trips its budget at the first tabulation check, falls to
+        // Hybrid-Unbounded, and the rescued run must byte-match.
+        assert_invariant_with_failpoint(
+            &TajConfig::cs_thin(),
+            "cs.tabulate",
+            FailAction::StepBudget,
+            true,
+            "failpoint cs.tabulate=StepBudget degrade",
+        );
+    }
+}
