@@ -24,7 +24,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use taj_core::{
-    analyze_with_phase1_opts, prepare, run_phase1_shared, RuleSet, RunOptions, TajConfig,
+    analyze_with_phase1_opts, prepare, run_phase1_shared, run_phase1_traced, Recorder, RuleSet,
+    RunOptions, Supervisor, TajConfig,
 };
 use taj_webgen::securibench_cases;
 
@@ -124,6 +125,10 @@ fn main() {
     let prepared = prepare(&source, None, RuleSet::default_rules()).expect("suite prepares");
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut rows: Vec<Row> = Vec::new();
+    // Per-config span recorders from one traced end-to-end pass: where
+    // inside each phase the time actually goes (solve vs escape vs
+    // per-unit slicing), embedded alongside the wall-clock rows.
+    let mut breakdown: Vec<(&'static str, Recorder)> = Vec::new();
 
     for config in TajConfig::all() {
         let phase1 = run_phase1_shared(&prepared, &config);
@@ -162,6 +167,13 @@ fn main() {
                 error,
             });
         }
+        // One traced end-to-end pass (default threads, untimed) whose
+        // span aggregation becomes this config's per-phase cost rows.
+        let recorder = Recorder::new();
+        let traced_phase1 = run_phase1_traced(&prepared, &config, &Supervisor::new(), &recorder);
+        let traced_opts = RunOptions { recorder: recorder.clone(), ..RunOptions::default() };
+        let _ = analyze_with_phase1_opts(&prepared, &traced_phase1, &config, &traced_opts);
+        breakdown.push((config.name, recorder));
     }
 
     let mut json = String::new();
@@ -183,7 +195,25 @@ fn main() {
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"phase_breakdown\": {\n");
+    for (ci, (config, recorder)) in breakdown.iter().enumerate() {
+        let _ = writeln!(json, "    \"{config}\": [");
+        let agg = recorder.aggregate();
+        for (ri, row) in agg.iter().enumerate() {
+            let _ = write!(
+                json,
+                "      {{\"span\": \"{}\", \"count\": {}, \"total_ms\": {:.3}}}",
+                row.name,
+                row.count,
+                row.total_us as f64 / 1e3,
+            );
+            json.push_str(if ri + 1 < agg.len() { ",\n" } else { "\n" });
+        }
+        json.push_str("    ]");
+        json.push_str(if ci + 1 < breakdown.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  }\n}\n");
     std::fs::write(out_path, &json).expect("write benchmark output");
     eprintln!("wrote {out_path}");
 }

@@ -6,9 +6,10 @@ use std::collections::HashSet;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 use serde::Serialize;
+
+use taj_obs::{AttrValue, Recorder, TraceEvent};
 
 use jir::Program;
 use taj_pointer::{EscapeAnalysis, HeapGraph, PointsTo, PolicyConfig, SolverConfig};
@@ -159,6 +160,11 @@ pub struct RunOptions {
     /// not in [`TajConfig`] (and therefore cannot leak into any cache
     /// validity domain — see [`Phase1::matches`]).
     pub threads: usize,
+    /// Tracing recorder. The default is disabled (every guard is a single
+    /// pointer test); an enabled recorder collects the span taxonomy of
+    /// docs/observability.md. Tracing is an *observation* parameter like
+    /// `threads`: reports are byte-identical whether or not it is on.
+    pub recorder: Recorder,
 }
 
 /// The result of one TAJ run.
@@ -240,7 +246,30 @@ pub fn prepare(
     descriptor: Option<&DeploymentDescriptor>,
     rules: RuleSet,
 ) -> Result<PreparedProgram, TajError> {
+    prepare_traced(src, descriptor, rules, &Recorder::disabled())
+}
+
+/// [`prepare`] under a tracing recorder: records `prepare.parse`,
+/// `prepare.model` (whitelist/entrypoints/descriptor/exceptions/model
+/// expansion), and `prepare.ssa` spans.
+///
+/// # Errors
+/// Returns [`TajError::Parse`] on frontend failures.
+pub fn prepare_traced(
+    src: &str,
+    descriptor: Option<&DeploymentDescriptor>,
+    rules: RuleSet,
+    recorder: &Recorder,
+) -> Result<PreparedProgram, TajError> {
+    let mut parse_span = recorder.span("prepare.parse");
     let mut program = jir::frontend::parse_program(src)?;
+    if recorder.is_enabled() {
+        parse_span.attr("classes", program.classes.len());
+        parse_span.attr("methods", program.methods.len());
+    }
+    parse_span.finish();
+
+    let mut model_span = recorder.span("prepare.model");
     // Whitelist exclusion (§4.2.1): replace bodies of benign library
     // classes with no-op models.
     for name in &rules.whitelist {
@@ -259,7 +288,14 @@ pub fn prepare(
     }
     let synthetic_sites = crate::exceptions::model_exceptions(&mut program);
     jir::expand::expand_models(&mut program);
+    if recorder.is_enabled() {
+        model_span.attr("synthetic_sites", synthetic_sites.len());
+    }
+    model_span.finish();
+
+    let ssa_span = recorder.span("prepare.ssa");
     jir::ssa::program_to_ssa(&mut program);
+    ssa_span.finish();
     // Every pipeline stage must leave the IR well-formed.
     debug_assert!(
         jir::validate::validate(&program).is_empty(),
@@ -336,8 +372,22 @@ pub fn run_phase1_supervised(
     config: &TajConfig,
     supervisor: &Supervisor,
 ) -> Phase1 {
+    run_phase1_traced(prepared, config, supervisor, &Recorder::disabled())
+}
+
+/// [`run_phase1_supervised`] under a tracing recorder. The whole phase
+/// runs inside a `phase1` span whose measured duration *is*
+/// [`Phase1::pointer_ms`] — spans are the single timing source — with
+/// `phase1.solve` (inside the pointer solver), `phase1.heapgraph`,
+/// `phase1.escape`, and `phase1.mhp` child spans.
+pub fn run_phase1_traced(
+    prepared: &PreparedProgram,
+    config: &TajConfig,
+    supervisor: &Supervisor,
+    recorder: &Recorder,
+) -> Phase1 {
     let program = &prepared.program;
-    let t0 = Instant::now();
+    let mut phase_span = recorder.span("phase1");
     let solver_cfg = SolverConfig {
         policy: PolicyConfig { taint_methods: prepared.rules.taint_methods(program) },
         max_cg_nodes: config.max_cg_nodes,
@@ -345,22 +395,45 @@ pub fn run_phase1_supervised(
         source_methods: prepared.rules.all_sources(program),
         supervisor: supervisor.clone(),
     };
-    let pts = taj_pointer::analyze(program, &solver_cfg);
+    let pts = taj_pointer::analyze_traced(program, &solver_cfg, recorder);
     let mut interrupted = pts.interrupted;
+    let heap_span = recorder.span("phase1.heapgraph");
     let heap = HeapGraph::build(&pts);
+    heap_span.finish();
     // Escape + MHP are cheap post-passes over the solution; compute them
     // unconditionally so every phase-2 run can report concurrency facts.
     // Under an already-tripped supervisor they immediately return their
     // conservative fallbacks.
+    let mut escape_span = recorder.span("phase1.escape");
     let (escape, esc_int) = EscapeAnalysis::compute_supervised(&pts, &heap, supervisor);
+    if recorder.is_enabled() {
+        escape_span.attr("spawn_sites", escape.num_spawn_sites());
+        escape_span.attr("escaping_objects", escape.num_escaping());
+        escape_span.attr("total_objects", escape.total_objects());
+    }
+    escape_span.finish();
+    let mut mhp_span = recorder.span("phase1.mhp");
     let (mhp, mhp_int) = MhpRelation::compute_supervised(&pts, supervisor);
+    if recorder.is_enabled() {
+        mhp_span.attr("parallel_nodes", mhp.num_parallel_nodes());
+    }
+    mhp_span.finish();
     interrupted = interrupted.or(esc_int).or(mhp_int);
+    if recorder.is_enabled() {
+        phase_span.attr("cg_nodes", pts.stats.nodes);
+        phase_span.attr("cg_edges", pts.stats.call_edges);
+        phase_span.attr("supervisor_steps", supervisor.steps());
+        phase_span.attr("supervisor_mem", supervisor.mem());
+        if let Some(reason) = interrupted {
+            phase_span.attr("interrupted", reason.as_str());
+        }
+    }
     Phase1 {
+        pointer_ms: phase_span.finish().as_millis(),
         pts,
         heap,
         escape,
         mhp,
-        pointer_ms: t0.elapsed().as_millis(),
         interrupted,
         cg_key: (config.max_cg_nodes, config.priority),
     }
@@ -410,7 +483,7 @@ pub fn analyze_prepared_opts(
     config: &TajConfig,
     opts: &RunOptions,
 ) -> Result<TajReport, TajError> {
-    let phase1 = run_phase1_supervised(prepared, config, &opts.supervisor);
+    let phase1 = run_phase1_traced(prepared, config, &opts.supervisor, &opts.recorder);
     analyze_with_phase1_opts(prepared, &phase1, config, opts)
 }
 
@@ -426,7 +499,7 @@ pub fn analyze_source_opts(
     config: &TajConfig,
     opts: &RunOptions,
 ) -> Result<TajReport, TajError> {
-    let prepared = prepare(src, descriptor, rules)?;
+    let prepared = prepare_traced(src, descriptor, rules, &opts.recorder)?;
     analyze_prepared_opts(&prepared, config, opts)
 }
 
@@ -506,10 +579,11 @@ pub fn analyze_with_phase1_opts(
     config: &TajConfig,
     opts: &RunOptions,
 ) -> Result<TajReport, TajError> {
+    let recorder = &opts.recorder;
     let mut degradation = DegradationReport::default();
     let mut supervisor = opts.supervisor.clone();
     if let Some(reason) = phase1.interrupted {
-        degradation.push(DegradationStep {
+        let step = DegradationStep {
             stage: "phase1".to_string(),
             from: "pointer-analysis".to_string(),
             to: "truncated-callgraph".to_string(),
@@ -518,7 +592,9 @@ pub fn analyze_with_phase1_opts(
                      visited are unanalyzed, and escape/MHP use conservative \
                      fallbacks (under-approximation of flows)"
                 .to_string(),
-        });
+        };
+        degrade_event(recorder, &step);
+        degradation.push(step);
         // Phase 2 over a truncated graph is cheap; run it under a
         // finishing handle so it can actually deliver (an explicit
         // cancel still stops it).
@@ -526,24 +602,28 @@ pub fn analyze_with_phase1_opts(
     }
     let mut current = *config;
     loop {
-        match run_phase2(prepared, phase1, &current, &supervisor, opts.threads) {
+        match run_phase2(prepared, phase1, &current, &supervisor, opts.threads, recorder) {
             Ok((mut report, interrupted)) => match interrupted {
                 Some(reason) if reason.is_budget() && opts.degrade => {
                     match next_rung(&current) {
                         Some((next, caveat)) => {
-                            degradation.push(DegradationStep {
+                            let step = DegradationStep {
                                 stage: "slice".to_string(),
                                 from: current.name.to_string(),
                                 to: next.name.to_string(),
                                 reason: reason.as_str().to_string(),
                                 caveat: caveat.to_string(),
-                            });
+                            };
+                            degrade_event(recorder, &step);
+                            degradation.push(step);
                             current = next;
                             supervisor = supervisor.fresh_meters();
                         }
                         None => {
                             // Ladder exhausted: deliver the partial result.
-                            degradation.push(partial_step(&current, reason.as_str()));
+                            let step = partial_step(&current, reason.as_str());
+                            degrade_event(recorder, &step);
+                            degradation.push(step);
                             report.degradation = degradation;
                             return Ok(report);
                         }
@@ -552,7 +632,9 @@ pub fn analyze_with_phase1_opts(
                 Some(reason) => {
                     // Deadline/cancel (or budget without degradation):
                     // deliver partial results with provenance.
-                    degradation.push(partial_step(&current, reason.as_str()));
+                    let step = partial_step(&current, reason.as_str());
+                    degrade_event(recorder, &step);
+                    degradation.push(step);
                     report.degradation = degradation;
                     return Ok(report);
                 }
@@ -564,13 +646,15 @@ pub fn analyze_with_phase1_opts(
             Err(TajError::OutOfMemory { path_edges }) if opts.degrade => {
                 match next_rung(&current) {
                     Some((next, caveat)) => {
-                        degradation.push(DegradationStep {
+                        let step = DegradationStep {
                             stage: "slice".to_string(),
                             from: current.name.to_string(),
                             to: next.name.to_string(),
                             reason: format!("path-edge budget exhausted ({path_edges} path edges)"),
                             caveat: caveat.to_string(),
-                        });
+                        };
+                        degrade_event(recorder, &step);
+                        degradation.push(step);
                         current = next;
                         supervisor = supervisor.fresh_meters();
                     }
@@ -579,6 +663,23 @@ pub fn analyze_with_phase1_opts(
             }
             Err(e) => return Err(e),
         }
+    }
+}
+
+/// Mirrors a degradation-ladder step into the trace as an instant
+/// `degrade` event (stage/from/to/reason — the caveat prose stays in the
+/// report).
+fn degrade_event(recorder: &Recorder, step: &DegradationStep) {
+    if recorder.is_enabled() {
+        recorder.event(
+            "degrade",
+            vec![
+                ("stage", step.stage.as_str().into()),
+                ("from", step.from.as_str().into()),
+                ("to", step.to.as_str().into()),
+                ("reason", step.reason.as_str().into()),
+            ],
+        );
     }
 }
 
@@ -612,6 +713,17 @@ enum UnitKind {
     RefSeeds(Range<usize>),
 }
 
+impl UnitKind {
+    /// Stable label for the per-unit trace span.
+    fn label(&self) -> &'static str {
+        match self {
+            UnitKind::Whole => "whole",
+            UnitKind::Seeds(_) => "seeds",
+            UnitKind::RefSeeds(_) => "ref_seeds",
+        }
+    }
+}
+
 /// A planned unit: rule index plus seed partition.
 #[derive(Clone, Debug)]
 struct Unit {
@@ -623,6 +735,12 @@ struct Unit {
 struct UnitOut {
     result: SliceResult,
     edges_dropped: usize,
+    /// RHS summaries tabulated (hybrid slicer only; 0 elsewhere).
+    summaries: usize,
+    /// The unit's private supervisor meters after the run — deterministic
+    /// per unit (fresh meters, work is a function of the unit's input).
+    steps: u64,
+    mem: u64,
 }
 
 /// A unit's outcome as seen by the deterministic merge.
@@ -691,20 +809,23 @@ fn run_phase2(
     config: &TajConfig,
     supervisor: &Supervisor,
     threads: usize,
+    recorder: &Recorder,
 ) -> Result<(TajReport, Option<InterruptReason>), TajError> {
     assert!(
         phase1.matches(config),
         "phase-1 results were computed under different call-graph settings"
     );
     let program = &prepared.program;
-    let t0 = Instant::now();
+    // The `phase2` span measures the whole pass; its elapsed time is the
+    // single source for `stats.slice_ms`/`stats.total_ms` (an early-error
+    // return records it on drop).
+    let mut phase_span = recorder.span("phase2");
     let pts = &phase1.pts;
     let heap = &phase1.heap;
     let pointer_ms = phase1.pointer_ms;
     let threads = parallel::resolve_threads(threads);
 
     // ---- Phase 2: per-rule slicing (§3.2) + modeling + bounds (§6.2).
-    let t1 = Instant::now();
     let resolved = prepared.rules.resolve(program);
     let mut stats = AnalysisStats {
         cg_nodes: pts.stats.nodes,
@@ -729,11 +850,28 @@ fn run_phase2(
 
     // Stage A: per-rule slice specs and program views, built in parallel
     // (views borrow their spec, hence the two indexed maps).
+    let mut specs_span = recorder.span("phase2.specs");
     let specs: Vec<SliceSpec> = parallel::par_map(threads, resolved.len(), |i| {
         build_spec(prepared, pts, heap, &resolved[i], config)
     });
+    if recorder.is_enabled() {
+        specs_span.attr("rules", resolved.len());
+    }
+    specs_span.finish();
+    let mut views_span = recorder.span("phase2.views");
     let views: Vec<ProgramView<'_>> =
         parallel::par_map(threads, resolved.len(), |i| ProgramView::build(program, pts, &specs[i]));
+    if recorder.is_enabled() {
+        let mut view_stats = taj_sdg::ViewStats::default();
+        for view in &views {
+            view_stats.add(view.stats());
+        }
+        views_span.attr("nodes", view_stats.nodes);
+        views_span.attr("use_edges", view_stats.use_edges);
+        views_span.attr("loads", view_stats.loads);
+        views_span.attr("sources", view_stats.sources);
+    }
+    views_span.finish();
 
     // Stage B: slice the planned units over the work-stealing queue.
     let units = plan_units(config, &views);
@@ -744,6 +882,10 @@ fn run_phase2(
     let run_unit = |unit: &Unit| -> UnitStatus {
         let view = &views[unit.rule];
         let unit_supervisor = supervisor.fresh_meters();
+        // Clone shares the unit's private meters: read back after the run
+        // for the per-unit trace span (deterministic — fresh meters, and
+        // the work is a function of the unit's input alone).
+        let meters = unit_supervisor.clone();
         match config.algorithm {
             Algorithm::Hybrid => {
                 let mut slicer = if config.escape_analysis {
@@ -757,7 +899,13 @@ fn run_phase2(
                     UnitKind::Seeds(r) => slicer.run_partition(r.clone(), 0..0),
                     UnitKind::RefSeeds(r) => slicer.run_partition(0..0, r.clone()),
                 };
-                UnitStatus::Done(UnitOut { edges_dropped: slicer.edges_dropped(), result })
+                UnitStatus::Done(UnitOut {
+                    edges_dropped: slicer.edges_dropped(),
+                    summaries: slicer.summaries_tabulated(),
+                    steps: meters.steps(),
+                    mem: meters.mem(),
+                    result,
+                })
             }
             Algorithm::CiThin => {
                 let mut slicer = CiSlicer::with_cache(
@@ -771,7 +919,13 @@ fn run_phase2(
                     UnitKind::Seeds(r) => slicer.run_partition(r.clone()),
                     UnitKind::RefSeeds(_) => unreachable!("CI plans no by-reference units"),
                 };
-                UnitStatus::Done(UnitOut { edges_dropped: 0, result })
+                UnitStatus::Done(UnitOut {
+                    edges_dropped: 0,
+                    summaries: 0,
+                    steps: meters.steps(),
+                    mem: meters.mem(),
+                    result,
+                })
             }
             Algorithm::CsThin => {
                 let run = if config.escape_analysis {
@@ -782,7 +936,13 @@ fn run_phase2(
                 .with_supervisor(unit_supervisor)
                 .run();
                 match run {
-                    Ok(result) => UnitStatus::Done(UnitOut { edges_dropped: 0, result }),
+                    Ok(result) => UnitStatus::Done(UnitOut {
+                        edges_dropped: 0,
+                        summaries: 0,
+                        steps: meters.steps(),
+                        mem: meters.mem(),
+                        result,
+                    }),
                     Err(taj_sdg::SliceError::OutOfBudget { path_edges }) => {
                         UnitStatus::Oom { path_edges }
                     }
@@ -794,7 +954,7 @@ fn run_phase2(
     // prefix merge will drop them — so workers skip them once any unit
     // goes abnormal (`fetch_min` keeps the floor at the lowest index).
     let abort_floor = AtomicUsize::new(usize::MAX);
-    let statuses = parallel::par_map(threads, units.len(), |i| {
+    let statuses = parallel::par_map_timed(threads, units.len(), recorder, |i| {
         if i > abort_floor.load(Ordering::Relaxed) {
             return UnitStatus::Skipped;
         }
@@ -808,21 +968,51 @@ fn run_phase2(
     });
 
     // Deterministic merge, in unit-index order: keep everything up to and
-    // including the first abnormal unit, drop the rest.
+    // including the first abnormal unit, drop the rest. Per-unit trace
+    // spans are emitted HERE, for exactly the merged prefix — emitting
+    // them from the workers would leak scheduling (which units ran before
+    // the abort floor rose) into the event set.
     let mut rule_flows: Vec<Vec<Flow>> = resolved.iter().map(|_| Vec::new()).collect();
     let mut seen: Vec<HashSet<(StmtNode, StmtNode, usize)>> =
         resolved.iter().map(|_| HashSet::new()).collect();
-    for (unit, status) in units.iter().zip(statuses) {
+    let mut summary_edges = 0usize;
+    for (index, (unit, (status, timing))) in units.iter().zip(statuses).enumerate() {
         match status {
             // Skipped units are strictly behind an abnormal unit, which
             // this in-order scan reaches first; defensive break.
             UnitStatus::Skipped => break,
-            UnitStatus::Oom { path_edges } => return Err(TajError::OutOfMemory { path_edges }),
+            UnitStatus::Oom { path_edges } => {
+                recorder.event("phase2.oom", vec![("path_edges", path_edges.into())]);
+                return Err(TajError::OutOfMemory { path_edges });
+            }
             UnitStatus::Done(out) => {
                 stats.heap_transitions += out.result.heap_transitions;
                 stats.slicer_work += out.result.work;
                 stats.slice_budget_exhausted |= out.result.budget_exhausted;
                 edges_dropped += out.edges_dropped;
+                summary_edges += out.summaries;
+                if recorder.is_enabled() {
+                    let mut attrs: Vec<(&'static str, AttrValue)> = vec![
+                        ("unit", index.into()),
+                        ("rule", resolved[unit.rule].issue.to_string().into()),
+                        ("kind", unit.kind.label().into()),
+                        ("flows", out.result.flows.len().into()),
+                        ("work", out.result.work.into()),
+                        ("heap_transitions", out.result.heap_transitions.into()),
+                        ("summaries", out.summaries.into()),
+                        ("steps", out.steps.into()),
+                        ("mem", out.mem.into()),
+                    ];
+                    if let Some(reason) = out.result.interrupted {
+                        attrs.push(("interrupted", reason.as_str().into()));
+                    }
+                    recorder.record(TraceEvent {
+                        name: "phase2.unit",
+                        start_us: timing.start_us,
+                        dur_us: Some(timing.dur_us),
+                        attrs,
+                    });
+                }
                 for f in out.result.flows {
                     // Replays the sequential engine's `seen_flows` dedup
                     // across partitions of the same rule: its key is
@@ -842,6 +1032,7 @@ fn run_phase2(
     // Per-rule post-processing in rule order: flow-length filter
     // (§6.2.2), flow description, and LCP dedup — all over the merged,
     // order-stable flow lists.
+    let mut post_span = recorder.span("phase2.post");
     for (i, rule) in resolved.iter().enumerate() {
         let mut flows: Vec<Flow> = std::mem::take(&mut rule_flows[i]);
         if flows.is_empty() {
@@ -868,8 +1059,26 @@ fn run_phase2(
             });
         }
     }
-    stats.slice_ms = t1.elapsed().as_millis();
-    stats.total_ms = pointer_ms + t0.elapsed().as_millis();
+    if recorder.is_enabled() {
+        post_span.attr("findings", findings.len());
+        post_span.attr("flows", flows_out.len());
+        post_span.attr("flows_len_filtered", stats.flows_len_filtered);
+    }
+    post_span.finish();
+    if recorder.is_enabled() {
+        phase_span.attr("units", units.len());
+        phase_span.attr("slicer_work", stats.slicer_work);
+        phase_span.attr("heap_transitions", stats.heap_transitions);
+        phase_span.attr("summary_edges", summary_edges);
+        if let Some(reason) = interrupted {
+            phase_span.attr("interrupted", reason.as_str());
+        }
+    }
+    // Spans are the single timing source: `slice_ms` is the measured
+    // `phase2` span, `total_ms` its sum with the phase-1 span.
+    let slice_elapsed = phase_span.finish();
+    stats.slice_ms = slice_elapsed.as_millis();
+    stats.total_ms = pointer_ms + slice_elapsed.as_millis();
 
     let concurrency = ConcurrencyReport {
         spawn_sites: phase1.escape.num_spawn_sites(),

@@ -34,6 +34,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
+
+use taj_obs::Recorder;
 
 #[cfg(doc)]
 use taj_supervise::Supervisor;
@@ -114,6 +117,47 @@ where
     out.into_iter().map(|v| v.expect("every unit completed")).collect()
 }
 
+/// When one unit of a [`par_map_timed`] call ran, as measured on the
+/// worker that executed it: start offset (microseconds since the
+/// recorder's epoch) and duration. All zeros when the recorder is
+/// disabled.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UnitTiming {
+    /// Microseconds since the recorder's epoch at unit start.
+    pub start_us: u64,
+    /// Measured unit duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// [`par_map`] with per-unit wall-clock measurement: each result is
+/// paired with the [`UnitTiming`] of the worker that ran it. The timing
+/// is only *measured* here — recording it as a span is the caller's job,
+/// done during the deterministic index-order merge, so scheduling can
+/// never change which units appear in the trace. With a disabled
+/// recorder no clocks are read at all (the cheap-when-disabled
+/// discipline).
+pub fn par_map_timed<T, F>(
+    threads: usize,
+    len: usize,
+    recorder: &Recorder,
+    f: F,
+) -> Vec<(T, UnitTiming)>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let enabled = recorder.is_enabled();
+    par_map(threads, len, move |i| {
+        if !enabled {
+            return (f(i), UnitTiming::default());
+        }
+        let start_us = recorder.now_us();
+        let started = Instant::now();
+        let value = f(i);
+        (value, UnitTiming { start_us, dur_us: started.elapsed().as_micros() as u64 })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,5 +199,28 @@ mod tests {
     fn resolve_threads_zero_is_auto() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn par_map_timed_disabled_recorder_yields_zero_timings() {
+        let rec = Recorder::disabled();
+        for threads in [1, 4] {
+            let got = par_map_timed(threads, 8, &rec, |i| i * 2);
+            assert_eq!(
+                got.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
+                vec![0, 2, 4, 6, 8, 10, 12, 14]
+            );
+            assert!(got.iter().all(|(_, t)| t.start_us == 0 && t.dur_us == 0), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_timed_enabled_recorder_measures() {
+        let rec = Recorder::new();
+        let got = par_map_timed(2, 4, &rec, |i| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            i
+        });
+        assert!(got.iter().all(|(_, t)| t.dur_us > 0), "{got:?}");
     }
 }

@@ -4,8 +4,27 @@
 
 use serde::Serialize;
 
+use taj_obs::Recorder;
+
 use crate::driver::TajReport;
 use crate::rules::IssueType;
+
+/// Renders the `--profile` per-phase breakdown: headline timings from the
+/// report (whose `pointer_ms`/`slice_ms` are themselves span
+/// measurements) followed by the recorder's per-span aggregation — one
+/// line per span name with call count, total milliseconds, and summed
+/// numeric attributes.
+pub fn profile_text(report: &TajReport, recorder: &Recorder) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "profile: {} — phase1 {} ms, phase2 {} ms, total {} ms",
+        report.config, report.stats.pointer_ms, report.stats.slice_ms, report.stats.total_ms
+    );
+    out.push_str(&recorder.profile_text());
+    out
+}
 
 /// Renders a human-readable multi-line summary of a report.
 pub fn to_text(report: &TajReport) -> String {

@@ -1,0 +1,235 @@
+//! Daemon-facing metrics: fixed-bucket atomic histograms and a builder
+//! for the Prometheus text exposition format.
+//!
+//! The daemon keeps its counters as plain atomics (it already did) and a
+//! pair of [`Histogram`]s for queue-wait and run time; the `metrics`
+//! request renders everything through [`Exposition`], which takes care of
+//! `# HELP`/`# TYPE` headers, label escaping, and the
+//! `_bucket`/`_sum`/`_count` triple for histograms. Output ordering is
+//! exactly the order the caller emits families in — deterministic by
+//! construction.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default latency buckets in seconds, spanning sub-millisecond cache
+/// hits to multi-second degraded analyses. `+Inf` is implicit.
+pub const LATENCY_BUCKETS: [f64; 10] = [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0];
+
+/// A fixed-bucket histogram with atomic counters; observations are in
+/// seconds. Buckets store per-bin counts; [`Histogram::snapshot`]
+/// cumulates them into Prometheus' `le`-cumulative form.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [f64],
+    bins: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given upper bounds (ascending, in seconds).
+    pub fn new(bounds: &'static [f64]) -> Histogram {
+        Histogram {
+            bounds,
+            bins: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// A histogram over [`LATENCY_BUCKETS`].
+    pub fn latency() -> Histogram {
+        Histogram::new(&LATENCY_BUCKETS)
+    }
+
+    /// Records one observation (seconds). Lock-free; relaxed ordering is
+    /// fine because snapshots are only ever approximate cross-bin.
+    pub fn observe(&self, seconds: f64) {
+        let bin = self.bounds.iter().position(|b| seconds <= *b).unwrap_or(self.bounds.len());
+        self.bins[bin].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let micros = if seconds > 0.0 { (seconds * 1_000_000.0) as u64 } else { 0 };
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// A cumulative snapshot for rendering.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut cumulative = Vec::with_capacity(self.bounds.len());
+        let mut running = 0u64;
+        for bin in &self.bins[..self.bounds.len()] {
+            running += bin.load(Ordering::Relaxed);
+            cumulative.push(running);
+        }
+        HistogramSnapshot {
+            bounds: self.bounds,
+            cumulative,
+            count: self.count.load(Ordering::Relaxed),
+            sum_seconds: self.sum_micros.load(Ordering::Relaxed) as f64 / 1_000_000.0,
+        }
+    }
+}
+
+/// A point-in-time cumulative view of a [`Histogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Upper bounds in seconds (ascending; `+Inf` implicit).
+    pub bounds: &'static [f64],
+    /// Cumulative observation counts per bound (`le` semantics).
+    pub cumulative: Vec<u64>,
+    /// Total observation count (the `+Inf` bucket).
+    pub count: u64,
+    /// Sum of all observations in seconds.
+    pub sum_seconds: f64,
+}
+
+/// Builds a Prometheus text-format exposition. Families render in the
+/// order they are emitted; every sample line is `name{labels} value`.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    /// An empty exposition.
+    pub fn new() -> Exposition {
+        Exposition::default()
+    }
+
+    /// Emits the `# HELP` / `# TYPE` header for a metric family.
+    /// `kind` is `counter`, `gauge`, or `histogram`.
+    pub fn family(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Emits one sample line. Integral values render without a decimal
+    /// point; labels are escaped per the exposition grammar.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        write_labels(&mut self.out, labels);
+        self.out.push(' ');
+        write_value(&mut self.out, value);
+        self.out.push('\n');
+    }
+
+    /// Emits the header plus `_bucket`/`_sum`/`_count` lines for a
+    /// histogram snapshot, merging `labels` with the per-bucket `le`.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+    ) {
+        self.family(name, help, "histogram");
+        let bucket = format!("{name}_bucket");
+        for (bound, cumulative) in snap.bounds.iter().zip(&snap.cumulative) {
+            let le = trim_float(*bound);
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", &le));
+            self.sample(&bucket, &with_le, *cumulative as f64);
+        }
+        let mut inf: Vec<(&str, &str)> = labels.to_vec();
+        inf.push(("le", "+Inf"));
+        self.sample(&bucket, &inf, snap.count as f64);
+        self.sample(&format!("{name}_sum"), labels, snap.sum_seconds);
+        self.sample(&format!("{name}_count"), labels, snap.count as f64);
+    }
+
+    /// The rendered exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Formats a float bound the way Prometheus clients expect (`0.005`,
+/// `1`, `30`): shortest form without a trailing `.0`.
+fn trim_float(v: f64) -> String {
+    if v == v.trunc() {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_labels(out: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (key, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(key);
+        out.push_str("=\"");
+        for c in value.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn write_value(out: &mut String, value: f64) {
+    if value == value.trunc() && value.abs() < 9.0e15 {
+        let _ = write!(out, "{}", value as i64);
+    } else {
+        let _ = write!(out, "{value}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::latency();
+        h.observe(0.0004); // -> le=0.001
+        h.observe(0.003); // -> le=0.005
+        h.observe(0.003);
+        h.observe(99.0); // -> +Inf only
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.cumulative[0], 1);
+        assert_eq!(snap.cumulative[1], 3);
+        assert_eq!(*snap.cumulative.last().unwrap(), 3, "overflow stays out of finite buckets");
+        assert!((snap.sum_seconds - 99.0064).abs() < 1e-6, "{}", snap.sum_seconds);
+    }
+
+    #[test]
+    fn exposition_renders_counter_and_histogram_grammar() {
+        let h = Histogram::latency();
+        h.observe(0.002);
+        let mut exp = Exposition::new();
+        exp.family("taj_requests_total", "Total requests.", "counter");
+        exp.sample("taj_requests_total", &[], 42.0);
+        exp.sample("taj_cache_hits_total", &[("tier", "report")], 7.0);
+        exp.histogram("taj_run_seconds", "Run time.", &[], &h.snapshot());
+        let text = exp.finish();
+        assert!(text.contains("# HELP taj_requests_total Total requests.\n"), "{text}");
+        assert!(text.contains("# TYPE taj_requests_total counter\n"), "{text}");
+        assert!(text.contains("\ntaj_requests_total 42\n"), "{text}");
+        assert!(text.contains("taj_cache_hits_total{tier=\"report\"} 7\n"), "{text}");
+        assert!(text.contains("# TYPE taj_run_seconds histogram\n"), "{text}");
+        assert!(text.contains("taj_run_seconds_bucket{le=\"0.005\"} 1\n"), "{text}");
+        assert!(text.contains("taj_run_seconds_bucket{le=\"+Inf\"} 1\n"), "{text}");
+        assert!(text.contains("taj_run_seconds_sum 0.002\n"), "{text}");
+        assert!(text.contains("taj_run_seconds_count 1\n"), "{text}");
+        assert!(text.ends_with('\n'), "exposition ends with newline");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut exp = Exposition::new();
+        exp.sample("m", &[("k", "a\"b\\c\nd")], 1.0);
+        assert_eq!(exp.finish(), "m{k=\"a\\\"b\\\\c\\nd\"} 1\n");
+    }
+}

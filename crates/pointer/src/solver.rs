@@ -57,6 +57,8 @@ pub struct SolverStats {
     pub propagations: usize,
     /// Nodes whose constraints were never added because the budget ran out.
     pub nodes_dropped: usize,
+    /// Distinct calling contexts interned (receiver/site elements).
+    pub contexts: usize,
 }
 
 /// Record of a reflective `Method.invoke` binding, used by the SDG to model
@@ -148,7 +150,35 @@ impl PointsTo {
 
 /// Runs pointer analysis over `program` starting from its entrypoints.
 pub fn analyze(program: &Program, config: &SolverConfig) -> PointsTo {
-    Solver::new(program, config).run()
+    analyze_traced(program, config, &taj_obs::Recorder::disabled())
+}
+
+/// [`analyze`] under a tracing recorder: records a `phase1.solve` span
+/// carrying the solver's aggregate statistics (worklist iterations,
+/// contexts created, call-graph size, points-to entries). With a
+/// disabled recorder this is exactly [`analyze`].
+pub fn analyze_traced(
+    program: &Program,
+    config: &SolverConfig,
+    recorder: &taj_obs::Recorder,
+) -> PointsTo {
+    let mut span = recorder.span("phase1.solve");
+    let pts = Solver::new(program, config).run();
+    if recorder.is_enabled() {
+        span.attr("worklist_iterations", pts.stats.propagations);
+        span.attr("contexts", pts.stats.contexts);
+        span.attr("cg_nodes", pts.stats.nodes);
+        span.attr("call_edges", pts.stats.call_edges);
+        span.attr("pointer_keys", pts.stats.pointer_keys);
+        span.attr("instance_keys", pts.stats.instance_keys);
+        span.attr("pts_entries", pts.stats.pts_entries);
+        span.attr("nodes_dropped", pts.stats.nodes_dropped);
+        if let Some(reason) = pts.interrupted {
+            span.attr("interrupted", reason.as_str());
+        }
+    }
+    span.finish();
+    pts
 }
 
 /// A complex (base-dependent) constraint, triggered as the base pointer
@@ -344,6 +374,7 @@ impl<'p> Solver<'p> {
             pts_entries: self.pts.iter().map(BitSet::len).sum(),
             propagations: self.propagations,
             nodes_dropped: self.nodes_dropped,
+            contexts: self.contexts.len(),
         };
         let callgraph = CallGraph::from_parts(nodes, self.call_edges, self.entry_nodes);
         PointsTo {

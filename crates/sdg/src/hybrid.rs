@@ -117,6 +117,12 @@ impl<'a> HybridSlicer<'a> {
         self.edges_dropped
     }
 
+    /// How many callee-entry RHS summaries have been tabulated so far —
+    /// the "summary edges" number tracing attaches to each slice unit.
+    pub fn summaries_tabulated(&self) -> usize {
+        self.summaries.len()
+    }
+
     /// Is the store→load edge `store_node → load_node`, witnessed by the
     /// overlap of `base_pts` and `load_pts`, impossible? Only when the
     /// two statements can never share a thread *and* no overlapping

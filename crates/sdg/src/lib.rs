@@ -37,4 +37,4 @@ pub use spec::{
     CarrierSink, Flow, FlowStep, SliceBounds, SliceError, SliceResult, SliceSpec, StepKind,
     StmtNode,
 };
-pub use view::{FieldKey, LoadStmt, NodeView, ProgramView, SourceCall, Use};
+pub use view::{FieldKey, LoadStmt, NodeView, ProgramView, SourceCall, Use, ViewStats};

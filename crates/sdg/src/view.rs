@@ -148,6 +148,30 @@ pub struct ProgramView<'a> {
     pub invoke_bindings: Vec<(CGNodeId, Loc, Var, CGNodeId)>,
 }
 
+/// Aggregate size counters of a [`ProgramView`] — the SDG-side numbers
+/// tracing attaches to the `phase2.views` span.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ViewStats {
+    /// Call-graph node views built.
+    pub nodes: usize,
+    /// Register-use edges across all node views.
+    pub use_edges: usize,
+    /// Heap/static load statements indexed.
+    pub loads: usize,
+    /// Source (taint-seed) calls found.
+    pub sources: usize,
+}
+
+impl ViewStats {
+    /// Component-wise sum, for aggregating across per-rule views.
+    pub fn add(&mut self, other: ViewStats) {
+        self.nodes += other.nodes;
+        self.use_edges += other.use_edges;
+        self.loads += other.loads;
+        self.sources += other.sources;
+    }
+}
+
 impl<'a> ProgramView<'a> {
     /// Builds views for every call-graph node.
     pub fn build(program: &'a Program, pts: &'a PointsTo, spec: &'a SliceSpec) -> Self {
@@ -189,6 +213,17 @@ impl<'a> ProgramView<'a> {
     /// The view of `node`.
     pub fn node(&self, node: CGNodeId) -> &NodeView {
         &self.views[node.index()]
+    }
+
+    /// Aggregate size counters over every node view.
+    pub fn stats(&self) -> ViewStats {
+        let mut stats = ViewStats { nodes: self.views.len(), ..ViewStats::default() };
+        for view in &self.views {
+            stats.use_edges += view.uses.values().map(Vec::len).sum::<usize>();
+            stats.loads += view.loads.len();
+            stats.sources += view.sources.len();
+        }
+        stats
     }
 
     /// All taint seeds in the program: source calls plus synthetic source

@@ -92,7 +92,9 @@ struct Entry {
     last_used: u64,
 }
 
-/// Counter snapshot for the `stats` command and tests.
+/// Counter snapshot for the `stats` command and tests, aggregated over
+/// all three tiers. Per-tier breakdowns come from
+/// [`ArtifactCache::tier_stats`].
 #[derive(Clone, Copy, Debug, Default, serde::Serialize)]
 pub struct CacheStats {
     /// Lookups that found a live entry.
@@ -109,6 +111,46 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
+/// Counters for a single cache tier (prepared, phase-1, or report).
+#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
+pub struct TierStats {
+    /// Lookups that found a live entry in this tier.
+    pub hits: u64,
+    /// Lookups that found nothing in this tier.
+    pub misses: u64,
+    /// Entries of this tier evicted for the byte budget.
+    pub evictions: u64,
+    /// Estimated bytes currently held by this tier.
+    pub bytes_used: usize,
+    /// Live entries in this tier.
+    pub entries: usize,
+}
+
+/// Per-tier counter snapshot: one [`TierStats`] per pipeline stage the
+/// cache can skip. A phase-1 hit saves far more work than a report hit,
+/// so the aggregate numbers alone cannot tell whether the cache is
+/// earning its memory.
+#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
+pub struct CacheTiers {
+    /// Prepared programs (parse + modeling + SSA).
+    pub prepared: TierStats,
+    /// Phase-1 results (pointer analysis + escape/MHP).
+    pub phase1: TierStats,
+    /// Serialized response bodies.
+    pub report: TierStats,
+}
+
+/// Stable tier names, index-aligned with `tier_index`.
+pub const TIER_NAMES: [&str; 3] = ["prepared", "phase1", "report"];
+
+fn tier_index(key: &ArtifactKey) -> usize {
+    match key {
+        ArtifactKey::Prepared { .. } => 0,
+        ArtifactKey::Phase1 { .. } => 1,
+        ArtifactKey::Report { .. } => 2,
+    }
+}
+
 /// The LRU byte-budget cache. Not internally synchronized — the server
 /// wraps it in a `Mutex` and keeps critical sections to lookup/insert
 /// (analysis itself runs outside the lock).
@@ -116,9 +158,7 @@ pub struct ArtifactCache {
     budget: usize,
     map: HashMap<ArtifactKey, Entry>,
     tick: u64,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
+    tiers: [TierStats; 3],
     bytes: usize,
 }
 
@@ -129,24 +169,24 @@ impl ArtifactCache {
             budget: budget_bytes,
             map: HashMap::new(),
             tick: 0,
-            hits: 0,
-            misses: 0,
-            evictions: 0,
+            tiers: [TierStats::default(); 3],
             bytes: 0,
         }
     }
 
-    /// Looks up `key`, bumping its recency and the hit/miss counters.
+    /// Looks up `key`, bumping its recency and the hit/miss counters of
+    /// its tier.
     pub fn get(&mut self, key: &ArtifactKey) -> Option<Artifact> {
         self.tick += 1;
+        let tier = &mut self.tiers[tier_index(key)];
         match self.map.get_mut(key) {
             Some(entry) => {
                 entry.last_used = self.tick;
-                self.hits += 1;
+                tier.hits += 1;
                 Some(entry.value.clone())
             }
             None => {
-                self.misses += 1;
+                tier.misses += 1;
                 None
             }
         }
@@ -158,12 +198,17 @@ impl ArtifactCache {
     /// simply occupies the whole budget until displaced).
     pub fn insert(&mut self, key: ArtifactKey, value: Artifact, bytes: usize) {
         self.tick += 1;
+        let idx = tier_index(&key);
         if let Some(old) =
             self.map.insert(key.clone(), Entry { value, bytes, last_used: self.tick })
         {
             self.bytes -= old.bytes;
+            self.tiers[idx].bytes_used -= old.bytes;
+            self.tiers[idx].entries -= 1;
         }
         self.bytes += bytes;
+        self.tiers[idx].bytes_used += bytes;
+        self.tiers[idx].entries += 1;
         while self.bytes > self.budget && self.map.len() > 1 {
             let victim = self
                 .map
@@ -174,8 +219,11 @@ impl ArtifactCache {
             match victim {
                 Some(v) => {
                     if let Some(e) = self.map.remove(&v) {
+                        let vt = &mut self.tiers[tier_index(&v)];
+                        vt.bytes_used -= e.bytes;
+                        vt.entries -= 1;
+                        vt.evictions += 1;
                         self.bytes -= e.bytes;
-                        self.evictions += 1;
                     }
                 }
                 None => break,
@@ -183,16 +231,21 @@ impl ArtifactCache {
         }
     }
 
-    /// Current counters.
+    /// Current counters, aggregated over all tiers.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits,
-            misses: self.misses,
-            evictions: self.evictions,
+            hits: self.tiers.iter().map(|t| t.hits).sum(),
+            misses: self.tiers.iter().map(|t| t.misses).sum(),
+            evictions: self.tiers.iter().map(|t| t.evictions).sum(),
             bytes_used: self.bytes,
             bytes_budget: self.budget,
             entries: self.map.len(),
         }
+    }
+
+    /// Current counters, per tier.
+    pub fn tier_stats(&self) -> CacheTiers {
+        CacheTiers { prepared: self.tiers[0], phase1: self.tiers[1], report: self.tiers[2] }
     }
 }
 
@@ -304,6 +357,36 @@ mod tests {
         c.insert(report_key(1, "hybrid"), report("a2"), 100);
         assert_eq!(c.stats().bytes_used, 100);
         assert_eq!(c.stats().entries, 1);
+    }
+
+    #[test]
+    fn tier_stats_attribute_to_the_right_tier() {
+        let mut c = ArtifactCache::new(1 << 20);
+        let pk = ArtifactKey::Prepared { src: 1, rules: 0 };
+        assert!(c.get(&pk).is_none());
+        c.insert(pk.clone(), report("p"), 10);
+        assert!(c.get(&pk).is_some());
+        c.insert(report_key(1, "hybrid"), report("r"), 20);
+        let t = c.tier_stats();
+        assert_eq!((t.prepared.hits, t.prepared.misses), (1, 1));
+        assert_eq!((t.prepared.entries, t.prepared.bytes_used), (1, 10));
+        assert_eq!((t.report.entries, t.report.bytes_used), (1, 20));
+        assert_eq!((t.phase1.hits, t.phase1.misses, t.phase1.entries), (0, 0, 0));
+        let agg = c.stats();
+        assert_eq!((agg.hits, agg.misses), (1, 1));
+        assert_eq!((agg.bytes_used, agg.entries), (30, 2));
+    }
+
+    #[test]
+    fn eviction_attributes_to_the_victims_tier() {
+        let mut c = ArtifactCache::new(150);
+        c.insert(ArtifactKey::Prepared { src: 1, rules: 0 }, report("p"), 100);
+        c.insert(report_key(2, "hybrid"), report("r"), 100);
+        let t = c.tier_stats();
+        assert_eq!(t.prepared.evictions, 1, "the prepared entry was the LRU victim");
+        assert_eq!(t.report.evictions, 0);
+        assert_eq!((t.prepared.entries, t.prepared.bytes_used), (0, 0));
+        assert_eq!(c.stats().evictions, 1);
     }
 
     #[test]

@@ -62,6 +62,9 @@ pub struct AnalyzeOpts {
     /// Phase-2 worker threads (`None`/`0` = one per server core). Never
     /// affects the report bytes, only how fast they are produced.
     pub threads: Option<u64>,
+    /// Trace id echoed back in the response envelope (`None` → the
+    /// server mints one).
+    pub trace_id: Option<String>,
 }
 
 /// A connected protocol client.
@@ -185,6 +188,9 @@ impl Client {
         if opts.degrade {
             req.insert("degrade", Value::Bool(true));
         }
+        if let Some(t) = &opts.trace_id {
+            req.insert("trace_id", Value::String(t.clone()));
+        }
         self.request(req)
     }
 
@@ -202,6 +208,20 @@ impl Client {
     /// [`ClientError`] on socket, framing, or server-reported failures.
     pub fn stats(&mut self) -> Result<Value, ClientError> {
         self.simple("stats")
+    }
+
+    /// Fetches the daemon's Prometheus text exposition, unwrapped from
+    /// its NDJSON envelope back to plain text.
+    ///
+    /// # Errors
+    /// [`ClientError`] on socket, framing, or server-reported failures,
+    /// or a response without the `exposition` field.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let v = self.simple("metrics")?;
+        v.get("exposition")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("metrics response missing `exposition`".into()))
     }
 
     /// Asks the daemon to drain and exit.

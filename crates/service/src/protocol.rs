@@ -92,6 +92,10 @@ pub struct AnalyzeRequest {
     /// parameter only: reports are byte-identical at every value, so it
     /// is deliberately *not* part of the report-cache key.
     pub threads: Option<u64>,
+    /// Client-chosen trace id echoed back in the response envelope; the
+    /// server generates one when absent. Lives in the envelope (not the
+    /// cached result bytes), so it never perturbs cache identity.
+    pub trace_id: Option<String>,
 }
 
 /// One decoded request command.
@@ -103,6 +107,8 @@ pub enum Command {
     Configs,
     /// Report daemon + cache counters.
     Stats,
+    /// Render daemon counters as a Prometheus text exposition.
+    Metrics,
     /// Drain in-flight jobs and exit.
     Shutdown,
     /// Debug only: a worker job that sleeps `ms` (for timeout tests).
@@ -197,6 +203,7 @@ pub fn parse_request(line: &str, debug: bool) -> Result<Request, ProtocolError> 
                     "timeout_ms",
                     "degrade",
                     "threads",
+                    "trace_id",
                 ],
             )?;
             let source = get_str(&value, "source")?.ok_or_else(|| bad("missing `source`"))?;
@@ -210,6 +217,7 @@ pub fn parse_request(line: &str, debug: bool) -> Result<Request, ProtocolError> 
             let timeout_ms = get_u64(&value, "timeout_ms")?;
             let degrade = get_bool(&value, "degrade")?.unwrap_or(false);
             let threads = get_u64(&value, "threads")?;
+            let trace_id = get_str(&value, "trace_id")?;
             Command::Analyze(AnalyzeRequest {
                 source,
                 config,
@@ -218,6 +226,7 @@ pub fn parse_request(line: &str, debug: bool) -> Result<Request, ProtocolError> 
                 timeout_ms,
                 degrade,
                 threads,
+                trace_id,
             })
         }
         "configs" => {
@@ -227,6 +236,10 @@ pub fn parse_request(line: &str, debug: bool) -> Result<Request, ProtocolError> 
         "stats" => {
             check_fields(&value, &["id", "cmd"])?;
             Command::Stats
+        }
+        "metrics" => {
+            check_fields(&value, &["id", "cmd"])?;
+            Command::Metrics
         }
         "shutdown" => {
             check_fields(&value, &["id", "cmd"])?;
@@ -261,6 +274,37 @@ pub fn ok_response_raw(id: &Value, raw_result: &str) -> String {
 pub fn ok_response(id: &Value, result: &Value) -> String {
     let raw = serde_json::to_string(result).unwrap_or_else(|_| "null".to_string());
     ok_response_raw(id, &raw)
+}
+
+fn trace_id_json(trace_id: &str) -> String {
+    serde_json::to_string(&Value::String(trace_id.to_string()))
+        .unwrap_or_else(|_| "\"\"".to_string())
+}
+
+/// [`ok_response_raw`] with a `trace_id` in the envelope. The trace id
+/// stays *outside* `result` so cached result bytes are trace-id-free and
+/// a cache hit can still echo the requester's own id.
+pub fn ok_response_raw_traced(id: &Value, trace_id: &str, raw_result: &str) -> String {
+    format!(
+        "{{\"id\":{},\"ok\":true,\"trace_id\":{},\"result\":{}}}",
+        id_json(id),
+        trace_id_json(trace_id),
+        raw_result
+    )
+}
+
+/// [`err_response`] with a `trace_id` in the envelope, so failed analyze
+/// requests are correlatable too.
+pub fn err_response_traced(id: &Value, trace_id: &str, code: ErrorCode, message: &str) -> String {
+    let mut error = Value::object();
+    error.insert("code", Value::String(code.as_str().to_string()));
+    error.insert("message", Value::String(message.to_string()));
+    let mut obj = Value::object();
+    obj.insert("id", id.clone());
+    obj.insert("ok", Value::Bool(false));
+    obj.insert("trace_id", Value::String(trace_id.to_string()));
+    obj.insert("error", error);
+    serde_json::to_string(&obj).unwrap_or_else(|_| err_response(id, code, message))
 }
 
 /// Builds an error response: `{"id":..,"ok":false,"error":{code,message}}`.
@@ -341,6 +385,35 @@ mod tests {
         let e = parse_request(r#"{"cmd": "analyze", "source": "x", "format": "xml"}"#, false)
             .unwrap_err();
         assert_eq!(e.0, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn metrics_command_parses_strictly() {
+        let r = parse_request(r#"{"cmd":"metrics"}"#, false).unwrap();
+        assert!(matches!(r.command, Command::Metrics));
+        let e = parse_request(r#"{"cmd":"metrics","tier":"report"}"#, false).unwrap_err();
+        assert_eq!(e.0, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn trace_id_parses_and_lands_in_the_envelope() {
+        let r =
+            parse_request(r#"{"cmd":"analyze","source":"x","trace_id":"t-42"}"#, false).unwrap();
+        match r.command {
+            Command::Analyze(a) => assert_eq!(a.trace_id.as_deref(), Some("t-42")),
+            other => panic!("wrong command: {other:?}"),
+        }
+        let e = parse_request(r#"{"cmd":"analyze","source":"x","trace_id":7}"#, false).unwrap_err();
+        assert_eq!(e.0, ErrorCode::BadRequest);
+
+        let ok = ok_response_raw_traced(&Value::UInt(3), "t-42", "{\"a\":1}");
+        let v = serde_json::from_str(&ok).unwrap();
+        assert_eq!(v["trace_id"], "t-42");
+        assert_eq!(v["result"]["a"], 1u64);
+        let err = err_response_traced(&Value::Null, "t-42", ErrorCode::Timeout, "too slow");
+        let v = serde_json::from_str(&err).unwrap();
+        assert_eq!(v["trace_id"], "t-42");
+        assert_eq!(v["error"]["code"], "timeout");
     }
 
     #[test]

@@ -24,13 +24,16 @@ use taj_core::{
     Supervisor, TajConfig, TajError,
 };
 
+use taj_obs::metrics::{Exposition, Histogram};
+
 use crate::cache::{
-    content_hash, phase1_bytes, prepared_bytes, Artifact, ArtifactCache, ArtifactKey,
+    content_hash, phase1_bytes, prepared_bytes, Artifact, ArtifactCache, ArtifactKey, TierStats,
+    TIER_NAMES,
 };
 use crate::pool::{Job, WorkerPool};
 use crate::protocol::{
-    err_response, ok_response_raw, parse_request, AnalyzeRequest, Command, ErrorCode, OutputFormat,
-    ProtocolError, PROTOCOL_VERSION,
+    err_response, err_response_traced, ok_response_raw, ok_response_raw_traced, parse_request,
+    AnalyzeRequest, Command, ErrorCode, OutputFormat, ProtocolError, PROTOCOL_VERSION,
 };
 
 /// Where the daemon listens.
@@ -120,6 +123,12 @@ struct ServiceState {
     default_timeout_ms: Option<u64>,
     debug: bool,
     started: Instant,
+    /// Time a dispatched job spent queued before a worker picked it up.
+    queue_wait: Histogram,
+    /// Time a dispatched job spent running on its worker.
+    run_time: Histogram,
+    /// Source of generated analyze trace ids (when the client sends none).
+    trace_seq: AtomicU64,
 }
 
 /// A running daemon.
@@ -191,6 +200,9 @@ pub fn serve(options: ServeOptions) -> io::Result<ServerHandle> {
         default_timeout_ms: options.default_timeout_ms,
         debug: options.debug,
         started: Instant::now(),
+        queue_wait: Histogram::latency(),
+        run_time: Histogram::latency(),
+        trace_seq: AtomicU64::new(0),
     });
     // Handlers submit through a dedicated channel forwarded to the pool,
     // so the accept loop can cut off new submissions (drop the forwarder)
@@ -302,17 +314,34 @@ fn handle_line(line: &str, state: &Arc<ServiceState>) -> (String, bool) {
     let outcome = match request.command {
         Command::Configs => Ok(configs_value()),
         Command::Stats => stats_raw(state),
+        Command::Metrics => metrics_raw(state),
         Command::Shutdown => {
             state.shutdown.store(true, Ordering::SeqCst);
             return (ok_response_raw(&id, "{\"draining\":true}"), true);
         }
         Command::Analyze(req) => {
             state.counters.analyze_requests.fetch_add(1, Ordering::SeqCst);
+            // Echo the client's trace id, or mint one; either way every
+            // analyze response (success or error) carries it in the
+            // envelope, never in the cacheable result bytes.
+            let trace_id = req.trace_id.clone().unwrap_or_else(|| {
+                format!("taj-{:016x}", state.trace_seq.fetch_add(1, Ordering::SeqCst) + 1)
+            });
             let timeout_ms = req.timeout_ms.or(state.default_timeout_ms);
-            dispatch(state, timeout_ms, {
+            let outcome = dispatch(state, timeout_ms, {
                 let state = Arc::clone(state);
                 move |sup: &Supervisor| run_analyze(&state, &req, sup)
-            })
+            });
+            return match outcome {
+                Ok(raw) => (ok_response_raw_traced(&id, &trace_id, &raw), false),
+                Err((code, msg)) => {
+                    state.counters.errors.fetch_add(1, Ordering::SeqCst);
+                    if code == ErrorCode::Timeout {
+                        state.counters.timeouts.fetch_add(1, Ordering::SeqCst);
+                    }
+                    (err_response_traced(&id, &trace_id, code, &msg), false)
+                }
+            };
         }
         Command::DebugSleep { ms, timeout_ms } => {
             let timeout_ms = timeout_ms.or(state.default_timeout_ms);
@@ -362,11 +391,18 @@ where
     // panic here — the shared counter backs the `worker_panics` stat.
     let panicked = Arc::clone(&state.panicked);
     let job_sup = supervisor.clone();
+    let metrics_state = Arc::clone(state);
+    let submitted = Instant::now();
     let job: Job = Box::new(move || {
+        // The gap between submission and this first instruction is queue
+        // wait: how long the job sat behind other work in the pool.
+        metrics_state.queue_wait.observe(submitted.elapsed().as_secs_f64());
+        let started = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| work(&job_sup))).unwrap_or_else(|_| {
             panicked.fetch_add(1, Ordering::SeqCst);
             Err((ErrorCode::WorkerPanic, "analysis worker panicked".into()))
         });
+        metrics_state.run_time.observe(started.elapsed().as_secs_f64());
         let _ = tx.send(result);
     });
     {
@@ -518,6 +554,7 @@ fn run_analyze(
         supervisor: supervisor.clone(),
         degrade: req.degrade,
         threads: req.threads.map_or(0, |n| n as usize),
+        ..RunOptions::default()
     };
     let report =
         analyze_with_phase1_opts(&prepared, &phase1, &config, &opts).map_err(|e| match e {
@@ -577,9 +614,24 @@ fn configs_value() -> String {
     serde_json::to_string(&Value::Array(items)).unwrap_or_else(|_| "[]".to_string())
 }
 
+fn tier_value(t: &TierStats) -> Value {
+    let mut o = Value::object();
+    o.insert("hits", Value::UInt(u128::from(t.hits)));
+    o.insert("misses", Value::UInt(u128::from(t.misses)));
+    o.insert("evictions", Value::UInt(u128::from(t.evictions)));
+    o.insert("bytes_used", Value::UInt(t.bytes_used as u128));
+    o.insert("entries", Value::UInt(t.entries as u128));
+    o
+}
+
+/// `stats` body: flat daemon counters plus the aggregate `cache` object
+/// and the per-tier `cache_tiers` breakdown.
 fn stats_raw(state: &Arc<ServiceState>) -> Result<String, ProtocolError> {
     let c = &state.counters;
-    let cache = lock_cache(state)?.stats();
+    let (cache, tiers) = {
+        let guard = lock_cache(state)?;
+        (guard.stats(), guard.tier_stats())
+    };
     let mut o = Value::object();
     o.insert("protocol_version", Value::UInt(u128::from(PROTOCOL_VERSION)));
     o.insert("uptime_ms", Value::UInt(state.started.elapsed().as_millis()));
@@ -605,5 +657,118 @@ fn stats_raw(state: &Arc<ServiceState>) -> Result<String, ProtocolError> {
     cache_o.insert("bytes_budget", Value::UInt(cache.bytes_budget as u128));
     cache_o.insert("entries", Value::UInt(cache.entries as u128));
     o.insert("cache", cache_o);
+    let mut tiers_o = Value::object();
+    tiers_o.insert("prepared", tier_value(&tiers.prepared));
+    tiers_o.insert("phase1", tier_value(&tiers.phase1));
+    tiers_o.insert("report", tier_value(&tiers.report));
+    o.insert("cache_tiers", tiers_o);
     serde_json::to_string(&o).map_err(|e| (ErrorCode::BadRequest, e.to_string()))
+}
+
+/// `metrics` body: the Prometheus text exposition, wrapped in a small
+/// JSON object so it still fits the one-line NDJSON response framing.
+/// `taj client metrics` unwraps it back to plain text.
+fn metrics_raw(state: &Arc<ServiceState>) -> Result<String, ProtocolError> {
+    let exposition = metrics_exposition(state)?;
+    let mut o = Value::object();
+    o.insert("content_type", Value::String("text/plain; version=0.0.4".to_string()));
+    o.insert("exposition", Value::String(exposition));
+    serde_json::to_string(&o).map_err(|e| (ErrorCode::BadRequest, e.to_string()))
+}
+
+fn metrics_exposition(state: &Arc<ServiceState>) -> Result<String, ProtocolError> {
+    let c = &state.counters;
+    let (cache, tiers) = {
+        let guard = lock_cache(state)?;
+        (guard.stats(), guard.tier_stats())
+    };
+    let tier_stats: [(TierStats, &str); 3] = [
+        (tiers.prepared, TIER_NAMES[0]),
+        (tiers.phase1, TIER_NAMES[1]),
+        (tiers.report, TIER_NAMES[2]),
+    ];
+    let mut exp = Exposition::new();
+    exp.family("taj_uptime_seconds", "Seconds since the daemon started.", "gauge");
+    exp.sample("taj_uptime_seconds", &[], state.started.elapsed().as_secs_f64());
+    exp.family("taj_workers", "Worker pool size.", "gauge");
+    exp.sample("taj_workers", &[], state.workers as f64);
+    let counters: [(&str, &str, u64); 10] = [
+        ("taj_requests_total", "Requests received.", c.requests.load(Ordering::SeqCst)),
+        (
+            "taj_analyze_requests_total",
+            "Analyze requests received.",
+            c.analyze_requests.load(Ordering::SeqCst),
+        ),
+        ("taj_errors_total", "Requests answered with an error.", c.errors.load(Ordering::SeqCst)),
+        (
+            "taj_timeouts_total",
+            "Requests that exceeded their deadline.",
+            c.timeouts.load(Ordering::SeqCst),
+        ),
+        (
+            "taj_worker_panics_total",
+            "Jobs that panicked on a worker.",
+            state.panicked.load(Ordering::SeqCst),
+        ),
+        (
+            "taj_workers_reclaimed_total",
+            "Workers reclaimed from abandoned jobs.",
+            state.reclaimed.load(Ordering::SeqCst),
+        ),
+        (
+            "taj_prepare_runs_total",
+            "Prepare executions (cache misses).",
+            c.prepare_runs.load(Ordering::SeqCst),
+        ),
+        (
+            "taj_phase1_runs_total",
+            "Phase-1 executions (cache misses).",
+            c.phase1_runs.load(Ordering::SeqCst),
+        ),
+        ("taj_phase2_runs_total", "Phase-2 executions.", c.phase2_runs.load(Ordering::SeqCst)),
+        (
+            "taj_degraded_runs_total",
+            "Analyses that degraded down the precision ladder.",
+            c.degraded_runs.load(Ordering::SeqCst),
+        ),
+    ];
+    for (name, help, value) in counters {
+        exp.family(name, help, "counter");
+        exp.sample(name, &[], value as f64);
+    }
+    exp.family("taj_cache_hits_total", "Cache hits, by artifact tier.", "counter");
+    for (t, name) in tier_stats {
+        exp.sample("taj_cache_hits_total", &[("tier", name)], t.hits as f64);
+    }
+    exp.family("taj_cache_misses_total", "Cache misses, by artifact tier.", "counter");
+    for (t, name) in tier_stats {
+        exp.sample("taj_cache_misses_total", &[("tier", name)], t.misses as f64);
+    }
+    exp.family("taj_cache_evictions_total", "Cache evictions, by artifact tier.", "counter");
+    for (t, name) in tier_stats {
+        exp.sample("taj_cache_evictions_total", &[("tier", name)], t.evictions as f64);
+    }
+    exp.family("taj_cache_entries", "Live cache entries, by artifact tier.", "gauge");
+    for (t, name) in tier_stats {
+        exp.sample("taj_cache_entries", &[("tier", name)], t.entries as f64);
+    }
+    exp.family("taj_cache_bytes_used", "Estimated cache bytes, by artifact tier.", "gauge");
+    for (t, name) in tier_stats {
+        exp.sample("taj_cache_bytes_used", &[("tier", name)], t.bytes_used as f64);
+    }
+    exp.family("taj_cache_bytes_budget", "Configured cache byte budget.", "gauge");
+    exp.sample("taj_cache_bytes_budget", &[], cache.bytes_budget as f64);
+    exp.histogram(
+        "taj_request_queue_wait_seconds",
+        "Time dispatched jobs spent queued before a worker picked them up.",
+        &[],
+        &state.queue_wait.snapshot(),
+    );
+    exp.histogram(
+        "taj_request_run_seconds",
+        "Time dispatched jobs spent running on their worker.",
+        &[],
+        &state.run_time.snapshot(),
+    );
+    Ok(exp.finish())
 }

@@ -143,6 +143,12 @@ impl Supervisor {
         self.mem.fetch_add(units, Ordering::Relaxed);
     }
 
+    /// Current value of the shared memory meter (caller-defined units),
+    /// across all clones. Tracing snapshots this next to [`steps`](Self::steps).
+    pub fn mem(&self) -> u64 {
+        self.mem.load(Ordering::Relaxed)
+    }
+
     /// Whether the wall-clock deadline (if any) has already passed.
     pub fn deadline_expired(&self) -> bool {
         matches!(self.deadline, Some(at) if Instant::now() >= at)

@@ -37,6 +37,7 @@
 
 pub use jir;
 pub use taj_core as core;
+pub use taj_obs as obs;
 pub use taj_pointer as pointer;
 pub use taj_sdg as sdg;
 pub use taj_service as service;

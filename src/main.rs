@@ -2,13 +2,13 @@
 //!
 //! ```text
 //! taj analyze <file.jweb> [--config NAME] [--json] [--flows] [--concurrency] [--ir]
-//!             [--deadline-ms N] [--degrade] [--threads N]
+//!             [--deadline-ms N] [--degrade] [--threads N] [--profile] [--trace-out FILE]
 //! taj configs
 //! taj demo
 //! taj serve [--socket PATH | --tcp ADDR] [--workers N] [--cache-mb N] [--timeout-ms N]
 //! taj client (--socket PATH | --tcp ADDR) analyze <file.jweb> [--config NAME] [--sarif]
 //!            [--timeout-ms N] [--degrade] [--threads N]
-//! taj client (--socket PATH | --tcp ADDR) configs|stats|shutdown
+//! taj client (--socket PATH | --tcp ADDR) configs|stats|metrics|shutdown
 //! ```
 //!
 //! Argument handling is strict: unknown `--flags` are rejected with an
@@ -20,6 +20,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use taj::core::{analyze_source_opts, RuleSet, RunOptions, Supervisor, TajConfig, TajError};
+use taj::obs::Recorder;
 use taj::service::{AnalyzeOpts, Bind, Client, ServeOptions};
 
 fn main() -> ExitCode {
@@ -52,7 +53,7 @@ fn main() -> ExitCode {
         Some("client") => client_cmd(&args[1..]),
         _ => {
             eprintln!(
-                "usage: taj analyze <file.jweb> [--config NAME] [--rules FILE] [--json] [--sarif] [--flows] [--concurrency] [--ir] [--deadline-ms N] [--degrade] [--threads N]"
+                "usage: taj analyze <file.jweb> [--config NAME] [--rules FILE] [--json] [--sarif] [--flows] [--concurrency] [--ir] [--deadline-ms N] [--degrade] [--threads N] [--profile] [--trace-out FILE]"
             );
             eprintln!("       taj configs          list configuration names");
             eprintln!("       taj demo             analyze the paper's Figure 1 program");
@@ -62,7 +63,9 @@ fn main() -> ExitCode {
             eprintln!(
                 "       taj client (--socket PATH | --tcp ADDR) analyze <file.jweb> [--config NAME] [--rules FILE] [--sarif] [--timeout-ms N] [--degrade] [--threads N]"
             );
-            eprintln!("       taj client (--socket PATH | --tcp ADDR) configs|stats|shutdown");
+            eprintln!(
+                "       taj client (--socket PATH | --tcp ADDR) configs|stats|metrics|shutdown"
+            );
             ExitCode::FAILURE
         }
     }
@@ -186,6 +189,8 @@ fn analyze_cmd(args: &[String]) -> ExitCode {
         opt("deadline-ms"),
         flag("degrade"),
         opt("threads"),
+        flag("profile"),
+        opt("trace-out"),
     ];
     let parsed = match parse_args(args, SPEC, 1) {
         Ok(p) => p,
@@ -213,6 +218,8 @@ fn analyze_cmd(args: &[String]) -> ExitCode {
         flows: parsed.has("flows"),
         concurrency: parsed.has("concurrency"),
         ir: parsed.has("ir"),
+        profile: parsed.has("profile"),
+        trace_out: parsed.value("trace-out").map(str::to_string),
     };
     let mut supervisor = Supervisor::new();
     if let Some(v) = parsed.value("deadline-ms") {
@@ -228,7 +235,12 @@ fn analyze_cmd(args: &[String]) -> ExitCode {
         },
         None => 0,
     };
-    let run = RunOptions { supervisor, degrade: parsed.has("degrade"), threads };
+    let recorder = if opts.profile || opts.trace_out.is_some() {
+        Recorder::new()
+    } else {
+        Recorder::disabled()
+    };
+    let run = RunOptions { supervisor, degrade: parsed.has("degrade"), threads, recorder };
     run_analysis(&source, rules, &config, &opts, &run)
 }
 
@@ -369,14 +381,30 @@ fn client_cmd(args: &[String]) -> ExitCode {
                 timeout_ms,
                 degrade: parsed.has("degrade"),
                 threads,
+                trace_id: None,
             };
             client.analyze(&source, &opts)
         }
         Some("configs") => client.configs(),
         Some("stats") => client.stats(),
+        Some("metrics") => {
+            // Prometheus text exposition: print verbatim, not JSON-wrapped.
+            return match client.metrics() {
+                Ok(text) => {
+                    print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         Some("shutdown") => client.shutdown(),
         Some(other) => return usage_error(&format!("unknown client command `{other}`")),
-        None => return usage_error("missing client command (analyze|configs|stats|shutdown)"),
+        None => {
+            return usage_error("missing client command (analyze|configs|stats|metrics|shutdown)")
+        }
     };
     match result {
         Ok(value) => {
@@ -409,6 +437,24 @@ struct OutputOpts {
     flows: bool,
     concurrency: bool,
     ir: bool,
+    profile: bool,
+    trace_out: Option<String>,
+}
+
+/// Writes the recorder's Chrome `trace_event` JSON to `path`.
+/// Runs even when the analysis degraded or aborted: whatever spans were
+/// recorded up to the failure are still worth inspecting in Perfetto.
+fn write_trace(path: &str, recorder: &Recorder) -> ExitCode {
+    match std::fs::write(path, recorder.chrome_trace()) {
+        Ok(()) => {
+            eprintln!("trace written to {path} (open with https://ui.perfetto.dev)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot write trace `{path}`: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn run_analysis(
@@ -418,7 +464,7 @@ fn run_analysis(
     opts: &OutputOpts,
     run: &RunOptions,
 ) -> ExitCode {
-    let &OutputOpts { json, sarif, flows, concurrency, ir } = opts;
+    let OutputOpts { json, sarif, flows, concurrency, ir, profile, .. } = *opts;
     if ir {
         match jir::frontend::build_program(source) {
             Ok(program) => print!("{}", jir::pretty::program_to_string(&program)),
@@ -428,7 +474,16 @@ fn run_analysis(
             }
         }
     }
-    match analyze_source_opts(source, None, rules, config, run) {
+    let result = analyze_source_opts(source, None, rules, config, run);
+    // Trace output is useful even for aborted runs (the spans recorded up
+    // to the failure are flushed by `Span::drop`), so write it first.
+    if let Some(path) = &opts.trace_out {
+        let code = write_trace(path, &run.recorder);
+        if code != ExitCode::SUCCESS {
+            return code;
+        }
+    }
+    match result {
         Ok(report) => {
             if sarif {
                 match taj::core::to_sarif(&report) {
@@ -492,6 +547,10 @@ fn run_analysis(
                         println!("    caveat: {}", step.caveat);
                     }
                 }
+            }
+            if profile {
+                // stderr, so `--json`/`--sarif` stdout stays machine-parseable.
+                eprint!("{}", taj::core::profile_text(&report, &run.recorder));
             }
             if report.issue_count() > 0 {
                 ExitCode::from(2) // findings present: CI-friendly exit code

@@ -47,21 +47,49 @@ fn shutdown_and_join(mut client: Client, handle: taj::service::ServerHandle) {
 #[test]
 fn repeat_request_is_byte_identical_with_one_phase1_run() {
     let (handle, mut client) = start(default_options());
-    // Same id both times so the *entire* response line must match.
+    // Same id and trace id both times so the *entire* response line must
+    // match (without a client-chosen trace_id the server mints a fresh
+    // one per request, which lives in the envelope — not the cached
+    // result bytes).
     let req = format!(
-        "{{\"id\":1,\"cmd\":\"analyze\",\"source\":{},\"config\":\"hybrid\"}}",
+        "{{\"id\":1,\"cmd\":\"analyze\",\"source\":{},\"config\":\"hybrid\",\"trace_id\":\"t-1\"}}",
         serde_json::to_string(&Value::String(XSS_SERVLET.to_string())).unwrap()
     );
     let first = client.request_raw(&req).expect("first analyze");
     let second = client.request_raw(&req).expect("second analyze");
     assert_eq!(first, second, "cache hit must serve byte-identical bytes");
     assert!(first.contains("\"ok\":true"), "{first}");
+    assert!(first.contains("\"trace_id\":\"t-1\""), "client trace id echoed: {first}");
 
     let stats = client.stats().expect("stats");
     assert_eq!(stat(&stats, "phase1_runs"), 1, "second request must not re-run phase 1");
     assert_eq!(stat(&stats, "prepare_runs"), 1);
     assert_eq!(stat(&stats, "phase2_runs"), 1, "report cache also skips phase 2");
     assert!(stat(&stats["cache"], "hits") >= 1, "{stats:?}");
+    shutdown_and_join(client, handle);
+}
+
+#[test]
+fn generated_trace_ids_are_unique_and_result_bytes_stay_cached() {
+    let (handle, mut client) = start(default_options());
+    let req = format!(
+        "{{\"id\":1,\"cmd\":\"analyze\",\"source\":{},\"config\":\"hybrid\"}}",
+        serde_json::to_string(&Value::String(XSS_SERVLET.to_string())).unwrap()
+    );
+    let first = client.request_raw(&req).expect("first analyze");
+    let second = client.request_raw(&req).expect("second analyze");
+    let fv: Value = serde_json::from_str(&first).unwrap();
+    let sv: Value = serde_json::from_str(&second).unwrap();
+    let ft = fv["trace_id"].as_str().expect("first trace id");
+    let st = sv["trace_id"].as_str().expect("second trace id");
+    assert_ne!(ft, st, "minted trace ids are per-request");
+    assert_eq!(
+        serde_json::to_string(&fv["result"]).unwrap(),
+        serde_json::to_string(&sv["result"]).unwrap(),
+        "trace ids live in the envelope; result bytes still come from cache"
+    );
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat(&stats, "phase1_runs"), 1, "cache hit despite differing trace ids");
     shutdown_and_join(client, handle);
 }
 
@@ -178,6 +206,59 @@ fn custom_rules_are_part_of_the_cache_key() {
     );
     let stats = client.stats().expect("stats");
     assert_eq!(stat(&stats, "prepare_runs"), 2, "different rules → different prepared program");
+    shutdown_and_join(client, handle);
+}
+
+#[test]
+fn stats_split_cache_counters_per_tier() {
+    let (handle, mut client) = start(default_options());
+    let opts = AnalyzeOpts::default();
+    client.analyze(XSS_SERVLET, &opts).expect("first");
+    client.analyze(XSS_SERVLET, &opts).expect("repeat");
+    let stats = client.stats().expect("stats");
+    let tiers = &stats["cache_tiers"];
+    // First request misses and populates all three tiers; the repeat is
+    // answered by the report tier alone, so prepared/phase1 see no
+    // second lookup at all.
+    assert_eq!(stat(&tiers["report"], "hits"), 1, "{stats:?}");
+    assert_eq!(stat(&tiers["report"], "misses"), 1, "{stats:?}");
+    assert_eq!(stat(&tiers["prepared"], "misses"), 1);
+    assert_eq!(stat(&tiers["prepared"], "hits"), 0);
+    assert_eq!(stat(&tiers["phase1"], "misses"), 1);
+    assert_eq!(stat(&tiers["phase1"], "hits"), 0);
+    for tier in ["prepared", "phase1", "report"] {
+        assert_eq!(stat(&tiers[tier], "entries"), 1, "{tier} holds its artifact");
+        assert!(stat(&tiers[tier], "bytes_used") > 0, "{tier} accounts bytes");
+    }
+    // The aggregate `cache` object remains the sum of the tiers.
+    for key in ["hits", "misses", "evictions"] {
+        let sum: u64 = ["prepared", "phase1", "report"].iter().map(|t| stat(&tiers[*t], key)).sum();
+        assert_eq!(stat(&stats["cache"], key), sum, "aggregate `{key}` equals tier sum");
+    }
+    shutdown_and_join(client, handle);
+}
+
+#[test]
+fn metrics_exposition_is_well_formed_prometheus_text() {
+    let (handle, mut client) = start(default_options());
+    client.analyze(XSS_SERVLET, &AnalyzeOpts::default()).expect("analyze");
+    let text = client.metrics().expect("metrics");
+    assert!(text.contains("# TYPE taj_requests_total counter"), "{text}");
+    assert!(text.contains("# TYPE taj_cache_hits_total counter"), "{text}");
+    assert!(text.contains("taj_cache_hits_total{tier=\"phase1\"} 0"), "{text}");
+    assert!(text.contains("taj_cache_misses_total{tier=\"report\"} 1"), "{text}");
+    assert!(text.contains("taj_analyze_requests_total 1"), "{text}");
+    assert!(text.contains("# TYPE taj_request_run_seconds histogram"), "{text}");
+    assert!(text.contains("taj_request_run_seconds_count 1"), "{text}");
+    assert!(text.contains("taj_request_queue_wait_seconds_bucket{le=\"+Inf\"} 1"), "{text}");
+    // Every sample line is `name[{labels}] value` with a parseable value.
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (_, value) = line.rsplit_once(' ').expect("sample line has a value");
+        assert!(value.parse::<f64>().is_ok(), "unparseable value in `{line}`");
+    }
     shutdown_and_join(client, handle);
 }
 
