@@ -129,6 +129,10 @@ fn main() {
     // inside each phase the time actually goes (solve vs escape vs
     // per-unit slicing), embedded alongside the wall-clock rows.
     let mut breakdown: Vec<(&'static str, Recorder)> = Vec::new();
+    // IFDS tabulation counters (facts created, summary edges, worklist
+    // pops) from the traced pass — the scale knobs for the access-path
+    // fact space.
+    let mut ifds_counters: Option<(usize, usize, usize)> = None;
 
     for config in TajConfig::all() {
         let phase1 = run_phase1_shared(&prepared, &config);
@@ -172,7 +176,16 @@ fn main() {
         let recorder = Recorder::new();
         let traced_phase1 = run_phase1_traced(&prepared, &config, &Supervisor::new(), &recorder);
         let traced_opts = RunOptions { recorder: recorder.clone(), ..RunOptions::default() };
-        let _ = analyze_with_phase1_opts(&prepared, &traced_phase1, &config, &traced_opts);
+        let traced = analyze_with_phase1_opts(&prepared, &traced_phase1, &config, &traced_opts);
+        if config.name == "IFDS" {
+            if let Ok(report) = &traced {
+                ifds_counters = Some((
+                    report.stats.ifds_facts,
+                    report.stats.ifds_summary_edges,
+                    report.stats.ifds_worklist_pops,
+                ));
+            }
+        }
         breakdown.push((config.name, recorder));
     }
 
@@ -213,7 +226,20 @@ fn main() {
         json.push_str("    ]");
         json.push_str(if ci + 1 < breakdown.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n");
+    match ifds_counters {
+        Some((facts, summary_edges, pops)) => {
+            let _ = writeln!(
+                json,
+                "  \"ifds_counters\": {{\"facts_created\": {facts}, \
+                 \"summary_edges\": {summary_edges}, \"worklist_pops\": {pops}}}"
+            );
+        }
+        None => {
+            let _ = writeln!(json, "  \"ifds_counters\": null");
+        }
+    }
+    json.push_str("}\n");
     std::fs::write(out_path, &json).expect("write benchmark output");
     eprintln!("wrote {out_path}");
 }

@@ -14,6 +14,9 @@ pub enum Algorithm {
     CsThin,
     /// Context-insensitive thin slicing (baseline).
     CiThin,
+    /// IFDS tabulation over bounded-depth access-path facts (post-paper;
+    /// the independent cross-check engine of the differential harness).
+    Ifds,
 }
 
 /// A full analysis configuration (one column of Table 1).
@@ -37,6 +40,10 @@ pub struct TajConfig {
     /// Path-edge budget for the CS slicer (memory proxy; exceeding it is
     /// the paper's out-of-memory failure).
     pub cs_path_edge_budget: Option<usize>,
+    /// Access-path depth bound `k` for the IFDS slicer: field chains
+    /// longer than `k` widen to field-insensitive taint. Ignored by the
+    /// other algorithms.
+    pub access_path_depth: usize,
     /// Concurrency awareness: run the thread-escape + MHP analyses and
     /// use them in phase 2. For the CS slicer this reinstates heap-fact
     /// propagation across `Thread.start` edges for escaping objects
@@ -60,6 +67,8 @@ pub mod defaults {
     pub const NESTED_DEPTH: usize = 2;
     /// CS slicer path-edge budget (its "3 GB heap").
     pub const CS_PATH_EDGES: usize = 10_000;
+    /// Access-path depth bound for the IFDS configuration.
+    pub const ACCESS_PATH_DEPTH: usize = 2;
 }
 
 impl TajConfig {
@@ -74,6 +83,7 @@ impl TajConfig {
             max_flow_len: None,
             nested_depth: None,
             cs_path_edge_budget: None,
+            access_path_depth: defaults::ACCESS_PATH_DEPTH,
             escape_analysis: false,
         }
     }
@@ -124,6 +134,17 @@ impl TajConfig {
         TajConfig { name: "CS-Escape", escape_analysis: true, ..Self::cs_thin() }
     }
 
+    /// IFDS tabulation with bounded-depth access paths (the seventh,
+    /// post-paper configuration): a genuinely independent algorithm over
+    /// the same phase-1 artifacts, used as the cross-check engine of the
+    /// three-way differential harness. Unbounded like
+    /// [`Self::hybrid_unbounded`] except for the access-path depth `k`
+    /// (default [`defaults::ACCESS_PATH_DEPTH`]), past which taint
+    /// widens to field-insensitive.
+    pub fn ifds() -> Self {
+        TajConfig { name: "IFDS", algorithm: Algorithm::Ifds, ..Self::hybrid_unbounded() }
+    }
+
     /// A deliberately starved CS configuration (`cs-tiny`): a path-edge
     /// budget so small that any non-trivial program exhausts it. Exists
     /// to exercise the paper's out-of-memory failure mode — and the
@@ -148,12 +169,13 @@ impl TajConfig {
             "ci" | "CI" => Self::ci_thin(),
             "cs_escape" | "cs-escape" | "escape" | "CS-Escape" => Self::cs_escape(),
             "cs_tiny" | "cs-tiny" | "CS-Tiny" => Self::cs_tiny(),
+            "ifds" | "IFDS" => Self::ifds(),
             _ => return None,
         })
     }
 
-    /// All six configurations: the paper's five columns in order, then the
-    /// CS-Escape repair.
+    /// All seven configurations: the paper's five columns in order, then
+    /// the CS-Escape repair and the IFDS cross-check engine.
     pub fn all() -> Vec<TajConfig> {
         vec![
             Self::hybrid_unbounded(),
@@ -162,6 +184,7 @@ impl TajConfig {
             Self::cs_thin(),
             Self::ci_thin(),
             Self::cs_escape(),
+            Self::ifds(),
         ]
     }
 }
@@ -194,6 +217,10 @@ mod tests {
         assert_eq!(ce.algorithm, Algorithm::CsThin);
         assert!(ce.escape_analysis);
         assert_eq!(ce.cs_path_edge_budget, cs.cs_path_edge_budget);
+        let i = TajConfig::ifds();
+        assert_eq!(i.algorithm, Algorithm::Ifds);
+        assert_eq!(i.access_path_depth, defaults::ACCESS_PATH_DEPTH);
+        assert!(i.max_cg_nodes.is_none() && i.max_heap_transitions.is_none());
     }
 
     #[test]
@@ -209,9 +236,9 @@ mod tests {
     }
 
     #[test]
-    fn six_configurations() {
+    fn seven_configurations() {
         let all = TajConfig::all();
-        assert_eq!(all.len(), 6);
+        assert_eq!(all.len(), 7);
         // Only the repair configuration is concurrency-aware by default.
         assert_eq!(
             all.iter().filter(|c| c.escape_analysis).count(),
@@ -219,5 +246,6 @@ mod tests {
             "exactly one escape-enabled default configuration"
         );
         assert_eq!(all[5].name, "CS-Escape");
+        assert_eq!(all[6].name, "IFDS");
     }
 }

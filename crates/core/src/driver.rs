@@ -14,8 +14,8 @@ use taj_obs::{AttrValue, Recorder, TraceEvent};
 use jir::Program;
 use taj_pointer::{EscapeAnalysis, HeapGraph, PointsTo, PolicyConfig, SolverConfig};
 use taj_sdg::{
-    CiSlicer, CsSlicer, Flow, HybridSlicer, MhpRelation, ProgramView, SliceBounds, SliceResult,
-    SliceSpec, StmtNode,
+    CiSlicer, CsSlicer, Flow, HybridSlicer, IfdsSlicer, MhpRelation, ProgramView, SliceBounds,
+    SliceResult, SliceSpec, StmtNode,
 };
 use taj_supervise::{InterruptReason, Supervisor};
 
@@ -83,6 +83,12 @@ pub struct AnalysisStats {
     pub slice_budget_exhausted: bool,
     /// Flows dropped by the flow-length filter (§6.2.2).
     pub flows_len_filtered: usize,
+    /// IFDS only: distinct access-path facts created during tabulation.
+    pub ifds_facts: usize,
+    /// IFDS only: summary edges tabulated (endpoint effects memoized).
+    pub ifds_summary_edges: usize,
+    /// IFDS only: worklist pops across tabulation and summary fixpoints.
+    pub ifds_worklist_pops: usize,
 }
 
 /// Concurrency facts derived from the thread-escape and MHP analyses:
@@ -554,6 +560,15 @@ fn next_rung(config: &TajConfig) -> Option<(TajConfig, &'static str)> {
                  flow-length, or nested-taint bounds (under-approximation)",
             ))
         }
+        // IFDS exploded: fall to the hybrid slicer — same phase-1
+        // artifacts, summarized flow functions instead of per-access-path
+        // facts — which then has its own §6.2 rung below it.
+        Algorithm::Ifds => Some((
+            TajConfig { name: "Hybrid-Unbounded", algorithm: Algorithm::Hybrid, ..*config },
+            "hybrid slicing replaces access-path facts with direct \
+             store→load heap edges: reported flows may include \
+             field-infeasible paths (precision loss only)",
+        )),
         // Bounded hybrid / CI: bottom of the ladder.
         _ => None,
     }
@@ -741,6 +756,10 @@ struct UnitOut {
     /// per unit (fresh meters, work is a function of the unit's input).
     steps: u64,
     mem: u64,
+    /// IFDS counters (0 for the other slicers): distinct facts created
+    /// and worklist pops.
+    facts: usize,
+    pops: usize,
 }
 
 /// A unit's outcome as seen by the deterministic merge.
@@ -904,6 +923,30 @@ fn run_phase2(
                     summaries: slicer.summaries_tabulated(),
                     steps: meters.steps(),
                     mem: meters.mem(),
+                    facts: 0,
+                    pops: 0,
+                    result,
+                })
+            }
+            Algorithm::Ifds => {
+                let mut slicer = IfdsSlicer::new(view, config.access_path_depth)
+                    .with_supervisor(unit_supervisor);
+                let result = match &unit.kind {
+                    UnitKind::Whole => slicer.run(),
+                    // IFDS units are never split: access-path facts from
+                    // different seeds share the summary table, and v1
+                    // plans whole-rule units (see `plan_units`).
+                    UnitKind::Seeds(_) | UnitKind::RefSeeds(_) => {
+                        unreachable!("IFDS plans whole-rule units only")
+                    }
+                };
+                UnitStatus::Done(UnitOut {
+                    edges_dropped: 0,
+                    summaries: slicer.summary_edges(),
+                    steps: meters.steps(),
+                    mem: meters.mem(),
+                    facts: slicer.facts_created(),
+                    pops: slicer.worklist_pops(),
                     result,
                 })
             }
@@ -924,6 +967,8 @@ fn run_phase2(
                     summaries: 0,
                     steps: meters.steps(),
                     mem: meters.mem(),
+                    facts: 0,
+                    pops: 0,
                     result,
                 })
             }
@@ -941,6 +986,8 @@ fn run_phase2(
                         summaries: 0,
                         steps: meters.steps(),
                         mem: meters.mem(),
+                        facts: 0,
+                        pops: 0,
                         result,
                     }),
                     Err(taj_sdg::SliceError::OutOfBudget { path_edges }) => {
@@ -991,6 +1038,11 @@ fn run_phase2(
                 stats.slice_budget_exhausted |= out.result.budget_exhausted;
                 edges_dropped += out.edges_dropped;
                 summary_edges += out.summaries;
+                stats.ifds_facts += out.facts;
+                stats.ifds_worklist_pops += out.pops;
+                if matches!(config.algorithm, Algorithm::Ifds) {
+                    stats.ifds_summary_edges += out.summaries;
+                }
                 if recorder.is_enabled() {
                     let mut attrs: Vec<(&'static str, AttrValue)> = vec![
                         ("unit", index.into()),
@@ -1003,6 +1055,10 @@ fn run_phase2(
                         ("steps", out.steps.into()),
                         ("mem", out.mem.into()),
                     ];
+                    if matches!(config.algorithm, Algorithm::Ifds) {
+                        attrs.push(("facts", out.facts.into()));
+                        attrs.push(("pops", out.pops.into()));
+                    }
                     if let Some(reason) = out.result.interrupted {
                         attrs.push(("interrupted", reason.as_str().into()));
                     }

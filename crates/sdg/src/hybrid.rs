@@ -789,7 +789,7 @@ pub(crate) fn clamp_range(r: &std::ops::Range<usize>, len: usize) -> std::ops::R
     start..r.end.min(len).max(start)
 }
 
-fn call_dst(view: &ProgramView<'_>, node: CGNodeId, loc: Loc) -> Option<Var> {
+pub(crate) fn call_dst(view: &ProgramView<'_>, node: CGNodeId, loc: Loc) -> Option<Var> {
     let method = view.pts.callgraph.method_of(node);
     let body = view.program.method(method).body()?;
     match body.blocks.get(loc.block.index())?.insts.get(loc.idx as usize)? {

@@ -9,6 +9,9 @@
 //!   flow-insensitive direct store→load heap edges from the phase-1
 //!   points-to solution;
 //! - [`ci`] — context-insensitive thin slicing (baseline);
+//! - [`ifds`] — an independent IFDS formulation (Reps–Horwitz–Sagiv
+//!   tabulation over access-path facts with a configurable depth bound),
+//!   used by the three-way differential harness as a cross-check;
 //! - [`cs`] — context-sensitive thin slicing with heap-through-calls
 //!   propagation, a deterministic memory budget standing in for the
 //!   paper's out-of-memory runs, and the multithreading unsoundness the
@@ -25,6 +28,7 @@
 pub mod ci;
 pub mod cs;
 pub mod hybrid;
+pub mod ifds;
 pub mod mhp;
 pub mod spec;
 pub mod view;
@@ -32,6 +36,7 @@ pub mod view;
 pub use ci::{CiCache, CiSlicer};
 pub use cs::CsSlicer;
 pub use hybrid::HybridSlicer;
+pub use ifds::{ApFields, IfdsSlicer};
 pub use mhp::MhpRelation;
 pub use spec::{
     CarrierSink, Flow, FlowStep, SliceBounds, SliceError, SliceResult, SliceSpec, StepKind,

@@ -1,6 +1,6 @@
 //! Differential determinism harness for the parallel phase-2 engine:
 //! the report byte-stream (JSON, text, SARIF) must be identical at every
-//! thread count — for all six configurations, for budget-degraded runs,
+//! thread count — for all seven configurations, for budget-degraded runs,
 //! for cancelled runs, and (under `--features taj_failpoints`) for runs
 //! interrupted at injected supervisor sites.
 //!
@@ -99,7 +99,7 @@ fn assert_thread_invariant(
 }
 
 #[test]
-fn all_six_configurations_are_thread_invariant() {
+fn all_seven_configurations_are_thread_invariant() {
     let prepared = big_app();
     for config in TajConfig::all() {
         assert_thread_invariant(
@@ -170,6 +170,34 @@ fn expired_deadline_runs_are_thread_invariant() {
             RunOptions { supervisor, threads, ..RunOptions::default() }
         },
         "expired-deadline",
+    );
+}
+
+#[test]
+fn interrupted_ifds_runs_are_thread_invariant() {
+    // IFDS under a pre-tripped supervisor (cancel, expired deadline)
+    // must deliver the same partial report at every thread count — the
+    // acceptance bar for the seventh configuration includes its
+    // degraded/cancelled paths.
+    let prepared = big_app();
+    assert_thread_invariant(
+        &prepared,
+        &TajConfig::ifds(),
+        |threads| {
+            let supervisor = Supervisor::new();
+            supervisor.cancel();
+            RunOptions { supervisor, threads, ..RunOptions::default() }
+        },
+        "IFDS pre-cancelled",
+    );
+    assert_thread_invariant(
+        &prepared,
+        &TajConfig::ifds(),
+        |threads| {
+            let supervisor = Supervisor::new().with_deadline(std::time::Duration::from_millis(0));
+            RunOptions { supervisor, threads, ..RunOptions::default() }
+        },
+        "IFDS expired-deadline",
     );
 }
 
@@ -248,6 +276,31 @@ mod failpoint_scenarios {
             FailAction::Deadline,
             false,
             "failpoint cs.tabulate=Deadline",
+        );
+    }
+
+    #[test]
+    fn injected_cancel_in_ifds_tabulation_is_thread_invariant() {
+        assert_invariant_with_failpoint(
+            &TajConfig::ifds(),
+            "ifds.tabulate",
+            FailAction::Cancel,
+            false,
+            "failpoint ifds.tabulate=Cancel",
+        );
+    }
+
+    #[test]
+    fn injected_ifds_budget_degrades_thread_invariantly() {
+        // IFDS trips its step budget at the first tabulation check and
+        // falls to Hybrid-Unbounded; the rescued run must byte-match at
+        // every thread count.
+        assert_invariant_with_failpoint(
+            &TajConfig::ifds(),
+            "ifds.tabulate",
+            FailAction::StepBudget,
+            true,
+            "failpoint ifds.tabulate=StepBudget degrade",
         );
     }
 

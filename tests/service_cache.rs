@@ -263,12 +263,59 @@ fn metrics_exposition_is_well_formed_prometheus_text() {
 }
 
 #[test]
-fn configs_command_lists_all_six() {
+fn configs_command_lists_all_seven() {
     let (handle, mut client) = start(default_options());
     let configs = client.configs().expect("configs");
     let items = configs.as_array().expect("array of configs");
-    assert_eq!(items.len(), 6, "{configs:?}");
+    assert_eq!(items.len(), 7, "{configs:?}");
     let names: Vec<&str> = items.iter().filter_map(|c| c["name"].as_str()).collect();
-    assert!(names.contains(&"Hybrid-Unbounded") && names.contains(&"CS-Escape"), "{names:?}");
+    assert!(
+        names.contains(&"Hybrid-Unbounded")
+            && names.contains(&"CS-Escape")
+            && names.contains(&"IFDS"),
+        "{names:?}"
+    );
     shutdown_and_join(client, handle);
+}
+
+/// The registration-agreement pin: every place configurations are
+/// enumerated must list the same set, so an eighth configuration cannot
+/// be half-registered. The four legs are (1) `TajConfig::all()` (the
+/// canonical list — also what the `taj configs` CLI prints, which
+/// iterates it directly), (2) `TajConfig::by_name` (the resolution path
+/// of the CLI `--config` flag and the daemon protocol), (3) the daemon's
+/// `configs` response over the wire, and (4) the `Phase1::matches`
+/// validity domain (every registered config's phase-1 result must accept
+/// itself, or the artifact cache would silently miss for it).
+#[test]
+fn config_registration_agrees_across_front_doors() {
+    use taj::core::{prepare, run_phase1, RuleSet, TajConfig};
+
+    let all_names: Vec<&str> = TajConfig::all().iter().map(|c| c.name).collect();
+
+    // Leg 2: by_name round-trips every canonical name.
+    for c in TajConfig::all() {
+        let resolved = TajConfig::by_name(c.name)
+            .unwrap_or_else(|| panic!("{} not resolvable by name", c.name));
+        assert_eq!(resolved.name, c.name);
+    }
+
+    // Leg 3: the daemon lists exactly the canonical names, in order.
+    let (handle, mut client) = start(default_options());
+    let configs = client.configs().expect("configs");
+    let daemon_names: Vec<&str> = configs
+        .as_array()
+        .expect("array of configs")
+        .iter()
+        .filter_map(|c| c["name"].as_str())
+        .collect();
+    assert_eq!(daemon_names, all_names, "daemon configs drift from TajConfig::all()");
+    shutdown_and_join(client, handle);
+
+    // Leg 4: each config's own phase-1 result passes its validity check.
+    let prepared = prepare(XSS_SERVLET, None, RuleSet::default_rules()).expect("prepares");
+    for config in TajConfig::all() {
+        let phase1 = run_phase1(&prepared, &config);
+        assert!(phase1.matches(&config), "{}: phase-1 validity domain rejects it", config.name);
+    }
 }
