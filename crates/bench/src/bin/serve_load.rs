@@ -1,0 +1,360 @@
+//! Load generator for the serving stack: shards × router × persistent
+//! store, measured end to end. Emits `BENCH_serve.json`.
+//!
+//! The harness stands up N in-process shard daemons (each with its own
+//! on-disk artifact store), fronts them with a router, and drives the
+//! webgen securibench corpus through closed-loop client workers in two
+//! phases:
+//!
+//! - **cold** — fresh daemons, empty stores: every distinct program pays
+//!   prepare + phase 1 + phase 2 once; repeats are in-memory cache hits.
+//! - **warm** — every daemon is shut down and restarted on the *same*
+//!   store directory (new ephemeral ports, new router): the in-memory
+//!   caches are empty again, but the disk tier answers repeats without a
+//!   single phase-1 re-run. Warm-phase `tier="disk"` hits are the whole
+//!   point of the persistent store; the harness fails if there are none.
+//!
+//! Latency percentiles come from the client-observed wall clock; tier
+//! hit counts come from scraping each shard's Prometheus `metrics`
+//! endpoint (counters restart at zero with the daemons, so a post-phase
+//! scrape is that phase's total).
+//!
+//! Usage: `serve_load [--quick] [--out PATH] [--shards N] [--clients N]
+//!                    [--requests N] [--threads N] [--store-dir DIR]`
+//!   --quick      small corpus, few requests (CI smoke mode)
+//!   --shards     backend daemons behind the router (default 2)
+//!   --clients    closed-loop worker connections (default 4, quick 2)
+//!   --requests   analyze requests per phase (default 4x corpus size)
+//!   --threads    phase-2 threads per request (default 1 — determinism
+//!                and fairness on small CI hosts)
+//!   --store-dir  base directory for the shard stores (default: a
+//!                per-process directory under the system temp dir)
+
+use std::fmt::Write as _;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::Instant;
+
+use taj_service::{
+    route, serve, AnalyzeOpts, Bind, BoundAddr, Client, RouterOptions, ServeOptions,
+};
+use taj_webgen::securibench_cases;
+
+/// One shard daemon plus the directory its store persists under.
+struct ShardProc {
+    handle: taj_service::ServerHandle,
+    addr: String,
+    store_dir: std::path::PathBuf,
+}
+
+fn tcp_addr(bound: &BoundAddr) -> String {
+    match bound {
+        BoundAddr::Tcp(a) => a.to_string(),
+        BoundAddr::Unix(p) => panic!("expected TCP bind, got unix:{}", p.display()),
+    }
+}
+
+fn start_shards(store_base: &std::path::Path, shards: usize) -> Vec<ShardProc> {
+    (0..shards)
+        .map(|i| {
+            let store_dir = store_base.join(format!("shard{i}"));
+            let options = ServeOptions {
+                bind: Bind::Tcp("127.0.0.1:0".to_string()),
+                workers: 2,
+                cache_bytes: 64 << 20,
+                default_timeout_ms: None,
+                debug: false,
+                store_dir: Some(store_dir.clone()),
+                store_bytes: 256 << 20,
+            };
+            let handle = serve(options).expect("start shard");
+            let addr = tcp_addr(handle.addr());
+            ShardProc { handle, addr, store_dir }
+        })
+        .collect()
+}
+
+fn start_router(shards: &[ShardProc]) -> (taj_service::RouterHandle, String) {
+    let options = RouterOptions {
+        bind: Bind::Tcp("127.0.0.1:0".to_string()),
+        shards: shards.iter().map(|s| s.addr.clone()).collect(),
+        default_timeout_ms: None,
+    };
+    let handle = route(options).expect("start router");
+    let addr = tcp_addr(handle.addr());
+    (handle, addr)
+}
+
+/// Client-observed outcome of one phase.
+struct PhaseResult {
+    latencies_ms: Vec<f64>,
+    errors: usize,
+    wall_ms: f64,
+    batch_ms: f64,
+    batch_items: usize,
+}
+
+/// Closed-loop load: `clients` workers share `requests` analyze calls
+/// round-robin over the corpus, each on its own router connection. A
+/// final single batch envelope covering the whole corpus exercises the
+/// batch path and times it.
+fn run_phase(
+    router_addr: &str,
+    corpus: &Arc<Vec<String>>,
+    clients: usize,
+    requests: usize,
+    threads: u64,
+) -> PhaseResult {
+    let t0 = Instant::now();
+    let (tx, rx) = channel::<Result<f64, ()>>();
+    let mut workers = Vec::new();
+    for w in 0..clients {
+        let tx = tx.clone();
+        let corpus = Arc::clone(corpus);
+        let addr = router_addr.to_string();
+        let from = requests * w / clients;
+        let to = requests * (w + 1) / clients;
+        workers.push(std::thread::spawn(move || {
+            let mut client = Client::connect_tcp(&addr).expect("connect worker");
+            let opts = AnalyzeOpts { threads: Some(threads), ..AnalyzeOpts::default() };
+            for k in from..to {
+                let source = &corpus[k % corpus.len()];
+                let t = Instant::now();
+                let outcome = client.analyze(source, &opts);
+                let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
+                let _ = tx.send(outcome.map(|_| elapsed_ms).map_err(|_| ()));
+            }
+        }));
+    }
+    drop(tx);
+    let mut latencies_ms = Vec::with_capacity(requests);
+    let mut errors = 0;
+    while let Ok(r) = rx.recv() {
+        match r {
+            Ok(ms) => latencies_ms.push(ms),
+            Err(()) => errors += 1,
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut client = Client::connect_tcp(router_addr).expect("connect batch client");
+    let opts = AnalyzeOpts { threads: Some(threads), ..AnalyzeOpts::default() };
+    let items: Vec<(String, AnalyzeOpts)> =
+        corpus.iter().map(|s| (s.clone(), opts.clone())).collect();
+    let tb = Instant::now();
+    let batch = client.batch(&items, None).expect("batch request");
+    let batch_ms = tb.elapsed().as_secs_f64() * 1e3;
+    let batch_items = batch.get("count").and_then(serde::Value::as_u64).map_or(0, |n| n as usize);
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    PhaseResult { latencies_ms, errors, wall_ms, batch_ms, batch_items }
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_ms.len() as f64 * p).ceil() as usize).clamp(1, sorted_ms.len()) - 1;
+    sorted_ms[idx]
+}
+
+/// Reads one sample out of a Prometheus text exposition; `label` is the
+/// exact rendered label set (e.g. `{tier="disk"}`), empty for none.
+fn metric(exposition: &str, family: &str, label: &str) -> f64 {
+    let needle = format!("{family}{label} ");
+    exposition
+        .lines()
+        .find(|l| l.starts_with(&needle))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0)
+}
+
+/// Per-tier hit/miss totals summed over every shard, scraped from the
+/// `metrics` endpoint.
+#[derive(Default)]
+struct TierTotals {
+    hits: [f64; 4],
+    misses: [f64; 4],
+    store_entries: f64,
+    store_replayed: f64,
+    phase1_runs: f64,
+}
+
+const TIERS: [&str; 4] = ["prepared", "phase1", "report", "disk"];
+
+fn scrape(shards: &[ShardProc]) -> TierTotals {
+    let mut totals = TierTotals::default();
+    for shard in shards {
+        let mut client = Client::connect_tcp(&shard.addr).expect("connect for scrape");
+        let text = client.metrics().expect("scrape metrics");
+        for (i, tier) in TIERS.iter().enumerate() {
+            let label = format!("{{tier=\"{tier}\"}}");
+            totals.hits[i] += metric(&text, "taj_cache_hits_total", &label);
+            totals.misses[i] += metric(&text, "taj_cache_misses_total", &label);
+        }
+        totals.store_entries += metric(&text, "taj_cache_entries", "{tier=\"disk\"}");
+        totals.store_replayed += metric(&text, "taj_store_replayed_entries", "");
+        totals.phase1_runs += metric(&text, "taj_phase1_runs_total", "");
+    }
+    totals
+}
+
+fn shutdown_all(shards: Vec<ShardProc>) -> Vec<std::path::PathBuf> {
+    let mut dirs = Vec::new();
+    for shard in shards {
+        let mut client = Client::connect_tcp(&shard.addr).expect("connect for shutdown");
+        let _ = client.shutdown();
+        shard.handle.join();
+        dirs.push(shard.store_dir);
+    }
+    dirs
+}
+
+fn phase_json(json: &mut String, name: &str, r: &PhaseResult, t: &TierTotals) {
+    let mean = if r.latencies_ms.is_empty() {
+        f64::NAN
+    } else {
+        r.latencies_ms.iter().sum::<f64>() / r.latencies_ms.len() as f64
+    };
+    let throughput = r.latencies_ms.len() as f64 / (r.wall_ms / 1e3);
+    let _ = writeln!(json, "    \"{name}\": {{");
+    let _ = writeln!(json, "      \"requests\": {},", r.latencies_ms.len());
+    let _ = writeln!(json, "      \"errors\": {},", r.errors);
+    let _ = writeln!(json, "      \"wall_ms\": {:.3},", r.wall_ms);
+    let _ = writeln!(json, "      \"throughput_rps\": {throughput:.3},");
+    let _ = writeln!(
+        json,
+        "      \"latency_ms\": {{\"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \
+         \"mean\": {mean:.3}, \"max\": {:.3}}},",
+        percentile(&r.latencies_ms, 0.50),
+        percentile(&r.latencies_ms, 0.90),
+        percentile(&r.latencies_ms, 0.99),
+        r.latencies_ms.last().copied().unwrap_or(f64::NAN),
+    );
+    let _ = writeln!(
+        json,
+        "      \"batch\": {{\"items\": {}, \"wall_ms\": {:.3}}},",
+        r.batch_items, r.batch_ms
+    );
+    json.push_str("      \"tiers\": {\n");
+    for (i, tier) in TIERS.iter().enumerate() {
+        let _ = write!(
+            json,
+            "        \"{tier}\": {{\"hits\": {}, \"misses\": {}}}",
+            t.hits[i] as u64, t.misses[i] as u64
+        );
+        json.push_str(if i + 1 < TIERS.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("      },\n");
+    let _ = writeln!(
+        json,
+        "      \"store\": {{\"entries\": {}, \"replayed_entries\": {}}},",
+        t.store_entries as u64, t.store_replayed as u64
+    );
+    let _ = writeln!(json, "      \"phase1_runs\": {}", t.phase1_runs as u64);
+    json.push_str("    }");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let arg =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
+    let num = |name: &str, default: usize| -> usize {
+        arg(name)
+            .map_or(default, |v| v.parse().unwrap_or_else(|_| panic!("{name} takes an integer")))
+    };
+    let out_path = arg("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let shard_count = num("--shards", 2);
+    let clients = num("--clients", if quick { 2 } else { 4 });
+    let threads = num("--threads", 1) as u64;
+    let store_base = arg("--store-dir").map_or_else(
+        || std::env::temp_dir().join(format!("taj-serve-load-{}", std::process::id())),
+        std::path::PathBuf::from,
+    );
+
+    // The corpus: every securibench case as its own program, so requests
+    // spread over shards by content hash and distinct programs stress
+    // every cache tier independently.
+    let cases = securibench_cases();
+    let corpus: Vec<String> = if quick {
+        cases.iter().take(6).map(|c| c.source.clone()).collect()
+    } else {
+        cases.iter().map(|c| c.source.clone()).collect()
+    };
+    let corpus = Arc::new(corpus);
+    let requests = num("--requests", corpus.len() * 4);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "serve_load: {} programs, {shard_count} shards, {clients} clients, \
+         {requests} requests/phase, stores under {}",
+        corpus.len(),
+        store_base.display()
+    );
+
+    // Cold: fresh daemons, empty stores.
+    let shards = start_shards(&store_base, shard_count);
+    let (router, router_addr) = start_router(&shards);
+    let cold = run_phase(&router_addr, &corpus, clients, requests, threads);
+    let cold_tiers = scrape(&shards);
+    router.request_shutdown();
+    router.join();
+    let store_dirs = shutdown_all(shards);
+    eprintln!(
+        "cold: p50 {:.1} ms, p99 {:.1} ms, {} errors, disk hits {}",
+        percentile(&cold.latencies_ms, 0.5),
+        percentile(&cold.latencies_ms, 0.99),
+        cold.errors,
+        cold_tiers.hits[3] as u64
+    );
+
+    // Warm: the same store directories under brand-new daemons — the
+    // in-memory caches are gone, the disk tier is not.
+    let shards = start_shards(&store_base, shard_count);
+    for (shard, dir) in shards.iter().zip(&store_dirs) {
+        assert_eq!(&shard.store_dir, dir, "restart must reuse the same store directories");
+    }
+    let (router, router_addr) = start_router(&shards);
+    let warm = run_phase(&router_addr, &corpus, clients, requests, threads);
+    let warm_tiers = scrape(&shards);
+    router.request_shutdown();
+    router.join();
+    let _ = shutdown_all(shards);
+    eprintln!(
+        "warm: p50 {:.1} ms, p99 {:.1} ms, {} errors, disk hits {}, phase1 re-runs {}",
+        percentile(&warm.latencies_ms, 0.5),
+        percentile(&warm.latencies_ms, 0.99),
+        warm.errors,
+        warm_tiers.hits[3] as u64,
+        warm_tiers.phase1_runs as u64
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"suite\": \"webgen-securibench\",");
+    let _ = writeln!(json, "  \"programs\": {},", corpus.len());
+    let _ = writeln!(json, "  \"shards\": {shard_count},");
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"requests_per_phase\": {requests},");
+    let _ = writeln!(json, "  \"threads_per_request\": {threads},");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    json.push_str("  \"phases\": {\n");
+    phase_json(&mut json, "cold", &cold, &cold_tiers);
+    json.push_str(",\n");
+    phase_json(&mut json, "warm", &warm, &warm_tiers);
+    json.push_str("\n  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    eprintln!("wrote {out_path}");
+
+    // The store's reason to exist: a restarted fleet answers repeats
+    // from disk. Zero warm disk hits means persistence is broken — fail
+    // loudly so CI catches it.
+    if warm_tiers.hits[3] as u64 == 0 {
+        eprintln!("FAIL: warm phase produced no disk-tier hits");
+        std::process::exit(1);
+    }
+    let _ = std::fs::remove_dir_all(&store_base);
+}

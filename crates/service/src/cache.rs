@@ -26,16 +26,9 @@ use crate::protocol::OutputFormat;
 /// 128-bit FNV-1a over arbitrary bytes: the content address. 128 bits
 /// keeps accidental collisions out of reach for any realistic corpus
 /// (unlike 64-bit hashes, where a few billion sources would collide).
-pub fn content_hash(bytes: &[u8]) -> u128 {
-    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
-    const PRIME: u128 = 0x0000000001000000000000000000013b;
-    let mut h = OFFSET;
-    for &b in bytes {
-        h ^= u128::from(b);
-        h = h.wrapping_mul(PRIME);
-    }
-    h
-}
+/// Canonically defined in `taj-store` so the in-memory tiers and the
+/// on-disk tier share one addressing discipline.
+pub use taj_store::content_hash;
 
 /// Cache key: which artifact, for which content, under which settings.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -190,6 +183,15 @@ impl ArtifactCache {
                 None
             }
         }
+    }
+
+    /// Looks up `key` without touching the hit/miss counters or recency.
+    /// The insert path uses this to stay first-writer-wins: a racing
+    /// loser must return the winner's bytes, but the race is not a cache
+    /// hit or miss from the caller's point of view — it already counted
+    /// its miss on the way in.
+    pub fn peek(&self, key: &ArtifactKey) -> Option<Artifact> {
+        self.map.get(key).map(|entry| entry.value.clone())
     }
 
     /// Inserts (or replaces) an entry, then evicts least-recently-used

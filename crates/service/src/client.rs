@@ -81,6 +81,9 @@ impl Client {
     /// Propagates connection failures.
     pub fn connect_tcp(addr: &str) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        // One-line requests/responses: Nagle + delayed ACK would add
+        // ~40ms per hop to every exchange.
+        stream.set_nodelay(true)?;
         let read_half = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(Box::new(read_half)),
@@ -167,29 +170,34 @@ impl Client {
     /// # Errors
     /// [`ClientError`] on socket, framing, or server-reported failures.
     pub fn analyze(&mut self, source: &str, opts: &AnalyzeOpts) -> Result<Value, ClientError> {
-        let mut req = Value::object();
+        let mut req = analyze_body(source, opts);
         req.insert("cmd", Value::String("analyze".to_string()));
-        req.insert("source", Value::String(source.to_string()));
-        if let Some(c) = &opts.config {
-            req.insert("config", Value::String(c.clone()));
-        }
-        if let Some(r) = &opts.rules {
-            req.insert("rules", Value::String(r.clone()));
-        }
-        if opts.sarif {
-            req.insert("format", Value::String("sarif".to_string()));
-        }
-        if let Some(t) = opts.timeout_ms {
+        self.request(req)
+    }
+
+    /// Submits several analyses in one `batch` envelope; returns the
+    /// batch result object (`count` plus the ordered `items` array, one
+    /// `{ok, trace_id, result|error}` entry per submitted program).
+    /// Per-item failures live inside their item — only envelope-level
+    /// problems surface as [`ClientError`].
+    ///
+    /// `timeout_ms` is the envelope-wide default deadline; an item's own
+    /// `AnalyzeOpts::timeout_ms` overrides it.
+    ///
+    /// # Errors
+    /// [`ClientError`] on socket, framing, or envelope-level failures.
+    pub fn batch(
+        &mut self,
+        items: &[(String, AnalyzeOpts)],
+        timeout_ms: Option<u64>,
+    ) -> Result<Value, ClientError> {
+        let mut req = Value::object();
+        req.insert("cmd", Value::String("batch".to_string()));
+        let entries =
+            items.iter().map(|(source, opts)| analyze_body(source, opts)).collect::<Vec<_>>();
+        req.insert("items", Value::Array(entries));
+        if let Some(t) = timeout_ms {
             req.insert("timeout_ms", Value::UInt(u128::from(t)));
-        }
-        if let Some(t) = opts.threads {
-            req.insert("threads", Value::UInt(u128::from(t)));
-        }
-        if opts.degrade {
-            req.insert("degrade", Value::Bool(true));
-        }
-        if let Some(t) = &opts.trace_id {
-            req.insert("trace_id", Value::String(t.clone()));
         }
         self.request(req)
     }
@@ -237,4 +245,33 @@ impl Client {
         req.insert("cmd", Value::String(cmd.to_string()));
         self.request(req)
     }
+}
+
+/// Builds the analyze fields shared by `analyze` requests and `batch`
+/// items (which are exactly an analyze body without `id`/`cmd`).
+fn analyze_body(source: &str, opts: &AnalyzeOpts) -> Value {
+    let mut req = Value::object();
+    req.insert("source", Value::String(source.to_string()));
+    if let Some(c) = &opts.config {
+        req.insert("config", Value::String(c.clone()));
+    }
+    if let Some(r) = &opts.rules {
+        req.insert("rules", Value::String(r.clone()));
+    }
+    if opts.sarif {
+        req.insert("format", Value::String("sarif".to_string()));
+    }
+    if let Some(t) = opts.timeout_ms {
+        req.insert("timeout_ms", Value::UInt(u128::from(t)));
+    }
+    if let Some(t) = opts.threads {
+        req.insert("threads", Value::UInt(u128::from(t)));
+    }
+    if opts.degrade {
+        req.insert("degrade", Value::Bool(true));
+    }
+    if let Some(t) = &opts.trace_id {
+        req.insert("trace_id", Value::String(t.clone()));
+    }
+    req
 }

@@ -31,10 +31,12 @@ pub mod cache;
 pub mod client;
 pub mod pool;
 pub mod protocol;
+pub mod router;
 pub mod server;
 
 pub use cache::{content_hash, Artifact, ArtifactCache, ArtifactKey, CacheStats};
 pub use client::{AnalyzeOpts, Client, ClientError};
 pub use pool::WorkerPool;
-pub use protocol::{ErrorCode, OutputFormat, PROTOCOL_VERSION};
-pub use server::{serve, Bind, BoundAddr, ServeOptions, ServerHandle};
+pub use protocol::{BatchRequest, ErrorCode, OutputFormat, MAX_BATCH_ITEMS, PROTOCOL_VERSION};
+pub use router::{route, RouterHandle, RouterOptions};
+pub use server::{serve, store_fingerprint, Bind, BoundAddr, ServeOptions, ServerHandle};

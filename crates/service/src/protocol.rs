@@ -11,7 +11,12 @@
 use serde::Value;
 
 /// Protocol version reported by `stats`.
-pub const PROTOCOL_VERSION: u64 = 1;
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// Upper bound on `batch` items per envelope: enough to amortize
+/// dispatch over a corpus, small enough that one envelope cannot pin
+/// the connection handler (and the response line) for minutes.
+pub const MAX_BATCH_ITEMS: usize = 1024;
 
 /// Machine-readable error categories carried in `error.code`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -98,11 +103,25 @@ pub struct AnalyzeRequest {
     pub trace_id: Option<String>,
 }
 
+/// A parsed `batch` request: every item decoded independently, so one
+/// malformed item becomes that item's error response instead of
+/// failing the envelope (the same isolation analysis failures get).
+#[derive(Clone, Debug)]
+pub struct BatchRequest {
+    /// Per-item decode outcomes, in envelope order.
+    pub items: Vec<Result<AnalyzeRequest, ProtocolError>>,
+    /// Envelope-level deadline default for items without their own.
+    pub timeout_ms: Option<u64>,
+}
+
 /// One decoded request command.
 #[derive(Clone, Debug)]
 pub enum Command {
     /// Run (or serve from cache) a taint analysis.
     Analyze(AnalyzeRequest),
+    /// Run N analyses from one envelope, answered by one ordered
+    /// response envelope with per-item status.
+    Batch(BatchRequest),
     /// List the available configuration names.
     Configs,
     /// Report daemon + cache counters.
@@ -177,6 +196,40 @@ fn check_fields(obj: &Value, allowed: &[&str]) -> Result<(), ProtocolError> {
     Ok(())
 }
 
+/// Parses the analyze field set out of `value` — shared by the
+/// `analyze` command and each `batch` item (which allows the same
+/// fields minus the envelope-level `id`/`cmd`).
+fn parse_analyze_body(
+    value: &Value,
+    extra_allowed: &[&str],
+) -> Result<AnalyzeRequest, ProtocolError> {
+    let mut allowed: Vec<&str> = extra_allowed.to_vec();
+    allowed.extend_from_slice(&[
+        "source",
+        "config",
+        "rules",
+        "format",
+        "timeout_ms",
+        "degrade",
+        "threads",
+        "trace_id",
+    ]);
+    check_fields(value, &allowed)?;
+    let source = get_str(value, "source")?.ok_or_else(|| bad("missing `source`"))?;
+    let config = get_str(value, "config")?.unwrap_or_else(|| "hybrid".to_string());
+    let rules = get_str(value, "rules")?;
+    let format = match get_str(value, "format")? {
+        None => OutputFormat::Report,
+        Some(f) => OutputFormat::from_wire(&f)
+            .ok_or_else(|| bad(format!("unknown format `{f}` (report|sarif)")))?,
+    };
+    let timeout_ms = get_u64(value, "timeout_ms")?;
+    let degrade = get_bool(value, "degrade")?.unwrap_or(false);
+    let threads = get_u64(value, "threads")?;
+    let trace_id = get_str(value, "trace_id")?;
+    Ok(AnalyzeRequest { source, config, rules, format, timeout_ms, degrade, threads, trace_id })
+}
+
 /// Parses one request line. `debug` enables the `debug_*` commands.
 ///
 /// # Errors
@@ -190,44 +243,30 @@ pub fn parse_request(line: &str, debug: bool) -> Result<Request, ProtocolError> 
     let id = value.get("id").cloned().unwrap_or(Value::Null);
     let cmd = get_str(&value, "cmd")?.ok_or_else(|| bad("missing `cmd` field"))?;
     let command = match cmd.as_str() {
-        "analyze" => {
-            check_fields(
-                &value,
-                &[
-                    "id",
-                    "cmd",
-                    "source",
-                    "config",
-                    "rules",
-                    "format",
-                    "timeout_ms",
-                    "degrade",
-                    "threads",
-                    "trace_id",
-                ],
-            )?;
-            let source = get_str(&value, "source")?.ok_or_else(|| bad("missing `source`"))?;
-            let config = get_str(&value, "config")?.unwrap_or_else(|| "hybrid".to_string());
-            let rules = get_str(&value, "rules")?;
-            let format = match get_str(&value, "format")? {
-                None => OutputFormat::Report,
-                Some(f) => OutputFormat::from_wire(&f)
-                    .ok_or_else(|| bad(format!("unknown format `{f}` (report|sarif)")))?,
-            };
+        "analyze" => Command::Analyze(parse_analyze_body(&value, &["id", "cmd"])?),
+        "batch" => {
+            check_fields(&value, &["id", "cmd", "items", "timeout_ms"])?;
             let timeout_ms = get_u64(&value, "timeout_ms")?;
-            let degrade = get_bool(&value, "degrade")?.unwrap_or(false);
-            let threads = get_u64(&value, "threads")?;
-            let trace_id = get_str(&value, "trace_id")?;
-            Command::Analyze(AnalyzeRequest {
-                source,
-                config,
-                rules,
-                format,
-                timeout_ms,
-                degrade,
-                threads,
-                trace_id,
-            })
+            let items_value = value.get("items").ok_or_else(|| bad("missing `items`"))?;
+            let Value::Array(raw_items) = items_value else {
+                return Err(bad("field `items` must be an array"));
+            };
+            if raw_items.len() > MAX_BATCH_ITEMS {
+                return Err(bad(format!(
+                    "batch has {} items (max {MAX_BATCH_ITEMS})",
+                    raw_items.len()
+                )));
+            }
+            let items = raw_items
+                .iter()
+                .map(|item| {
+                    if !matches!(item, Value::Object(_)) {
+                        return Err(bad("batch item must be a JSON object"));
+                    }
+                    parse_analyze_body(item, &[])
+                })
+                .collect();
+            Command::Batch(BatchRequest { items, timeout_ms })
         }
         "configs" => {
             check_fields(&value, &["id", "cmd"])?;
@@ -305,6 +344,39 @@ pub fn err_response_traced(id: &Value, trace_id: &str, code: ErrorCode, message:
     obj.insert("trace_id", Value::String(trace_id.to_string()));
     obj.insert("error", error);
     serde_json::to_string(&obj).unwrap_or_else(|_| err_response(id, code, message))
+}
+
+/// One successful `batch` item: same shape as a standalone traced
+/// analyze response minus the envelope `id` (the envelope carries it).
+/// Splices `raw_result` so batch hits stay byte-identical to singles.
+pub fn batch_item_ok(trace_id: &str, raw_result: &str) -> String {
+    format!("{{\"ok\":true,\"trace_id\":{},\"result\":{}}}", trace_id_json(trace_id), raw_result)
+}
+
+/// One failed `batch` item, carrying its own error code/message so one
+/// bad program never fails its siblings.
+pub fn batch_item_err(trace_id: &str, code: ErrorCode, message: &str) -> String {
+    let mut error = Value::object();
+    error.insert("code", Value::String(code.as_str().to_string()));
+    error.insert("message", Value::String(message.to_string()));
+    let error_json = serde_json::to_string(&error).unwrap_or_else(|_| "{}".to_string());
+    format!("{{\"ok\":false,\"trace_id\":{},\"error\":{}}}", trace_id_json(trace_id), error_json)
+}
+
+/// The `batch` result body: item responses in envelope order.
+pub fn batch_result_raw(items: &[String]) -> String {
+    let mut out = String::with_capacity(32 + items.iter().map(String::len).sum::<usize>());
+    out.push_str("{\"count\":");
+    out.push_str(&items.len().to_string());
+    out.push_str(",\"items\":[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(item);
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Builds an error response: `{"id":..,"ok":false,"error":{code,message}}`.
@@ -414,6 +486,59 @@ mod tests {
         let v = serde_json::from_str(&err).unwrap();
         assert_eq!(v["trace_id"], "t-42");
         assert_eq!(v["error"]["code"], "timeout");
+    }
+
+    #[test]
+    fn batch_parses_with_per_item_isolation() {
+        let line = r#"{"id":9,"cmd":"batch","timeout_ms":5000,"items":[
+            {"source":"class A {}","config":"cs"},
+            {"source":7},
+            {"source":"class B {}","bogus":true},
+            {"source":"class C {}"}]}"#
+            .replace('\n', " ");
+        let r = parse_request(&line, false).expect("envelope parses");
+        let Command::Batch(batch) = r.command else { panic!("wrong command") };
+        assert_eq!(batch.timeout_ms, Some(5000));
+        assert_eq!(batch.items.len(), 4);
+        assert_eq!(batch.items[0].as_ref().unwrap().config, "cs");
+        assert!(batch.items[1].is_err(), "mistyped source is that item's error");
+        assert!(batch.items[2].is_err(), "unknown field is that item's error");
+        assert_eq!(batch.items[3].as_ref().unwrap().config, "hybrid");
+    }
+
+    #[test]
+    fn batch_envelope_strictness() {
+        let e = parse_request(r#"{"cmd":"batch"}"#, false).unwrap_err();
+        assert_eq!(e.0, ErrorCode::BadRequest, "missing items");
+        let e = parse_request(r#"{"cmd":"batch","items":{}}"#, false).unwrap_err();
+        assert_eq!(e.0, ErrorCode::BadRequest, "items must be an array");
+        let e = parse_request(r#"{"cmd":"batch","items":[],"extra":1}"#, false).unwrap_err();
+        assert_eq!(e.0, ErrorCode::BadRequest, "unknown envelope field");
+        let r = parse_request(r#"{"cmd":"batch","items":[]}"#, false).unwrap();
+        let Command::Batch(batch) = r.command else { panic!("wrong command") };
+        assert!(batch.items.is_empty(), "empty batch is legal");
+        let big: Vec<String> =
+            (0..MAX_BATCH_ITEMS + 1).map(|_| r#"{"source":"x"}"#.to_string()).collect();
+        let line = format!(r#"{{"cmd":"batch","items":[{}]}}"#, big.join(","));
+        let e = parse_request(&line, false).unwrap_err();
+        assert_eq!(e.0, ErrorCode::BadRequest, "oversized batch rejected");
+    }
+
+    #[test]
+    fn batch_response_builders_compose() {
+        let items = vec![
+            batch_item_ok("t-1", "{\"a\":1}"),
+            batch_item_err("t-2", ErrorCode::ParseError, "bad program"),
+        ];
+        let raw = batch_result_raw(&items);
+        let envelope = ok_response_raw(&Value::UInt(4), &raw);
+        let v = serde_json::from_str(&envelope).unwrap();
+        assert_eq!(v["result"]["count"], 2u64);
+        assert_eq!(v["result"]["items"][0]["ok"], true);
+        assert_eq!(v["result"]["items"][0]["trace_id"], "t-1");
+        assert_eq!(v["result"]["items"][0]["result"]["a"], 1u64);
+        assert_eq!(v["result"]["items"][1]["ok"], false);
+        assert_eq!(v["result"]["items"][1]["error"]["code"], "parse_error");
     }
 
     #[test]

@@ -1,0 +1,499 @@
+//! The shard router: a thin front-end that speaks the same NDJSON
+//! protocol as the daemon and fans requests out to N backend daemons.
+//!
+//! Routing is content-addressed, mirroring the cache keys: a request
+//! lands on shard `(hash(source) ^ hash(rules)) % N`, so repeats of the
+//! same program always reach the daemon whose cache (and persistent
+//! store) already holds its artifacts. Horizontal scaling therefore
+//! multiplies both worker capacity *and* effective cache capacity —
+//! shards never duplicate each other's hot entries.
+//!
+//! `analyze` lines are forwarded to their shard **verbatim**, so the
+//! response bytes a client sees through the router are identical to a
+//! direct connection. `batch` envelopes are split per shard, forwarded
+//! as sub-batches, and merged back in item order. A shard that cannot
+//! be reached (connection refused, mid-request socket death after one
+//! reconnect attempt) is marked unhealthy and its requests fail over to
+//! a local, cache-free analysis, so the router degrades to a slower
+//! answer instead of an error; unhealthy shards are re-probed by the
+//! next request routed to them.
+//!
+//! The router holds no analysis state of its own: `configs` is answered
+//! locally (it is static), `stats`/`metrics` report the router's own
+//! counters plus per-shard health, and `shutdown` drains the router
+//! only — backends are managed by whoever started them.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use serde::Value;
+use taj_core::Supervisor;
+use taj_obs::metrics::Exposition;
+
+use crate::cache::content_hash;
+use crate::client::Client;
+use crate::protocol::{
+    batch_item_err, batch_item_ok, batch_result_raw, err_response, err_response_traced,
+    ok_response_raw, ok_response_raw_traced, parse_request, AnalyzeRequest, BatchRequest, Command,
+    ErrorCode, PROTOCOL_VERSION,
+};
+use crate::server::{
+    accept_loop, analyze_uncached, bind_listener, configs_value, Bind, BoundAddr, LineHandler,
+};
+
+/// Router configuration.
+#[derive(Clone, Debug)]
+pub struct RouterOptions {
+    /// Listen address for clients.
+    pub bind: Bind,
+    /// Backend daemon TCP addresses (`host:port`), one per shard. The
+    /// shard count is fixed for the router's lifetime — changing it
+    /// remaps keys, which is exactly a cache flush.
+    pub shards: Vec<String>,
+    /// Deadline applied to local-failover analyses when the request
+    /// carries none (forwarded requests use the backend's default).
+    pub default_timeout_ms: Option<u64>,
+}
+
+/// One backend daemon and its health bookkeeping. The connection is
+/// persistent and serialized behind a mutex: the daemon protocol is
+/// sequential per socket, so concurrent router connections to the same
+/// shard queue here rather than interleaving frames.
+struct Shard {
+    addr: String,
+    conn: Mutex<Option<Client>>,
+    healthy: AtomicBool,
+    forwarded: AtomicU64,
+    failovers: AtomicU64,
+}
+
+impl Shard {
+    fn new(addr: String) -> Shard {
+        Shard {
+            addr,
+            conn: Mutex::new(None),
+            healthy: AtomicBool::new(true),
+            forwarded: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+        }
+    }
+
+    /// Sends one raw line and returns the raw response. A dead cached
+    /// connection gets one reconnect attempt (the daemon may have
+    /// restarted); failure after that marks the shard unhealthy and
+    /// returns `None` so the caller fails over.
+    fn forward(&self, line: &str) -> Option<String> {
+        let mut guard = self.conn.lock().ok()?;
+        for _attempt in 0..2 {
+            if guard.is_none() {
+                *guard = Client::connect_tcp(&self.addr).ok();
+            }
+            if let Some(client) = guard.as_mut() {
+                match client.request_raw(line) {
+                    // A draining backend still answers — with a
+                    // `shutting_down` error. That is a shard failure
+                    // from the client's point of view, not a response
+                    // worth forwarding.
+                    Ok(response) if is_draining_error(&response) => {
+                        *guard = None;
+                        break;
+                    }
+                    Ok(response) => {
+                        self.healthy.store(true, Ordering::SeqCst);
+                        self.forwarded.fetch_add(1, Ordering::SeqCst);
+                        return Some(response);
+                    }
+                    Err(_) => *guard = None,
+                }
+            }
+        }
+        self.healthy.store(false, Ordering::SeqCst);
+        self.failovers.fetch_add(1, Ordering::SeqCst);
+        None
+    }
+}
+
+fn is_draining_error(response: &str) -> bool {
+    // Cheap pre-filter: success responses (which may be large reports)
+    // never parse here.
+    if !response.contains("\"ok\":false") {
+        return false;
+    }
+    serde_json::from_str(response)
+        .ok()
+        .is_some_and(|v: Value| v["error"]["code"].as_str() == Some("shutting_down"))
+}
+
+#[derive(Default)]
+struct RouterCounters {
+    requests: AtomicU64,
+    analyze_requests: AtomicU64,
+    batch_requests: AtomicU64,
+    errors: AtomicU64,
+    local_fallbacks: AtomicU64,
+}
+
+struct RouterState {
+    shards: Vec<Shard>,
+    shutdown: Arc<AtomicBool>,
+    counters: RouterCounters,
+    default_timeout_ms: Option<u64>,
+    started: Instant,
+    trace_seq: AtomicU64,
+}
+
+/// A running router.
+pub struct RouterHandle {
+    addr: BoundAddr,
+    state: Arc<RouterState>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The bound address (with any ephemeral TCP port resolved).
+    pub fn addr(&self) -> &BoundAddr {
+        &self.addr
+    }
+
+    /// Asks the router to stop accepting and exit.
+    pub fn request_shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the accept loop to exit.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds and starts the router, returning once it is accepting.
+///
+/// # Errors
+/// Rejects an empty shard list; propagates bind/listen failures.
+pub fn route(options: RouterOptions) -> io::Result<RouterHandle> {
+    if options.shards.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "router needs at least one shard address",
+        ));
+    }
+    let (listener, addr) = bind_listener(&options.bind)?;
+    let state = Arc::new(RouterState {
+        shards: options.shards.into_iter().map(Shard::new).collect(),
+        shutdown: Arc::new(AtomicBool::new(false)),
+        counters: RouterCounters::default(),
+        default_timeout_ms: options.default_timeout_ms,
+        started: Instant::now(),
+        trace_seq: AtomicU64::new(0),
+    });
+    let handler: LineHandler = {
+        let state = Arc::clone(&state);
+        Arc::new(move |line: &str| handle_line(line, &state))
+    };
+    let shutdown = Arc::clone(&state.shutdown);
+    let accept_addr = addr.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("taj-router-accept".to_string())
+        .spawn(move || {
+            accept_loop(&listener, &shutdown, &handler);
+            if let BoundAddr::Unix(path) = &accept_addr {
+                let _ = std::fs::remove_file(path);
+            }
+        })
+        .expect("spawn router accept loop");
+    Ok(RouterHandle { addr, state, accept_thread: Some(accept_thread) })
+}
+
+/// The shard an analyze request belongs to: the same content addresses
+/// the cache keys use, folded over the shard count. Config/format do
+/// not participate — all variants of one program share a shard, so its
+/// phase-1 artifacts are computed exactly once across the fleet.
+fn shard_index(req: &AnalyzeRequest, shards: usize) -> usize {
+    let src = content_hash(req.source.as_bytes());
+    let rules = req.rules.as_ref().map_or(0, |r| content_hash(r.as_bytes()));
+    ((src ^ rules) % shards as u128) as usize
+}
+
+fn mint_trace_id(state: &Arc<RouterState>) -> String {
+    format!("taj-r-{:016x}", state.trace_seq.fetch_add(1, Ordering::SeqCst) + 1)
+}
+
+fn handle_line(line: &str, state: &Arc<RouterState>) -> (String, bool) {
+    state.counters.requests.fetch_add(1, Ordering::SeqCst);
+    let request = match parse_request(line, false) {
+        Ok(r) => r,
+        Err((code, msg)) => {
+            state.counters.errors.fetch_add(1, Ordering::SeqCst);
+            return (err_response(&Value::Null, code, &msg), false);
+        }
+    };
+    let id = request.id;
+    match request.command {
+        Command::Configs => (ok_response_raw(&id, &configs_value()), false),
+        Command::Stats => (ok_response_raw(&id, &stats_raw(state)), false),
+        Command::Metrics => (ok_response_raw(&id, &metrics_raw(state)), false),
+        Command::Shutdown => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            (ok_response_raw(&id, "{\"draining\":true}"), true)
+        }
+        Command::Analyze(req) => {
+            state.counters.analyze_requests.fetch_add(1, Ordering::SeqCst);
+            let shard = &state.shards[shard_index(&req, state.shards.len())];
+            // Forward the client's bytes untouched: the response through
+            // the router is then byte-identical to a direct connection.
+            match shard.forward(line) {
+                Some(response) => (response, false),
+                None => (local_analyze_response(state, &id, &req, req.timeout_ms), false),
+            }
+        }
+        Command::Batch(batch) => {
+            state.counters.batch_requests.fetch_add(1, Ordering::SeqCst);
+            (ok_response_raw(&id, &route_batch(state, line, batch)), false)
+        }
+        // `parse_request(_, debug=false)` already rejected these.
+        Command::DebugSleep { .. } | Command::DebugPanic => {
+            state.counters.errors.fetch_add(1, Ordering::SeqCst);
+            (err_response(&id, ErrorCode::BadRequest, "debug commands are not routed"), false)
+        }
+    }
+}
+
+/// The failover path: analyze locally (cache-free, inline on the
+/// connection thread) and wrap the result in a traced response, exactly
+/// the envelope shape a backend would have produced.
+fn local_analyze_response(
+    state: &Arc<RouterState>,
+    id: &Value,
+    req: &AnalyzeRequest,
+    timeout_ms: Option<u64>,
+) -> String {
+    state.counters.local_fallbacks.fetch_add(1, Ordering::SeqCst);
+    let trace_id = req.trace_id.clone().unwrap_or_else(|| mint_trace_id(state));
+    match local_analyze(state, req, timeout_ms) {
+        Ok(raw) => ok_response_raw_traced(id, &trace_id, &raw),
+        Err((code, msg)) => {
+            state.counters.errors.fetch_add(1, Ordering::SeqCst);
+            err_response_traced(id, &trace_id, code, &msg)
+        }
+    }
+}
+
+fn local_analyze(
+    state: &Arc<RouterState>,
+    req: &AnalyzeRequest,
+    timeout_ms: Option<u64>,
+) -> Result<String, crate::protocol::ProtocolError> {
+    let supervisor = match timeout_ms.or(state.default_timeout_ms) {
+        Some(ms) => Supervisor::new().with_deadline(Duration::from_millis(ms)),
+        None => Supervisor::new(),
+    };
+    analyze_uncached(req, &supervisor)
+}
+
+/// Splits a batch envelope across shards, forwards each sub-batch, and
+/// merges the per-item results back into the original order. A shard
+/// failure fails over item by item to local analysis; malformed items
+/// are answered in place, matching single-daemon batch semantics.
+fn route_batch(state: &Arc<RouterState>, line: &str, batch: BatchRequest) -> String {
+    let shard_count = state.shards.len();
+    // Recover the raw item objects so sub-batches carry the client's
+    // bytes, not a re-derivation (unknown-field strictness and format
+    // defaults stay the backend's business).
+    let raw_items: Vec<Value> = serde_json::from_str(line)
+        .ok()
+        .and_then(|v| v.get("items").cloned())
+        .and_then(|v| match v {
+            Value::Array(items) => Some(items),
+            _ => None,
+        })
+        .unwrap_or_default();
+    let mut rendered: Vec<Option<String>> = vec![None; batch.items.len()];
+    // Per shard: the original indices (and parsed requests) routed there.
+    let mut groups: Vec<Vec<(usize, AnalyzeRequest)>> =
+        (0..shard_count).map(|_| Vec::new()).collect();
+    for (i, item) in batch.items.into_iter().enumerate() {
+        match item {
+            Ok(req) => groups[shard_index(&req, shard_count)].push((i, req)),
+            Err((code, msg)) => {
+                state.counters.errors.fetch_add(1, Ordering::SeqCst);
+                let trace_id = mint_trace_id(state);
+                rendered[i] = Some(batch_item_err(&trace_id, code, &msg));
+            }
+        }
+    }
+    for (shard_idx, group) in groups.into_iter().enumerate() {
+        if group.is_empty() {
+            continue;
+        }
+        state.counters.analyze_requests.fetch_add(group.len() as u64, Ordering::SeqCst);
+        let shard = &state.shards[shard_idx];
+        let sub_items: Vec<Value> =
+            group.iter().filter_map(|(i, _)| raw_items.get(*i).cloned()).collect();
+        let forwarded = if sub_items.len() == group.len() {
+            let mut envelope = Value::object();
+            envelope.insert("id", Value::UInt(0));
+            envelope.insert("cmd", Value::String("batch".to_string()));
+            envelope.insert("items", Value::Array(sub_items));
+            if let Some(t) = batch.timeout_ms {
+                envelope.insert("timeout_ms", Value::UInt(u128::from(t)));
+            }
+            serde_json::to_string(&envelope).ok().and_then(|sub| shard.forward(&sub))
+        } else {
+            None
+        };
+        let shard_results = forwarded.and_then(|raw| parse_batch_items(&raw, group.len()));
+        match shard_results {
+            Some(items) => {
+                for ((i, _), item) in group.iter().zip(items) {
+                    rendered[*i] = Some(item);
+                }
+            }
+            None => {
+                // Whole-shard failover: each item is analyzed locally.
+                for (i, req) in group {
+                    let trace_id = req.trace_id.clone().unwrap_or_else(|| mint_trace_id(state));
+                    state.counters.local_fallbacks.fetch_add(1, Ordering::SeqCst);
+                    let timeout = req.timeout_ms.or(batch.timeout_ms);
+                    rendered[i] = Some(match local_analyze(state, &req, timeout) {
+                        Ok(raw) => batch_item_ok(&trace_id, &raw),
+                        Err((code, msg)) => {
+                            state.counters.errors.fetch_add(1, Ordering::SeqCst);
+                            batch_item_err(&trace_id, code, &msg)
+                        }
+                    });
+                }
+            }
+        }
+    }
+    let items: Vec<String> = rendered
+        .into_iter()
+        .map(|r| {
+            r.unwrap_or_else(|| {
+                batch_item_err(
+                    "taj-r-lost",
+                    ErrorCode::BadRequest,
+                    "router lost this item (internal error)",
+                )
+            })
+        })
+        .collect();
+    batch_result_raw(&items)
+}
+
+/// Extracts and re-serializes the `items` array from a backend's batch
+/// response, checking the count matches what was sent.
+fn parse_batch_items(raw_response: &str, expected: usize) -> Option<Vec<String>> {
+    let response: Value = serde_json::from_str(raw_response).ok()?;
+    if response.get("ok").and_then(Value::as_bool) != Some(true) {
+        return None;
+    }
+    let items = match response.get("result")?.get("items")? {
+        Value::Array(items) => items,
+        _ => return None,
+    };
+    if items.len() != expected {
+        return None;
+    }
+    items.iter().map(|v| serde_json::to_string(v).ok()).collect()
+}
+
+fn stats_raw(state: &Arc<RouterState>) -> String {
+    let c = &state.counters;
+    let mut o = Value::object();
+    o.insert("role", Value::String("router".to_string()));
+    o.insert("protocol_version", Value::UInt(u128::from(PROTOCOL_VERSION)));
+    o.insert("uptime_ms", Value::UInt(state.started.elapsed().as_millis()));
+    o.insert("requests", Value::UInt(u128::from(c.requests.load(Ordering::SeqCst))));
+    o.insert(
+        "analyze_requests",
+        Value::UInt(u128::from(c.analyze_requests.load(Ordering::SeqCst))),
+    );
+    o.insert("batch_requests", Value::UInt(u128::from(c.batch_requests.load(Ordering::SeqCst))));
+    o.insert("errors", Value::UInt(u128::from(c.errors.load(Ordering::SeqCst))));
+    o.insert("local_fallbacks", Value::UInt(u128::from(c.local_fallbacks.load(Ordering::SeqCst))));
+    let mut shards = Vec::new();
+    for s in &state.shards {
+        let mut so = Value::object();
+        so.insert("addr", Value::String(s.addr.clone()));
+        so.insert("healthy", Value::Bool(s.healthy.load(Ordering::SeqCst)));
+        so.insert("forwarded", Value::UInt(u128::from(s.forwarded.load(Ordering::SeqCst))));
+        so.insert("failovers", Value::UInt(u128::from(s.failovers.load(Ordering::SeqCst))));
+        shards.push(so);
+    }
+    o.insert("shards", Value::Array(shards));
+    serde_json::to_string(&o).unwrap_or_else(|_| "{}".to_string())
+}
+
+fn metrics_raw(state: &Arc<RouterState>) -> String {
+    let c = &state.counters;
+    let mut exp = Exposition::new();
+    exp.family("taj_router_uptime_seconds", "Seconds since the router started.", "gauge");
+    exp.sample("taj_router_uptime_seconds", &[], state.started.elapsed().as_secs_f64());
+    exp.family("taj_router_shards", "Configured shard count.", "gauge");
+    exp.sample("taj_router_shards", &[], state.shards.len() as f64);
+    let counters: [(&str, &str, u64); 5] = [
+        ("taj_router_requests_total", "Requests received.", c.requests.load(Ordering::SeqCst)),
+        (
+            "taj_router_analyze_requests_total",
+            "Analyze requests routed (batch items included).",
+            c.analyze_requests.load(Ordering::SeqCst),
+        ),
+        (
+            "taj_router_batch_requests_total",
+            "Batch envelopes received.",
+            c.batch_requests.load(Ordering::SeqCst),
+        ),
+        (
+            "taj_router_errors_total",
+            "Requests answered with an error.",
+            c.errors.load(Ordering::SeqCst),
+        ),
+        (
+            "taj_router_local_fallbacks_total",
+            "Analyses served locally because a shard was unreachable.",
+            c.local_fallbacks.load(Ordering::SeqCst),
+        ),
+    ];
+    for (name, help, value) in counters {
+        exp.family(name, help, "counter");
+        exp.sample(name, &[], value as f64);
+    }
+    exp.family("taj_router_shard_healthy", "Shard health (1 healthy, 0 failed).", "gauge");
+    for s in &state.shards {
+        exp.sample(
+            "taj_router_shard_healthy",
+            &[("shard", s.addr.as_str())],
+            if s.healthy.load(Ordering::SeqCst) { 1.0 } else { 0.0 },
+        );
+    }
+    exp.family("taj_router_shard_forwarded_total", "Requests forwarded, by shard.", "counter");
+    for s in &state.shards {
+        exp.sample(
+            "taj_router_shard_forwarded_total",
+            &[("shard", s.addr.as_str())],
+            s.forwarded.load(Ordering::SeqCst) as f64,
+        );
+    }
+    exp.family(
+        "taj_router_shard_failovers_total",
+        "Forward failures that fell back locally, by shard.",
+        "counter",
+    );
+    for s in &state.shards {
+        exp.sample(
+            "taj_router_shard_failovers_total",
+            &[("shard", s.addr.as_str())],
+            s.failovers.load(Ordering::SeqCst) as f64,
+        );
+    }
+    let exposition = exp.finish();
+    let mut o = Value::object();
+    o.insert("content_type", Value::String("text/plain; version=0.0.4".to_string()));
+    o.insert("exposition", Value::String(exposition));
+    serde_json::to_string(&o).unwrap_or_else(|_| "{}".to_string())
+}

@@ -25,6 +25,7 @@ use taj_core::{
 };
 
 use taj_obs::metrics::{Exposition, Histogram};
+use taj_store::DiskStore;
 
 use crate::cache::{
     content_hash, phase1_bytes, prepared_bytes, Artifact, ArtifactCache, ArtifactKey, TierStats,
@@ -32,8 +33,9 @@ use crate::cache::{
 };
 use crate::pool::{Job, WorkerPool};
 use crate::protocol::{
-    err_response, err_response_traced, ok_response_raw, ok_response_raw_traced, parse_request,
-    AnalyzeRequest, Command, ErrorCode, OutputFormat, ProtocolError, PROTOCOL_VERSION,
+    batch_item_err, batch_item_ok, batch_result_raw, err_response, err_response_traced,
+    ok_response_raw, ok_response_raw_traced, parse_request, AnalyzeRequest, BatchRequest, Command,
+    ErrorCode, OutputFormat, ProtocolError, PROTOCOL_VERSION,
 };
 
 /// Where the daemon listens.
@@ -60,11 +62,17 @@ pub struct ServeOptions {
     pub default_timeout_ms: Option<u64>,
     /// Enables the `debug_sleep`/`debug_panic` test commands.
     pub debug: bool,
+    /// Directory for the persistent artifact store — the durable tier
+    /// below the in-memory cache. `None` disables persistence.
+    pub store_dir: Option<PathBuf>,
+    /// Byte budget of the on-disk store (LRU-mtime eviction).
+    pub store_bytes: u64,
 }
 
 impl ServeOptions {
     /// Sensible defaults on a TCP ephemeral port: workers from available
-    /// parallelism (clamped to 2..=8), a 64 MiB cache, no timeout.
+    /// parallelism (clamped to 2..=8), a 64 MiB cache, no timeout, no
+    /// persistent store.
     pub fn tcp_ephemeral() -> ServeOptions {
         ServeOptions {
             bind: Bind::Tcp("127.0.0.1:0".to_string()),
@@ -72,8 +80,20 @@ impl ServeOptions {
             cache_bytes: 64 << 20,
             default_timeout_ms: None,
             debug: false,
+            store_dir: None,
+            store_bytes: 256 << 20,
         }
     }
+}
+
+/// Fingerprint stamped into on-disk entries: the crate version plus the
+/// protocol version. A daemon build whose serialized reports could
+/// differ gets a different fingerprint, so its store entries are
+/// quarantined rather than served by the wrong build.
+pub fn store_fingerprint() -> u128 {
+    content_hash(
+        format!("taj-service {} proto {PROTOCOL_VERSION}", env!("CARGO_PKG_VERSION")).as_bytes(),
+    )
 }
 
 fn default_workers() -> usize {
@@ -103,6 +123,7 @@ impl std::fmt::Display for BoundAddr {
 struct ServiceCounters {
     requests: AtomicU64,
     analyze_requests: AtomicU64,
+    batch_requests: AtomicU64,
     errors: AtomicU64,
     timeouts: AtomicU64,
     prepare_runs: AtomicU64,
@@ -114,8 +135,12 @@ struct ServiceCounters {
 /// Server state shared between the accept loop, handlers, and workers.
 struct ServiceState {
     cache: Mutex<ArtifactCache>,
+    /// The durable tier below the in-memory cache: serialized reports
+    /// keyed by the same content addresses, shared across restarts and
+    /// across daemon processes pointed at one directory.
+    store: Option<Arc<DiskStore>>,
     jobs: Mutex<Option<Sender<(Job, Supervisor)>>>,
-    shutdown: AtomicBool,
+    shutdown: Arc<AtomicBool>,
     counters: ServiceCounters,
     panicked: Arc<AtomicU64>,
     reclaimed: Arc<AtomicU64>,
@@ -158,18 +183,16 @@ impl ServerHandle {
     }
 }
 
-enum Listener {
+pub(crate) enum Listener {
     Tcp(TcpListener),
     Unix(UnixListener),
 }
 
-/// Binds and starts the daemon, returning once it is accepting.
-///
-/// # Errors
-/// Propagates bind/listen failures.
-pub fn serve(options: ServeOptions) -> io::Result<ServerHandle> {
-    let workers = if options.workers == 0 { default_workers() } else { options.workers };
-    let (listener, addr) = match &options.bind {
+/// Binds a listener (non-blocking, so accept loops can poll a shutdown
+/// flag) and resolves the bound address. Shared by the daemon and the
+/// router front-end.
+pub(crate) fn bind_listener(bind: &Bind) -> io::Result<(Listener, BoundAddr)> {
+    let (listener, addr) = match bind {
         Bind::Tcp(spec) => {
             let l = TcpListener::bind(spec.as_str())?;
             let a = l.local_addr()?;
@@ -188,11 +211,32 @@ pub fn serve(options: ServeOptions) -> io::Result<ServerHandle> {
         Listener::Tcp(l) => l.set_nonblocking(true)?,
         Listener::Unix(l) => l.set_nonblocking(true)?,
     }
+    Ok((listener, addr))
+}
+
+/// Per-line request handler: returns the response line and whether the
+/// connection should close afterwards.
+pub(crate) type LineHandler = Arc<dyn Fn(&str) -> (String, bool) + Send + Sync>;
+
+/// Binds and starts the daemon, returning once it is accepting.
+///
+/// # Errors
+/// Propagates bind/listen failures.
+pub fn serve(options: ServeOptions) -> io::Result<ServerHandle> {
+    let workers = if options.workers == 0 { default_workers() } else { options.workers };
+    let (listener, addr) = bind_listener(&options.bind)?;
+    let store = match &options.store_dir {
+        Some(dir) => {
+            Some(Arc::new(DiskStore::open(dir, options.store_bytes, store_fingerprint())?))
+        }
+        None => None,
+    };
     let pool = WorkerPool::new(workers);
     let state = Arc::new(ServiceState {
         cache: Mutex::new(ArtifactCache::new(options.cache_bytes)),
+        store,
         jobs: Mutex::new(None),
-        shutdown: AtomicBool::new(false),
+        shutdown: Arc::new(AtomicBool::new(false)),
         counters: ServiceCounters::default(),
         panicked: pool.panic_counter(),
         reclaimed: pool.reclaim_counter(),
@@ -224,10 +268,14 @@ pub fn serve(options: ServeOptions) -> io::Result<ServerHandle> {
 
     let accept_state = Arc::clone(&state);
     let accept_addr = addr.clone();
+    let handler: LineHandler = {
+        let state = Arc::clone(&state);
+        Arc::new(move |line: &str| handle_line(line, &state))
+    };
     let accept_thread = std::thread::Builder::new()
         .name("taj-accept".to_string())
         .spawn(move || {
-            accept_loop(&listener, &accept_state);
+            accept_loop(&listener, &accept_state.shutdown, &handler);
             // Stop accepting new jobs, then wait for the queue to drain.
             accept_state.jobs.lock().expect("jobs lock").take();
             let _ = forwarder.join();
@@ -240,21 +288,26 @@ pub fn serve(options: ServeOptions) -> io::Result<ServerHandle> {
     Ok(ServerHandle { addr, state, accept_thread: Some(accept_thread) })
 }
 
-fn accept_loop(listener: &Listener, state: &Arc<ServiceState>) {
+pub(crate) fn accept_loop(listener: &Listener, shutdown: &Arc<AtomicBool>, handler: &LineHandler) {
     loop {
-        if state.shutdown.load(Ordering::SeqCst) {
+        if shutdown.load(Ordering::SeqCst) {
             return;
         }
         let accepted: io::Result<Box<dyn Conn>> = match listener {
-            Listener::Tcp(l) => l.accept().map(|(s, _)| Box::new(s) as Box<dyn Conn>),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                // One-line requests/responses: Nagle + delayed ACK would
+                // add ~40ms per hop to every exchange.
+                let _ = s.set_nodelay(true);
+                Box::new(s) as Box<dyn Conn>
+            }),
             Listener::Unix(l) => l.accept().map(|(s, _)| Box::new(s) as Box<dyn Conn>),
         };
         match accepted {
             Ok(conn) => {
-                let state = Arc::clone(state);
+                let handler = Arc::clone(handler);
                 let _ = std::thread::Builder::new()
                     .name("taj-conn".to_string())
-                    .spawn(move || handle_conn(conn, &state));
+                    .spawn(move || handle_conn(conn, &handler));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -265,7 +318,7 @@ fn accept_loop(listener: &Listener, state: &Arc<ServiceState>) {
 }
 
 /// Minimal duplex-stream abstraction over TCP and Unix sockets.
-trait Conn: Read + Write + Send {
+pub(crate) trait Conn: Read + Write + Send {
     fn reader(&self) -> io::Result<Box<dyn Read + Send>>;
 }
 
@@ -281,14 +334,14 @@ impl Conn for UnixStream {
     }
 }
 
-fn handle_conn(mut conn: Box<dyn Conn>, state: &Arc<ServiceState>) {
+fn handle_conn(mut conn: Box<dyn Conn>, handler: &LineHandler) {
     let Ok(read_half) = conn.reader() else { return };
     let mut lines = BufReader::new(read_half).lines();
     while let Some(Ok(line)) = lines.next() {
         if line.trim().is_empty() {
             continue;
         }
-        let (response, close_after) = handle_line(&line, state);
+        let (response, close_after) = handler(&line);
         if conn.write_all(response.as_bytes()).is_err() || conn.write_all(b"\n").is_err() {
             return;
         }
@@ -324,9 +377,7 @@ fn handle_line(line: &str, state: &Arc<ServiceState>) -> (String, bool) {
             // Echo the client's trace id, or mint one; either way every
             // analyze response (success or error) carries it in the
             // envelope, never in the cacheable result bytes.
-            let trace_id = req.trace_id.clone().unwrap_or_else(|| {
-                format!("taj-{:016x}", state.trace_seq.fetch_add(1, Ordering::SeqCst) + 1)
-            });
+            let trace_id = req.trace_id.clone().unwrap_or_else(|| mint_trace_id(state));
             let timeout_ms = req.timeout_ms.or(state.default_timeout_ms);
             let outcome = dispatch(state, timeout_ms, {
                 let state = Arc::clone(state);
@@ -342,6 +393,10 @@ fn handle_line(line: &str, state: &Arc<ServiceState>) -> (String, bool) {
                     (err_response_traced(&id, &trace_id, code, &msg), false)
                 }
             };
+        }
+        Command::Batch(batch) => {
+            state.counters.batch_requests.fetch_add(1, Ordering::SeqCst);
+            return (ok_response_raw(&id, &run_batch(state, batch)), false);
         }
         Command::DebugSleep { ms, timeout_ms } => {
             let timeout_ms = timeout_ms.or(state.default_timeout_ms);
@@ -376,6 +431,28 @@ fn dispatch<F>(
     timeout_ms: Option<u64>,
     work: F,
 ) -> Result<String, ProtocolError>
+where
+    F: FnOnce(&Supervisor) -> Result<String, ProtocolError> + Send + 'static,
+{
+    await_job(submit_job(state, timeout_ms, work)?)
+}
+
+/// A job submitted to the pool but not yet collected. Splitting
+/// submission from collection lets `batch` push every item into the pool
+/// before waiting on any of them, so items run concurrently while the
+/// envelope is still assembled in order.
+struct PendingJob {
+    rx: std::sync::mpsc::Receiver<Result<String, ProtocolError>>,
+    supervisor: Supervisor,
+    timeout_ms: Option<u64>,
+    submitted: Instant,
+}
+
+fn submit_job<F>(
+    state: &Arc<ServiceState>,
+    timeout_ms: Option<u64>,
+    work: F,
+) -> Result<PendingJob, ProtocolError>
 where
     F: FnOnce(&Supervisor) -> Result<String, ProtocolError> + Send + 'static,
 {
@@ -416,19 +493,29 @@ where
             None => return Err((ErrorCode::ShuttingDown, "daemon is draining".to_string())),
         }
     }
-    let received = match timeout_ms {
-        Some(ms) => rx.recv_timeout(Duration::from_millis(ms)),
-        None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+    Ok(PendingJob { rx, supervisor, timeout_ms, submitted })
+}
+
+fn await_job(pending: PendingJob) -> Result<String, ProtocolError> {
+    // The deadline is measured from submission, so a batch that collects
+    // items one by one does not grant later items extra time.
+    let received = match pending.timeout_ms {
+        Some(ms) => {
+            let deadline = pending.submitted + Duration::from_millis(ms);
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            pending.rx.recv_timeout(remaining)
+        }
+        None => pending.rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
     };
     match received {
         Ok(result) => result,
         Err(RecvTimeoutError::Timeout) => {
             // Nobody is listening for the result any more: tell the job
             // to stop so its worker is reclaimed instead of leaked.
-            supervisor.cancel();
+            pending.supervisor.cancel();
             Err((
                 ErrorCode::Timeout,
-                format!("request exceeded its {}ms deadline", timeout_ms.unwrap_or(0)),
+                format!("request exceeded its {}ms deadline", pending.timeout_ms.unwrap_or(0)),
             ))
         }
         // The job dropped its sender without replying: the closure itself
@@ -438,6 +525,67 @@ where
             Err((ErrorCode::WorkerPanic, "analysis worker panicked".to_string()))
         }
     }
+}
+
+fn mint_trace_id(state: &Arc<ServiceState>) -> String {
+    format!("taj-{:016x}", state.trace_seq.fetch_add(1, Ordering::SeqCst) + 1)
+}
+
+/// Executes a `batch` envelope: every well-formed item is submitted to
+/// the pool up front, so items run concurrently up to the pool size, and
+/// results are collected in item order so the response array lines up
+/// with the request array. Per-item failures — parse errors, analysis
+/// errors, deadlines — land in that item's slot; they never fail the
+/// envelope.
+fn run_batch(state: &Arc<ServiceState>, batch: BatchRequest) -> String {
+    enum Slot {
+        Pending { trace_id: String, job: PendingJob },
+        Done(String),
+    }
+    let envelope_timeout = batch.timeout_ms;
+    let mut slots = Vec::with_capacity(batch.items.len());
+    for item in batch.items {
+        match item {
+            Ok(req) => {
+                state.counters.analyze_requests.fetch_add(1, Ordering::SeqCst);
+                let trace_id = req.trace_id.clone().unwrap_or_else(|| mint_trace_id(state));
+                let timeout_ms = req.timeout_ms.or(envelope_timeout).or(state.default_timeout_ms);
+                let job = submit_job(state, timeout_ms, {
+                    let state = Arc::clone(state);
+                    move |sup: &Supervisor| run_analyze(&state, &req, sup)
+                });
+                match job {
+                    Ok(job) => slots.push(Slot::Pending { trace_id, job }),
+                    Err((code, msg)) => {
+                        state.counters.errors.fetch_add(1, Ordering::SeqCst);
+                        slots.push(Slot::Done(batch_item_err(&trace_id, code, &msg)));
+                    }
+                }
+            }
+            Err((code, msg)) => {
+                state.counters.errors.fetch_add(1, Ordering::SeqCst);
+                let trace_id = mint_trace_id(state);
+                slots.push(Slot::Done(batch_item_err(&trace_id, code, &msg)));
+            }
+        }
+    }
+    let mut rendered = Vec::with_capacity(slots.len());
+    for slot in slots {
+        rendered.push(match slot {
+            Slot::Done(s) => s,
+            Slot::Pending { trace_id, job } => match await_job(job) {
+                Ok(raw) => batch_item_ok(&trace_id, &raw),
+                Err((code, msg)) => {
+                    state.counters.errors.fetch_add(1, Ordering::SeqCst);
+                    if code == ErrorCode::Timeout {
+                        state.counters.timeouts.fetch_add(1, Ordering::SeqCst);
+                    }
+                    batch_item_err(&trace_id, code, &msg)
+                }
+            },
+        });
+    }
+    batch_result_raw(&rendered)
 }
 
 /// The `debug_sleep` job body: sleeps in short cancellation-aware chunks
@@ -496,6 +644,25 @@ fn run_analyze(
     let cached_report = lock_cache(state)?.get(&report_key);
     if let Some(Artifact::Report(cached)) = cached_report {
         return Ok((*cached).clone());
+    }
+
+    // Durable tier: a disk hit bypasses the whole pipeline, exactly like
+    // an in-memory report hit, and is promoted into the memory cache so
+    // repeats stay off the disk too.
+    let disk_key = format!(
+        "report:{src:032x}:{rules_hash:032x}:{}:{:?}:{}",
+        config.name, req.format, req.degrade
+    );
+    if let Some(store) = &state.store {
+        if let Some(serialized) = store.get(&disk_key) {
+            let bytes = serialized.len();
+            lock_cache(state)?.insert(
+                report_key,
+                Artifact::Report(Arc::new(serialized.clone())),
+                bytes,
+            );
+            return Ok(serialized);
+        }
     }
 
     // Prepared program (parse + modeling + SSA).
@@ -587,11 +754,20 @@ fn run_analyze(
         || report.degradation.steps.iter().all(|s| s.reason.contains("budget"));
     if deterministic {
         let bytes = serialized.len();
-        lock_cache(state)?.insert(
-            report_key,
-            Artifact::Report(Arc::new(serialized.clone())),
-            bytes,
-        );
+        // Identical requests can race to this point (e.g. a batch
+        // carrying the same program twice): both miss the report cache,
+        // both compute, and their timing fields differ. First writer
+        // wins — the loser returns the winner's bytes so repeats stay
+        // byte-identical regardless of interleaving.
+        let mut cache = lock_cache(state)?;
+        if let Some(Artifact::Report(existing)) = cache.peek(&report_key) {
+            return Ok((*existing).clone());
+        }
+        cache.insert(report_key, Artifact::Report(Arc::new(serialized.clone())), bytes);
+        drop(cache);
+        if let Some(store) = &state.store {
+            store.put(&disk_key, &serialized);
+        }
     }
     Ok(serialized)
 }
@@ -602,7 +778,50 @@ fn lock_cache(
     state.cache.lock().map_err(|_| poisoned())
 }
 
-fn configs_value() -> String {
+/// The cache-free analysis pipeline: the same stages (and the same error
+/// mapping) as [`run_analyze`] minus every cache tier. The router's
+/// local failover uses it — a router holds no daemon state, so there is
+/// nothing to cache into.
+pub(crate) fn analyze_uncached(
+    req: &AnalyzeRequest,
+    supervisor: &Supervisor,
+) -> Result<String, ProtocolError> {
+    let config = TajConfig::by_name(&req.config)
+        .ok_or_else(|| (ErrorCode::UnknownConfig, format!("unknown config `{}`", req.config)))?;
+    let rules = match &req.rules {
+        Some(text) => parse_rules(text).map_err(|e| (ErrorCode::BadRules, e.to_string()))?,
+        None => RuleSet::default_rules(),
+    };
+    let prepared = prepare(&req.source, None, rules).map_err(|e| match e {
+        TajError::Parse(p) => (ErrorCode::ParseError, p.to_string()),
+        other => (ErrorCode::ParseError, other.to_string()),
+    })?;
+    let phase1 = run_phase1_supervised(&prepared, &config, supervisor);
+    let opts = RunOptions {
+        supervisor: supervisor.clone(),
+        degrade: req.degrade,
+        threads: req.threads.map_or(0, |n| n as usize),
+        ..RunOptions::default()
+    };
+    let report =
+        analyze_with_phase1_opts(&prepared, &phase1, &config, &opts).map_err(|e| match e {
+            TajError::OutOfMemory { path_edges } => (
+                ErrorCode::OutOfMemory,
+                format!("analysis ran out of memory budget ({path_edges} path edges)"),
+            ),
+            other => (ErrorCode::ParseError, other.to_string()),
+        })?;
+    match req.format {
+        OutputFormat::Report => serde_json::to_string(&report)
+            .map_err(|e| (ErrorCode::BadRequest, format!("serialization failed: {e}"))),
+        OutputFormat::Sarif => taj_core::to_sarif(&report)
+            .and_then(|s| serde_json::from_str(&s))
+            .and_then(|v| serde_json::to_string(&v))
+            .map_err(|e| (ErrorCode::BadRequest, format!("SARIF serialization failed: {e}"))),
+    }
+}
+
+pub(crate) fn configs_value() -> String {
     let mut items = Vec::new();
     for c in TajConfig::all() {
         let mut o = Value::object();
@@ -641,6 +860,7 @@ fn stats_raw(state: &Arc<ServiceState>) -> Result<String, ProtocolError> {
         "analyze_requests",
         Value::UInt(u128::from(c.analyze_requests.load(Ordering::SeqCst))),
     );
+    o.insert("batch_requests", Value::UInt(u128::from(c.batch_requests.load(Ordering::SeqCst))));
     o.insert("errors", Value::UInt(u128::from(c.errors.load(Ordering::SeqCst))));
     o.insert("timeouts", Value::UInt(u128::from(c.timeouts.load(Ordering::SeqCst))));
     o.insert("worker_panics", Value::UInt(u128::from(state.panicked.load(Ordering::SeqCst))));
@@ -662,6 +882,27 @@ fn stats_raw(state: &Arc<ServiceState>) -> Result<String, ProtocolError> {
     tiers_o.insert("phase1", tier_value(&tiers.phase1));
     tiers_o.insert("report", tier_value(&tiers.report));
     o.insert("cache_tiers", tiers_o);
+    let mut store_o = Value::object();
+    match &state.store {
+        Some(store) => {
+            let s = store.stats();
+            store_o.insert("enabled", Value::Bool(true));
+            store_o.insert("hits", Value::UInt(u128::from(s.hits)));
+            store_o.insert("misses", Value::UInt(u128::from(s.misses)));
+            store_o.insert("evictions", Value::UInt(u128::from(s.evictions)));
+            store_o.insert("quarantined", Value::UInt(u128::from(s.quarantined)));
+            store_o.insert("write_errors", Value::UInt(u128::from(s.write_errors)));
+            store_o.insert("bytes_used", Value::UInt(u128::from(s.bytes_used)));
+            store_o.insert("bytes_budget", Value::UInt(u128::from(s.bytes_budget)));
+            store_o.insert("entries", Value::UInt(u128::from(s.entries)));
+            store_o.insert("replayed_entries", Value::UInt(u128::from(s.replayed_entries)));
+            store_o.insert("open_micros", Value::UInt(u128::from(s.open_micros)));
+        }
+        None => {
+            store_o.insert("enabled", Value::Bool(false));
+        }
+    }
+    o.insert("store", store_o);
     serde_json::to_string(&o).map_err(|e| (ErrorCode::BadRequest, e.to_string()))
 }
 
@@ -692,12 +933,17 @@ fn metrics_exposition(state: &Arc<ServiceState>) -> Result<String, ProtocolError
     exp.sample("taj_uptime_seconds", &[], state.started.elapsed().as_secs_f64());
     exp.family("taj_workers", "Worker pool size.", "gauge");
     exp.sample("taj_workers", &[], state.workers as f64);
-    let counters: [(&str, &str, u64); 10] = [
+    let counters: [(&str, &str, u64); 11] = [
         ("taj_requests_total", "Requests received.", c.requests.load(Ordering::SeqCst)),
         (
             "taj_analyze_requests_total",
             "Analyze requests received.",
             c.analyze_requests.load(Ordering::SeqCst),
+        ),
+        (
+            "taj_batch_requests_total",
+            "Batch envelopes received.",
+            c.batch_requests.load(Ordering::SeqCst),
         ),
         ("taj_errors_total", "Requests answered with an error.", c.errors.load(Ordering::SeqCst)),
         (
@@ -736,28 +982,58 @@ fn metrics_exposition(state: &Arc<ServiceState>) -> Result<String, ProtocolError
         exp.family(name, help, "counter");
         exp.sample(name, &[], value as f64);
     }
+    // The disk store joins the cache families as a fourth `tier="disk"`
+    // series; a daemon without a store emits zeros so the exposition
+    // shape is identical either way (scrapers never see families appear
+    // mid-flight).
+    let store = state.store.as_ref().map(|s| s.stats()).unwrap_or_default();
     exp.family("taj_cache_hits_total", "Cache hits, by artifact tier.", "counter");
     for (t, name) in tier_stats {
         exp.sample("taj_cache_hits_total", &[("tier", name)], t.hits as f64);
     }
+    exp.sample("taj_cache_hits_total", &[("tier", "disk")], store.hits as f64);
     exp.family("taj_cache_misses_total", "Cache misses, by artifact tier.", "counter");
     for (t, name) in tier_stats {
         exp.sample("taj_cache_misses_total", &[("tier", name)], t.misses as f64);
     }
+    exp.sample("taj_cache_misses_total", &[("tier", "disk")], store.misses as f64);
     exp.family("taj_cache_evictions_total", "Cache evictions, by artifact tier.", "counter");
     for (t, name) in tier_stats {
         exp.sample("taj_cache_evictions_total", &[("tier", name)], t.evictions as f64);
     }
+    exp.sample("taj_cache_evictions_total", &[("tier", "disk")], store.evictions as f64);
     exp.family("taj_cache_entries", "Live cache entries, by artifact tier.", "gauge");
     for (t, name) in tier_stats {
         exp.sample("taj_cache_entries", &[("tier", name)], t.entries as f64);
     }
+    exp.sample("taj_cache_entries", &[("tier", "disk")], store.entries as f64);
     exp.family("taj_cache_bytes_used", "Estimated cache bytes, by artifact tier.", "gauge");
     for (t, name) in tier_stats {
         exp.sample("taj_cache_bytes_used", &[("tier", name)], t.bytes_used as f64);
     }
+    exp.sample("taj_cache_bytes_used", &[("tier", "disk")], store.bytes_used as f64);
     exp.family("taj_cache_bytes_budget", "Configured cache byte budget.", "gauge");
     exp.sample("taj_cache_bytes_budget", &[], cache.bytes_budget as f64);
+    exp.family("taj_store_enabled", "Whether a persistent store is mounted.", "gauge");
+    exp.sample("taj_store_enabled", &[], if state.store.is_some() { 1.0 } else { 0.0 });
+    exp.family(
+        "taj_store_quarantined_total",
+        "Invalid on-disk entries renamed aside instead of served.",
+        "counter",
+    );
+    exp.sample("taj_store_quarantined_total", &[], store.quarantined as f64);
+    exp.family("taj_store_write_errors_total", "Failed on-disk store writes.", "counter");
+    exp.sample("taj_store_write_errors_total", &[], store.write_errors as f64);
+    exp.family("taj_store_bytes_budget", "Configured on-disk store byte budget.", "gauge");
+    exp.sample("taj_store_bytes_budget", &[], store.bytes_budget as f64);
+    exp.family(
+        "taj_store_replayed_entries",
+        "Entries found by the open-time directory replay.",
+        "gauge",
+    );
+    exp.sample("taj_store_replayed_entries", &[], store.replayed_entries as f64);
+    exp.family("taj_store_open_seconds", "Time the open-time directory replay took.", "gauge");
+    exp.sample("taj_store_open_seconds", &[], store.open_micros as f64 / 1e6);
     exp.histogram(
         "taj_request_queue_wait_seconds",
         "Time dispatched jobs spent queued before a worker picked them up.",

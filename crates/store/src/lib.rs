@@ -1,0 +1,555 @@
+//! # taj-store — persistent on-disk artifact store
+//!
+//! The daemon's in-memory artifact cache dies with the process: every
+//! restart re-analyzes the world. This crate adds the durable tier
+//! below it — a directory of content-addressed files, one per entry,
+//! that multiple daemon processes can share. Phase-1 facts are the
+//! expensive, reusable half of TAJ's pipeline (paper §1, §3); the store
+//! is what lets a fleet of daemons amortize them across restarts and
+//! across processes.
+//!
+//! Design constraints, in order:
+//!
+//! - **Never serve bad bytes.** Every entry carries a header with a
+//!   format version, a writer fingerprint, the logical key, the payload
+//!   length, and a 128-bit FNV checksum. Any mismatch — truncation,
+//!   corruption, a different store version, a different analyzer build,
+//!   a hash collision — is a *miss*: the file is quarantined (renamed
+//!   aside with a `.quarantined` suffix) for post-mortem, never
+//!   returned, and never a panic.
+//! - **Atomic visibility.** Writes go to a temp file in the same
+//!   directory and are published with `rename(2)`, so a reader (in this
+//!   process or another) sees either the complete old entry or the
+//!   complete new one, never a torn write.
+//! - **Bounded footprint.** A byte budget is enforced by evicting the
+//!   oldest-mtime entries (reads bump mtime, making mtime order LRU
+//!   order). Eviction rescans the directory, so budgets hold even when
+//!   several processes write to one store.
+//!
+//! The store is key→string: callers bring their own content addressing
+//! (the daemon keys serialized reports by source/rules/config/format
+//! hashes) and their own fingerprint describing what wrote the entry.
+
+#![warn(missing_docs)]
+
+use std::fs::{self, File};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Instant, SystemTime};
+
+/// On-disk format version; bumped on any incompatible layout change.
+/// A version mismatch quarantines the entry rather than guessing.
+pub const STORE_VERSION: u32 = 1;
+
+const MAGIC: &str = "taj-store";
+const ENTRY_EXT: &str = "taj";
+const QUARANTINE_SUFFIX: &str = "quarantined";
+
+/// 128-bit FNV-1a over arbitrary bytes — the same content address the
+/// in-memory cache uses, so one hashing discipline covers both tiers.
+pub fn content_hash(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Counter snapshot for `stats`/`metrics`: the disk tier's analogue of
+/// the in-memory cache's `TierStats`, plus store-specific health
+/// counters (quarantines, write errors) and the open/replay cost.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StoreStats {
+    /// Lookups answered from a valid on-disk entry.
+    pub hits: u64,
+    /// Lookups that found no entry (or only an invalid one).
+    pub misses: u64,
+    /// Entries removed to keep the byte budget.
+    pub evictions: u64,
+    /// Invalid entries renamed aside instead of served.
+    pub quarantined: u64,
+    /// Failed writes (the store degrades to read-only, never errors out).
+    pub write_errors: u64,
+    /// Estimated bytes currently on disk (exact after each eviction scan).
+    pub bytes_used: u64,
+    /// Configured byte budget.
+    pub bytes_budget: u64,
+    /// Live entries (approximate under multi-process sharing).
+    pub entries: u64,
+    /// Entries found by the open-time directory replay.
+    pub replayed_entries: u64,
+    /// Microseconds spent scanning the directory at open.
+    pub open_micros: u64,
+}
+
+/// The persistent store: a directory of `<keyhash>.taj` files.
+///
+/// `get` is lock-free (filesystem reads only); `put` serializes its
+/// eviction scan behind a mutex. All counters are atomics, so the store
+/// can be shared across threads behind an `Arc` without external
+/// locking.
+pub struct DiskStore {
+    dir: PathBuf,
+    budget: u64,
+    fingerprint: u128,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    quarantined: AtomicU64,
+    write_errors: AtomicU64,
+    bytes_used: AtomicU64,
+    entries: AtomicU64,
+    replayed: u64,
+    open_micros: u64,
+    tmp_seq: AtomicU64,
+    evict_lock: Mutex<()>,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) a store at `dir` bounded at
+    /// `budget_bytes`. `fingerprint` identifies the writer's
+    /// configuration — entries written under a different fingerprint
+    /// are quarantined on read, so an upgraded analyzer never serves a
+    /// stale build's bytes.
+    ///
+    /// The open-time replay scans the directory once to seed the byte
+    /// and entry counters (and to sweep temp files left by a crashed
+    /// writer); its cost is recorded in [`StoreStats::open_micros`].
+    ///
+    /// # Errors
+    /// Propagates directory creation/read failures.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        budget_bytes: u64,
+        fingerprint: u128,
+    ) -> io::Result<DiskStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let started = Instant::now();
+        let mut bytes = 0u64;
+        let mut entries = 0u64;
+        for entry in fs::read_dir(&dir)? {
+            let Ok(entry) = entry else { continue };
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with(".tmp-") {
+                // A crashed writer's unpublished temp file: never valid.
+                let _ = fs::remove_file(entry.path());
+                continue;
+            }
+            if name.ends_with(&format!(".{ENTRY_EXT}")) {
+                if let Ok(meta) = entry.metadata() {
+                    bytes += meta.len();
+                    entries += 1;
+                }
+            }
+        }
+        let open_micros = started.elapsed().as_micros() as u64;
+        Ok(DiskStore {
+            dir,
+            budget: budget_bytes,
+            fingerprint,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            bytes_used: AtomicU64::new(bytes),
+            entries: AtomicU64::new(entries),
+            replayed: entries,
+            open_micros,
+            tmp_seq: AtomicU64::new(0),
+            evict_lock: Mutex::new(()),
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The writer fingerprint entries are stamped with.
+    pub fn fingerprint(&self) -> u128 {
+        self.fingerprint
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{:032x}.{ENTRY_EXT}", content_hash(key.as_bytes())))
+    }
+
+    /// Looks up `key`. A valid entry is a hit (its mtime is bumped so
+    /// eviction treats it as recently used); a missing file is a miss;
+    /// an *invalid* file — truncated, corrupted, version- or
+    /// fingerprint-mismatched, or a key collision — is a miss whose
+    /// file is renamed to `<name>.quarantined` so it can never poison a
+    /// later lookup.
+    pub fn get(&self, key: &str) -> Option<String> {
+        let path = self.entry_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match self.decode(key, &bytes) {
+            Some(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                // Reads refresh mtime so LRU-by-mtime eviction spares hot
+                // entries. Best-effort: a failed touch only skews LRU.
+                if let Ok(f) = File::open(&path) {
+                    let _ = f.set_modified(SystemTime::now());
+                }
+                Some(payload)
+            }
+            None => {
+                self.quarantine(&path, bytes.len() as u64);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Validates one entry's bytes against `key`; `None` means invalid.
+    fn decode(&self, key: &str, bytes: &[u8]) -> Option<String> {
+        let newline = bytes.iter().position(|&b| b == b'\n')?;
+        let header = std::str::from_utf8(&bytes[..newline]).ok()?;
+        let payload = &bytes[newline + 1..];
+        // `key=` is the last field so logical keys may contain spaces.
+        let mut parts = header.splitn(6, ' ');
+        if parts.next() != Some(MAGIC) {
+            return None;
+        }
+        if parts.next() != Some(format!("v{STORE_VERSION}").as_str()) {
+            return None;
+        }
+        let fp = parts.next()?.strip_prefix("fp=")?;
+        if u128::from_str_radix(fp, 16).ok()? != self.fingerprint {
+            return None;
+        }
+        let len: usize = parts.next()?.strip_prefix("len=")?.parse().ok()?;
+        let sum = parts.next()?.strip_prefix("sum=")?;
+        let stored_key = parts.next()?.strip_prefix("key=")?;
+        if stored_key != key || payload.len() != len {
+            return None;
+        }
+        if u128::from_str_radix(sum, 16).ok()? != content_hash(payload) {
+            return None;
+        }
+        String::from_utf8(payload.to_vec()).ok()
+    }
+
+    fn quarantine(&self, path: &Path, len: u64) {
+        let mut aside = path.as_os_str().to_owned();
+        aside.push(format!(".{QUARANTINE_SUFFIX}"));
+        if fs::rename(path, &aside).is_ok() {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+            let _ = self.bytes_used.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                Some(b.saturating_sub(len))
+            });
+            let _ = self
+                .entries
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| Some(n.saturating_sub(1)));
+        }
+    }
+
+    /// Inserts (or replaces) `key` → `payload`, then evicts
+    /// oldest-mtime entries until the byte budget holds (sparing the
+    /// entry just written). Write failures are counted, not propagated:
+    /// a full or read-only disk degrades the store to a cache miss
+    /// machine, never an analysis failure.
+    pub fn put(&self, key: &str, payload: &str) {
+        debug_assert!(!key.contains('\n'), "store keys must be single-line");
+        let path = self.entry_path(key);
+        let header = format!(
+            "{MAGIC} v{STORE_VERSION} fp={:032x} len={} sum={:032x} key={key}\n",
+            self.fingerprint,
+            payload.len(),
+            content_hash(payload.as_bytes()),
+        );
+        let mut bytes = Vec::with_capacity(header.len() + payload.len());
+        bytes.extend_from_slice(header.as_bytes());
+        bytes.extend_from_slice(payload.as_bytes());
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let old_len = fs::metadata(&path).map(|m| m.len()).ok();
+        let published = fs::write(&tmp, &bytes).and_then(|()| fs::rename(&tmp, &path));
+        if let Err(_e) = published {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = fs::remove_file(&tmp);
+            return;
+        }
+        match old_len {
+            Some(old) => {
+                let _ = self.bytes_used.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                    Some(b.saturating_sub(old))
+                });
+            }
+            None => {
+                self.entries.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.bytes_used.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        if self.bytes_used.load(Ordering::Relaxed) > self.budget {
+            self.evict(&path);
+        }
+    }
+
+    /// Walks the directory, recomputes exact usage (healing any drift
+    /// from sibling processes), and removes oldest-mtime entries until
+    /// the budget holds. `keep` — the entry just written — is never a
+    /// victim, so one oversized artifact still persists.
+    fn evict(&self, keep: &Path) {
+        let Ok(_guard) = self.evict_lock.lock() else { return };
+        let Ok(dir) = fs::read_dir(&self.dir) else { return };
+        let mut files: Vec<(PathBuf, SystemTime, u64)> = Vec::new();
+        for entry in dir.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(ENTRY_EXT) {
+                continue;
+            }
+            if let Ok(meta) = entry.metadata() {
+                files.push((path, meta.modified().unwrap_or(SystemTime::UNIX_EPOCH), meta.len()));
+            }
+        }
+        let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
+        self.entries.store(files.len() as u64, Ordering::Relaxed);
+        files.sort_by_key(|(_, mtime, _)| *mtime);
+        for (path, _, len) in &files {
+            if total <= self.budget {
+                break;
+            }
+            if path == keep {
+                continue;
+            }
+            if fs::remove_file(path).is_ok() {
+                total -= len;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                let _ = self.entries.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                    Some(n.saturating_sub(1))
+                });
+            }
+        }
+        self.bytes_used.store(total, Ordering::Relaxed);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+            bytes_used: self.bytes_used.load(Ordering::Relaxed),
+            bytes_budget: self.budget,
+            entries: self.entries.load(Ordering::Relaxed),
+            replayed_entries: self.replayed,
+            open_micros: self.open_micros,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "taj-store-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn entry_file(store: &DiskStore, key: &str) -> PathBuf {
+        store.entry_path(key)
+    }
+
+    #[test]
+    fn round_trips_and_counts() {
+        let dir = temp_dir("roundtrip");
+        let store = DiskStore::open(&dir, 1 << 20, 42).unwrap();
+        assert_eq!(store.get("report:a"), None);
+        store.put("report:a", "{\"x\":1}");
+        assert_eq!(store.get("report:a").as_deref(), Some("{\"x\":1}"));
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.quarantined), (1, 1, 0));
+        assert_eq!(s.entries, 1);
+        assert!(s.bytes_used > 0);
+        // Replacement keeps one entry and reflects the new size.
+        store.put("report:a", "{\"x\":2}");
+        assert_eq!(store.get("report:a").as_deref(), Some("{\"x\":2}"));
+        assert_eq!(store.stats().entries, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_with_spaces_round_trip() {
+        let dir = temp_dir("spaces");
+        let store = DiskStore::open(&dir, 1 << 20, 1).unwrap();
+        let key = "report:deadbeef:My Config Name:sarif";
+        store.put(key, "payload");
+        assert_eq!(store.get(key).as_deref(), Some("payload"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_replays_entries_and_serves_them() {
+        let dir = temp_dir("reopen");
+        {
+            let store = DiskStore::open(&dir, 1 << 20, 7).unwrap();
+            store.put("k1", "v1");
+            store.put("k2", "v2");
+        }
+        let store = DiskStore::open(&dir, 1 << 20, 7).unwrap();
+        let s = store.stats();
+        assert_eq!(s.replayed_entries, 2);
+        assert_eq!(s.entries, 2);
+        assert!(s.bytes_used > 0);
+        assert_eq!(store.get("k1").as_deref(), Some("v1"));
+        assert_eq!(store.get("k2").as_deref(), Some("v2"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entry_is_quarantined_not_served() {
+        let dir = temp_dir("truncate");
+        let store = DiskStore::open(&dir, 1 << 20, 7).unwrap();
+        store.put("k", "a long payload that will be cut short");
+        let path = entry_file(&store, "k");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert_eq!(store.get("k"), None, "truncated entry must miss");
+        let s = store.stats();
+        assert_eq!(s.quarantined, 1);
+        assert!(!path.exists(), "invalid entry renamed aside");
+        let aside = dir.join(format!(
+            "{}.{}",
+            path.file_name().unwrap().to_string_lossy(),
+            QUARANTINE_SUFFIX
+        ));
+        assert!(aside.exists(), "quarantine file kept for post-mortem");
+        // A later lookup is a clean miss, and the slot is writable again.
+        assert_eq!(store.get("k"), None);
+        store.put("k", "fresh");
+        assert_eq!(store.get("k").as_deref(), Some("fresh"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_payload_is_quarantined() {
+        let dir = temp_dir("corrupt");
+        let store = DiskStore::open(&dir, 1 << 20, 7).unwrap();
+        store.put("k", "payload-bytes");
+        let path = entry_file(&store, "k");
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff; // flip one payload byte: checksum must catch it
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(store.get("k"), None);
+        assert_eq!(store.stats().quarantined, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_quarantined() {
+        let dir = temp_dir("fingerprint");
+        {
+            let old = DiskStore::open(&dir, 1 << 20, 1).unwrap();
+            old.put("k", "written by an old build");
+        }
+        let new = DiskStore::open(&dir, 1 << 20, 2).unwrap();
+        assert_eq!(new.get("k"), None, "other fingerprint must not be served");
+        assert_eq!(new.stats().quarantined, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_file_is_quarantined_without_panic() {
+        let dir = temp_dir("garbage");
+        let store = DiskStore::open(&dir, 1 << 20, 7).unwrap();
+        let path = entry_file(&store, "k");
+        fs::write(&path, b"\xff\xfe not a store entry at all").unwrap();
+        assert_eq!(store.get("k"), None);
+        assert_eq!(store.stats().quarantined, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evicts_oldest_mtime_first_and_spares_the_new_entry() {
+        let dir = temp_dir("evict");
+        // Each entry is ~215 bytes (header + 100-byte payload): the
+        // budget fits two entries but not three.
+        let payload = "x".repeat(100);
+        let store = DiskStore::open(&dir, 460, 7).unwrap();
+        store.put("old", &payload);
+        store.put("mid", &payload);
+        // Backdate "mid" *below* "old", then make "old" the LRU victim's
+        // peer: explicit mtimes beat sleeping for clock granularity.
+        let now = SystemTime::now();
+        File::open(entry_file(&store, "old"))
+            .unwrap()
+            .set_modified(now - Duration::from_secs(100))
+            .unwrap();
+        File::open(entry_file(&store, "mid"))
+            .unwrap()
+            .set_modified(now - Duration::from_secs(50))
+            .unwrap();
+        store.put("new", &payload);
+        let s = store.stats();
+        assert!(s.evictions >= 1, "{s:?}");
+        assert!(s.bytes_used <= 460, "{s:?}");
+        assert_eq!(store.get("old"), None, "oldest mtime evicted first");
+        assert_eq!(store.get("new").as_deref(), Some(payload.as_str()), "new entry spared");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_entry_still_persists() {
+        let dir = temp_dir("oversized");
+        let store = DiskStore::open(&dir, 10, 7).unwrap();
+        store.put("big", "a payload far beyond the ten-byte budget");
+        assert_eq!(
+            store.get("big").as_deref(),
+            Some("a payload far beyond the ten-byte budget"),
+            "the just-written entry is never its own victim"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_stale_tmp_files() {
+        let dir = temp_dir("tmpsweep");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(".tmp-999-0"), b"half a write").unwrap();
+        let store = DiskStore::open(&dir, 1 << 20, 7).unwrap();
+        assert!(!dir.join(".tmp-999-0").exists(), "crashed writer's tmp swept");
+        assert_eq!(store.stats().replayed_entries, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn two_stores_share_one_directory() {
+        // Two handles on one dir model two daemon processes: a write
+        // through one is immediately a valid hit through the other.
+        let dir = temp_dir("shared");
+        let a = DiskStore::open(&dir, 1 << 20, 7).unwrap();
+        let b = DiskStore::open(&dir, 1 << 20, 7).unwrap();
+        a.put("k", "written by A");
+        assert_eq!(b.get("k").as_deref(), Some("written by A"));
+        assert_eq!(b.stats().hits, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -6,8 +6,11 @@
 //! taj configs
 //! taj demo
 //! taj serve [--socket PATH | --tcp ADDR] [--workers N] [--cache-mb N] [--timeout-ms N]
+//!           [--store-dir DIR] [--store-mb N]
+//! taj router (--socket PATH | --tcp ADDR) --shard ADDR [--shard ADDR ...] [--timeout-ms N]
 //! taj client (--socket PATH | --tcp ADDR) analyze <file.jweb> [--config NAME] [--sarif]
 //!            [--timeout-ms N] [--degrade] [--threads N]
+//! taj client (--socket PATH | --tcp ADDR) analyze --batch <file.jweb> [<file.jweb> ...]
 //! taj client (--socket PATH | --tcp ADDR) configs|stats|metrics|shutdown
 //! ```
 //!
@@ -21,7 +24,7 @@ use std::time::Duration;
 
 use taj::core::{analyze_source_opts, RuleSet, RunOptions, Supervisor, TajConfig, TajError};
 use taj::obs::Recorder;
-use taj::service::{AnalyzeOpts, Bind, Client, ServeOptions};
+use taj::service::{AnalyzeOpts, Bind, Client, RouterOptions, ServeOptions};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +53,7 @@ fn main() -> ExitCode {
             Err(e) => usage_error(&e),
         },
         Some("serve") => serve_cmd(&args[1..]),
+        Some("router") => router_cmd(&args[1..]),
         Some("client") => client_cmd(&args[1..]),
         _ => {
             eprintln!(
@@ -58,10 +62,16 @@ fn main() -> ExitCode {
             eprintln!("       taj configs          list configuration names");
             eprintln!("       taj demo             analyze the paper's Figure 1 program");
             eprintln!(
-                "       taj serve [--socket PATH | --tcp ADDR] [--workers N] [--cache-mb N] [--timeout-ms N] [--debug]"
+                "       taj serve [--socket PATH | --tcp ADDR] [--workers N] [--cache-mb N] [--timeout-ms N] [--store-dir DIR] [--store-mb N] [--debug]"
+            );
+            eprintln!(
+                "       taj router (--socket PATH | --tcp ADDR) --shard ADDR [--shard ADDR ...] [--timeout-ms N]"
             );
             eprintln!(
                 "       taj client (--socket PATH | --tcp ADDR) analyze <file.jweb> [--config NAME] [--rules FILE] [--sarif] [--timeout-ms N] [--degrade] [--threads N]"
+            );
+            eprintln!(
+                "       taj client (--socket PATH | --tcp ADDR) analyze --batch <file.jweb> [<file.jweb> ...]"
             );
             eprintln!(
                 "       taj client (--socket PATH | --tcp ADDR) configs|stats|metrics|shutdown"
@@ -100,6 +110,12 @@ impl Parsed {
 
     fn value(&self, name: &str) -> Option<&str> {
         self.values.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Every occurrence of a repeatable value flag, in order (e.g. the
+    /// router's `--shard A --shard B`).
+    fn values(&self, name: &str) -> Vec<&str> {
+        self.values.iter().filter(|(n, _)| *n == name).map(|(_, v)| v.as_str()).collect()
     }
 }
 
@@ -251,6 +267,8 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         opt("workers"),
         opt("cache-mb"),
         opt("timeout-ms"),
+        opt("store-dir"),
+        opt("store-mb"),
         flag("debug"),
     ];
     let parsed = match parse_args(args, SPEC, 0) {
@@ -271,6 +289,10 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         Ok(n) => n,
         Err(code) => return code,
     };
+    let store_mb = match parse_num(&parsed, "store-mb", 256) {
+        Ok(n) => n,
+        Err(code) => return code,
+    };
     let timeout_ms = match parsed.value("timeout-ms") {
         Some(v) => match v.parse::<u64>() {
             Ok(n) => Some(n),
@@ -284,6 +306,8 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         cache_bytes: (cache_mb as usize) << 20,
         default_timeout_ms: timeout_ms,
         debug: parsed.has("debug"),
+        store_dir: parsed.value("store-dir").map(std::path::PathBuf::from),
+        store_bytes: store_mb << 20,
     };
     match taj::service::serve(options) {
         Ok(handle) => {
@@ -294,6 +318,44 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: cannot start server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn router_cmd(args: &[String]) -> ExitCode {
+    const SPEC: &[FlagSpec] = &[opt("socket"), opt("tcp"), opt("shard"), opt("timeout-ms")];
+    let parsed = match parse_args(args, SPEC, 0) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    let bind = match (parsed.value("socket"), parsed.value("tcp")) {
+        (Some(_), Some(_)) => return usage_error("`--socket` and `--tcp` are mutually exclusive"),
+        (Some(path), None) => Bind::Unix(path.into()),
+        (None, Some(addr)) => Bind::Tcp(addr.to_string()),
+        (None, None) => Bind::Tcp("127.0.0.1:7410".to_string()),
+    };
+    let shards: Vec<String> = parsed.values("shard").into_iter().map(str::to_string).collect();
+    if shards.is_empty() {
+        return usage_error("`taj router` needs at least one `--shard ADDR`");
+    }
+    let timeout_ms = match parsed.value("timeout-ms") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => return usage_error("`--timeout-ms` must be a non-negative integer"),
+        },
+        None => None,
+    };
+    let options = RouterOptions { bind, shards, default_timeout_ms: timeout_ms };
+    match taj::service::route(options) {
+        Ok(handle) => {
+            println!("taj-router listening on {}", handle.addr());
+            handle.join(); // runs until a `shutdown` request
+            println!("taj-router stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot start router: {e}");
             ExitCode::FAILURE
         }
     }
@@ -319,8 +381,11 @@ fn client_cmd(args: &[String]) -> ExitCode {
         opt("timeout-ms"),
         flag("degrade"),
         opt("threads"),
+        flag("batch"),
     ];
-    let parsed = match parse_args(args, SPEC, 2) {
+    // `analyze --batch` takes many input files; every other command is
+    // validated to its own arity below.
+    let parsed = match parse_args(args, SPEC, 1 + taj::service::MAX_BATCH_ITEMS) {
         Ok(p) => p,
         Err(e) => return usage_error(&e),
     };
@@ -342,14 +407,15 @@ fn client_cmd(args: &[String]) -> ExitCode {
         },
         (None, None) => return usage_error("`taj client` needs `--socket PATH` or `--tcp ADDR`"),
     };
+    if parsed.positionals.first().map(String::as_str) != Some("analyze")
+        && parsed.positionals.len() > 1
+    {
+        return usage_error("only `taj client analyze` takes file arguments");
+    }
     let result = match parsed.positionals.first().map(String::as_str) {
         Some("analyze") => {
             let Some(path) = parsed.positionals.get(1) else {
                 return usage_error("missing input file for `taj client analyze`");
-            };
-            let source = match read_file(path, "input") {
-                Ok(s) => s,
-                Err(code) => return code,
             };
             let rules = match parsed.value("rules") {
                 Some(p) => match read_file(p, "rules file") {
@@ -378,10 +444,47 @@ fn client_cmd(args: &[String]) -> ExitCode {
                 config: parsed.value("config").map(str::to_string),
                 rules,
                 sarif: parsed.has("sarif"),
-                timeout_ms,
+                timeout_ms: if parsed.has("batch") { None } else { timeout_ms },
                 degrade: parsed.has("degrade"),
                 threads,
                 trace_id: None,
+            };
+            if parsed.has("batch") {
+                // One envelope, one response: every input file becomes an
+                // item sharing the command-line options; `--timeout-ms`
+                // becomes the envelope-wide deadline.
+                let mut items = Vec::new();
+                for path in &parsed.positionals[1..] {
+                    match read_file(path, "input") {
+                        Ok(source) => items.push((source, opts.clone())),
+                        Err(code) => return code,
+                    }
+                }
+                return match client.batch(&items, timeout_ms) {
+                    Ok(value) => {
+                        match serde_json::to_string_pretty(&value) {
+                            Ok(s) => println!("{s}"),
+                            Err(e) => {
+                                eprintln!("error: cannot render response: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                        batch_exit_code(&value)
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
+            if parsed.positionals.len() > 2 {
+                return usage_error(
+                    "multiple input files need `--batch` (taj client analyze --batch f1 f2 ...)",
+                );
+            }
+            let source = match read_file(path, "input") {
+                Ok(s) => s,
+                Err(code) => return code,
             };
             client.analyze(&source, &opts)
         }
@@ -426,6 +529,31 @@ fn client_cmd(args: &[String]) -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Exit code for a batch response: 2 when any item's report carries
+/// findings (mirroring single `analyze`), 1 when any item failed, 0
+/// otherwise.
+fn batch_exit_code(value: &serde::Value) -> ExitCode {
+    let Some(serde::Value::Array(items)) = value.get("items") else {
+        return ExitCode::FAILURE;
+    };
+    let mut findings = false;
+    for item in items {
+        if item.get("ok").and_then(serde::Value::as_bool) != Some(true) {
+            return ExitCode::FAILURE;
+        }
+        if let Some(f) = item.get("result").and_then(|r| r.get("findings")) {
+            if f.as_array().is_some_and(|a| !a.is_empty()) {
+                findings = true;
+            }
+        }
+    }
+    if findings {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

@@ -1,0 +1,212 @@
+//! The persistent artifact store as a daemon-level guarantee: a daemon
+//! restarted on the same store directory answers repeat requests
+//! byte-identically with **zero** phase-1 re-runs, two daemons sharing a
+//! directory share their work, and invalid on-disk entries are
+//! quarantined (renamed aside) — served never, panicking never.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::Value;
+use taj::service::{serve, Client, ServeOptions};
+
+const XSS_SERVLET: &str = r#"
+    class Page extends HttpServlet {
+        method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+            String name = req.getParameter("name");
+            PrintWriter w = resp.getWriter();
+            w.println(name);
+        }
+    }
+"#;
+
+/// A fresh per-test store directory under the system temp dir.
+fn temp_store(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("taj-store-test-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn store_options(dir: &Path) -> ServeOptions {
+    ServeOptions { workers: 2, store_dir: Some(dir.to_path_buf()), ..ServeOptions::tcp_ephemeral() }
+}
+
+fn start(options: ServeOptions) -> (taj::service::ServerHandle, Client) {
+    let handle = serve(options).expect("server starts");
+    let client = Client::connect(handle.addr()).expect("client connects");
+    (handle, client)
+}
+
+fn shutdown_and_join(mut client: Client, handle: taj::service::ServerHandle) {
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join();
+}
+
+fn stat(stats: &Value, key: &str) -> u64 {
+    stats[key].as_u64().unwrap_or_else(|| panic!("stats missing `{key}`: {stats:?}"))
+}
+
+/// The fixed request line reused across daemon generations: same id and
+/// trace id each time, so the *entire* response line must match bytes.
+fn fixed_request() -> String {
+    format!(
+        "{{\"id\":7,\"cmd\":\"analyze\",\"source\":{},\"config\":\"hybrid\",\"trace_id\":\"t-7\"}}",
+        serde_json::to_string(&Value::String(XSS_SERVLET.to_string())).unwrap()
+    )
+}
+
+/// The `.taj` entry files currently in a store directory.
+fn entry_files(dir: &Path) -> Vec<PathBuf> {
+    fs::read_dir(dir)
+        .expect("store dir exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "taj"))
+        .collect()
+}
+
+#[test]
+fn restart_on_same_store_dir_serves_from_disk_with_zero_phase1_runs() {
+    let dir = temp_store("restart");
+    let req = fixed_request();
+
+    let (handle, mut client) = start(store_options(&dir));
+    let first = client.request_raw(&req).expect("cold analyze");
+    assert!(first.contains("\"ok\":true"), "{first}");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat(&stats, "phase1_runs"), 1);
+    assert_eq!(stat(&stats["store"], "misses"), 1, "cold lookup misses the disk: {stats:?}");
+    shutdown_and_join(client, handle);
+    assert_eq!(entry_files(&dir).len(), 1, "shutdown leaves the entry on disk");
+
+    // A brand-new daemon on the same directory: memory caches are empty,
+    // the disk tier is not.
+    let (handle, mut client) = start(store_options(&dir));
+    let second = client.request_raw(&req).expect("warm analyze");
+    assert_eq!(first, second, "disk-served repeat must be byte-identical");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat(&stats, "phase1_runs"), 0, "restart must not re-run phase 1: {stats:?}");
+    assert_eq!(stat(&stats, "prepare_runs"), 0, "nor prepare");
+    assert_eq!(stat(&stats, "phase2_runs"), 0, "nor phase 2");
+    assert_eq!(stat(&stats["store"], "hits"), 1);
+    assert_eq!(stat(&stats["store"], "replayed_entries"), 1, "open replay saw the entry");
+
+    // A repeat within the new daemon is a memory hit, not a second disk
+    // read: the disk hit was promoted into the report tier.
+    let third = client.request_raw(&req).expect("promoted analyze");
+    assert_eq!(second, third);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat(&stats["store"], "hits"), 1, "promotion keeps repeats off the disk");
+    shutdown_and_join(client, handle);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn two_daemons_share_one_store_directory() {
+    let dir = temp_store("shared");
+    let req = fixed_request();
+
+    // Both daemons run concurrently against one directory.
+    let (handle_a, mut client_a) = start(store_options(&dir));
+    let (handle_b, mut client_b) = start(store_options(&dir));
+
+    let from_a = client_a.request_raw(&req).expect("analyze on daemon A");
+    let from_b = client_b.request_raw(&req).expect("analyze on daemon B");
+    assert_eq!(from_a, from_b, "daemon B serves daemon A's bytes");
+
+    let stats_b = client_b.stats().expect("stats B");
+    assert_eq!(stat(&stats_b, "phase1_runs"), 0, "B found A's entry on disk: {stats_b:?}");
+    assert_eq!(stat(&stats_b["store"], "hits"), 1);
+
+    shutdown_and_join(client_a, handle_a);
+    shutdown_and_join(client_b, handle_b);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Corrupts the single store entry with `mutate`, restarts a daemon on
+/// the directory, and asserts the repeat request is recomputed (not
+/// served from the bad entry), the entry is quarantined, and nothing
+/// panics.
+fn corruption_case(name: &str, mutate: impl FnOnce(&Path)) {
+    let dir = temp_store(name);
+    let req = fixed_request();
+
+    let (handle, mut client) = start(store_options(&dir));
+    let first = client.request_raw(&req).expect("cold analyze");
+    shutdown_and_join(client, handle);
+    let entries = entry_files(&dir);
+    assert_eq!(entries.len(), 1);
+    mutate(&entries[0]);
+
+    let (handle, mut client) = start(store_options(&dir));
+    let second = client.request_raw(&req).expect("analyze after corruption");
+    assert_eq!(first, second, "recomputed answer must match the original");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat(&stats, "phase1_runs"), 1, "corrupt entry forces a real run: {stats:?}");
+    assert_eq!(stat(&stats["store"], "hits"), 0);
+    assert!(stat(&stats["store"], "quarantined") >= 1, "{stats:?}");
+    let quarantined = fs::read_dir(&dir)
+        .expect("store dir")
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "quarantined"))
+        .count();
+    assert!(quarantined >= 1, "bad entry renamed aside, not deleted or served");
+    shutdown_and_join(client, handle);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_entry_is_quarantined_not_served() {
+    corruption_case("truncate", |path| {
+        let bytes = fs::read(path).expect("read entry");
+        fs::write(path, &bytes[..bytes.len() / 2]).expect("truncate entry");
+    });
+}
+
+#[test]
+fn bit_flipped_payload_is_quarantined_not_served() {
+    corruption_case("bitflip", |path| {
+        let mut bytes = fs::read(path).expect("read entry");
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x20; // flip a payload character, length unchanged
+        fs::write(path, &bytes).expect("rewrite entry");
+    });
+}
+
+#[test]
+fn version_mismatched_entry_is_quarantined_not_served() {
+    corruption_case("version", |path| {
+        let text = fs::read_to_string(path).expect("read entry");
+        let bumped = text.replacen("taj-store v1 ", "taj-store v999 ", 1);
+        assert_ne!(text, bumped, "header must carry the version");
+        fs::write(path, bumped).expect("rewrite entry");
+    });
+}
+
+#[test]
+fn fingerprint_mismatched_entry_is_quarantined_not_served() {
+    corruption_case("fingerprint", |path| {
+        let text = fs::read_to_string(path).expect("read entry");
+        let fp_start = text.find("fp=").expect("header carries fp") + 3;
+        let mut bytes = text.into_bytes();
+        // Rewrite the 32-hex-digit fingerprint in place: same length,
+        // different writer identity.
+        for b in &mut bytes[fp_start..fp_start + 32] {
+            *b = if *b == b'0' { b'1' } else { b'0' };
+        }
+        fs::write(path, bytes).expect("rewrite entry");
+    });
+}
+
+#[test]
+fn daemon_without_store_reports_it_disabled() {
+    let (handle, mut client) = start(ServeOptions { workers: 2, ..ServeOptions::tcp_ephemeral() });
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats["store"]["enabled"].as_bool(), Some(false), "{stats:?}");
+    // The metrics exposition keeps its shape: the disk tier is present
+    // (zeroed), so dashboards never see series appear mid-flight.
+    let metrics = client.metrics().expect("metrics");
+    assert!(metrics.contains("taj_cache_hits_total{tier=\"disk\"} 0"), "{metrics}");
+    assert!(metrics.contains("taj_store_enabled 0"), "{metrics}");
+    shutdown_and_join(client, handle);
+}
