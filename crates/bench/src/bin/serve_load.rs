@@ -66,6 +66,7 @@ fn start_shards(store_base: &std::path::Path, shards: usize) -> Vec<ShardProc> {
                 debug: false,
                 store_dir: Some(store_dir.clone()),
                 store_bytes: 256 << 20,
+                max_queue: 0,
             };
             let handle = serve(options).expect("start shard");
             let addr = tcp_addr(handle.addr());
@@ -79,6 +80,7 @@ fn start_router(shards: &[ShardProc]) -> (taj_service::RouterHandle, String) {
         bind: Bind::Tcp("127.0.0.1:0".to_string()),
         shards: shards.iter().map(|s| s.addr.clone()).collect(),
         default_timeout_ms: None,
+        tuning: taj_service::RouterTuning::default(),
     };
     let handle = route(options).expect("start router");
     let addr = tcp_addr(handle.addr());

@@ -1,0 +1,284 @@
+//! Per-shard circuit breaker: the closed → open → half-open state
+//! machine that lets the router stop sending traffic to a dead backend
+//! *and* reintegrate it without sacrificing user requests.
+//!
+//! - **Closed**: requests flow. Consecutive forward failures are
+//!   counted; reaching the threshold opens the breaker.
+//! - **Open**: requests fail fast (the router serves them by local
+//!   failover instead). No user request is sent to the shard; after a
+//!   cooldown the background prober starts issuing cheap synthetic
+//!   `configs` pings.
+//! - **HalfOpen**: a probe succeeded, so the shard answers again — but
+//!   one success over a fresh connection is weak evidence. Either a
+//!   second probe success or one successful real forward closes the
+//!   breaker; any failure reopens it and restarts the cooldown.
+//!
+//! The machine is a plain mutex-guarded struct driven by explicit
+//! `on_*` events, so it is unit-testable without sockets or threads.
+//! Timing is injected through `Instant` arguments where it matters
+//! (cooldown), keeping tests deterministic.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker position, reported in router `stats` and the
+/// `taj_router_shard_state` metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow, failures are counted.
+    Closed,
+    /// Tripped: requests fail fast; probes only after the cooldown.
+    Open,
+    /// Probation: one probe succeeded; the next success closes, the
+    /// next failure reopens.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable string form used in stats and metric labels.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    /// All states, for one-hot metric emission.
+    pub fn all() -> [BreakerState; 3] {
+        [BreakerState::Closed, BreakerState::Open, BreakerState::HalfOpen]
+    }
+}
+
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// When the breaker last opened (drives the probe cooldown).
+    opened_at: Option<Instant>,
+}
+
+/// A thread-safe circuit breaker.
+pub struct Breaker {
+    inner: Mutex<Inner>,
+    /// Consecutive failures that trip Closed → Open.
+    threshold: u32,
+    /// How long an open breaker rests before probes may test the shard.
+    cooldown: Duration,
+}
+
+impl Breaker {
+    /// A closed breaker tripping after `threshold` consecutive failures
+    /// and allowing probes `cooldown` after opening.
+    pub fn new(threshold: u32, cooldown: Duration) -> Breaker {
+        Breaker {
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+            }),
+            threshold: threshold.max(1),
+            cooldown,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.lock().state
+    }
+
+    /// Whether a user request may be sent to the shard right now.
+    /// Closed and HalfOpen allow traffic; Open fails fast.
+    pub fn allows_request(&self) -> bool {
+        self.lock().state != BreakerState::Open
+    }
+
+    /// A user request forwarded to the shard succeeded. Closes the
+    /// breaker from any state and resets the failure count. Returns
+    /// `true` when this event closed a non-closed breaker (for the
+    /// reintegration counter).
+    pub fn on_success(&self) -> bool {
+        let mut inner = self.lock();
+        inner.consecutive_failures = 0;
+        inner.opened_at = None;
+        let reintegrated = inner.state != BreakerState::Closed;
+        inner.state = BreakerState::Closed;
+        reintegrated
+    }
+
+    /// A user request forwarded to the shard failed (transport-level;
+    /// protocol errors the shard *answered* with do not count). Returns
+    /// `true` when this event opened the breaker.
+    pub fn on_failure(&self, now: Instant) -> bool {
+        let mut inner = self.lock();
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.threshold {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = Some(now);
+                    return true;
+                }
+                false
+            }
+            // Probation failed: straight back to Open, cooldown restarts.
+            BreakerState::HalfOpen => {
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(now);
+                true
+            }
+            BreakerState::Open => {
+                // Late failures from requests already in flight when the
+                // breaker opened; the cooldown clock is not restarted.
+                false
+            }
+        }
+    }
+
+    /// Whether the background prober should ping the shard now: only an
+    /// Open breaker past its cooldown (HalfOpen is also probed, so a
+    /// shard with no user traffic still closes fully).
+    pub fn wants_probe(&self, now: Instant) -> bool {
+        let inner = self.lock();
+        match inner.state {
+            BreakerState::Open => {
+                inner.opened_at.is_none_or(|at| now.duration_since(at) >= self.cooldown)
+            }
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => false,
+        }
+    }
+
+    /// A synthetic probe succeeded. Open → HalfOpen (first evidence);
+    /// HalfOpen → Closed (second consecutive success — the shard is
+    /// back without any user request having been risked). Returns the
+    /// new state.
+    pub fn on_probe_success(&self) -> BreakerState {
+        let mut inner = self.lock();
+        inner.state = match inner.state {
+            BreakerState::Open => BreakerState::HalfOpen,
+            BreakerState::HalfOpen | BreakerState::Closed => {
+                inner.consecutive_failures = 0;
+                inner.opened_at = None;
+                BreakerState::Closed
+            }
+        };
+        inner.state
+    }
+
+    /// A synthetic probe failed: back to (or stay) Open and restart the
+    /// cooldown so the prober backs off a full period before retrying.
+    pub fn on_probe_failure(&self, now: Instant) {
+        let mut inner = self.lock();
+        if inner.state != BreakerState::Closed {
+            inner.state = BreakerState::Open;
+            inner.opened_at = Some(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> Breaker {
+        Breaker::new(3, Duration::from_millis(100))
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let b = breaker();
+        let t0 = Instant::now();
+        assert!(b.allows_request());
+        assert!(!b.on_failure(t0));
+        assert!(!b.on_failure(t0));
+        assert_eq!(b.state(), BreakerState::Closed, "two failures stay closed");
+        assert!(b.on_failure(t0), "third failure opens");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allows_request(), "open breaker fails fast");
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let b = breaker();
+        let t0 = Instant::now();
+        b.on_failure(t0);
+        b.on_failure(t0);
+        b.on_success();
+        b.on_failure(t0);
+        b.on_failure(t0);
+        assert_eq!(b.state(), BreakerState::Closed, "count reset by success");
+    }
+
+    #[test]
+    fn probe_gated_by_cooldown_then_two_successes_close() {
+        let b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        assert!(!b.wants_probe(t0), "no probe inside the cooldown");
+        let after = t0 + Duration::from_millis(150);
+        assert!(b.wants_probe(after), "probe after the cooldown");
+        assert_eq!(b.on_probe_success(), BreakerState::HalfOpen);
+        assert!(b.allows_request(), "half-open lets real traffic through");
+        assert!(b.wants_probe(after), "half-open is still probed");
+        assert_eq!(b.on_probe_success(), BreakerState::Closed);
+        assert!(!b.wants_probe(after), "closed breakers are not probed");
+    }
+
+    #[test]
+    fn half_open_failure_reopens_and_restarts_cooldown() {
+        let b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        let after = t0 + Duration::from_millis(150);
+        b.on_probe_success();
+        assert!(b.on_failure(after), "half-open failure reopens");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.wants_probe(after + Duration::from_millis(50)), "cooldown restarted");
+        assert!(b.wants_probe(after + Duration::from_millis(150)));
+    }
+
+    #[test]
+    fn forward_success_in_half_open_closes() {
+        let b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        b.on_probe_success();
+        assert!(b.on_success(), "reintegration reported");
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(!b.on_success(), "already closed: not a reintegration");
+    }
+
+    #[test]
+    fn late_failures_while_open_do_not_restart_cooldown() {
+        let b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        b.on_failure(t0 + Duration::from_millis(90));
+        assert!(b.wants_probe(t0 + Duration::from_millis(110)), "cooldown from first open");
+    }
+
+    #[test]
+    fn probe_failure_backs_off() {
+        let b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        let after = t0 + Duration::from_millis(150);
+        b.on_probe_failure(after);
+        assert!(!b.wants_probe(after + Duration::from_millis(50)));
+        assert!(b.wants_probe(after + Duration::from_millis(150)));
+    }
+}

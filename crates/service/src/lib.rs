@@ -19,14 +19,19 @@
 //!   `stats`, `shutdown`) and error codes;
 //! - [`cache`] — the content-addressed LRU artifact cache;
 //! - [`pool`] — the MPMC worker pool with per-job panic isolation;
-//! - [`server`] — the daemon itself;
+//! - [`server`] — the daemon itself (with bounded-queue admission
+//!   control that sheds load as `overloaded` + `retry_after_ms`);
 //! - [`client`] — a pure-std client library (used by `taj client` and
-//!   the integration tests).
+//!   the integration tests) with jittered-backoff retry for idempotent
+//!   requests;
+//! - [`breaker`] — the per-shard circuit breaker driving the router's
+//!   failover and self-healing reintegration.
 //!
 //! See `docs/service.md` for the wire protocol and cache semantics.
 
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod cache;
 pub mod client;
 pub mod pool;
@@ -34,9 +39,10 @@ pub mod protocol;
 pub mod router;
 pub mod server;
 
+pub use breaker::{Breaker, BreakerState};
 pub use cache::{content_hash, Artifact, ArtifactCache, ArtifactKey, CacheStats};
-pub use client::{AnalyzeOpts, Client, ClientError};
+pub use client::{AnalyzeOpts, Client, ClientError, RetryPolicy};
 pub use pool::WorkerPool;
 pub use protocol::{BatchRequest, ErrorCode, OutputFormat, MAX_BATCH_ITEMS, PROTOCOL_VERSION};
-pub use router::{route, RouterHandle, RouterOptions};
+pub use router::{route, RouterHandle, RouterOptions, RouterTuning};
 pub use server::{serve, store_fingerprint, Bind, BoundAddr, ServeOptions, ServerHandle};

@@ -39,6 +39,10 @@ pub enum ErrorCode {
     WorkerPanic,
     /// The daemon is draining after `shutdown` and takes no new work.
     ShuttingDown,
+    /// The admission queue is full; retry after the hinted delay. The
+    /// error object carries `retry_after_ms` so clients can back off to
+    /// when capacity is expected rather than guessing.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -54,7 +58,15 @@ impl ErrorCode {
             ErrorCode::Timeout => "timeout",
             ErrorCode::WorkerPanic => "worker_panic",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Overloaded => "overloaded",
         }
+    }
+
+    /// Whether a client may safely retry the request after a backoff.
+    /// Overload and drain rejections happen *before* any work starts,
+    /// so retrying can never duplicate effects.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::Overloaded | ErrorCode::ShuttingDown)
     }
 }
 
@@ -332,17 +344,38 @@ pub fn ok_response_raw_traced(id: &Value, trace_id: &str, raw_result: &str) -> S
     )
 }
 
-/// [`err_response`] with a `trace_id` in the envelope, so failed analyze
-/// requests are correlatable too.
-pub fn err_response_traced(id: &Value, trace_id: &str, code: ErrorCode, message: &str) -> String {
+/// The wire error object: `{code, message}` plus `retry_after_ms` when
+/// the server can hint at when capacity returns (only `overloaded`
+/// rejections carry one today).
+fn error_value(code: ErrorCode, message: &str, retry_after_ms: Option<u64>) -> Value {
     let mut error = Value::object();
     error.insert("code", Value::String(code.as_str().to_string()));
     error.insert("message", Value::String(message.to_string()));
+    if let Some(ms) = retry_after_ms {
+        error.insert("retry_after_ms", Value::UInt(u128::from(ms)));
+    }
+    error
+}
+
+/// [`err_response`] with a `trace_id` in the envelope, so failed analyze
+/// requests are correlatable too.
+pub fn err_response_traced(id: &Value, trace_id: &str, code: ErrorCode, message: &str) -> String {
+    err_response_traced_retry(id, trace_id, code, message, None)
+}
+
+/// [`err_response_traced`] carrying a `retry_after_ms` backoff hint.
+pub fn err_response_traced_retry(
+    id: &Value,
+    trace_id: &str,
+    code: ErrorCode,
+    message: &str,
+    retry_after_ms: Option<u64>,
+) -> String {
     let mut obj = Value::object();
     obj.insert("id", id.clone());
     obj.insert("ok", Value::Bool(false));
     obj.insert("trace_id", Value::String(trace_id.to_string()));
-    obj.insert("error", error);
+    obj.insert("error", error_value(code, message, retry_after_ms));
     serde_json::to_string(&obj).unwrap_or_else(|_| err_response(id, code, message))
 }
 
@@ -356,9 +389,19 @@ pub fn batch_item_ok(trace_id: &str, raw_result: &str) -> String {
 /// One failed `batch` item, carrying its own error code/message so one
 /// bad program never fails its siblings.
 pub fn batch_item_err(trace_id: &str, code: ErrorCode, message: &str) -> String {
-    let mut error = Value::object();
-    error.insert("code", Value::String(code.as_str().to_string()));
-    error.insert("message", Value::String(message.to_string()));
+    batch_item_err_retry(trace_id, code, message, None)
+}
+
+/// [`batch_item_err`] carrying a `retry_after_ms` backoff hint, so a
+/// shed batch item tells its client when to resubmit just like a shed
+/// standalone request.
+pub fn batch_item_err_retry(
+    trace_id: &str,
+    code: ErrorCode,
+    message: &str,
+    retry_after_ms: Option<u64>,
+) -> String {
+    let error = error_value(code, message, retry_after_ms);
     let error_json = serde_json::to_string(&error).unwrap_or_else(|_| "{}".to_string());
     format!("{{\"ok\":false,\"trace_id\":{},\"error\":{}}}", trace_id_json(trace_id), error_json)
 }
@@ -381,9 +424,17 @@ pub fn batch_result_raw(items: &[String]) -> String {
 
 /// Builds an error response: `{"id":..,"ok":false,"error":{code,message}}`.
 pub fn err_response(id: &Value, code: ErrorCode, message: &str) -> String {
-    let mut error = Value::object();
-    error.insert("code", Value::String(code.as_str().to_string()));
-    error.insert("message", Value::String(message.to_string()));
+    err_response_retry(id, code, message, None)
+}
+
+/// [`err_response`] carrying a `retry_after_ms` backoff hint.
+pub fn err_response_retry(
+    id: &Value,
+    code: ErrorCode,
+    message: &str,
+    retry_after_ms: Option<u64>,
+) -> String {
+    let error = error_value(code, message, retry_after_ms);
     let mut obj = Value::object();
     obj.insert("id", id.clone());
     obj.insert("ok", Value::Bool(false));
@@ -539,6 +590,34 @@ mod tests {
         assert_eq!(v["result"]["items"][0]["result"]["a"], 1u64);
         assert_eq!(v["result"]["items"][1]["ok"], false);
         assert_eq!(v["result"]["items"][1]["error"]["code"], "parse_error");
+    }
+
+    #[test]
+    fn overloaded_errors_carry_a_retry_hint() {
+        let err =
+            err_response_retry(&Value::UInt(1), ErrorCode::Overloaded, "queue full", Some(40));
+        let v = serde_json::from_str(&err).unwrap();
+        assert_eq!(v["error"]["code"], "overloaded");
+        assert_eq!(v["error"]["retry_after_ms"], 40u64);
+        let traced = err_response_traced_retry(
+            &Value::Null,
+            "t-9",
+            ErrorCode::Overloaded,
+            "queue full",
+            Some(25),
+        );
+        let v = serde_json::from_str(&traced).unwrap();
+        assert_eq!(v["trace_id"], "t-9");
+        assert_eq!(v["error"]["retry_after_ms"], 25u64);
+        let item = batch_item_err_retry("t-b", ErrorCode::Overloaded, "queue full", Some(10));
+        let v = serde_json::from_str(&item).unwrap();
+        assert_eq!(v["error"]["retry_after_ms"], 10u64);
+        // Errors without a hint keep the old two-field object.
+        let plain = err_response(&Value::Null, ErrorCode::Timeout, "slow");
+        assert!(!plain.contains("retry_after_ms"), "{plain}");
+        assert!(ErrorCode::Overloaded.is_retryable());
+        assert!(ErrorCode::ShuttingDown.is_retryable());
+        assert!(!ErrorCode::Timeout.is_retryable());
     }
 
     #[test]

@@ -11,12 +11,20 @@
 //! `analyze` lines are forwarded to their shard **verbatim**, so the
 //! response bytes a client sees through the router are identical to a
 //! direct connection. `batch` envelopes are split per shard, forwarded
-//! as sub-batches, and merged back in item order. A shard that cannot
-//! be reached (connection refused, mid-request socket death after one
-//! reconnect attempt) is marked unhealthy and its requests fail over to
-//! a local, cache-free analysis, so the router degrades to a slower
-//! answer instead of an error; unhealthy shards are re-probed by the
-//! next request routed to them.
+//! as sub-batches, and merged back in item order.
+//!
+//! Shard failure handling is a circuit breaker per shard (see
+//! [`crate::breaker`]): transport failures are retried with backoff up
+//! to [`RouterTuning::forward_attempts`]; when a shard keeps failing,
+//! its breaker opens and requests fail over to a local, cache-free
+//! analysis immediately — the router degrades to a slower answer, never
+//! an error. A background prober thread issues cheap `configs` pings to
+//! open breakers after their cooldown, so a restarted shard is
+//! reintegrated by synthetic traffic, not by sacrificing user requests.
+//! An `overloaded` rejection from a shard is *not* a breaker failure:
+//! it is retried once after the shard's `retry_after_ms` hint and then
+//! relayed to the client — failing over would amplify the overload the
+//! shard just shed.
 //!
 //! The router holds no analysis state of its own: `configs` is answered
 //! locally (it is static), `stats`/`metrics` report the router's own
@@ -33,8 +41,9 @@ use serde::Value;
 use taj_core::Supervisor;
 use taj_obs::metrics::Exposition;
 
+use crate::breaker::{Breaker, BreakerState};
 use crate::cache::content_hash;
-use crate::client::Client;
+use crate::client::{Client, RetryPolicy};
 use crate::protocol::{
     batch_item_err, batch_item_ok, batch_result_raw, err_response, err_response_traced,
     ok_response_raw, ok_response_raw_traced, parse_request, AnalyzeRequest, BatchRequest, Command,
@@ -56,64 +65,205 @@ pub struct RouterOptions {
     /// Deadline applied to local-failover analyses when the request
     /// carries none (forwarded requests use the backend's default).
     pub default_timeout_ms: Option<u64>,
+    /// Breaker, retry, and prober knobs.
+    pub tuning: RouterTuning,
+}
+
+/// Breaker, retry, and prober knobs for the router's shard handling.
+#[derive(Clone, Debug)]
+pub struct RouterTuning {
+    /// Consecutive transport failures that open a shard's breaker.
+    pub failure_threshold: u32,
+    /// Rest before an open breaker may be probed (ms).
+    pub cooldown_ms: u64,
+    /// How often the background prober scans for probe-ready shards (ms).
+    pub probe_interval_ms: u64,
+    /// Transport attempts per forward (1 = no retry). Only idempotent
+    /// lines reach `forward`, so a resend can never duplicate effects.
+    pub forward_attempts: u32,
+    /// Base backoff between forward attempts (ms, doubled per retry).
+    pub retry_base_ms: u64,
+    /// Ceiling on how long the router honors a shard's `retry_after_ms`
+    /// hint before relaying the `overloaded` rejection to the client
+    /// (ms). The router retries an overloaded shard exactly once.
+    pub overload_retry_cap_ms: u64,
+    /// Socket read/write timeout on shard connections (ms); bounds how
+    /// long a stalled shard can hold a router connection handler.
+    pub shard_io_timeout_ms: Option<u64>,
+}
+
+impl Default for RouterTuning {
+    fn default() -> RouterTuning {
+        RouterTuning {
+            failure_threshold: 3,
+            cooldown_ms: 250,
+            probe_interval_ms: 50,
+            forward_attempts: 2,
+            retry_base_ms: 10,
+            overload_retry_cap_ms: 100,
+            shard_io_timeout_ms: Some(30_000),
+        }
+    }
 }
 
 /// One backend daemon and its health bookkeeping. The connection is
 /// persistent and serialized behind a mutex: the daemon protocol is
 /// sequential per socket, so concurrent router connections to the same
 /// shard queue here rather than interleaving frames.
+///
+/// Counters are disjoint by design (the arithmetic is pinned by a
+/// test): every `forward` call ends in exactly one of `forwarded`
+/// (a response was relayed) or `failovers` (the caller must answer
+/// locally); `retried` counts extra transport attempts *within* a
+/// forward, on top of either outcome.
 struct Shard {
     addr: String,
     conn: Mutex<Option<Client>>,
+    breaker: Breaker,
+    /// Mirrors "last forward outcome" for stats/metric compatibility;
+    /// the breaker (not this flag) decides routing.
     healthy: AtomicBool,
+    /// Forward calls that relayed a shard response (success or a shard-
+    /// answered error).
     forwarded: AtomicU64,
+    /// Forward calls that returned nothing — fast-failed on an open
+    /// breaker or exhausted transport attempts — so the caller answered
+    /// locally.
     failovers: AtomicU64,
+    /// Extra attempts beyond each forward's first (reconnect + resend).
+    retried: AtomicU64,
+    /// Synthetic `configs` pings issued by the background prober.
+    probes: AtomicU64,
+    /// Times the breaker tripped open.
+    opens: AtomicU64,
 }
 
 impl Shard {
-    fn new(addr: String) -> Shard {
+    fn new(addr: String, tuning: &RouterTuning) -> Shard {
         Shard {
             addr,
             conn: Mutex::new(None),
+            breaker: Breaker::new(
+                tuning.failure_threshold,
+                Duration::from_millis(tuning.cooldown_ms),
+            ),
             healthy: AtomicBool::new(true),
             forwarded: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            opens: AtomicU64::new(0),
         }
     }
 
-    /// Sends one raw line and returns the raw response. A dead cached
-    /// connection gets one reconnect attempt (the daemon may have
-    /// restarted); failure after that marks the shard unhealthy and
-    /// returns `None` so the caller fails over.
-    fn forward(&self, line: &str) -> Option<String> {
-        let mut guard = self.conn.lock().ok()?;
-        for _attempt in 0..2 {
-            if guard.is_none() {
-                *guard = Client::connect_tcp(&self.addr).ok();
+    /// Sends one raw line and returns the raw response; `None` means the
+    /// caller must fail over locally. Exactly one of `forwarded` /
+    /// `failovers` is bumped per call.
+    fn forward(&self, line: &str, tuning: &RouterTuning) -> Option<String> {
+        let result = self.try_forward(line, tuning);
+        match result {
+            Some(_) => {
+                self.forwarded.fetch_add(1, Ordering::SeqCst);
+                self.healthy.store(true, Ordering::SeqCst);
             }
-            if let Some(client) = guard.as_mut() {
-                match client.request_raw(line) {
-                    // A draining backend still answers — with a
-                    // `shutting_down` error. That is a shard failure
-                    // from the client's point of view, not a response
-                    // worth forwarding.
-                    Ok(response) if is_draining_error(&response) => {
-                        *guard = None;
-                        break;
-                    }
-                    Ok(response) => {
-                        self.healthy.store(true, Ordering::SeqCst);
-                        self.forwarded.fetch_add(1, Ordering::SeqCst);
-                        return Some(response);
-                    }
-                    Err(_) => *guard = None,
-                }
+            None => {
+                self.failovers.fetch_add(1, Ordering::SeqCst);
+                self.healthy.store(false, Ordering::SeqCst);
             }
         }
-        self.healthy.store(false, Ordering::SeqCst);
-        self.failovers.fetch_add(1, Ordering::SeqCst);
+        result
+    }
+
+    fn try_forward(&self, line: &str, tuning: &RouterTuning) -> Option<String> {
+        // Open breaker: fail fast. The caller's local failover answers
+        // the request; the prober (not this request) tests the shard.
+        if !self.breaker.allows_request() {
+            return None;
+        }
+        let mut guard = self.conn.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(first) = self.attempt_loop(line, tuning, &mut guard) else {
+            if self.breaker.on_failure(Instant::now()) {
+                self.opens.fetch_add(1, Ordering::SeqCst);
+            }
+            return None;
+        };
+        // `overloaded` is the shard *working as designed* under
+        // pressure, not a failure: honor its hint once, then relay the
+        // rejection. Never fail over — local analysis on the router
+        // would absorb exactly the load the shard just shed.
+        let response = match overload_hint(&first) {
+            Some(hint) => {
+                self.retried.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(hint.min(tuning.overload_retry_cap_ms)));
+                // If the retry's transport dies, the original rejection
+                // (with its hint) is still the honest answer to relay.
+                self.attempt_loop(line, tuning, &mut guard).unwrap_or(first)
+            }
+            None => first,
+        };
+        self.breaker.on_success();
+        Some(response)
+    }
+
+    /// The transport loop: up to `forward_attempts` sends with
+    /// exponential backoff, reconnecting a dead cached connection before
+    /// each resend. `None` means the shard is unreachable or draining.
+    fn attempt_loop(
+        &self,
+        line: &str,
+        tuning: &RouterTuning,
+        guard: &mut Option<Client>,
+    ) -> Option<String> {
+        let attempts = tuning.forward_attempts.max(1);
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.retried.fetch_add(1, Ordering::SeqCst);
+                let backoff = tuning.retry_base_ms.saturating_mul(1 << (attempt - 1).min(10));
+                std::thread::sleep(Duration::from_millis(backoff));
+            }
+            if guard.is_none() {
+                *guard = self.dial(tuning);
+            }
+            let Some(client) = guard.as_mut() else { continue };
+            match client.request_raw(line) {
+                // A draining backend still answers — with a
+                // `shutting_down` error (or a batch envelope whose
+                // every item is one). That is a shard failure from the
+                // client's point of view, not a response worth
+                // forwarding.
+                Ok(response) if is_draining_error(&response) || batch_fully_draining(&response) => {
+                    *guard = None;
+                    return None;
+                }
+                Ok(response) => return Some(response),
+                Err(_) => *guard = None,
+            }
+        }
         None
     }
+
+    fn dial(&self, tuning: &RouterTuning) -> Option<Client> {
+        let mut client = Client::connect_tcp(&self.addr).ok()?;
+        // The router runs its own attempt loop; nested client retries
+        // would multiply it.
+        client.set_retry(RetryPolicy::none());
+        let timeout = tuning.shard_io_timeout_ms.map(Duration::from_millis);
+        client.set_io_timeout(timeout).ok()?;
+        Some(client)
+    }
+}
+
+/// Extracts the `retry_after_ms` hint from an `overloaded` error
+/// response; `None` for anything else.
+fn overload_hint(response: &str) -> Option<u64> {
+    if !response.contains("\"overloaded\"") {
+        return None;
+    }
+    let v: Value = serde_json::from_str(response).ok()?;
+    if v["error"]["code"].as_str() != Some("overloaded") {
+        return None;
+    }
+    Some(v["error"]["retry_after_ms"].as_u64().unwrap_or(25))
 }
 
 fn is_draining_error(response: &str) -> bool {
@@ -125,6 +275,27 @@ fn is_draining_error(response: &str) -> bool {
     serde_json::from_str(response)
         .ok()
         .is_some_and(|v: Value| v["error"]["code"].as_str() == Some("shutting_down"))
+}
+
+/// A batch envelope in which *every* item was shed with
+/// `shutting_down`: the shard executed nothing, so the whole forward is
+/// a shard failure (breaker + group failover), exactly like a
+/// transport-level one. A *mixed* response — the shard began draining
+/// mid-envelope — is kept: re-running its completed items would be
+/// duplicate execution, so only the shed items fail over (see
+/// [`route_batch`]).
+fn batch_fully_draining(response: &str) -> bool {
+    if !response.contains("\"shutting_down\"") {
+        return false;
+    }
+    let Ok(v) = serde_json::from_str(response) else { return false };
+    if v.get("ok").and_then(Value::as_bool) != Some(true) {
+        return false;
+    }
+    let Some(Value::Array(items)) = v.get("result").and_then(|r| r.get("items")) else {
+        return false;
+    };
+    !items.is_empty() && items.iter().all(|i| i["error"]["code"].as_str() == Some("shutting_down"))
 }
 
 #[derive(Default)]
@@ -141,6 +312,7 @@ struct RouterState {
     shutdown: Arc<AtomicBool>,
     counters: RouterCounters,
     default_timeout_ms: Option<u64>,
+    tuning: RouterTuning,
     started: Instant,
     trace_seq: AtomicU64,
 }
@@ -183,11 +355,13 @@ pub fn route(options: RouterOptions) -> io::Result<RouterHandle> {
         ));
     }
     let (listener, addr) = bind_listener(&options.bind)?;
+    let tuning = options.tuning;
     let state = Arc::new(RouterState {
-        shards: options.shards.into_iter().map(Shard::new).collect(),
+        shards: options.shards.into_iter().map(|a| Shard::new(a, &tuning)).collect(),
         shutdown: Arc::new(AtomicBool::new(false)),
         counters: RouterCounters::default(),
         default_timeout_ms: options.default_timeout_ms,
+        tuning,
         started: Instant::now(),
         trace_seq: AtomicU64::new(0),
     });
@@ -195,18 +369,61 @@ pub fn route(options: RouterOptions) -> io::Result<RouterHandle> {
         let state = Arc::clone(&state);
         Arc::new(move |line: &str| handle_line(line, &state))
     };
+    // The background health prober: the only thing that talks to a shard
+    // whose breaker is open. Probes are synthetic `configs` pings over a
+    // fresh connection, so reintegration never costs a user request.
+    let prober_state = Arc::clone(&state);
+    let prober = std::thread::Builder::new()
+        .name("taj-router-prober".to_string())
+        .spawn(move || prober_loop(&prober_state))
+        .expect("spawn router prober");
     let shutdown = Arc::clone(&state.shutdown);
     let accept_addr = addr.clone();
     let accept_thread = std::thread::Builder::new()
         .name("taj-router-accept".to_string())
         .spawn(move || {
             accept_loop(&listener, &shutdown, &handler);
+            let _ = prober.join();
             if let BoundAddr::Unix(path) = &accept_addr {
                 let _ = std::fs::remove_file(path);
             }
         })
         .expect("spawn router accept loop");
     Ok(RouterHandle { addr, state, accept_thread: Some(accept_thread) })
+}
+
+fn prober_loop(state: &Arc<RouterState>) {
+    let interval = Duration::from_millis(state.tuning.probe_interval_ms.max(1));
+    while !state.shutdown.load(Ordering::SeqCst) {
+        let now = Instant::now();
+        for shard in &state.shards {
+            if !shard.breaker.wants_probe(now) {
+                continue;
+            }
+            shard.probes.fetch_add(1, Ordering::SeqCst);
+            if probe_shard(&shard.addr, &state.tuning) {
+                shard.breaker.on_probe_success();
+            } else {
+                shard.breaker.on_probe_failure(Instant::now());
+            }
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// One synthetic health check: a fresh connection and a `configs` ping.
+/// Fresh, because the cached forwarding connection is exactly what is
+/// suspect while the breaker is open; `configs`, because it is answered
+/// without touching the worker pool — a probe can never add load to a
+/// recovering shard's queue.
+fn probe_shard(addr: &str, tuning: &RouterTuning) -> bool {
+    let Ok(mut client) = Client::connect_tcp(addr) else { return false };
+    client.set_retry(RetryPolicy::none());
+    let timeout = Duration::from_millis(tuning.shard_io_timeout_ms.unwrap_or(30_000).min(2_000));
+    if client.set_io_timeout(Some(timeout)).is_err() {
+        return false;
+    }
+    client.configs().is_ok()
 }
 
 /// The shard an analyze request belongs to: the same content addresses
@@ -246,7 +463,7 @@ fn handle_line(line: &str, state: &Arc<RouterState>) -> (String, bool) {
             let shard = &state.shards[shard_index(&req, state.shards.len())];
             // Forward the client's bytes untouched: the response through
             // the router is then byte-identical to a direct connection.
-            match shard.forward(line) {
+            match shard.forward(line, &state.tuning) {
                 Some(response) => (response, false),
                 None => (local_analyze_response(state, &id, &req, req.timeout_ms), false),
             }
@@ -342,30 +559,30 @@ fn route_batch(state: &Arc<RouterState>, line: &str, batch: BatchRequest) -> Str
             if let Some(t) = batch.timeout_ms {
                 envelope.insert("timeout_ms", Value::UInt(u128::from(t)));
             }
-            serde_json::to_string(&envelope).ok().and_then(|sub| shard.forward(&sub))
+            serde_json::to_string(&envelope).ok().and_then(|sub| shard.forward(&sub, &state.tuning))
         } else {
             None
         };
         let shard_results = forwarded.and_then(|raw| parse_batch_items(&raw, group.len()));
         match shard_results {
             Some(items) => {
-                for ((i, _), item) in group.iter().zip(items) {
-                    rendered[*i] = Some(item);
+                for ((i, req), item) in group.iter().zip(items) {
+                    // Per-item isolation: a draining shard answers the
+                    // envelope but sheds items with `shutting_down` —
+                    // those items never ran, so re-running them locally
+                    // cannot duplicate execution. Items the shard *did*
+                    // answer are kept verbatim.
+                    rendered[*i] = Some(if is_draining_error(&item) {
+                        local_batch_item(state, req, batch.timeout_ms)
+                    } else {
+                        item
+                    });
                 }
             }
             None => {
                 // Whole-shard failover: each item is analyzed locally.
                 for (i, req) in group {
-                    let trace_id = req.trace_id.clone().unwrap_or_else(|| mint_trace_id(state));
-                    state.counters.local_fallbacks.fetch_add(1, Ordering::SeqCst);
-                    let timeout = req.timeout_ms.or(batch.timeout_ms);
-                    rendered[i] = Some(match local_analyze(state, &req, timeout) {
-                        Ok(raw) => batch_item_ok(&trace_id, &raw),
-                        Err((code, msg)) => {
-                            state.counters.errors.fetch_add(1, Ordering::SeqCst);
-                            batch_item_err(&trace_id, code, &msg)
-                        }
-                    });
+                    rendered[i] = Some(local_batch_item(state, &req, batch.timeout_ms));
                 }
             }
         }
@@ -383,6 +600,25 @@ fn route_batch(state: &Arc<RouterState>, line: &str, batch: BatchRequest) -> Str
         })
         .collect();
     batch_result_raw(&items)
+}
+
+/// One batch item's local failover: analyze on the router and render
+/// the item envelope a backend would have produced.
+fn local_batch_item(
+    state: &Arc<RouterState>,
+    req: &AnalyzeRequest,
+    batch_timeout_ms: Option<u64>,
+) -> String {
+    let trace_id = req.trace_id.clone().unwrap_or_else(|| mint_trace_id(state));
+    state.counters.local_fallbacks.fetch_add(1, Ordering::SeqCst);
+    let timeout = req.timeout_ms.or(batch_timeout_ms);
+    match local_analyze(state, req, timeout) {
+        Ok(raw) => batch_item_ok(&trace_id, &raw),
+        Err((code, msg)) => {
+            state.counters.errors.fetch_add(1, Ordering::SeqCst);
+            batch_item_err(&trace_id, code, &msg)
+        }
+    }
 }
 
 /// Extracts and re-serializes the `items` array from a backend's batch
@@ -421,8 +657,12 @@ fn stats_raw(state: &Arc<RouterState>) -> String {
         let mut so = Value::object();
         so.insert("addr", Value::String(s.addr.clone()));
         so.insert("healthy", Value::Bool(s.healthy.load(Ordering::SeqCst)));
+        so.insert("state", Value::String(s.breaker.state().as_str().to_string()));
         so.insert("forwarded", Value::UInt(u128::from(s.forwarded.load(Ordering::SeqCst))));
         so.insert("failovers", Value::UInt(u128::from(s.failovers.load(Ordering::SeqCst))));
+        so.insert("retried", Value::UInt(u128::from(s.retried.load(Ordering::SeqCst))));
+        so.insert("probes", Value::UInt(u128::from(s.probes.load(Ordering::SeqCst))));
+        so.insert("opens", Value::UInt(u128::from(s.opens.load(Ordering::SeqCst))));
         shards.push(so);
     }
     o.insert("shards", Value::Array(shards));
@@ -489,6 +729,57 @@ fn metrics_raw(state: &Arc<RouterState>) -> String {
             "taj_router_shard_failovers_total",
             &[("shard", s.addr.as_str())],
             s.failovers.load(Ordering::SeqCst) as f64,
+        );
+    }
+    exp.family(
+        "taj_router_shard_state",
+        "Circuit breaker state, one-hot per {shard,state}.",
+        "gauge",
+    );
+    for s in &state.shards {
+        let current = s.breaker.state();
+        for st in BreakerState::all() {
+            exp.sample(
+                "taj_router_shard_state",
+                &[("shard", s.addr.as_str()), ("state", st.as_str())],
+                if st == current { 1.0 } else { 0.0 },
+            );
+        }
+    }
+    exp.family(
+        "taj_router_shard_retried_total",
+        "Extra forward attempts (transport retries and overload waits), by shard.",
+        "counter",
+    );
+    for s in &state.shards {
+        exp.sample(
+            "taj_router_shard_retried_total",
+            &[("shard", s.addr.as_str())],
+            s.retried.load(Ordering::SeqCst) as f64,
+        );
+    }
+    exp.family(
+        "taj_router_shard_probes_total",
+        "Synthetic health probes issued by the background prober, by shard.",
+        "counter",
+    );
+    for s in &state.shards {
+        exp.sample(
+            "taj_router_shard_probes_total",
+            &[("shard", s.addr.as_str())],
+            s.probes.load(Ordering::SeqCst) as f64,
+        );
+    }
+    exp.family(
+        "taj_router_shard_opens_total",
+        "Times the shard's breaker tripped open, by shard.",
+        "counter",
+    );
+    for s in &state.shards {
+        exp.sample(
+            "taj_router_shard_opens_total",
+            &[("shard", s.addr.as_str())],
+            s.opens.load(Ordering::SeqCst) as f64,
         );
     }
     let exposition = exp.finish();

@@ -33,9 +33,10 @@ use crate::cache::{
 };
 use crate::pool::{Job, WorkerPool};
 use crate::protocol::{
-    batch_item_err, batch_item_ok, batch_result_raw, err_response, err_response_traced,
-    ok_response_raw, ok_response_raw_traced, parse_request, AnalyzeRequest, BatchRequest, Command,
-    ErrorCode, OutputFormat, ProtocolError, PROTOCOL_VERSION,
+    batch_item_err, batch_item_err_retry, batch_item_ok, batch_result_raw, err_response,
+    err_response_retry, err_response_traced_retry, ok_response_raw, ok_response_raw_traced,
+    parse_request, AnalyzeRequest, BatchRequest, Command, ErrorCode, OutputFormat, ProtocolError,
+    PROTOCOL_VERSION,
 };
 
 /// Where the daemon listens.
@@ -67,6 +68,12 @@ pub struct ServeOptions {
     pub store_dir: Option<PathBuf>,
     /// Byte budget of the on-disk store (LRU-mtime eviction).
     pub store_bytes: u64,
+    /// Admission-queue bound: jobs submitted but not yet picked up by a
+    /// worker. `0` means "size from the worker count" (4× workers).
+    /// When the queue is full, new work is rejected immediately with an
+    /// `overloaded` error carrying a `retry_after_ms` hint, instead of
+    /// queueing until every deadline has expired.
+    pub max_queue: usize,
 }
 
 impl ServeOptions {
@@ -82,6 +89,7 @@ impl ServeOptions {
             debug: false,
             store_dir: None,
             store_bytes: 256 << 20,
+            max_queue: 0,
         }
     }
 }
@@ -130,6 +138,7 @@ struct ServiceCounters {
     phase1_runs: AtomicU64,
     phase2_runs: AtomicU64,
     degraded_runs: AtomicU64,
+    requests_shed: AtomicU64,
 }
 
 /// Server state shared between the accept loop, handlers, and workers.
@@ -147,6 +156,11 @@ struct ServiceState {
     workers: usize,
     default_timeout_ms: Option<u64>,
     debug: bool,
+    /// Admission bound: jobs submitted but not yet picked up by a worker.
+    max_queue: usize,
+    /// Current admission-queue depth (incremented at submit, decremented
+    /// when a worker picks the job up).
+    queue_depth: AtomicU64,
     started: Instant,
     /// Time a dispatched job spent queued before a worker picked it up.
     queue_wait: Histogram,
@@ -243,6 +257,12 @@ pub fn serve(options: ServeOptions) -> io::Result<ServerHandle> {
         workers: pool.size(),
         default_timeout_ms: options.default_timeout_ms,
         debug: options.debug,
+        max_queue: if options.max_queue == 0 {
+            pool.size().saturating_mul(4)
+        } else {
+            options.max_queue
+        },
+        queue_depth: AtomicU64::new(0),
         started: Instant::now(),
         queue_wait: Histogram::latency(),
         run_time: Histogram::latency(),
@@ -293,6 +313,10 @@ pub(crate) fn accept_loop(listener: &Listener, shutdown: &Arc<AtomicBool>, handl
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
+        // Fault-injection site (no-op in default builds): a `Delay`
+        // action here stalls the accept loop deterministically, modeling
+        // a listener starved by the OS or a slow-accepting peer.
+        let _ = taj_supervise::fail_hook("service.accept.stall");
         let accepted: io::Result<Box<dyn Conn>> = match listener {
             Listener::Tcp(l) => l.accept().map(|(s, _)| {
                 // One-line requests/responses: Nagle + delayed ACK would
@@ -342,6 +366,16 @@ fn handle_conn(mut conn: Box<dyn Conn>, handler: &LineHandler) {
             continue;
         }
         let (response, close_after) = handler(&line);
+        // Fault-injection site (no-op in default builds): when tripped,
+        // write only half the response and drop the connection — the
+        // client must treat the torn line as an I/O error, never as a
+        // parseable answer.
+        if taj_supervise::fail_hook("service.conn.write").is_some() {
+            let half = &response.as_bytes()[..response.len() / 2];
+            let _ = conn.write_all(half);
+            let _ = conn.flush();
+            return;
+        }
         if conn.write_all(response.as_bytes()).is_err() || conn.write_all(b"\n").is_err() {
             return;
         }
@@ -390,7 +424,8 @@ fn handle_line(line: &str, state: &Arc<ServiceState>) -> (String, bool) {
                     if code == ErrorCode::Timeout {
                         state.counters.timeouts.fetch_add(1, Ordering::SeqCst);
                     }
-                    (err_response_traced(&id, &trace_id, code, &msg), false)
+                    let hint = shed_retry_hint(state, code);
+                    (err_response_traced_retry(&id, &trace_id, code, &msg, hint), false)
                 }
             };
         }
@@ -413,9 +448,23 @@ fn handle_line(line: &str, state: &Arc<ServiceState>) -> (String, bool) {
             if code == ErrorCode::Timeout {
                 state.counters.timeouts.fetch_add(1, Ordering::SeqCst);
             }
-            (err_response(&id, code, &msg), false)
+            (err_response_retry(&id, code, &msg, shed_retry_hint(state, code)), false)
         }
     }
+}
+
+/// The `retry_after_ms` hint attached to `overloaded` rejections: scales
+/// with the backlog per worker (each queued job is roughly one job-time
+/// of delay), capped at one second so the hint never parks clients
+/// longer than the queue could possibly take to drain. Other error
+/// codes get no hint.
+fn shed_retry_hint(state: &Arc<ServiceState>, code: ErrorCode) -> Option<u64> {
+    if code != ErrorCode::Overloaded {
+        return None;
+    }
+    let depth = state.queue_depth.load(Ordering::SeqCst);
+    let per_worker = depth / state.workers.max(1) as u64 + 1;
+    Some((25 * per_worker).min(1_000))
 }
 
 /// Submits `work` to the pool and waits for its result, applying the
@@ -459,6 +508,22 @@ where
     if state.shutdown.load(Ordering::SeqCst) {
         return Err((ErrorCode::ShuttingDown, "daemon is draining".to_string()));
     }
+    // Admission control: reject immediately when the queue of not-yet-
+    // started jobs is full. Rejecting here — before a supervisor or a
+    // result channel exists — keeps a shed request O(1), so an
+    // overloaded daemon stays responsive instead of queueing work it
+    // will only time out on. `fetch_add` then check keeps the gate
+    // race-free: concurrent submitters each reserve a slot and the
+    // losers give theirs back.
+    let depth = state.queue_depth.fetch_add(1, Ordering::SeqCst);
+    if depth >= state.max_queue as u64 {
+        state.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        state.counters.requests_shed.fetch_add(1, Ordering::SeqCst);
+        return Err((
+            ErrorCode::Overloaded,
+            format!("admission queue full ({} queued, max {})", depth, state.max_queue),
+        ));
+    }
     let supervisor = match timeout_ms {
         Some(ms) => Supervisor::new().with_deadline(Duration::from_millis(ms)),
         None => Supervisor::new(),
@@ -471,6 +536,9 @@ where
     let metrics_state = Arc::clone(state);
     let submitted = Instant::now();
     let job: Job = Box::new(move || {
+        // The job has left the admission queue: free its slot first so
+        // admission tracks queued-not-started work, not running work.
+        metrics_state.queue_depth.fetch_sub(1, Ordering::SeqCst);
         // The gap between submission and this first instruction is queue
         // wait: how long the job sat behind other work in the pool.
         metrics_state.queue_wait.observe(submitted.elapsed().as_secs_f64());
@@ -482,16 +550,19 @@ where
         metrics_state.run_time.observe(started.elapsed().as_secs_f64());
         let _ = tx.send(result);
     });
-    {
-        let jobs = state.jobs.lock().map_err(|_| poisoned())?;
-        match jobs.as_ref() {
-            Some(sender) => {
-                sender
-                    .send((job, supervisor.clone()))
-                    .map_err(|_| (ErrorCode::ShuttingDown, "daemon is draining".to_string()))?;
-            }
-            None => return Err((ErrorCode::ShuttingDown, "daemon is draining".to_string())),
-        }
+    let sent = match state.jobs.lock() {
+        Ok(jobs) => match jobs.as_ref() {
+            Some(sender) => sender
+                .send((job, supervisor.clone()))
+                .map_err(|_| (ErrorCode::ShuttingDown, "daemon is draining".to_string())),
+            None => Err((ErrorCode::ShuttingDown, "daemon is draining".to_string())),
+        },
+        Err(_) => Err(poisoned()),
+    };
+    if let Err(e) = sent {
+        // The job never entered the queue: give its admission slot back.
+        state.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        return Err(e);
     }
     Ok(PendingJob { rx, supervisor, timeout_ms, submitted })
 }
@@ -558,7 +629,11 @@ fn run_batch(state: &Arc<ServiceState>, batch: BatchRequest) -> String {
                     Ok(job) => slots.push(Slot::Pending { trace_id, job }),
                     Err((code, msg)) => {
                         state.counters.errors.fetch_add(1, Ordering::SeqCst);
-                        slots.push(Slot::Done(batch_item_err(&trace_id, code, &msg)));
+                        // A shed item carries the same retry hint a shed
+                        // standalone request would; its siblings in the
+                        // envelope still run.
+                        let hint = shed_retry_hint(state, code);
+                        slots.push(Slot::Done(batch_item_err_retry(&trace_id, code, &msg, hint)));
                     }
                 }
             }
@@ -863,6 +938,9 @@ fn stats_raw(state: &Arc<ServiceState>) -> Result<String, ProtocolError> {
     o.insert("batch_requests", Value::UInt(u128::from(c.batch_requests.load(Ordering::SeqCst))));
     o.insert("errors", Value::UInt(u128::from(c.errors.load(Ordering::SeqCst))));
     o.insert("timeouts", Value::UInt(u128::from(c.timeouts.load(Ordering::SeqCst))));
+    o.insert("requests_shed", Value::UInt(u128::from(c.requests_shed.load(Ordering::SeqCst))));
+    o.insert("queue_depth", Value::UInt(u128::from(state.queue_depth.load(Ordering::SeqCst))));
+    o.insert("max_queue", Value::UInt(state.max_queue as u128));
     o.insert("worker_panics", Value::UInt(u128::from(state.panicked.load(Ordering::SeqCst))));
     o.insert("workers_reclaimed", Value::UInt(u128::from(state.reclaimed.load(Ordering::SeqCst))));
     o.insert("prepare_runs", Value::UInt(u128::from(c.prepare_runs.load(Ordering::SeqCst))));
@@ -933,8 +1011,17 @@ fn metrics_exposition(state: &Arc<ServiceState>) -> Result<String, ProtocolError
     exp.sample("taj_uptime_seconds", &[], state.started.elapsed().as_secs_f64());
     exp.family("taj_workers", "Worker pool size.", "gauge");
     exp.sample("taj_workers", &[], state.workers as f64);
-    let counters: [(&str, &str, u64); 11] = [
+    exp.family("taj_max_queue", "Admission-queue bound (jobs queued, not running).", "gauge");
+    exp.sample("taj_max_queue", &[], state.max_queue as f64);
+    exp.family("taj_queue_depth", "Jobs submitted but not yet picked up by a worker.", "gauge");
+    exp.sample("taj_queue_depth", &[], state.queue_depth.load(Ordering::SeqCst) as f64);
+    let counters: [(&str, &str, u64); 12] = [
         ("taj_requests_total", "Requests received.", c.requests.load(Ordering::SeqCst)),
+        (
+            "taj_requests_shed_total",
+            "Requests rejected with `overloaded` by admission control.",
+            c.requests_shed.load(Ordering::SeqCst),
+        ),
         (
             "taj_analyze_requests_total",
             "Analyze requests received.",

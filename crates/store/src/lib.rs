@@ -197,7 +197,14 @@ impl DiskStore {
                 return None;
             }
         };
-        match self.decode(key, &bytes) {
+        // Chaos site: a medium-level read error (bit rot the kernel did
+        // not surface) manifests as bytes that fail validation.
+        let decoded = if taj_supervise::fail_hook("store.get.read_error").is_some() {
+            None
+        } else {
+            self.decode(key, &bytes)
+        };
+        match decoded {
             Some(payload) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 // Reads refresh mtime so LRU-by-mtime eviction spares hot
@@ -281,7 +288,14 @@ impl DiskStore {
             self.tmp_seq.fetch_add(1, Ordering::Relaxed)
         ));
         let old_len = fs::metadata(&path).map(|m| m.len()).ok();
-        let published = fs::write(&tmp, &bytes).and_then(|()| fs::rename(&tmp, &path));
+        // Chaos site: a torn write that still gets published — the
+        // header's `len=`/`sum=` fields must catch it on the next read.
+        let write_len = if taj_supervise::fail_hook("store.put.short_write").is_some() {
+            bytes.len() / 2
+        } else {
+            bytes.len()
+        };
+        let published = fs::write(&tmp, &bytes[..write_len]).and_then(|()| fs::rename(&tmp, &path));
         if let Err(_e) = published {
             self.write_errors.fetch_add(1, Ordering::Relaxed);
             let _ = fs::remove_file(&tmp);
@@ -297,7 +311,7 @@ impl DiskStore {
                 self.entries.fetch_add(1, Ordering::Relaxed);
             }
         }
-        self.bytes_used.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.bytes_used.fetch_add(write_len as u64, Ordering::Relaxed);
         if self.bytes_used.load(Ordering::Relaxed) > self.budget {
             self.evict(&path);
         }
@@ -538,6 +552,53 @@ mod tests {
         assert!(!dir.join(".tmp-999-0").exists(), "crashed writer's tmp swept");
         assert_eq!(store.stats().replayed_entries, 0);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Fault-injection coverage for the chaos sites: every injected
+    /// disk fault must end in a quarantine (a miss) and a writable
+    /// slot, never a panic or served bytes. Serialized via
+    /// `FailScenario::setup`'s global lock.
+    #[cfg(feature = "taj_failpoints")]
+    mod chaos {
+        use super::*;
+        use taj_supervise::failpoints::{self, FailAction, FailScenario};
+
+        #[test]
+        fn short_write_is_quarantined_on_read_not_served() {
+            let _scenario = FailScenario::setup();
+            let dir = temp_dir("fp-shortwrite");
+            let store = DiskStore::open(&dir, 1 << 20, 7).unwrap();
+            failpoints::configure("store.put.short_write", FailAction::Cancel);
+            store.put("k", "a payload long enough that half of it is torn off");
+            failpoints::remove("store.put.short_write");
+            assert_eq!(store.get("k"), None, "torn entry must miss, not serve");
+            let s = store.stats();
+            assert_eq!(s.quarantined, 1, "{s:?}");
+            // The slot heals: a clean rewrite serves again.
+            store.put("k", "fresh");
+            assert_eq!(store.get("k").as_deref(), Some("fresh"));
+            let _ = fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn read_error_is_quarantined_then_recovers() {
+            let _scenario = FailScenario::setup();
+            let dir = temp_dir("fp-readerror");
+            let store = DiskStore::open(&dir, 1 << 20, 7).unwrap();
+            store.put("k", "good payload");
+            failpoints::configure("store.get.read_error", FailAction::Cancel);
+            assert_eq!(store.get("k"), None, "injected read error must miss");
+            failpoints::remove("store.get.read_error");
+            let s = store.stats();
+            assert_eq!((s.quarantined, s.hits), (1, 0), "{s:?}");
+            // Conservative by design: the entry was quarantined (we
+            // cannot tell bit rot from a bad read), so the next lookup
+            // is a clean miss and the slot is writable.
+            assert_eq!(store.get("k"), None);
+            store.put("k", "rewritten");
+            assert_eq!(store.get("k").as_deref(), Some("rewritten"));
+            let _ = fs::remove_dir_all(&dir);
+        }
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! taj configs
 //! taj demo
 //! taj serve [--socket PATH | --tcp ADDR] [--workers N] [--cache-mb N] [--timeout-ms N]
-//!           [--store-dir DIR] [--store-mb N]
+//!           [--store-dir DIR] [--store-mb N] [--max-queue N]
 //! taj router (--socket PATH | --tcp ADDR) --shard ADDR [--shard ADDR ...] [--timeout-ms N]
+//!            [--failure-threshold N] [--cooldown-ms N]
 //! taj client (--socket PATH | --tcp ADDR) analyze <file.jweb> [--config NAME] [--sarif]
 //!            [--timeout-ms N] [--degrade] [--threads N]
 //! taj client (--socket PATH | --tcp ADDR) analyze --batch <file.jweb> [<file.jweb> ...]
@@ -24,7 +25,7 @@ use std::time::Duration;
 
 use taj::core::{analyze_source_opts, RuleSet, RunOptions, Supervisor, TajConfig, TajError};
 use taj::obs::Recorder;
-use taj::service::{AnalyzeOpts, Bind, Client, RouterOptions, ServeOptions};
+use taj::service::{AnalyzeOpts, Bind, Client, RouterOptions, RouterTuning, ServeOptions};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,10 +63,10 @@ fn main() -> ExitCode {
             eprintln!("       taj configs          list configuration names");
             eprintln!("       taj demo             analyze the paper's Figure 1 program");
             eprintln!(
-                "       taj serve [--socket PATH | --tcp ADDR] [--workers N] [--cache-mb N] [--timeout-ms N] [--store-dir DIR] [--store-mb N] [--debug]"
+                "       taj serve [--socket PATH | --tcp ADDR] [--workers N] [--cache-mb N] [--timeout-ms N] [--store-dir DIR] [--store-mb N] [--max-queue N] [--debug]"
             );
             eprintln!(
-                "       taj router (--socket PATH | --tcp ADDR) --shard ADDR [--shard ADDR ...] [--timeout-ms N]"
+                "       taj router (--socket PATH | --tcp ADDR) --shard ADDR [--shard ADDR ...] [--timeout-ms N] [--failure-threshold N] [--cooldown-ms N]"
             );
             eprintln!(
                 "       taj client (--socket PATH | --tcp ADDR) analyze <file.jweb> [--config NAME] [--rules FILE] [--sarif] [--timeout-ms N] [--degrade] [--threads N]"
@@ -269,6 +270,7 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         opt("timeout-ms"),
         opt("store-dir"),
         opt("store-mb"),
+        opt("max-queue"),
         flag("debug"),
     ];
     let parsed = match parse_args(args, SPEC, 0) {
@@ -300,6 +302,10 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         },
         None => None,
     };
+    let max_queue = match parse_num(&parsed, "max-queue", 0) {
+        Ok(n) => n as usize,
+        Err(code) => return code,
+    };
     let options = ServeOptions {
         bind,
         workers,
@@ -308,6 +314,7 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         debug: parsed.has("debug"),
         store_dir: parsed.value("store-dir").map(std::path::PathBuf::from),
         store_bytes: store_mb << 20,
+        max_queue,
     };
     match taj::service::serve(options) {
         Ok(handle) => {
@@ -324,7 +331,14 @@ fn serve_cmd(args: &[String]) -> ExitCode {
 }
 
 fn router_cmd(args: &[String]) -> ExitCode {
-    const SPEC: &[FlagSpec] = &[opt("socket"), opt("tcp"), opt("shard"), opt("timeout-ms")];
+    const SPEC: &[FlagSpec] = &[
+        opt("socket"),
+        opt("tcp"),
+        opt("shard"),
+        opt("timeout-ms"),
+        opt("failure-threshold"),
+        opt("cooldown-ms"),
+    ];
     let parsed = match parse_args(args, SPEC, 0) {
         Ok(p) => p,
         Err(e) => return usage_error(&e),
@@ -346,7 +360,16 @@ fn router_cmd(args: &[String]) -> ExitCode {
         },
         None => None,
     };
-    let options = RouterOptions { bind, shards, default_timeout_ms: timeout_ms };
+    let mut tuning = RouterTuning::default();
+    match parse_num(&parsed, "failure-threshold", u64::from(tuning.failure_threshold)) {
+        Ok(n) => tuning.failure_threshold = n.max(1).min(u64::from(u32::MAX)) as u32,
+        Err(code) => return code,
+    }
+    match parse_num(&parsed, "cooldown-ms", tuning.cooldown_ms) {
+        Ok(n) => tuning.cooldown_ms = n,
+        Err(code) => return code,
+    }
+    let options = RouterOptions { bind, shards, default_timeout_ms: timeout_ms, tuning };
     match taj::service::route(options) {
         Ok(handle) => {
             println!("taj-router listening on {}", handle.addr());

@@ -4,7 +4,7 @@
 //! and fails over to local analysis when a shard dies.
 
 use serde::Value;
-use taj::service::{route, serve, AnalyzeOpts, Client, RouterOptions, ServeOptions};
+use taj::service::{route, serve, AnalyzeOpts, Client, RouterOptions, RouterTuning, ServeOptions};
 
 const XSS_SERVLET: &str = r#"
     class Page extends HttpServlet {
@@ -141,6 +141,7 @@ fn router_forwards_byte_identically_and_reports_shard_health() {
         bind: taj::service::Bind::Tcp("127.0.0.1:0".to_string()),
         shards: vec![tcp_addr(&shard_a), tcp_addr(&shard_b)],
         default_timeout_ms: None,
+        tuning: RouterTuning::default(),
     })
     .expect("router starts");
     let mut via_router = Client::connect(router.addr()).expect("connect router");
@@ -192,6 +193,7 @@ fn router_splits_batches_across_shards_and_merges_in_order() {
         bind: taj::service::Bind::Tcp("127.0.0.1:0".to_string()),
         shards: vec![tcp_addr(&shard_a), tcp_addr(&shard_b)],
         default_timeout_ms: None,
+        tuning: RouterTuning::default(),
     })
     .expect("router starts");
     let mut via_router = Client::connect(router.addr()).expect("connect router");
@@ -238,6 +240,7 @@ fn router_fails_over_to_local_analysis_when_a_shard_dies() {
         bind: taj::service::Bind::Tcp("127.0.0.1:0".to_string()),
         shards: vec![addr_a.clone(), addr_b.clone()],
         default_timeout_ms: None,
+        tuning: RouterTuning::default(),
     })
     .expect("router starts");
     let mut via_router = Client::connect(router.addr()).expect("connect router");
@@ -266,4 +269,168 @@ fn router_fails_over_to_local_analysis_when_a_shard_dies() {
     );
     via_router.shutdown().expect("router drains");
     router.join();
+}
+
+#[test]
+fn shard_counters_are_disjoint_and_sum_to_forward_calls() {
+    // Pins the counter arithmetic: every forward call ends in exactly
+    // one of `forwarded` / `failovers`, and `retried` counts extra
+    // transport attempts on top — a failed-then-failed-over request is
+    // never double-counted.
+    let (shard, shard_client) = start(default_options());
+    let router = route(RouterOptions {
+        bind: taj::service::Bind::Tcp("127.0.0.1:0".to_string()),
+        shards: vec![tcp_addr(&shard)],
+        default_timeout_ms: None,
+        // A long cooldown keeps the prober out of this test's counters.
+        tuning: RouterTuning {
+            failure_threshold: 3,
+            cooldown_ms: 60_000,
+            forward_attempts: 2,
+            retry_base_ms: 1,
+            ..RouterTuning::default()
+        },
+    })
+    .expect("router starts");
+    let mut via_router = Client::connect(router.addr()).expect("connect router");
+
+    // Two healthy forwards.
+    for _ in 0..2 {
+        via_router.analyze(XSS_SERVLET, &AnalyzeOpts::default()).expect("healthy analyze");
+    }
+    // Kill the shard; the next three forwards each burn both transport
+    // attempts (1 extra attempt = 1 retried each), fail over, and the
+    // third one trips the breaker.
+    shutdown_and_join(shard_client, shard);
+    for _ in 0..3 {
+        via_router.analyze(XSS_SERVLET, &AnalyzeOpts::default()).expect("failover analyze");
+    }
+    // Breaker now open: the fourth failover fails fast, no retry burned.
+    via_router.analyze(XSS_SERVLET, &AnalyzeOpts::default()).expect("fast-fail analyze");
+
+    let stats = via_router.stats().expect("router stats");
+    let shards = stats["shards"].as_array().expect("shards array");
+    let s = &shards[0];
+    assert_eq!(stat(s, "forwarded"), 2, "{stats:?}");
+    assert_eq!(stat(s, "failovers"), 4, "{stats:?}");
+    // Forwards 2 and 3 deterministically burn one transport retry each;
+    // forward 1 burns one more unless the dying daemon's connection
+    // thread answered it with `shutting_down` (a race either way dead).
+    // Forward 4 hits an open breaker: never a retry.
+    assert!((2..=3).contains(&stat(s, "retried")), "open breaker burns no retries: {stats:?}");
+    assert_eq!(stat(s, "opens"), 1, "{stats:?}");
+    assert_eq!(s["state"].as_str(), Some("open"), "{stats:?}");
+    assert_eq!(s["healthy"].as_bool(), Some(false), "{stats:?}");
+    // The invariant itself: six forward calls, each counted exactly once.
+    assert_eq!(stat(s, "forwarded") + stat(s, "failovers"), 6, "{stats:?}");
+    assert_eq!(stat(&stats, "local_fallbacks"), 4, "{stats:?}");
+
+    let metrics = via_router.metrics().expect("router metrics");
+    assert!(metrics.contains("taj_router_shard_state"), "{metrics}");
+    assert!(metrics.contains("\"open\"} 1"), "breaker state one-hot: {metrics}");
+    assert!(metrics.contains("taj_router_shard_retried_total"), "{metrics}");
+    assert!(metrics.contains("taj_router_shard_opens_total"), "{metrics}");
+    via_router.shutdown().expect("router drains");
+    router.join();
+}
+
+#[test]
+fn batch_survives_shard_restart_and_breaker_reintegrates_via_probes() {
+    // The self-healing loop end to end: a shard dies mid-workload (its
+    // batch items fail over in order, exactly once), then comes back on
+    // the same port and is reintegrated by synthetic probes alone —
+    // closed breaker, real traffic flowing — without any user request
+    // having been risked against the half-dead shard.
+    let (shard_a, client_a) = start(default_options());
+    let (shard_b, mut client_b) = start(default_options());
+    let addr_a = tcp_addr(&shard_a);
+    let router = route(RouterOptions {
+        bind: taj::service::Bind::Tcp("127.0.0.1:0".to_string()),
+        shards: vec![addr_a.clone(), tcp_addr(&shard_b)],
+        default_timeout_ms: None,
+        tuning: RouterTuning {
+            failure_threshold: 1,
+            cooldown_ms: 100,
+            probe_interval_ms: 20,
+            forward_attempts: 1,
+            ..RouterTuning::default()
+        },
+    })
+    .expect("router starts");
+    let mut via_router = Client::connect(router.addr()).expect("connect router");
+
+    // Six distinct programs (the known-split corpus): item 0 is the XSS
+    // program, the rest are safe variants — the findings pattern pins
+    // per-item ordering through every phase below.
+    let mut sources = vec![XSS_SERVLET.to_string(), SAFE_SERVLET.to_string()];
+    for k in 0..4 {
+        sources.push(SAFE_SERVLET.replace("Quiet", &format!("Quiet{k}")));
+    }
+    let opts = AnalyzeOpts::default();
+    let batch_items: Vec<(String, AnalyzeOpts)> =
+        sources.iter().map(|s| (s.clone(), opts.clone())).collect();
+    let check_batch = |batch: &Value| {
+        assert_eq!(batch["count"].as_u64(), Some(sources.len() as u64));
+        let results = items(batch);
+        assert_eq!(item_findings(&results[0]), 1, "item 0 is the XSS program");
+        for (i, item) in results.iter().enumerate().skip(1) {
+            assert_eq!(item_findings(item), 0, "item {i} is a safe variant: {item:?}");
+        }
+    };
+    check_batch(&via_router.batch(&batch_items, None).expect("healthy batch"));
+
+    // Kill shard A mid-workload.
+    shutdown_and_join(client_a, shard_a);
+    let b_before = client_b.stats().expect("shard B stats");
+    check_batch(&via_router.batch(&batch_items, None).expect("batch during outage"));
+    let stats = via_router.stats().expect("router stats");
+    assert!(stat(&stats, "local_fallbacks") >= 1, "A's items failed over: {stats:?}");
+    let b_after = client_b.stats().expect("shard B stats");
+    // No duplicate execution: every one of the 6 items ran exactly once,
+    // either on shard B or as a router-local fallback.
+    assert_eq!(
+        (stat(&b_after, "analyze_requests") - stat(&b_before, "analyze_requests"))
+            + stat(&stats, "local_fallbacks"),
+        sources.len() as u64,
+        "B delta + fallbacks must cover the outage batch exactly: {b_after:?} {stats:?}"
+    );
+    let forwarded_a_down = stat(&stats["shards"].as_array().unwrap()[0], "forwarded");
+
+    // Restart shard A on the same port and wait for the probe chain
+    // (open → half_open → closed) with no user traffic in between.
+    let shard_a2 = serve(ServeOptions {
+        bind: taj::service::Bind::Tcp(addr_a.clone()),
+        workers: 2,
+        ..ServeOptions::tcp_ephemeral()
+    })
+    .expect("shard A restarts on its old port");
+    let client_a2 = Client::connect(shard_a2.addr()).expect("reconnect A");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let stats = via_router.stats().expect("router stats");
+        let a = &stats["shards"].as_array().expect("shards")[0];
+        if a["state"].as_str() == Some("closed") {
+            assert!(stat(a, "probes") >= 1, "reintegration must come from probes: {stats:?}");
+            assert_eq!(
+                stat(a, "forwarded"),
+                forwarded_a_down,
+                "no user request reached A before its breaker closed: {stats:?}"
+            );
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "breaker never closed: {stats:?}");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // Real traffic flows to the reintegrated shard again.
+    check_batch(&via_router.batch(&batch_items, None).expect("batch after reintegration"));
+    let stats = via_router.stats().expect("router stats");
+    assert!(
+        stat(&stats["shards"].as_array().unwrap()[0], "forwarded") > forwarded_a_down,
+        "reintegrated shard serves again: {stats:?}"
+    );
+    via_router.shutdown().expect("router drains");
+    router.join();
+    shutdown_and_join(client_a2, shard_a2);
+    shutdown_and_join(client_b, shard_b);
 }

@@ -7,7 +7,9 @@ use std::sync::mpsc::channel;
 use std::time::Duration;
 
 use serde::Value;
-use taj::service::{serve, AnalyzeOpts, Bind, Client, ClientError, ServeOptions, ServerHandle};
+use taj::service::{
+    serve, AnalyzeOpts, Bind, Client, ClientError, RetryPolicy, ServeOptions, ServerHandle,
+};
 
 const SERVLET: &str = r#"
     class Page extends HttpServlet {
@@ -336,6 +338,62 @@ fn timeout_reclaims_worker_running_multithreaded_slice() {
     let report = client.analyze(SERVLET, &AnalyzeOpts::default()).expect("analyze after reclaim");
     assert_eq!(report["findings"].as_array().map(Vec::len), Some(1));
     client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn admission_control_sheds_with_retry_hint_when_the_queue_is_full() {
+    // One worker, one queue slot: job 1 runs, job 2 queues, job 3 must
+    // be shed with `overloaded` — an O(1) rejection, not a hang.
+    let options =
+        ServeOptions { workers: 1, max_queue: 1, debug: true, ..ServeOptions::tcp_ephemeral() };
+    let handle = serve(options).expect("server starts");
+    let addr = handle.addr().clone();
+    let spawn_sleeper = |ms: u64| {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).expect("sleeper connects");
+            c.request_raw(&format!("{{\"id\":1,\"cmd\":\"debug_sleep\",\"ms\":{ms}}}"))
+                .expect("sleeper completes")
+        })
+    };
+    let busy = spawn_sleeper(1200);
+    std::thread::sleep(Duration::from_millis(150)); // job 1 picked up
+    let queued = spawn_sleeper(300);
+    std::thread::sleep(Duration::from_millis(150)); // job 2 sits in the queue
+
+    // `request_raw` never retries: we must see the raw rejection.
+    let mut probe = Client::connect(handle.addr()).expect("probe connects");
+    let raw =
+        probe.request_raw(r#"{"id":3,"cmd":"debug_sleep","ms":1}"#).expect("shed response arrives");
+    assert_eq!(error_code(&raw), "overloaded");
+    let v: Value = serde_json::from_str(&raw).unwrap();
+    let hint = v["error"]["retry_after_ms"].as_u64().expect("retry_after_ms hint present");
+    assert!((1..=1000).contains(&hint), "sane hint: {raw}");
+    assert_eq!(v["id"].as_u64(), Some(3), "shed response echoes the request id");
+
+    // The shed is visible in stats and metrics.
+    let stats = probe.stats().expect("stats");
+    assert_eq!(stats["requests_shed"].as_u64(), Some(1), "{stats:?}");
+    assert_eq!(stats["max_queue"].as_u64(), Some(1), "{stats:?}");
+    let metrics = probe.metrics().expect("metrics");
+    assert!(metrics.contains("taj_requests_shed_total 1"), "{metrics}");
+    assert!(metrics.contains("taj_queue_depth"), "{metrics}");
+    assert!(metrics.contains("taj_max_queue 1"), "{metrics}");
+
+    // A client with a patient retry policy rides out the overload: the
+    // same logical request succeeds once the queue drains, because
+    // `overloaded` is retryable and the hint floors the backoff.
+    let mut patient = Client::connect(handle.addr())
+        .expect("patient connects")
+        .with_retry(RetryPolicy { max_attempts: 8, base_backoff_ms: 100, max_backoff_ms: 2_000 });
+    let report =
+        patient.analyze(SERVLET, &AnalyzeOpts::default()).expect("retry rides out the overload");
+    assert_eq!(report["findings"].as_array().map(Vec::len), Some(1));
+
+    busy.join().unwrap();
+    queued.join().unwrap();
+    probe.shutdown().unwrap();
     handle.join();
 }
 
