@@ -1,0 +1,194 @@
+//! Incremental-analysis benchmark: cold full analyze vs. warm
+//! `analyze_delta` over generated edits. Emits `BENCH_incremental.json`.
+//!
+//! The harness stands up one in-process daemon, analyzes a generated
+//! webgen benchmark cold (filling the prepared/phase-1/summary tiers),
+//! then replays edits of increasing weight through `analyze_delta`:
+//!
+//! - **comment** — a trailing comment; the edit region is empty and the
+//!   daemon reuses the base phase-1 artifact outright;
+//! - **body-single** — one method body changes; only that method's
+//!   dependency region is re-solved;
+//! - **body-multi** — two method bodies in different classes change.
+//!
+//! Each delta response's `delta` object reports how many method
+//! summaries were re-solved vs. the program total; the harness fails if
+//! a warm single-method edit did not re-solve *strictly fewer* methods
+//! than the program holds — that inequality is the incremental path's
+//! reason to exist, and CI asserts it from the emitted JSON too.
+//!
+//! Usage: `incremental [--quick] [--out PATH]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use taj_service::{serve, AnalyzeOpts, Bind, BoundAddr, Client, ServeOptions};
+use taj_webgen::{apply_edit, generate, standard_mix, BenchmarkSpec, EditKind};
+
+fn tcp_addr(bound: &BoundAddr) -> String {
+    match bound {
+        BoundAddr::Tcp(a) => a.to_string(),
+        BoundAddr::Unix(p) => panic!("expected TCP bind, got unix:{}", p.display()),
+    }
+}
+
+/// One delta request's outcome, straight from the response envelope.
+struct EditResult {
+    kind: String,
+    wall_ms: f64,
+    source: String,
+    phase1_reused: bool,
+    methods_resolved: u64,
+    methods_total: u64,
+}
+
+fn run_delta(
+    client: &mut Client,
+    opts: &AnalyzeOpts,
+    base: &str,
+    edited: &str,
+    kind: &str,
+) -> EditResult {
+    let t = Instant::now();
+    let (result, delta) = client.analyze_delta(base, edited, opts).expect("analyze_delta");
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    // The delta result must be exactly what a plain analyze of the
+    // edited source returns — and having just run, that analyze is a
+    // report-cache hit, so the comparison is cheap.
+    let replay = client.analyze(edited, opts).expect("replay analyze");
+    assert_eq!(result, replay, "{kind}: delta result differs from plain analyze");
+    let field_u64 = |name: &str| delta.get(name).and_then(serde::Value::as_u64).unwrap_or(0);
+    EditResult {
+        kind: kind.to_string(),
+        wall_ms,
+        source: delta.get("source").and_then(serde::Value::as_str).unwrap_or("?").to_string(),
+        phase1_reused: delta.get("phase1_reused").and_then(serde::Value::as_bool) == Some(true),
+        methods_resolved: field_u64("methods_resolved"),
+        methods_total: field_u64("methods_total"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let arg =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
+    let out_path = arg("--out").unwrap_or_else(|| "BENCH_incremental.json".to_string());
+
+    let spec = BenchmarkSpec {
+        name: "incremental".into(),
+        pattern_counts: standard_mix(if quick { 6 } else { 18 }, 0, !quick),
+        filler_classes: if quick { 6 } else { 16 },
+        methods_per_class: if quick { 5 } else { 8 },
+        seed: 0x17C4,
+    };
+    let bench = generate(&spec);
+    eprintln!(
+        "incremental: {} classes, {} methods, {} lines",
+        bench.stats.classes, bench.stats.methods, bench.stats.lines
+    );
+
+    let handle = serve(ServeOptions {
+        bind: Bind::Tcp("127.0.0.1:0".to_string()),
+        workers: 2,
+        cache_bytes: 128 << 20,
+        default_timeout_ms: None,
+        debug: false,
+        store_dir: None,
+        store_bytes: 0,
+        max_queue: 0,
+    })
+    .expect("start daemon");
+    let addr = tcp_addr(handle.addr());
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let opts = AnalyzeOpts { threads: Some(1), ..AnalyzeOpts::default() };
+
+    // Cold: the full pipeline, and the base artifacts every later delta
+    // request builds on.
+    let t = Instant::now();
+    client.analyze(&bench.source, &opts).expect("cold analyze");
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    eprintln!("cold analyze: {cold_ms:.1} ms");
+
+    let mut edits = Vec::new();
+
+    // Comment edit: empty region, whole-artifact reuse.
+    let commented = apply_edit(&bench.source, EditKind::Comment, 1).expect("comment edit applies");
+    edits.push(run_delta(&mut client, &opts, &bench.source, &commented, "comment"));
+
+    // Single-method body edit: the flagship case — strictly fewer
+    // methods re-solved than the program holds.
+    let single = apply_edit(&bench.source, EditKind::Body, 2).expect("body edit applies");
+    edits.push(run_delta(&mut client, &opts, &bench.source, &single, "body-single"));
+
+    // Multi-method edit: two bodies, (almost surely) two classes.
+    let multi_a = apply_edit(&bench.source, EditKind::Body, 3).expect("body edit applies");
+    let multi = apply_edit(&multi_a, EditKind::Body, 11).expect("second body edit applies");
+    edits.push(run_delta(&mut client, &opts, &bench.source, &multi, "body-multi"));
+
+    for e in &edits {
+        eprintln!(
+            "{}: {:.1} ms, phase1 {}, {} of {} methods re-solved",
+            e.kind, e.wall_ms, e.source, e.methods_resolved, e.methods_total
+        );
+    }
+
+    // Daemon-side counters confirm what the envelopes claimed.
+    let stats = client.stats().expect("stats");
+    let counter = |name: &str| stats.get(name).and_then(serde::Value::as_u64).unwrap_or(0);
+    let delta_requests = counter("delta_requests");
+    let delta_phase1_reused = counter("delta_phase1_reused");
+    let delta_methods_resolved = counter("delta_methods_resolved");
+    let delta_methods_total = counter("delta_methods_total");
+
+    let _ = client.shutdown();
+    handle.join();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"suite\": \"webgen-incremental\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(
+        json,
+        "  \"program\": {{\"classes\": {}, \"methods\": {}, \"lines\": {}}},",
+        bench.stats.classes, bench.stats.methods, bench.stats.lines
+    );
+    let _ = writeln!(json, "  \"cold\": {{\"wall_ms\": {cold_ms:.3}}},");
+    json.push_str("  \"edits\": [\n");
+    for (i, e) in edits.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"kind\": \"{}\", \"wall_ms\": {:.3}, \"source\": \"{}\", \
+             \"phase1_reused\": {}, \"methods_resolved\": {}, \"methods_total\": {}}}",
+            e.kind, e.wall_ms, e.source, e.phase1_reused, e.methods_resolved, e.methods_total
+        );
+        json.push_str(if i + 1 < edits.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"counters\": {{\"delta_requests\": {delta_requests}, \
+         \"delta_phase1_reused\": {delta_phase1_reused}, \
+         \"delta_methods_resolved\": {delta_methods_resolved}, \
+         \"delta_methods_total\": {delta_methods_total}}}"
+    );
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    eprintln!("wrote {out_path}");
+
+    // The incremental path's contract: a warm single-method edit
+    // re-solves some methods, but strictly fewer than the program holds.
+    let single = edits.iter().find(|e| e.kind == "body-single").expect("single edit ran");
+    if single.methods_resolved == 0 || single.methods_resolved >= single.methods_total {
+        eprintln!(
+            "FAIL: body-single re-solved {} of {} methods (want 0 < resolved < total)",
+            single.methods_resolved, single.methods_total
+        );
+        std::process::exit(1);
+    }
+    let comment = edits.iter().find(|e| e.kind == "comment").expect("comment edit ran");
+    if !comment.phase1_reused {
+        eprintln!("FAIL: comment edit did not reuse the base phase-1 artifact");
+        std::process::exit(1);
+    }
+}

@@ -24,6 +24,7 @@ use crate::frameworks::DeploymentDescriptor;
 use crate::lcp;
 use crate::parallel;
 use crate::rules::{IssueType, RuleSet};
+use crate::summaries::{DeltaPlan, SummaryStore};
 
 /// A reported flow with human-readable anchors (serializable).
 #[derive(Clone, Debug, Serialize)]
@@ -349,6 +350,19 @@ pub struct Phase1 {
     /// `max_cg_nodes` budget) with escape/MHP replaced by their
     /// conservative top elements — usable, but not cacheable.
     pub interrupted: Option<InterruptReason>,
+    /// Summary-store provenance when this result was produced by an
+    /// incremental run: `(program_fingerprint, methods_total)` of the
+    /// [`crate::summaries::SummaryStore`] it was solved against. `None`
+    /// for plain (non-incremental) runs, which never pay the canonical-
+    /// rendering cost. Observation metadata only — deliberately **not**
+    /// part of [`Phase1::matches`]: the result is byte-identical to a
+    /// cold solve of the same program either way.
+    pub summary_key: Option<(u128, usize)>,
+    /// How many method summaries the producing run re-solved: the full
+    /// store size for a cold run, the dirty-region size for an
+    /// incremental one, 0 when the artifact was reused outright.
+    /// Observation metadata, same caveat as `summary_key`.
+    pub methods_resolved: usize,
     cg_key: (Option<usize>, bool),
 }
 
@@ -392,6 +406,40 @@ pub fn run_phase1_traced(
     supervisor: &Supervisor,
     recorder: &Recorder,
 ) -> Phase1 {
+    run_phase1_prescanned(prepared, config, supervisor, recorder, None)
+}
+
+/// Phase 1 for the incremental (`analyze_delta`) path: solves against a
+/// [`SummaryStore`] built for `prepared`, reconstructing the pointer
+/// solver's startup scan from the summaries instead of re-walking every
+/// instruction, and stamping the result with summary provenance
+/// ([`Phase1::summary_key`], [`Phase1::methods_resolved`]).
+///
+/// The fixpoint itself still runs over the whole program — that is what
+/// guarantees the result is byte-identical to a cold solve (see
+/// `docs/incremental.md` for what incrementality does and does not skip).
+/// `plan` sizes the provenance counters; it does not change the solution.
+pub fn run_phase1_incremental(
+    prepared: &PreparedProgram,
+    config: &TajConfig,
+    supervisor: &Supervisor,
+    recorder: &Recorder,
+    summaries: &SummaryStore,
+    plan: &DeltaPlan,
+) -> Phase1 {
+    let mut phase1 = run_phase1_prescanned(prepared, config, supervisor, recorder, Some(summaries));
+    phase1.summary_key = Some((summaries.program_fingerprint, summaries.methods.len()));
+    phase1.methods_resolved = plan.methods_resolved();
+    phase1
+}
+
+fn run_phase1_prescanned(
+    prepared: &PreparedProgram,
+    config: &TajConfig,
+    supervisor: &Supervisor,
+    recorder: &Recorder,
+    summaries: Option<&SummaryStore>,
+) -> Phase1 {
     let program = &prepared.program;
     let mut phase_span = recorder.span("phase1");
     let solver_cfg = SolverConfig {
@@ -401,7 +449,11 @@ pub fn run_phase1_traced(
         source_methods: prepared.rules.all_sources(program),
         supervisor: supervisor.clone(),
     };
-    let pts = taj_pointer::analyze_traced(program, &solver_cfg, recorder);
+    let prescan = summaries.and_then(|s| s.to_prescan(program, &solver_cfg.source_methods));
+    let pts = match prescan {
+        Some(p) => taj_pointer::analyze_prescanned(program, &solver_cfg, recorder, p),
+        None => taj_pointer::analyze_traced(program, &solver_cfg, recorder),
+    };
     let mut interrupted = pts.interrupted;
     let heap_span = recorder.span("phase1.heapgraph");
     let heap = HeapGraph::build(&pts);
@@ -441,6 +493,8 @@ pub fn run_phase1_traced(
         escape,
         mhp,
         interrupted,
+        summary_key: None,
+        methods_resolved: 0,
         cg_key: (config.max_cg_nodes, config.priority),
     }
 }
@@ -1276,10 +1330,24 @@ mod tests {
 
         // Exhaustive destructuring: a new `Phase1` field fails to compile
         // until it is audited for thread-count independence.
-        let Phase1 { pts: _, heap: _, escape: _, mhp: _, pointer_ms: _, interrupted, cg_key } =
-            &phase1;
+        let Phase1 {
+            pts: _,
+            heap: _,
+            escape: _,
+            mhp: _,
+            pointer_ms: _,
+            interrupted,
+            summary_key,
+            methods_resolved,
+            cg_key,
+        } = &phase1;
         assert!(interrupted.is_none());
         assert_eq!(*cg_key, (config.max_cg_nodes, config.priority));
+        // Summary provenance is observation metadata: plain runs carry
+        // none, and it must stay outside the `matches` validity domain
+        // (the solution is byte-identical to a cold solve regardless).
+        assert_eq!(*summary_key, None);
+        assert_eq!(*methods_resolved, 0);
 
         // `matches` accepts every config with the same call-graph
         // settings and rejects any config that differs in either

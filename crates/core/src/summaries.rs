@@ -1,0 +1,841 @@
+//! Per-method summaries and structural diffing for incremental analysis.
+//!
+//! The daemon's artifact cache is content-addressed on the *whole* source
+//! text, so a one-character edit misses every tier and forces a cold
+//! re-solve. This module provides the unit of incrementality underneath
+//! `analyze_delta`: each method of a prepared program gets a
+//! [`MethodSummary`] — a 128-bit fingerprint of a *canonical, name-resolved
+//! rendering* of its IR plus name-based dependency edges (calls, field
+//! loads, field stores). A [`SummaryStore`] holds one summary per method
+//! together with a program-level fingerprint.
+//!
+//! Given a base store and an edited program, [`SummaryStore::build_delta`]
+//! computes the **dirty set** (methods whose fingerprint changed, plus
+//! added methods), folds in the neighborhood of removed methods, and closes
+//! the set transitively over the dependency graph (callers ∪ callees by
+//! name/selector match ∪ field-coupled loader/storer pairs) to produce a
+//! [`DeltaPlan`] — the *dirty region* whose phase-1 facts can no longer be
+//! trusted.
+//!
+//! Two properties make the fingerprints safe to diff across independently
+//! parsed programs:
+//!
+//! 1. **Name resolution.** The rendering resolves every interned id that is
+//!    program-global (classes, fields, methods, selectors, types) to its
+//!    source-level name; only method-*local* ids (registers, block ids,
+//!    locations) are rendered raw. Two isomorphic methods therefore render
+//!    identically even when their programs interned ids differently.
+//! 2. **Determinism.** Parsing, model expansion, and SSA construction are
+//!    deterministic in AST traversal order, so equal program fingerprints
+//!    imply the two [`jir::Program`]s are isomorphic *with identical
+//!    interned ids* — which is what lets the daemon reuse a base-keyed
+//!    `Phase1` verbatim when the dirty region is empty (see
+//!    `docs/incremental.md`).
+//!
+//! The summaries double as a pre-computed form of the pointer solver's
+//! startup scan: [`SummaryStore::to_prescan`] reconstructs
+//! [`taj_pointer::solver::PreScan`] (field-loader / method-store indexes
+//! and the source-adjacent set that drives §6.1 priority mode) without
+//! re-walking every instruction.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt::Write as _;
+
+use jir::inst::{CallTarget, ConstValue, Filter, Inst, Terminator};
+use jir::method::{MethodId, MethodKind};
+use jir::pretty::type_name;
+use jir::program::Program;
+use taj_pointer::solver::PreScan;
+
+// ---------------------------------------------------------------------------
+// FNV-1a-128 (same construction as taj-store's content hash; duplicated here
+// because taj-core does not depend on taj-store).
+// ---------------------------------------------------------------------------
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// 128-bit FNV-1a over a byte string.
+fn fnv1a_128(bytes: &[u8]) -> u128 {
+    let mut h = FNV128_OFFSET;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(FNV128_PRIME);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Summaries
+// ---------------------------------------------------------------------------
+
+/// A name-based call dependency recorded in a [`MethodSummary`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CallDep {
+    /// Static or special (constructor / `super`) call to a fixed target,
+    /// identified by its qualified key `Owner.name#arity`.
+    Direct(String),
+    /// Virtual dispatch through a selector: `(name, arity)`. Resolution
+    /// depends on the class hierarchy, so the edge couples the caller to
+    /// *every* method matching the selector.
+    Virtual(String, usize),
+}
+
+/// Summary of one method: canonical fingerprint plus name-based
+/// dependency facts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MethodSummary {
+    /// Qualified key: `Owner.name#arity`, suffixed `/n` for the n-th
+    /// duplicate (same owner, name, and arity) in method-table order.
+    pub key: String,
+    /// Declaring class name.
+    pub owner: String,
+    /// Method name.
+    pub name: String,
+    /// Declared (non-receiver) parameter count.
+    pub arity: usize,
+    /// FNV-1a-128 of the canonical rendering of the method.
+    pub fingerprint: u128,
+    /// Call edges, in body order.
+    pub calls: Vec<CallDep>,
+    /// Field keys (`Owner.field`) loaded by the body — instance *and*
+    /// static loads, in body order, **duplicates preserved** so that
+    /// [`SummaryStore::to_prescan`] reproduces the pointer solver's scan
+    /// vectors exactly.
+    pub loads: Vec<String>,
+    /// Field keys stored by the body; same ordering contract as `loads`.
+    pub stores: Vec<String>,
+    /// Whether the method has an analyzable body (false for intrinsics
+    /// and abstract methods).
+    pub has_body: bool,
+}
+
+/// Per-method summaries for one prepared program, plus the program-level
+/// fingerprint that guards whole-artifact reuse.
+#[derive(Clone, Debug)]
+pub struct SummaryStore {
+    /// Fingerprint of the whole program: class shapes (names, hierarchy,
+    /// fields, method lists), every method rendering, and entrypoints.
+    /// Equality implies the programs are isomorphic with identical
+    /// interned ids.
+    pub program_fingerprint: u128,
+    /// One summary per method, in method-table (id) order.
+    pub methods: Vec<MethodSummary>,
+    /// Key → index into `methods`.
+    index: HashMap<String, usize>,
+}
+
+/// The result of diffing an edited program against a base
+/// [`SummaryStore`]: which summaries changed and which transitively
+/// depend on them.
+#[derive(Clone, Debug)]
+pub struct DeltaPlan {
+    /// Keys whose fingerprint changed, plus keys new in the edited
+    /// program. Sorted.
+    pub dirty: Vec<String>,
+    /// Keys present in the base but absent from the edited program.
+    /// Sorted.
+    pub removed: Vec<String>,
+    /// Transitive closure of `dirty` (∪ neighbors of `removed`) over the
+    /// edited dependency graph. Sorted. These are the methods whose
+    /// phase-1 facts must be re-solved.
+    pub region: Vec<String>,
+    /// Total method count of the edited program.
+    pub methods_total: usize,
+}
+
+impl DeltaPlan {
+    /// True when nothing structural changed: no dirty, removed, or
+    /// dependent methods. (Comment/whitespace-only edits land here.)
+    pub fn region_empty(&self) -> bool {
+        self.region.is_empty() && self.removed.is_empty()
+    }
+
+    /// Number of method summaries that must be re-solved.
+    pub fn methods_resolved(&self) -> usize {
+        self.region.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical rendering
+// ---------------------------------------------------------------------------
+
+/// Renders one method into its canonical, name-resolved form.
+///
+/// This deliberately does **not** reuse [`jir::pretty`]: the debug printer
+/// leaks raw interned ids in two places that would make fingerprints
+/// id-dependent across edits ([`Filter::InstanceOf`] is printed via `Debug`
+/// with the raw `ClassId`, and array load/store indices are omitted), and
+/// virtual calls print only the selector name, collapsing distinct
+/// arities. Here every program-global id resolves to a name; registers,
+/// block ids, and locations are method-local and render raw.
+pub fn render_method(program: &Program, mid: MethodId) -> String {
+    let m = program.method(mid);
+    let mut out = String::new();
+    let owner = &program.class(m.owner).name;
+    let _ = write!(
+        out,
+        "{}{}.{}#{}(",
+        if m.is_static { "static " } else { "" },
+        owner,
+        m.name,
+        m.params.len()
+    );
+    let params: Vec<String> = m.params.iter().map(|&t| type_name(program, t)).collect();
+    let _ = writeln!(out, "{}) -> {} {{", params.join(","), type_name(program, m.ret));
+    match &m.kind {
+        MethodKind::Intrinsic(i) => {
+            let _ = writeln!(out, "<intrinsic {i:?}>");
+        }
+        MethodKind::Abstract => {
+            let _ = writeln!(out, "<abstract>");
+        }
+        MethodKind::Body(body) => {
+            for (bid, block) in body.iter_blocks() {
+                match block.handler {
+                    Some(h) => {
+                        let _ = writeln!(out, "{bid} handler {h}:");
+                    }
+                    None => {
+                        let _ = writeln!(out, "{bid}:");
+                    }
+                }
+                for inst in &block.insts {
+                    let _ = writeln!(out, " {}", render_inst(program, inst));
+                }
+                let _ = writeln!(out, " {}", render_term(&block.term));
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn method_ref(program: &Program, mid: MethodId) -> String {
+    let m = program.method(mid);
+    format!("{}.{}#{}", program.class(m.owner).name, m.name, m.params.len())
+}
+
+fn field_ref(program: &Program, fid: jir::FieldId) -> String {
+    let f = program.field(fid);
+    format!("{}.{}", program.class(f.owner).name, f.name)
+}
+
+fn render_inst(program: &Program, inst: &Inst) -> String {
+    match inst {
+        Inst::Const { dst, value } => format!("{dst}=const {}", render_const(program, value)),
+        Inst::Assign { dst, src, filter: None } => format!("{dst}={src}"),
+        Inst::Assign { dst, src, filter: Some(Filter::InstanceOf(c)) } => {
+            format!("{dst}={src} instanceof {}", program.class(*c).name)
+        }
+        Inst::Assign { dst, src, filter: Some(Filter::MethodNameEquals(n)) } => {
+            format!("{dst}={src} nameq {n:?}")
+        }
+        Inst::New { dst, class } => format!("{dst}=new {}", program.class(*class).name),
+        Inst::NewArray { dst, elem } => format!("{dst}=newarr {}", type_name(program, *elem)),
+        Inst::Load { dst, base, field } => {
+            format!("{dst}={base}.{}", field_ref(program, *field))
+        }
+        Inst::Store { base, field, src } => {
+            format!("{base}.{}={src}", field_ref(program, *field))
+        }
+        Inst::StaticLoad { dst, field } => format!("{dst}=s:{}", field_ref(program, *field)),
+        Inst::StaticStore { field, src } => format!("s:{}={src}", field_ref(program, *field)),
+        Inst::ArrayLoad { dst, base, index: Some(i) } => format!("{dst}={base}[{i}]"),
+        Inst::ArrayLoad { dst, base, index: None } => format!("{dst}={base}[*]"),
+        Inst::ArrayStore { base, index: Some(i), src } => format!("{base}[{i}]={src}"),
+        Inst::ArrayStore { base, index: None, src } => format!("{base}[*]={src}"),
+        Inst::Call { dst, target, recv, args } => {
+            let mut s = String::new();
+            if let Some(d) = dst {
+                let _ = write!(s, "{d}=");
+            }
+            match target {
+                CallTarget::Static(m) => {
+                    let _ = write!(s, "call {}", method_ref(program, *m));
+                }
+                CallTarget::Special(m) => {
+                    let _ = write!(s, "special {}", method_ref(program, *m));
+                }
+                CallTarget::Virtual(sel) => {
+                    let selector = program.resolve_selector(*sel);
+                    let _ = write!(s, "virtual .{}#{}", selector.name, selector.arity);
+                }
+            }
+            let _ = write!(s, "(");
+            let mut first = true;
+            if let Some(r) = recv {
+                let _ = write!(s, "this={r}");
+                first = false;
+            }
+            for a in args {
+                if !first {
+                    let _ = write!(s, ",");
+                }
+                let _ = write!(s, "{a}");
+                first = false;
+            }
+            let _ = write!(s, ")");
+            s
+        }
+        Inst::Binary { dst, op, lhs, rhs } => format!("{dst}={lhs} {op:?} {rhs}"),
+        Inst::Phi { dst, srcs } => {
+            let ops: Vec<String> = srcs.iter().map(|(b, v)| format!("{b}:{v}")).collect();
+            format!("{dst}=phi({})", ops.join(","))
+        }
+        Inst::Select { dst, srcs } => {
+            let ops: Vec<String> = srcs.iter().map(|v| format!("{v}")).collect();
+            format!("{dst}=select({})", ops.join(","))
+        }
+        Inst::CatchBind { dst, class } => {
+            format!("{dst}=catch {}", program.class(*class).name)
+        }
+    }
+}
+
+fn render_term(term: &Terminator) -> String {
+    match term {
+        Terminator::Goto(b) => format!("goto {b}"),
+        Terminator::If { cond, then_bb, else_bb } => format!("if {cond} {then_bb} {else_bb}"),
+        Terminator::Return(Some(v)) => format!("ret {v}"),
+        Terminator::Return(None) => "ret".into(),
+        Terminator::Throw(v) => format!("throw {v}"),
+        Terminator::Unreachable => "unreachable".into(),
+    }
+}
+
+fn render_const(program: &Program, value: &ConstValue) -> String {
+    match value {
+        ConstValue::Int(n) => n.to_string(),
+        ConstValue::Bool(b) => b.to_string(),
+        ConstValue::Str(s) => format!("{s:?}"),
+        ConstValue::Null => "null".into(),
+        ConstValue::ClassLit(c) => format!("class {}", program.class(*c).name),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Store construction
+// ---------------------------------------------------------------------------
+
+fn collect_deps(
+    program: &Program,
+    mid: MethodId,
+) -> (Vec<CallDep>, Vec<String>, Vec<String>, bool) {
+    let m = program.method(mid);
+    let mut calls = Vec::new();
+    let mut loads = Vec::new();
+    let mut stores = Vec::new();
+    let Some(body) = m.body() else {
+        return (calls, loads, stores, false);
+    };
+    for (_bid, block) in body.iter_blocks() {
+        for inst in &block.insts {
+            match inst {
+                Inst::Call { target, .. } => match target {
+                    CallTarget::Static(t) | CallTarget::Special(t) => {
+                        calls.push(CallDep::Direct(method_ref(program, *t)));
+                    }
+                    CallTarget::Virtual(sel) => {
+                        let s = program.resolve_selector(*sel);
+                        calls.push(CallDep::Virtual(s.name.clone(), s.arity));
+                    }
+                },
+                Inst::Load { field, .. } | Inst::StaticLoad { field, .. } => {
+                    loads.push(field_ref(program, *field));
+                }
+                Inst::Store { field, .. } | Inst::StaticStore { field, .. } => {
+                    stores.push(field_ref(program, *field));
+                }
+                _ => {}
+            }
+        }
+    }
+    (calls, loads, stores, true)
+}
+
+impl SummaryStore {
+    /// Builds summaries for every method of `program` (application,
+    /// library, and synthetic methods alike — the fingerprint must cover
+    /// everything that feeds the solver).
+    pub fn build(program: &Program) -> SummaryStore {
+        let mut methods = Vec::with_capacity(program.methods.len());
+        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut dup_count: HashMap<String, usize> = HashMap::new();
+        let mut program_hash = String::new();
+
+        for (cid, class) in program.iter_classes() {
+            let _ = write!(program_hash, "class {};", class.name);
+            if let Some(s) = class.superclass {
+                let _ = write!(program_hash, "extends {};", program.class(s).name);
+            }
+            for &i in &class.interfaces {
+                let _ = write!(program_hash, "impl {};", program.class(i).name);
+            }
+            for &f in &class.fields {
+                let field = program.field(f);
+                let _ = write!(
+                    program_hash,
+                    "field {}:{}{};",
+                    field.name,
+                    type_name(program, field.ty),
+                    if field.is_static { " static" } else { "" }
+                );
+            }
+            for &m in &class.methods {
+                let _ = write!(program_hash, "method {};", method_ref(program, m));
+            }
+            let _ = cid;
+        }
+
+        for (mid, _m) in program.iter_methods() {
+            let rendering = render_method(program, mid);
+            let fingerprint = fnv1a_128(rendering.as_bytes());
+            let _ = write!(program_hash, "\n{rendering}");
+            let base_key = method_ref(program, mid);
+            let n = dup_count.entry(base_key.clone()).or_insert(0);
+            let key = if *n == 0 { base_key.clone() } else { format!("{base_key}/{n}") };
+            *n += 1;
+            let m = program.method(mid);
+            let (calls, loads, stores, has_body) = collect_deps(program, mid);
+            index.insert(key.clone(), methods.len());
+            methods.push(MethodSummary {
+                key,
+                owner: program.class(m.owner).name.clone(),
+                name: m.name.clone(),
+                arity: m.params.len(),
+                fingerprint,
+                calls,
+                loads,
+                stores,
+                has_body,
+            });
+        }
+
+        for &e in &program.entrypoints {
+            let _ = write!(program_hash, "\nentry {};", method_ref(program, e));
+        }
+
+        SummaryStore { program_fingerprint: fnv1a_128(program_hash.as_bytes()), methods, index }
+    }
+
+    /// Looks up a summary by qualified key.
+    pub fn get(&self, key: &str) -> Option<&MethodSummary> {
+        self.index.get(key).map(|&i| &self.methods[i])
+    }
+
+    /// Rough in-memory size, for cache accounting.
+    pub fn approx_bytes(&self) -> usize {
+        let mut total = std::mem::size_of::<SummaryStore>();
+        for m in &self.methods {
+            total += std::mem::size_of::<MethodSummary>() + m.key.len() * 2;
+            total += m.calls.len() * 32 + m.loads.len() * 24 + m.stores.len() * 24;
+        }
+        total
+    }
+
+    /// Builds summaries for the edited program and diffs them against
+    /// `base`.
+    ///
+    /// Fingerprints are computed for **all** edited methods — that *is*
+    /// the diff mechanism. Methods whose fingerprint is unchanged reuse
+    /// nothing from `base` structurally (their summaries are value-equal
+    /// by construction); what the base contributes is the *identity* of
+    /// the changed set.
+    pub fn build_delta(edited_program: &Program, base: &SummaryStore) -> (SummaryStore, DeltaPlan) {
+        let edited = SummaryStore::build(edited_program);
+
+        let mut dirty: BTreeSet<String> = BTreeSet::new();
+        for m in &edited.methods {
+            match base.get(&m.key) {
+                Some(b) if b.fingerprint == m.fingerprint => {}
+                _ => {
+                    dirty.insert(m.key.clone());
+                }
+            }
+        }
+        let mut removed: Vec<String> = base
+            .methods
+            .iter()
+            .filter(|m| edited.get(&m.key).is_none())
+            .map(|m| m.key.clone())
+            .collect();
+        removed.sort();
+
+        // Seed the region with the dirty set plus the edited-side
+        // neighborhood of every removed method: anything that could have
+        // called it (virtual selector match), resolved to it, or shared a
+        // field with it.
+        let mut seeds = dirty.clone();
+        for key in &removed {
+            let gone = base.get(key).expect("removed key came from base");
+            for m in &edited.methods {
+                if summary_coupled(gone, m) {
+                    seeds.insert(m.key.clone());
+                }
+            }
+        }
+
+        let region = edited.close_region(&seeds);
+        let plan = DeltaPlan {
+            dirty: dirty.into_iter().collect(),
+            removed,
+            methods_total: edited.methods.len(),
+            region,
+        };
+        (edited, plan)
+    }
+
+    /// Undirected transitive closure of `seeds` over the dependency
+    /// graph: direct-call edges, virtual edges by `(name, arity)`
+    /// selector match, and field-coupling edges between loaders and
+    /// storers of the same field.
+    fn close_region(&self, seeds: &BTreeSet<String>) -> Vec<String> {
+        // Adjacency indexes, all name-based.
+        let mut by_selector: HashMap<(&str, usize), Vec<usize>> = HashMap::new();
+        let mut field_loaders: HashMap<&str, Vec<usize>> = HashMap::new();
+        let mut field_storers: HashMap<&str, Vec<usize>> = HashMap::new();
+        let mut by_direct: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, m) in self.methods.iter().enumerate() {
+            by_selector.entry((m.name.as_str(), m.arity)).or_default().push(i);
+            for f in &m.loads {
+                field_loaders.entry(f.as_str()).or_default().push(i);
+            }
+            for f in &m.stores {
+                field_storers.entry(f.as_str()).or_default().push(i);
+            }
+            for c in &m.calls {
+                if let CallDep::Direct(k) = c {
+                    by_direct.entry(k.as_str()).or_default().push(i);
+                }
+            }
+        }
+
+        let mut in_region: Vec<bool> = vec![false; self.methods.len()];
+        let mut work: Vec<usize> = Vec::new();
+        for key in seeds {
+            if let Some(&i) = self.index.get(key) {
+                if !in_region[i] {
+                    in_region[i] = true;
+                    work.push(i);
+                }
+            }
+        }
+
+        let push = |i: usize, in_region: &mut Vec<bool>, work: &mut Vec<usize>| {
+            if !in_region[i] {
+                in_region[i] = true;
+                work.push(i);
+            }
+        };
+
+        while let Some(i) = work.pop() {
+            let m = &self.methods[i];
+            // Callees.
+            for c in &m.calls {
+                match c {
+                    CallDep::Direct(k) => {
+                        // The direct key never carries a `/n` dup suffix, so
+                        // index lookup resolves the first duplicate; pull in
+                        // every method sharing (owner, name, arity) via the
+                        // selector index filtered by owner.
+                        if let Some(&j) = self.index.get(k.as_str()) {
+                            let callee = &self.methods[j];
+                            let owner = callee.owner.clone();
+                            let name = callee.name.clone();
+                            let arity = callee.arity;
+                            if let Some(js) = by_selector.get(&(name.as_str(), arity)) {
+                                for &j2 in js {
+                                    if self.methods[j2].owner == owner {
+                                        push(j2, &mut in_region, &mut work);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    CallDep::Virtual(name, arity) => {
+                        if let Some(js) = by_selector.get(&(name.as_str(), *arity)) {
+                            for &j in js {
+                                push(j, &mut in_region, &mut work);
+                            }
+                        }
+                    }
+                }
+            }
+            // Callers: direct by this method's qualified name (dup suffix
+            // stripped), virtual by selector.
+            let base_key = format!("{}.{}#{}", m.owner, m.name, m.arity);
+            if let Some(js) = by_direct.get(base_key.as_str()) {
+                for &j in js {
+                    push(j, &mut in_region, &mut work);
+                }
+            }
+            let name = m.name.clone();
+            let arity = m.arity;
+            for (j, caller) in self.methods.iter().enumerate() {
+                if caller
+                    .calls
+                    .iter()
+                    .any(|c| matches!(c, CallDep::Virtual(n, a) if *n == name && *a == arity))
+                {
+                    push(j, &mut in_region, &mut work);
+                }
+            }
+            // Field coupling, both directions.
+            for f in &m.loads {
+                if let Some(js) = field_storers.get(f.as_str()) {
+                    for &j in js {
+                        push(j, &mut in_region, &mut work);
+                    }
+                }
+            }
+            for f in &m.stores {
+                if let Some(js) = field_loaders.get(f.as_str()) {
+                    for &j in js {
+                        push(j, &mut in_region, &mut work);
+                    }
+                }
+            }
+        }
+
+        let mut region: Vec<String> = self
+            .methods
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| in_region[*i])
+            .map(|(_, m)| m.key.clone())
+            .collect();
+        region.sort();
+        region
+    }
+
+    /// Reconstructs the pointer solver's startup scan ([`PreScan`]) from
+    /// the summaries, resolving name-based keys back to ids in `program`.
+    ///
+    /// The contract is exact reproduction of `Solver::new`'s own scan —
+    /// same vector ordering, duplicates included — because those vectors
+    /// feed the §6.1 priority mode and therefore node-exploration (and
+    /// output) order. Returns `None` if any key fails to resolve; callers
+    /// fall back to the full scan.
+    pub fn to_prescan(
+        &self,
+        program: &Program,
+        source_methods: &HashSet<MethodId>,
+    ) -> Option<PreScan> {
+        let mut prescan = PreScan::default();
+        let source_selectors: HashSet<(String, usize)> = source_methods
+            .iter()
+            .map(|&m| {
+                let mm = program.method(m);
+                (mm.name.clone(), mm.params.len())
+            })
+            .collect();
+        let source_keys: HashSet<String> =
+            source_methods.iter().map(|&m| method_ref(program, m)).collect();
+
+        if self.methods.len() != program.methods.len() {
+            return None;
+        }
+        let resolve_field = |key: &str| -> Option<jir::FieldId> {
+            let dot = key.rfind('.')?;
+            let class = program.class_by_name(&key[..dot])?;
+            program.field_by_name(class, &key[dot + 1..])
+        };
+
+        let mut summaries_by_pos = self.methods.iter();
+        for (mid, m) in program.iter_methods() {
+            let summary = summaries_by_pos.next()?;
+            // Sanity: the summary table is positional; verify alignment.
+            if summary.name != m.name {
+                return None;
+            }
+            for f in &summary.loads {
+                let fid = resolve_field(f)?;
+                prescan.field_loaders.entry(fid).or_default().push(mid);
+            }
+            for f in &summary.stores {
+                let fid = resolve_field(f)?;
+                prescan.method_stores.entry(mid).or_default().push(fid);
+            }
+            let adjacent = source_methods.contains(&mid)
+                || summary.calls.iter().any(|c| match c {
+                    CallDep::Direct(k) => source_keys.contains(k),
+                    CallDep::Virtual(n, a) => source_selectors.contains(&(n.clone(), *a)),
+                });
+            if adjacent {
+                prescan.source_adjacent.insert(mid);
+            }
+        }
+        Some(prescan)
+    }
+}
+
+/// Whether two summaries would share a dependency edge: one calls the
+/// other (directly or by selector) or they touch a common field from
+/// opposite sides.
+fn summary_coupled(a: &MethodSummary, b: &MethodSummary) -> bool {
+    let a_key = format!("{}.{}#{}", a.owner, a.name, a.arity);
+    let b_key = format!("{}.{}#{}", b.owner, b.name, b.arity);
+    let calls = |x: &MethodSummary, y_key: &str, y: &MethodSummary| {
+        x.calls.iter().any(|c| match c {
+            CallDep::Direct(k) => k == y_key,
+            CallDep::Virtual(n, ar) => *n == y.name && *ar == y.arity,
+        })
+    };
+    if calls(a, &b_key, b) || calls(b, &a_key, a) {
+        return true;
+    }
+    let shares =
+        |loads: &[String], stores: &[String]| loads.iter().any(|f| stores.iter().any(|g| f == g));
+    shares(&a.loads, &b.stores) || shares(&b.loads, &a.stores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"
+        class Store {
+            field String value;
+            method void put(String v) { this.value = v; }
+            method String get() { return this.value; }
+        }
+        class App extends HttpServlet {
+            method void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                Store s = new Store();
+                s.put(req.getParameter("q"));
+                resp.getWriter().println(s.get());
+            }
+            method int quiet(int x) { return x; }
+        }
+    "#;
+
+    fn build(src: &str) -> (Program, SummaryStore) {
+        let p = jir::frontend::build_program(src).expect("parses");
+        let store = SummaryStore::build(&p);
+        (p, store)
+    }
+
+    #[test]
+    fn identical_source_means_identical_fingerprints_and_empty_delta() {
+        let (_p1, s1) = build(BASE);
+        let (p2, _s2) = build(BASE);
+        let (s2, plan) = SummaryStore::build_delta(&p2, &s1);
+        assert_eq!(s1.program_fingerprint, s2.program_fingerprint);
+        assert!(plan.dirty.is_empty(), "{:?}", plan.dirty);
+        assert!(plan.removed.is_empty());
+        assert!(plan.region_empty());
+        assert_eq!(plan.methods_total, s2.methods.len());
+        for (a, b) in s1.methods.iter().zip(s2.methods.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn comment_edit_is_empty_region() {
+        let (_p1, s1) = build(BASE);
+        let edited = format!("{BASE}\n// a trailing comment\n");
+        let p2 = jir::frontend::build_program(&edited).expect("parses");
+        let (_s2, plan) = SummaryStore::build_delta(&p2, &s1);
+        assert!(plan.region_empty(), "dirty={:?} region={:?}", plan.dirty, plan.region);
+    }
+
+    #[test]
+    fn body_edit_dirties_the_method_and_pulls_in_the_caller() {
+        let (_p1, s1) = build(BASE);
+        let edited = BASE.replace("return x;", "int y = x + 1; return y;");
+        let p2 = jir::frontend::build_program(&edited).expect("parses");
+        let (_s2, plan) = SummaryStore::build_delta(&p2, &s1);
+        assert_eq!(plan.dirty, vec!["App.quiet#1".to_string()]);
+        assert!(plan.region.contains(&"App.quiet#1".to_string()));
+        // quiet() has no callers/fields beyond itself; the region must not
+        // balloon to the servlet entry.
+        assert!(!plan.region.contains(&"Store.get#0".to_string()), "{:?}", plan.region);
+    }
+
+    #[test]
+    fn field_coupling_links_loader_and_storer() {
+        let (_p1, s1) = build(BASE);
+        let edited = BASE.replace("this.value = v;", "this.value = v; this.value = v;");
+        let p2 = jir::frontend::build_program(&edited).expect("parses");
+        let (_s2, plan) = SummaryStore::build_delta(&p2, &s1);
+        assert!(plan.dirty.contains(&"Store.put#1".to_string()), "{:?}", plan.dirty);
+        // get() loads Store.value, which put() stores — coupled.
+        assert!(plan.region.contains(&"Store.get#0".to_string()), "{:?}", plan.region);
+    }
+
+    #[test]
+    fn added_and_removed_methods_are_tracked() {
+        let (_p1, s1) = build(BASE);
+        let added = BASE.replace(
+            "method int quiet(int x) { return x; }",
+            "method int quiet(int x) { return x; }\n method int louder(int x) { return x; }",
+        );
+        let p2 = jir::frontend::build_program(&added).expect("parses");
+        let (s2, plan) = SummaryStore::build_delta(&p2, &s1);
+        assert!(plan.dirty.contains(&"App.louder#1".to_string()), "{:?}", plan.dirty);
+        assert!(plan.removed.is_empty());
+
+        let removed = BASE.replace("method int quiet(int x) { return x; }", "");
+        let p3 = jir::frontend::build_program(&removed).expect("parses");
+        let (_s3, plan3) = SummaryStore::build_delta(&p3, &s2);
+        assert!(plan3.removed.contains(&"App.quiet#1".to_string()), "{:?}", plan3.removed);
+        assert!(!plan3.region_empty());
+    }
+
+    #[test]
+    fn signature_change_is_add_plus_remove() {
+        let (_p1, s1) = build(BASE);
+        let edited = BASE.replace("method int quiet(int x)", "method int quiet(int x, int y)");
+        let p2 = jir::frontend::build_program(&edited).expect("parses");
+        let (_s2, plan) = SummaryStore::build_delta(&p2, &s1);
+        assert!(plan.dirty.contains(&"App.quiet#2".to_string()), "{:?}", plan.dirty);
+        assert!(plan.removed.contains(&"App.quiet#1".to_string()), "{:?}", plan.removed);
+    }
+
+    #[test]
+    fn duplicate_loads_are_preserved_in_order() {
+        let src = r#"
+            class D {
+                field String a;
+                method String twice() {
+                    String x = this.a;
+                    String y = this.a;
+                    return x + y;
+                }
+            }
+        "#;
+        let (_p, s) = build(src);
+        let m = s.get("D.twice#0").expect("summary exists");
+        assert_eq!(m.loads.iter().filter(|f| *f == "D.a").count(), 2, "{:?}", m.loads);
+    }
+
+    #[test]
+    fn prescan_matches_full_scan_shape() {
+        let (p, s) = build(BASE);
+        let sources: HashSet<MethodId> = HashSet::new();
+        let prescan = s.to_prescan(&p, &sources).expect("resolves");
+        // Store.value has exactly one loader (get) and the storer side
+        // records put storing it.
+        let store = p.class_by_name("Store").unwrap();
+        let value = p.field_by_name(store, "value").unwrap();
+        let loaders = prescan.field_loaders.get(&value).expect("value is loaded");
+        assert_eq!(loaders.len(), 1);
+        assert_eq!(p.method(loaders[0]).name, "get");
+        let get_mid = loaders[0];
+        assert!(prescan.method_stores.values().any(|fs| fs.contains(&value)));
+        let _ = get_mid;
+    }
+
+    #[test]
+    fn virtual_callers_join_the_region() {
+        // App.doGet calls s.put(...) virtually; editing put must pull
+        // doGet into the region via the selector edge.
+        let (_p1, s1) = build(BASE);
+        let edited = BASE.replace("{ this.value = v; }", "{ this.value = v; int z = 0; }");
+        let p2 = jir::frontend::build_program(&edited).expect("parses");
+        let (_s2, plan) = SummaryStore::build_delta(&p2, &s1);
+        assert!(plan.region.contains(&"App.doGet#2".to_string()), "{:?}", plan.region);
+    }
+}

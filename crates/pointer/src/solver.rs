@@ -148,6 +148,86 @@ impl PointsTo {
     }
 }
 
+/// The solver's startup scan, separated out so incremental callers can
+/// reconstruct it from cached per-method summaries instead of re-walking
+/// every instruction (see `taj_core::summaries`).
+///
+/// The contents are **order-sensitive**: the vectors must list method ids
+/// (resp. field ids) exactly as `PreScan::scan` produces them — methods in
+/// table order, one entry per load/store occurrence in body order,
+/// duplicates included — because they feed the §6.1 priority heuristic and
+/// therefore node-exploration (and output) order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PreScan {
+    /// field → methods containing loads of it (instance and static).
+    pub field_loaders: HashMap<FieldId, Vec<MethodId>>,
+    /// method → fields it stores (instance and static).
+    pub method_stores: HashMap<MethodId, Vec<FieldId>>,
+    /// Methods that generate taint: the sources themselves plus methods
+    /// whose bodies call a source (the π = 0 seeds of §6.1).
+    pub source_adjacent: std::collections::HashSet<MethodId>,
+}
+
+impl PreScan {
+    /// Walks the whole program and builds the scan — the cold path, run
+    /// by the solver's constructor when no reconstruction is supplied.
+    pub fn scan(program: &Program, source_methods: &std::collections::HashSet<MethodId>) -> Self {
+        // Static indices for the priority heuristic.
+        let mut field_loaders: HashMap<FieldId, Vec<MethodId>> = HashMap::new();
+        let mut method_stores: HashMap<MethodId, Vec<FieldId>> = HashMap::new();
+        for (mid, m) in program.iter_methods() {
+            let Some(body) = m.body() else { continue };
+            for block in &body.blocks {
+                for inst in &block.insts {
+                    match inst {
+                        Inst::Load { field, .. } | Inst::StaticLoad { field, .. } => {
+                            field_loaders.entry(*field).or_default().push(mid);
+                        }
+                        Inst::Store { field, .. } | Inst::StaticStore { field, .. } => {
+                            method_stores.entry(mid).or_default().push(*field);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // Methods containing calls to source methods (sources are usually
+        // intrinsic models and never become call-graph nodes, so the seeds
+        // are the nodes *containing* source calls).
+        let source_selectors: Vec<(String, usize)> = source_methods
+            .iter()
+            .map(|&m| {
+                let meth = program.method(m);
+                (meth.name.clone(), meth.params.len())
+            })
+            .collect();
+        let mut source_adjacent: std::collections::HashSet<MethodId> = source_methods.clone();
+        for (mid, m) in program.iter_methods() {
+            let Some(body) = m.body() else { continue };
+            let calls_source = body.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+                if let Inst::Call { target, args, .. } = i {
+                    match target {
+                        jir::CallTarget::Static(t) | jir::CallTarget::Special(t) => {
+                            source_methods.contains(t)
+                        }
+                        jir::CallTarget::Virtual(sel) => {
+                            let s = program.resolve_selector(*sel);
+                            let _ = args;
+                            source_selectors.iter().any(|(n, a)| *n == s.name && *a == s.arity)
+                        }
+                    }
+                } else {
+                    false
+                }
+            });
+            if calls_source {
+                source_adjacent.insert(mid);
+            }
+        }
+        PreScan { field_loaders, method_stores, source_adjacent }
+    }
+}
+
 /// Runs pointer analysis over `program` starting from its entrypoints.
 pub fn analyze(program: &Program, config: &SolverConfig) -> PointsTo {
     analyze_traced(program, config, &taj_obs::Recorder::disabled())
@@ -162,8 +242,37 @@ pub fn analyze_traced(
     config: &SolverConfig,
     recorder: &taj_obs::Recorder,
 ) -> PointsTo {
+    analyze_inner(program, config, recorder, None)
+}
+
+/// [`analyze_traced`] with a pre-computed startup scan, the incremental
+/// re-solving entry point: callers that hold per-method summaries for
+/// `program` skip the instruction walk of [`PreScan::scan`]. The scan
+/// must be *exactly* what `PreScan::scan` would produce (checked by a
+/// `debug_assert`); everything downstream — worklist order, interning
+/// order, output bytes — is identical to a cold [`analyze`].
+pub fn analyze_prescanned(
+    program: &Program,
+    config: &SolverConfig,
+    recorder: &taj_obs::Recorder,
+    prescan: PreScan,
+) -> PointsTo {
+    debug_assert_eq!(
+        prescan,
+        PreScan::scan(program, &config.source_methods),
+        "reconstructed PreScan diverges from the solver's own scan"
+    );
+    analyze_inner(program, config, recorder, Some(prescan))
+}
+
+fn analyze_inner(
+    program: &Program,
+    config: &SolverConfig,
+    recorder: &taj_obs::Recorder,
+    prescan: Option<PreScan>,
+) -> PointsTo {
     let mut span = recorder.span("phase1.solve");
-    let pts = Solver::new(program, config).run();
+    let pts = Solver::new_with_prescan(program, config, prescan).run();
     if recorder.is_enabled() {
         span.attr("worklist_iterations", pts.stats.propagations);
         span.attr("contexts", pts.stats.contexts);
@@ -247,62 +356,16 @@ struct Solver<'p> {
 }
 
 impl<'p> Solver<'p> {
-    fn new(program: &'p Program, config: &'p SolverConfig) -> Self {
+    fn new_with_prescan(
+        program: &'p Program,
+        config: &'p SolverConfig,
+        prescan: Option<PreScan>,
+    ) -> Self {
         let mut contexts = Interner::new();
         let root = contexts.intern(Vec::new());
         debug_assert_eq!(ContextId(root), ROOT_CONTEXT);
-        // Static indices for the priority heuristic.
-        let mut field_loaders: HashMap<FieldId, Vec<MethodId>> = HashMap::new();
-        let mut method_stores: HashMap<MethodId, Vec<FieldId>> = HashMap::new();
-        for (mid, m) in program.iter_methods() {
-            let Some(body) = m.body() else { continue };
-            for block in &body.blocks {
-                for inst in &block.insts {
-                    match inst {
-                        Inst::Load { field, .. } | Inst::StaticLoad { field, .. } => {
-                            field_loaders.entry(*field).or_default().push(mid);
-                        }
-                        Inst::Store { field, .. } | Inst::StaticStore { field, .. } => {
-                            method_stores.entry(mid).or_default().push(*field);
-                        }
-                        _ => {}
-                    }
-                }
-            }
-        }
-        // Methods containing calls to source methods (see field docs).
-        let source_selectors: Vec<(String, usize)> = config
-            .source_methods
-            .iter()
-            .map(|&m| {
-                let meth = program.method(m);
-                (meth.name.clone(), meth.params.len())
-            })
-            .collect();
-        let mut source_adjacent: std::collections::HashSet<MethodId> =
-            config.source_methods.clone();
-        for (mid, m) in program.iter_methods() {
-            let Some(body) = m.body() else { continue };
-            let calls_source = body.blocks.iter().flat_map(|b| &b.insts).any(|i| {
-                if let Inst::Call { target, args, .. } = i {
-                    match target {
-                        jir::CallTarget::Static(t) | jir::CallTarget::Special(t) => {
-                            config.source_methods.contains(t)
-                        }
-                        jir::CallTarget::Virtual(sel) => {
-                            let s = program.resolve_selector(*sel);
-                            let _ = args;
-                            source_selectors.iter().any(|(n, a)| *n == s.name && *a == s.arity)
-                        }
-                    }
-                } else {
-                    false
-                }
-            });
-            if calls_source {
-                source_adjacent.insert(mid);
-            }
-        }
+        let PreScan { field_loaders, method_stores, source_adjacent } =
+            prescan.unwrap_or_else(|| PreScan::scan(program, &config.source_methods));
         let max = config.max_cg_nodes.unwrap_or(usize::MAX);
         Solver {
             program,
@@ -1285,5 +1348,66 @@ impl<'p> Solver<'p> {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const APP: &str = r#"
+        class Main {
+            static method void main() {
+                Helper h = new Helper();
+                String s = h.id("x");
+                Main.consume(s);
+            }
+            static method void consume(String s) { }
+        }
+        class Helper {
+            field String last;
+            method String id(String s) { this.last = s; return this.last; }
+        }
+    "#;
+
+    fn entry_program() -> Program {
+        let mut program = jir::frontend::build_program(APP).expect("parses");
+        let main_class = program.class_by_name("Main").unwrap();
+        let main = program.method_by_name(main_class, "main").unwrap();
+        program.entrypoints.push(main);
+        program
+    }
+
+    /// A reconstructed [`PreScan`] must lead the solver to the same
+    /// solution as its own cold scan — including under §6.1 priority
+    /// mode, where the scan vectors drive exploration order.
+    #[test]
+    fn prescanned_run_equals_cold_run() {
+        let program = entry_program();
+        for priority in [false, true] {
+            let config = SolverConfig { priority, ..SolverConfig::default() };
+            let cold = analyze(&program, &config);
+            let scan = PreScan::scan(&program, &config.source_methods);
+            assert!(
+                !scan.field_loaders.is_empty(),
+                "Helper.id loads Helper.last; the scan must see it"
+            );
+            let warm = analyze_prescanned(&program, &config, &taj_obs::Recorder::disabled(), scan);
+            assert_eq!(cold.stats, warm.stats, "priority={priority}");
+        }
+    }
+
+    /// The scan marks source-calling methods as π = 0 seeds.
+    #[test]
+    fn prescan_source_adjacency() {
+        let program = entry_program();
+        let main_class = program.class_by_name("Main").unwrap();
+        let helper = program.class_by_name("Helper").unwrap();
+        let id = program.method_by_name(helper, "id").unwrap();
+        let main = program.method_by_name(main_class, "main").unwrap();
+        let sources: std::collections::HashSet<MethodId> = [id].into_iter().collect();
+        let scan = PreScan::scan(&program, &sources);
+        assert!(scan.source_adjacent.contains(&id), "sources are their own seeds");
+        assert!(scan.source_adjacent.contains(&main), "main calls h.id virtually");
     }
 }

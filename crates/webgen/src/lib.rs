@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod edits;
 pub mod generate;
 pub mod interp;
 pub mod micro;
@@ -19,6 +20,7 @@ pub mod patterns;
 pub mod securibench;
 pub mod table2;
 
+pub use edits::{apply_edit, edit_chain, EditKind, EDIT_KINDS};
 pub use generate::{generate, standard_mix, BenchmarkSpec, GenStats, GeneratedBenchmark};
 pub use interp::{run_program, DynHit, InterpConfig};
 pub use micro::{micro_suite, motivating, MicroTest};

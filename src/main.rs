@@ -10,7 +10,7 @@
 //! taj router (--socket PATH | --tcp ADDR) --shard ADDR [--shard ADDR ...] [--timeout-ms N]
 //!            [--failure-threshold N] [--cooldown-ms N]
 //! taj client (--socket PATH | --tcp ADDR) analyze <file.jweb> [--config NAME] [--sarif]
-//!            [--timeout-ms N] [--degrade] [--threads N]
+//!            [--timeout-ms N] [--degrade] [--threads N] [--delta <base.jweb>]
 //! taj client (--socket PATH | --tcp ADDR) analyze --batch <file.jweb> [<file.jweb> ...]
 //! taj client (--socket PATH | --tcp ADDR) configs|stats|metrics|shutdown
 //! ```
@@ -69,7 +69,7 @@ fn main() -> ExitCode {
                 "       taj router (--socket PATH | --tcp ADDR) --shard ADDR [--shard ADDR ...] [--timeout-ms N] [--failure-threshold N] [--cooldown-ms N]"
             );
             eprintln!(
-                "       taj client (--socket PATH | --tcp ADDR) analyze <file.jweb> [--config NAME] [--rules FILE] [--sarif] [--timeout-ms N] [--degrade] [--threads N]"
+                "       taj client (--socket PATH | --tcp ADDR) analyze <file.jweb> [--config NAME] [--rules FILE] [--sarif] [--timeout-ms N] [--degrade] [--threads N] [--delta <base.jweb>]"
             );
             eprintln!(
                 "       taj client (--socket PATH | --tcp ADDR) analyze --batch <file.jweb> [<file.jweb> ...]"
@@ -405,6 +405,7 @@ fn client_cmd(args: &[String]) -> ExitCode {
         flag("degrade"),
         opt("threads"),
         flag("batch"),
+        opt("delta"),
     ];
     // `analyze --batch` takes many input files; every other command is
     // validated to its own arity below.
@@ -473,6 +474,9 @@ fn client_cmd(args: &[String]) -> ExitCode {
                 trace_id: None,
             };
             if parsed.has("batch") {
+                if parsed.value("delta").is_some() {
+                    return usage_error("`--delta` and `--batch` are mutually exclusive");
+                }
                 // One envelope, one response: every input file becomes an
                 // item sharing the command-line options; `--timeout-ms`
                 // becomes the envelope-wide deadline.
@@ -509,7 +513,24 @@ fn client_cmd(args: &[String]) -> ExitCode {
                 Ok(s) => s,
                 Err(code) => return code,
             };
-            client.analyze(&source, &opts)
+            match parsed.value("delta") {
+                Some(base_path) => {
+                    let base_source = match read_file(base_path, "base input") {
+                        Ok(s) => s,
+                        Err(code) => return code,
+                    };
+                    client.analyze_delta(&base_source, &source, &opts).map(|(result, delta)| {
+                        // Delta metadata goes to stderr so stdout stays
+                        // byte-par with a plain `analyze` of the same
+                        // file — pipelines never see the difference.
+                        if let Ok(d) = serde_json::to_string(&delta) {
+                            eprintln!("delta: {d}");
+                        }
+                        result
+                    })
+                }
+                None => client.analyze(&source, &opts),
+            }
         }
         Some("configs") => client.configs(),
         Some("stats") => client.stats(),

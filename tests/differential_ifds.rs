@@ -5,155 +5,16 @@
 //! an algorithmic difference we can name, triage, and pin. This file
 //! computes per-pair agreement sets for every case and fails on any
 //! disagreement that no triage rule explains; the triaged deltas are
-//! documented in EXPERIMENTS.md.
+//! documented in EXPERIMENTS.md. The corpus, verdict reduction, and
+//! triage rules live in `tests/common/` and are shared with the
+//! full-vs-incremental differential harness.
+
+mod common;
 
 use std::collections::BTreeSet;
 
-use taj::core::{analyze_prepared, prepare, score, GroundTruth, RuleSet, TajConfig};
-use taj::webgen::{generate, micro_suite, motivating, securibench_cases, BenchmarkSpec, Pattern};
-
-/// The three backends under differencing. Hybrid is the paper's novel
-/// algorithm, CS the precise baseline, IFDS the independent access-path
-/// formulation added post-paper.
-fn backends() -> [(&'static str, TajConfig); 3] {
-    [
-        ("Hybrid", TajConfig::hybrid_unbounded()),
-        ("CS", TajConfig::cs_thin()),
-        ("IFDS", TajConfig::ifds()),
-    ]
-}
-
-/// One differential case: a named program plus (optionally) ground truth.
-struct Case {
-    suite: &'static str,
-    name: String,
-    source: String,
-    descriptor: Option<taj::core::DeploymentDescriptor>,
-    truth: Option<GroundTruth>,
-}
-
-/// The full differential corpus: every securibench case, every
-/// micro-suite pattern, the Figure 1 motivating example, and two
-/// generated webgen applications (fixed seeds — the corpus must be
-/// reproducible for the triage list to stay meaningful).
-fn corpus() -> Vec<Case> {
-    let mut cases = Vec::new();
-    for c in securibench_cases() {
-        cases.push(Case {
-            suite: "securibench",
-            name: c.name.to_string(),
-            source: c.source.clone(),
-            descriptor: None,
-            truth: Some(c.truth.clone()),
-        });
-    }
-    for t in micro_suite() {
-        cases.push(Case {
-            suite: "micro",
-            name: t.name.clone(),
-            source: t.source.clone(),
-            descriptor: Some(t.descriptor.clone()),
-            truth: Some(t.truth.clone()),
-        });
-    }
-    let m = motivating();
-    cases.push(Case {
-        suite: "micro",
-        name: m.name.clone(),
-        source: m.source.clone(),
-        descriptor: Some(m.descriptor.clone()),
-        truth: Some(m.truth.clone()),
-    });
-    for (name, seed) in [("webgen-mix-a", 0xD1FFu64), ("webgen-mix-b", 0xBEEFu64)] {
-        let spec = BenchmarkSpec {
-            name: name.into(),
-            pattern_counts: vec![
-                (Pattern::XssReflected, 2),
-                (Pattern::XssHeap, 2),
-                (Pattern::NestedCarrier, 1),
-                (Pattern::SessionAttr, 1),
-                (Pattern::BuilderFlow, 1),
-                (Pattern::ThreadShared, 1),
-                (Pattern::CollectionContext, 1),
-                (Pattern::XssSanitized, 1),
-                (Pattern::SqliConcat, 1),
-            ],
-            filler_classes: 2,
-            methods_per_class: 4,
-            seed,
-        };
-        let bench = generate(&spec);
-        cases.push(Case {
-            suite: "webgen",
-            name: name.to_string(),
-            source: bench.source,
-            descriptor: Some(bench.descriptor),
-            truth: Some(bench.truth),
-        });
-    }
-    cases
-}
-
-/// A backend's report reduced to the comparable key set. The key is the
-/// same `(sink class, issue)` pair the scoring layer uses — witness
-/// paths and flow counts legitimately differ between algorithms; the
-/// *verdict* per sink must not (except for triaged deltas).
-fn verdicts(case: &Case, config: &TajConfig) -> BTreeSet<(String, String)> {
-    let prepared = prepare(&case.source, case.descriptor.as_ref(), RuleSet::default_rules())
-        .unwrap_or_else(|e| panic!("{}/{}: {e}", case.suite, case.name));
-    let report = analyze_prepared(&prepared, config)
-        .unwrap_or_else(|e| panic!("{}/{} under {}: {e}", case.suite, case.name, config.name));
-    report
-        .findings
-        .iter()
-        .map(|f| (f.flow.sink_owner_class.clone(), format!("{:?}", f.flow.issue)))
-        .collect()
-}
-
-/// Triage: returns the documented reason a key may be reported by
-/// `present` but not by `missing`, or `None` for an untriaged (= fatal)
-/// disagreement. Every arm here has a matching row in EXPERIMENTS.md.
-fn known_delta(
-    case: &Case,
-    present: &str,
-    missing: &str,
-    key: &(String, String),
-) -> Option<&'static str> {
-    if missing == "CS" {
-        if let Some(truth) = &case.truth {
-            // Delta 1 — CS loses cross-thread flows (§7.2): taint handed
-            // from one thread to another through a shared object. The
-            // ground truth marks exactly these keys; Hybrid and IFDS
-            // both find them.
-            if truth
-                .cross_thread
-                .iter()
-                .any(|(class, issue)| *class == key.0 && format!("{issue:?}") == key.1)
-            {
-                return Some("CS drops heap facts across Thread.start edges (§7.2)");
-            }
-            // Delta 2 — flow-insensitive heap false alarms CS avoids:
-            // Hybrid and IFDS both match store→load pairs through the
-            // flow-insensitive points-to solution, so a benign alias of
-            // a tainted store (FactoryAlias and friends) is reported;
-            // CS's partially flow-sensitive heap propagation stays
-            // clean. Only *benign* keys qualify — a vulnerable key
-            // missing from CS that isn't cross-thread stays fatal.
-            if truth
-                .benign
-                .iter()
-                .any(|(class, issue)| *class == key.0 && format!("{issue:?}") == key.1)
-            {
-                return Some(
-                    "flow-insensitive store→load heap matching (Hybrid and IFDS) \
-                     reports a benign alias that CS's flow-sensitive heap avoids",
-                );
-            }
-        }
-    }
-    let _ = present;
-    None
-}
+use common::{backends, corpus, known_delta, verdicts};
+use taj::core::{analyze_prepared, prepare, score, RuleSet};
 
 #[test]
 fn three_way_differential_has_no_untriaged_disagreements() {

@@ -1,0 +1,160 @@
+//! Full-vs-incremental differential harness (the correctness backbone of
+//! the incremental analysis): for every corpus program and every
+//! generated edit, the incremental pipeline — per-method summary diff,
+//! dirty-region invalidation, `run_phase1_incremental` — must produce a
+//! report byte-identical (JSON, text, SARIF, timing zeroed) to a
+//! from-scratch analysis of the edited source. The corpus, byte-identity
+//! helpers, and the incremental pipeline itself are shared with the
+//! other differential suites via `tests/common/`.
+//!
+//! The edit taxonomy comes from `taj::webgen::edits`: an inert comment
+//! (empty edit region — the base phase-1 artifact must be reused
+//! verbatim), a method-body change, an added and a removed class, a
+//! signature change (a genuine multi-method edit: the caller is patched
+//! too), and a two-step multi-method body edit.
+
+mod common;
+
+use common::{
+    assert_reports_byte_identical, base_artifacts, corpus, full_report, incremental_report,
+    BaseArtifacts, Case,
+};
+use taj::core::{RunOptions, TajConfig};
+use taj::webgen::{apply_edit, EditKind};
+
+fn case_base(case: &Case, config: &TajConfig) -> BaseArtifacts {
+    base_artifacts(
+        &case.source,
+        case.descriptor.as_ref(),
+        config,
+        &format!("{}/{}", case.suite, case.name),
+    )
+}
+
+/// Every edit variant that applies to `source`. All sources accept the
+/// comment and add-class edits; only filler-bearing (webgen) sources
+/// accept body/signature/remove-class and the two-step multi-method
+/// edit — `apply_edit` declines on the rest.
+fn edit_variants(source: &str) -> Vec<(&'static str, String)> {
+    let mut variants = Vec::new();
+    for (label, kind, seed) in [
+        ("comment", EditKind::Comment, 1),
+        ("add-class", EditKind::AddClass, 2),
+        ("body", EditKind::Body, 3),
+        ("signature", EditKind::Signature, 4),
+        ("remove-class", EditKind::RemoveClass, 5),
+    ] {
+        if let Some(edited) = apply_edit(source, kind, seed) {
+            variants.push((label, edited));
+        }
+    }
+    if let Some(first) = apply_edit(source, EditKind::Body, 6) {
+        if let Some(second) = apply_edit(&first, EditKind::Body, 11) {
+            variants.push(("body-multi", second));
+        }
+    }
+    variants
+}
+
+#[test]
+fn incremental_matches_full_over_the_whole_corpus() {
+    // Hybrid (the default daemon configuration) over every corpus case
+    // and every applicable edit. Also pins the provenance taxonomy: a
+    // comment edit must reuse the base phase-1 artifact, and every
+    // structural edit must re-solve at least one method.
+    let config = TajConfig::hybrid_unbounded();
+    let opts = RunOptions::default();
+    let mut comment_reuses = 0usize;
+    let mut resolved_edits = 0usize;
+    for case in corpus() {
+        let label = format!("{}/{}", case.suite, case.name);
+        let base = case_base(&case, &config);
+        for (edit, edited) in edit_variants(&case.source) {
+            let tag = format!("{label} edit={edit}");
+            let want = full_report(&edited, case.descriptor.as_ref(), &config, &opts, &tag);
+            let got =
+                incremental_report(&base, &edited, case.descriptor.as_ref(), &config, &opts, &tag);
+            assert_reports_byte_identical(&want, &got.report, &tag);
+            if edit == "comment" {
+                assert!(
+                    got.reused_base_phase1,
+                    "{tag}: a comment edit has an empty region and must reuse \
+                     the base phase-1 artifact"
+                );
+                comment_reuses += 1;
+            } else {
+                assert!(
+                    !got.reused_base_phase1 && got.methods_resolved > 0,
+                    "{tag}: a structural edit must re-solve a nonempty dirty \
+                     region (resolved {} of {})",
+                    got.methods_resolved,
+                    got.methods_total
+                );
+                resolved_edits += 1;
+            }
+        }
+    }
+    assert!(comment_reuses > 0 && resolved_edits > 0, "corpus produced no edits");
+}
+
+#[test]
+fn single_method_edit_resolves_strictly_fewer_summaries_than_total() {
+    // The headline incremental win, pinned at the library level exactly
+    // as the bench asserts it at the daemon level: a single body edit on
+    // a filler-rich program re-solves a strict subset of the methods.
+    let config = TajConfig::hybrid_unbounded();
+    let opts = RunOptions::default();
+    let case = corpus().into_iter().find(|c| c.suite == "webgen").expect("webgen case present");
+    let base = case_base(&case, &config);
+    let edited = apply_edit(&case.source, EditKind::Body, 3).expect("body edit applies");
+    let got = incremental_report(
+        &base,
+        &edited,
+        case.descriptor.as_ref(),
+        &config,
+        &opts,
+        "webgen single-method edit",
+    );
+    assert!(
+        got.methods_resolved > 0 && got.methods_resolved < got.methods_total,
+        "single-method edit must re-solve a strict subset: {} of {}",
+        got.methods_resolved,
+        got.methods_total
+    );
+    let want =
+        full_report(&edited, case.descriptor.as_ref(), &config, &opts, "webgen single-method edit");
+    assert_reports_byte_identical(&want, &got.report, "webgen single-method edit");
+}
+
+#[test]
+fn incremental_matches_full_under_ifds_and_at_eight_threads() {
+    // The incremental plan is a phase-1 artifact: it must compose with
+    // the other backend family (IFDS access paths) and with parallel
+    // phase-2 execution without perturbing byte identity.
+    let scenarios: [(&str, TajConfig, RunOptions); 2] = [
+        ("IFDS", TajConfig::ifds(), RunOptions::default()),
+        (
+            "Hybrid@8",
+            TajConfig::hybrid_unbounded(),
+            RunOptions { threads: 8, ..RunOptions::default() },
+        ),
+    ];
+    for case in corpus().into_iter().filter(|c| c.suite == "webgen") {
+        for (label, config, opts) in &scenarios {
+            let base = case_base(&case, config);
+            for (edit, edited) in edit_variants(&case.source) {
+                let tag = format!("{} [{label}] edit={edit}", case.name);
+                let want = full_report(&edited, case.descriptor.as_ref(), config, opts, &tag);
+                let got = incremental_report(
+                    &base,
+                    &edited,
+                    case.descriptor.as_ref(),
+                    config,
+                    opts,
+                    &tag,
+                );
+                assert_reports_byte_identical(&want, &got.report, &tag);
+            }
+        }
+    }
+}

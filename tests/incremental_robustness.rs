@@ -1,0 +1,65 @@
+//! Edit-robustness property test for the incremental analysis: random
+//! method-edit sequences over randomly seeded webgen applications, with
+//! the invariant that the incremental pipeline (summaries carried
+//! forward from the previous step, dirty-region re-solve) matches a
+//! from-scratch analysis at *every* step of the chain — under the
+//! default run, under `--degrade` (the starved CS configuration walks
+//! the degradation ladder), and at 1 and 8 phase-2 threads.
+
+use proptest::prelude::*;
+
+use taj::core::{RunOptions, TajConfig};
+use taj::webgen::{edit_chain, generate, standard_mix, BenchmarkSpec};
+
+mod common;
+use common::{base_artifacts, full_report, incremental_report, normalized_json};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn random_edit_chains_keep_incremental_equal_to_full(
+        program_seed in any::<u64>(),
+        chain_seed in any::<u64>(),
+    ) {
+        // The same multi-unit shape the determinism harnesses use: big
+        // enough that phase 2 splits into parallel units and the starved
+        // CS configuration actually degrades.
+        let spec = BenchmarkSpec {
+            name: "edit-robustness".into(),
+            pattern_counts: standard_mix(2, 1, true),
+            filler_classes: 3,
+            methods_per_class: 4,
+            seed: program_seed,
+        };
+        let bench = generate(&spec);
+        let descriptor = Some(&bench.descriptor);
+
+        // Each scenario pairs a configuration with the run options it is
+        // exercised under; the degraded scenario mirrors `--degrade`.
+        let scenarios: [(&str, TajConfig, bool, usize); 3] = [
+            ("hybrid@1", TajConfig::hybrid_unbounded(), false, 1),
+            ("hybrid@8", TajConfig::hybrid_unbounded(), false, 8),
+            ("cs-tiny degraded@8", TajConfig::cs_tiny(), true, 8),
+        ];
+
+        let chain = edit_chain(&bench.source, chain_seed, 4);
+        prop_assert!(!chain.is_empty(), "filler-rich source accepts edits");
+        let mut prev = bench.source.clone();
+        for (step, (kind, edited)) in chain.into_iter().enumerate() {
+            for (label, config, degrade, threads) in &scenarios {
+                let tag = format!("step {step} ({kind}) [{label}]");
+                let opts = RunOptions { degrade: *degrade, threads: *threads, ..RunOptions::default() };
+                let base = base_artifacts(&prev, descriptor, config, &tag);
+                let want = full_report(&edited, descriptor, config, &opts, &tag);
+                let got = incremental_report(&base, &edited, descriptor, config, &opts, &tag);
+                prop_assert_eq!(
+                    normalized_json(&want),
+                    normalized_json(&got.report),
+                    "{}: incremental diverges from full", tag
+                );
+            }
+            prev = edited;
+        }
+    }
+}

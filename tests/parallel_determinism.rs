@@ -5,102 +5,18 @@
 //! interrupted at injected supervisor sites.
 //!
 //! The thread count is an *execution* parameter, never an *analysis*
-//! parameter; this file is the enforcement of that contract. Timing
-//! counters (`pointer_ms`/`slice_ms`/`total_ms`) are zeroed before
-//! comparison, exactly as the daemon's report cache ignores them.
+//! parameter; this file is the enforcement of that contract. The
+//! normalization and comparison helpers live in `tests/common/` and are
+//! shared with the trace and incremental differential harnesses.
 
-use taj::core::{
-    analyze_prepared_opts, prepare, to_sarif, to_text, PreparedProgram, RuleSet, RunOptions,
-    Supervisor, TajConfig, TajError, TajReport,
-};
-use taj::webgen::{generate, standard_mix, BenchmarkSpec};
+mod common;
 
-/// Thread counts every scenario is differenced across. `1` is the inline
-/// sequential reference path; the rest fan out over scoped workers.
-const THREADS: [usize; 4] = [1, 2, 4, 8];
-
-/// A web application big enough that every rule's seed list splits into
-/// multiple parallel units (the chunk size is 4): the standard webgen
-/// pattern mix, twice over, plus filler classes.
-fn big_app() -> PreparedProgram {
-    let spec = BenchmarkSpec {
-        name: "parallel-determinism".into(),
-        pattern_counts: standard_mix(2, 1, true),
-        filler_classes: 3,
-        methods_per_class: 4,
-        seed: 0xD17E,
-    };
-    let bench = generate(&spec);
-    prepare(&bench.source, Some(&bench.descriptor), RuleSet::default_rules())
-        .expect("generated benchmark prepares")
-}
-
-/// A report with the timing counters zeroed — wall-clock is the one
-/// legitimately run-dependent part of the output, and every rendering
-/// (JSON, text, SARIF) is compared over this normalized form.
-fn normalized(report: &TajReport) -> TajReport {
-    let mut report = report.clone();
-    report.stats.pointer_ms = 0;
-    report.stats.slice_ms = 0;
-    report.stats.total_ms = 0;
-    report
-}
-
-/// Serializes a normalized report — the byte-stream under comparison.
-fn normalized_json(report: &TajReport) -> String {
-    serde_json::to_string_pretty(&normalized(report)).expect("report serializes")
-}
-
-/// Runs `prepared` under `config`/`opts` at each thread count and
-/// asserts all three renderings are byte-identical to the single-thread
-/// reference run.
-fn assert_thread_invariant(
-    prepared: &PreparedProgram,
-    config: &TajConfig,
-    make_opts: impl Fn(usize) -> RunOptions,
-    label: &str,
-) {
-    let run = |threads: usize| -> Result<TajReport, TajError> {
-        analyze_prepared_opts(prepared, config, &make_opts(threads))
-    };
-    let reference = run(1);
-    for threads in &THREADS[1..] {
-        let got = run(*threads);
-        match (&reference, &got) {
-            (Ok(want), Ok(got)) => {
-                let (want, got) = (normalized(want), normalized(got));
-                assert_eq!(
-                    normalized_json(&want),
-                    normalized_json(&got),
-                    "[{label}] JSON diverges at {threads} threads"
-                );
-                assert_eq!(
-                    to_text(&want),
-                    to_text(&got),
-                    "[{label}] text report diverges at {threads} threads"
-                );
-                assert_eq!(
-                    to_sarif(&want).expect("sarif renders"),
-                    to_sarif(&got).expect("sarif renders"),
-                    "[{label}] SARIF diverges at {threads} threads"
-                );
-            }
-            (
-                Err(TajError::OutOfMemory { path_edges: want }),
-                Err(TajError::OutOfMemory { path_edges: got }),
-            ) => {
-                assert_eq!(want, got, "[{label}] OutOfMemory count diverges at {threads} threads");
-            }
-            (want, got) => {
-                panic!("[{label}] outcome diverges at {threads} threads: {want:?} vs {got:?}")
-            }
-        }
-    }
-}
+use common::{assert_thread_invariant, big_app};
+use taj::core::{RunOptions, Supervisor, TajConfig};
 
 #[test]
 fn all_seven_configurations_are_thread_invariant() {
-    let prepared = big_app();
+    let prepared = big_app("parallel-determinism");
     for config in TajConfig::all() {
         assert_thread_invariant(
             &prepared,
@@ -116,7 +32,7 @@ fn budget_degraded_runs_are_thread_invariant() {
     // The starved CS config exhausts its path-edge budget and falls down
     // the degradation ladder; the fall (and the report it produces at
     // the cheaper rung) must not depend on the thread count.
-    let prepared = big_app();
+    let prepared = big_app("parallel-determinism");
     assert_thread_invariant(
         &prepared,
         &TajConfig::cs_tiny(),
@@ -129,7 +45,7 @@ fn budget_degraded_runs_are_thread_invariant() {
 fn starved_cs_without_degrade_fails_identically_at_every_thread_count() {
     // Without the ladder, budget exhaustion is a hard error carrying the
     // path-edge count — which must also be thread-invariant.
-    let prepared = big_app();
+    let prepared = big_app("parallel-determinism");
     assert_thread_invariant(
         &prepared,
         &TajConfig::cs_tiny(),
@@ -143,7 +59,7 @@ fn pre_cancelled_runs_are_thread_invariant() {
     // A cancellation that lands before phase 2 starts must stop every
     // worker and deliver the same (empty-slice, provenance-annotated)
     // partial report at every thread count.
-    let prepared = big_app();
+    let prepared = big_app("parallel-determinism");
     assert_thread_invariant(
         &prepared,
         &TajConfig::hybrid_unbounded(),
@@ -161,7 +77,7 @@ fn expired_deadline_runs_are_thread_invariant() {
     // An already-expired deadline trips at the first supervisor check in
     // every worker; the merged partial report must not depend on which
     // worker tripped first.
-    let prepared = big_app();
+    let prepared = big_app("parallel-determinism");
     assert_thread_invariant(
         &prepared,
         &TajConfig::hybrid_unbounded(),
@@ -179,7 +95,7 @@ fn interrupted_ifds_runs_are_thread_invariant() {
     // must deliver the same partial report at every thread count — the
     // acceptance bar for the seventh configuration includes its
     // degraded/cancelled paths.
-    let prepared = big_app();
+    let prepared = big_app("parallel-determinism");
     assert_thread_invariant(
         &prepared,
         &TajConfig::ifds(),
@@ -208,10 +124,11 @@ fn interrupted_ifds_runs_are_thread_invariant() {
 /// Serialized via `FailScenario::setup`'s global lock.
 #[cfg(feature = "taj_failpoints")]
 mod failpoint_scenarios {
-    use super::*;
+    use crate::common::{big_app, normalized, normalized_json, THREADS};
+    use taj::core::{analyze_prepared_opts, to_text, RunOptions, TajConfig};
     use taj::supervise::failpoints::{self, FailAction, FailScenario};
 
-    /// Like [`assert_thread_invariant`], but re-arms the failpoint
+    /// Like `assert_thread_invariant`, but re-arms the failpoint
     /// before every run (scenario state is global and runs reset it).
     fn assert_invariant_with_failpoint(
         config: &TajConfig,
@@ -220,7 +137,7 @@ mod failpoint_scenarios {
         degrade: bool,
         label: &str,
     ) {
-        let prepared = big_app();
+        let prepared = big_app("parallel-determinism");
         let run = |threads: usize| {
             let _scenario = FailScenario::setup();
             failpoints::configure(site, action.clone());

@@ -5,30 +5,14 @@
 //! report contract must also survive turning tracing on: the recorder is
 //! an observation parameter, never an analysis parameter.
 
+mod common;
+
+use common::{big_app, normalized_json, THREADS};
 use taj::core::{
-    analyze_prepared_opts, analyze_source_opts, prepare, PreparedProgram, Recorder, RuleSet,
-    RunOptions, Supervisor, TajConfig, TajError, TajReport,
+    analyze_prepared_opts, analyze_source_opts, PreparedProgram, Recorder, RuleSet, RunOptions,
+    Supervisor, TajConfig, TajError, TajReport,
 };
 use taj::webgen::{generate, standard_mix, BenchmarkSpec};
-
-/// Thread counts every scenario is differenced across (same set as the
-/// report-determinism harness in `parallel_determinism.rs`).
-const THREADS: [usize; 4] = [1, 2, 4, 8];
-
-/// The same multi-unit application the report harness uses: big enough
-/// that every rule's seed list splits into several parallel units.
-fn big_app() -> PreparedProgram {
-    let spec = BenchmarkSpec {
-        name: "trace-determinism".into(),
-        pattern_counts: standard_mix(2, 1, true),
-        filler_classes: 3,
-        methods_per_class: 4,
-        seed: 0xD17E,
-    };
-    let bench = generate(&spec);
-    prepare(&bench.source, Some(&bench.descriptor), RuleSet::default_rules())
-        .expect("generated benchmark prepares")
-}
 
 /// Runs one traced analysis and returns its outcome plus the
 /// timestamp-free trace signature.
@@ -74,7 +58,7 @@ fn assert_trace_invariant(
 
 #[test]
 fn all_six_configurations_have_thread_invariant_traces() {
-    let prepared = big_app();
+    let prepared = big_app("trace-determinism");
     for config in TajConfig::all() {
         assert_trace_invariant(&prepared, &config, false, false, config.name);
     }
@@ -85,7 +69,7 @@ fn degraded_runs_have_thread_invariant_traces() {
     // The starved CS config walks the degradation ladder; the `degrade`
     // instant events and the rescued run's spans must not depend on the
     // thread count.
-    let prepared = big_app();
+    let prepared = big_app("trace-determinism");
     assert_trace_invariant(&prepared, &TajConfig::cs_tiny(), true, false, "CS-Tiny degraded");
     let (result, signature) = run_traced(&prepared, &TajConfig::cs_tiny(), 2, true, false);
     assert!(result.expect("degraded run completes").degradation.degraded);
@@ -100,7 +84,7 @@ fn hard_failing_runs_have_thread_invariant_traces() {
     // Without the ladder the starved CS run aborts with OutOfMemory; the
     // abort path (span drops + the phase2.oom event) must trace
     // identically at every thread count.
-    let prepared = big_app();
+    let prepared = big_app("trace-determinism");
     assert_trace_invariant(&prepared, &TajConfig::cs_tiny(), false, false, "CS-Tiny hard-fail");
     let (result, signature) = run_traced(&prepared, &TajConfig::cs_tiny(), 4, false, false);
     assert!(matches!(result, Err(TajError::OutOfMemory { .. })), "starved CS hard-fails");
@@ -112,7 +96,7 @@ fn hard_failing_runs_have_thread_invariant_traces() {
 
 #[test]
 fn pre_cancelled_runs_have_thread_invariant_traces() {
-    let prepared = big_app();
+    let prepared = big_app("trace-determinism");
     assert_trace_invariant(&prepared, &TajConfig::hybrid_unbounded(), false, true, "pre-cancelled");
 }
 
@@ -121,14 +105,7 @@ fn reports_are_byte_identical_with_tracing_on_or_off() {
     // Tracing must never perturb the analysis: the normalized report
     // (timing counters zeroed, as everywhere else) is compared between a
     // disabled recorder and a live wall-clock recorder.
-    fn normalized_json(report: &TajReport) -> String {
-        let mut report = report.clone();
-        report.stats.pointer_ms = 0;
-        report.stats.slice_ms = 0;
-        report.stats.total_ms = 0;
-        serde_json::to_string_pretty(&report).expect("report serializes")
-    }
-    let prepared = big_app();
+    let prepared = big_app("trace-determinism");
     for config in TajConfig::all() {
         for threads in [1, 4] {
             let off = analyze_prepared_opts(
