@@ -97,6 +97,8 @@ fn main() {
         store_dir: None,
         store_bytes: 0,
         max_queue: 0,
+        flight_records: 0,
+        slow_ms: None,
     })
     .expect("start daemon");
     let addr = tcp_addr(handle.addr());

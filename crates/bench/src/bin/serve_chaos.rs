@@ -68,6 +68,8 @@ fn shard_options(store_dir: std::path::PathBuf, bind: Bind) -> ServeOptions {
         store_dir: Some(store_dir),
         store_bytes: 256 << 20,
         max_queue: 0,
+        flight_records: 64,
+        slow_ms: None,
     }
 }
 
@@ -101,6 +103,8 @@ fn start_router(shards: &[ShardProc]) -> (taj_service::RouterHandle, String) {
         shards: shards.iter().map(|s| s.addr.clone()).collect(),
         default_timeout_ms: None,
         tuning: chaos_tuning(),
+        flight_records: 64,
+        trace_out: None,
     };
     let handle = route(options).expect("start router");
     let addr = tcp_addr(handle.addr());
@@ -282,6 +286,8 @@ fn overload_phase(program: &str, baseline_bytes: &str) -> OverloadResult {
         store_dir: None,
         store_bytes: 0,
         max_queue: 1,
+        flight_records: 16,
+        slow_ms: None,
     };
     let handle = serve(options).expect("start overload daemon");
     let addr = tcp_addr(handle.addr());
@@ -518,6 +524,32 @@ fn main() {
         "restarted shard 0 must serve traffic again"
     );
 
+    // Forensics: a traced request through the healed fleet must be
+    // reconstructable end-to-end — the router's flight recorder plus the
+    // serving shard's stitch into one cross-process trace.
+    let trace_id = "chaos-forensics-1";
+    let traced_opts = AnalyzeOpts {
+        threads: Some(1),
+        trace_id: Some(trace_id.to_string()),
+        ..AnalyzeOpts::default()
+    };
+    baseline_client.analyze(&corpus[0], &traced_opts).expect("traced analyze");
+    let trace = baseline_client.trace(trace_id).expect("fetch trace from router");
+    let fragments = taj_service::fragments_of(&trace);
+    let trace_processes: Vec<String> = fragments
+        .iter()
+        .filter_map(|f| f.get("process").and_then(Value::as_str))
+        .map(str::to_string)
+        .collect();
+    assert!(
+        trace_processes.iter().any(|p| p == "router")
+            && trace_processes.iter().any(|p| p.starts_with("shard")),
+        "stitched trace must span router and shard processes: {trace_processes:?}"
+    );
+    let stitched = taj_service::stitch_fragments(&fragments);
+    assert!(stitched.contains("\"traceEvents\""), "stitched trace must be Chrome trace JSON");
+    eprintln!("forensics: trace {trace_id} stitched across {trace_processes:?}");
+
     router.request_shutdown();
     router.join();
     for shard in &shards {
@@ -604,6 +636,14 @@ fn main() {
     let _ = writeln!(json, "    \"forwarded_at_close\": {forwarded_at_close},");
     let _ = writeln!(json, "    \"user_requests_risked\": 0,");
     let _ = writeln!(json, "    \"recovery_errors\": {recovery_errors}");
+    json.push_str("  },\n");
+    json.push_str("  \"trace\": {\n");
+    let _ = writeln!(json, "    \"fragments\": {},", fragments.len());
+    let _ = writeln!(
+        json,
+        "    \"processes\": [{}]",
+        trace_processes.iter().map(|p| format!("\"{p}\"")).collect::<Vec<_>>().join(", ")
+    );
     json.push_str("  },\n");
     json.push_str("  \"overload\": {\n");
     let _ = writeln!(json, "    \"burst\": {},", overload.burst);

@@ -67,6 +67,8 @@ fn start_shards(store_base: &std::path::Path, shards: usize) -> Vec<ShardProc> {
                 store_dir: Some(store_dir.clone()),
                 store_bytes: 256 << 20,
                 max_queue: 0,
+                flight_records: 64,
+                slow_ms: None,
             };
             let handle = serve(options).expect("start shard");
             let addr = tcp_addr(handle.addr());
@@ -81,6 +83,8 @@ fn start_router(shards: &[ShardProc]) -> (taj_service::RouterHandle, String) {
         shards: shards.iter().map(|s| s.addr.clone()).collect(),
         default_timeout_ms: None,
         tuning: taj_service::RouterTuning::default(),
+        flight_records: 64,
+        trace_out: None,
     };
     let handle = route(options).expect("start router");
     let addr = tcp_addr(handle.addr());
@@ -260,6 +264,61 @@ fn phase_json(json: &mut String, name: &str, r: &PhaseResult, t: &TierTotals) {
     json.push_str("    }");
 }
 
+/// Stitched-trace leg: one traced request through the router, its span
+/// fragments fetched back via `trace <id>` and merged into a Chrome
+/// trace — the per-hop latency decomposition (router forward vs shard
+/// queue-wait vs analysis phases) that aggregate percentiles can't show.
+fn trace_leg(router_addr: &str, source: &str, threads: u64) -> (Vec<serde::Value>, String) {
+    let trace_id = "serve-load-trace-1";
+    let mut client = Client::connect_tcp(router_addr).expect("connect trace client");
+    let opts = AnalyzeOpts {
+        threads: Some(threads),
+        trace_id: Some(trace_id.to_string()),
+        ..AnalyzeOpts::default()
+    };
+    client.analyze(source, &opts).expect("traced analyze");
+    let trace = client.trace(trace_id).expect("fetch trace from router");
+    let fragments = taj_service::fragments_of(&trace);
+    let stitched = taj_service::stitch_fragments(&fragments);
+    (fragments, stitched)
+}
+
+/// Emits the per-hop decomposition of a stitched trace: one entry per
+/// process fragment, with every durationful span's name and µs.
+fn trace_json(json: &mut String, fragments: &[serde::Value]) {
+    json.push_str("  \"trace\": {\n");
+    let _ = writeln!(json, "    \"processes\": {},", fragments.len());
+    json.push_str("    \"hops\": [\n");
+    for (i, f) in fragments.iter().enumerate() {
+        let process = f.get("process").and_then(serde::Value::as_str).unwrap_or("unknown");
+        let outcome = f.get("outcome").and_then(serde::Value::as_str).unwrap_or("unknown");
+        let elapsed = f.get("elapsed_us").and_then(serde::Value::as_u64).unwrap_or(0);
+        let _ = write!(
+            json,
+            "      {{\"process\": \"{process}\", \"outcome\": \"{outcome}\", \
+             \"elapsed_us\": {elapsed}, \"spans\": ["
+        );
+        let mut first = true;
+        if let Some(serde::Value::Array(spans)) = f.get("spans") {
+            for span in spans {
+                let name = span.get("name").and_then(serde::Value::as_str);
+                let dur = span.get("dur").and_then(serde::Value::as_u64);
+                if let (Some(name), Some(dur)) = (name, dur) {
+                    if !first {
+                        json.push_str(", ");
+                    }
+                    first = false;
+                    let _ = write!(json, "{{\"name\": \"{name}\", \"dur_us\": {dur}}}");
+                }
+            }
+        }
+        json.push_str("]}");
+        json.push_str(if i + 1 < fragments.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("    ]\n");
+    json.push_str("  },\n");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -322,6 +381,7 @@ fn main() {
     let (router, router_addr) = start_router(&shards);
     let warm = run_phase(&router_addr, &corpus, clients, requests, threads);
     let warm_tiers = scrape(&shards);
+    let (trace_fragments, stitched_trace) = trace_leg(&router_addr, &corpus[0], threads);
     router.request_shutdown();
     router.join();
     let _ = shutdown_all(shards);
@@ -343,6 +403,7 @@ fn main() {
     let _ = writeln!(json, "  \"requests_per_phase\": {requests},");
     let _ = writeln!(json, "  \"threads_per_request\": {threads},");
     let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    trace_json(&mut json, &trace_fragments);
     json.push_str("  \"phases\": {\n");
     phase_json(&mut json, "cold", &cold, &cold_tiers);
     json.push_str(",\n");
@@ -350,12 +411,25 @@ fn main() {
     json.push_str("\n  }\n}\n");
     std::fs::write(&out_path, &json).expect("write benchmark output");
     eprintln!("wrote {out_path}");
+    let trace_path = format!("{}.trace.json", out_path.trim_end_matches(".json"));
+    std::fs::write(&trace_path, &stitched_trace).expect("write stitched trace");
+    eprintln!("wrote {trace_path} (open with https://ui.perfetto.dev)");
 
     // The store's reason to exist: a restarted fleet answers repeats
     // from disk. Zero warm disk hits means persistence is broken — fail
     // loudly so CI catches it.
     if warm_tiers.hits[3] as u64 == 0 {
         eprintln!("FAIL: warm phase produced no disk-tier hits");
+        std::process::exit(1);
+    }
+    // The trace leg must span both sides of the wire: the router's own
+    // fragment plus the shard that served the request.
+    let traced_processes: Vec<&str> =
+        trace_fragments.iter().filter_map(|f| f["process"].as_str()).collect();
+    if !traced_processes.contains(&"router")
+        || !traced_processes.iter().any(|p| p.starts_with("shard"))
+    {
+        eprintln!("FAIL: stitched trace missing router or shard fragments: {traced_processes:?}");
         std::process::exit(1);
     }
     let _ = std::fs::remove_dir_all(&store_base);

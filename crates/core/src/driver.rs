@@ -1083,7 +1083,9 @@ fn run_phase2(
             // this in-order scan reaches first; defensive break.
             UnitStatus::Skipped => break,
             UnitStatus::Oom { path_edges } => {
-                recorder.event("phase2.oom", vec![("path_edges", path_edges.into())]);
+                if recorder.is_enabled() {
+                    recorder.event("phase2.oom", vec![("path_edges", path_edges.into())]);
+                }
                 return Err(TajError::OutOfMemory { path_edges });
             }
             UnitStatus::Done(out) => {

@@ -31,6 +31,7 @@
 
 pub mod metrics;
 
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -393,6 +394,207 @@ impl Drop for Span {
     }
 }
 
+/// A completed request's span tree plus its outcome, as captured by the
+/// [`FlightRecorder`]. The events are the request's private recorder
+/// buffer in record order; `attrs` carries the outcome attribution the
+/// serving layer derives at response-build time (outcome, cache tier,
+/// degradation, thread count, error code).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// The request's trace id (daemon-minted or propagated).
+    pub trace_id: String,
+    /// Terminal outcome: `ok`, `error`, `timeout`, `panic`, or `shed`.
+    pub outcome: &'static str,
+    /// End-to-end elapsed time on the serving side, in microseconds.
+    pub elapsed_us: u64,
+    /// Outcome attribution (degraded, cache_tier, threads, code, ...).
+    pub attrs: Vec<(&'static str, AttrValue)>,
+    /// The request's recorded span tree (empty when recording was off).
+    pub events: Vec<TraceEvent>,
+}
+
+/// Appends one attribute value as JSON.
+fn json_attr_value(out: &mut String, value: &AttrValue) {
+    match value {
+        AttrValue::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        AttrValue::Bool(v) => {
+            let _ = write!(out, "{v}");
+        }
+        AttrValue::Str(v) => json_string(out, v),
+    }
+}
+
+/// Appends an attribute list as a JSON object (`{"k":v,...}`).
+fn json_attr_object(out: &mut String, attrs: &[(&'static str, AttrValue)]) {
+    out.push('{');
+    for (i, (key, value)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_string(out, key);
+        out.push(':');
+        json_attr_value(out, value);
+    }
+    out.push('}');
+}
+
+/// Renders a recorded event buffer as a wire-JSON array, one object per
+/// event: `{"name":...,"ts":<us>,"dur":<us>,"args":{...}}` for spans,
+/// the same without `dur` for instant events. This is the span payload
+/// of the `trace <id>` NDJSON command; the stitcher on the other side
+/// turns it back into Chrome `trace_event` entries.
+pub fn events_wire_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        json_string(&mut out, ev.name);
+        let _ = write!(out, ",\"ts\":{}", ev.start_us);
+        if let Some(dur) = ev.dur_us {
+            let _ = write!(out, ",\"dur\":{dur}");
+        }
+        if !ev.attrs.is_empty() {
+            out.push_str(",\"args\":");
+            json_attr_object(&mut out, &ev.attrs);
+        }
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
+impl RequestRecord {
+    /// One-line summary object: trace id, outcome, elapsed time, and the
+    /// outcome attributes — the `last_traces` item shape, also used as
+    /// the structured slow-request log line.
+    pub fn summary_json(&self) -> String {
+        let mut out = String::from("{\"trace_id\":");
+        json_string(&mut out, &self.trace_id);
+        out.push_str(",\"outcome\":");
+        json_string(&mut out, self.outcome);
+        let _ = write!(out, ",\"elapsed_us\":{},\"attrs\":", self.elapsed_us);
+        json_attr_object(&mut out, &self.attrs);
+        out.push('}');
+        out
+    }
+
+    /// Full fragment object for the `trace <id>` command: the summary
+    /// fields plus the span tree, labeled with the capturing process.
+    pub fn fragment_json(&self, process: &str) -> String {
+        let mut out = String::from("{\"process\":");
+        json_string(&mut out, process);
+        out.push_str(",\"outcome\":");
+        json_string(&mut out, self.outcome);
+        let _ = write!(out, ",\"elapsed_us\":{},\"attrs\":", self.elapsed_us);
+        json_attr_object(&mut out, &self.attrs);
+        out.push_str(",\"spans\":");
+        out.push_str(&events_wire_json(&self.events));
+        out.push('}');
+        out
+    }
+}
+
+#[derive(Debug)]
+struct FlightInner {
+    capacity: usize,
+    ring: Mutex<VecDeque<Arc<RequestRecord>>>,
+}
+
+/// A bounded ring buffer of completed [`RequestRecord`]s — the always-on
+/// flight recorder. Capture is O(1) per request (one mutex push plus at
+/// most one pop) and happens on the serving layer's connection threads,
+/// never on the analysis worker pool. Capacity 0 disables capture
+/// entirely (a single pointer test, like [`Recorder::disabled`]).
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    inner: Option<Arc<FlightInner>>,
+}
+
+impl FlightRecorder {
+    /// A flight recorder holding up to `capacity` records; 0 disables it.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        if capacity == 0 {
+            return FlightRecorder { inner: None };
+        }
+        FlightRecorder {
+            inner: Some(Arc::new(FlightInner {
+                capacity,
+                ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            })),
+        }
+    }
+
+    /// A recorder that captures nothing.
+    pub fn disabled() -> FlightRecorder {
+        FlightRecorder { inner: None }
+    }
+
+    /// Whether records are being captured.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Pushes a completed record, evicting the oldest when full. O(1).
+    pub fn push(&self, record: RequestRecord) {
+        let Some(inner) = &self.inner else { return };
+        let mut ring = inner.ring.lock().expect("flight ring poisoned");
+        if ring.len() == inner.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(Arc::new(record));
+    }
+
+    /// Looks up a record by trace id, newest match first.
+    pub fn get(&self, trace_id: &str) -> Option<Arc<RequestRecord>> {
+        let inner = self.inner.as_ref()?;
+        let ring = inner.ring.lock().expect("flight ring poisoned");
+        ring.iter().rev().find(|r| r.trace_id == trace_id).cloned()
+    }
+
+    /// The most recent records, newest first, up to `limit`.
+    pub fn recent(&self, limit: usize) -> Vec<Arc<RequestRecord>> {
+        match &self.inner {
+            Some(inner) => {
+                let ring = inner.ring.lock().expect("flight ring poisoned");
+                ring.iter().rev().take(limit).cloned().collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Every retained record, oldest first.
+    pub fn snapshot(&self) -> Vec<Arc<RequestRecord>> {
+        match &self.inner {
+            Some(inner) => {
+                inner.ring.lock().expect("flight ring poisoned").iter().cloned().collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Configured ring capacity (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.inner.as_ref().map_or(0, |inner| inner.capacity)
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.ring.lock().expect("flight ring poisoned").len(),
+            None => 0,
+        }
+    }
+
+    /// Whether the ring currently holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Appends `s` to `out` as a JSON string literal (quotes + escapes).
 fn json_string(out: &mut String, s: &str) {
     out.push('"');
@@ -489,6 +691,79 @@ mod tests {
         };
         assert_eq!(build(false), build(true));
         assert_eq!(build(false), vec!["a k=1".to_string(), "b k=1".to_string()]);
+    }
+
+    #[test]
+    fn flight_recorder_ring_evicts_oldest_and_looks_up_by_id() {
+        let flight = FlightRecorder::new(2);
+        assert!(flight.is_enabled());
+        for i in 0..3u64 {
+            flight.push(RequestRecord {
+                trace_id: format!("taj-{i:016x}"),
+                outcome: "ok",
+                elapsed_us: i,
+                attrs: vec![("threads", AttrValue::U64(1))],
+                events: Vec::new(),
+            });
+        }
+        assert_eq!(flight.len(), 2);
+        assert!(flight.get("taj-0000000000000000").is_none(), "oldest must be evicted");
+        assert!(flight.get("taj-0000000000000002").is_some());
+        let recent = flight.recent(8);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].trace_id, "taj-0000000000000002", "newest first");
+        let snap = flight.snapshot();
+        assert_eq!(snap[0].trace_id, "taj-0000000000000001", "oldest first");
+    }
+
+    #[test]
+    fn disabled_flight_recorder_drops_everything() {
+        let flight = FlightRecorder::new(0);
+        assert!(!flight.is_enabled());
+        flight.push(RequestRecord {
+            trace_id: "taj-x".into(),
+            outcome: "ok",
+            elapsed_us: 1,
+            attrs: Vec::new(),
+            events: Vec::new(),
+        });
+        assert!(flight.is_empty());
+        assert!(flight.get("taj-x").is_none());
+        assert!(flight.recent(4).is_empty());
+    }
+
+    #[test]
+    fn request_record_renders_summary_and_fragment_json() {
+        let record = RequestRecord {
+            trace_id: "taj-1".into(),
+            outcome: "error",
+            elapsed_us: 1500,
+            attrs: vec![("code", "timeout".into()), ("degraded", AttrValue::Bool(false))],
+            events: vec![
+                TraceEvent {
+                    name: "queue.wait",
+                    start_us: 2,
+                    dur_us: Some(40),
+                    attrs: vec![("depth", AttrValue::U64(3))],
+                },
+                TraceEvent { name: "cache.probe", start_us: 50, dur_us: None, attrs: vec![] },
+            ],
+        };
+        let summary = record.summary_json();
+        assert_eq!(
+            summary,
+            "{\"trace_id\":\"taj-1\",\"outcome\":\"error\",\"elapsed_us\":1500,\
+             \"attrs\":{\"code\":\"timeout\",\"degraded\":false}}"
+        );
+        let fragment = record.fragment_json("daemon");
+        assert!(fragment.starts_with("{\"process\":\"daemon\","), "{fragment}");
+        assert!(
+            fragment.contains(
+                "\"spans\":[{\"name\":\"queue.wait\",\"ts\":2,\"dur\":40,\
+                 \"args\":{\"depth\":3}},{\"name\":\"cache.probe\",\"ts\":50}]"
+            ),
+            "{fragment}"
+        );
     }
 
     #[test]

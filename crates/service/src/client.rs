@@ -509,6 +509,36 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("metrics response missing `exposition`".into()))
     }
 
+    /// Fetches the span fragments retained for `trace_id` — the daemon
+    /// answers with its own fragment, the router with its hop fragment
+    /// plus every shard fragment it could collect. Read-only, so retried
+    /// under the client's [`RetryPolicy`].
+    ///
+    /// # Errors
+    /// [`ClientError`] on socket, framing, or server-reported failures
+    /// (`bad_request` when the id is unknown or the ring evicted it).
+    pub fn trace(&mut self, trace_id: &str) -> Result<Value, ClientError> {
+        let mut req = Value::object();
+        req.insert("cmd", Value::String("trace".to_string()));
+        req.insert("trace_id", Value::String(trace_id.to_string()));
+        self.request_idempotent(req)
+    }
+
+    /// Lists flight-recorder summaries, newest first, optionally capped
+    /// at `limit`. Read-only, so retried under the client's
+    /// [`RetryPolicy`].
+    ///
+    /// # Errors
+    /// [`ClientError`] on socket, framing, or server-reported failures.
+    pub fn last_traces(&mut self, limit: Option<u64>) -> Result<Value, ClientError> {
+        let mut req = Value::object();
+        req.insert("cmd", Value::String("last_traces".to_string()));
+        if let Some(n) = limit {
+            req.insert("limit", Value::UInt(u128::from(n)));
+        }
+        self.request_idempotent(req)
+    }
+
     /// Asks the daemon to drain and exit. Never retried — a retry could
     /// tear down a daemon that already restarted.
     ///

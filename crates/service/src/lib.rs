@@ -38,11 +38,17 @@ pub mod pool;
 pub mod protocol;
 pub mod router;
 pub mod server;
+pub mod trace;
 
 pub use breaker::{Breaker, BreakerState};
 pub use cache::{content_hash, Artifact, ArtifactCache, ArtifactKey, CacheStats};
 pub use client::{AnalyzeOpts, Client, ClientError, RetryPolicy};
 pub use pool::WorkerPool;
-pub use protocol::{BatchRequest, ErrorCode, OutputFormat, MAX_BATCH_ITEMS, PROTOCOL_VERSION};
+pub use protocol::{
+    stamp_trace, BatchRequest, ErrorCode, OutputFormat, MAX_BATCH_ITEMS, PROTOCOL_VERSION,
+};
 pub use router::{route, RouterHandle, RouterOptions, RouterTuning};
-pub use server::{serve, store_fingerprint, Bind, BoundAddr, ServeOptions, ServerHandle};
+pub use server::{
+    serve, store_fingerprint, Bind, BoundAddr, ServeOptions, ServerHandle, DEFAULT_FLIGHT_RECORDS,
+};
+pub use trace::{fragments_of, relabel_process, stitch_fragments};

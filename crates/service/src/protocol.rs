@@ -113,6 +113,11 @@ pub struct AnalyzeRequest {
     /// server generates one when absent. Lives in the envelope (not the
     /// cached result bytes), so it never perturbs cache identity.
     pub trace_id: Option<String>,
+    /// Parent span id from the propagated trace context (`trace.parent`):
+    /// the upstream hop — e.g. `router` — whose span this request's root
+    /// span continues. Recorded as an attribute on the flight-recorder
+    /// root span, never part of cache identity.
+    pub trace_parent: Option<String>,
 }
 
 /// A parsed `analyze_delta` request: a normal analyze field set plus the
@@ -159,6 +164,16 @@ pub enum Command {
     Stats,
     /// Render daemon counters as a Prometheus text exposition.
     Metrics,
+    /// Fetch one flight-recorder record (span fragments) by trace id.
+    Trace {
+        /// The trace id to look up.
+        trace_id: String,
+    },
+    /// List the most recent flight-recorder records, newest first.
+    LastTraces {
+        /// Cap on returned records (default: the whole ring).
+        limit: Option<u64>,
+    },
     /// Drain in-flight jobs and exit.
     Shutdown,
     /// Debug only: a worker job that sleeps `ms` (for timeout tests).
@@ -244,6 +259,7 @@ fn parse_analyze_body(
         "degrade",
         "threads",
         "trace_id",
+        "trace",
     ]);
     check_fields(value, &allowed)?;
     let source = get_str(value, "source")?.ok_or_else(|| bad("missing `source`"))?;
@@ -257,8 +273,29 @@ fn parse_analyze_body(
     let timeout_ms = get_u64(value, "timeout_ms")?;
     let degrade = get_bool(value, "degrade")?.unwrap_or(false);
     let threads = get_u64(value, "threads")?;
-    let trace_id = get_str(value, "trace_id")?;
-    Ok(AnalyzeRequest { source, config, rules, format, timeout_ms, degrade, threads, trace_id })
+    let mut trace_id = get_str(value, "trace_id")?;
+    let mut trace_parent = None;
+    if let Some(trace) = value.get("trace") {
+        if !matches!(trace, Value::Object(_)) {
+            return Err(bad("field `trace` must be an object"));
+        }
+        check_fields(trace, &["trace_id", "parent"])?;
+        let ctx_id =
+            get_str(trace, "trace_id")?.ok_or_else(|| bad("trace context missing `trace_id`"))?;
+        trace_id = Some(ctx_id);
+        trace_parent = get_str(trace, "parent")?;
+    }
+    Ok(AnalyzeRequest {
+        source,
+        config,
+        rules,
+        format,
+        timeout_ms,
+        degrade,
+        threads,
+        trace_id,
+        trace_parent,
+    })
 }
 
 /// Parses one request line. `debug` enables the `debug_*` commands.
@@ -317,6 +354,15 @@ pub fn parse_request(line: &str, debug: bool) -> Result<Request, ProtocolError> 
             check_fields(&value, &["id", "cmd"])?;
             Command::Metrics
         }
+        "trace" => {
+            check_fields(&value, &["id", "cmd", "trace_id"])?;
+            let trace_id = get_str(&value, "trace_id")?.ok_or_else(|| bad("missing `trace_id`"))?;
+            Command::Trace { trace_id }
+        }
+        "last_traces" => {
+            check_fields(&value, &["id", "cmd", "limit"])?;
+            Command::LastTraces { limit: get_u64(&value, "limit")? }
+        }
         "shutdown" => {
             check_fields(&value, &["id", "cmd"])?;
             Command::Shutdown
@@ -355,6 +401,30 @@ pub fn ok_response(id: &Value, result: &Value) -> String {
 fn trace_id_json(trace_id: &str) -> String {
     serde_json::to_string(&Value::String(trace_id.to_string()))
         .unwrap_or_else(|_| "\"\"".to_string())
+}
+
+/// Splices a trace-context object (`"trace":{"trace_id":…,"parent":…}`)
+/// into a raw request line, textually, right after the opening brace.
+/// The router uses this to stamp forwarded lines: every byte the client
+/// sent is preserved verbatim (no parse → re-serialize round trip), so
+/// routed responses stay byte-identical to direct ones. Returns the line
+/// unchanged when it does not start with `{` (the daemon will reject it
+/// with the same error either way).
+pub fn stamp_trace(line: &str, trace_id: &str, parent: &str) -> String {
+    let Some(brace) = line.find('{') else { return line.to_string() };
+    if line[..brace].trim() != "" {
+        return line.to_string();
+    }
+    let rest = &line[brace + 1..];
+    let separator = if rest.trim_start().starts_with('}') { "" } else { "," };
+    format!(
+        "{}{{\"trace\":{{\"trace_id\":{},\"parent\":{}}}{}{}",
+        &line[..brace],
+        trace_id_json(trace_id),
+        trace_id_json(parent),
+        separator,
+        rest
+    )
 }
 
 /// [`ok_response_raw`] with a `trace_id` in the envelope. The trace id
@@ -583,6 +653,85 @@ mod tests {
         let v = serde_json::from_str(&err).unwrap();
         assert_eq!(v["trace_id"], "t-42");
         assert_eq!(v["error"]["code"], "timeout");
+    }
+
+    #[test]
+    fn trace_context_parses_and_overrides_trace_id() {
+        let r = parse_request(
+            r#"{"cmd":"analyze","source":"x","trace":{"trace_id":"taj-r-1","parent":"router"}}"#,
+            false,
+        )
+        .unwrap();
+        match r.command {
+            Command::Analyze(a) => {
+                assert_eq!(a.trace_id.as_deref(), Some("taj-r-1"));
+                assert_eq!(a.trace_parent.as_deref(), Some("router"));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // The context object wins over a bare trace_id field.
+        let r = parse_request(
+            r#"{"cmd":"analyze","source":"x","trace_id":"old","trace":{"trace_id":"new"}}"#,
+            false,
+        )
+        .unwrap();
+        match r.command {
+            Command::Analyze(a) => {
+                assert_eq!(a.trace_id.as_deref(), Some("new"));
+                assert!(a.trace_parent.is_none());
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // Strictness: non-object, missing trace_id, unknown keys.
+        for line in [
+            r#"{"cmd":"analyze","source":"x","trace":"t"}"#,
+            r#"{"cmd":"analyze","source":"x","trace":{"parent":"router"}}"#,
+            r#"{"cmd":"analyze","source":"x","trace":{"trace_id":"t","span":1}}"#,
+        ] {
+            let e = parse_request(line, false).unwrap_err();
+            assert_eq!(e.0, ErrorCode::BadRequest, "{line}");
+        }
+    }
+
+    #[test]
+    fn trace_and_last_traces_commands_parse_strictly() {
+        let r = parse_request(r#"{"id":1,"cmd":"trace","trace_id":"taj-1"}"#, false).unwrap();
+        assert!(matches!(r.command, Command::Trace { trace_id } if trace_id == "taj-1"));
+        let e = parse_request(r#"{"cmd":"trace"}"#, false).unwrap_err();
+        assert_eq!(e.0, ErrorCode::BadRequest, "trace requires trace_id");
+        let e = parse_request(r#"{"cmd":"trace","trace_id":"t","x":1}"#, false).unwrap_err();
+        assert_eq!(e.0, ErrorCode::BadRequest);
+
+        let r = parse_request(r#"{"cmd":"last_traces"}"#, false).unwrap();
+        assert!(matches!(r.command, Command::LastTraces { limit: None }));
+        let r = parse_request(r#"{"cmd":"last_traces","limit":5}"#, false).unwrap();
+        assert!(matches!(r.command, Command::LastTraces { limit: Some(5) }));
+        let e = parse_request(r#"{"cmd":"last_traces","limit":"all"}"#, false).unwrap_err();
+        assert_eq!(e.0, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn stamp_trace_preserves_every_client_byte() {
+        let line = r#"{"id": 7, "cmd": "analyze", "source": "class A {}"}"#;
+        let stamped = stamp_trace(line, "taj-r-9", "router");
+        assert_eq!(
+            stamped,
+            r#"{"trace":{"trace_id":"taj-r-9","parent":"router"},"id": 7, "cmd": "analyze", "source": "class A {}"}"#
+        );
+        // The stamped line still parses, and the context is picked up.
+        let r = parse_request(&stamped, false).unwrap();
+        match r.command {
+            Command::Analyze(a) => {
+                assert_eq!(a.source, "class A {}", "client bytes untouched");
+                assert_eq!(a.trace_id.as_deref(), Some("taj-r-9"));
+                assert_eq!(a.trace_parent.as_deref(), Some("router"));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // Degenerate shapes stay parseable / unchanged.
+        assert_eq!(stamp_trace("{}", "t", "p"), r#"{"trace":{"trace_id":"t","parent":"p"}}"#);
+        assert_eq!(stamp_trace("not json", "t", "p"), "not json");
+        assert_eq!(stamp_trace("[1]", "t", "p"), "[1]");
     }
 
     #[test]

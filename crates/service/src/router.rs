@@ -32,14 +32,16 @@
 //! only — backends are managed by whoever started them.
 
 use std::io;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use serde::Value;
-use taj_core::Supervisor;
-use taj_obs::metrics::Exposition;
+use taj_core::{Recorder, Supervisor};
+use taj_obs::metrics::{Exposition, Histogram};
+use taj_obs::{FlightRecorder, RequestRecord, TraceEvent};
 
 use crate::breaker::{Breaker, BreakerState};
 use crate::cache::content_hash;
@@ -47,11 +49,14 @@ use crate::client::{Client, RetryPolicy};
 use crate::protocol::{
     batch_item_err, batch_item_ok, batch_result_raw, err_response, err_response_traced,
     ok_response_raw, ok_response_raw_traced, ok_response_raw_traced_delta, parse_request,
-    AnalyzeDeltaRequest, AnalyzeRequest, BatchRequest, Command, ErrorCode, PROTOCOL_VERSION,
+    stamp_trace, AnalyzeDeltaRequest, AnalyzeRequest, BatchRequest, Command, ErrorCode,
+    PROTOCOL_VERSION,
 };
 use crate::server::{
-    accept_loop, analyze_uncached, bind_listener, configs_value, Bind, BoundAddr, LineHandler,
+    accept_loop, analyze_uncached, bind_listener, configs_value, store_fingerprint, Bind,
+    BoundAddr, LineHandler,
 };
+use crate::trace::{fragments_of, relabel_process, stitch_fragments};
 
 /// Router configuration.
 #[derive(Clone, Debug)]
@@ -67,6 +72,30 @@ pub struct RouterOptions {
     pub default_timeout_ms: Option<u64>,
     /// Breaker, retry, and prober knobs.
     pub tuning: RouterTuning,
+    /// Flight-recorder capacity for the router's own hop records
+    /// (`trace <id>` / `last_traces` answer from this ring). `0`
+    /// disables capture.
+    pub flight_records: usize,
+    /// On shutdown, stitch every retained trace (router record plus any
+    /// shard fragments still fetchable) into one Chrome trace JSON file
+    /// at this path.
+    pub trace_out: Option<PathBuf>,
+}
+
+impl RouterOptions {
+    /// Ephemeral-TCP options for tests and harnesses: bind
+    /// `127.0.0.1:0`, default tuning, the default flight ring, no
+    /// shutdown trace file.
+    pub fn tcp_ephemeral(shards: Vec<String>) -> RouterOptions {
+        RouterOptions {
+            bind: Bind::Tcp("127.0.0.1:0".to_string()),
+            shards,
+            default_timeout_ms: None,
+            tuning: RouterTuning::default(),
+            flight_records: crate::server::DEFAULT_FLIGHT_RECORDS,
+            trace_out: None,
+        }
+    }
 }
 
 /// Breaker, retry, and prober knobs for the router's shard handling.
@@ -158,9 +187,10 @@ impl Shard {
 
     /// Sends one raw line and returns the raw response; `None` means the
     /// caller must fail over locally. Exactly one of `forwarded` /
-    /// `failovers` is bumped per call.
-    fn forward(&self, line: &str, tuning: &RouterTuning) -> Option<String> {
-        let result = self.try_forward(line, tuning);
+    /// `failovers` is bumped per call. Retry and overload-wait hops are
+    /// recorded on `rec` so a stitched trace shows them per request.
+    fn forward(&self, line: &str, tuning: &RouterTuning, rec: &Recorder) -> Option<String> {
+        let result = self.try_forward(line, tuning, rec);
         match result {
             Some(_) => {
                 self.forwarded.fetch_add(1, Ordering::SeqCst);
@@ -174,14 +204,17 @@ impl Shard {
         result
     }
 
-    fn try_forward(&self, line: &str, tuning: &RouterTuning) -> Option<String> {
+    fn try_forward(&self, line: &str, tuning: &RouterTuning, rec: &Recorder) -> Option<String> {
         // Open breaker: fail fast. The caller's local failover answers
         // the request; the prober (not this request) tests the shard.
         if !self.breaker.allows_request() {
+            if rec.is_enabled() {
+                rec.event("router.breaker_open", Vec::new());
+            }
             return None;
         }
         let mut guard = self.conn.lock().unwrap_or_else(|e| e.into_inner());
-        let Some(first) = self.attempt_loop(line, tuning, &mut guard) else {
+        let Some(first) = self.attempt_loop(line, tuning, rec, &mut guard) else {
             if self.breaker.on_failure(Instant::now()) {
                 self.opens.fetch_add(1, Ordering::SeqCst);
             }
@@ -194,10 +227,13 @@ impl Shard {
         let response = match overload_hint(&first) {
             Some(hint) => {
                 self.retried.fetch_add(1, Ordering::SeqCst);
+                if rec.is_enabled() {
+                    rec.event("router.overload_wait", vec![("hint_ms", hint.into())]);
+                }
                 std::thread::sleep(Duration::from_millis(hint.min(tuning.overload_retry_cap_ms)));
                 // If the retry's transport dies, the original rejection
                 // (with its hint) is still the honest answer to relay.
-                self.attempt_loop(line, tuning, &mut guard).unwrap_or(first)
+                self.attempt_loop(line, tuning, rec, &mut guard).unwrap_or(first)
             }
             None => first,
         };
@@ -212,12 +248,16 @@ impl Shard {
         &self,
         line: &str,
         tuning: &RouterTuning,
+        rec: &Recorder,
         guard: &mut Option<Client>,
     ) -> Option<String> {
         let attempts = tuning.forward_attempts.max(1);
         for attempt in 0..attempts {
             if attempt > 0 {
                 self.retried.fetch_add(1, Ordering::SeqCst);
+                if rec.is_enabled() {
+                    rec.event("router.retry", vec![("attempt", u64::from(attempt).into())]);
+                }
                 let backoff = tuning.retry_base_ms.saturating_mul(1 << (attempt - 1).min(10));
                 std::thread::sleep(Duration::from_millis(backoff));
             }
@@ -315,6 +355,11 @@ struct RouterState {
     tuning: RouterTuning,
     started: Instant,
     trace_seq: AtomicU64,
+    /// The router's own hop records (forward spans, retries, failovers).
+    flight: FlightRecorder,
+    /// End-to-end router-side latency, same buckets as the daemon's
+    /// request histograms.
+    request_seconds: Histogram,
 }
 
 /// A running router.
@@ -364,6 +409,8 @@ pub fn route(options: RouterOptions) -> io::Result<RouterHandle> {
         tuning,
         started: Instant::now(),
         trace_seq: AtomicU64::new(0),
+        flight: FlightRecorder::new(options.flight_records),
+        request_seconds: Histogram::latency(),
     });
     let handler: LineHandler = {
         let state = Arc::clone(&state);
@@ -379,10 +426,17 @@ pub fn route(options: RouterOptions) -> io::Result<RouterHandle> {
         .expect("spawn router prober");
     let shutdown = Arc::clone(&state.shutdown);
     let accept_addr = addr.clone();
+    let trace_out = options.trace_out;
+    let trace_state = Arc::clone(&state);
     let accept_thread = std::thread::Builder::new()
         .name("taj-router-accept".to_string())
         .spawn(move || {
             accept_loop(&listener, &shutdown, &handler);
+            // Stitch before the prober joins: shards are still likely
+            // alive at this point, so their fragments can be fetched.
+            if let Some(path) = &trace_out {
+                let _ = std::fs::write(path, stitched_ring_json(&trace_state));
+            }
             let _ = prober.join();
             if let BoundAddr::Unix(path) = &accept_addr {
                 let _ = std::fs::remove_file(path);
@@ -440,7 +494,72 @@ fn mint_trace_id(state: &Arc<RouterState>) -> String {
     format!("taj-r-{:016x}", state.trace_seq.fetch_add(1, Ordering::SeqCst) + 1)
 }
 
+/// The router's per-request recorder, live only when its flight ring is.
+fn router_recorder(state: &Arc<RouterState>) -> Recorder {
+    if state.flight.is_enabled() {
+        Recorder::new()
+    } else {
+        Recorder::disabled()
+    }
+}
+
+/// Captures one routed request into the router's flight ring: the hop
+/// events recorded so far under a synthetic `request` root span.
+fn capture_router_flight(
+    state: &Arc<RouterState>,
+    rec: &Recorder,
+    trace_id: &str,
+    outcome: &'static str,
+    started: Instant,
+) {
+    if !state.flight.is_enabled() {
+        return;
+    }
+    let elapsed_us = started.elapsed().as_micros() as u64;
+    let mut events = rec.events();
+    events.insert(
+        0,
+        TraceEvent { name: "request", start_us: 0, dur_us: Some(elapsed_us), attrs: Vec::new() },
+    );
+    state.flight.push(RequestRecord {
+        trace_id: trace_id.to_string(),
+        outcome,
+        elapsed_us,
+        attrs: Vec::new(),
+        events,
+    });
+}
+
+/// Forwards to `shard`, recording the forward as a span (with the shard
+/// index and whether a response was relayed) on the request's recorder.
+fn traced_forward(
+    state: &Arc<RouterState>,
+    shard_idx: usize,
+    line: &str,
+    rec: &Recorder,
+) -> Option<String> {
+    let shard = &state.shards[shard_idx];
+    let start_us = rec.now_us();
+    let response = shard.forward(line, &state.tuning, rec);
+    if rec.is_enabled() {
+        rec.record(TraceEvent {
+            name: "router.forward",
+            start_us,
+            dur_us: Some(rec.now_us().saturating_sub(start_us)),
+            attrs: vec![("shard", shard_idx.into()), ("relayed", response.is_some().into())],
+        });
+    }
+    response
+}
+
 fn handle_line(line: &str, state: &Arc<RouterState>) -> (String, bool) {
+    let started = Instant::now();
+    let result = handle_line_inner(line, state, started);
+    state.request_seconds.observe(started.elapsed().as_secs_f64());
+    result
+}
+
+fn handle_line_inner(line: &str, state: &Arc<RouterState>, started: Instant) -> (String, bool) {
     state.counters.requests.fetch_add(1, Ordering::SeqCst);
     let request = match parse_request(line, false) {
         Ok(r) => r,
@@ -460,30 +579,58 @@ fn handle_line(line: &str, state: &Arc<RouterState>) -> (String, bool) {
         }
         Command::Analyze(req) => {
             state.counters.analyze_requests.fetch_add(1, Ordering::SeqCst);
-            let shard = &state.shards[shard_index(&req, state.shards.len())];
-            // Forward the client's bytes untouched: the response through
-            // the router is then byte-identical to a direct connection.
-            match shard.forward(line, &state.tuning) {
-                Some(response) => (response, false),
-                None => (local_analyze_response(state, &id, &req, req.timeout_ms), false),
+            let trace_id = req.trace_id.clone().unwrap_or_else(|| mint_trace_id(state));
+            let rec = router_recorder(state);
+            let shard_idx = shard_index(&req, state.shards.len());
+            // Stamp trace context onto the forwarded line (a textual
+            // splice that preserves every client byte), so the shard
+            // continues this trace and its fragment is fetchable under
+            // the same id.
+            let stamped = stamp_trace(line, &trace_id, "router");
+            match traced_forward(state, shard_idx, &stamped, &rec) {
+                Some(response) => {
+                    capture_router_flight(state, &rec, &trace_id, "ok", started);
+                    (response, false)
+                }
+                None => {
+                    let response =
+                        local_analyze_response(state, &id, &req, req.timeout_ms, &trace_id);
+                    capture_router_flight(state, &rec, &trace_id, "failover", started);
+                    (response, false)
+                }
             }
         }
         Command::AnalyzeDelta(req) => {
             state.counters.analyze_requests.fetch_add(1, Ordering::SeqCst);
+            let trace_id = req.request.trace_id.clone().unwrap_or_else(|| mint_trace_id(state));
+            let rec = router_recorder(state);
             // Shard by the *base* source (not the edited source): every
             // edit of one program then lands on the daemon whose summary
             // and phase-1 tiers are already warm for that base.
             let src = content_hash(req.base_source.as_bytes());
             let rules = req.request.rules.as_ref().map_or(0, |r| content_hash(r.as_bytes()));
-            let shard = &state.shards[((src ^ rules) % state.shards.len() as u128) as usize];
-            match shard.forward(line, &state.tuning) {
-                Some(response) => (response, false),
-                None => (local_delta_response(state, &id, &req, req.request.timeout_ms), false),
+            let shard_idx = ((src ^ rules) % state.shards.len() as u128) as usize;
+            let stamped = stamp_trace(line, &trace_id, "router");
+            match traced_forward(state, shard_idx, &stamped, &rec) {
+                Some(response) => {
+                    capture_router_flight(state, &rec, &trace_id, "ok", started);
+                    (response, false)
+                }
+                None => {
+                    let response =
+                        local_delta_response(state, &id, &req, req.request.timeout_ms, &trace_id);
+                    capture_router_flight(state, &rec, &trace_id, "failover", started);
+                    (response, false)
+                }
             }
         }
         Command::Batch(batch) => {
             state.counters.batch_requests.fetch_add(1, Ordering::SeqCst);
             (ok_response_raw(&id, &route_batch(state, line, batch)), false)
+        }
+        Command::Trace { trace_id } => (trace_response(state, &id, &trace_id), false),
+        Command::LastTraces { limit } => {
+            (ok_response_raw(&id, &last_traces_raw(state, limit)), false)
         }
         // `parse_request(_, debug=false)` already rejected these.
         Command::DebugSleep { .. } | Command::DebugPanic => {
@@ -491,6 +638,107 @@ fn handle_line(line: &str, state: &Arc<RouterState>) -> (String, bool) {
             (err_response(&id, ErrorCode::BadRequest, "debug commands are not routed"), false)
         }
     }
+}
+
+/// Answers `trace <id>` with every fragment reachable for that trace:
+/// the router's own hop record plus per-shard fragments fetched live
+/// (over fresh connections, so forwarding stats stay untouched) and
+/// relabeled `shard<i>`.
+fn trace_response(state: &Arc<RouterState>, id: &Value, trace_id: &str) -> String {
+    let mut fragments: Vec<String> = Vec::new();
+    if let Some(record) = state.flight.get(trace_id) {
+        fragments.push(record.fragment_json("router"));
+    }
+    for (i, shard) in state.shards.iter().enumerate() {
+        fragments.extend(fetch_shard_fragments(&shard.addr, trace_id, i, &state.tuning));
+    }
+    if fragments.is_empty() {
+        state.counters.errors.fetch_add(1, Ordering::SeqCst);
+        return err_response(
+            id,
+            ErrorCode::BadRequest,
+            &format!("trace `{trace_id}` not found on the router or any shard"),
+        );
+    }
+    let id_json = serde_json::to_string(&Value::String(trace_id.to_string())).unwrap_or_default();
+    ok_response_raw(
+        id,
+        &format!("{{\"trace_id\":{},\"fragments\":[{}]}}", id_json, fragments.join(",")),
+    )
+}
+
+/// Fetches one shard's fragments for a trace id over a fresh connection;
+/// empty when the shard is unreachable or never saw the trace.
+fn fetch_shard_fragments(
+    addr: &str,
+    trace_id: &str,
+    shard_idx: usize,
+    tuning: &RouterTuning,
+) -> Vec<String> {
+    let Ok(mut client) = Client::connect_tcp(addr) else { return Vec::new() };
+    client.set_retry(RetryPolicy::none());
+    let timeout = Duration::from_millis(tuning.shard_io_timeout_ms.unwrap_or(30_000).min(2_000));
+    if client.set_io_timeout(Some(timeout)).is_err() {
+        return Vec::new();
+    }
+    let mut request = Value::object();
+    request.insert("id", Value::UInt(0));
+    request.insert("cmd", Value::String("trace".to_string()));
+    request.insert("trace_id", Value::String(trace_id.to_string()));
+    let Ok(line) = serde_json::to_string(&request) else { return Vec::new() };
+    let Ok(raw) = client.request_raw(&line) else { return Vec::new() };
+    let Ok(response) = serde_json::from_str(&raw) else { return Vec::new() };
+    if response.get("ok").and_then(Value::as_bool) != Some(true) {
+        return Vec::new();
+    }
+    let Some(result) = response.get("result") else { return Vec::new() };
+    let label = format!("shard{shard_idx}");
+    fragments_of(result)
+        .into_iter()
+        .map(|mut fragment| {
+            relabel_process(&mut fragment, &label);
+            serde_json::to_string(&fragment).unwrap_or_else(|_| "{}".to_string())
+        })
+        .collect()
+}
+
+/// `last_traces` body from the router's ring, newest first.
+fn last_traces_raw(state: &Arc<RouterState>, limit: Option<u64>) -> String {
+    let limit = limit.map_or(usize::MAX, |n| n as usize);
+    let records = state.flight.recent(limit);
+    let mut out = format!("{{\"count\":{},\"traces\":[", records.len());
+    for (i, record) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&record.summary_json());
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The `--trace-out` payload: every retained trace's fragments (router
+/// record plus whatever shards still answer), stitched into one Chrome
+/// trace with per-process-per-trace tracks.
+fn stitched_ring_json(state: &Arc<RouterState>) -> String {
+    let mut fragments: Vec<Value> = Vec::new();
+    for record in state.flight.snapshot() {
+        let tid = &record.trace_id;
+        let parsed: Result<Value, _> = serde_json::from_str(&record.fragment_json("router"));
+        if let Ok(mut fragment) = parsed {
+            relabel_process(&mut fragment, &format!("router {tid}"));
+            fragments.push(fragment);
+        }
+        for (i, shard) in state.shards.iter().enumerate() {
+            for raw in fetch_shard_fragments(&shard.addr, tid, i, &state.tuning) {
+                if let Ok(mut fragment) = serde_json::from_str(&raw) {
+                    relabel_process(&mut fragment, &format!("shard{i} {tid}"));
+                    fragments.push(fragment);
+                }
+            }
+        }
+    }
+    stitch_fragments(&fragments)
 }
 
 /// The failover path: analyze locally (cache-free, inline on the
@@ -501,14 +749,14 @@ fn local_analyze_response(
     id: &Value,
     req: &AnalyzeRequest,
     timeout_ms: Option<u64>,
+    trace_id: &str,
 ) -> String {
     state.counters.local_fallbacks.fetch_add(1, Ordering::SeqCst);
-    let trace_id = req.trace_id.clone().unwrap_or_else(|| mint_trace_id(state));
     match local_analyze(state, req, timeout_ms) {
-        Ok(raw) => ok_response_raw_traced(id, &trace_id, &raw),
+        Ok(raw) => ok_response_raw_traced(id, trace_id, &raw),
         Err((code, msg)) => {
             state.counters.errors.fetch_add(1, Ordering::SeqCst);
-            err_response_traced(id, &trace_id, code, &msg)
+            err_response_traced(id, trace_id, code, &msg)
         }
     }
 }
@@ -522,20 +770,20 @@ fn local_delta_response(
     id: &Value,
     req: &AnalyzeDeltaRequest,
     timeout_ms: Option<u64>,
+    trace_id: &str,
 ) -> String {
     state.counters.local_fallbacks.fetch_add(1, Ordering::SeqCst);
-    let trace_id = req.request.trace_id.clone().unwrap_or_else(|| mint_trace_id(state));
     match local_analyze(state, &req.request, timeout_ms) {
         Ok(raw) => ok_response_raw_traced_delta(
             id,
-            &trace_id,
+            trace_id,
             "{\"source\":\"local-failover\",\"phase1_reused\":false,\
              \"methods_resolved\":0,\"methods_total\":0}",
             &raw,
         ),
         Err((code, msg)) => {
             state.counters.errors.fetch_add(1, Ordering::SeqCst);
-            err_response_traced(id, &trace_id, code, &msg)
+            err_response_traced(id, trace_id, code, &msg)
         }
     }
 }
@@ -599,7 +847,9 @@ fn route_batch(state: &Arc<RouterState>, line: &str, batch: BatchRequest) -> Str
             if let Some(t) = batch.timeout_ms {
                 envelope.insert("timeout_ms", Value::UInt(u128::from(t)));
             }
-            serde_json::to_string(&envelope).ok().and_then(|sub| shard.forward(&sub, &state.tuning))
+            serde_json::to_string(&envelope)
+                .ok()
+                .and_then(|sub| shard.forward(&sub, &state.tuning, &Recorder::disabled()))
         } else {
             None
         };
@@ -684,6 +934,14 @@ fn stats_raw(state: &Arc<RouterState>) -> String {
     o.insert("role", Value::String("router".to_string()));
     o.insert("protocol_version", Value::UInt(u128::from(PROTOCOL_VERSION)));
     o.insert("uptime_ms", Value::UInt(state.started.elapsed().as_millis()));
+    let mut build_o = Value::object();
+    build_o.insert("version", Value::String(env!("CARGO_PKG_VERSION").to_string()));
+    build_o.insert("fingerprint", Value::String(format!("{:032x}", store_fingerprint())));
+    o.insert("build", build_o);
+    let mut flight_o = Value::object();
+    flight_o.insert("capacity", Value::UInt(state.flight.capacity() as u128));
+    flight_o.insert("retained", Value::UInt(state.flight.len() as u128));
+    o.insert("flight", flight_o);
     o.insert("requests", Value::UInt(u128::from(c.requests.load(Ordering::SeqCst))));
     o.insert(
         "analyze_requests",
@@ -714,6 +972,23 @@ fn metrics_raw(state: &Arc<RouterState>) -> String {
     let mut exp = Exposition::new();
     exp.family("taj_router_uptime_seconds", "Seconds since the router started.", "gauge");
     exp.sample("taj_router_uptime_seconds", &[], state.started.elapsed().as_secs_f64());
+    exp.family(
+        "taj_build_info",
+        "Build identity: crate version and store fingerprint (value is always 1).",
+        "gauge",
+    );
+    let fingerprint = format!("{:032x}", store_fingerprint());
+    exp.sample(
+        "taj_build_info",
+        &[("version", env!("CARGO_PKG_VERSION")), ("fingerprint", &fingerprint)],
+        1.0,
+    );
+    exp.family(
+        "taj_router_flight_records",
+        "Request records retained by the router's flight recorder.",
+        "gauge",
+    );
+    exp.sample("taj_router_flight_records", &[], state.flight.len() as f64);
     exp.family("taj_router_shards", "Configured shard count.", "gauge");
     exp.sample("taj_router_shards", &[], state.shards.len() as f64);
     let counters: [(&str, &str, u64); 5] = [
@@ -822,6 +1097,12 @@ fn metrics_raw(state: &Arc<RouterState>) -> String {
             s.opens.load(Ordering::SeqCst) as f64,
         );
     }
+    exp.histogram(
+        "taj_router_request_seconds",
+        "End-to-end router-side request latency (same buckets as the daemon).",
+        &[],
+        &state.request_seconds.snapshot(),
+    );
     let exposition = exp.finish();
     let mut o = Value::object();
     o.insert("content_type", Value::String("text/plain; version=0.0.4".to_string()));

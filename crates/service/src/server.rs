@@ -20,12 +20,13 @@ use std::time::{Duration, Instant};
 
 use serde::Value;
 use taj_core::{
-    analyze_with_phase1_opts, parse_rules, prepare, run_phase1_incremental, run_phase1_supervised,
+    analyze_with_phase1_opts, parse_rules, prepare, run_phase1_incremental, run_phase1_traced,
     Phase1, PreparedProgram, Recorder, RuleSet, RunOptions, SummaryStore, Supervisor, TajConfig,
     TajError,
 };
 
 use taj_obs::metrics::{Exposition, Histogram};
+use taj_obs::{AttrValue, FlightRecorder, RequestRecord, TraceEvent};
 use taj_store::DiskStore;
 
 use crate::cache::{
@@ -75,6 +76,16 @@ pub struct ServeOptions {
     /// `overloaded` error carrying a `retry_after_ms` hint, instead of
     /// queueing until every deadline has expired.
     pub max_queue: usize,
+    /// Flight-recorder capacity: completed analyze-class requests whose
+    /// span trees are retained in a bounded ring for after-the-fact
+    /// forensics (`trace <id>` / `last_traces`). `0` disables capture;
+    /// recording never perturbs result bytes.
+    pub flight_records: usize,
+    /// Requests slower than this many milliseconds are appended to the
+    /// structured slow-request log on stderr (degraded, panicked, shed,
+    /// and timed-out requests are always logged). `None` disables the
+    /// latency trigger.
+    pub slow_ms: Option<u64>,
 }
 
 impl ServeOptions {
@@ -91,9 +102,14 @@ impl ServeOptions {
             store_dir: None,
             store_bytes: 256 << 20,
             max_queue: 0,
+            flight_records: DEFAULT_FLIGHT_RECORDS,
+            slow_ms: None,
         }
     }
 }
+
+/// Default flight-recorder ring capacity (requests retained).
+pub const DEFAULT_FLIGHT_RECORDS: usize = 256;
 
 /// Fingerprint stamped into on-disk entries: the crate version plus the
 /// protocol version. A daemon build whose serialized reports could
@@ -179,6 +195,13 @@ struct ServiceState {
     run_time: Histogram,
     /// Source of generated analyze trace ids (when the client sends none).
     trace_seq: AtomicU64,
+    /// Bounded ring of completed request span trees (the flight
+    /// recorder). Capture happens on connection threads at response-build
+    /// time — O(1) per request, never on the worker pool.
+    flight: FlightRecorder,
+    /// Slow-request log threshold (ms); `None` disables the latency
+    /// trigger (degraded/panicked/shed/timed-out requests still log).
+    slow_ms: Option<u64>,
 }
 
 /// A running daemon.
@@ -278,6 +301,8 @@ pub fn serve(options: ServeOptions) -> io::Result<ServerHandle> {
         queue_wait: Histogram::latency(),
         run_time: Histogram::latency(),
         trace_seq: AtomicU64::new(0),
+        flight: FlightRecorder::new(options.flight_records),
+        slow_ms: options.slow_ms,
     });
     // Handlers submit through a dedicated channel forwarded to the pool,
     // so the accept loop can cut off new submissions (drop the forwarder)
@@ -423,48 +448,105 @@ fn handle_line(line: &str, state: &Arc<ServiceState>) -> (String, bool) {
             // analyze response (success or error) carries it in the
             // envelope, never in the cacheable result bytes.
             let trace_id = req.trace_id.clone().unwrap_or_else(|| mint_trace_id(state));
+            let parent = req.trace_parent.clone();
+            let threads = req.threads;
             let timeout_ms = req.timeout_ms.or(state.default_timeout_ms);
-            let outcome = dispatch(state, timeout_ms, {
+            let rec = request_recorder(state);
+            let started = Instant::now();
+            let outcome = dispatch(state, timeout_ms, rec.clone(), {
                 let state = Arc::clone(state);
-                move |sup: &Supervisor| run_analyze(&state, &req, sup)
+                let rec = rec.clone();
+                move |sup: &Supervisor| run_analyze(&state, &req, sup, &rec)
             });
             return match outcome {
-                Ok(raw) => (ok_response_raw_traced(&id, &trace_id, &raw), false),
+                Ok(raw) => {
+                    let line = ok_response_raw_traced(&id, &trace_id, &raw);
+                    capture_flight(
+                        state,
+                        &rec,
+                        &trace_id,
+                        parent.as_deref(),
+                        threads,
+                        started,
+                        "ok",
+                        None,
+                    );
+                    (line, false)
+                }
                 Err((code, msg)) => {
                     state.counters.errors.fetch_add(1, Ordering::SeqCst);
                     if code == ErrorCode::Timeout {
                         state.counters.timeouts.fetch_add(1, Ordering::SeqCst);
                     }
                     let hint = shed_retry_hint(state, code);
-                    (err_response_traced_retry(&id, &trace_id, code, &msg, hint), false)
+                    let line = err_response_traced_retry(&id, &trace_id, code, &msg, hint);
+                    capture_flight(
+                        state,
+                        &rec,
+                        &trace_id,
+                        parent.as_deref(),
+                        threads,
+                        started,
+                        outcome_of(code),
+                        Some(code),
+                    );
+                    (line, false)
                 }
             };
         }
         Command::AnalyzeDelta(req) => {
             state.counters.delta_requests.fetch_add(1, Ordering::SeqCst);
             let trace_id = req.request.trace_id.clone().unwrap_or_else(|| mint_trace_id(state));
+            let parent = req.request.trace_parent.clone();
+            let threads = req.request.threads;
             let timeout_ms = req.request.timeout_ms.or(state.default_timeout_ms);
+            let rec = request_recorder(state);
+            let started = Instant::now();
             // The envelope needs both the result and the delta metadata,
             // so the job builds the full response line itself (the
             // result bytes inside it stay byte-par with plain `analyze`).
-            let outcome = dispatch(state, timeout_ms, {
+            let outcome = dispatch(state, timeout_ms, rec.clone(), {
                 let state = Arc::clone(state);
                 let id = id.clone();
                 let trace_id = trace_id.clone();
+                let rec = rec.clone();
                 move |sup: &Supervisor| {
-                    let (delta, raw) = run_analyze_delta(&state, &req, sup)?;
+                    let (delta, raw) = run_analyze_delta(&state, &req, sup, &rec)?;
                     Ok(ok_response_raw_traced_delta(&id, &trace_id, &delta, &raw))
                 }
             });
             return match outcome {
-                Ok(line) => (line, false),
+                Ok(line) => {
+                    capture_flight(
+                        state,
+                        &rec,
+                        &trace_id,
+                        parent.as_deref(),
+                        threads,
+                        started,
+                        "ok",
+                        None,
+                    );
+                    (line, false)
+                }
                 Err((code, msg)) => {
                     state.counters.errors.fetch_add(1, Ordering::SeqCst);
                     if code == ErrorCode::Timeout {
                         state.counters.timeouts.fetch_add(1, Ordering::SeqCst);
                     }
                     let hint = shed_retry_hint(state, code);
-                    (err_response_traced_retry(&id, &trace_id, code, &msg, hint), false)
+                    let line = err_response_traced_retry(&id, &trace_id, code, &msg, hint);
+                    capture_flight(
+                        state,
+                        &rec,
+                        &trace_id,
+                        parent.as_deref(),
+                        threads,
+                        started,
+                        outcome_of(code),
+                        Some(code),
+                    );
+                    (line, false)
                 }
             };
         }
@@ -472,13 +554,19 @@ fn handle_line(line: &str, state: &Arc<ServiceState>) -> (String, bool) {
             state.counters.batch_requests.fetch_add(1, Ordering::SeqCst);
             return (ok_response_raw(&id, &run_batch(state, batch)), false);
         }
+        Command::Trace { trace_id } => trace_raw(state, &trace_id),
+        Command::LastTraces { limit } => Ok(last_traces_raw(state, limit)),
         Command::DebugSleep { ms, timeout_ms } => {
             let timeout_ms = timeout_ms.or(state.default_timeout_ms);
-            dispatch(state, timeout_ms, move |sup: &Supervisor| debug_sleep(ms, sup))
+            dispatch(state, timeout_ms, Recorder::disabled(), move |sup: &Supervisor| {
+                debug_sleep(ms, sup)
+            })
         }
-        Command::DebugPanic => dispatch(state, state.default_timeout_ms, |_: &Supervisor| {
-            panic!("debug_panic requested")
-        }),
+        Command::DebugPanic => {
+            dispatch(state, state.default_timeout_ms, Recorder::disabled(), |_: &Supervisor| {
+                panic!("debug_panic requested")
+            })
+        }
     };
     match outcome {
         Ok(raw) => (ok_response_raw(&id, &raw), false),
@@ -517,12 +605,13 @@ fn shed_retry_hint(state: &Arc<ServiceState>, code: ErrorCode) -> Option<u64> {
 fn dispatch<F>(
     state: &Arc<ServiceState>,
     timeout_ms: Option<u64>,
+    rec: Recorder,
     work: F,
 ) -> Result<String, ProtocolError>
 where
     F: FnOnce(&Supervisor) -> Result<String, ProtocolError> + Send + 'static,
 {
-    await_job(submit_job(state, timeout_ms, work)?)
+    await_job(submit_job(state, timeout_ms, rec, work)?)
 }
 
 /// A job submitted to the pool but not yet collected. Splitting
@@ -539,6 +628,7 @@ struct PendingJob {
 fn submit_job<F>(
     state: &Arc<ServiceState>,
     timeout_ms: Option<u64>,
+    rec: Recorder,
     work: F,
 ) -> Result<PendingJob, ProtocolError>
 where
@@ -580,13 +670,33 @@ where
         metrics_state.queue_depth.fetch_sub(1, Ordering::SeqCst);
         // The gap between submission and this first instruction is queue
         // wait: how long the job sat behind other work in the pool.
-        metrics_state.queue_wait.observe(submitted.elapsed().as_secs_f64());
+        let wait = submitted.elapsed();
+        metrics_state.queue_wait.observe(wait.as_secs_f64());
+        if rec.is_enabled() {
+            let wait_us = wait.as_micros() as u64;
+            rec.record(TraceEvent {
+                name: "queue.wait",
+                start_us: rec.now_us().saturating_sub(wait_us),
+                dur_us: Some(wait_us),
+                attrs: Vec::new(),
+            });
+        }
         let started = Instant::now();
+        let run_start_us = rec.now_us();
         let result = catch_unwind(AssertUnwindSafe(|| work(&job_sup))).unwrap_or_else(|_| {
             panicked.fetch_add(1, Ordering::SeqCst);
             Err((ErrorCode::WorkerPanic, "analysis worker panicked".into()))
         });
-        metrics_state.run_time.observe(started.elapsed().as_secs_f64());
+        let run = started.elapsed();
+        metrics_state.run_time.observe(run.as_secs_f64());
+        if rec.is_enabled() {
+            rec.record(TraceEvent {
+                name: "run",
+                start_us: run_start_us,
+                dur_us: Some(run.as_micros() as u64),
+                attrs: Vec::new(),
+            });
+        }
         let _ = tx.send(result);
     });
     let sent = match state.jobs.lock() {
@@ -641,6 +751,133 @@ fn mint_trace_id(state: &Arc<ServiceState>) -> String {
     format!("taj-{:016x}", state.trace_seq.fetch_add(1, Ordering::SeqCst) + 1)
 }
 
+/// The per-request recorder: wall-clock when the flight recorder is on,
+/// disabled (a single pointer test on every span site) otherwise.
+fn request_recorder(state: &Arc<ServiceState>) -> Recorder {
+    if state.flight.is_enabled() {
+        Recorder::new()
+    } else {
+        Recorder::disabled()
+    }
+}
+
+/// Flight-record outcome classification for failed requests.
+fn outcome_of(code: ErrorCode) -> &'static str {
+    match code {
+        ErrorCode::Timeout => "timeout",
+        ErrorCode::WorkerPanic => "panic",
+        ErrorCode::Overloaded => "shed",
+        _ => "error",
+    }
+}
+
+/// Records a `cache.probe` instant event. The attribute vector is only
+/// allocated when the per-request recorder is live.
+fn probe_event(rec: &Recorder, tier: &'static str, hit: bool) {
+    if rec.is_enabled() {
+        rec.event("cache.probe", vec![("tier", tier.into()), ("hit", hit.into())]);
+    }
+}
+
+/// Builds and captures the flight record for a finished analyze-class
+/// request, and appends the structured slow-request log line when
+/// triggered (slower than `--slow-ms`, degraded, panicked, shed, or
+/// timed out). Runs on the connection thread after the response envelope
+/// is already built: one O(1) ring push, never on the worker pool.
+#[allow(clippy::too_many_arguments)]
+fn capture_flight(
+    state: &Arc<ServiceState>,
+    rec: &Recorder,
+    trace_id: &str,
+    parent: Option<&str>,
+    threads: Option<u64>,
+    started: Instant,
+    outcome: &'static str,
+    error_code: Option<ErrorCode>,
+) {
+    if !state.flight.is_enabled() {
+        return;
+    }
+    let elapsed = started.elapsed();
+    let elapsed_us = elapsed.as_micros() as u64;
+    let mut events = rec.events();
+    // Derived attribution: which cache tier answered (last winning
+    // probe), and whether the analysis degraded (the driver emits
+    // `degrade` events on every ladder step).
+    let mut cache_tier: Option<AttrValue> = None;
+    let mut degraded = false;
+    for ev in &events {
+        match ev.name {
+            "cache.probe" => {
+                let hit = ev.attrs.iter().any(|(k, v)| *k == "hit" && *v == AttrValue::Bool(true));
+                if hit {
+                    if let Some((_, tier)) = ev.attrs.iter().find(|(k, _)| *k == "tier") {
+                        cache_tier = Some(tier.clone());
+                    }
+                }
+            }
+            "degrade" => degraded = true,
+            _ => {}
+        }
+    }
+    let mut attrs: Vec<(&'static str, AttrValue)> = vec![
+        ("degraded", AttrValue::Bool(degraded)),
+        ("cache_tier", cache_tier.unwrap_or_else(|| "none".into())),
+    ];
+    if let Some(t) = threads {
+        attrs.push(("threads", AttrValue::U64(t)));
+    }
+    if let Some(code) = error_code {
+        attrs.push(("code", code.as_str().into()));
+    }
+    // A synthetic root span anchors the fragment's timeline and carries
+    // the propagated parent span id, so stitched traces show which
+    // upstream hop this request continued.
+    let mut root_attrs: Vec<(&'static str, AttrValue)> = Vec::new();
+    if let Some(p) = parent {
+        root_attrs.push(("parent", p.into()));
+    }
+    events.insert(
+        0,
+        TraceEvent { name: "request", start_us: 0, dur_us: Some(elapsed_us), attrs: root_attrs },
+    );
+    let record =
+        RequestRecord { trace_id: trace_id.to_string(), outcome, elapsed_us, attrs, events };
+    let slow = state.slow_ms.is_some_and(|ms| elapsed >= Duration::from_millis(ms));
+    if slow || degraded || matches!(outcome, "timeout" | "panic" | "shed") {
+        eprintln!("{{\"slow_request\":{}}}", record.summary_json());
+    }
+    state.flight.push(record);
+}
+
+/// `trace <id>` body: this daemon's span fragment for one retained trace.
+fn trace_raw(state: &Arc<ServiceState>, trace_id: &str) -> Result<String, ProtocolError> {
+    let Some(record) = state.flight.get(trace_id) else {
+        return Err((
+            ErrorCode::BadRequest,
+            format!("trace `{trace_id}` not found (flight recorder off, or record evicted)"),
+        ));
+    };
+    let id_json = serde_json::to_string(&Value::String(trace_id.to_string()))
+        .unwrap_or_else(|_| "\"\"".to_string());
+    Ok(format!("{{\"trace_id\":{},\"fragments\":[{}]}}", id_json, record.fragment_json("daemon")))
+}
+
+/// `last_traces` body: ring summaries, newest first.
+fn last_traces_raw(state: &Arc<ServiceState>, limit: Option<u64>) -> String {
+    let limit = limit.map_or(usize::MAX, |n| n as usize);
+    let records = state.flight.recent(limit);
+    let mut out = format!("{{\"count\":{},\"traces\":[", records.len());
+    for (i, record) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&record.summary_json());
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Executes a `batch` envelope: every well-formed item is submitted to
 /// the pool up front, so items run concurrently up to the pool size, and
 /// results are collected in item order so the response array lines up
@@ -648,8 +885,14 @@ fn mint_trace_id(state: &Arc<ServiceState>) -> String {
 /// errors, deadlines — land in that item's slot; they never fail the
 /// envelope.
 fn run_batch(state: &Arc<ServiceState>, batch: BatchRequest) -> String {
+    struct Item {
+        rec: Recorder,
+        parent: Option<String>,
+        threads: Option<u64>,
+        started: Instant,
+    }
     enum Slot {
-        Pending { trace_id: String, job: PendingJob },
+        Pending { trace_id: String, job: PendingJob, item: Item },
         Done(String),
     }
     let envelope_timeout = batch.timeout_ms;
@@ -660,18 +903,35 @@ fn run_batch(state: &Arc<ServiceState>, batch: BatchRequest) -> String {
                 state.counters.analyze_requests.fetch_add(1, Ordering::SeqCst);
                 let trace_id = req.trace_id.clone().unwrap_or_else(|| mint_trace_id(state));
                 let timeout_ms = req.timeout_ms.or(envelope_timeout).or(state.default_timeout_ms);
-                let job = submit_job(state, timeout_ms, {
+                let rec = request_recorder(state);
+                let item = Item {
+                    rec: rec.clone(),
+                    parent: req.trace_parent.clone(),
+                    threads: req.threads,
+                    started: Instant::now(),
+                };
+                let job = submit_job(state, timeout_ms, rec.clone(), {
                     let state = Arc::clone(state);
-                    move |sup: &Supervisor| run_analyze(&state, &req, sup)
+                    move |sup: &Supervisor| run_analyze(&state, &req, sup, &rec)
                 });
                 match job {
-                    Ok(job) => slots.push(Slot::Pending { trace_id, job }),
+                    Ok(job) => slots.push(Slot::Pending { trace_id, job, item }),
                     Err((code, msg)) => {
                         state.counters.errors.fetch_add(1, Ordering::SeqCst);
                         // A shed item carries the same retry hint a shed
                         // standalone request would; its siblings in the
                         // envelope still run.
                         let hint = shed_retry_hint(state, code);
+                        capture_flight(
+                            state,
+                            &item.rec,
+                            &trace_id,
+                            item.parent.as_deref(),
+                            item.threads,
+                            item.started,
+                            outcome_of(code),
+                            Some(code),
+                        );
                         slots.push(Slot::Done(batch_item_err_retry(&trace_id, code, &msg, hint)));
                     }
                 }
@@ -687,13 +947,35 @@ fn run_batch(state: &Arc<ServiceState>, batch: BatchRequest) -> String {
     for slot in slots {
         rendered.push(match slot {
             Slot::Done(s) => s,
-            Slot::Pending { trace_id, job } => match await_job(job) {
-                Ok(raw) => batch_item_ok(&trace_id, &raw),
+            Slot::Pending { trace_id, job, item } => match await_job(job) {
+                Ok(raw) => {
+                    capture_flight(
+                        state,
+                        &item.rec,
+                        &trace_id,
+                        item.parent.as_deref(),
+                        item.threads,
+                        item.started,
+                        "ok",
+                        None,
+                    );
+                    batch_item_ok(&trace_id, &raw)
+                }
                 Err((code, msg)) => {
                     state.counters.errors.fetch_add(1, Ordering::SeqCst);
                     if code == ErrorCode::Timeout {
                         state.counters.timeouts.fetch_add(1, Ordering::SeqCst);
                     }
+                    capture_flight(
+                        state,
+                        &item.rec,
+                        &trace_id,
+                        item.parent.as_deref(),
+                        item.threads,
+                        item.started,
+                        outcome_of(code),
+                        Some(code),
+                    );
                     batch_item_err(&trace_id, code, &msg)
                 }
             },
@@ -732,6 +1014,7 @@ fn run_analyze(
     state: &Arc<ServiceState>,
     req: &AnalyzeRequest,
     supervisor: &Supervisor,
+    rec: &Recorder,
 ) -> Result<String, ProtocolError> {
     // Fault-injection site at the service boundary (no-op in default
     // builds): lets tests fail an analyze job before it touches the
@@ -756,6 +1039,8 @@ fn run_analyze(
     // on `lock_cache(..)?.get(..)` would keep the MutexGuard temporary
     // alive across the miss arm's re-lock and self-deadlock.
     let cached_report = lock_cache(state)?.get(&report_key);
+    let report_hit = matches!(&cached_report, Some(Artifact::Report(_)));
+    probe_event(rec, "report", report_hit);
     if let Some(Artifact::Report(cached)) = cached_report {
         return Ok((*cached).clone());
     }
@@ -768,7 +1053,9 @@ fn run_analyze(
         config.name, req.format, req.degrade
     );
     if let Some(store) = &state.store {
-        if let Some(serialized) = store.get(&disk_key) {
+        let disk_hit = store.get(&disk_key);
+        probe_event(rec, "disk", disk_hit.is_some());
+        if let Some(serialized) = disk_hit {
             let bytes = serialized.len();
             lock_cache(state)?.insert(
                 report_key,
@@ -782,6 +1069,7 @@ fn run_analyze(
     // Prepared program (parse + modeling + SSA).
     let prepared_key = ArtifactKey::Prepared { src, rules: rules_hash };
     let cached_prepared = lock_cache(state)?.get(&prepared_key);
+    probe_event(rec, "prepared", matches!(&cached_prepared, Some(Artifact::Prepared(_))));
     let prepared = match cached_prepared {
         Some(Artifact::Prepared(p)) => p,
         _ => {
@@ -814,10 +1102,12 @@ fn run_analyze(
         priority: config.priority,
     };
     let cached_phase1 = lock_cache(state)?.get(&phase1_key);
+    let phase1_hit = matches!(&cached_phase1, Some(Artifact::Phase1(p)) if p.matches(&config));
+    probe_event(rec, "phase1", phase1_hit);
     let phase1 = match cached_phase1 {
         Some(Artifact::Phase1(p)) if p.matches(&config) => p,
         _ => {
-            let p = Arc::new(run_phase1_supervised(&prepared, &config, supervisor));
+            let p = Arc::new(run_phase1_traced(&prepared, &config, supervisor, rec));
             state.counters.phase1_runs.fetch_add(1, Ordering::SeqCst);
             // An interrupted phase 1 is a deadline artifact, not a
             // property of the input: caching it would poison every later
@@ -830,7 +1120,7 @@ fn run_analyze(
         }
     };
 
-    finish_analyze(state, req, supervisor, &config, &prepared, &phase1, report_key, &disk_key)
+    finish_analyze(state, req, supervisor, rec, &config, &prepared, &phase1, report_key, &disk_key)
 }
 
 /// The shared back half of [`run_analyze`] and [`run_analyze_delta`]:
@@ -841,6 +1131,7 @@ fn finish_analyze(
     state: &Arc<ServiceState>,
     req: &AnalyzeRequest,
     supervisor: &Supervisor,
+    rec: &Recorder,
     config: &TajConfig,
     prepared: &Arc<PreparedProgram>,
     phase1: &Arc<Phase1>,
@@ -851,7 +1142,7 @@ fn finish_analyze(
         supervisor: supervisor.clone(),
         degrade: req.degrade,
         threads: req.threads.map_or(0, |n| n as usize),
-        ..RunOptions::default()
+        recorder: rec.clone(),
     };
     let report =
         analyze_with_phase1_opts(prepared, phase1, config, &opts).map_err(|e| match e {
@@ -922,6 +1213,7 @@ fn run_analyze_delta(
     state: &Arc<ServiceState>,
     req: &AnalyzeDeltaRequest,
     supervisor: &Supervisor,
+    rec: &Recorder,
 ) -> Result<(String, String), ProtocolError> {
     let areq = &req.request;
     let config = TajConfig::by_name(&areq.config)
@@ -940,6 +1232,7 @@ fn run_analyze_delta(
         degrade: areq.degrade,
     };
     let cached_report = lock_cache(state)?.get(&report_key);
+    probe_event(rec, "report", matches!(&cached_report, Some(Artifact::Report(_))));
     if let Some(Artifact::Report(cached)) = cached_report {
         return Ok((delta_value("report-cache", false, 0, 0), (*cached).clone()));
     }
@@ -948,7 +1241,9 @@ fn run_analyze_delta(
         config.name, areq.format, areq.degrade
     );
     if let Some(store) = &state.store {
-        if let Some(serialized) = store.get(&disk_key) {
+        let disk_hit = store.get(&disk_key);
+        probe_event(rec, "disk", disk_hit.is_some());
+        if let Some(serialized) = disk_hit {
             let bytes = serialized.len();
             lock_cache(state)?.insert(
                 report_key,
@@ -993,6 +1288,7 @@ fn run_analyze_delta(
     // program, so the whitelist baked in by `prepare` is part of the key.
     let base_summary_key = ArtifactKey::Summary { src: base_src, rules: rules_hash };
     let cached_summaries = lock_cache(state)?.get(&base_summary_key);
+    probe_event(rec, "summary", matches!(&cached_summaries, Some(Artifact::Summary(_))));
     let base_summaries = match cached_summaries {
         Some(Artifact::Summary(s)) => s,
         _ => {
@@ -1041,6 +1337,7 @@ fn run_analyze_delta(
             phase1 = Some(p);
         }
     }
+    probe_event(rec, "phase1", phase1.is_some());
     if phase1.is_none()
         && plan.region_empty()
         && edited_store.program_fingerprint == base_summaries.program_fingerprint
@@ -1086,7 +1383,7 @@ fn run_analyze_delta(
                 &prepared,
                 &config,
                 supervisor,
-                &Recorder::disabled(),
+                rec,
                 &edited_store,
                 &plan,
             ));
@@ -1107,6 +1404,7 @@ fn run_analyze_delta(
         state,
         areq,
         supervisor,
+        rec,
         &config,
         &prepared_for_slice,
         &phase1,
@@ -1140,7 +1438,7 @@ pub(crate) fn analyze_uncached(
         TajError::Parse(p) => (ErrorCode::ParseError, p.to_string()),
         other => (ErrorCode::ParseError, other.to_string()),
     })?;
-    let phase1 = run_phase1_supervised(&prepared, &config, supervisor);
+    let phase1 = run_phase1_traced(&prepared, &config, supervisor, &Recorder::disabled());
     let opts = RunOptions {
         supervisor: supervisor.clone(),
         degrade: req.degrade,
@@ -1198,6 +1496,16 @@ fn stats_raw(state: &Arc<ServiceState>) -> Result<String, ProtocolError> {
     let mut o = Value::object();
     o.insert("protocol_version", Value::UInt(u128::from(PROTOCOL_VERSION)));
     o.insert("uptime_ms", Value::UInt(state.started.elapsed().as_millis()));
+    // Build identity: lets a mixed-version fleet (store fingerprint-skew
+    // quarantines) be diagnosed from `stats` alone.
+    let mut build_o = Value::object();
+    build_o.insert("version", Value::String(env!("CARGO_PKG_VERSION").to_string()));
+    build_o.insert("fingerprint", Value::String(format!("{:032x}", store_fingerprint())));
+    o.insert("build", build_o);
+    let mut flight_o = Value::object();
+    flight_o.insert("capacity", Value::UInt(state.flight.capacity() as u128));
+    flight_o.insert("retained", Value::UInt(state.flight.len() as u128));
+    o.insert("flight", flight_o);
     o.insert("workers", Value::UInt(state.workers as u128));
     o.insert("requests", Value::UInt(u128::from(c.requests.load(Ordering::SeqCst))));
     o.insert(
@@ -1293,6 +1601,19 @@ fn metrics_exposition(state: &Arc<ServiceState>) -> Result<String, ProtocolError
     let mut exp = Exposition::new();
     exp.family("taj_uptime_seconds", "Seconds since the daemon started.", "gauge");
     exp.sample("taj_uptime_seconds", &[], state.started.elapsed().as_secs_f64());
+    exp.family(
+        "taj_build_info",
+        "Build identity: crate version and store fingerprint (value is always 1).",
+        "gauge",
+    );
+    let fingerprint = format!("{:032x}", store_fingerprint());
+    exp.sample(
+        "taj_build_info",
+        &[("version", env!("CARGO_PKG_VERSION")), ("fingerprint", &fingerprint)],
+        1.0,
+    );
+    exp.family("taj_flight_records", "Request records retained by the flight recorder.", "gauge");
+    exp.sample("taj_flight_records", &[], state.flight.len() as f64);
     exp.family("taj_workers", "Worker pool size.", "gauge");
     exp.sample("taj_workers", &[], state.workers as f64);
     exp.family("taj_max_queue", "Admission-queue bound (jobs queued, not running).", "gauge");

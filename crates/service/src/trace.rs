@@ -1,0 +1,175 @@
+//! Cross-process trace stitching: merges per-process span fragments
+//! (the payload of the `trace <id>` NDJSON command) into one Chrome
+//! `trace_event`-format JSON document, with a distinct pid per fragment,
+//! so Perfetto / `chrome://tracing` shows the router and every shard
+//! that touched a request as side-by-side process tracks on a shared
+//! timeline.
+//!
+//! A fragment is the wire object a daemon or router produces for one
+//! retained request record:
+//!
+//! ```json
+//! {"process":"shard0","outcome":"ok","elapsed_us":1234,
+//!  "attrs":{"cache_tier":"report","degraded":false},
+//!  "spans":[{"name":"queue.wait","ts":0,"dur":40},
+//!           {"name":"cache.probe","ts":41,"args":{"tier":"report","hit":true}}]}
+//! ```
+//!
+//! Spans carrying a `dur` become complete (`"ph":"X"`) events; the rest
+//! become global instant events. Each fragment also contributes a
+//! `process_name` metadata event labeling its track
+//! `<process> [<outcome>]`, and the fragment's `attrs` ride along on a
+//! zero-duration `request.attrs` instant so outcome attribution is
+//! visible inside the trace viewer too.
+
+use serde::Value;
+
+fn s(text: &str) -> Value {
+    Value::String(text.to_string())
+}
+
+/// Merges fragment objects into Chrome trace JSON. Fragments are
+/// assigned pids 1..N in input order; malformed fragments (not objects,
+/// or without a `spans` array) still get their process track so a
+/// partial fetch is visible rather than silently dropped.
+pub fn stitch_fragments(fragments: &[Value]) -> String {
+    let mut events: Vec<Value> = Vec::new();
+    for (i, fragment) in fragments.iter().enumerate() {
+        let pid = (i + 1) as u128;
+        let process = fragment.get("process").and_then(Value::as_str).unwrap_or("unknown");
+        let outcome = fragment.get("outcome").and_then(Value::as_str).unwrap_or("unknown");
+
+        let mut meta = Value::object();
+        meta.insert("name", s("process_name"));
+        meta.insert("ph", s("M"));
+        meta.insert("pid", Value::UInt(pid));
+        meta.insert("tid", Value::UInt(1));
+        let mut meta_args = Value::object();
+        meta_args.insert("name", s(&format!("{process} [{outcome}]")));
+        meta.insert("args", meta_args);
+        events.push(meta);
+
+        if let Some(attrs) = fragment.get("attrs") {
+            let mut ev = Value::object();
+            ev.insert("name", s("request.attrs"));
+            ev.insert("cat", s("taj"));
+            ev.insert("pid", Value::UInt(pid));
+            ev.insert("tid", Value::UInt(1));
+            ev.insert("ts", Value::UInt(0));
+            ev.insert("ph", s("i"));
+            ev.insert("s", s("g"));
+            ev.insert("args", attrs.clone());
+            events.push(ev);
+        }
+
+        let spans = match fragment.get("spans") {
+            Some(Value::Array(spans)) => spans.as_slice(),
+            _ => &[],
+        };
+        for span in spans {
+            let mut ev = Value::object();
+            ev.insert("name", span.get("name").cloned().unwrap_or_else(|| s("unnamed")));
+            ev.insert("cat", s("taj"));
+            ev.insert("pid", Value::UInt(pid));
+            ev.insert("tid", Value::UInt(1));
+            ev.insert("ts", span.get("ts").cloned().unwrap_or(Value::UInt(0)));
+            match span.get("dur") {
+                Some(dur) => {
+                    ev.insert("ph", s("X"));
+                    ev.insert("dur", dur.clone());
+                }
+                None => {
+                    ev.insert("ph", s("i"));
+                    ev.insert("s", s("g"));
+                }
+            }
+            if let Some(args) = span.get("args") {
+                ev.insert("args", args.clone());
+            }
+            events.push(ev);
+        }
+    }
+    let mut out = Value::object();
+    out.insert("traceEvents", Value::Array(events));
+    out.insert("displayTimeUnit", s("ms"));
+    serde_json::to_string(&out).unwrap_or_else(|_| "{\"traceEvents\":[]}".to_string())
+}
+
+/// Extracts the `fragments` array from a parsed `trace <id>` result
+/// object; empty when the shape is unexpected.
+pub fn fragments_of(result: &Value) -> Vec<Value> {
+    match result.get("fragments") {
+        Some(Value::Array(fragments)) => fragments.clone(),
+        _ => Vec::new(),
+    }
+}
+
+/// Relabels a fragment's `process` field (e.g. a daemon's generic
+/// `daemon` label to the router's `shard0`). Non-object fragments are
+/// left untouched.
+pub fn relabel_process(fragment: &mut Value, process: &str) {
+    if let Value::Object(_) = fragment {
+        fragment.insert("process", s(process));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fragment(process: &str) -> Value {
+        let text = format!(
+            "{{\"process\":\"{process}\",\"outcome\":\"ok\",\"elapsed_us\":10,\
+             \"attrs\":{{\"degraded\":false}},\
+             \"spans\":[{{\"name\":\"queue.wait\",\"ts\":1,\"dur\":4}},\
+             {{\"name\":\"cache.probe\",\"ts\":6,\"args\":{{\"tier\":\"report\",\"hit\":false}}}}]}}"
+        );
+        serde_json::from_str(&text).expect("fragment json")
+    }
+
+    #[test]
+    fn stitch_assigns_one_pid_per_fragment_with_process_names() {
+        let json = stitch_fragments(&[fragment("router"), fragment("shard0")]);
+        let v: Value = serde_json::from_str(&json).expect("stitched json");
+        let Some(Value::Array(events)) = v.get("traceEvents") else {
+            panic!("missing traceEvents: {json}")
+        };
+        let metas: Vec<&Value> =
+            events.iter().filter(|e| e.get("ph").and_then(Value::as_str) == Some("M")).collect();
+        assert_eq!(metas.len(), 2);
+        assert_eq!(metas[0]["args"]["name"].as_str(), Some("router [ok]"));
+        assert_eq!(metas[1]["args"]["name"].as_str(), Some("shard0 [ok]"));
+        assert_eq!(metas[0]["pid"].as_u64(), Some(1));
+        assert_eq!(metas[1]["pid"].as_u64(), Some(2));
+        // Spans carry their fragment's pid; durationful spans are "X".
+        let waits: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("queue.wait"))
+            .collect();
+        assert_eq!(waits.len(), 2);
+        assert_eq!(waits[0]["ph"].as_str(), Some("X"));
+        assert_eq!(waits[0]["dur"].as_u64(), Some(4));
+        assert_ne!(waits[0]["pid"].as_u64(), waits[1]["pid"].as_u64());
+        // Instant spans keep their args and gain global scope.
+        let probe = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("cache.probe"))
+            .expect("cache.probe event");
+        assert_eq!(probe["ph"].as_str(), Some("i"));
+        assert_eq!(probe["args"]["tier"].as_str(), Some("report"));
+    }
+
+    #[test]
+    fn fragments_round_trip_through_trace_result_shape() {
+        let result: Value = serde_json::from_str(
+            "{\"trace_id\":\"taj-1\",\"fragments\":[{\"process\":\"daemon\",\"spans\":[]}]}",
+        )
+        .expect("result json");
+        let mut fragments = fragments_of(&result);
+        assert_eq!(fragments.len(), 1);
+        relabel_process(&mut fragments[0], "shard3");
+        assert_eq!(fragments[0]["process"].as_str(), Some("shard3"));
+        let json = stitch_fragments(&fragments);
+        assert!(json.contains("shard3 [unknown]"), "{json}");
+    }
+}

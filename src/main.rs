@@ -6,12 +6,14 @@
 //! taj configs
 //! taj demo
 //! taj serve [--socket PATH | --tcp ADDR] [--workers N] [--cache-mb N] [--timeout-ms N]
-//!           [--store-dir DIR] [--store-mb N] [--max-queue N]
+//!           [--store-dir DIR] [--store-mb N] [--max-queue N] [--flight-records N] [--slow-ms N]
 //! taj router (--socket PATH | --tcp ADDR) --shard ADDR [--shard ADDR ...] [--timeout-ms N]
-//!            [--failure-threshold N] [--cooldown-ms N]
+//!            [--failure-threshold N] [--cooldown-ms N] [--flight-records N] [--trace-out FILE]
 //! taj client (--socket PATH | --tcp ADDR) analyze <file.jweb> [--config NAME] [--sarif]
-//!            [--timeout-ms N] [--degrade] [--threads N] [--delta <base.jweb>]
+//!            [--timeout-ms N] [--degrade] [--threads N] [--delta <base.jweb>] [--trace-id ID]
 //! taj client (--socket PATH | --tcp ADDR) analyze --batch <file.jweb> [<file.jweb> ...]
+//! taj client (--socket PATH | --tcp ADDR) trace <trace-id> [--trace-out FILE]
+//! taj client (--socket PATH | --tcp ADDR) last-traces [--limit N]
 //! taj client (--socket PATH | --tcp ADDR) configs|stats|metrics|shutdown
 //! ```
 //!
@@ -63,17 +65,21 @@ fn main() -> ExitCode {
             eprintln!("       taj configs          list configuration names");
             eprintln!("       taj demo             analyze the paper's Figure 1 program");
             eprintln!(
-                "       taj serve [--socket PATH | --tcp ADDR] [--workers N] [--cache-mb N] [--timeout-ms N] [--store-dir DIR] [--store-mb N] [--max-queue N] [--debug]"
+                "       taj serve [--socket PATH | --tcp ADDR] [--workers N] [--cache-mb N] [--timeout-ms N] [--store-dir DIR] [--store-mb N] [--max-queue N] [--flight-records N] [--slow-ms N] [--debug]"
             );
             eprintln!(
-                "       taj router (--socket PATH | --tcp ADDR) --shard ADDR [--shard ADDR ...] [--timeout-ms N] [--failure-threshold N] [--cooldown-ms N]"
+                "       taj router (--socket PATH | --tcp ADDR) --shard ADDR [--shard ADDR ...] [--timeout-ms N] [--failure-threshold N] [--cooldown-ms N] [--flight-records N] [--trace-out FILE]"
             );
             eprintln!(
-                "       taj client (--socket PATH | --tcp ADDR) analyze <file.jweb> [--config NAME] [--rules FILE] [--sarif] [--timeout-ms N] [--degrade] [--threads N] [--delta <base.jweb>]"
+                "       taj client (--socket PATH | --tcp ADDR) analyze <file.jweb> [--config NAME] [--rules FILE] [--sarif] [--timeout-ms N] [--degrade] [--threads N] [--delta <base.jweb>] [--trace-id ID]"
             );
             eprintln!(
                 "       taj client (--socket PATH | --tcp ADDR) analyze --batch <file.jweb> [<file.jweb> ...]"
             );
+            eprintln!(
+                "       taj client (--socket PATH | --tcp ADDR) trace <trace-id> [--trace-out FILE]"
+            );
+            eprintln!("       taj client (--socket PATH | --tcp ADDR) last-traces [--limit N]");
             eprintln!(
                 "       taj client (--socket PATH | --tcp ADDR) configs|stats|metrics|shutdown"
             );
@@ -271,6 +277,8 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         opt("store-dir"),
         opt("store-mb"),
         opt("max-queue"),
+        opt("flight-records"),
+        opt("slow-ms"),
         flag("debug"),
     ];
     let parsed = match parse_args(args, SPEC, 0) {
@@ -306,6 +314,18 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         Ok(n) => n as usize,
         Err(code) => return code,
     };
+    let flight_records =
+        match parse_num(&parsed, "flight-records", taj::service::DEFAULT_FLIGHT_RECORDS as u64) {
+            Ok(n) => n as usize,
+            Err(code) => return code,
+        };
+    let slow_ms = match parsed.value("slow-ms") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => return usage_error("`--slow-ms` must be a non-negative integer"),
+        },
+        None => None,
+    };
     let options = ServeOptions {
         bind,
         workers,
@@ -315,6 +335,8 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         store_dir: parsed.value("store-dir").map(std::path::PathBuf::from),
         store_bytes: store_mb << 20,
         max_queue,
+        flight_records,
+        slow_ms,
     };
     match taj::service::serve(options) {
         Ok(handle) => {
@@ -338,6 +360,8 @@ fn router_cmd(args: &[String]) -> ExitCode {
         opt("timeout-ms"),
         opt("failure-threshold"),
         opt("cooldown-ms"),
+        opt("flight-records"),
+        opt("trace-out"),
     ];
     let parsed = match parse_args(args, SPEC, 0) {
         Ok(p) => p,
@@ -369,7 +393,19 @@ fn router_cmd(args: &[String]) -> ExitCode {
         Ok(n) => tuning.cooldown_ms = n,
         Err(code) => return code,
     }
-    let options = RouterOptions { bind, shards, default_timeout_ms: timeout_ms, tuning };
+    let flight_records =
+        match parse_num(&parsed, "flight-records", taj::service::DEFAULT_FLIGHT_RECORDS as u64) {
+            Ok(n) => n as usize,
+            Err(code) => return code,
+        };
+    let options = RouterOptions {
+        bind,
+        shards,
+        default_timeout_ms: timeout_ms,
+        tuning,
+        flight_records,
+        trace_out: parsed.value("trace-out").map(std::path::PathBuf::from),
+    };
     match taj::service::route(options) {
         Ok(handle) => {
             println!("taj-router listening on {}", handle.addr());
@@ -406,6 +442,9 @@ fn client_cmd(args: &[String]) -> ExitCode {
         opt("threads"),
         flag("batch"),
         opt("delta"),
+        opt("limit"),
+        opt("trace-out"),
+        opt("trace-id"),
     ];
     // `analyze --batch` takes many input files; every other command is
     // validated to its own arity below.
@@ -431,10 +470,10 @@ fn client_cmd(args: &[String]) -> ExitCode {
         },
         (None, None) => return usage_error("`taj client` needs `--socket PATH` or `--tcp ADDR`"),
     };
-    if parsed.positionals.first().map(String::as_str) != Some("analyze")
+    if !matches!(parsed.positionals.first().map(String::as_str), Some("analyze" | "trace"))
         && parsed.positionals.len() > 1
     {
-        return usage_error("only `taj client analyze` takes file arguments");
+        return usage_error("only `taj client analyze` and `taj client trace` take arguments");
     }
     let result = match parsed.positionals.first().map(String::as_str) {
         Some("analyze") => {
@@ -471,7 +510,7 @@ fn client_cmd(args: &[String]) -> ExitCode {
                 timeout_ms: if parsed.has("batch") { None } else { timeout_ms },
                 degrade: parsed.has("degrade"),
                 threads,
-                trace_id: None,
+                trace_id: parsed.value("trace-id").map(str::to_string),
             };
             if parsed.has("batch") {
                 if parsed.value("delta").is_some() {
@@ -532,6 +571,54 @@ fn client_cmd(args: &[String]) -> ExitCode {
                 None => client.analyze(&source, &opts),
             }
         }
+        Some("trace") => {
+            let Some(trace_id) = parsed.positionals.get(1) else {
+                return usage_error("missing trace id for `taj client trace`");
+            };
+            if parsed.positionals.len() > 2 {
+                return usage_error("`taj client trace` takes exactly one trace id");
+            }
+            return match client.trace(trace_id) {
+                Ok(result) => {
+                    // Stitch the per-process fragments into one Chrome
+                    // trace so the output opens directly in Perfetto.
+                    let stitched =
+                        taj::service::stitch_fragments(&taj::service::fragments_of(&result));
+                    match parsed.value("trace-out") {
+                        Some(path) => match std::fs::write(path, &stitched) {
+                            Ok(()) => {
+                                eprintln!(
+                                    "stitched trace written to {path} (open with https://ui.perfetto.dev)"
+                                );
+                                ExitCode::SUCCESS
+                            }
+                            Err(e) => {
+                                eprintln!("error: cannot write trace `{path}`: {e}");
+                                ExitCode::FAILURE
+                            }
+                        },
+                        None => {
+                            println!("{stitched}");
+                            ExitCode::SUCCESS
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Some("last-traces") => {
+            let limit = match parsed.value("limit") {
+                Some(v) => match v.parse::<u64>() {
+                    Ok(n) => Some(n),
+                    Err(_) => return usage_error("`--limit` must be a non-negative integer"),
+                },
+                None => None,
+            };
+            client.last_traces(limit)
+        }
         Some("configs") => client.configs(),
         Some("stats") => client.stats(),
         Some("metrics") => {
@@ -550,7 +637,9 @@ fn client_cmd(args: &[String]) -> ExitCode {
         Some("shutdown") => client.shutdown(),
         Some(other) => return usage_error(&format!("unknown client command `{other}`")),
         None => {
-            return usage_error("missing client command (analyze|configs|stats|metrics|shutdown)")
+            return usage_error(
+                "missing client command (analyze|configs|stats|metrics|trace|last-traces|shutdown)",
+            )
         }
     };
     match result {

@@ -137,13 +137,8 @@ fn batch_envelope_rejects_missing_items() {
 fn router_forwards_byte_identically_and_reports_shard_health() {
     let (shard_a, client_a) = start(default_options());
     let (shard_b, client_b) = start(default_options());
-    let router = route(RouterOptions {
-        bind: taj::service::Bind::Tcp("127.0.0.1:0".to_string()),
-        shards: vec![tcp_addr(&shard_a), tcp_addr(&shard_b)],
-        default_timeout_ms: None,
-        tuning: RouterTuning::default(),
-    })
-    .expect("router starts");
+    let router = route(RouterOptions::tcp_ephemeral(vec![tcp_addr(&shard_a), tcp_addr(&shard_b)]))
+        .expect("router starts");
     let mut via_router = Client::connect(router.addr()).expect("connect router");
 
     // Fixed id + trace id: repeats through the router must be
@@ -189,13 +184,8 @@ fn router_forwards_byte_identically_and_reports_shard_health() {
 fn router_splits_batches_across_shards_and_merges_in_order() {
     let (shard_a, client_a) = start(default_options());
     let (shard_b, client_b) = start(default_options());
-    let router = route(RouterOptions {
-        bind: taj::service::Bind::Tcp("127.0.0.1:0".to_string()),
-        shards: vec![tcp_addr(&shard_a), tcp_addr(&shard_b)],
-        default_timeout_ms: None,
-        tuning: RouterTuning::default(),
-    })
-    .expect("router starts");
+    let router = route(RouterOptions::tcp_ephemeral(vec![tcp_addr(&shard_a), tcp_addr(&shard_b)]))
+        .expect("router starts");
     let mut via_router = Client::connect(router.addr()).expect("connect router");
 
     // Several distinct programs so the hash actually spreads: safe
@@ -236,13 +226,8 @@ fn router_fails_over_to_local_analysis_when_a_shard_dies() {
     let (shard_b, client_b) = start(default_options());
     let addr_a = tcp_addr(&shard_a);
     let addr_b = tcp_addr(&shard_b);
-    let router = route(RouterOptions {
-        bind: taj::service::Bind::Tcp("127.0.0.1:0".to_string()),
-        shards: vec![addr_a.clone(), addr_b.clone()],
-        default_timeout_ms: None,
-        tuning: RouterTuning::default(),
-    })
-    .expect("router starts");
+    let router = route(RouterOptions::tcp_ephemeral(vec![addr_a.clone(), addr_b.clone()]))
+        .expect("router starts");
     let mut via_router = Client::connect(router.addr()).expect("connect router");
 
     // Establish the healthy-path answer first.
@@ -279,9 +264,6 @@ fn shard_counters_are_disjoint_and_sum_to_forward_calls() {
     // never double-counted.
     let (shard, shard_client) = start(default_options());
     let router = route(RouterOptions {
-        bind: taj::service::Bind::Tcp("127.0.0.1:0".to_string()),
-        shards: vec![tcp_addr(&shard)],
-        default_timeout_ms: None,
         // A long cooldown keeps the prober out of this test's counters.
         tuning: RouterTuning {
             failure_threshold: 3,
@@ -290,6 +272,7 @@ fn shard_counters_are_disjoint_and_sum_to_forward_calls() {
             retry_base_ms: 1,
             ..RouterTuning::default()
         },
+        ..RouterOptions::tcp_ephemeral(vec![tcp_addr(&shard)])
     })
     .expect("router starts");
     let mut via_router = Client::connect(router.addr()).expect("connect router");
@@ -345,9 +328,6 @@ fn batch_survives_shard_restart_and_breaker_reintegrates_via_probes() {
     let (shard_b, mut client_b) = start(default_options());
     let addr_a = tcp_addr(&shard_a);
     let router = route(RouterOptions {
-        bind: taj::service::Bind::Tcp("127.0.0.1:0".to_string()),
-        shards: vec![addr_a.clone(), tcp_addr(&shard_b)],
-        default_timeout_ms: None,
         tuning: RouterTuning {
             failure_threshold: 1,
             cooldown_ms: 100,
@@ -355,6 +335,7 @@ fn batch_survives_shard_restart_and_breaker_reintegrates_via_probes() {
             forward_attempts: 1,
             ..RouterTuning::default()
         },
+        ..RouterOptions::tcp_ephemeral(vec![addr_a.clone(), tcp_addr(&shard_b)])
     })
     .expect("router starts");
     let mut via_router = Client::connect(router.addr()).expect("connect router");
